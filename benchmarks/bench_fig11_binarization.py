@@ -1,0 +1,40 @@
+"""Figure 11: binarization size and cost on n-clique trust networks."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_sweep
+from repro.core.binarize import binarize, clique_binarization_row
+from repro.experiments import fig11_binarization
+from repro.experiments.runner import format_table
+from repro.workloads.cliques import clique_network
+
+CLIQUE_SIZES = (4, 8, 16, 32) if not full_sweep() else (4, 8, 16, 32, 64, 96)
+
+
+@pytest.mark.parametrize("n", CLIQUE_SIZES)
+def test_fig11_binarize_clique(benchmark, n):
+    network = clique_network(n, with_beliefs=False)
+    benchmark.extra_info["figure"] = "11"
+    benchmark.extra_info["clique_size"] = n
+    result = benchmark.pedantic(lambda: binarize(network), rounds=1, iterations=1)
+    expected = clique_binarization_row(n)
+    assert len(result.btn.users) == expected["binarized_users"]
+    assert len(result.btn.mappings) == expected["binarized_edges"]
+
+
+def test_fig11_table(benchmark, bench_report_lines):
+    rows = benchmark.pedantic(
+        lambda: fig11_binarization.run(clique_sizes=CLIQUE_SIZES), rounds=1, iterations=1
+    )
+    summary = fig11_binarization.summarize(rows)
+    bench_report_lines.append("Figure 11 — binarization of n-clique trust networks")
+    bench_report_lines.append(format_table(rows))
+    bench_report_lines.append(f"summary: {summary}")
+    # The Figure 11 bounds: edge factor < 2, node+edge factor < 3, approached
+    # from below as n grows.
+    assert summary["edge_factor_below_2"]
+    assert summary["size_factor_below_3"]
+    factors = [row["size_factor"] for row in rows]
+    assert factors == sorted(factors)

@@ -1,0 +1,37 @@
+"""Figure 15: quadratic worst case of the Resolution Algorithm (nested SCCs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_sweep
+from repro.core.resolution import resolve
+from repro.experiments import fig15_worstcase
+from repro.experiments.runner import format_table
+from repro.workloads.worstcase import worstcase_network
+
+BLOCK_COUNTS = (25, 50, 100, 200) if not full_sweep() else (25, 50, 100, 200, 400, 800)
+
+
+@pytest.mark.parametrize("k", BLOCK_COUNTS)
+def test_fig15_resolution_on_nested_sccs(benchmark, k):
+    network = worstcase_network(k)
+    benchmark.extra_info["figure"] = "15"
+    benchmark.extra_info["k"] = k
+    benchmark.extra_info["network_size"] = network.size
+    result = benchmark.pedantic(lambda: resolve(network), rounds=1, iterations=1)
+    assert result.possible_values("x1") == frozenset({"v", "w"})
+
+
+def test_fig15_shape_quadratic(benchmark, bench_report_lines):
+    rows = benchmark.pedantic(
+        lambda: fig15_worstcase.run(block_counts=BLOCK_COUNTS, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig15_worstcase.summarize(rows)
+    bench_report_lines.append("Figure 15 — nested-SCC worst case for the Resolution Algorithm")
+    bench_report_lines.append(format_table(rows))
+    bench_report_lines.append(f"summary: {summary}")
+    # Superlinear (close to quadratic) growth, in contrast to Figures 8a/8b.
+    assert summary["superlinear"], summary

@@ -1,0 +1,50 @@
+"""Figure 5: the stable-model (DLV-substitute) baseline is exponential.
+
+``pytest benchmarks/bench_fig5_lp_solver.py --benchmark-only`` times the
+logic-program solver on oscillator networks of increasing size and checks the
+Figure 5 shape: the growth ratio between consecutive sizes increases, i.e.
+the baseline is exponential in the network size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_sweep
+from repro.experiments import fig5_lp_exponential
+from repro.experiments.runner import format_table
+from repro.logicprog.solver import solve_network
+from repro.workloads.oscillators import oscillator_network
+
+CLUSTER_COUNTS = (1, 2, 3, 4) if not full_sweep() else (1, 2, 3, 4, 5, 6)
+
+
+@pytest.mark.parametrize("clusters", CLUSTER_COUNTS)
+def test_fig5_lp_solver_on_oscillators(benchmark, clusters):
+    network = oscillator_network(clusters)
+    benchmark.extra_info["figure"] = "5"
+    benchmark.extra_info["network_size"] = network.size
+    result = benchmark.pedantic(
+        lambda: solve_network(network, semantics="brave"), rounds=1, iterations=1
+    )
+    # Correctness guard: the cycle nodes must have both values as possible.
+    assert result.values_for("c0.x1") == frozenset({"v", "w"})
+
+
+def test_fig5_series_shows_exponential_growth(benchmark, bench_report_lines):
+    rows = benchmark.pedantic(
+        lambda: fig5_lp_exponential.run(cluster_counts=CLUSTER_COUNTS, repeats=1),
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig5_lp_exponential.summarize(rows)
+    bench_report_lines.append("Figure 5 — LP baseline on oscillator networks")
+    bench_report_lines.append(format_table(rows))
+    bench_report_lines.append(f"summary: {summary}")
+    # Exponential shape: every additional oscillator (a fixed additive size
+    # increase) multiplies the running time by a large, roughly constant
+    # factor — a polynomial would show decreasing ratios approaching 1.
+    ratios = summary["time_ratios"]
+    assert len(ratios) >= 2
+    assert min(ratios) > 1.5
+    assert ratios[-1] > 1.5

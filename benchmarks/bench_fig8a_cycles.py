@@ -1,0 +1,79 @@
+"""Figure 8a: many-cycle synthetic network — Resolution Algorithm vs. LP baseline.
+
+The Resolution Algorithm is timed on oscillator networks up to tens of
+thousands of size units; the logic-program baseline only on the sizes it can
+handle.  The shape checks assert the paper's result: the Resolution Algorithm
+scales quasi-linearly while the baseline blows up, so the algorithm wins by
+orders of magnitude well before the baseline's practical limit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_sweep
+from repro.core.resolution import resolve
+from repro.experiments import fig8a_cycles
+from repro.experiments.runner import format_table, log_log_slope
+from repro.logicprog.solver import solve_network
+from repro.workloads.oscillators import clusters_for_size, oscillator_network
+
+RA_SIZES = (80, 400, 2_000, 10_000, 40_000) if not full_sweep() else (
+    80,
+    400,
+    2_000,
+    10_000,
+    50_000,
+    100_000,
+    200_000,
+)
+LP_CLUSTERS = (1, 2, 3) if not full_sweep() else (1, 2, 3, 4, 5)
+
+
+@pytest.mark.parametrize("size", RA_SIZES)
+def test_fig8a_resolution_algorithm(benchmark, size):
+    network = oscillator_network(clusters_for_size(size))
+    benchmark.extra_info["figure"] = "8a"
+    benchmark.extra_info["network_size"] = network.size
+    result = benchmark.pedantic(lambda: resolve(network), rounds=1, iterations=1)
+    assert result.possible_values("c0.x1") == frozenset({"v", "w"})
+
+
+@pytest.mark.parametrize("clusters", LP_CLUSTERS)
+def test_fig8a_lp_baseline(benchmark, clusters):
+    network = oscillator_network(clusters)
+    benchmark.extra_info["figure"] = "8a"
+    benchmark.extra_info["network_size"] = network.size
+    benchmark.pedantic(
+        lambda: solve_network(network, semantics="brave"), rounds=1, iterations=1
+    )
+
+
+def test_fig8a_shape_ra_quasi_linear_lp_exponential(benchmark, bench_report_lines):
+    rows = benchmark.pedantic(
+        lambda: fig8a_cycles.run(
+            ra_sizes=RA_SIZES, lp_max_clusters=max(LP_CLUSTERS), repeats=1
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig8a_cycles.summarize(rows)
+    bench_report_lines.append("Figure 8a — many independent cycles, one object")
+    bench_report_lines.append(format_table(rows))
+    bench_report_lines.append(f"summary: {summary}")
+
+    # Shape 1: the Resolution Algorithm is quasi-linear (log-log slope ~1).
+    assert summary["ra_quasi_linear"], summary
+
+    # Shape 2: the algorithm handles networks orders of magnitude larger than
+    # the largest network the LP baseline was able to process.
+    assert summary["largest_ra_size"] >= 10 * summary["largest_lp_size"]
+
+    # Shape 3: where both were measured, the LP baseline is already slower.
+    overlapping = [
+        row
+        for row in rows
+        if row.get("lp_seconds") and row.get("ra_seconds")
+    ]
+    for row in overlapping:
+        assert row["lp_seconds"] > row["ra_seconds"]

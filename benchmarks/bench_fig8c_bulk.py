@@ -1,0 +1,65 @@
+"""Figure 8c: bulk inserts — resolution time vs. number of objects.
+
+The fixed 7-user / 12-mapping network of Figure 19 is resolved over a growing
+number of objects through the SQL bulk path.  The shape checks assert the
+paper's result: the bulk running time is linear in the number of objects and
+independent of the number of conflicting objects, while per-object baselines
+fall behind quickly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import full_sweep
+from repro.bulk.executor import BulkResolver
+from repro.experiments import fig8c_bulk
+from repro.experiments.runner import format_table, log_log_slope
+from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
+
+OBJECT_COUNTS = (100, 1_000, 10_000) if not full_sweep() else (100, 1_000, 10_000, 100_000)
+
+
+def run_bulk(n_objects: int, conflict_probability: float = 0.5) -> float:
+    network = figure19_network()
+    resolver = BulkResolver(network, explicit_users=BELIEF_USERS)
+    resolver.load_beliefs(
+        generate_objects(n_objects, conflict_probability=conflict_probability, seed=11)
+    )
+    report = resolver.run()
+    resolver.store.close()
+    return report.elapsed_seconds
+
+
+@pytest.mark.parametrize("n_objects", OBJECT_COUNTS)
+def test_fig8c_bulk_sql_resolution(benchmark, n_objects):
+    benchmark.extra_info["figure"] = "8c"
+    benchmark.extra_info["objects"] = n_objects
+    benchmark.pedantic(lambda: run_bulk(n_objects), rounds=1, iterations=1)
+
+
+def test_fig8c_shape_linear_in_objects(benchmark, bench_report_lines):
+    rows = benchmark.pedantic(
+        lambda: fig8c_bulk.run(
+            object_counts=OBJECT_COUNTS, lp_max_objects=10, ra_max_objects=1_000
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    summary = fig8c_bulk.summarize(rows)
+    bench_report_lines.append("Figure 8c — bulk inserts over the Figure 19 network")
+    bench_report_lines.append(format_table(rows))
+    bench_report_lines.append(f"summary: {summary}")
+    assert summary["bulk_linear_in_objects"], summary
+
+
+def test_fig8c_bulk_time_independent_of_conflicts(benchmark):
+    """The paper: bulk resolution time does not depend on how many objects conflict."""
+    n_objects = OBJECT_COUNTS[1]
+    no_conflicts = benchmark.pedantic(
+        lambda: run_bulk(n_objects, conflict_probability=0.0), rounds=1, iterations=1
+    )
+    all_conflicts = run_bulk(n_objects, conflict_probability=1.0)
+    none_conflicts = run_bulk(n_objects, conflict_probability=0.0)
+    # Within a factor of three of each other (noise allowance on small runs).
+    assert all_conflicts < 3 * max(none_conflicts, 1e-4)

@@ -1,0 +1,30 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark module regenerates one table or figure of the paper.  The
+sweeps are sized so that the whole suite finishes in a few minutes on a
+laptop while still exhibiting the shapes the paper reports (linear vs.
+exponential growth, crossovers, quadratic worst case).  Set the environment
+variable ``REPRO_BENCH_FULL=1`` to run the larger sweeps.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False")
+
+
+def full_sweep() -> bool:
+    """Whether the large (paper-scale) parameterizations were requested."""
+    return FULL
+
+
+@pytest.fixture(scope="session")
+def bench_report_lines():
+    """Collect human-readable result rows and print them at the end of the run."""
+    lines: list[str] = []
+    yield lines
+    if lines:
+        print("\n" + "\n".join(lines))

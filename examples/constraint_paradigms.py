@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Constraints as negative beliefs: the three paradigms (Section 3, Figure 6).
+
+A curation workflow for carbon-dating measurements: one lab publishes a
+value, another lab publishes a range constraint ("the value cannot be X"),
+and downstream curators import both through prioritized trust.  The example
+builds the paper's Figure 6 network and resolves it under the Agnostic,
+Eclectic and Skeptic paradigms, showing where they differ — and why the paper
+recommends Skeptic (it is the one that stays tractable on cyclic networks).
+
+Run with ``python examples/constraint_paradigms.py``.
+"""
+
+from __future__ import annotations
+
+from repro import BeliefSet, Paradigm, TrustNetwork, resolve_with_constraints
+from repro.core.skeptic import resolve_skeptic
+
+
+def figure6_network() -> TrustNetwork:
+    """The example binary trust network of Figure 6a.
+
+    Explicit beliefs: x1 = {b-} (a constraint), x2 = {a+}, x4 = {a-},
+    x6 = {b+}, x8 = {c+}.  The preferred-parent chain is the one discussed in
+    Section 3.1: x3 prefers x2, x5 prefers x4 (the constraint that makes it
+    reject a+), x7 prefers x5 and x9 prefers x7.
+    """
+    network = TrustNetwork()
+    network.set_explicit_belief("x1", BeliefSet.from_negatives(["b"]))
+    network.set_explicit_belief("x2", "a")
+    network.set_explicit_belief("x4", BeliefSet.from_negatives(["a"]))
+    network.set_explicit_belief("x6", "b")
+    network.set_explicit_belief("x8", "c")
+
+    network.add_trust("x3", "x2", priority=2)   # preferred
+    network.add_trust("x3", "x1", priority=1)
+    network.add_trust("x5", "x4", priority=2)   # preferred (the constraint wins)
+    network.add_trust("x5", "x3", priority=1)
+    network.add_trust("x7", "x5", priority=2)   # preferred
+    network.add_trust("x7", "x6", priority=1)
+    network.add_trust("x9", "x7", priority=2)   # preferred
+    network.add_trust("x9", "x8", priority=1)
+    return network
+
+
+def show_paradigm(paradigm: Paradigm) -> None:
+    network = figure6_network()
+    resolution = resolve_with_constraints(network, paradigm)
+    print(f"\n{paradigm.value.capitalize()} paradigm:")
+    for user in [f"x{i}" for i in range(1, 10)]:
+        beliefs = resolution.belief_set(user)
+        positive = resolution.certain_positive_value(user)
+        print(f"  {user}: beliefs = {beliefs}   positive value = {positive!r}")
+
+
+def skeptic_on_a_cycle() -> None:
+    """Constraints on a cyclic network: only Skeptic stays polynomial."""
+    print("\nSkeptic resolution of a cyclic network (Algorithm 2):")
+    network = TrustNetwork()
+    # Two curators trust each other above everything else; one external lab
+    # publishes a value, another publishes a constraint rejecting it.
+    network.add_trust("curator1", "curator2", priority=2)
+    network.add_trust("curator1", "lab_value", priority=1)
+    network.add_trust("curator2", "curator1", priority=2)
+    network.add_trust("curator2", "lab_filter", priority=1)
+    network.set_explicit_belief("lab_value", "1250 BC")
+    network.set_explicit_belief("lab_filter", BeliefSet.from_negatives(["900 BC"]))
+
+    result = resolve_skeptic(network)
+    for user in ("curator1", "curator2"):
+        print(
+            f"  {user}: possible positive values = "
+            f"{sorted(map(str, result.possible_positive_values(user)))}"
+        )
+
+    try:
+        resolve_with_constraints(network, Paradigm.ECLECTIC)
+    except Exception as exc:  # ParadigmError: NP-hard case refused
+        print(f"  Eclectic on the same cyclic network is refused: {exc}")
+
+
+def main() -> None:
+    print("Figure 6 — one network, three constraint-handling paradigms")
+    for paradigm in (Paradigm.AGNOSTIC, Paradigm.ECLECTIC, Paradigm.SKEPTIC):
+        show_paradigm(paradigm)
+    skeptic_on_a_cycle()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+#!/usr/bin/env python
+"""Print the systems-comparison table of Figure 3 (documentation, not a measurement)."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_feature_table
+
+
+def main() -> None:
+    print("Figure 3 — systems that model conflicts or data sharing for a community of users")
+    print(render_feature_table())
+
+
+if __name__ == "__main__":
+    main()

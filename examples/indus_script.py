@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""The Indus-script running example (Figures 1 and 2 of the paper).
+
+Three archaeologists assert conflicting origins for three glyphs; applying
+Alice's trust mappings produces her consistent snapshot (Figure 1b).  The
+same data is then resolved in bulk through the SQL path to show that both
+routes agree.
+
+Run with ``python examples/indus_script.py``.
+"""
+
+from __future__ import annotations
+
+from repro import binarize, resolve
+from repro.bulk import BulkResolver
+from repro.core.network import TrustNetwork
+from repro.workloads.indus import (
+    ALICE_SNAPSHOT,
+    GLYPH_BELIEFS,
+    TRUST_MAPPINGS,
+    all_glyph_networks,
+    belief_rows,
+)
+
+
+def per_object_resolution() -> None:
+    print("Figure 1a — explicit beliefs per glyph:")
+    for glyph, beliefs in GLYPH_BELIEFS.items():
+        print(f"  {glyph:>12}: {beliefs}")
+
+    print("\nFigure 1b — Alice's snapshot after applying her trust mappings:")
+    for glyph, network in all_glyph_networks().items():
+        result = resolve(binarize(network).btn)
+        value = result.certain_value("Alice")
+        expected = ALICE_SNAPSHOT[glyph]
+        marker = "ok" if value == expected else f"MISMATCH (expected {expected})"
+        print(f"  {glyph:>12}: {value}   [{marker}]")
+        assert value == expected
+
+
+def bulk_resolution() -> None:
+    print("\nBulk resolution of the same data through SQL (Section 4):")
+    # Bulk processing requires that belief users have beliefs for every
+    # object, which holds for Bob and Charlie (Alice's single explicit belief
+    # for the ship glyph is added per object above instead).
+    network = TrustNetwork(mappings=TRUST_MAPPINGS)
+    resolver = BulkResolver(network, explicit_users=("Bob", "Charlie"))
+    resolver.load_beliefs(belief_rows())
+    report = resolver.run()
+    print(
+        f"  executed {report.statements} SQL statements for {report.objects} glyphs "
+        f"({report.rows_inserted} rows inserted)"
+    )
+    for glyph in GLYPH_BELIEFS:
+        values = sorted(resolver.possible_values("Alice", glyph))
+        print(f"  Alice / {glyph:>12}: possible values {values}")
+
+
+def main() -> None:
+    per_object_resolution()
+    bulk_resolution()
+
+
+if __name__ == "__main__":
+    main()

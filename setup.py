@@ -1,0 +1,10 @@
+"""Setuptools shim for legacy editable installs (offline environments).
+
+The project is fully described by ``pyproject.toml``; this file only exists
+so that ``pip install -e . --no-use-pep517`` works on machines without the
+``wheel`` package or network access to build backends.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,83 @@
+"""Reproduction of *Data Conflict Resolution Using Trust Mappings*.
+
+Gatterbauer & Suciu, SIGMOD 2010.  The package implements the paper's
+conflict-resolution model end to end:
+
+* ``repro.core`` — trust networks, stable solutions, Algorithm 1 (quadratic
+  resolution), Algorithm 2 (Skeptic resolution with constraints),
+  binarization, lineage, possible pairs and the hardness gadgets.
+* ``repro.logicprog`` — a Datalog-with-negation substrate with stable-model
+  semantics, used as the paper's DLV baseline.
+* ``repro.bulk`` — SQL-based bulk resolution over many objects (sqlite3).
+* ``repro.baselines`` — the Orchestra-style FIFO update-propagation baseline.
+* ``repro.workloads`` — generators for every workload used in the evaluation.
+* ``repro.experiments`` — drivers that regenerate the paper's figures.
+
+Quickstart::
+
+    from repro import TrustNetwork, binarize, resolve
+
+    tn = TrustNetwork()
+    tn.add_trust("alice", "bob", priority=100)
+    tn.add_trust("alice", "charlie", priority=50)
+    tn.add_trust("bob", "alice", priority=80)
+    tn.set_explicit_belief("bob", "fish")
+    tn.set_explicit_belief("charlie", "knot")
+    result = resolve(binarize(tn).btn)
+    assert result.certain_value("alice") == "fish"
+"""
+
+from repro.core import (
+    BOTTOM,
+    Belief,
+    BeliefSet,
+    BinarizationResult,
+    BinaryTrustNetwork,
+    ConstrainedResolution,
+    LineageStep,
+    Paradigm,
+    ReproError,
+    ResolutionResult,
+    SkepticRepresentation,
+    SkepticResult,
+    TrustMapping,
+    TrustNetwork,
+    agreement_pairs,
+    binarize,
+    certain_snapshot,
+    consensus_values,
+    possible_pairs,
+    resolve,
+    resolve_acyclic,
+    resolve_skeptic,
+    resolve_with_constraints,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BOTTOM",
+    "Belief",
+    "BeliefSet",
+    "BinarizationResult",
+    "BinaryTrustNetwork",
+    "ConstrainedResolution",
+    "LineageStep",
+    "Paradigm",
+    "ReproError",
+    "ResolutionResult",
+    "SkepticRepresentation",
+    "SkepticResult",
+    "TrustMapping",
+    "TrustNetwork",
+    "agreement_pairs",
+    "binarize",
+    "certain_snapshot",
+    "consensus_values",
+    "possible_pairs",
+    "resolve",
+    "resolve_acyclic",
+    "resolve_skeptic",
+    "resolve_with_constraints",
+    "__version__",
+]

@@ -1,0 +1,17 @@
+"""Baselines the paper contrasts against (FIFO update propagation)."""
+
+from repro.baselines.fifo import (
+    FifoReconciler,
+    FifoState,
+    Update,
+    UpdateKind,
+    order_dependence_witness,
+)
+
+__all__ = [
+    "FifoReconciler",
+    "FifoState",
+    "Update",
+    "UpdateKind",
+    "order_dependence_witness",
+]

@@ -1,0 +1,161 @@
+"""Orchestra-style FIFO update propagation (the baseline of Example 1.2).
+
+Prior systems — the paper singles out Orchestra's update exchange — process
+updates one at a time in the order they are published.  When a user inserts
+a value, it is pushed along the trust mappings; a receiving user accepts it
+only if she does not already hold a value for the object.  The consequence,
+demonstrated in Example 1.2 and reproduced here, is that
+
+* the resulting snapshot depends on the order in which updates arrive, and
+* updates or revocations of an already-propagated value are not reflected at
+  the users who imported it.
+
+The class is intentionally simple: it is the *negative* baseline that the
+stable-solution semantics is contrasted with, not a faithful re-implementation
+of any particular system.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.beliefs import Value
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork, User
+
+
+class UpdateKind(enum.Enum):
+    """The update operations supported by the FIFO baseline."""
+
+    INSERT = "insert"
+    UPDATE = "update"
+    REVOKE = "revoke"
+
+
+@dataclass(frozen=True)
+class Update:
+    """One published update: a user inserts, changes or revokes a value."""
+
+    user: User
+    kind: UpdateKind
+    key: object = None
+    value: Optional[Value] = None
+
+    @staticmethod
+    def insert(user: User, value: Value, key: object = None) -> "Update":
+        return Update(user=user, kind=UpdateKind.INSERT, key=key, value=value)
+
+    @staticmethod
+    def change(user: User, value: Value, key: object = None) -> "Update":
+        return Update(user=user, kind=UpdateKind.UPDATE, key=key, value=value)
+
+    @staticmethod
+    def revoke(user: User, key: object = None) -> "Update":
+        return Update(user=user, kind=UpdateKind.REVOKE, key=key)
+
+
+@dataclass
+class FifoState:
+    """The per-user state after a sequence of updates: value and timestamp."""
+
+    values: Dict[Tuple[object, User], Value] = field(default_factory=dict)
+    timestamps: Dict[Tuple[object, User], int] = field(default_factory=dict)
+
+    def value_of(self, user: User, key: object = None) -> Optional[Value]:
+        return self.values.get((key, user))
+
+    def snapshot(self, key: object = None) -> Dict[User, Value]:
+        return {
+            user: value for (k, user), value in self.values.items() if k == key
+        }
+
+
+class FifoReconciler:
+    """Process updates first-in first-out and propagate along trust mappings.
+
+    Propagation rule (Example 1.2): the published value travels to every user
+    that (transitively) trusts the publisher, but a user accepts it only if
+    she currently holds *no* value for that object.  Priorities are consulted
+    only when two values arrive within the same propagation wave.
+    """
+
+    def __init__(self, network: TrustNetwork) -> None:
+        self.network = network
+        self.state = FifoState()
+        self._clock = itertools.count(1)
+
+    def apply(self, update: Update) -> FifoState:
+        """Apply one update and propagate it."""
+        now = next(self._clock)
+        key = update.key
+        slot = (key, update.user)
+        if update.kind is UpdateKind.REVOKE:
+            self.state.values.pop(slot, None)
+            self.state.timestamps.pop(slot, None)
+            return self.state
+        if update.value is None:
+            raise NetworkError("insert/update requires a value")
+        self.state.values[slot] = update.value
+        self.state.timestamps[slot] = now
+        self._propagate(update.user, update.value, key, now)
+        return self.state
+
+    def apply_all(self, updates: Iterable[Update]) -> FifoState:
+        """Apply a whole update sequence in order."""
+        for update in updates:
+            self.apply(update)
+        return self.state
+
+    def _propagate(self, source: User, value: Value, key: object, now: int) -> None:
+        """Breadth-first push of the value to users without a value."""
+        frontier: List[User] = [source]
+        visited: Set[User] = {source}
+        while frontier:
+            next_frontier: List[User] = []
+            for publisher in frontier:
+                for mapping in self.network.outgoing(publisher):
+                    consumer = mapping.child
+                    if consumer in visited:
+                        continue
+                    visited.add(consumer)
+                    slot = (key, consumer)
+                    if slot in self.state.values:
+                        # The consumer already acquired a value at an earlier
+                        # timestamp; FIFO propagation stops here (this is the
+                        # anomaly of Example 1.2).
+                        continue
+                    self.state.values[slot] = value
+                    self.state.timestamps[slot] = now
+                    next_frontier.append(consumer)
+            frontier = next_frontier
+
+    def snapshot(self, key: object = None) -> Dict[User, Value]:
+        """The current belief of every user for one object."""
+        return self.state.snapshot(key)
+
+
+def order_dependence_witness(
+    network: TrustNetwork,
+    updates: Sequence[Update],
+    focus_user: User,
+    key: object = None,
+) -> Optional[Tuple[Tuple[Update, ...], Tuple[Update, ...]]]:
+    """Find two orderings of ``updates`` that give ``focus_user`` different values.
+
+    Returns a pair of orderings witnessing order dependence, or ``None`` if
+    every permutation yields the same value (which is what the stable-solution
+    semantics guarantees by construction).
+    """
+    outcomes: Dict[Optional[Value], Tuple[Update, ...]] = {}
+    for permutation in itertools.permutations(updates):
+        reconciler = FifoReconciler(network)
+        reconciler.apply_all(permutation)
+        value = reconciler.state.value_of(focus_user, key)
+        outcomes.setdefault(value, tuple(permutation))
+        if len(outcomes) > 1:
+            orderings = list(outcomes.values())
+            return orderings[0], orderings[1]
+    return None

@@ -1,0 +1,25 @@
+"""Bulk conflict resolution over many objects via SQL (Section 4)."""
+
+from repro.bulk.executor import BulkResolver, BulkRunReport, SkepticBulkResolver
+from repro.bulk.planner import (
+    CopyStep,
+    FloodStep,
+    ResolutionPlan,
+    plan_resolution,
+    plan_skeptic_resolution,
+)
+from repro.bulk.store import BOTTOM_VALUE, PossRow, PossStore
+
+__all__ = [
+    "BOTTOM_VALUE",
+    "BulkResolver",
+    "BulkRunReport",
+    "CopyStep",
+    "FloodStep",
+    "PossRow",
+    "PossStore",
+    "ResolutionPlan",
+    "SkepticBulkResolver",
+    "plan_resolution",
+    "plan_skeptic_resolution",
+]

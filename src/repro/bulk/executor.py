@@ -1,0 +1,183 @@
+"""Execution of bulk resolution plans against the ``POSS`` store (Section 4).
+
+The executor replays a :class:`~repro.bulk.planner.ResolutionPlan` as SQL
+statements: a :class:`~repro.bulk.planner.CopyStep` becomes one
+``INSERT … SELECT`` and a :class:`~repro.bulk.planner.FloodStep` becomes one
+``INSERT … SELECT DISTINCT`` per component member.  The number of statements
+is therefore linear in the size of the network and — crucially for
+Figure 8c — independent of the number of objects and of the number of
+conflicts among them.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+
+from repro.core.beliefs import Value
+from repro.core.binarize import binarize
+from repro.core.errors import BulkProcessingError
+from repro.core.network import TrustNetwork, User
+from repro.bulk.planner import (
+    CopyStep,
+    FloodStep,
+    ResolutionPlan,
+    plan_resolution,
+    plan_skeptic_resolution,
+)
+from repro.bulk.store import BOTTOM_VALUE, PossStore
+
+
+@dataclass
+class BulkRunReport:
+    """Instrumentation of one bulk resolution run."""
+
+    objects: int
+    statements: int
+    rows_inserted: int
+    elapsed_seconds: float
+    conflicts: int
+
+
+class BulkResolver:
+    """Resolve many objects at once through SQL bulk statements.
+
+    Typical use::
+
+        resolver = BulkResolver(network)
+        resolver.load_beliefs(beliefs)          # (user, key, value) triples
+        report = resolver.run()
+        resolver.store.possible_values("x1", "k0")
+    """
+
+    def __init__(
+        self,
+        network: TrustNetwork,
+        store: Optional[PossStore] = None,
+        explicit_users: Optional[Sequence[User]] = None,
+    ) -> None:
+        self.network = network
+        self.store = store or PossStore()
+        # Algorithm 1 (and hence the plan) is defined on binary networks; the
+        # bulk resolver binarizes transparently so that callers can hand it
+        # the network exactly as drawn in the paper (Figure 19 is not binary).
+        planning_network = network
+        if not network.is_binary():
+            planning_network = binarize(network).btn
+        self._planning_network = planning_network
+        self.plan: ResolutionPlan = plan_resolution(planning_network, explicit_users)
+        self._loaded_objects: set = set()
+
+    def load_beliefs(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
+        """Load explicit beliefs; verifies bulk assumptions (i) and (ii)."""
+        rows = list(rows)
+        by_user: Dict[str, set] = {}
+        for user, key, _value in rows:
+            by_user.setdefault(str(user), set()).add(str(key))
+            self._loaded_objects.add(str(key))
+        expected = {str(user) for user in self.plan.explicit_users}
+        if expected and set(by_user) - expected:
+            raise BulkProcessingError(
+                "beliefs supplied for users outside the planned explicit set: "
+                f"{sorted(set(by_user) - expected)}"
+            )
+        for user, keys in by_user.items():
+            if keys != self._loaded_objects:
+                raise BulkProcessingError(
+                    f"bulk assumption (ii) violated: user {user} lacks beliefs for "
+                    f"{len(self._loaded_objects - keys)} objects"
+                )
+        return self.store.insert_explicit_beliefs(rows)
+
+    def run(self) -> BulkRunReport:
+        """Execute the plan and return instrumentation."""
+        started = time.perf_counter()
+        statements = 0
+        rows = 0
+        for step in self.plan.steps:
+            if isinstance(step, CopyStep):
+                rows += self.store.copy_from_parent(step.child, step.parent)
+                statements += 1
+            elif isinstance(step, FloodStep):
+                rows += self.store.flood_component(step.members, step.parents)
+                statements += len(step.members)
+            else:  # pragma: no cover - plans only contain the two step types
+                raise BulkProcessingError(f"unknown plan step {step!r}")
+        elapsed = time.perf_counter() - started
+        return BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=statements,
+            rows_inserted=rows,
+            elapsed_seconds=elapsed,
+            conflicts=self.store.conflict_count(),
+        )
+
+    def possible_values(self, user: User, key: object) -> FrozenSet[str]:
+        """Possible values of a user for one object after :meth:`run`."""
+        return self.store.possible_values(user, key)
+
+    def certain_values(self, user: User, key: object) -> FrozenSet[str]:
+        """Certain values of a user for one object after :meth:`run`."""
+        return self.store.certain_values(user, key)
+
+
+class SkepticBulkResolver:
+    """Bulk resolution under the Skeptic paradigm (Appendix B.10, last remark).
+
+    Negative constraints are properties of the network (the same filter
+    applies to every object); positive beliefs vary per object and live in
+    the store.  Values blocked by a member's forced constraints are replaced
+    by the ⊥ sentinel, matching Algorithm 2's use of ⊥ during flooding.
+    """
+
+    def __init__(
+        self,
+        network: TrustNetwork,
+        positive_users: Sequence[User],
+        negative_constraints: Mapping[User, Sequence[Value]],
+        store: Optional[PossStore] = None,
+    ) -> None:
+        self.network = network
+        self.store = store or PossStore()
+        self.plan = plan_skeptic_resolution(
+            network, positive_users, dict(negative_constraints)
+        )
+        self._loaded_objects: set = set()
+
+    def load_beliefs(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
+        rows = list(rows)
+        for _user, key, _value in rows:
+            self._loaded_objects.add(str(key))
+        return self.store.insert_explicit_beliefs(rows)
+
+    def run(self) -> BulkRunReport:
+        started = time.perf_counter()
+        statements = 0
+        rows = 0
+        for step in self.plan.steps:
+            if isinstance(step, CopyStep):
+                rows += self.store.copy_from_parent(step.child, step.parent)
+                statements += 1
+            elif isinstance(step, FloodStep):
+                rows += self.store.flood_component_skeptic(
+                    step.members, step.parents, step.blocked_map()
+                )
+                statements += len(step.members)
+            else:  # pragma: no cover
+                raise BulkProcessingError(f"unknown plan step {step!r}")
+        elapsed = time.perf_counter() - started
+        return BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=statements,
+            rows_inserted=rows,
+            elapsed_seconds=elapsed,
+            conflicts=self.store.conflict_count(),
+        )
+
+    def possible_values(self, user: User, key: object) -> FrozenSet[str]:
+        return self.store.possible_values(user, key)
+
+    def bottom_value(self) -> str:
+        """The sentinel representing ⊥ in the relation."""
+        return BOTTOM_VALUE

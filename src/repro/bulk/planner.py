@@ -1,0 +1,298 @@
+"""Resolution plans for bulk processing (Section 4, Appendix B.10).
+
+Bulk resolution relies on two assumptions stated in the paper:
+
+(i)  the trust mappings are the same for every object, and
+(ii) a user with an explicit belief for one object has an explicit belief for
+     every object.
+
+Under those assumptions the *sequence of resolution steps* taken by
+Algorithm 1 (and Algorithm 2) depends only on the network topology and on
+*which* users have explicit beliefs — not on the actual values.  The planner
+therefore runs the closed/open bookkeeping once on the network and records
+the steps; the executor then replays each step as a single SQL statement over
+all objects at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.beliefs import Value
+from repro.core.errors import BulkProcessingError
+from repro.core.network import TrustNetwork, User
+
+
+@dataclass(frozen=True)
+class CopyStep:
+    """Step 1 of Algorithm 1: copy all values from a preferred parent."""
+
+    parent: User
+    child: User
+
+
+@dataclass(frozen=True)
+class FloodStep:
+    """Step 2 of Algorithm 1: flood an SCC with its closed parents' values.
+
+    ``blocked`` is only populated by the Skeptic planner: it maps component
+    members to the values their ``prefNeg`` set rejects.
+    """
+
+    members: Tuple[User, ...]
+    parents: Tuple[User, ...]
+    blocked: Tuple[Tuple[User, Tuple[Value, ...]], ...] = ()
+
+    def blocked_map(self) -> Dict[str, Tuple[Value, ...]]:
+        return {str(user): values for user, values in self.blocked}
+
+
+ResolutionStep = object  # CopyStep | FloodStep
+
+
+@dataclass
+class ResolutionPlan:
+    """An ordered list of bulk-resolution steps for a fixed network."""
+
+    network: TrustNetwork
+    explicit_users: FrozenSet[User]
+    steps: List[ResolutionStep] = field(default_factory=list)
+
+    @property
+    def copy_steps(self) -> List[CopyStep]:
+        return [step for step in self.steps if isinstance(step, CopyStep)]
+
+    @property
+    def flood_steps(self) -> List[FloodStep]:
+        return [step for step in self.steps if isinstance(step, FloodStep)]
+
+    def statement_count(self) -> int:
+        """Number of SQL statements the executor will issue."""
+        return len(self.copy_steps) + sum(
+            len(step.members) for step in self.flood_steps
+        )
+
+
+def plan_resolution(
+    network: TrustNetwork, explicit_users: Optional[Sequence[User]] = None
+) -> ResolutionPlan:
+    """Build the Algorithm-1 resolution plan for a network.
+
+    ``explicit_users`` defaults to the users carrying explicit beliefs in the
+    network itself; passing it explicitly supports planning against a
+    template network whose per-object values live only in the store.
+    """
+    users_with_beliefs = _explicit_users(network, explicit_users)
+    plan = ResolutionPlan(network=network, explicit_users=users_with_beliefs)
+
+    reachable = _reachable(network, users_with_beliefs)
+    closed: Set[User] = set(users_with_beliefs)
+    open_nodes: Set[User] = set(reachable) - closed
+    preferred = {
+        user: _preferred_parent(network, reachable, user) for user in reachable
+    }
+
+    while open_nodes:
+        step1 = _next_copy(open_nodes, closed, preferred)
+        if step1 is not None:
+            child, parent = step1
+            plan.steps.append(CopyStep(parent=parent, child=child))
+            closed.add(child)
+            open_nodes.discard(child)
+            continue
+        for members in _minimal_open_sccs(network, reachable, open_nodes):
+            parents = sorted(
+                {
+                    edge.parent
+                    for member in members
+                    for edge in network.incoming(member)
+                    if edge.parent in closed and edge.parent in reachable
+                },
+                key=str,
+            )
+            plan.steps.append(
+                FloodStep(
+                    members=tuple(sorted(members, key=str)), parents=tuple(parents)
+                )
+            )
+            closed.update(members)
+            open_nodes.difference_update(members)
+    return plan
+
+
+def plan_skeptic_resolution(
+    network: TrustNetwork,
+    positive_users: Sequence[User],
+    negative_constraints: Dict[User, Sequence[Value]],
+) -> ResolutionPlan:
+    """Build the Algorithm-2 (Skeptic) plan for bulk resolution.
+
+    ``positive_users`` are the users whose per-object positive values live in
+    the store; ``negative_constraints`` maps users to the constraint (set of
+    rejected values) they apply to *every* object.  Constraints are network
+    properties here, matching bulk assumption (i) that the trust structure —
+    including filters — is shared across objects.
+    """
+    positive = frozenset(positive_users)
+    plan = ResolutionPlan(network=network, explicit_users=positive)
+
+    # prefNeg propagation (phase P of Algorithm 2).
+    pref_neg: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    for user, values in negative_constraints.items():
+        if user in positive:
+            raise BulkProcessingError(
+                f"user {user!r} cannot have both positive beliefs and a constraint"
+            )
+        pref_neg[user].update(values)
+    preferred_all = {user: network.preferred_parent(user) for user in network.users}
+    changed = True
+    while changed:
+        changed = False
+        for user in network.users:
+            parent = preferred_all[user]
+            if parent is None or user in positive:
+                continue
+            missing = pref_neg[parent] - pref_neg[user]
+            if missing:
+                pref_neg[user].update(missing)
+                changed = True
+
+    sources = positive | frozenset(negative_constraints)
+    reachable = _reachable(network, sources)
+    closed: Set[User] = set(positive)
+    open_nodes: Set[User] = set(reachable) - closed
+    # Negative-only users never enter the store: they are closed implicitly
+    # once their (empty) contribution has been accounted for.
+    type2: Set[User] = set(positive)
+    preferred = {
+        user: _preferred_parent(network, reachable, user) for user in reachable
+    }
+
+    while open_nodes:
+        step1 = _next_copy(open_nodes, closed, preferred, type2_only=type2)
+        if step1 is not None:
+            child, parent = step1
+            plan.steps.append(CopyStep(parent=parent, child=child))
+            closed.add(child)
+            type2.add(child)
+            open_nodes.discard(child)
+            continue
+        for members in _minimal_open_sccs(network, reachable, open_nodes):
+            parents = sorted(
+                {
+                    edge.parent
+                    for member in members
+                    for edge in network.incoming(member)
+                    if edge.parent in closed and edge.parent in reachable
+                },
+                key=str,
+            )
+            blocked = tuple(
+                (member, tuple(sorted(pref_neg[member], key=str)))
+                for member in sorted(members, key=str)
+                if pref_neg[member]
+            )
+            plan.steps.append(
+                FloodStep(
+                    members=tuple(sorted(members, key=str)),
+                    parents=tuple(parents),
+                    blocked=blocked,
+                )
+            )
+            closed.update(members)
+            # Members become Type 2 (and therefore valid sources for later
+            # copy steps) only if the component actually receives values from
+            # a Type-2 parent; a component fed solely by negative-only users
+            # stays empty, exactly as in Algorithm 2.
+            if any(parent in type2 for parent in parents):
+                type2.update(members)
+            open_nodes.difference_update(members)
+    return plan
+
+
+# ---------------------------------------------------------------------- #
+# shared helpers                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def _explicit_users(
+    network: TrustNetwork, explicit_users: Optional[Sequence[User]]
+) -> FrozenSet[User]:
+    if explicit_users is not None:
+        users = frozenset(explicit_users)
+        unknown = users - network.users
+        if unknown:
+            raise BulkProcessingError(f"unknown users in explicit set: {sorted(map(str, unknown))}")
+        return users
+    return frozenset(
+        user
+        for user, belief in network.explicit_beliefs.items()
+        if belief.has_positive
+    )
+
+
+def _reachable(network: TrustNetwork, sources) -> Set[User]:
+    reachable: Set[User] = set()
+    stack: List[User] = []
+    for source in sources:
+        if source in network and source not in reachable:
+            reachable.add(source)
+            stack.append(source)
+    while stack:
+        node = stack.pop()
+        for edge in network.outgoing(node):
+            if edge.child not in reachable:
+                reachable.add(edge.child)
+                stack.append(edge.child)
+    return reachable
+
+
+def _preferred_parent(network: TrustNetwork, reachable: Set[User], user: User):
+    edges = [e for e in network.incoming(user) if e.parent in reachable]
+    if not edges:
+        return None
+    if len(edges) == 1:
+        return edges[0].parent
+    ordered = sorted(edges, key=lambda e: e.priority, reverse=True)
+    if ordered[0].priority > ordered[1].priority:
+        return ordered[0].parent
+    return None
+
+
+def _next_copy(
+    open_nodes: Set[User],
+    closed: Set[User],
+    preferred: Dict[User, Optional[User]],
+    type2_only: Optional[Set[User]] = None,
+) -> Optional[Tuple[User, User]]:
+    for node in sorted(open_nodes, key=str):
+        parent = preferred.get(node)
+        if parent is None or parent not in closed:
+            continue
+        if type2_only is not None and parent not in type2_only:
+            continue
+        return node, parent
+    return None
+
+
+def _minimal_open_sccs(
+    network: TrustNetwork, reachable: Set[User], open_nodes: Set[User]
+) -> List[Set[User]]:
+    subgraph = nx.DiGraph()
+    subgraph.add_nodes_from(open_nodes)
+    for node in open_nodes:
+        for edge in network.incoming(node):
+            if edge.parent in open_nodes and edge.parent in reachable:
+                subgraph.add_edge(edge.parent, node)
+    condensation = nx.condensation(subgraph)
+    sources = [
+        set(condensation.nodes[component_id]["members"])
+        for component_id in condensation.nodes
+        if condensation.in_degree(component_id) == 0
+    ]
+    if not sources:
+        raise BulkProcessingError("open subgraph has no minimal SCC")  # pragma: no cover
+    return sources

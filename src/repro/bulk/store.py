@@ -1,0 +1,232 @@
+"""Relational store for bulk conflict resolution (Section 4, Appendix B.10).
+
+The paper stores possible values in a single relation ``POSS(X, K, V)`` —
+user, object key, value — inside a relational engine (Microsoft SQL Server in
+the original experiments) and drives resolution with bulk ``INSERT … SELECT``
+statements.  This module provides that relation on top of :mod:`sqlite3`,
+which ships with CPython and therefore keeps the reproduction dependency-free
+while preserving the set-oriented execution the experiment measures.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.beliefs import Value
+from repro.core.errors import BulkProcessingError
+from repro.core.network import User
+
+#: Reserved value representing ⊥ in the Skeptic bulk variant.
+BOTTOM_VALUE = "__BOTTOM__"
+
+
+@dataclass(frozen=True)
+class PossRow:
+    """One row of the ``POSS`` relation."""
+
+    user: str
+    key: str
+    value: str
+
+
+class PossStore:
+    """The ``POSS(X, K, V)`` relation backed by an sqlite3 database.
+
+    Parameters
+    ----------
+    path:
+        Database path; the default ``":memory:"`` keeps everything in RAM,
+        which is what the benchmarks use.
+    """
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.execute(
+            "CREATE TABLE IF NOT EXISTS POSS (X TEXT NOT NULL, K TEXT NOT NULL, V TEXT NOT NULL)"
+        )
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS POSS_X ON POSS (X)"
+        )
+        self._connection.execute(
+            "CREATE INDEX IF NOT EXISTS POSS_XKV ON POSS (X, K, V)"
+        )
+        self._connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close the underlying connection."""
+        self._connection.close()
+
+    def __enter__(self) -> "PossStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def clear(self) -> None:
+        """Delete every row."""
+        self._connection.execute("DELETE FROM POSS")
+        self._connection.commit()
+
+    # ------------------------------------------------------------------ #
+    # loading                                                              #
+    # ------------------------------------------------------------------ #
+
+    def insert_explicit_beliefs(
+        self, rows: Iterable[Tuple[User, object, Value]]
+    ) -> int:
+        """Bulk-load explicit beliefs as ``(user, key, value)`` triples."""
+        data = [(str(user), str(key), str(value)) for user, key, value in rows]
+        self._connection.executemany("INSERT INTO POSS (X, K, V) VALUES (?, ?, ?)", data)
+        self._connection.commit()
+        return len(data)
+
+    # ------------------------------------------------------------------ #
+    # the two bulk statements of Section 4                                 #
+    # ------------------------------------------------------------------ #
+
+    def copy_from_parent(self, child: User, parent: User) -> int:
+        """Step-1 bulk insert: copy every (key, value) of ``parent`` to ``child``.
+
+        Mirrors::
+
+            insert into POSS
+            select 'x' AS X, t.K, t.V from POSS t where t.X = 'z'
+        """
+        cursor = self._connection.execute(
+            "INSERT INTO POSS (X, K, V) SELECT ?, t.K, t.V FROM POSS t WHERE t.X = ?",
+            (str(child), str(parent)),
+        )
+        self._connection.commit()
+        return cursor.rowcount
+
+    def flood_component(self, members: Sequence[User], parents: Sequence[User]) -> int:
+        """Step-2 bulk insert: flood a component with all parents' values.
+
+        Mirrors, for each member ``xi``::
+
+            insert into POSS
+            select distinct 'xi' AS X, t.K, t.V
+            from POSS t where t.X = 'z1' or ... or t.X = 'zk'
+        """
+        if not parents:
+            return 0
+        placeholders = ",".join("?" for _ in parents)
+        total = 0
+        for member in members:
+            cursor = self._connection.execute(
+                f"INSERT INTO POSS (X, K, V) "
+                f"SELECT DISTINCT ?, t.K, t.V FROM POSS t WHERE t.X IN ({placeholders})",
+                (str(member), *[str(parent) for parent in parents]),
+            )
+            total += cursor.rowcount
+        self._connection.commit()
+        return total
+
+    def flood_component_skeptic(
+        self,
+        members: Sequence[User],
+        parents: Sequence[User],
+        blocked: Dict[str, Sequence[str]],
+    ) -> int:
+        """Skeptic variant of the step-2 insert (Appendix B.10, last remark).
+
+        ``blocked`` maps a member to the values it is forced to reject
+        (its ``prefNeg`` set); for keys whose incoming value is blocked, the
+        ⊥ sentinel is inserted instead of the value.
+        """
+        if not parents:
+            return 0
+        placeholders = ",".join("?" for _ in parents)
+        total = 0
+        for member in members:
+            member_key = str(member)
+            rejected = [str(value) for value in blocked.get(member_key, ())]
+            if rejected:
+                value_placeholders = ",".join("?" for _ in rejected)
+                allowed_sql = (
+                    f"INSERT INTO POSS (X, K, V) "
+                    f"SELECT DISTINCT ?, t.K, t.V FROM POSS t "
+                    f"WHERE t.X IN ({placeholders}) AND t.V NOT IN ({value_placeholders})"
+                )
+                cursor = self._connection.execute(
+                    allowed_sql,
+                    (member_key, *[str(p) for p in parents], *rejected),
+                )
+                total += cursor.rowcount
+                bottom_sql = (
+                    f"INSERT INTO POSS (X, K, V) "
+                    f"SELECT DISTINCT ?, t.K, ? FROM POSS t "
+                    f"WHERE t.X IN ({placeholders}) AND t.V IN ({value_placeholders})"
+                )
+                cursor = self._connection.execute(
+                    bottom_sql,
+                    (member_key, BOTTOM_VALUE, *[str(p) for p in parents], *rejected),
+                )
+                total += cursor.rowcount
+            else:
+                cursor = self._connection.execute(
+                    f"INSERT INTO POSS (X, K, V) "
+                    f"SELECT DISTINCT ?, t.K, t.V FROM POSS t WHERE t.X IN ({placeholders})",
+                    (member_key, *[str(p) for p in parents]),
+                )
+                total += cursor.rowcount
+        self._connection.commit()
+        return total
+
+    # ------------------------------------------------------------------ #
+    # queries                                                              #
+    # ------------------------------------------------------------------ #
+
+    def possible_values(self, user: User, key: object) -> FrozenSet[str]:
+        """Possible values of one user for one object."""
+        cursor = self._connection.execute(
+            "SELECT DISTINCT V FROM POSS WHERE X = ? AND K = ?",
+            (str(user), str(key)),
+        )
+        return frozenset(row[0] for row in cursor.fetchall())
+
+    def certain_values(self, user: User, key: object) -> FrozenSet[str]:
+        """Certain value of one user for one object (singleton or empty)."""
+        values = self.possible_values(user, key)
+        return values if len(values) == 1 else frozenset()
+
+    def possible_table(self) -> List[PossRow]:
+        """The full (distinct) content of the relation."""
+        cursor = self._connection.execute("SELECT DISTINCT X, K, V FROM POSS")
+        return [PossRow(*row) for row in cursor.fetchall()]
+
+    def certain_snapshot(self) -> Dict[Tuple[str, str], str]:
+        """The certain value for every (user, key) with exactly one value."""
+        cursor = self._connection.execute(
+            "SELECT X, K, MIN(V) FROM POSS GROUP BY X, K HAVING COUNT(DISTINCT V) = 1"
+        )
+        return {(row[0], row[1]): row[2] for row in cursor.fetchall()}
+
+    def conflict_count(self) -> int:
+        """Number of (user, key) pairs with more than one possible value."""
+        cursor = self._connection.execute(
+            "SELECT COUNT(*) FROM ("
+            "SELECT X, K FROM POSS GROUP BY X, K HAVING COUNT(DISTINCT V) > 1)"
+        )
+        return int(cursor.fetchone()[0])
+
+    def row_count(self) -> int:
+        """Total number of rows currently stored."""
+        cursor = self._connection.execute("SELECT COUNT(*) FROM POSS")
+        return int(cursor.fetchone()[0])
+
+    def users(self) -> FrozenSet[str]:
+        """Users mentioned in the relation."""
+        cursor = self._connection.execute("SELECT DISTINCT X FROM POSS")
+        return frozenset(row[0] for row in cursor.fetchall())
+
+    def keys(self) -> FrozenSet[str]:
+        """Object keys mentioned in the relation."""
+        cursor = self._connection.execute("SELECT DISTINCT K FROM POSS")
+        return frozenset(row[0] for row in cursor.fetchall())

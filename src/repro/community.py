@@ -1,0 +1,200 @@
+"""A small community-database front end over the resolution algorithms.
+
+The paper's motivating workflow (Section 1, Section 2.5) is: users insert,
+update and revoke explicit beliefs about many objects over time; trust
+mappings are declared once; after every change the system can recompute a
+*consistent* snapshot because the semantics is order-invariant.  The
+:class:`CommunityDatabase` class packages that workflow:
+
+* it stores one set of trust mappings and, per object, the explicit beliefs
+  of each user;
+* ``insert`` / ``update`` / ``revoke`` mutate the explicit beliefs (there is
+  no hidden propagation state — unlike the FIFO baseline, the result never
+  depends on the order of the calls);
+* ``snapshot(object)`` and ``possible_values(object, user)`` re-resolve the
+  object's trust network on demand (with binarization when needed) and are
+  cached until the next mutation;
+* ``resolve_all()`` resolves every object through the SQL bulk path when the
+  bulk assumptions hold, and falls back to per-object resolution otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Tuple
+
+from repro.bulk.executor import BulkResolver
+from repro.core.beliefs import BeliefSet, Value
+from repro.core.binarize import binarize
+from repro.core.errors import NetworkError
+from repro.core.network import TrustMapping, TrustNetwork, User
+from repro.core.resolution import ResolutionResult, resolve
+
+
+@dataclass(frozen=True)
+class ObjectSnapshot:
+    """The resolved state of one object: certain values and open conflicts."""
+
+    key: object
+    certain: Dict[User, Value]
+    conflicts: Dict[User, FrozenSet[Value]]
+
+    def value_for(self, user: User) -> Optional[Value]:
+        """The certain value shown to ``user`` (``None`` while in conflict)."""
+        return self.certain.get(user)
+
+
+class CommunityDatabase:
+    """Explicit beliefs for many objects plus a shared trust-mapping network."""
+
+    def __init__(self, mappings: Iterable[TrustMapping | Tuple[User, int, User]] = ()):
+        self._template = TrustNetwork(mappings=mappings)
+        self._beliefs: Dict[object, Dict[User, Value]] = {}
+        self._cache: Dict[object, ResolutionResult] = {}
+
+    # ------------------------------------------------------------------ #
+    # trust mappings                                                       #
+    # ------------------------------------------------------------------ #
+
+    def add_trust(self, child: User, parent: User, priority: int) -> TrustMapping:
+        """Declare that ``child`` accepts ``parent``'s values with ``priority``."""
+        mapping = self._template.add_trust(child, parent, priority)
+        self._cache.clear()
+        return mapping
+
+    @property
+    def trust_network(self) -> TrustNetwork:
+        """A copy of the shared trust-mapping template (no explicit beliefs)."""
+        return self._template.copy()
+
+    @property
+    def users(self) -> FrozenSet[User]:
+        return self._template.users
+
+    def objects(self) -> FrozenSet[object]:
+        """All object keys with at least one explicit belief."""
+        return frozenset(self._beliefs)
+
+    # ------------------------------------------------------------------ #
+    # updates (order-invariant by construction)                            #
+    # ------------------------------------------------------------------ #
+
+    def insert(self, user: User, key: object, value: Value) -> None:
+        """Insert (or overwrite) the explicit belief of ``user`` for ``key``."""
+        self._template.add_user(user)
+        self._beliefs.setdefault(key, {})[user] = value
+        self._cache.pop(key, None)
+
+    def update(self, user: User, key: object, value: Value) -> None:
+        """Update an explicit belief; identical to :meth:`insert` on purpose."""
+        self.insert(user, key, value)
+
+    def revoke(self, user: User, key: object) -> None:
+        """Revoke the explicit belief of ``user`` for ``key`` (no-op if absent)."""
+        beliefs = self._beliefs.get(key)
+        if beliefs is None:
+            return
+        beliefs.pop(user, None)
+        if not beliefs:
+            self._beliefs.pop(key, None)
+        self._cache.pop(key, None)
+
+    def explicit_beliefs(self, key: object) -> Dict[User, Value]:
+        """The raw explicit beliefs currently stored for ``key``."""
+        return dict(self._beliefs.get(key, {}))
+
+    # ------------------------------------------------------------------ #
+    # resolution                                                           #
+    # ------------------------------------------------------------------ #
+
+    def network_for(self, key: object) -> TrustNetwork:
+        """The per-object trust network (template plus the object's beliefs)."""
+        network = self._template.copy()
+        for user, value in self._beliefs.get(key, {}).items():
+            network.set_explicit_belief(user, value)
+        return network
+
+    def _resolve(self, key: object) -> ResolutionResult:
+        if key not in self._cache:
+            network = self.network_for(key)
+            if not network.is_binary():
+                network = binarize(network).btn
+            self._cache[key] = resolve(network)
+        return self._cache[key]
+
+    def possible_values(self, key: object, user: User) -> FrozenSet[Value]:
+        """Possible values of ``user`` for object ``key``."""
+        return self._resolve(key).possible_values(user)
+
+    def certain_value(self, key: object, user: User) -> Optional[Value]:
+        """The certain value of ``user`` for object ``key``, if any."""
+        return self._resolve(key).certain_value(user)
+
+    def snapshot(self, key: object) -> ObjectSnapshot:
+        """The consistent snapshot of one object for all users."""
+        result = self._resolve(key)
+        certain: Dict[User, Value] = {}
+        conflicts: Dict[User, FrozenSet[Value]] = {}
+        for user in self._template.users:
+            values = result.possible_values(user)
+            if len(values) == 1:
+                (value,) = values
+                certain[user] = value
+            elif len(values) > 1:
+                conflicts[user] = values
+        return ObjectSnapshot(key=key, certain=certain, conflicts=conflicts)
+
+    def lineage(self, key: object, user: User, value: Value):
+        """Lineage of a possible value (see :meth:`ResolutionResult.trace_lineage`)."""
+        return self._resolve(key).trace_lineage(user, value)
+
+    def conflicting_objects(self) -> FrozenSet[object]:
+        """Objects for which at least one user still sees a conflict."""
+        return frozenset(
+            key for key in self._beliefs if self.snapshot(key).conflicts
+        )
+
+    # ------------------------------------------------------------------ #
+    # bulk path                                                            #
+    # ------------------------------------------------------------------ #
+
+    def bulk_assumptions_hold(self) -> bool:
+        """Check the Section 4 assumptions: every belief user covers every object."""
+        if not self._beliefs:
+            return False
+        users_per_object = [frozenset(beliefs) for beliefs in self._beliefs.values()]
+        return all(users == users_per_object[0] for users in users_per_object)
+
+    def resolve_all(self) -> Dict[Tuple[str, str], FrozenSet[str]]:
+        """Resolve every object and return possible values per (user, key).
+
+        Uses the SQL bulk path when the Section 4 assumptions hold and falls
+        back to per-object resolution otherwise; either way the answers are
+        identical, only the cost differs.
+        """
+        answers: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        if self.bulk_assumptions_hold():
+            belief_users = sorted(
+                {user for beliefs in self._beliefs.values() for user in beliefs},
+                key=str,
+            )
+            resolver = BulkResolver(self._template.copy(), explicit_users=belief_users)
+            rows = [
+                (user, key, value)
+                for key, beliefs in self._beliefs.items()
+                for user, value in beliefs.items()
+            ]
+            resolver.load_beliefs(rows)
+            resolver.run()
+            for key in self._beliefs:
+                for user in self._template.users:
+                    answers[(str(user), str(key))] = resolver.possible_values(user, key)
+            resolver.store.close()
+            return answers
+        for key in self._beliefs:
+            result = self._resolve(key)
+            for user in self._template.users:
+                answers[(str(user), str(key))] = frozenset(
+                    map(str, result.possible_values(user))
+                )
+        return answers

@@ -1,0 +1,76 @@
+"""Core model: trust networks, beliefs, and the paper's resolution algorithms."""
+
+from repro.core.acyclic import resolve_acyclic
+from repro.core.beliefs import BOTTOM, Belief, BeliefSet, Paradigm, Sign, Value
+from repro.core.binarize import BinarizationResult, binarize, clique_binarization_row
+from repro.core.constraints import (
+    ConstrainedResolution,
+    associativity_example,
+    normal_form,
+    preferred_union,
+    resolve_with_constraints,
+)
+from repro.core.errors import (
+    BeliefError,
+    BulkProcessingError,
+    InconsistentBeliefsError,
+    LogicProgramError,
+    NetworkError,
+    NotBinaryError,
+    ParadigmError,
+    ReproError,
+    UnsafeRuleError,
+    WorkloadError,
+)
+from repro.core.network import BinaryTrustNetwork, TrustMapping, TrustNetwork, User
+from repro.core.pairs import (
+    agreement_pairs,
+    consensus_values,
+    possible_pairs,
+    possible_pairs_incremental,
+)
+from repro.core.resolution import LineageStep, ResolutionResult, certain_snapshot, resolve
+from repro.core.skeptic import SkepticRepresentation, SkepticResult, resolve_skeptic
+
+__all__ = [
+    "BOTTOM",
+    "Belief",
+    "BeliefError",
+    "BeliefSet",
+    "BinarizationResult",
+    "BinaryTrustNetwork",
+    "BulkProcessingError",
+    "ConstrainedResolution",
+    "InconsistentBeliefsError",
+    "LineageStep",
+    "LogicProgramError",
+    "NetworkError",
+    "NotBinaryError",
+    "Paradigm",
+    "ParadigmError",
+    "ReproError",
+    "ResolutionResult",
+    "Sign",
+    "SkepticRepresentation",
+    "SkepticResult",
+    "TrustMapping",
+    "TrustNetwork",
+    "UnsafeRuleError",
+    "User",
+    "Value",
+    "WorkloadError",
+    "agreement_pairs",
+    "associativity_example",
+    "binarize",
+    "certain_snapshot",
+    "clique_binarization_row",
+    "consensus_values",
+    "normal_form",
+    "possible_pairs",
+    "possible_pairs_incremental",
+    "preferred_union",
+    "resolve",
+    "resolve_acyclic",
+    "resolve_skeptic",
+    "resolve_with_constraints",
+]

@@ -1,0 +1,97 @@
+"""Resolution of acyclic binary trust networks (Proposition 3.6).
+
+When the trust graph is a DAG there is exactly one stable solution under any
+of the three paradigms, and it can be computed in linear time by visiting the
+nodes in topological order and applying the preferred union of Definition 3.3
+at each node.  This module implements that evaluator.  It is used directly by
+applications with acyclic networks, by the hardness-gadget analysis (the
+gadget networks are DAGs below their input oscillators) and as an independent
+oracle in the test suite.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import networkx as nx
+
+from repro.core.beliefs import BeliefSet, Paradigm
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork, User
+
+
+def resolve_acyclic(
+    network: TrustNetwork,
+    paradigm: Paradigm | str = Paradigm.SKEPTIC,
+    fixed: Optional[Mapping[User, BeliefSet]] = None,
+) -> Dict[User, BeliefSet]:
+    """Compute the unique stable solution of an acyclic binary trust network.
+
+    Parameters
+    ----------
+    network:
+        A binary trust network whose graph (ignoring the users in ``fixed``)
+        is acyclic and whose nodes have no tied parents.
+    paradigm:
+        The constraint-handling paradigm (Agnostic, Eclectic or Skeptic).
+    fixed:
+        Optional belief sets to impose on selected users instead of deriving
+        them.  This is how the gadget analysis plugs a chosen oscillator
+        state into the acyclic remainder of a network.
+
+    Returns
+    -------
+    dict
+        The belief set ``B(x)`` of every user in the unique stable solution.
+    """
+    paradigm = Paradigm.coerce(paradigm)
+    fixed = dict(fixed or {})
+
+    graph = network.to_digraph()
+    free_nodes = [user for user in graph.nodes if user not in fixed]
+    subgraph = graph.subgraph(free_nodes)
+    if not nx.is_directed_acyclic_graph(subgraph):
+        raise NetworkError(
+            "resolve_acyclic requires the (non-fixed part of the) network to be a DAG"
+        )
+    _reject_ties(network)
+
+    assignment: Dict[User, BeliefSet] = dict(fixed)
+    for user in nx.topological_sort(subgraph):
+        assignment[user] = _evaluate_node(network, assignment, user, paradigm)
+    return assignment
+
+
+def _evaluate_node(
+    network: TrustNetwork,
+    assignment: Dict[User, BeliefSet],
+    user: User,
+    paradigm: Paradigm,
+) -> BeliefSet:
+    """Apply Definition 3.3 condition (1) at one node."""
+    explicit = network.explicit_belief(user) or BeliefSet.empty()
+    incoming = sorted(network.incoming(user), key=lambda e: e.priority)
+    if not incoming:
+        return explicit.normalize(paradigm)
+    if len(incoming) == 1:
+        parent = assignment.get(incoming[0].parent, BeliefSet.empty())
+        return explicit.preferred_union_sigma(parent, paradigm)
+    if len(incoming) > 2:
+        raise NetworkError(
+            f"resolve_acyclic requires a binary network; {user!r} has "
+            f"{len(incoming)} parents"
+        )
+    low, high = incoming
+    preferred = assignment.get(high.parent, BeliefSet.empty())
+    non_preferred = assignment.get(low.parent, BeliefSet.empty())
+    combined = preferred.preferred_union_sigma(non_preferred, paradigm)
+    return explicit.preferred_union_sigma(combined, paradigm)
+
+
+def _reject_ties(network: TrustNetwork) -> None:
+    for user in network.users:
+        priorities = [edge.priority for edge in network.incoming(user)]
+        if len(priorities) != len(set(priorities)):
+            raise NetworkError(
+                f"ties between parents of {user!r} are not allowed with constraints"
+            )

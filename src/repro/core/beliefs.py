@@ -1,0 +1,435 @@
+"""Signed beliefs and belief sets (Section 3 of the paper).
+
+Section 2 of the paper works with plain *positive* values: a user either
+believes a single value ``v`` or has no opinion.  Section 3 generalizes
+beliefs to be signed:
+
+* a **positive belief** ``v+`` states that the value of the object *is* ``v``;
+* a **negative belief** ``v-`` states that the value *is not* ``v``.
+
+Constraints (range predicates, inclusion in a reference database, explicit
+refutations) are modelled as sets of negative beliefs.  The paper uses the
+symbol ⊥ for the set of *all* negative beliefs — an inconsistent constraint
+that rejects every value.  Because the value domain is open (any hashable
+Python object may be a value), ⊥ and the Skeptic normal form
+``{v+} ∪ (⊥ − {v-})`` cannot be materialized as finite sets.
+:class:`BeliefSet` therefore stores its negative part either as a finite set
+of rejected values or as a *co-finite* set ("all values are rejected except
+these"), and all operations (consistency, preferred union, normal forms) are
+closed under that representation.
+
+The module also implements the three constraint-handling paradigms of
+Section 3.1 — Agnostic, Eclectic and Skeptic — as normal forms, and the
+paradigm-specialized preferred union of Equation (1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, Hashable, Iterable, Optional
+
+from repro.core.errors import BeliefError, InconsistentBeliefsError, ParadigmError
+
+Value = Hashable
+"""Type alias for attribute values.  Any hashable object may be a value."""
+
+
+class Sign(enum.Enum):
+    """Polarity of a belief: positive (``v+``) or negative (``v-``)."""
+
+    POSITIVE = "+"
+    NEGATIVE = "-"
+
+
+@dataclass(frozen=True, order=True)
+class Belief:
+    """A single signed belief about the (implicit) object's value.
+
+    ``Belief("cow", Sign.POSITIVE)`` is the paper's ``cow+``;
+    ``Belief("cow", Sign.NEGATIVE)`` is ``cow-``.
+    """
+
+    value: Value
+    sign: Sign = Sign.POSITIVE
+
+    @staticmethod
+    def positive(value: Value) -> "Belief":
+        """Construct the positive belief ``value+``."""
+        return Belief(value, Sign.POSITIVE)
+
+    @staticmethod
+    def negative(value: Value) -> "Belief":
+        """Construct the negative belief ``value-``."""
+        return Belief(value, Sign.NEGATIVE)
+
+    @property
+    def is_positive(self) -> bool:
+        """True iff this is a positive belief ``v+``."""
+        return self.sign is Sign.POSITIVE
+
+    @property
+    def is_negative(self) -> bool:
+        """True iff this is a negative belief ``v-``."""
+        return self.sign is Sign.NEGATIVE
+
+    def conflicts_with(self, other: "Belief") -> bool:
+        """Definition 3.1: two beliefs conflict iff they are distinct positive
+        beliefs, or one is ``v+`` and the other is ``v-`` for the same value."""
+        if self.is_positive and other.is_positive:
+            return self.value != other.value
+        if self.is_positive and other.is_negative:
+            return self.value == other.value
+        if self.is_negative and other.is_positive:
+            return self.value == other.value
+        return False
+
+    def consistent_with(self, other: "Belief") -> bool:
+        """Definition 3.1: ``b1 ↔ b2`` — the negation of :meth:`conflicts_with`."""
+        return not self.conflicts_with(other)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.value}{self.sign.value}"
+
+
+class Paradigm(enum.Enum):
+    """Constraint-handling paradigm of Section 3.1.
+
+    * ``AGNOSTIC`` — once a value is known, all constraints are dropped.
+    * ``ECLECTIC`` — any consistent set of beliefs is kept and propagated.
+    * ``SKEPTIC``  — a positive value carries the maximal constraint that
+      rules out every other value.
+    """
+
+    AGNOSTIC = "agnostic"
+    ECLECTIC = "eclectic"
+    SKEPTIC = "skeptic"
+
+    @classmethod
+    def coerce(cls, value: "Paradigm | str") -> "Paradigm":
+        """Accept either a :class:`Paradigm` or its (case-insensitive) name or
+        one-letter abbreviation (``"A"``, ``"E"``, ``"S"``)."""
+        if isinstance(value, Paradigm):
+            return value
+        if not isinstance(value, str):
+            raise ParadigmError(f"not a paradigm: {value!r}")
+        lowered = value.strip().lower()
+        aliases = {
+            "a": cls.AGNOSTIC,
+            "agnostic": cls.AGNOSTIC,
+            "e": cls.ECLECTIC,
+            "eclectic": cls.ECLECTIC,
+            "s": cls.SKEPTIC,
+            "skeptic": cls.SKEPTIC,
+        }
+        try:
+            return aliases[lowered]
+        except KeyError as exc:
+            raise ParadigmError(f"unknown paradigm: {value!r}") from exc
+
+
+@dataclass(frozen=True)
+class BeliefSet:
+    """A consistent set of signed beliefs with a possibly co-finite negative part.
+
+    The set holds at most one positive value (two distinct positive beliefs
+    are inconsistent by Definition 3.1).  The negative part is either
+
+    * *finite*: ``negatives`` lists the rejected values and
+      ``cofinite_negatives`` is ``False``; or
+    * *co-finite*: every value is rejected **except** those listed in
+      ``negative_exceptions`` and ``cofinite_negatives`` is ``True``.
+
+    The paper's ⊥ (reject everything) is the co-finite set with no
+    exceptions; the Skeptic normal form ``{v+} ∪ (⊥ − {v-})`` is a positive
+    value ``v`` together with the co-finite negative set excepting ``v``.
+    """
+
+    positive: Optional[Value] = None
+    has_positive: bool = False
+    negatives: FrozenSet[Value] = frozenset()
+    negative_exceptions: FrozenSet[Value] = frozenset()
+    cofinite_negatives: bool = False
+
+    # ------------------------------------------------------------------ #
+    # constructors                                                        #
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def empty() -> "BeliefSet":
+        """The empty belief set (no opinion at all)."""
+        return BeliefSet()
+
+    @staticmethod
+    def from_positive(value: Value) -> "BeliefSet":
+        """The singleton positive belief set ``{v+}``."""
+        return BeliefSet(positive=value, has_positive=True)
+
+    @staticmethod
+    def from_negatives(values: Iterable[Value]) -> "BeliefSet":
+        """A finite set of negative beliefs ``{v-, w-, ...}``."""
+        return BeliefSet(negatives=frozenset(values))
+
+    @staticmethod
+    def bottom() -> "BeliefSet":
+        """⊥ — the inconsistent constraint that rejects every value."""
+        return BeliefSet(cofinite_negatives=True)
+
+    @staticmethod
+    def from_beliefs(beliefs: Iterable[Belief]) -> "BeliefSet":
+        """Build a belief set from individual :class:`Belief` objects.
+
+        Raises :class:`InconsistentBeliefsError` if the beliefs conflict.
+        """
+        positive: Optional[Value] = None
+        has_positive = False
+        negatives = set()
+        for belief in beliefs:
+            if belief.is_positive:
+                if has_positive and positive != belief.value:
+                    raise InconsistentBeliefsError(
+                        f"conflicting positive beliefs {positive!r} and {belief.value!r}"
+                    )
+                positive, has_positive = belief.value, True
+            else:
+                negatives.add(belief.value)
+        candidate = BeliefSet(
+            positive=positive, has_positive=has_positive, negatives=frozenset(negatives)
+        )
+        if has_positive and positive in negatives:
+            raise InconsistentBeliefsError(
+                f"belief set contains both {positive!r}+ and {positive!r}-"
+            )
+        return candidate
+
+    @staticmethod
+    def skeptic_positive(value: Value) -> "BeliefSet":
+        """The Skeptic normal form of ``v+``: ``{v+} ∪ (⊥ − {v-})``."""
+        return BeliefSet(
+            positive=value,
+            has_positive=True,
+            cofinite_negatives=True,
+            negative_exceptions=frozenset({value}),
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries                                                             #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_empty(self) -> bool:
+        """True iff the set contains no belief at all."""
+        return (
+            not self.has_positive
+            and not self.negatives
+            and not self.cofinite_negatives
+        )
+
+    @property
+    def is_bottom(self) -> bool:
+        """True iff the set rejects every value and asserts no positive value."""
+        return (
+            not self.has_positive
+            and self.cofinite_negatives
+            and not self.negative_exceptions
+        )
+
+    @property
+    def positive_value(self) -> Optional[Value]:
+        """The unique positive value, or ``None`` if there is none."""
+        return self.positive if self.has_positive else None
+
+    def rejects(self, value: Value) -> bool:
+        """True iff the set contains the negative belief ``value-``."""
+        if self.cofinite_negatives:
+            return value not in self.negative_exceptions
+        return value in self.negatives
+
+    def accepts(self, value: Value) -> bool:
+        """True iff the positive belief ``value+`` is consistent with this set."""
+        if self.has_positive and self.positive != value:
+            return False
+        return not self.rejects(value)
+
+    def contains(self, belief: Belief) -> bool:
+        """True iff the given signed belief is a member of this set."""
+        if belief.is_positive:
+            return self.has_positive and self.positive == belief.value
+        return self.rejects(belief.value)
+
+    def positive_beliefs(self) -> FrozenSet[Belief]:
+        """All positive beliefs in the set (empty or a singleton)."""
+        if self.has_positive:
+            return frozenset({Belief.positive(self.positive)})
+        return frozenset()
+
+    def finite_negative_values(self) -> FrozenSet[Value]:
+        """The finitely-listed negative values.
+
+        For a co-finite set this raises :class:`BeliefError` because the
+        negatives cannot be enumerated; use :meth:`rejects` instead.
+        """
+        if self.cofinite_negatives:
+            raise BeliefError("co-finite negative set cannot be enumerated")
+        return self.negatives
+
+    def restrict_domain(self, domain: Iterable[Value]) -> FrozenSet[Belief]:
+        """Materialize the belief set over a finite domain of values.
+
+        Returns the set of signed beliefs this set entails when the value
+        domain is restricted to ``domain``.  This is how the infinite sets ⊥
+        and the Skeptic normal form are compared against paper figures that
+        list beliefs over a small explicit alphabet (e.g. ``a..f``).
+        """
+        domain_set = frozenset(domain)
+        result = set()
+        if self.has_positive:
+            result.add(Belief.positive(self.positive))
+        for value in domain_set:
+            if self.rejects(value):
+                result.add(Belief.negative(value))
+        return frozenset(result)
+
+    def is_consistent(self) -> bool:
+        """Definition 3.1 lifted to sets: no two member beliefs conflict."""
+        if not self.has_positive:
+            return True
+        return not self.rejects(self.positive)
+
+    def consistent_with_belief(self, belief: Belief) -> bool:
+        """True iff ``belief`` is consistent with *every* member of this set."""
+        if belief.is_positive:
+            if self.has_positive and self.positive != belief.value:
+                return False
+            return not self.rejects(belief.value)
+        # A negative belief only conflicts with the matching positive belief.
+        return not (self.has_positive and self.positive == belief.value)
+
+    # ------------------------------------------------------------------ #
+    # algebra                                                             #
+    # ------------------------------------------------------------------ #
+
+    def union(self, other: "BeliefSet") -> "BeliefSet":
+        """Plain set union.  Raises if the result would be inconsistent."""
+        if (
+            self.has_positive
+            and other.has_positive
+            and self.positive != other.positive
+        ):
+            raise InconsistentBeliefsError(
+                f"union of {self} and {other} has two positive values"
+            )
+        positive = self.positive if self.has_positive else other.positive
+        has_positive = self.has_positive or other.has_positive
+        merged = _merge_negatives(self, other)
+        result = BeliefSet(
+            positive=positive,
+            has_positive=has_positive,
+            negatives=merged.negatives,
+            negative_exceptions=merged.negative_exceptions,
+            cofinite_negatives=merged.cofinite_negatives,
+        )
+        if has_positive and result.rejects(positive):
+            raise InconsistentBeliefsError(
+                f"union of {self} and {other} both asserts and rejects {positive!r}"
+            )
+        return result
+
+    def preferred_union(self, other: "BeliefSet") -> "BeliefSet":
+        """Definition 3.2: ``B1 ⊎ B2`` keeps all of ``B1`` and only those
+        beliefs of ``B2`` consistent with every belief of ``B1``."""
+        positive = self.positive
+        has_positive = self.has_positive
+        if not has_positive and other.has_positive:
+            if self.consistent_with_belief(Belief.positive(other.positive)):
+                positive, has_positive = other.positive, True
+
+        # Negatives from `other` are kept unless they clash with B1's positive.
+        if other.cofinite_negatives:
+            exceptions = set(other.negative_exceptions)
+            if self.has_positive:
+                exceptions.add(self.positive)
+            other_filtered = BeliefSet(
+                cofinite_negatives=True, negative_exceptions=frozenset(exceptions)
+            )
+        else:
+            kept = frozenset(
+                v
+                for v in other.negatives
+                if not (self.has_positive and self.positive == v)
+            )
+            other_filtered = BeliefSet(negatives=kept)
+
+        merged = _merge_negatives(self, other_filtered)
+        return BeliefSet(
+            positive=positive if has_positive else None,
+            has_positive=has_positive,
+            negatives=merged.negatives,
+            negative_exceptions=merged.negative_exceptions,
+            cofinite_negatives=merged.cofinite_negatives,
+        )
+
+    def normalize(self, paradigm: "Paradigm | str") -> "BeliefSet":
+        """The paradigm normal form ``Norm_σ`` of Section 3.1."""
+        paradigm = Paradigm.coerce(paradigm)
+        if paradigm is Paradigm.ECLECTIC:
+            return self
+        if paradigm is Paradigm.AGNOSTIC:
+            if self.has_positive:
+                return BeliefSet.from_positive(self.positive)
+            return self
+        # Skeptic
+        if self.has_positive:
+            return BeliefSet.skeptic_positive(self.positive)
+        return self
+
+    def preferred_union_sigma(
+        self, other: "BeliefSet", paradigm: "Paradigm | str"
+    ) -> "BeliefSet":
+        """Equation (1): ``B1 ⊎_σ B2 = Norm_σ(Norm_σ(B1) ⊎ Norm_σ(B2))``."""
+        paradigm = Paradigm.coerce(paradigm)
+        left = self.normalize(paradigm)
+        right = other.normalize(paradigm)
+        return left.preferred_union(right).normalize(paradigm)
+
+    # ------------------------------------------------------------------ #
+    # dunder helpers                                                      #
+    # ------------------------------------------------------------------ #
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        parts = []
+        if self.has_positive:
+            parts.append(f"{self.positive}+")
+        if self.cofinite_negatives:
+            if self.negative_exceptions:
+                exceptions = ",".join(sorted(map(str, self.negative_exceptions)))
+                parts.append(f"⊥-{{{exceptions}}}")
+            else:
+                parts.append("⊥")
+        else:
+            parts.extend(f"{v}-" for v in sorted(map(str, self.negatives)))
+        return "{" + ", ".join(parts) + "}"
+
+
+def _merge_negatives(first: BeliefSet, second: BeliefSet) -> BeliefSet:
+    """Union of the negative parts of two belief sets (positives ignored)."""
+    if first.cofinite_negatives and second.cofinite_negatives:
+        # Rejected(first) ∪ Rejected(second): exceptions are values excepted
+        # by *both* sides.
+        exceptions = first.negative_exceptions & second.negative_exceptions
+        return BeliefSet(cofinite_negatives=True, negative_exceptions=exceptions)
+    if first.cofinite_negatives:
+        exceptions = frozenset(
+            v for v in first.negative_exceptions if v not in second.negatives
+        )
+        return BeliefSet(cofinite_negatives=True, negative_exceptions=exceptions)
+    if second.cofinite_negatives:
+        exceptions = frozenset(
+            v for v in second.negative_exceptions if v not in first.negatives
+        )
+        return BeliefSet(cofinite_negatives=True, negative_exceptions=exceptions)
+    return BeliefSet(negatives=first.negatives | second.negatives)
+
+
+BOTTOM = BeliefSet.bottom()
+"""Module-level constant for ⊥, the constraint rejecting every value."""

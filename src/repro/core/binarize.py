@@ -1,0 +1,257 @@
+"""Binarization of trust networks (Proposition 2.8 and Appendix B.3).
+
+Every trust network is equivalent to a *binary* trust network in which each
+node has at most two parents and explicit beliefs sit only on root nodes.
+The construction follows the paper exactly:
+
+1. Every node ``x`` with both an explicit belief and at least one parent gets
+   a fresh root node ``x0`` carrying the belief, attached to ``x`` as a new
+   highest-priority (preferred) parent.
+2. Every node ``x`` with ``k > 2`` parents ``z1 … zk`` (sorted by increasing
+   priority) is rewritten into a cascade of fresh nodes ``y2 … y(k-1)`` with
+   ``y1 = z1`` and ``yk = x``; each ``yi`` receives exactly two incoming
+   edges chosen by the five cases (a)–(e) of Figure 9, so that parents with
+   equal priority form a tie subtree and higher-priority parents dominate the
+   path to ``x``.
+
+The binarization preserves the stable solutions projected onto the original
+users (Appendix B.3), which is validated by the test suite against the
+logic-program baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.errors import NetworkError
+from repro.core.network import BinaryTrustNetwork, TrustMapping, TrustNetwork, User
+
+#: Priority used for non-preferred edges created during binarization.
+_NON_PREFERRED = 1
+#: Priority used for preferred edges created during binarization.
+_PREFERRED = 2
+
+
+@dataclass(frozen=True)
+class AuxNode:
+    """A fresh node introduced by binarization.
+
+    ``role`` is ``"belief"`` for the belief-carrying root ``x0`` of step 1 and
+    ``"cascade"`` for the cascade nodes ``yi`` of step 2.  ``target`` is the
+    original node the auxiliary node was created for and ``index`` its
+    position in the cascade (0 for belief roots).
+    """
+
+    role: str
+    target: User
+    index: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"<{self.role}:{self.target}:{self.index}>"
+
+
+@dataclass
+class BinarizationResult:
+    """Outcome of :func:`binarize`.
+
+    Attributes
+    ----------
+    btn:
+        The equivalent binary trust network.
+    original_users:
+        The users of the input network; auxiliary nodes are exactly the users
+        of ``btn`` that are not in this set.
+    belief_roots:
+        Maps each original user whose explicit belief was lifted to the fresh
+        root node now carrying that belief.
+    cascades:
+        Maps each original user whose fan-in was cascaded to the ordered list
+        of cascade nodes ``[y2, …, y(k-1)]`` created for it.
+    """
+
+    btn: BinaryTrustNetwork
+    original_users: frozenset
+    belief_roots: Dict[User, AuxNode] = field(default_factory=dict)
+    cascades: Dict[User, List[AuxNode]] = field(default_factory=dict)
+
+    @property
+    def auxiliary_users(self) -> frozenset:
+        """All nodes of the binary network that were not in the original."""
+        return frozenset(self.btn.users) - self.original_users
+
+
+def binarize(network: TrustNetwork) -> BinarizationResult:
+    """Convert an arbitrary trust network into an equivalent binary one.
+
+    The returned :class:`BinarizationResult` exposes the binary network and
+    the bookkeeping needed to project resolution results back onto the
+    original users.
+    """
+    result = BinarizationResult(
+        btn=BinaryTrustNetwork(), original_users=frozenset(network.users)
+    )
+    btn = result.btn
+    for user in network.users:
+        btn.add_user(user)
+
+    # Step 1: lift explicit beliefs of non-root nodes onto fresh root parents.
+    lifted_edges: Dict[User, TrustMapping] = {}
+    for user, belief in network.explicit_beliefs.items():
+        if network.incoming(user):
+            root = AuxNode("belief", user)
+            result.belief_roots[user] = root
+            btn.add_user(root)
+            btn.set_explicit_belief(root, belief)
+            lifted_edges[user] = TrustMapping(root, _PREFERRED, user)
+        else:
+            btn.set_explicit_belief(user, belief)
+
+    # Step 2: cascade every node whose fan-in (including a lifted belief root)
+    # exceeds two parents; copy small fan-ins verbatim.
+    for user in network.users:
+        incoming: List[TrustMapping] = list(network.incoming(user))
+        extra = lifted_edges.get(user)
+        if extra is not None:
+            # The belief root must dominate every other parent: give it a
+            # priority strictly above the current maximum.
+            top = max((edge.priority for edge in incoming), default=0) + 1
+            extra = TrustMapping(extra.parent, top, user)
+            incoming.append(extra)
+        if len(incoming) <= 2:
+            for edge in _renumber_binary(incoming):
+                btn.add_mapping(edge)
+            continue
+        cascade_nodes = _cascade(btn, user, incoming)
+        result.cascades[user] = cascade_nodes
+
+    btn.validate()
+    return result
+
+
+def _renumber_binary(edges: List[TrustMapping]) -> List[TrustMapping]:
+    """Rewrite the priorities of at most two edges to the canonical 1/2 scheme."""
+    if not edges:
+        return []
+    if len(edges) == 1:
+        edge = edges[0]
+        return [TrustMapping(edge.parent, _PREFERRED, edge.child)]
+    first, second = sorted(edges, key=lambda e: e.priority)
+    if first.priority == second.priority:
+        return [
+            TrustMapping(first.parent, _NON_PREFERRED, first.child),
+            TrustMapping(second.parent, _NON_PREFERRED, second.child),
+        ]
+    return [
+        TrustMapping(first.parent, _NON_PREFERRED, first.child),
+        TrustMapping(second.parent, _PREFERRED, second.child),
+    ]
+
+
+def _cascade(
+    btn: BinaryTrustNetwork, target: User, incoming: List[TrustMapping]
+) -> List[AuxNode]:
+    """Apply the Figure 9 cascade to a node with ``k > 2`` parents.
+
+    Returns the list of fresh cascade nodes ``[y2, …, y(k-1)]`` in order.
+    """
+    edges = sorted(incoming, key=lambda e: e.priority)
+    k = len(edges)
+    parents = [edge.parent for edge in edges]
+    priorities = [edge.priority for edge in edges]
+
+    created: List[AuxNode] = []
+    # y[1] = z1, y[2..k-1] are fresh, y[k] = target.  Index the list from 1.
+    nodes: List[User] = [None] * (k + 1)
+    nodes[1] = parents[0]
+    for i in range(2, k):
+        aux = AuxNode("cascade", target, i)
+        nodes[i] = aux
+        btn.add_user(aux)
+        created.append(aux)
+    nodes[k] = target
+
+    def priority_of(index: int) -> int:
+        """1-based access to the sorted priority list, with sentinels."""
+        if index < 1:
+            raise NetworkError("priority index out of range")
+        if index > k:
+            # Treat the target node as if a strictly larger priority followed.
+            return priorities[k - 1] + 1
+        return priorities[index - 1]
+
+    for i in range(2, k + 1):
+        p_prev = priority_of(i - 1)
+        p_i = priority_of(i)
+        p_next = priority_of(i + 1)
+        p_first = priority_of(1)
+        node = nodes[i]
+
+        if p_first == p_prev == p_i:
+            # Case (a): extend the all-ties prefix.
+            btn.add_mapping(TrustMapping(nodes[i - 1], _NON_PREFERRED, node))
+            btn.add_mapping(TrustMapping(parents[i - 1], _NON_PREFERRED, node))
+        elif p_prev < p_i == p_next:
+            # Case (b): open a new tie subtree above everything seen so far.
+            btn.add_mapping(TrustMapping(parents[i - 1], _NON_PREFERRED, node))
+            btn.add_mapping(TrustMapping(parents[i], _NON_PREFERRED, node))
+        elif p_first < p_prev == p_i == p_next:
+            # Case (c): extend an already-open tie subtree.
+            btn.add_mapping(TrustMapping(nodes[i - 1], _NON_PREFERRED, node))
+            btn.add_mapping(TrustMapping(parents[i], _NON_PREFERRED, node))
+        elif p_first < p_prev == p_i < p_next:
+            # Case (d): close a tie subtree and attach the lower-priority
+            # cascade below it as the non-preferred parent.
+            j = min(idx for idx in range(1, k + 1) if priority_of(idx) == p_i)
+            btn.add_mapping(TrustMapping(nodes[j - 1], _NON_PREFERRED, node))
+            btn.add_mapping(TrustMapping(nodes[i - 1], _PREFERRED, node))
+        elif p_prev < p_i < p_next:
+            # Case (e): a strictly increasing step; the new parent dominates.
+            btn.add_mapping(TrustMapping(nodes[i - 1], _NON_PREFERRED, node))
+            btn.add_mapping(TrustMapping(parents[i - 1], _PREFERRED, node))
+        else:  # pragma: no cover - the five cases are exhaustive
+            raise NetworkError(
+                f"unexpected priority pattern at cascade position {i} for {target!r}"
+            )
+    return created
+
+
+def binarization_size(n_users: int, n_mappings: int, max_fanin: int) -> Tuple[int, int]:
+    """Upper bound on the size of the binarized network (Figure 11 analysis).
+
+    For a node with ``k > 2`` parents the cascade adds ``k - 2`` nodes and
+    turns ``k`` incoming edges into ``2(k - 1)``.  The bound below assumes
+    every node has the maximal fan-in, which matches the clique analysis in
+    Figure 11.
+    """
+    if max_fanin <= 2:
+        return n_users, n_mappings
+    added_nodes = n_users * (max_fanin - 2)
+    edges = n_users * 2 * (max_fanin - 1)
+    return n_users + added_nodes, edges
+
+
+def clique_binarization_row(n: int) -> Dict[str, int]:
+    """The Figure 11 table row for an ``n``-clique trust network.
+
+    Returns the original and binarized ``|U|``, ``|E|`` and ``|U| + |E|``.
+    """
+    if n < 2:
+        raise NetworkError("a clique needs at least two users")
+    original_users = n
+    original_edges = n * (n - 1)
+    if n >= 4:
+        binarized_users = n * (n - 2)
+        binarized_edges = 2 * n * (n - 2)
+    else:
+        binarized_users = n
+        binarized_edges = original_edges
+    return {
+        "n": n,
+        "original_users": original_users,
+        "original_edges": original_edges,
+        "original_size": original_users + original_edges,
+        "binarized_users": binarized_users,
+        "binarized_edges": binarized_edges,
+        "binarized_size": binarized_users + binarized_edges,
+    }

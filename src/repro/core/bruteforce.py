@@ -1,0 +1,423 @@
+"""Brute-force enumeration of stable solutions (ground truth for testing).
+
+The Resolution Algorithm (Algorithm 1) and the Skeptic Resolution Algorithm
+(Algorithm 2) are the paper's efficient solutions.  To validate them, this
+module enumerates stable solutions *directly from the definitions*:
+
+* :func:`enumerate_stable_solutions` enumerates the stable solutions of a
+  positive-only trust network per Definition 2.4 (supportedness plus
+  foundedness of every derived value).
+* :func:`enumerate_constrained_solutions` enumerates the stable solutions of
+  a binary trust network with constraints per Definition 3.3, for any of the
+  three paradigms, by guessing belief sets on a feedback vertex set and
+  propagating the preferred-union equation through the remaining (acyclic)
+  part of the graph.
+
+Both enumerators are exponential and intended only for small networks inside
+the test suite; they deliberately trade speed for being an independent,
+definition-level oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.beliefs import Belief, BeliefSet, Paradigm, Value
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork, User
+
+#: Guard against accidentally running the exponential oracle on large inputs.
+MAX_BRUTEFORCE_NODES = 24
+
+
+# ---------------------------------------------------------------------- #
+# Positive-only stable solutions (Definition 2.4)                         #
+# ---------------------------------------------------------------------- #
+
+
+def enumerate_stable_solutions(
+    network: TrustNetwork, max_nodes: int = MAX_BRUTEFORCE_NODES
+) -> List[Dict[User, Value]]:
+    """All stable solutions of a positive-only trust network (Def. 2.4).
+
+    Each solution is returned as a dict mapping users to values; users with
+    an undefined belief are omitted from the dict.
+    """
+    users = sorted(network.users, key=str)
+    if len(users) > max_nodes:
+        raise NetworkError(
+            f"brute-force enumeration limited to {max_nodes} nodes, got {len(users)}"
+        )
+
+    explicit: Dict[User, Value] = {}
+    for user, belief in network.explicit_beliefs.items():
+        value = belief.positive_value
+        if value is not None:
+            explicit[user] = value
+
+    domain = sorted(set(explicit.values()), key=str)
+    free_users = [u for u in users if u not in explicit]
+
+    solutions: List[Dict[User, Value]] = []
+    # Each free user independently takes either no value or a domain value.
+    choices: List[Sequence[Optional[Value]]] = [[None] + list(domain)] * len(free_users)
+    for combo in itertools.product(*choices):
+        assignment: Dict[User, Value] = dict(explicit)
+        for user, value in zip(free_users, combo):
+            if value is not None:
+                assignment[user] = value
+        if _is_stable_solution(network, assignment, explicit):
+            solutions.append(assignment)
+    return solutions
+
+
+def possible_values_bruteforce(
+    network: TrustNetwork, max_nodes: int = MAX_BRUTEFORCE_NODES
+) -> Dict[User, FrozenSet[Value]]:
+    """``poss(x)`` for every user, computed from the enumerated solutions."""
+    solutions = enumerate_stable_solutions(network, max_nodes=max_nodes)
+    result: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    for solution in solutions:
+        for user, value in solution.items():
+            result[user].add(value)
+    return {user: frozenset(values) for user, values in result.items()}
+
+
+def certain_values_bruteforce(
+    network: TrustNetwork, max_nodes: int = MAX_BRUTEFORCE_NODES
+) -> Dict[User, FrozenSet[Value]]:
+    """``cert(x)`` for every user, computed from the enumerated solutions."""
+    possible = possible_values_bruteforce(network, max_nodes=max_nodes)
+    return {
+        user: values if len(values) == 1 else frozenset()
+        for user, values in possible.items()
+    }
+
+
+def possible_pairs_bruteforce(
+    network: TrustNetwork, max_nodes: int = MAX_BRUTEFORCE_NODES
+) -> Dict[Tuple[User, User], FrozenSet[Tuple[Value, Value]]]:
+    """``poss(x, y)`` for every ordered pair of users (Section 2.5)."""
+    solutions = enumerate_stable_solutions(network, max_nodes=max_nodes)
+    users = sorted(network.users, key=str)
+    pairs: Dict[Tuple[User, User], Set[Tuple[Value, Value]]] = {
+        (x, y): set() for x in users for y in users
+    }
+    for solution in solutions:
+        for x in users:
+            for y in users:
+                if x in solution and y in solution:
+                    pairs[(x, y)].add((solution[x], solution[y]))
+    return {key: frozenset(values) for key, values in pairs.items()}
+
+
+def _is_stable_solution(
+    network: TrustNetwork,
+    assignment: Dict[User, Value],
+    explicit: Dict[User, Value],
+) -> bool:
+    """Check Definition 2.4 for a candidate (total over defined users) assignment."""
+    # Explicit beliefs are fixed.
+    for user, value in explicit.items():
+        if assignment.get(user) != value:
+            return False
+
+    # Supportedness: every derived value comes from a parent of matching value
+    # through an edge not dominated by a conflicting higher-priority parent,
+    # and a user stays undefined only if no parent has a defined belief.
+    for user in network.users:
+        if user in explicit:
+            continue
+        incoming = network.incoming(user)
+        defined_parents = [
+            edge for edge in incoming if edge.parent in assignment
+        ]
+        if user not in assignment:
+            if defined_parents:
+                return False
+            continue
+        if not defined_parents:
+            return False
+        value = assignment[user]
+        if not _has_supporting_edge(incoming, assignment, value):
+            return False
+
+    # Foundedness: every derived value must trace back to an explicit belief
+    # along a path of equal values whose edges are themselves undominated.
+    founded: Set[User] = set(explicit)
+    changed = True
+    while changed:
+        changed = False
+        for user in network.users:
+            if user in founded or user not in assignment or user in explicit:
+                continue
+            value = assignment[user]
+            for edge in network.incoming(user):
+                if (
+                    edge.parent in founded
+                    and assignment.get(edge.parent) == value
+                    and not _dominated(network.incoming(user), assignment, edge, value)
+                ):
+                    founded.add(user)
+                    changed = True
+                    break
+    return all(user in founded for user in assignment)
+
+
+def _has_supporting_edge(incoming, assignment, value) -> bool:
+    """Some edge carries ``value`` from a defined parent and is not dominated."""
+    for edge in incoming:
+        if assignment.get(edge.parent) == value and not _dominated(
+            incoming, assignment, edge, value
+        ):
+            return True
+    return False
+
+
+def _dominated(incoming, assignment, edge, value) -> bool:
+    """True iff a strictly higher-priority parent holds a conflicting value."""
+    for other in incoming:
+        if other.priority <= edge.priority:
+            continue
+        other_value = assignment.get(other.parent)
+        if other_value is not None and other_value != value:
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------- #
+# Stable solutions with constraints (Definition 3.3)                      #
+# ---------------------------------------------------------------------- #
+
+
+def enumerate_constrained_solutions(
+    network: TrustNetwork,
+    paradigm: Paradigm | str,
+    max_nodes: int = MAX_BRUTEFORCE_NODES,
+) -> List[Dict[User, BeliefSet]]:
+    """All stable solutions of a binary trust network with constraints.
+
+    The network must be binary and must not contain ties among a node's
+    parents (Definition 3.3 disallows ties).  The enumeration guesses belief
+    sets on a feedback vertex set from a finite candidate family built from
+    the explicit value alphabet, propagates the preferred-union equation
+    through the remaining acyclic part, verifies the equation on the guessed
+    nodes, and finally checks foundedness of every belief.
+    """
+    paradigm = Paradigm.coerce(paradigm)
+    users = sorted(network.users, key=str)
+    if len(users) > max_nodes:
+        raise NetworkError(
+            f"brute-force enumeration limited to {max_nodes} nodes, got {len(users)}"
+        )
+    if not network.is_binary():
+        raise NetworkError("constrained enumeration requires a binary trust network")
+    _reject_ties(network)
+
+    domain = sorted(_value_alphabet(network), key=str)
+    graph = network.to_digraph()
+    feedback = _feedback_vertex_set(graph)
+    rest_order = list(nx.topological_sort(graph.subgraph(set(users) - feedback)))
+
+    candidates = list(_candidate_belief_sets(domain, paradigm))
+    solutions: List[Dict[User, BeliefSet]] = []
+    feedback_list = sorted(feedback, key=str)
+    for guess in itertools.product(candidates, repeat=len(feedback_list)):
+        assignment: Dict[User, BeliefSet] = dict(zip(feedback_list, guess))
+        for user in rest_order:
+            assignment[user] = _equation_value(network, assignment, user, paradigm)
+        if any(
+            assignment[user] != _equation_value(network, assignment, user, paradigm)
+            for user in feedback_list
+        ):
+            continue
+        if not _constrained_founded(network, assignment, paradigm, domain):
+            continue
+        solutions.append(dict(assignment))
+    return _dedupe_solutions(solutions)
+
+
+def constrained_possible_positive(
+    network: TrustNetwork,
+    paradigm: Paradigm | str,
+    max_nodes: int = MAX_BRUTEFORCE_NODES,
+) -> Dict[User, FrozenSet[Value]]:
+    """Possible *positive* beliefs per user under the given paradigm."""
+    solutions = enumerate_constrained_solutions(network, paradigm, max_nodes=max_nodes)
+    result: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    for solution in solutions:
+        for user, beliefs in solution.items():
+            value = beliefs.positive_value
+            if value is not None:
+                result[user].add(value)
+    return {user: frozenset(values) for user, values in result.items()}
+
+
+def constrained_certain_positive(
+    network: TrustNetwork,
+    paradigm: Paradigm | str,
+    max_nodes: int = MAX_BRUTEFORCE_NODES,
+) -> Dict[User, FrozenSet[Value]]:
+    """Certain *positive* beliefs per user under the given paradigm."""
+    solutions = enumerate_constrained_solutions(network, paradigm, max_nodes=max_nodes)
+    result: Dict[User, Optional[Set[Value]]] = {user: None for user in network.users}
+    for solution in solutions:
+        for user in network.users:
+            value = solution[user].positive_value
+            current = {value} if value is not None else set()
+            if result[user] is None:
+                result[user] = current
+            else:
+                result[user] &= current
+    return {
+        user: frozenset(values) if values else frozenset()
+        for user, values in ((u, v or set()) for u, v in result.items())
+    }
+
+
+def _value_alphabet(network: TrustNetwork) -> Set[Value]:
+    """All values mentioned in any explicit positive or negative belief."""
+    alphabet: Set[Value] = set()
+    for belief in network.explicit_beliefs.values():
+        if belief.has_positive:
+            alphabet.add(belief.positive)
+        if not belief.cofinite_negatives:
+            alphabet.update(belief.negatives)
+        else:
+            alphabet.update(belief.negative_exceptions)
+    return alphabet
+
+
+def _reject_ties(network: TrustNetwork) -> None:
+    for user in network.users:
+        priorities = [edge.priority for edge in network.incoming(user)]
+        if len(priorities) != len(set(priorities)):
+            raise NetworkError(
+                f"Definition 3.3 disallows ties; user {user!r} has tied parents"
+            )
+
+
+def _feedback_vertex_set(graph: nx.DiGraph) -> Set[User]:
+    """A (not necessarily minimum) set of nodes whose removal breaks all cycles."""
+    working = graph.copy()
+    feedback: Set[User] = set()
+    while True:
+        try:
+            cycle = nx.find_cycle(working)
+        except nx.NetworkXNoCycle:
+            return feedback
+        # Remove the node of the cycle with the largest degree: a cheap
+        # heuristic that keeps the guessed set small on the paper's networks.
+        node = max(
+            {edge[0] for edge in cycle} | {edge[1] for edge in cycle},
+            key=lambda n: working.degree(n),
+        )
+        feedback.add(node)
+        working.remove_node(node)
+
+
+def _candidate_belief_sets(
+    domain: Sequence[Value], paradigm: Paradigm
+) -> Iterator[BeliefSet]:
+    """The finite family of belief sets a node can hold under the paradigm."""
+    yield BeliefSet.empty()
+    if paradigm is Paradigm.AGNOSTIC:
+        for value in domain:
+            yield BeliefSet.from_positive(value)
+        for negatives in _all_subsets(domain):
+            if negatives:
+                yield BeliefSet.from_negatives(negatives)
+    elif paradigm is Paradigm.ECLECTIC:
+        for negatives in _all_subsets(domain):
+            if negatives:
+                yield BeliefSet.from_negatives(negatives)
+            for value in domain:
+                if value in negatives:
+                    continue
+                yield BeliefSet.from_beliefs(
+                    [Belief.positive(value)] + [Belief.negative(n) for n in negatives]
+                )
+        for value in domain:
+            # the bare positive is the negatives == () case above; nothing more
+            pass
+    else:  # Skeptic
+        for negatives in _all_subsets(domain):
+            if negatives:
+                yield BeliefSet.from_negatives(negatives)
+        yield BeliefSet.bottom()
+        for value in domain:
+            yield BeliefSet.skeptic_positive(value)
+
+
+def _all_subsets(domain: Sequence[Value]) -> Iterator[Tuple[Value, ...]]:
+    for size in range(len(domain) + 1):
+        yield from itertools.combinations(domain, size)
+
+
+def _equation_value(
+    network: TrustNetwork,
+    assignment: Dict[User, BeliefSet],
+    user: User,
+    paradigm: Paradigm,
+) -> BeliefSet:
+    """The right-hand side of Definition 3.3 condition (1) for ``user``."""
+    explicit = network.explicit_belief(user) or BeliefSet.empty()
+    incoming = sorted(network.incoming(user), key=lambda e: e.priority)
+    if not incoming:
+        return explicit.normalize(paradigm)
+    if len(incoming) == 1:
+        parent = assignment.get(incoming[0].parent, BeliefSet.empty())
+        return explicit.preferred_union_sigma(parent, paradigm)
+    low, high = incoming[0], incoming[1]
+    preferred = assignment.get(high.parent, BeliefSet.empty())
+    non_preferred = assignment.get(low.parent, BeliefSet.empty())
+    combined = preferred.preferred_union_sigma(non_preferred, paradigm)
+    return explicit.preferred_union_sigma(combined, paradigm)
+
+
+def _constrained_founded(
+    network: TrustNetwork,
+    assignment: Dict[User, BeliefSet],
+    paradigm: Paradigm,
+    domain: Sequence[Value],
+) -> bool:
+    """Definition 3.3 condition (2): every belief traces to an explicit origin."""
+    materialized: Dict[User, FrozenSet[Belief]] = {
+        user: beliefs.restrict_domain(domain) for user, beliefs in assignment.items()
+    }
+    founded: Dict[User, Set[Belief]] = {user: set() for user in network.users}
+    for user in network.users:
+        explicit = network.explicit_belief(user)
+        if explicit is not None:
+            origin = explicit.normalize(paradigm).restrict_domain(domain)
+            founded[user].update(origin & materialized[user])
+
+    changed = True
+    while changed:
+        changed = False
+        for user in network.users:
+            for belief in materialized[user]:
+                if belief in founded[user]:
+                    continue
+                for edge in network.incoming(user):
+                    if belief in founded.get(edge.parent, ()):
+                        founded[user].add(belief)
+                        changed = True
+                        break
+    return all(materialized[user] <= founded[user] for user in network.users)
+
+
+def _dedupe_solutions(
+    solutions: List[Dict[User, BeliefSet]]
+) -> List[Dict[User, BeliefSet]]:
+    seen = set()
+    unique: List[Dict[User, BeliefSet]] = []
+    for solution in solutions:
+        key = tuple(sorted(((str(u), s) for u, s in solution.items()), key=lambda t: t[0]))
+        if key not in seen:
+            seen.add(key)
+            unique.append(solution)
+    return unique

@@ -1,0 +1,165 @@
+"""High-level conflict resolution with constraints (Section 3).
+
+This module ties together the three paradigms:
+
+* :func:`resolve_with_constraints` is the public entry point.  Acyclic
+  networks are solved for any paradigm (Proposition 3.6); cyclic networks are
+  solved for the Skeptic paradigm with Algorithm 2 (Theorem 3.5); cyclic
+  networks under Agnostic or Eclectic raise
+  :class:`~repro.core.errors.ParadigmError`, because computing possible
+  beliefs there is NP-hard (Theorem 3.4) — the exponential
+  :func:`repro.core.bruteforce.enumerate_constrained_solutions` oracle can be
+  used explicitly instead.
+* :func:`normal_form` and :func:`preferred_union` expose the belief algebra
+  in a functional style.
+* :func:`is_associative_example` reproduces the associativity discussion of
+  Section 3.3: the preferred union is associative for Skeptic but not for
+  Agnostic or Eclectic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from repro.core.acyclic import resolve_acyclic
+from repro.core.beliefs import Belief, BeliefSet, Paradigm, Value
+from repro.core.errors import ParadigmError
+from repro.core.network import TrustNetwork, User
+from repro.core.skeptic import SkepticResult, resolve_skeptic
+
+
+def normal_form(beliefs: BeliefSet, paradigm: Paradigm | str) -> BeliefSet:
+    """``Norm_σ(B)`` — the paradigm normal form of a belief set (Section 3.1)."""
+    return beliefs.normalize(paradigm)
+
+
+def preferred_union(
+    first: BeliefSet, second: BeliefSet, paradigm: Paradigm | str | None = None
+) -> BeliefSet:
+    """The preferred union, optionally specialized to a paradigm (Eq. 1)."""
+    if paradigm is None:
+        return first.preferred_union(second)
+    return first.preferred_union_sigma(second, paradigm)
+
+
+class ConstrainedResolution:
+    """Result wrapper unifying the acyclic evaluator and Algorithm 2.
+
+    Exposes possible / certain *positive* values per user, which is the
+    problem the paper studies for constrained networks (Section 3.1).
+    """
+
+    def __init__(
+        self,
+        paradigm: Paradigm,
+        acyclic_solution: Optional[Dict[User, BeliefSet]] = None,
+        skeptic_result: Optional[SkepticResult] = None,
+    ) -> None:
+        self.paradigm = paradigm
+        self._acyclic = acyclic_solution
+        self._skeptic = skeptic_result
+
+    @property
+    def is_unique(self) -> bool:
+        """True iff the network had a single stable solution (acyclic case)."""
+        return self._acyclic is not None
+
+    def belief_set(self, user: User) -> Optional[BeliefSet]:
+        """The unique stable belief set of ``user`` (acyclic networks only)."""
+        if self._acyclic is None:
+            return None
+        return self._acyclic.get(user, BeliefSet.empty())
+
+    def possible_positive_values(self, user: User) -> FrozenSet[Value]:
+        if self._acyclic is not None:
+            belief = self._acyclic.get(user, BeliefSet.empty())
+            value = belief.positive_value
+            return frozenset({value}) if value is not None else frozenset()
+        assert self._skeptic is not None
+        return self._skeptic.possible_positive_values(user)
+
+    def certain_positive_values(self, user: User) -> FrozenSet[Value]:
+        if self._acyclic is not None:
+            return self.possible_positive_values(user)
+        assert self._skeptic is not None
+        return self._skeptic.certain_positive_values(user)
+
+    def certain_positive_value(self, user: User) -> Optional[Value]:
+        values = self.certain_positive_values(user)
+        for value in values:
+            return value
+        return None
+
+    def possible_beliefs(self, user: User) -> FrozenSet[Belief]:
+        """Possible beliefs over the network's value alphabet."""
+        if self._skeptic is not None:
+            return self._skeptic.possible_beliefs(user)
+        assert self._acyclic is not None
+        belief = self._acyclic.get(user, BeliefSet.empty())
+        domain = _alphabet_of(self._acyclic)
+        return belief.restrict_domain(domain)
+
+    def certain_beliefs(self, user: User) -> FrozenSet[Belief]:
+        """Certain beliefs over the network's value alphabet."""
+        if self._skeptic is not None:
+            return self._skeptic.certain_beliefs(user)
+        return self.possible_beliefs(user)
+
+
+def resolve_with_constraints(
+    network: TrustNetwork, paradigm: Paradigm | str = Paradigm.SKEPTIC
+) -> ConstrainedResolution:
+    """Resolve a binary trust network containing negative beliefs.
+
+    Dispatches on the structure of the network and the paradigm:
+
+    * acyclic network — unique stable solution, any paradigm (Prop. 3.6);
+    * cyclic network, Skeptic — Algorithm 2 (Thm. 3.5);
+    * cyclic network, Agnostic or Eclectic — refused (NP-hard, Thm. 3.4).
+    """
+    paradigm = Paradigm.coerce(paradigm)
+    if network.is_acyclic():
+        solution = resolve_acyclic(network, paradigm)
+        return ConstrainedResolution(paradigm, acyclic_solution=solution)
+    if paradigm is Paradigm.SKEPTIC:
+        return ConstrainedResolution(paradigm, skeptic_result=resolve_skeptic(network))
+    raise ParadigmError(
+        f"resolving cyclic networks under the {paradigm.value} paradigm is NP-hard "
+        "(Theorem 3.4); use the Skeptic paradigm or the brute-force oracle in "
+        "repro.core.bruteforce for small networks"
+    )
+
+
+def associativity_example(
+    paradigm: Paradigm | str,
+) -> Tuple[BeliefSet, BeliefSet]:
+    """The Section 3.3 example: ``B1 = {a-} ⊎ ({a+} ⊎ {b+})`` versus
+    ``B2 = ({a-} ⊎ {a+}) ⊎ {b+}``.
+
+    Returns ``(B1, B2)``.  They differ for Agnostic and Eclectic (showing the
+    preferred union is not associative there) and agree for Skeptic.
+    """
+    paradigm = Paradigm.coerce(paradigm)
+    a_minus = BeliefSet.from_negatives(["a"])
+    a_plus = BeliefSet.from_positive("a")
+    b_plus = BeliefSet.from_positive("b")
+    b1 = a_minus.preferred_union_sigma(
+        a_plus.preferred_union_sigma(b_plus, paradigm), paradigm
+    )
+    b2 = a_minus.preferred_union_sigma(a_plus, paradigm).preferred_union_sigma(
+        b_plus, paradigm
+    )
+    return b1, b2
+
+
+def _alphabet_of(solution: Dict[User, BeliefSet]) -> FrozenSet[Value]:
+    """Values mentioned anywhere in a solution (for materializing negatives)."""
+    values = set()
+    for beliefs in solution.values():
+        if beliefs.has_positive:
+            values.add(beliefs.positive)
+        if beliefs.cofinite_negatives:
+            values.update(beliefs.negative_exceptions)
+        else:
+            values.update(beliefs.negatives)
+    return frozenset(values)

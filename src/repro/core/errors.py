@@ -1,0 +1,47 @@
+"""Exception hierarchy for the trust-mapping conflict-resolution library.
+
+All library-specific errors derive from :class:`ReproError` so that callers
+can catch everything raised by the package with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class NetworkError(ReproError):
+    """A trust network is structurally invalid (unknown users, bad edges)."""
+
+
+class NotBinaryError(NetworkError):
+    """An operation requiring a binary trust network received a non-binary one."""
+
+
+class BeliefError(ReproError):
+    """A belief or belief set violates the model's consistency requirements."""
+
+
+class InconsistentBeliefsError(BeliefError):
+    """Two conflicting beliefs were combined into a set that must be consistent."""
+
+
+class ParadigmError(ReproError):
+    """An unknown or unsupported constraint-handling paradigm was requested."""
+
+
+class LogicProgramError(ReproError):
+    """A logic program is malformed (unsafe rule, unknown predicate, ...)."""
+
+
+class UnsafeRuleError(LogicProgramError):
+    """A rule uses a head or negated variable that does not occur positively."""
+
+
+class BulkProcessingError(ReproError):
+    """The bulk (SQL) resolution pre-conditions are violated."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator received invalid parameters."""

@@ -1,0 +1,385 @@
+"""Boolean-gate gadgets and the CNF SAT encoding (Theorem 3.4, Figs. 7/16/17).
+
+The hardness proof for the Agnostic and Eclectic paradigms encodes a CNF
+formula as a binary trust network built from four gadgets:
+
+* an **oscillator** per Boolean variable whose output node can hold ``b+``
+  (true) or ``a+`` (false) depending on the stable solution chosen;
+* **NOT** and **PASS-THROUGH** gates mapping the level-1 encoding ``b+/a+``
+  to the level-2 encoding of a literal, ``d+/c+`` (pass) or ``c+/d+`` (not);
+* an **OR** gate per clause mapping level-2 literals to the level-3 encoding
+  ``d+/e+``;
+* a single **AND** gate mapping clause outputs to the level-4 encoding
+  ``f+/e+`` at the distinguished output node ``Z``.
+
+The formula is satisfiable iff ``f+`` is a possible belief at ``Z``
+(Theorem 3.4).  This module builds the gadgets and full encodings, and
+evaluates them by enumerating the oscillator states and propagating the
+acyclic remainder (Proposition 3.6) — exactly the argument used in the
+paper's proof.  The same machinery doubles as a tiny SAT solver, which the
+tests use to confirm the reduction, and as a demonstration that the gadgets
+stop working under the Skeptic paradigm.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.acyclic import resolve_acyclic
+from repro.core.beliefs import BeliefSet, Paradigm, Value
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork, User
+
+#: The six data values used by the reduction (Figure 17).
+ALPHABET = ("a", "b", "c", "d", "e", "f")
+
+#: Encoding of true / false at each level of the construction (Figure 17).
+LEVEL_ENCODING = {
+    1: {True: "b", False: "a"},
+    2: {True: "d", False: "c"},
+    3: {True: "d", False: "e"},
+    4: {True: "f", False: "e"},
+}
+
+Literal = Tuple[str, bool]
+"""A CNF literal: (variable name, polarity); ``("x1", False)`` means ¬x1."""
+
+Clause = Sequence[Literal]
+Formula = Sequence[Clause]
+
+
+@dataclass
+class GadgetNetwork:
+    """A trust network built from gadgets, with its bookkeeping.
+
+    Attributes
+    ----------
+    network:
+        The underlying binary trust network.
+    variable_outputs:
+        Maps each Boolean variable to its oscillator output node; fixing that
+        node's belief to ``{b+}`` / ``{a+}`` selects the variable's truth
+        value.
+    output:
+        The distinguished output node (``Z`` for a CNF encoding, the gate
+        output for single gates).
+    """
+
+    network: TrustNetwork
+    variable_outputs: Dict[str, User] = field(default_factory=dict)
+    output: Optional[User] = None
+
+    def possible_output_values(
+        self, paradigm: Paradigm | str = Paradigm.AGNOSTIC
+    ) -> FrozenSet[Value]:
+        """Positive values possible at the output node across all stable solutions.
+
+        Enumerates the 2^n oscillator states and resolves the acyclic
+        remainder for each, mirroring the structure of the hardness proof.
+        """
+        if self.output is None:
+            raise NetworkError("gadget network has no designated output node")
+        values: Set[Value] = set()
+        for assignment, solution in self.enumerate_solutions(paradigm):
+            value = solution[self.output].positive_value
+            if value is not None:
+                values.add(value)
+        return frozenset(values)
+
+    def enumerate_solutions(
+        self, paradigm: Paradigm | str = Paradigm.AGNOSTIC
+    ) -> Iterable[Tuple[Dict[str, bool], Dict[User, BeliefSet]]]:
+        """Yield ``(variable assignment, stable solution)`` pairs.
+
+        Each oscillator contributes two stable states; all combinations are
+        enumerated and the acyclic remainder of the network is resolved for
+        each combination.
+        """
+        paradigm = Paradigm.coerce(paradigm)
+        variables = sorted(self.variable_outputs)
+        for bits in itertools.product([False, True], repeat=len(variables)):
+            assignment = dict(zip(variables, bits))
+            fixed = {
+                self.variable_outputs[var]: BeliefSet.from_positive(
+                    LEVEL_ENCODING[1][truth]
+                ).normalize(paradigm)
+                for var, truth in assignment.items()
+            }
+            solution = resolve_acyclic(self.network, paradigm, fixed=fixed)
+            yield assignment, solution
+
+
+# ---------------------------------------------------------------------- #
+# gadget constructors                                                      #
+# ---------------------------------------------------------------------- #
+
+
+class _Namer:
+    """Generates unique, readable node names for gadget internals."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[str, int] = {}
+
+    def fresh(self, prefix: str) -> str:
+        index = self._counts.get(prefix, 0)
+        self._counts[prefix] = index + 1
+        return f"{prefix}#{index}"
+
+
+def add_oscillator(
+    network: TrustNetwork,
+    name: str,
+    namer: Optional[_Namer] = None,
+    true_value: Value = "b",
+    false_value: Value = "a",
+) -> User:
+    """Add a Figure 16a oscillator whose output node can hold either value.
+
+    Returns the output node.  The oscillator is the Figure 4b pattern: two
+    roots with the explicit beliefs and a two-node cycle importing them with
+    low priority; each stable solution floods the cycle with one of the two
+    values.
+    """
+    namer = namer or _Namer()
+    root_true = namer.fresh(f"{name}.rootT")
+    root_false = namer.fresh(f"{name}.rootF")
+    first = f"{name}"
+    second = namer.fresh(f"{name}.mirror")
+    network.set_explicit_belief(root_true, true_value)
+    network.set_explicit_belief(root_false, false_value)
+    network.add_trust(first, second, priority=2)
+    network.add_trust(first, root_true, priority=1)
+    network.add_trust(second, first, priority=2)
+    network.add_trust(second, root_false, priority=1)
+    return first
+
+
+def add_not_gate(
+    network: TrustNetwork, input_node: User, name: str, namer: Optional[_Namer] = None
+) -> User:
+    """Add a NOT gate (Figure 16b): ``b+/a+`` input becomes ``c+/d+`` output."""
+    return _add_unary_gate(network, input_node, name, namer, first_root="d", last_root="c")
+
+
+def add_pass_through_gate(
+    network: TrustNetwork, input_node: User, name: str, namer: Optional[_Namer] = None
+) -> User:
+    """Add a PASS-THROUGH gate (Figure 16c): ``b+/a+`` becomes ``d+/c+``."""
+    return _add_unary_gate(network, input_node, name, namer, first_root="c", last_root="d")
+
+
+def _add_unary_gate(
+    network: TrustNetwork,
+    input_node: User,
+    name: str,
+    namer: Optional[_Namer],
+    first_root: Value,
+    last_root: Value,
+) -> User:
+    """Shared structure of the NOT and PASS-THROUGH gates.
+
+    The chain below follows Figure 16b/c: a preferred ``{a-}`` constraint
+    filters the level-1 "false" value, the surviving value either blocks or
+    lets through the injected ``first_root`` value, a preferred ``{b-}``
+    constraint then filters the level-1 "true" value, and finally the
+    ``last_root`` value fills the gap if everything was filtered.
+    """
+    namer = namer or _Namer()
+    root_a_neg = namer.fresh(f"{name}.a-")
+    root_b_neg = namer.fresh(f"{name}.b-")
+    root_first = namer.fresh(f"{name}.{first_root}+")
+    root_last = namer.fresh(f"{name}.{last_root}+")
+    g1 = namer.fresh(f"{name}.g1")
+    g2 = namer.fresh(f"{name}.g2")
+    g3 = namer.fresh(f"{name}.g3")
+    output = f"{name}"
+
+    network.set_explicit_belief(root_a_neg, BeliefSet.from_negatives(["a"]))
+    network.set_explicit_belief(root_b_neg, BeliefSet.from_negatives(["b"]))
+    network.set_explicit_belief(root_first, first_root)
+    network.set_explicit_belief(root_last, last_root)
+
+    network.add_trust(g1, root_a_neg, priority=2)
+    network.add_trust(g1, input_node, priority=1)
+    network.add_trust(g2, g1, priority=2)
+    network.add_trust(g2, root_first, priority=1)
+    network.add_trust(g3, root_b_neg, priority=2)
+    network.add_trust(g3, g2, priority=1)
+    network.add_trust(output, g3, priority=2)
+    network.add_trust(output, root_last, priority=1)
+    return output
+
+
+def add_or_gate(
+    network: TrustNetwork,
+    inputs: Sequence[User],
+    name: str,
+    namer: Optional[_Namer] = None,
+) -> User:
+    """Add a k-ary OR gate (Figure 16d): ``d+/c+`` inputs, ``d+/e+`` output."""
+    if not inputs:
+        raise NetworkError("an OR gate needs at least one input")
+    namer = namer or _Namer()
+    filtered: List[User] = []
+    for index, input_node in enumerate(inputs):
+        root_c_neg = namer.fresh(f"{name}.c-[{index}]")
+        network.set_explicit_belief(root_c_neg, BeliefSet.from_negatives(["c"]))
+        node = namer.fresh(f"{name}.filter[{index}]")
+        network.add_trust(node, root_c_neg, priority=2)
+        network.add_trust(node, input_node, priority=1)
+        filtered.append(node)
+
+    combined = filtered[0]
+    for index, node in enumerate(filtered[1:], start=1):
+        joiner = namer.fresh(f"{name}.join[{index}]")
+        network.add_trust(joiner, combined, priority=2)
+        network.add_trust(joiner, node, priority=1)
+        combined = joiner
+
+    root_e = namer.fresh(f"{name}.e+")
+    network.set_explicit_belief(root_e, "e")
+    output = f"{name}"
+    network.add_trust(output, combined, priority=2)
+    network.add_trust(output, root_e, priority=1)
+    return output
+
+
+def add_and_gate(
+    network: TrustNetwork,
+    inputs: Sequence[User],
+    name: str,
+    namer: Optional[_Namer] = None,
+) -> User:
+    """Add a k-ary AND gate (Figure 16e): ``d+/e+`` inputs, ``f+/e+`` output."""
+    if not inputs:
+        raise NetworkError("an AND gate needs at least one input")
+    namer = namer or _Namer()
+    filtered: List[User] = []
+    for index, input_node in enumerate(inputs):
+        root_d_neg = namer.fresh(f"{name}.d-[{index}]")
+        network.set_explicit_belief(root_d_neg, BeliefSet.from_negatives(["d"]))
+        node = namer.fresh(f"{name}.filter[{index}]")
+        network.add_trust(node, root_d_neg, priority=2)
+        network.add_trust(node, input_node, priority=1)
+        filtered.append(node)
+
+    combined = filtered[0]
+    for index, node in enumerate(filtered[1:], start=1):
+        joiner = namer.fresh(f"{name}.join[{index}]")
+        network.add_trust(joiner, combined, priority=2)
+        network.add_trust(joiner, node, priority=1)
+        combined = joiner
+
+    root_f = namer.fresh(f"{name}.f+")
+    network.set_explicit_belief(root_f, "f")
+    output = f"{name}"
+    network.add_trust(output, combined, priority=2)
+    network.add_trust(output, root_f, priority=1)
+    return output
+
+
+# ---------------------------------------------------------------------- #
+# full reduction                                                          #
+# ---------------------------------------------------------------------- #
+
+
+def build_gate_test_network(gate: str) -> GadgetNetwork:
+    """A single gate fed by fresh oscillators, for unit-testing the gadgets.
+
+    ``gate`` is one of ``"not"``, ``"pass"``, ``"or"`` and ``"and"``.  For
+    the binary gates three oscillator inputs are wired through pass-through
+    (OR) or pass-through + level shift (AND is exercised through full CNF
+    encodings in the tests instead).
+    """
+    network = TrustNetwork()
+    namer = _Namer()
+    gadget = GadgetNetwork(network=network)
+    x = add_oscillator(network, "X", namer)
+    gadget.variable_outputs["X"] = x
+    if gate == "not":
+        gadget.output = add_not_gate(network, x, "OUT", namer)
+    elif gate == "pass":
+        gadget.output = add_pass_through_gate(network, x, "OUT", namer)
+    elif gate == "or":
+        y = add_oscillator(network, "Y", namer)
+        z = add_oscillator(network, "Z", namer)
+        gadget.variable_outputs.update({"Y": y, "Z": z})
+        literals = [
+            add_pass_through_gate(network, node, f"P{i}", namer)
+            for i, node in enumerate((x, y, z))
+        ]
+        gadget.output = add_or_gate(network, literals, "OUT", namer)
+    else:
+        raise NetworkError(f"unknown test gate {gate!r}")
+    return gadget
+
+
+def encode_cnf(formula: Formula) -> GadgetNetwork:
+    """Encode a CNF formula as a binary trust network (Figure 16f).
+
+    ``formula`` is a sequence of clauses, each a sequence of
+    ``(variable, polarity)`` literals.  The returned gadget network's output
+    node holds ``f+`` in some stable solution iff the formula is satisfiable
+    (under the Agnostic or Eclectic paradigm).
+    """
+    if not formula:
+        raise NetworkError("the CNF formula must contain at least one clause")
+    network = TrustNetwork()
+    namer = _Namer()
+    gadget = GadgetNetwork(network=network)
+
+    variables = sorted({var for clause in formula for var, _ in clause})
+    for var in variables:
+        gadget.variable_outputs[var] = add_oscillator(network, f"VAR.{var}", namer)
+
+    # Level 2: one literal node per distinct literal occurring in the formula.
+    literal_nodes: Dict[Literal, User] = {}
+    for clause in formula:
+        for literal in clause:
+            if literal in literal_nodes:
+                continue
+            var, polarity = literal
+            source = gadget.variable_outputs[var]
+            if polarity:
+                node = add_pass_through_gate(network, source, f"LIT.{var}", namer)
+            else:
+                node = add_not_gate(network, source, f"LIT.not-{var}", namer)
+            literal_nodes[literal] = node
+
+    # Level 3: one OR gate per clause.
+    clause_outputs: List[User] = []
+    for index, clause in enumerate(formula):
+        if not clause:
+            raise NetworkError("clauses must not be empty")
+        inputs = [literal_nodes[literal] for literal in clause]
+        clause_outputs.append(add_or_gate(network, inputs, f"CLAUSE.{index}", namer))
+
+    # Level 4: a single AND gate over all clauses.
+    gadget.output = add_and_gate(network, clause_outputs, "Z", namer)
+    return gadget
+
+
+def cnf_is_satisfiable_via_trust_network(
+    formula: Formula, paradigm: Paradigm | str = Paradigm.AGNOSTIC
+) -> bool:
+    """Decide satisfiability through the reduction of Theorem 3.4.
+
+    Satisfiable iff ``f+`` is possible at the output node ``Z``.
+    """
+    gadget = encode_cnf(formula)
+    return LEVEL_ENCODING[4][True] in gadget.possible_output_values(paradigm)
+
+
+def cnf_is_satisfiable_directly(formula: Formula) -> bool:
+    """Reference brute-force SAT check used to validate the reduction."""
+    variables = sorted({var for clause in formula for var, _ in clause})
+    for bits in itertools.product([False, True], repeat=len(variables)):
+        assignment = dict(zip(variables, bits))
+        if all(
+            any(assignment[var] == polarity for var, polarity in clause)
+            for clause in formula
+        ):
+            return True
+    return False

@@ -1,0 +1,336 @@
+"""Priority trust networks (Definitions 2.1–2.3 and Section 2.2).
+
+A *priority trust mapping* ``(parent, priority, child)`` states that user
+``child`` is willing to accept the value believed by user ``parent``, and
+that among the child's trusted parents, the one with the largest priority
+wins (ties are broken arbitrarily, i.e. both values become possible).
+
+A :class:`TrustNetwork` bundles the set of users, the set of mappings and the
+explicit beliefs ``b0``.  Explicit beliefs may be plain positive values
+(Section 2) or :class:`~repro.core.beliefs.BeliefSet` objects containing
+negative beliefs (Section 3).
+
+A :class:`BinaryTrustNetwork` (Section 2.2) restricts every node to at most
+two incoming edges and requires explicit beliefs to appear only on root nodes
+(nodes without parents).  Every trust network can be converted into an
+equivalent binary one (Proposition 2.8, implemented in
+:mod:`repro.core.binarize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.beliefs import Belief, BeliefSet, Value
+from repro.core.errors import NetworkError, NotBinaryError
+
+User = Hashable
+"""Type alias for user identifiers.  Any hashable object may identify a user."""
+
+
+@dataclass(frozen=True, order=True)
+class TrustMapping:
+    """A priority trust mapping ``m = (parent, priority, child)`` (Def. 2.2).
+
+    The child trusts the parent's value with the given integer priority.
+    Priorities are only comparable among mappings *entering the same child*.
+    """
+
+    parent: User
+    priority: int
+    child: User
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return f"{self.parent} --{self.priority}--> {self.child}"
+
+
+def _coerce_explicit_belief(raw: object) -> BeliefSet:
+    """Accept a plain value, a Belief, an iterable of Beliefs, or a BeliefSet."""
+    if isinstance(raw, BeliefSet):
+        return raw
+    if isinstance(raw, Belief):
+        return BeliefSet.from_beliefs([raw])
+    if isinstance(raw, (list, tuple, set, frozenset)):
+        return BeliefSet.from_beliefs(raw)
+    return BeliefSet.from_positive(raw)
+
+
+class TrustNetwork:
+    """A priority trust network ``TN = (U, E, b0)`` (Definition 2.3).
+
+    Parameters
+    ----------
+    users:
+        The set of users.  Users mentioned in mappings or beliefs are added
+        automatically, so this may be omitted.
+    mappings:
+        Iterable of :class:`TrustMapping` or ``(parent, priority, child)``
+        triples.
+    explicit_beliefs:
+        Mapping from user to an explicit belief.  A plain value ``v`` is
+        interpreted as the positive belief ``v+``; a :class:`BeliefSet` (or an
+        iterable of :class:`Belief`) may contain negative beliefs for the
+        constraint model of Section 3.
+    """
+
+    def __init__(
+        self,
+        users: Iterable[User] = (),
+        mappings: Iterable[TrustMapping | Tuple[User, int, User]] = (),
+        explicit_beliefs: Optional[Mapping[User, object]] = None,
+    ) -> None:
+        self._users: Set[User] = set(users)
+        self._mappings: List[TrustMapping] = []
+        self._incoming: Dict[User, List[TrustMapping]] = {}
+        self._outgoing: Dict[User, List[TrustMapping]] = {}
+        self._beliefs: Dict[User, BeliefSet] = {}
+
+        for mapping in mappings:
+            if not isinstance(mapping, TrustMapping):
+                mapping = TrustMapping(*mapping)
+            self.add_mapping(mapping)
+        for user, belief in (explicit_beliefs or {}).items():
+            self.set_explicit_belief(user, belief)
+
+    # ------------------------------------------------------------------ #
+    # construction                                                        #
+    # ------------------------------------------------------------------ #
+
+    def add_user(self, user: User) -> None:
+        """Add a user (idempotent)."""
+        self._users.add(user)
+
+    def add_mapping(
+        self, mapping: TrustMapping | Tuple[User, int, User]
+    ) -> TrustMapping:
+        """Add a priority trust mapping, creating its endpoints if needed."""
+        if not isinstance(mapping, TrustMapping):
+            mapping = TrustMapping(*mapping)
+        if mapping.parent == mapping.child:
+            raise NetworkError(f"self-trust mapping is not allowed: {mapping}")
+        self._users.add(mapping.parent)
+        self._users.add(mapping.child)
+        self._mappings.append(mapping)
+        self._incoming.setdefault(mapping.child, []).append(mapping)
+        self._outgoing.setdefault(mapping.parent, []).append(mapping)
+        return mapping
+
+    def add_trust(self, child: User, parent: User, priority: int) -> TrustMapping:
+        """Convenience wrapper: ``child`` trusts ``parent`` with ``priority``."""
+        return self.add_mapping(TrustMapping(parent, priority, child))
+
+    def set_explicit_belief(self, user: User, belief: object) -> None:
+        """Set (or replace) the explicit belief ``b0(user)``."""
+        self._users.add(user)
+        self._beliefs[user] = _coerce_explicit_belief(belief)
+
+    def remove_explicit_belief(self, user: User) -> None:
+        """Revoke the explicit belief of a user (no-op if there is none)."""
+        self._beliefs.pop(user, None)
+
+    # ------------------------------------------------------------------ #
+    # basic accessors                                                     #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def users(self) -> FrozenSet[User]:
+        """The set of users ``U``."""
+        return frozenset(self._users)
+
+    @property
+    def mappings(self) -> Tuple[TrustMapping, ...]:
+        """The set of priority trust mappings ``E`` (in insertion order)."""
+        return tuple(self._mappings)
+
+    @property
+    def size(self) -> int:
+        """``|U| + |E|`` — the size measure used throughout the paper's plots."""
+        return len(self._users) + len(self._mappings)
+
+    def explicit_belief(self, user: User) -> Optional[BeliefSet]:
+        """The explicit belief ``b0(user)`` or ``None``."""
+        return self._beliefs.get(user)
+
+    def explicit_positive_value(self, user: User) -> Optional[Value]:
+        """The explicit positive value of ``user`` or ``None``."""
+        belief = self._beliefs.get(user)
+        if belief is None:
+            return None
+        return belief.positive_value
+
+    @property
+    def explicit_beliefs(self) -> Dict[User, BeliefSet]:
+        """Copy of the explicit-belief assignment ``b0``."""
+        return dict(self._beliefs)
+
+    def has_explicit_belief(self, user: User) -> bool:
+        """True iff ``b0(user)`` is defined (positive or negative)."""
+        return user in self._beliefs
+
+    def incoming(self, user: User) -> Tuple[TrustMapping, ...]:
+        """All mappings entering ``user`` (its trusted parents)."""
+        return tuple(self._incoming.get(user, ()))
+
+    def outgoing(self, user: User) -> Tuple[TrustMapping, ...]:
+        """All mappings leaving ``user`` (the users that trust it)."""
+        return tuple(self._outgoing.get(user, ()))
+
+    def parents(self, user: User) -> Tuple[User, ...]:
+        """The parents of ``user`` in descending priority order."""
+        edges = sorted(
+            self._incoming.get(user, ()), key=lambda m: m.priority, reverse=True
+        )
+        return tuple(edge.parent for edge in edges)
+
+    def children(self, user: User) -> Tuple[User, ...]:
+        """The users that trust ``user``."""
+        return tuple(edge.child for edge in self._outgoing.get(user, ()))
+
+    def roots(self) -> FrozenSet[User]:
+        """Users without incoming mappings."""
+        return frozenset(u for u in self._users if not self._incoming.get(u))
+
+    def __contains__(self, user: User) -> bool:
+        return user in self._users
+
+    def __len__(self) -> int:
+        return len(self._users)
+
+    def __iter__(self) -> Iterator[User]:
+        return iter(self._users)
+
+    # ------------------------------------------------------------------ #
+    # structure queries                                                   #
+    # ------------------------------------------------------------------ #
+
+    def preferred_parent(self, user: User) -> Optional[User]:
+        """The preferred parent of ``user`` (Section 2.2), if any.
+
+        A single parent is preferred; with two or more parents the unique
+        parent of strictly highest priority is preferred; if the highest
+        priority is shared, no parent is preferred.
+        """
+        edges = self._incoming.get(user, ())
+        if not edges:
+            return None
+        if len(edges) == 1:
+            return edges[0].parent
+        ordered = sorted(edges, key=lambda m: m.priority, reverse=True)
+        if ordered[0].priority > ordered[1].priority:
+            return ordered[0].parent
+        return None
+
+    def preferred_edges(self) -> List[TrustMapping]:
+        """All edges ``z -> x`` where ``z`` is the preferred parent of ``x``."""
+        result = []
+        for user in self._users:
+            preferred = self.preferred_parent(user)
+            if preferred is None:
+                continue
+            for edge in self._incoming.get(user, ()):
+                if edge.parent == preferred:
+                    result.append(edge)
+                    break
+        return result
+
+    def non_preferred_edges(self) -> List[TrustMapping]:
+        """All edges that are not preferred edges."""
+        preferred = set()
+        for user in self._users:
+            parent = self.preferred_parent(user)
+            if parent is None:
+                continue
+            for edge in self._incoming.get(user, ()):
+                if edge.parent == parent:
+                    preferred.add(edge)
+                    break
+        return [edge for edge in self._mappings if edge not in preferred]
+
+    def is_binary(self) -> bool:
+        """True iff every node has at most two incoming edges and explicit
+        beliefs appear only on root nodes."""
+        for user in self._users:
+            if len(self._incoming.get(user, ())) > 2:
+                return False
+        for user in self._beliefs:
+            if self._incoming.get(user):
+                return False
+        return True
+
+    def is_acyclic(self) -> bool:
+        """True iff the trust graph contains no directed cycle."""
+        return nx.is_directed_acyclic_graph(self.to_digraph())
+
+    def to_digraph(self) -> nx.DiGraph:
+        """The underlying directed graph (parent → child) with priorities."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self._users)
+        for mapping in self._mappings:
+            graph.add_edge(mapping.parent, mapping.child, priority=mapping.priority)
+        return graph
+
+    def reachable_from_roots_with_beliefs(self) -> FrozenSet[User]:
+        """Users reachable from some user with an explicit belief."""
+        graph = self.to_digraph()
+        sources = [u for u in self._beliefs if u in graph]
+        reachable: Set[User] = set(sources)
+        for source in sources:
+            reachable.update(nx.descendants(graph, source))
+        return frozenset(reachable)
+
+    def copy(self) -> "TrustNetwork":
+        """A structural copy sharing no mutable state with the original."""
+        clone = type(self).__new__(type(self))
+        TrustNetwork.__init__(clone)
+        clone._users = set(self._users)
+        clone._mappings = list(self._mappings)
+        clone._incoming = {u: list(edges) for u, edges in self._incoming.items()}
+        clone._outgoing = {u: list(edges) for u, edges in self._outgoing.items()}
+        clone._beliefs = dict(self._beliefs)
+        return clone
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return (
+            f"{type(self).__name__}(|U|={len(self._users)}, |E|={len(self._mappings)}, "
+            f"|b0|={len(self._beliefs)})"
+        )
+
+
+class BinaryTrustNetwork(TrustNetwork):
+    """A binary trust network (Section 2.2).
+
+    Enforces the two structural restrictions at validation time:
+
+    * every node has at most two incoming edges, and
+    * explicit beliefs are defined only for root nodes.
+
+    Use :func:`repro.core.binarize.binarize` to convert an arbitrary
+    :class:`TrustNetwork` into an equivalent binary one.
+    """
+
+    def validate(self) -> None:
+        """Raise :class:`NotBinaryError` if the restrictions are violated."""
+        for user in self.users:
+            if len(self.incoming(user)) > 2:
+                raise NotBinaryError(
+                    f"user {user!r} has {len(self.incoming(user))} parents (max 2)"
+                )
+        for user in self.explicit_beliefs:
+            if self.incoming(user):
+                raise NotBinaryError(
+                    f"user {user!r} has both an explicit belief and parents"
+                )
+
+    @classmethod
+    def from_network(cls, network: TrustNetwork) -> "BinaryTrustNetwork":
+        """Reinterpret an already-binary network as a :class:`BinaryTrustNetwork`."""
+        btn = cls(
+            users=network.users,
+            mappings=network.mappings,
+            explicit_beliefs=network.explicit_beliefs,
+        )
+        btn.validate()
+        return btn

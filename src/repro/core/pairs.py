@@ -1,0 +1,325 @@
+"""Possible pairs, agreement checking and consensus values (Sect. 2.1, 2.5).
+
+Beyond the per-user snapshot, the paper sketches queries *about* the
+conflicts themselves:
+
+* ``poss(x, y)`` — the pairs of values users ``x`` and ``y`` can take
+  *together* in a stable solution (Proposition 2.13).
+* *Agreement checking* — pairs of users that agree in every stable solution.
+* *Consensus values* — values on which two users always agree (``b(x) = v``
+  iff ``b(y) = v`` in every stable solution).
+
+Two implementations are provided:
+
+* :func:`possible_pairs` enumerates stable solutions with the brute-force
+  oracle and is exact; it is intended for small networks (tests, examples,
+  interactive analysis of a handful of users).
+* :func:`possible_pairs_incremental` follows the algorithmic extension of
+  Proposition 2.13: it re-runs Algorithm 1 while maintaining pair sets,
+  adding diagonal pairs for values that flood a whole component and cross
+  pairs justified by vertex-disjoint paths inside the component (preferred
+  edges collapsed).  The disjoint-path test enumerates simple paths up to a
+  configurable bound, which is exact on the modest components the paper's
+  analysis targets.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.beliefs import Value
+from repro.core.bruteforce import possible_pairs_bruteforce
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork, User
+from repro.core.resolution import resolve
+
+PairTable = Dict[Tuple[User, User], FrozenSet[Tuple[Value, Value]]]
+
+#: Maximum number of simple paths examined per disjoint-path query.
+_MAX_SIMPLE_PATHS = 512
+
+
+def possible_pairs(network: TrustNetwork, max_nodes: int = 24) -> PairTable:
+    """Exact ``poss(x, y)`` for every ordered pair of users (small networks)."""
+    return possible_pairs_bruteforce(network, max_nodes=max_nodes)
+
+
+def agreement_pairs(
+    network: TrustNetwork,
+    pairs: Optional[PairTable] = None,
+    max_nodes: int = 24,
+) -> FrozenSet[Tuple[User, User]]:
+    """Pairs of users that hold the same value in every stable solution.
+
+    A pair with no common stable assignment at all (one of the users is
+    undefined everywhere) is not reported as agreeing.
+    """
+    if pairs is None:
+        pairs = possible_pairs(network, max_nodes=max_nodes)
+    agreeing = set()
+    for (x, y), values in pairs.items():
+        if x == y:
+            continue
+        if values and all(v == w for v, w in values):
+            agreeing.add((x, y))
+    return frozenset(agreeing)
+
+
+def consensus_values(
+    network: TrustNetwork,
+    x: User,
+    y: User,
+    pairs: Optional[PairTable] = None,
+    max_nodes: int = 24,
+) -> FrozenSet[Value]:
+    """Values ``v`` such that in every stable solution ``b(x)=v iff b(y)=v``."""
+    if pairs is None:
+        pairs = possible_pairs(network, max_nodes=max_nodes)
+    observed = pairs.get((x, y), frozenset())
+    candidates: Set[Value] = set()
+    for v, w in observed:
+        candidates.add(v)
+        candidates.add(w)
+    result = set()
+    for value in candidates:
+        if all((v == value) == (w == value) for v, w in observed):
+            result.add(value)
+    return frozenset(result)
+
+
+def possible_pairs_incremental(network: TrustNetwork) -> PairTable:
+    """``poss(x, y)`` via the Proposition 2.13 extension of Algorithm 1.
+
+    The network must be binary.  The implementation mirrors Algorithm 1's
+    closed/open loop; see the module docstring for the exactness caveat of
+    the disjoint-path test.
+    """
+    if not network.is_binary():
+        raise NetworkError("possible_pairs_incremental requires a binary network")
+
+    base = resolve(network)  # reuse Algorithm 1 for the per-user sets
+    explicit: Dict[User, Value] = {}
+    for user, belief in network.explicit_beliefs.items():
+        value = belief.positive_value
+        if value is not None:
+            explicit[user] = value
+
+    graph = network.to_digraph()
+    reachable: Set[User] = set(explicit)
+    for source in explicit:
+        reachable.update(nx.descendants(graph, source))
+
+    poss: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    pairs: Dict[Tuple[User, User], Set[Tuple[Value, Value]]] = {}
+
+    def add_pair(u: User, v: User, pair: Tuple[Value, Value]) -> None:
+        pairs.setdefault((u, v), set()).add(pair)
+        pairs.setdefault((v, u), set()).add((pair[1], pair[0]))
+
+    closed: Set[User] = set()
+    for user, value in explicit.items():
+        poss[user].add(value)
+        closed.add(user)
+    for x, y in itertools.product(explicit, repeat=2):
+        add_pair(x, y, (explicit[x], explicit[y]))
+
+    open_nodes = set(reachable) - closed
+    preferred = {user: _preferred_parent_in(network, reachable, user) for user in reachable}
+
+    while open_nodes:
+        step1_node = _find_step1(open_nodes, closed, preferred)
+        if step1_node is not None:
+            node, parent = step1_node
+            poss[node] = set(poss[parent])
+            for user in closed:
+                for pair in pairs.get((user, parent), ()):
+                    add_pair(user, node, pair)
+            for value in poss[parent]:
+                add_pair(parent, node, (value, value))
+                add_pair(node, node, (value, value))
+            closed.add(node)
+            open_nodes.discard(node)
+            continue
+        _step2_with_pairs(
+            network, reachable, open_nodes, closed, preferred, poss, pairs, add_pair
+        )
+
+    result: PairTable = {}
+    users = sorted(network.users, key=str)
+    for x in users:
+        for y in users:
+            result[(x, y)] = frozenset(pairs.get((x, y), frozenset()))
+    # Sanity: the marginals must agree with Algorithm 1.
+    for user in users:
+        marginal = {v for v, _ in result.get((user, user), frozenset())}
+        if marginal != set(base.possible_values(user)):
+            raise NetworkError(
+                f"pair computation disagrees with Algorithm 1 at {user!r}"
+            )  # pragma: no cover - internal consistency check
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# internals                                                               #
+# ---------------------------------------------------------------------- #
+
+
+def _preferred_parent_in(
+    network: TrustNetwork, reachable: Set[User], user: User
+) -> Optional[User]:
+    edges = [e for e in network.incoming(user) if e.parent in reachable]
+    if not edges:
+        return None
+    if len(edges) == 1:
+        return edges[0].parent
+    ordered = sorted(edges, key=lambda e: e.priority, reverse=True)
+    if ordered[0].priority > ordered[1].priority:
+        return ordered[0].parent
+    return None
+
+
+def _find_step1(
+    open_nodes: Set[User], closed: Set[User], preferred: Dict[User, Optional[User]]
+) -> Optional[Tuple[User, User]]:
+    for node in sorted(open_nodes, key=str):
+        parent = preferred.get(node)
+        if parent is not None and parent in closed:
+            return node, parent
+    return None
+
+
+def _step2_with_pairs(
+    network: TrustNetwork,
+    reachable: Set[User],
+    open_nodes: Set[User],
+    closed: Set[User],
+    preferred: Dict[User, Optional[User]],
+    poss: Dict[User, Set[Value]],
+    pairs: Dict[Tuple[User, User], Set[Tuple[Value, Value]]],
+    add_pair,
+) -> None:
+    scc = _minimal_open_scc(network, reachable, open_nodes)
+
+    # Entering edges from closed nodes, with their entry points in the SCC.
+    entries: List[Tuple[User, User]] = []
+    for node in scc:
+        for edge in network.incoming(node):
+            if edge.parent in closed and edge.parent in reachable:
+                entries.append((edge.parent, node))
+
+    # Per-user flooding, identical to Algorithm 1.
+    flood: Set[Value] = set()
+    for parent, _entry in entries:
+        flood.update(poss[parent])
+    for node in scc:
+        poss[node] = set(flood)
+
+    # Pairs between closed users and component members.
+    for user in closed:
+        for parent, _entry in entries:
+            for pair in pairs.get((user, parent), ()):
+                for node in scc:
+                    add_pair(user, node, pair)
+
+    # Diagonal pairs: a single value flooding the whole component.
+    for parent, _entry in entries:
+        for value in poss[parent]:
+            for x, y in itertools.product(scc, repeat=2):
+                add_pair(x, y, (value, value))
+
+    # Cross pairs justified by vertex-disjoint paths in the collapsed graph.
+    collapsed, member_of = _collapse_preferred(network, scc)
+    for (p1, e1), (p2, e2) in itertools.permutations(entries, 2):
+        source1, source2 = member_of[e1], member_of[e2]
+        for x, y in itertools.product(scc, repeat=2):
+            t1, t2 = member_of[x], member_of[y]
+            if t1 == t2:
+                continue
+            if _disjoint_paths_exist(collapsed, source1, t1, source2, t2):
+                for pair in pairs.get((p1, p2), ()):
+                    if pair[0] != pair[1]:
+                        add_pair(x, y, pair)
+
+    for node in scc:
+        open_nodes.discard(node)
+        closed.add(node)
+
+
+def _minimal_open_scc(
+    network: TrustNetwork, reachable: Set[User], open_nodes: Set[User]
+) -> Set[User]:
+    subgraph = nx.DiGraph()
+    subgraph.add_nodes_from(open_nodes)
+    for node in open_nodes:
+        for edge in network.incoming(node):
+            if edge.parent in open_nodes and edge.parent in reachable:
+                subgraph.add_edge(edge.parent, node)
+    condensation = nx.condensation(subgraph)
+    for component_id in nx.topological_sort(condensation):
+        if condensation.in_degree(component_id) == 0:
+            return set(condensation.nodes[component_id]["members"])
+    raise NetworkError("open subgraph has no minimal SCC")  # pragma: no cover
+
+
+def _collapse_preferred(
+    network: TrustNetwork, scc: Set[User]
+) -> Tuple[nx.DiGraph, Dict[User, int]]:
+    """Collapse nodes of the component connected by preferred edges.
+
+    In any stable solution two nodes joined by a preferred edge hold the same
+    value, so they behave as a single node for the disjoint-path argument.
+    """
+    union = nx.Graph()
+    union.add_nodes_from(scc)
+    for node in scc:
+        preferred = network.preferred_parent(node)
+        if preferred is not None and preferred in scc:
+            union.add_edge(preferred, node)
+
+    member_of: Dict[User, int] = {}
+    for index, component in enumerate(nx.connected_components(union)):
+        for node in component:
+            member_of[node] = index
+
+    collapsed = nx.DiGraph()
+    collapsed.add_nodes_from(set(member_of.values()))
+    for node in scc:
+        for edge in network.incoming(node):
+            if edge.parent in scc:
+                a, b = member_of[edge.parent], member_of[node]
+                if a != b:
+                    collapsed.add_edge(a, b)
+    return collapsed, member_of
+
+
+def _disjoint_paths_exist(
+    graph: nx.DiGraph, s1: int, t1: int, s2: int, t2: int
+) -> bool:
+    """Do vertex-disjoint paths ``s1 → t1`` and ``s2 → t2`` exist?
+
+    Exact for small components: enumerates simple paths for one pair (bounded
+    by ``_MAX_SIMPLE_PATHS``) and checks reachability for the other pair in
+    the remaining graph; then retries with the two pairs swapped.
+    """
+    if s1 == s2 or s1 == t2 or t1 == s2 or t1 == t2:
+        # Shared endpoints can never be vertex-disjoint.
+        return False
+    if any(node not in graph for node in (s1, t1, s2, t2)):
+        return False
+    for (a, b, c, d) in ((s1, t1, s2, t2), (s2, t2, s1, t1)):
+        candidate_paths = [[a]] if a == b else nx.all_simple_paths(graph, a, b)
+        count = 0
+        for path in candidate_paths:
+            count += 1
+            if count > _MAX_SIMPLE_PATHS:
+                break
+            removed = set(path)
+            if c in removed or d in removed:
+                continue
+            remaining = graph.subgraph(set(graph.nodes) - removed)
+            if c == d or (c in remaining and d in remaining and nx.has_path(remaining, c, d)):
+                return True
+    return False

@@ -1,0 +1,364 @@
+"""The Resolution Algorithm (Algorithm 1, Section 2.4).
+
+Given a binary trust network the algorithm computes, for every user ``x``,
+the set of *possible* values ``poss(x)`` (values taken by ``x`` in at least
+one stable solution) and the *certain* value ``cert(x)`` (the value taken in
+*every* stable solution, which exists exactly when ``poss(x)`` is a
+singleton).
+
+The algorithm maintains a set of *closed* nodes whose possible values are
+final.  It alternates two steps until every node is closed:
+
+* **Step 1** greedily propagates ``poss`` along preferred edges from closed
+  to open nodes (the preferred parent always wins, so its possible values
+  transfer unchanged).
+* **Step 2** fires when no preferred edge can be traversed: it computes the
+  strongly connected components of the open subgraph, picks a minimal SCC
+  ``S`` (one with no incoming edges from other open SCCs — all its incoming
+  edges come from closed nodes and are non-preferred), and floods ``S`` with
+  the union of the possible values of those closed parents.
+
+The worst case is quadratic in the number of nodes because the SCC graph may
+need to be recomputed after each flooding step (Appendix B.5); on typical
+networks the observed behaviour is linear (Section 5).
+
+Lineage pointers (Section 2.5, "Retrieving lineage") are recorded for every
+value inserted into a ``poss`` set so that each possible value can be traced
+back to at least one explicit belief.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.beliefs import BeliefSet, Value
+from repro.core.errors import NetworkError
+from repro.core.network import TrustMapping, TrustNetwork, User
+
+
+@dataclass(frozen=True)
+class LineageStep:
+    """One backward pointer in a lineage: value ``value`` at ``user`` was
+    imported from the same value at ``source`` (``source is None`` marks an
+    explicit belief)."""
+
+    user: User
+    value: Value
+    source: Optional[User]
+
+
+@dataclass
+class ResolutionResult:
+    """Possible and certain values for every user, with lineage pointers."""
+
+    possible: Dict[User, FrozenSet[Value]]
+    lineage_pointers: Dict[Tuple[User, Value], FrozenSet[Optional[User]]]
+    explicit_users: FrozenSet[User]
+
+    def possible_values(self, user: User) -> FrozenSet[Value]:
+        """``poss(user)`` — the set of possible values (Definition 2.7)."""
+        return self.possible.get(user, frozenset())
+
+    def certain_values(self, user: User) -> FrozenSet[Value]:
+        """``cert(user)`` — a singleton if all stable solutions agree, else ∅."""
+        values = self.possible_values(user)
+        if len(values) == 1:
+            return values
+        return frozenset()
+
+    def certain_value(self, user: User) -> Optional[Value]:
+        """The certain value of ``user`` or ``None`` when there is none."""
+        values = self.certain_values(user)
+        for value in values:
+            return value
+        return None
+
+    def has_conflict(self, user: User) -> bool:
+        """True iff the user has more than one possible value."""
+        return len(self.possible_values(user)) > 1
+
+    def users_with_conflicts(self) -> FrozenSet[User]:
+        """All users whose snapshot cannot show a single value."""
+        return frozenset(u for u, vals in self.possible.items() if len(vals) > 1)
+
+    def snapshot(self) -> Dict[User, Value]:
+        """The consistent snapshot: each user mapped to its certain value."""
+        result: Dict[User, Value] = {}
+        for user, values in self.possible.items():
+            if len(values) == 1:
+                (value,) = values
+                result[user] = value
+        return result
+
+    def trace_lineage(self, user: User, value: Value) -> List[LineageStep]:
+        """One lineage of ``value ∈ poss(user)`` back to an explicit belief.
+
+        Follows the recorded pointers greedily; the result starts at ``user``
+        and ends at a user holding the value as an explicit belief.  Raises
+        :class:`KeyError` if the value is not possible at the user.
+        """
+        if value not in self.possible_values(user):
+            raise KeyError(f"{value!r} is not a possible value for {user!r}")
+        path: List[LineageStep] = []
+        current = user
+        visited: Set[User] = set()
+        while True:
+            if current in visited:
+                # Defensive: pointer cycles cannot happen because pointers
+                # always reach back to nodes closed strictly earlier.
+                raise NetworkError("lineage pointers form a cycle")
+            visited.add(current)
+            sources = self.lineage_pointers.get((current, value), frozenset())
+            if current in self.explicit_users and None in sources:
+                path.append(LineageStep(current, value, None))
+                return path
+            chosen: Optional[User] = None
+            for source in sources:
+                if source is not None:
+                    chosen = source
+                    break
+            if chosen is None:
+                raise NetworkError(
+                    f"no lineage pointer recorded for {value!r} at {current!r}"
+                )
+            path.append(LineageStep(current, value, chosen))
+            current = chosen
+
+
+def resolve(network: TrustNetwork) -> ResolutionResult:
+    """Run Algorithm 1 on a (binary) trust network.
+
+    The network must be binary in the structural sense of Section 2.2 (at
+    most two parents per node, beliefs only on roots); use
+    :func:`repro.core.binarize.binarize` first otherwise.  Only the positive
+    explicit values are used — negative beliefs are the subject of
+    Algorithm 2 (:mod:`repro.core.skeptic`).
+
+    Nodes that are unreachable from every node with an explicit belief have
+    an undefined belief in every stable solution; they are reported with an
+    empty ``poss`` set.
+    """
+    if not network.is_binary():
+        raise NetworkError(
+            "Algorithm 1 requires a binary trust network; call binarize() first"
+        )
+
+    explicit: Dict[User, Value] = {}
+    for user, belief in network.explicit_beliefs.items():
+        value = belief.positive_value
+        if value is not None:
+            explicit[user] = value
+
+    reachable = _reachable_from(network, explicit.keys())
+
+    possible: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    lineage: Dict[Tuple[User, Value], Set[Optional[User]]] = {}
+
+    closed: Set[User] = set()
+    for user, value in explicit.items():
+        possible[user].add(value)
+        lineage.setdefault((user, value), set()).add(None)
+        closed.add(user)
+
+    open_nodes: Set[User] = set(reachable) - closed
+    # Parents with forever-undefined beliefs never conflict with anything
+    # (Definition 2.4, condition 3), so edges from unreachable nodes can be
+    # ignored; this also re-classifies the surviving parent as preferred.
+    pruned = _pruned_view(network, reachable)
+
+    while open_nodes:
+        progressed = _propagate_preferred(pruned, closed, open_nodes, possible, lineage)
+        if progressed:
+            continue
+        _flood_minimal_sccs(pruned, closed, open_nodes, possible, lineage)
+
+    return ResolutionResult(
+        possible={user: frozenset(values) for user, values in possible.items()},
+        lineage_pointers={
+            key: frozenset(sources) for key, sources in lineage.items()
+        },
+        explicit_users=frozenset(explicit),
+    )
+
+
+def certain_snapshot(network: TrustNetwork) -> Dict[User, Value]:
+    """Convenience wrapper: resolve the network and return the certain snapshot."""
+    return resolve(network).snapshot()
+
+
+# ---------------------------------------------------------------------- #
+# internals                                                               #
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class _PrunedView:
+    """Adjacency restricted to nodes reachable from explicit beliefs."""
+
+    preferred_parent: Dict[User, Optional[User]]
+    parents: Dict[User, List[User]]
+    children_pref: Dict[User, List[User]]
+    children_all: Dict[User, List[User]]
+    nodes: FrozenSet[User]
+
+
+def _reachable_from(network: TrustNetwork, sources) -> Set[User]:
+    """All users reachable (along trust edges) from the given sources.
+
+    A single multi-source traversal keeps this linear in the network size
+    even when many users carry explicit beliefs (e.g. the web workload).
+    """
+    reachable: Set[User] = set()
+    stack: List[User] = []
+    for source in sources:
+        if source in network and source not in reachable:
+            reachable.add(source)
+            stack.append(source)
+    while stack:
+        node = stack.pop()
+        for edge in network.outgoing(node):
+            if edge.child not in reachable:
+                reachable.add(edge.child)
+                stack.append(edge.child)
+    return reachable
+
+
+def _pruned_view(network: TrustNetwork, reachable: Set[User]) -> _PrunedView:
+    """Build adjacency maps over the reachable nodes only.
+
+    Edges whose parent is unreachable are dropped, and preferred parents are
+    re-derived on the surviving edges (a node whose higher-priority parent
+    can never hold a belief is effectively governed by the other parent).
+    """
+    preferred_parent: Dict[User, Optional[User]] = {}
+    parents: Dict[User, List[User]] = {}
+    children_pref: Dict[User, List[User]] = {node: [] for node in reachable}
+    children_all: Dict[User, List[User]] = {node: [] for node in reachable}
+
+    for node in reachable:
+        surviving = [
+            edge for edge in network.incoming(node) if edge.parent in reachable
+        ]
+        parents[node] = [edge.parent for edge in surviving]
+        preferred = _preferred_of(surviving)
+        preferred_parent[node] = preferred
+        for edge in surviving:
+            children_all[edge.parent].append(node)
+            if preferred is not None and edge.parent == preferred:
+                children_pref[edge.parent].append(node)
+
+    return _PrunedView(
+        preferred_parent=preferred_parent,
+        parents=parents,
+        children_pref=children_pref,
+        children_all=children_all,
+        nodes=frozenset(reachable),
+    )
+
+
+def _preferred_of(edges: Sequence[TrustMapping]) -> Optional[User]:
+    """The preferred parent among the given incoming edges, if any."""
+    if not edges:
+        return None
+    if len(edges) == 1:
+        return edges[0].parent
+    ordered = sorted(edges, key=lambda e: e.priority, reverse=True)
+    if ordered[0].priority > ordered[1].priority:
+        return ordered[0].parent
+    return None
+
+
+def _propagate_preferred(
+    view: _PrunedView,
+    closed: Set[User],
+    open_nodes: Set[User],
+    possible: Dict[User, Set[Value]],
+    lineage: Dict[Tuple[User, Value], Set[Optional[User]]],
+) -> bool:
+    """Step 1: close every open node whose preferred parent is closed.
+
+    Uses a worklist so that a whole chain of preferred edges is traversed in
+    one call.  Returns True iff at least one node was closed.
+    """
+    worklist: List[User] = [
+        node
+        for node in open_nodes
+        if view.preferred_parent.get(node) in closed
+        and view.preferred_parent.get(node) is not None
+    ]
+    progressed = False
+    while worklist:
+        node = worklist.pop()
+        if node not in open_nodes:
+            continue
+        parent = view.preferred_parent.get(node)
+        if parent is None or parent not in closed:
+            continue
+        for value in possible[parent]:
+            possible[node].add(value)
+            lineage.setdefault((node, value), set()).add(parent)
+        open_nodes.discard(node)
+        closed.add(node)
+        progressed = True
+        for child in view.children_pref.get(node, ()):
+            if child in open_nodes:
+                worklist.append(child)
+    return progressed
+
+
+def _flood_minimal_sccs(
+    view: _PrunedView,
+    closed: Set[User],
+    open_nodes: Set[User],
+    possible: Dict[User, Set[Value]],
+    lineage: Dict[Tuple[User, Value], Set[Optional[User]]],
+) -> None:
+    """Step 2: flood the minimal SCCs of the open subgraph with their inputs.
+
+    The paper's pseudocode closes one minimal SCC per iteration; every SCC
+    that is minimal at this point has all its incoming edges coming from
+    already-closed nodes, so closing the other minimal SCCs first cannot
+    change its flood set.  Processing all of them per condensation pass is
+    therefore equivalent and avoids an accidental quadratic blow-up on
+    workloads made of many *independent* cycles (Figure 8a) while preserving
+    the genuine quadratic behaviour on nested SCCs (Figure 15), where only
+    one component is minimal per pass.
+    """
+    for scc in _minimal_open_sccs(view, open_nodes):
+        flood: Set[Value] = set()
+        contributors: Dict[Value, Set[User]] = {}
+        for node in scc:
+            for parent in view.parents.get(node, ()):
+                if parent in closed:
+                    for value in possible[parent]:
+                        flood.add(value)
+                        contributors.setdefault(value, set()).add(parent)
+        for node in scc:
+            for value in flood:
+                possible[node].add(value)
+                lineage.setdefault((node, value), set()).update(contributors[value])
+            open_nodes.discard(node)
+            closed.add(node)
+
+
+def _minimal_open_sccs(view: _PrunedView, open_nodes: Set[User]) -> List[Set[User]]:
+    """The strongly connected components of the open subgraph that have no
+    incoming edges from other open SCCs (the sources of the condensation)."""
+    subgraph = nx.DiGraph()
+    subgraph.add_nodes_from(open_nodes)
+    for node in open_nodes:
+        for parent in view.parents.get(node, ()):
+            if parent in open_nodes:
+                subgraph.add_edge(parent, node)
+    condensation = nx.condensation(subgraph)
+    sources = [
+        set(condensation.nodes[component_id]["members"])
+        for component_id in condensation.nodes
+        if condensation.in_degree(component_id) == 0
+    ]
+    if not sources:
+        raise NetworkError("open subgraph has no minimal SCC")  # pragma: no cover
+    return sources

@@ -1,0 +1,449 @@
+"""The Skeptic Resolution Algorithm (Algorithm 2, Section 3.2).
+
+Under the Skeptic paradigm a positive belief ``v+`` carries the maximal
+constraint rejecting every other value, so propagating constraints stays
+tractable: Algorithm 2 computes for every node ``x`` a *representation*
+``repPoss(x)`` of its possible beliefs in quadratic time.
+
+``repPoss(x)`` may contain positive values, negative values and the marker
+⊥.  It is decoded into possible / certain beliefs by the five cases of
+Figure 18 (see :class:`SkepticRepresentation`).  Following the paper, the
+algorithm focuses on *positive* possible and certain beliefs; nodes that can
+only ever hold negative beliefs are reported with an empty representation
+(their forced constraints remain available through ``pref_neg``).
+
+The algorithm extends Algorithm 1 with a pre-processing phase that computes
+``prefNeg(x)``: the negative beliefs forced onto ``x`` through chains of
+preferred edges from explicit constraints.  During SCC flooding a positive
+value only reaches the part of the component not forced to reject it; the
+unreachable part receives ⊥ instead, because in the Skeptic paradigm
+rejecting the value of one's trusted source leaves no acceptable value at
+all (``{v-} ⊎_S {v+} = ⊥``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.core.beliefs import Belief, BeliefSet, Value
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork, User
+
+
+class Bottom:
+    """Singleton marker for ⊥ inside ``repPoss`` sets."""
+
+    _instance: Optional["Bottom"] = None
+
+    def __new__(cls) -> "Bottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - repr convenience
+        return "⊥"
+
+
+BOTTOM_MARKER = Bottom()
+
+
+@dataclass(frozen=True)
+class SkepticRepresentation:
+    """The decoded content of ``repPoss(x)`` (Figure 18).
+
+    Attributes
+    ----------
+    positives:
+        Positive values present in ``repPoss(x)``.
+    negatives:
+        Bare negative values present in ``repPoss(x)``.
+    has_bottom:
+        Whether ⊥ is present.
+    """
+
+    positives: FrozenSet[Value] = frozenset()
+    negatives: FrozenSet[Value] = frozenset()
+    has_bottom: bool = False
+
+    @property
+    def is_type2(self) -> bool:
+        """Type 2 representations contain a positive value or ⊥ (Section 3.2)."""
+        return bool(self.positives) or self.has_bottom
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.positives and not self.negatives and not self.has_bottom
+
+    def possible_positive_values(self) -> FrozenSet[Value]:
+        """Positive values possible at the node."""
+        return self.positives
+
+    def certain_positive_values(self) -> FrozenSet[Value]:
+        """Positive values held in *every* stable solution.
+
+        By Figure 18 this is non-empty only in case 3: a single positive value
+        and no evidence that the value can also be rejected.
+        """
+        if len(self.positives) == 1 and not self.has_bottom:
+            (value,) = self.positives
+            if value not in self.negatives:
+                return frozenset({value})
+        return frozenset()
+
+    def possible_beliefs(self, domain: Iterable[Value]) -> FrozenSet[Belief]:
+        """All possible beliefs over a finite domain (Figure 18, poss column)."""
+        domain_set = frozenset(domain) | self.positives | self.negatives
+        result: Set[Belief] = set()
+        for value in self.negatives:
+            result.add(Belief.negative(value))
+        if self.has_bottom:
+            result.update(Belief.negative(value) for value in domain_set)
+        for value in self.positives:
+            result.add(Belief.positive(value))
+            result.update(
+                Belief.negative(other) for other in domain_set if other != value
+            )
+        return frozenset(result)
+
+    def certain_beliefs(self, domain: Iterable[Value]) -> FrozenSet[Belief]:
+        """All certain beliefs over a finite domain (Figure 18, cert column)."""
+        domain_set = frozenset(domain) | self.positives | self.negatives
+        if self.is_empty:
+            return frozenset()
+        if not self.positives:
+            # Cases 1 and 2.
+            if self.has_bottom:
+                return frozenset(Belief.negative(value) for value in domain_set)
+            return frozenset(Belief.negative(value) for value in self.negatives)
+        if len(self.positives) == 1:
+            (value,) = self.positives
+            rejected = self.has_bottom or value in self.negatives
+            if not rejected:
+                # Case 3: the positive value is certain, so is every other negative.
+                result = {Belief.positive(value)}
+                result.update(
+                    Belief.negative(other) for other in domain_set if other != value
+                )
+                return frozenset(result)
+            # Case 4: all negatives except v- are certain.
+            return frozenset(
+                Belief.negative(other) for other in domain_set if other != value
+            )
+        # Case 5: all negatives except those of the possible positives.
+        return frozenset(
+            Belief.negative(other)
+            for other in domain_set
+            if other not in self.positives
+        )
+
+
+@dataclass
+class SkepticResult:
+    """Output of Algorithm 2 for an entire network."""
+
+    representations: Dict[User, SkepticRepresentation]
+    pref_neg: Dict[User, FrozenSet[Value]]
+    domain: FrozenSet[Value]
+
+    def representation(self, user: User) -> SkepticRepresentation:
+        return self.representations.get(user, SkepticRepresentation())
+
+    def possible_positive_values(self, user: User) -> FrozenSet[Value]:
+        """Positive values possible at ``user`` in some stable solution."""
+        return self.representation(user).possible_positive_values()
+
+    def certain_positive_values(self, user: User) -> FrozenSet[Value]:
+        """Positive values held by ``user`` in every stable solution."""
+        return self.representation(user).certain_positive_values()
+
+    def certain_positive_value(self, user: User) -> Optional[Value]:
+        values = self.certain_positive_values(user)
+        for value in values:
+            return value
+        return None
+
+    def possible_beliefs(self, user: User) -> FrozenSet[Belief]:
+        """Possible beliefs of ``user`` over the network's value alphabet."""
+        return self.representation(user).possible_beliefs(self.domain)
+
+    def certain_beliefs(self, user: User) -> FrozenSet[Belief]:
+        """Certain beliefs of ``user`` over the network's value alphabet."""
+        return self.representation(user).certain_beliefs(self.domain)
+
+    def forced_negative_values(self, user: User) -> FrozenSet[Value]:
+        """``prefNeg(user)`` — negatives forced through preferred edges."""
+        return self.pref_neg.get(user, frozenset())
+
+
+def resolve_skeptic(network: TrustNetwork) -> SkepticResult:
+    """Run Algorithm 2 on a binary trust network with constraints.
+
+    Explicit beliefs must be either a positive value, a (finite) set of
+    negative values, or absent, and every node may have at most two parents
+    with distinct priorities (ties are not supported with constraints,
+    Definition 3.3).
+    """
+    if not network.is_binary():
+        raise NetworkError(
+            "Algorithm 2 requires a binary trust network; call binarize() first"
+        )
+    _reject_ties(network)
+
+    explicit_positive: Dict[User, Value] = {}
+    explicit_negative: Dict[User, FrozenSet[Value]] = {}
+    for user, belief in network.explicit_beliefs.items():
+        if belief.has_positive:
+            explicit_positive[user] = belief.positive
+        elif belief.cofinite_negatives:
+            raise NetworkError(
+                "explicit beliefs must be finite sets of negative values"
+            )
+        elif belief.negatives:
+            explicit_negative[user] = belief.negatives
+
+    domain = frozenset(explicit_positive.values()) | frozenset(
+        value for values in explicit_negative.values() for value in values
+    )
+
+    preferred_parent = {user: network.preferred_parent(user) for user in network.users}
+
+    # Phase P: propagate forced negative beliefs along preferred edges.
+    pref_neg: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    for user, negatives in explicit_negative.items():
+        pref_neg[user].update(negatives)
+    changed = True
+    while changed:
+        changed = False
+        for user in network.users:
+            parent = preferred_parent[user]
+            if parent is None or user in explicit_positive:
+                continue
+            missing = pref_neg[parent] - pref_neg[user]
+            if missing:
+                pref_neg[user].update(missing)
+                changed = True
+
+    # Phase I: close nodes with explicit positive beliefs.
+    rep_pos: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    rep_neg: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    rep_bottom: Dict[User, bool] = {user: False for user in network.users}
+
+    closed: Set[User] = set()
+    for user, value in explicit_positive.items():
+        rep_pos[user].add(value)
+        closed.add(user)
+    open_nodes: Set[User] = set(network.users) - closed
+
+    parents_of: Dict[User, List[Tuple[User, bool]]] = {}
+    for user in network.users:
+        entries = []
+        for edge in network.incoming(user):
+            entries.append((edge.parent, edge.parent == preferred_parent[user]))
+        parents_of[user] = entries
+
+    # Main loop.
+    while open_nodes:
+        progressed = _skeptic_step1(
+            open_nodes,
+            closed,
+            preferred_parent,
+            rep_pos,
+            rep_neg,
+            rep_bottom,
+        )
+        if progressed:
+            continue
+        _skeptic_step2(
+            network,
+            open_nodes,
+            closed,
+            parents_of,
+            pref_neg,
+            rep_pos,
+            rep_neg,
+            rep_bottom,
+        )
+
+    representations = {
+        user: SkepticRepresentation(
+            positives=frozenset(rep_pos[user]),
+            negatives=frozenset(rep_neg[user]),
+            has_bottom=rep_bottom[user],
+        )
+        for user in network.users
+    }
+    return SkepticResult(
+        representations=representations,
+        pref_neg={user: frozenset(values) for user, values in pref_neg.items()},
+        domain=domain,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# internals                                                               #
+# ---------------------------------------------------------------------- #
+
+
+def _skeptic_step1(
+    open_nodes: Set[User],
+    closed: Set[User],
+    preferred_parent: Dict[User, Optional[User]],
+    rep_pos: Dict[User, Set[Value]],
+    rep_neg: Dict[User, Set[Value]],
+    rep_bottom: Dict[User, bool],
+) -> bool:
+    """Step 1: copy the representation along preferred edges.
+
+    Per the correctness discussion in Appendix B.7 a node is only closed this
+    way when its preferred parent's representation is of Type 2 (contains a
+    positive value or ⊥); otherwise positive values may still arrive through
+    the non-preferred edge and the node must wait for Step 2.
+    """
+    progressed = False
+    worklist = [
+        node
+        for node in open_nodes
+        if preferred_parent.get(node) in closed
+        and _is_type2(preferred_parent[node], rep_pos, rep_bottom)
+    ]
+    while worklist:
+        node = worklist.pop()
+        if node not in open_nodes:
+            continue
+        parent = preferred_parent.get(node)
+        if parent is None or parent not in closed:
+            continue
+        if not _is_type2(parent, rep_pos, rep_bottom):
+            continue
+        rep_pos[node].update(rep_pos[parent])
+        rep_neg[node].update(rep_neg[parent])
+        rep_bottom[node] = rep_bottom[node] or rep_bottom[parent]
+        open_nodes.discard(node)
+        closed.add(node)
+        progressed = True
+        # Children whose preferred parent is `node` may now be closable.
+        worklist.extend(
+            child
+            for child, parent_of_child in preferred_parent.items()
+            if parent_of_child == node and child in open_nodes
+        )
+    return progressed
+
+
+def _is_type2(
+    user: User, rep_pos: Dict[User, Set[Value]], rep_bottom: Dict[User, bool]
+) -> bool:
+    return bool(rep_pos[user]) or rep_bottom[user]
+
+
+def _skeptic_step2(
+    network: TrustNetwork,
+    open_nodes: Set[User],
+    closed: Set[User],
+    parents_of: Dict[User, List[Tuple[User, bool]]],
+    pref_neg: Dict[User, Set[Value]],
+    rep_pos: Dict[User, Set[Value]],
+    rep_neg: Dict[User, Set[Value]],
+    rep_bottom: Dict[User, bool],
+) -> None:
+    """Step 2: flood the minimal SCCs of the open subgraph.
+
+    A positive value ``v+`` entering a component from a closed parent only
+    reaches the nodes not forced to reject ``v`` (those without ``v-`` in
+    ``prefNeg``); the other nodes of the component receive ⊥.  Bare negative
+    values of closed parents are copied to every node of the component.
+
+    As in Algorithm 1, every SCC that is minimal at this point draws its
+    inputs exclusively from already-closed nodes, so all of them are flooded
+    per condensation pass (see ``_flood_minimal_sccs`` in
+    :mod:`repro.core.resolution` for the argument).
+    """
+    for scc in _minimal_open_sccs(parents_of, open_nodes):
+        inputs: List[Tuple[User, User]] = []  # (closed parent, entry node in scc)
+        for node in scc:
+            for parent, _preferred in parents_of.get(node, ()):
+                if parent in closed:
+                    inputs.append((parent, node))
+
+        internal_edges = [
+            (parent, node)
+            for node in scc
+            for parent, _pref in parents_of.get(node, ())
+            if parent in scc
+        ]
+
+        for parent, entry in inputs:
+            for value in rep_pos[parent]:
+                blocked = {node for node in scc if value in pref_neg[node]}
+                allowed = scc - blocked
+                reachable = _reachable_within(entry, allowed, internal_edges)
+                for node in scc:
+                    if node in reachable:
+                        rep_pos[node].add(value)
+                    else:
+                        rep_bottom[node] = True
+            for value in rep_neg[parent]:
+                for node in scc:
+                    rep_neg[node].add(value)
+
+        for node in scc:
+            open_nodes.discard(node)
+            closed.add(node)
+
+
+def _reachable_within(
+    entry: User, allowed: Set[User], internal_edges: List[Tuple[User, User]]
+) -> Set[User]:
+    """Nodes of ``allowed`` reachable from ``entry`` using edges inside ``allowed``.
+
+    ``entry`` is the node of the component adjacent to the closed parent; the
+    value can reach it only if it is itself allowed.
+    """
+    if entry not in allowed:
+        return set()
+    adjacency: Dict[User, List[User]] = {}
+    for parent, child in internal_edges:
+        if parent in allowed and child in allowed:
+            adjacency.setdefault(parent, []).append(child)
+    reachable = {entry}
+    stack = [entry]
+    while stack:
+        node = stack.pop()
+        for child in adjacency.get(node, ()):
+            if child not in reachable:
+                reachable.add(child)
+                stack.append(child)
+    return reachable
+
+
+def _minimal_open_sccs(
+    parents_of: Dict[User, List[Tuple[User, bool]]], open_nodes: Set[User]
+) -> List[Set[User]]:
+    """The source SCCs of the open subgraph (no incoming edges from open nodes)."""
+    subgraph = nx.DiGraph()
+    subgraph.add_nodes_from(open_nodes)
+    for node in open_nodes:
+        for parent, _pref in parents_of.get(node, ()):
+            if parent in open_nodes:
+                subgraph.add_edge(parent, node)
+    condensation = nx.condensation(subgraph)
+    sources = [
+        set(condensation.nodes[component_id]["members"])
+        for component_id in condensation.nodes
+        if condensation.in_degree(component_id) == 0
+    ]
+    if not sources:
+        raise NetworkError("open subgraph has no minimal SCC")  # pragma: no cover
+    return sources
+
+
+def _reject_ties(network: TrustNetwork) -> None:
+    for user in network.users:
+        priorities = [edge.priority for edge in network.incoming(user)]
+        if len(priorities) != len(set(priorities)):
+            raise NetworkError(
+                f"ties between parents of {user!r} are not allowed with constraints"
+            )

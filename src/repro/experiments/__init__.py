@@ -1,0 +1,37 @@
+"""Experiment drivers that regenerate the paper's figures (Section 5)."""
+
+from repro.experiments import (
+    fig5_lp_exponential,
+    fig8a_cycles,
+    fig8b_web,
+    fig8c_bulk,
+    fig11_binarization,
+    fig15_worstcase,
+    tables,
+)
+from repro.experiments.runner import (
+    Measurement,
+    average_time,
+    doubling_ratios,
+    format_table,
+    log_log_slope,
+    per_unit,
+    timed,
+)
+
+__all__ = [
+    "Measurement",
+    "average_time",
+    "doubling_ratios",
+    "fig11_binarization",
+    "fig15_worstcase",
+    "fig5_lp_exponential",
+    "fig8a_cycles",
+    "fig8b_web",
+    "fig8c_bulk",
+    "format_table",
+    "log_log_slope",
+    "per_unit",
+    "tables",
+    "timed",
+]

@@ -1,0 +1,62 @@
+"""Figure 11: size increase of binarization on n-clique trust networks.
+
+The table compares an n-clique's ``|U|`` and ``|E|`` before and after
+binarization; the paper reports that the number of edges grows by less than a
+factor of two, and nodes-plus-edges by less than a factor of three, with both
+bounds approached as n grows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.binarize import binarize, clique_binarization_row
+from repro.experiments.runner import format_table
+from repro.workloads.cliques import clique_network
+
+
+def run(clique_sizes: Sequence[int] = (4, 6, 8, 12, 16, 24, 32)) -> List[Dict[str, object]]:
+    """Measure the binarized sizes and compare them to the Figure 11 formulas."""
+    rows: List[Dict[str, object]] = []
+    for n in clique_sizes:
+        network = clique_network(n, with_beliefs=False)
+        result = binarize(network)
+        analytic = clique_binarization_row(n)
+        measured_users = len(result.btn.users)
+        measured_edges = len(result.btn.mappings)
+        rows.append(
+            {
+                "n": n,
+                "original_users": len(network.users),
+                "original_edges": len(network.mappings),
+                "binarized_users": measured_users,
+                "binarized_edges": measured_edges,
+                "expected_users": analytic["binarized_users"],
+                "expected_edges": analytic["binarized_edges"],
+                "edge_factor": round(measured_edges / len(network.mappings), 3),
+                "size_factor": round(
+                    (measured_users + measured_edges) / network.size, 3
+                ),
+            }
+        )
+    return rows
+
+
+def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    return {
+        "max_edge_factor": max((row["edge_factor"] for row in rows), default=None),
+        "max_size_factor": max((row["size_factor"] for row in rows), default=None),
+        "edge_factor_below_2": all(row["edge_factor"] < 2 for row in rows),
+        "size_factor_below_3": all(row["size_factor"] < 3 for row in rows),
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    rows = run()
+    print("Figure 11 — binarization of n-clique trust networks")
+    print(format_table(rows))
+    print("summary:", summarize(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,59 @@
+"""Figure 15: quadratic behaviour of the Resolution Algorithm on nested SCCs.
+
+On the parameterized family of Appendix B.5 (linear size in ``k``, nested
+strongly connected components) the Resolution Algorithm must recompute the
+SCC graph of all open nodes once per block, giving quadratic total time — the
+paper fits roughly ``1e-7·x²`` seconds.  The sweep below measures the same
+family and reports the fitted log-log slope, which should sit near 2 (in
+contrast to the near-1 slopes of Figures 8a/8b).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.core.resolution import resolve
+from repro.experiments.runner import average_time, format_table, log_log_slope
+from repro.workloads.worstcase import expected_sizes, worstcase_network
+
+
+def run(
+    block_counts: Sequence[int] = (25, 50, 100, 200, 400),
+    repeats: int = 1,
+) -> List[Dict[str, object]]:
+    """Time the Resolution Algorithm on the nested-SCC family."""
+    rows: List[Dict[str, object]] = []
+    for k in block_counts:
+        network = worstcase_network(k)
+        users, edges = expected_sizes(k)
+        seconds = average_time(lambda: resolve(network), repeats=repeats)
+        rows.append(
+            {
+                "k": k,
+                "size": network.size,
+                "expected_size": users + edges,
+                "ra_seconds": seconds,
+            }
+        )
+    return rows
+
+
+def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    points = [(row["size"], row["ra_seconds"]) for row in rows]
+    slope = log_log_slope(points)
+    return {
+        "log_log_slope": round(slope, 2) if len(points) > 1 else None,
+        "superlinear": len(points) > 1 and slope > 1.5,
+        "largest_size": max((row["size"] for row in rows), default=0),
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    rows = run()
+    print("Figure 15 — worst-case (nested SCC) scaling of the Resolution Algorithm")
+    print(format_table(rows, columns=["k", "size", "expected_size", "ra_seconds"]))
+    print("summary:", summarize(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,69 @@
+"""Figure 5: stable-model solving of trust networks is exponential.
+
+The paper runs DLV on binary trust networks composed of disconnected
+oscillators and observes exponential running time in the network size
+(impractical beyond roughly 150 nodes on 2009 hardware).  We run our own
+stable-model engine on the same translated programs.  The engine is cruder
+than DLV, so the exponential knee appears at smaller sizes; the shape — each
+added oscillator multiplies the running time — is the result being
+reproduced.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import average_time, doubling_ratios, format_table
+from repro.logicprog.solver import solve_network
+from repro.workloads.oscillators import CLUSTER_SIZE, oscillator_network
+
+
+def run(
+    cluster_counts: Sequence[int] = (1, 2, 3, 4, 5),
+    repeats: int = 1,
+    time_budget_seconds: float = 60.0,
+) -> List[Dict[str, object]]:
+    """Time the logic-program baseline on growing oscillator networks.
+
+    Stops early once a single solve exceeds ``time_budget_seconds`` so the
+    sweep stays laptop-friendly; the rows produced so far are returned.
+    """
+    rows: List[Dict[str, object]] = []
+    for clusters in cluster_counts:
+        network = oscillator_network(clusters)
+        seconds = average_time(
+            lambda: solve_network(network, semantics="brave"), repeats=repeats
+        )
+        rows.append(
+            {
+                "clusters": clusters,
+                "size": network.size,
+                "lp_seconds": seconds,
+            }
+        )
+        if seconds > time_budget_seconds:
+            break
+    return rows
+
+
+def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Growth-rate summary: consecutive time ratios should keep increasing."""
+    points = [(row["size"], row["lp_seconds"]) for row in rows]
+    ratios = doubling_ratios(points)
+    return {
+        "points": len(rows),
+        "largest_size": rows[-1]["size"] if rows else 0,
+        "time_ratios": [round(r, 2) for r in ratios],
+        "exponential_trend": bool(ratios) and ratios[-1] > 1.5,
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    rows = run()
+    print("Figure 5 — LP solver on oscillator networks (one object)")
+    print(format_table(rows, columns=["clusters", "size", "lp_seconds"]))
+    print("summary:", summarize(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,122 @@
+"""Figure 8c: bulk inserts — resolution time vs. number of objects.
+
+The trust network is fixed (7 users, 12 mappings, 2 users with explicit
+beliefs — Figure 19); the number of objects grows, and about half of the
+objects carry conflicting beliefs.  Bulk resolution translates the one-time
+resolution plan into SQL statements over ``POSS(X, K, V)``, so its running
+time is linear in the number of objects and independent of how many of them
+conflict; resolving each object separately with the logic-program baseline is
+exponential in the number of conflicting objects' combined program and serves
+as the contrast series for small object counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.bulk.executor import BulkResolver
+from repro.core.resolution import resolve
+from repro.experiments.runner import average_time, format_table, log_log_slope
+from repro.logicprog.solver import solve_network
+from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
+
+
+def _bulk_once(n_objects: int, seed: int) -> float:
+    network = figure19_network()
+    resolver = BulkResolver(network, explicit_users=BELIEF_USERS)
+    rows = generate_objects(n_objects, seed=seed)
+    resolver.load_beliefs(rows)
+    report = resolver.run()
+    resolver.store.close()
+    return report.elapsed_seconds
+
+
+def _per_object_ra(n_objects: int, seed: int) -> float:
+    """Resolve every object separately with Algorithm 1 (no SQL batching)."""
+    from repro.core.binarize import binarize
+
+    network = figure19_network()
+    rows = generate_objects(n_objects, seed=seed)
+    by_key: Dict[str, List] = {}
+    for user, key, value in rows:
+        by_key.setdefault(key, []).append((user, value))
+    total = 0.0
+    for key, beliefs in by_key.items():
+        per_object = network.copy()
+        for user, value in beliefs:
+            per_object.set_explicit_belief(user, value)
+        binarized = binarize(per_object).btn
+        total += average_time(lambda: resolve(binarized), repeats=1)
+    return total
+
+
+def _per_object_lp(n_objects: int, seed: int) -> float:
+    """Resolve every object separately with the logic-program baseline."""
+    network = figure19_network()
+    rows = generate_objects(n_objects, seed=seed)
+    by_key: Dict[str, List] = {}
+    for user, key, value in rows:
+        by_key.setdefault(key, []).append((user, value))
+    total = 0.0
+    for key, beliefs in by_key.items():
+        per_object = network.copy()
+        for user, value in beliefs:
+            per_object.set_explicit_belief(user, value)
+        total += average_time(
+            lambda: solve_network(per_object, semantics="brave"), repeats=1
+        )
+    return total
+
+
+def run(
+    object_counts: Sequence[int] = (10, 100, 1_000, 10_000, 50_000),
+    lp_max_objects: int = 20,
+    ra_max_objects: int = 2_000,
+    seed: int = 11,
+) -> List[Dict[str, object]]:
+    """One row per object count; bulk SQL always, per-object baselines capped."""
+    rows: List[Dict[str, object]] = []
+    for count in object_counts:
+        bulk_seconds = _bulk_once(count, seed)
+        ra_seconds = _per_object_ra(count, seed) if count <= ra_max_objects else None
+        lp_seconds = _per_object_lp(count, seed) if count <= lp_max_objects else None
+        rows.append(
+            {
+                "objects": count,
+                "bulk_sql_seconds": bulk_seconds,
+                "per_object_ra_seconds": ra_seconds,
+                "per_object_lp_seconds": lp_seconds,
+            }
+        )
+    return rows
+
+
+def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    points = [(row["objects"], row["bulk_sql_seconds"]) for row in rows]
+    slope = log_log_slope(points)
+    return {
+        "bulk_log_log_slope": round(slope, 2) if len(points) > 1 else None,
+        "bulk_linear_in_objects": len(points) > 1 and slope < 1.4,
+        "largest_object_count": max((row["objects"] for row in rows), default=0),
+    }
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    rows = run()
+    print("Figure 8c — bulk inserts over the fixed 7-user / 12-mapping network")
+    print(
+        format_table(
+            rows,
+            columns=[
+                "objects",
+                "bulk_sql_seconds",
+                "per_object_ra_seconds",
+                "per_object_lp_seconds",
+            ],
+        )
+    )
+    print("summary:", summarize(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

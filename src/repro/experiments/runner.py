@@ -1,0 +1,112 @@
+"""Timing harness shared by all experiment drivers (Section 5).
+
+The paper reports wall-clock times averaged over repeated trials.  The
+helpers here do the same: :func:`timed` measures one call, :func:`average_time`
+repeats it, and :func:`format_table` renders the result rows the way the
+figures report them (one row per sweep point).
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class Measurement:
+    """One timed call: the wall-clock seconds and the call's return value."""
+
+    seconds: float
+    result: object = None
+
+
+def timed(function: Callable[[], object]) -> Measurement:
+    """Run ``function`` once and measure its wall-clock time."""
+    started = time.perf_counter()
+    result = function()
+    return Measurement(seconds=time.perf_counter() - started, result=result)
+
+
+def average_time(
+    function: Callable[[], object], repeats: int = 3, warmup: int = 0
+) -> float:
+    """Average wall-clock seconds of ``function`` over ``repeats`` runs."""
+    for _ in range(max(warmup, 0)):
+        function()
+    samples = [timed(function).seconds for _ in range(max(repeats, 1))]
+    return statistics.fmean(samples)
+
+
+def per_unit(seconds: float, units: int) -> float:
+    """Seconds per size unit, the normalization quoted in Section 5."""
+    if units <= 0:
+        return math.nan
+    return seconds / units
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: str = "{:.6f}",
+) -> str:
+    """Render result rows as a fixed-width text table."""
+    if not rows:
+        return "(no data)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: List[List[str]] = [[str(c) for c in columns]]
+    for row in rows:
+        cells = []
+        for column in columns:
+            value = row.get(column)
+            if value is None:
+                cells.append("-")
+            elif isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [max(len(line[i]) for line in rendered) for i in range(len(columns))]
+    lines = []
+    for index, line in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def log_log_slope(points: Sequence[Tuple[float, float]]) -> float:
+    """Least-squares slope of log(y) against log(x).
+
+    A slope near 1 indicates linear scaling, near 2 quadratic scaling — the
+    summary statistic the experiment write-ups quote alongside the tables.
+    """
+    filtered = [(x, y) for x, y in points if x > 0 and y > 0]
+    if len(filtered) < 2:
+        return math.nan
+    xs = [math.log(x) for x, _ in filtered]
+    ys = [math.log(y) for _, y in filtered]
+    mean_x = statistics.fmean(xs)
+    mean_y = statistics.fmean(ys)
+    numerator = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    denominator = sum((x - mean_x) ** 2 for x in xs)
+    if denominator == 0:
+        return math.nan
+    return numerator / denominator
+
+
+def doubling_ratios(points: Sequence[Tuple[float, float]]) -> List[float]:
+    """Ratios ``t[i+1] / t[i]`` between consecutive sweep points.
+
+    Roughly constant ratios (for geometric sweeps) indicate polynomial
+    scaling; rapidly growing ratios indicate exponential scaling — the visual
+    argument of Figures 5 and 8 turned into a number.
+    """
+    ratios = []
+    for (x0, y0), (x1, y1) in zip(points, points[1:]):
+        if y0 > 0:
+            ratios.append(y1 / y0)
+    return ratios

@@ -1,0 +1,88 @@
+"""Static tables of the paper that are documentation rather than measurements.
+
+Figure 3 compares the features of previously proposed systems; it is a
+literature table, not an experiment, so it is reproduced verbatim here for
+completeness and used by ``examples/feature_table.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.runner import format_table
+
+#: Feature columns of Figure 3.
+FEATURE_COLUMNS = (
+    "conflicts",
+    "trust mappings",
+    "priorities",
+    "update independence",
+    "revokes",
+    "cycles",
+    "consensus queries",
+)
+
+#: Figure 3: recently proposed systems and the conflict-handling features they model.
+SYSTEM_FEATURES: Dict[str, Dict[str, bool]] = {
+    "Orchestra": {
+        "conflicts": True,
+        "trust mappings": True,
+        "priorities": True,
+        "update independence": False,
+        "revokes": False,
+        "cycles": True,
+        "consensus queries": False,
+    },
+    "FICSR": {
+        "conflicts": True,
+        "trust mappings": False,
+        "priorities": False,
+        "update independence": False,
+        "revokes": False,
+        "cycles": False,
+        "consensus queries": False,
+    },
+    "BeliefDB": {
+        "conflicts": True,
+        "trust mappings": False,
+        "priorities": False,
+        "update independence": True,
+        "revokes": True,
+        "cycles": False,
+        "consensus queries": True,
+    },
+    "Youtopia": {
+        "conflicts": True,
+        "trust mappings": True,
+        "priorities": False,
+        "update independence": False,
+        "revokes": True,
+        "cycles": False,
+        "consensus queries": False,
+    },
+    "This paper (trust-mapping resolution)": {
+        "conflicts": True,
+        "trust mappings": True,
+        "priorities": True,
+        "update independence": True,
+        "revokes": True,
+        "cycles": True,
+        "consensus queries": True,
+    },
+}
+
+
+def feature_rows() -> List[Dict[str, object]]:
+    """Figure 3 as table rows (``x`` marks a supported feature)."""
+    rows = []
+    for system, features in SYSTEM_FEATURES.items():
+        row: Dict[str, object] = {"system": system}
+        for column in FEATURE_COLUMNS:
+            row[column] = "x" if features.get(column) else ""
+        rows.append(row)
+    return rows
+
+
+def render_feature_table() -> str:
+    """The Figure 3 table rendered as fixed-width text."""
+    return format_table(feature_rows(), columns=["system", *FEATURE_COLUMNS])

@@ -1,0 +1,123 @@
+"""Serialization of trust networks (JSON documents and mapping/belief rows).
+
+A community database needs to persist who-trusts-whom and the explicit
+beliefs.  The JSON document format used here is deliberately simple and
+round-trips everything the model supports:
+
+```json
+{
+  "users": ["alice", "bob"],
+  "mappings": [{"child": "alice", "parent": "bob", "priority": 100}],
+  "beliefs": {
+    "bob": {"positive": "fish"},
+    "carol": {"negative": ["cow", "jar"]}
+  }
+}
+```
+
+Values and user names are stored as strings; richer value types should be
+encoded by the caller before saving.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+from repro.core.beliefs import BeliefSet
+from repro.core.errors import NetworkError
+from repro.core.network import TrustMapping, TrustNetwork
+
+
+def network_to_dict(network: TrustNetwork) -> Dict[str, object]:
+    """Convert a trust network into a JSON-serializable dictionary."""
+    beliefs: Dict[str, Dict[str, object]] = {}
+    for user, belief in network.explicit_beliefs.items():
+        entry: Dict[str, object] = {}
+        if belief.has_positive:
+            entry["positive"] = str(belief.positive)
+        if belief.cofinite_negatives:
+            raise NetworkError(
+                "co-finite negative belief sets cannot be serialized to JSON"
+            )
+        if belief.negatives:
+            entry["negative"] = sorted(str(value) for value in belief.negatives)
+        beliefs[str(user)] = entry
+    return {
+        "users": sorted(str(user) for user in network.users),
+        "mappings": [
+            {
+                "child": str(mapping.child),
+                "parent": str(mapping.parent),
+                "priority": mapping.priority,
+            }
+            for mapping in network.mappings
+        ],
+        "beliefs": beliefs,
+    }
+
+
+def network_from_dict(document: Mapping[str, object]) -> TrustNetwork:
+    """Rebuild a trust network from the dictionary produced by :func:`network_to_dict`."""
+    network = TrustNetwork(users=document.get("users", ()))
+    for mapping in document.get("mappings", ()):
+        try:
+            child = mapping["child"]
+            parent = mapping["parent"]
+            priority = int(mapping["priority"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise NetworkError(f"malformed mapping entry: {mapping!r}") from exc
+        network.add_trust(child, parent, priority=priority)
+    for user, entry in (document.get("beliefs") or {}).items():
+        network.set_explicit_belief(user, _belief_from_entry(entry))
+    return network
+
+
+def _belief_from_entry(entry: object) -> BeliefSet:
+    if isinstance(entry, str):
+        return BeliefSet.from_positive(entry)
+    if not isinstance(entry, Mapping):
+        raise NetworkError(f"malformed belief entry: {entry!r}")
+    positive = entry.get("positive")
+    negatives = entry.get("negative", ())
+    if positive is not None and negatives:
+        raise NetworkError(
+            "a belief entry may carry either a positive value or negatives, not both"
+        )
+    if positive is not None:
+        return BeliefSet.from_positive(positive)
+    return BeliefSet.from_negatives(negatives)
+
+
+def save_network(network: TrustNetwork, path: Union[str, Path]) -> None:
+    """Write the network as a JSON document."""
+    Path(path).write_text(json.dumps(network_to_dict(network), indent=2, sort_keys=True))
+
+
+def load_network(path: Union[str, Path]) -> TrustNetwork:
+    """Read a network from a JSON document written by :func:`save_network`."""
+    return network_from_dict(json.loads(Path(path).read_text()))
+
+
+def mappings_from_rows(rows: Iterable[Tuple[str, str, int]]) -> List[TrustMapping]:
+    """Build trust mappings from ``(child, parent, priority)`` rows (e.g. CSV)."""
+    mappings = []
+    for child, parent, priority in rows:
+        mappings.append(TrustMapping(parent, int(priority), child))
+    return mappings
+
+
+def belief_rows_from_network(
+    network: TrustNetwork, key: object = None
+) -> List[Tuple[str, str, str]]:
+    """The network's positive explicit beliefs as ``(user, key, value)`` rows.
+
+    Useful for seeding :class:`repro.bulk.PossStore` from a per-object
+    network.
+    """
+    rows = []
+    for user, belief in network.explicit_beliefs.items():
+        if belief.has_positive:
+            rows.append((str(user), str(key), str(belief.positive)))
+    return rows

@@ -1,0 +1,47 @@
+"""Datalog-with-negation substrate with stable-model semantics (DLV substitute)."""
+
+from repro.logicprog.atoms import Atom, Literal, Rule, Variable, fact, var
+from repro.logicprog.program import GroundRule, LogicProgram
+from repro.logicprog.solver import (
+    SolveReport,
+    StableModelSolver,
+    solve_network,
+    solve_network_brave,
+    solve_network_cautious,
+)
+from repro.logicprog.stable import (
+    brave_consequences,
+    cautious_consequences,
+    count_stable_models,
+    enumerate_stable_models,
+    is_stable_model,
+    least_model,
+    reduct,
+)
+from repro.logicprog.translate import POSS, btn_to_program, tn_to_program
+
+__all__ = [
+    "Atom",
+    "GroundRule",
+    "Literal",
+    "LogicProgram",
+    "POSS",
+    "Rule",
+    "SolveReport",
+    "StableModelSolver",
+    "Variable",
+    "brave_consequences",
+    "btn_to_program",
+    "cautious_consequences",
+    "count_stable_models",
+    "enumerate_stable_models",
+    "fact",
+    "is_stable_model",
+    "least_model",
+    "reduct",
+    "solve_network",
+    "solve_network_brave",
+    "solve_network_cautious",
+    "tn_to_program",
+    "var",
+]

@@ -1,0 +1,200 @@
+"""Terms, atoms, literals and rules for the logic-program substrate.
+
+The substrate implements normal logic programs (Datalog with negation) under
+the stable-model semantics, which is the formalism the paper uses to give a
+declarative semantics to trust networks (Section 2.3, Appendix B.2/B.4).  It
+plays the role of DLV in the experiments.
+
+The language is deliberately small: constants, variables, predicates applied
+to terms, negation-as-failure on body literals, and a single built-in
+``X != Y`` comparison (needed by the ``conf`` rules of the translation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, Optional, Sequence, Tuple
+
+from repro.core.errors import LogicProgramError, UnsafeRuleError
+
+Constant = Hashable
+"""Constants are arbitrary hashable Python values."""
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A logic variable.  By convention names start with an upper-case letter."""
+
+    name: str
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return self.name
+
+
+Term = object  # either a Variable or a Constant
+
+
+def is_variable(term: Term) -> bool:
+    """True iff the term is a :class:`Variable`."""
+    return isinstance(term, Variable)
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A predicate applied to a tuple of terms, e.g. ``poss(x, V)``."""
+
+    predicate: str
+    terms: Tuple[Term, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "terms", tuple(self.terms))
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    @property
+    def is_ground(self) -> bool:
+        """True iff no term is a variable."""
+        return not any(is_variable(term) for term in self.terms)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """The variables occurring in the atom."""
+        return frozenset(term for term in self.terms if is_variable(term))
+
+    def substitute(self, binding: Dict[Variable, Constant]) -> "Atom":
+        """Replace variables according to ``binding`` (unbound ones are kept)."""
+        return Atom(
+            self.predicate,
+            tuple(binding.get(term, term) if is_variable(term) else term for term in self.terms),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        args = ",".join(str(term) for term in self.terms)
+        return f"{self.predicate}({args})"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """A positive or negated atom, or the built-in ``left != right``."""
+
+    atom: Optional[Atom] = None
+    positive: bool = True
+    builtin_not_equal: Optional[Tuple[Term, Term]] = None
+
+    @staticmethod
+    def pos(atom: Atom) -> "Literal":
+        """A positive body literal."""
+        return Literal(atom=atom, positive=True)
+
+    @staticmethod
+    def neg(atom: Atom) -> "Literal":
+        """A negated (negation-as-failure) body literal."""
+        return Literal(atom=atom, positive=False)
+
+    @staticmethod
+    def not_equal(left: Term, right: Term) -> "Literal":
+        """The built-in comparison ``left != right``."""
+        return Literal(atom=None, builtin_not_equal=(left, right))
+
+    @property
+    def is_builtin(self) -> bool:
+        return self.builtin_not_equal is not None
+
+    def variables(self) -> FrozenSet[Variable]:
+        if self.is_builtin:
+            left, right = self.builtin_not_equal
+            return frozenset(t for t in (left, right) if is_variable(t))
+        assert self.atom is not None
+        return self.atom.variables()
+
+    def substitute(self, binding: Dict[Variable, Constant]) -> "Literal":
+        if self.is_builtin:
+            left, right = self.builtin_not_equal
+            new_left = binding.get(left, left) if is_variable(left) else left
+            new_right = binding.get(right, right) if is_variable(right) else right
+            return Literal.not_equal(new_left, new_right)
+        assert self.atom is not None
+        return Literal(atom=self.atom.substitute(binding), positive=self.positive)
+
+    def evaluate_builtin(self) -> bool:
+        """Evaluate a ground built-in literal."""
+        if not self.is_builtin:
+            raise LogicProgramError("not a builtin literal")
+        left, right = self.builtin_not_equal
+        if is_variable(left) or is_variable(right):
+            raise LogicProgramError("builtin literal evaluated with unbound variables")
+        return left != right
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.is_builtin:
+            left, right = self.builtin_not_equal
+            return f"{left} != {right}"
+        prefix = "" if self.positive else "not "
+        return f"{prefix}{self.atom}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A normal rule ``head :- body``.  A rule with an empty body is a fact."""
+
+    head: Atom
+    body: Tuple[Literal, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "body", tuple(self.body))
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def variables(self) -> FrozenSet[Variable]:
+        result = set(self.head.variables())
+        for literal in self.body:
+            result.update(literal.variables())
+        return frozenset(result)
+
+    def positive_body_variables(self) -> FrozenSet[Variable]:
+        """Variables bound by positive, non-builtin body literals."""
+        result = set()
+        for literal in self.body:
+            if not literal.is_builtin and literal.positive:
+                result.update(literal.variables())
+        return frozenset(result)
+
+    def check_safety(self) -> None:
+        """Every head / negated / builtin variable must occur positively.
+
+        This is the standard Datalog safety condition; it guarantees that
+        grounding over the active domain is finite and complete.
+        """
+        bound = self.positive_body_variables()
+        unsafe = self.variables() - bound
+        if unsafe:
+            names = ", ".join(sorted(v.name for v in unsafe))
+            raise UnsafeRuleError(f"unsafe variables {names} in rule {self}")
+
+    def substitute(self, binding: Dict[Variable, Constant]) -> "Rule":
+        return Rule(
+            head=self.head.substitute(binding),
+            body=tuple(literal.substitute(binding) for literal in self.body),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        if self.is_fact:
+            return f"{self.head}."
+        body = ", ".join(str(literal) for literal in self.body)
+        return f"{self.head} :- {body}."
+
+
+def fact(predicate: str, *terms: Constant) -> Rule:
+    """Convenience constructor for a ground fact."""
+    atom = Atom(predicate, tuple(terms))
+    if not atom.is_ground:
+        raise LogicProgramError(f"facts must be ground: {atom}")
+    return Rule(head=atom)
+
+
+def var(name: str) -> Variable:
+    """Convenience constructor for a :class:`Variable`."""
+    return Variable(name)

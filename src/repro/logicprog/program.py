@@ -1,0 +1,177 @@
+"""Logic programs and their grounding.
+
+A :class:`LogicProgram` is a set of safe normal rules.  :meth:`LogicProgram.ground`
+instantiates every rule with constants from the active domain (all constants
+occurring in the program), evaluating built-in ``!=`` literals eagerly so
+that the resulting ground program only contains positive and negated ground
+atoms — the form expected by the stable-model machinery in
+:mod:`repro.logicprog.stable`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.errors import LogicProgramError
+from repro.logicprog.atoms import Atom, Constant, Literal, Rule, Variable, is_variable
+
+
+@dataclass(frozen=True)
+class GroundRule:
+    """A fully instantiated rule with built-ins already evaluated away."""
+
+    head: Atom
+    positive_body: Tuple[Atom, ...] = ()
+    negative_body: Tuple[Atom, ...] = ()
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        parts = [str(atom) for atom in self.positive_body]
+        parts += [f"not {atom}" for atom in self.negative_body]
+        if not parts:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(parts)}."
+
+
+class LogicProgram:
+    """A normal logic program (facts plus safe rules)."""
+
+    def __init__(self, rules: Iterable[Rule] = ()) -> None:
+        self._rules: List[Rule] = []
+        for rule in rules:
+            self.add_rule(rule)
+
+    def add_rule(self, rule: Rule) -> None:
+        """Add a rule after checking Datalog safety."""
+        rule.check_safety()
+        self._rules.append(rule)
+
+    def add_fact(self, predicate: str, *terms: Constant) -> None:
+        """Add a ground fact."""
+        atom = Atom(predicate, tuple(terms))
+        if not atom.is_ground:
+            raise LogicProgramError(f"facts must be ground: {atom}")
+        self._rules.append(Rule(head=atom))
+
+    @property
+    def rules(self) -> Tuple[Rule, ...]:
+        return tuple(self._rules)
+
+    @property
+    def facts(self) -> Tuple[Rule, ...]:
+        return tuple(rule for rule in self._rules if rule.is_fact)
+
+    def predicates(self) -> FrozenSet[str]:
+        """All predicate names used in the program."""
+        names: Set[str] = set()
+        for rule in self._rules:
+            names.add(rule.head.predicate)
+            for literal in rule.body:
+                if literal.atom is not None:
+                    names.add(literal.atom.predicate)
+        return frozenset(names)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """The active domain: every constant mentioned anywhere."""
+        result: Set[Constant] = set()
+        for rule in self._rules:
+            for term in rule.head.terms:
+                if not is_variable(term):
+                    result.add(term)
+            for literal in rule.body:
+                if literal.is_builtin:
+                    for term in literal.builtin_not_equal:
+                        if not is_variable(term):
+                            result.add(term)
+                else:
+                    for term in literal.atom.terms:
+                        if not is_variable(term):
+                            result.add(term)
+        return frozenset(result)
+
+    def size(self) -> int:
+        """Number of rules (facts included)."""
+        return len(self._rules)
+
+    def ground(self) -> List[GroundRule]:
+        """Ground every rule over the active domain.
+
+        Built-in ``!=`` literals are evaluated during grounding: instantiated
+        rules whose built-ins are false are dropped, and satisfied built-ins
+        are removed from the body.
+        """
+        domain = sorted(self.constants(), key=repr)
+        ground_rules: List[GroundRule] = []
+        for rule in self._rules:
+            variables = sorted(rule.variables(), key=lambda v: v.name)
+            if not variables:
+                ground_rules.extend(_finalize(rule))
+                continue
+            for combo in itertools.product(domain, repeat=len(variables)):
+                binding: Dict[Variable, Constant] = dict(zip(variables, combo))
+                ground_rules.extend(_finalize(rule.substitute(binding)))
+        return ground_rules
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __str__(self) -> str:  # pragma: no cover - repr convenience
+        return "\n".join(str(rule) for rule in self._rules)
+
+    def to_dlv_source(self) -> str:
+        """Render the program in DLV-like concrete syntax (Appendix B.4).
+
+        Useful for documentation and for eyeballing the translation against
+        the listings in the paper's appendix.
+        """
+        lines = []
+        for rule in self._rules:
+            lines.append(_dlv_rule(rule))
+        return "\n".join(lines)
+
+
+def _finalize(rule: Rule) -> List[GroundRule]:
+    """Turn a ground rule into a :class:`GroundRule`, dropping it if a built-in fails."""
+    positive: List[Atom] = []
+    negative: List[Atom] = []
+    for literal in rule.body:
+        if literal.is_builtin:
+            if not literal.evaluate_builtin():
+                return []
+            continue
+        assert literal.atom is not None
+        if literal.positive:
+            positive.append(literal.atom)
+        else:
+            negative.append(literal.atom)
+    return [
+        GroundRule(
+            head=rule.head,
+            positive_body=tuple(positive),
+            negative_body=tuple(negative),
+        )
+    ]
+
+
+def _dlv_rule(rule: Rule) -> str:
+    def render_term(term) -> str:
+        if is_variable(term):
+            return term.name
+        return str(term)
+
+    def render_atom(atom: Atom) -> str:
+        return f"{atom.predicate}({','.join(render_term(t) for t in atom.terms)})"
+
+    if rule.is_fact:
+        return f"{render_atom(rule.head)}."
+    parts = []
+    for literal in rule.body:
+        if literal.is_builtin:
+            left, right = literal.builtin_not_equal
+            parts.append(f"{render_term(left)}!={render_term(right)}")
+        elif literal.positive:
+            parts.append(render_atom(literal.atom))
+        else:
+            parts.append(f"not {render_atom(literal.atom)}")
+    return f"{render_atom(rule.head)} :- {', '.join(parts)}."

@@ -1,0 +1,167 @@
+"""Stable-model semantics for ground normal logic programs (Appendix B.2).
+
+The machinery follows the textbook definitions reviewed in the paper:
+
+* the *least model* of a definite (negation-free) ground program is its
+  minimal fixpoint;
+* the *reduct* ``P^I`` of a ground program by an interpretation ``I`` drops
+  every rule with a negated atom that is true in ``I`` and removes the
+  remaining negative literals;
+* ``I`` is a *stable model* iff it equals the least model of ``P^I``.
+
+Enumeration strategy: only the truth values of atoms that occur *negated*
+somewhere influence the reduct, so it suffices to enumerate assumption sets
+over those atoms, compute the least model of the corresponding reduct and
+keep the ones that reproduce their assumption.  This is exponential in the
+number of negated atoms — exactly the behaviour the paper measures for DLV
+on cyclic trust networks (Figure 5) — and it is correct, which is what the
+baseline needs to be.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.logicprog.atoms import Atom
+from repro.logicprog.program import GroundRule
+
+
+def least_model(rules: Sequence[GroundRule]) -> FrozenSet[Atom]:
+    """The minimal model of a definite ground program (negations ignored).
+
+    Rules with a non-empty ``negative_body`` must not be passed here; the
+    reduct construction removes them first.
+    """
+    # Semi-naive-ish evaluation: index rules by the positive atoms they wait on.
+    waiting: Dict[Atom, List[int]] = {}
+    remaining: List[Set[Atom]] = []
+    heads: List[Atom] = []
+    derived: Set[Atom] = set()
+    queue: List[Atom] = []
+
+    for index, rule in enumerate(rules):
+        body = set(rule.positive_body)
+        remaining.append(body)
+        heads.append(rule.head)
+        if not body:
+            if rule.head not in derived:
+                derived.add(rule.head)
+                queue.append(rule.head)
+            continue
+        for atom in body:
+            waiting.setdefault(atom, []).append(index)
+
+    while queue:
+        atom = queue.pop()
+        for index in waiting.get(atom, ()):
+            body = remaining[index]
+            if atom in body:
+                body.discard(atom)
+                if not body and heads[index] not in derived:
+                    derived.add(heads[index])
+                    queue.append(heads[index])
+    return frozenset(derived)
+
+
+def reduct(
+    rules: Sequence[GroundRule], interpretation: Iterable[Atom]
+) -> List[GroundRule]:
+    """The Gelfond–Lifschitz reduct ``P^I`` of a ground program."""
+    truth = set(interpretation)
+    result: List[GroundRule] = []
+    for rule in rules:
+        if any(atom in truth for atom in rule.negative_body):
+            continue
+        result.append(
+            GroundRule(head=rule.head, positive_body=rule.positive_body)
+        )
+    return result
+
+
+def is_stable_model(rules: Sequence[GroundRule], interpretation: Iterable[Atom]) -> bool:
+    """Check whether ``interpretation`` is a stable model of the ground program."""
+    candidate = frozenset(interpretation)
+    return least_model(reduct(rules, candidate)) == candidate
+
+
+def negated_atoms(rules: Sequence[GroundRule]) -> FrozenSet[Atom]:
+    """All ground atoms that occur under negation somewhere in the program."""
+    atoms: Set[Atom] = set()
+    for rule in rules:
+        atoms.update(rule.negative_body)
+    return frozenset(atoms)
+
+
+def enumerate_stable_models(
+    rules: Sequence[GroundRule],
+    max_models: Optional[int] = None,
+) -> Iterator[FrozenSet[Atom]]:
+    """Yield every stable model of a ground normal program.
+
+    The enumeration iterates over assumption sets ``A`` of negated atoms (the
+    atoms assumed true among those occurring under negation), builds the
+    reduct for that assumption, computes its least model ``M`` and keeps
+    ``M`` iff its restriction to the negated atoms equals ``A``.
+
+    One sound pruning is applied: every atom of a stable model is derivable
+    in the program with all negative literals deleted (the reduct only ever
+    removes rules), so negated atoms outside that upper bound can never be
+    assumed true.  This keeps the enumeration exponential only in the number
+    of *relevant* negated atoms, mirroring how a real solver at least avoids
+    obviously impossible branches.
+    """
+    upper_bound = least_model(
+        [GroundRule(head=rule.head, positive_body=rule.positive_body) for rule in rules]
+    )
+    choice_atoms = sorted(
+        (atom for atom in negated_atoms(rules) if atom in upper_bound), key=str
+    )
+    choice_set = frozenset(choice_atoms)
+    count = 0
+    for bits in itertools.product([False, True], repeat=len(choice_atoms)):
+        assumed = frozenset(
+            atom for atom, bit in zip(choice_atoms, bits) if bit
+        )
+        candidate_rules = reduct(rules, assumed)
+        model = least_model(candidate_rules)
+        if frozenset(atom for atom in model if atom in choice_set) != assumed:
+            continue
+        yield model
+        count += 1
+        if max_models is not None and count >= max_models:
+            return
+
+
+def brave_consequences(rules: Sequence[GroundRule]) -> FrozenSet[Atom]:
+    """Atoms true in *some* stable model (DLV's ``-brave`` query semantics)."""
+    result: Set[Atom] = set()
+    for model in enumerate_stable_models(rules):
+        result.update(model)
+    return frozenset(result)
+
+
+def cautious_consequences(rules: Sequence[GroundRule]) -> FrozenSet[Atom]:
+    """Atoms true in *every* stable model (DLV's ``-cautious`` semantics).
+
+    If the program has no stable model at all the cautious consequences are,
+    by convention, every atom of the Herbrand base restricted to derivable
+    heads; we return the intersection over the enumerated models and the
+    empty frozenset when none exists, which is what the callers (certain
+    values of a trust network) expect because every binary trust network has
+    at least one stable solution (Forward Lemma).
+    """
+    intersection: Optional[Set[Atom]] = None
+    for model in enumerate_stable_models(rules):
+        if intersection is None:
+            intersection = set(model)
+        else:
+            intersection &= model
+        if not intersection:
+            break
+    return frozenset(intersection or set())
+
+
+def count_stable_models(rules: Sequence[GroundRule]) -> int:
+    """The number of stable models (used by tests on small programs)."""
+    return sum(1 for _ in enumerate_stable_models(rules))

@@ -1,0 +1,189 @@
+"""Translation of trust networks into logic programs (Sect. 2.3, App. B.4).
+
+Two translations are provided:
+
+* :func:`btn_to_program` — the binary translation of Section 2.3 / Appendix
+  B.4, with one of five rule patterns per node depending on whether it has an
+  explicit belief and zero, one or two parents (with or without a tie).
+* :func:`tn_to_program` — the direct translation of a *non-binary* network
+  (Appendix B.4, Remark 2 and Example B.2): each non-top parent gets one
+  blocking rule per strictly higher-priority parent, plus a blocking rule
+  against the node itself when the parent shares its priority with another
+  parent, plus the guarded import rule.
+
+Both use the predicates of the appendix listing: ``poss(x, V)`` for the
+possible values of user ``x`` and ``conf(x, z, V)`` for the values of parent
+``z`` that conflict with the value chosen at ``x``.
+
+The paper proves (Theorem 2.9) that the stable models of the translated
+program correspond exactly to the stable solutions of the trust network;
+the test suite checks this against both Algorithm 1 and the brute-force
+enumerator.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.errors import NetworkError
+from repro.core.network import TrustMapping, TrustNetwork, User
+from repro.logicprog.atoms import Atom, Literal, Rule, var
+from repro.logicprog.program import LogicProgram
+
+#: Predicate names used by the translation (Appendix B.4).
+POSS = "poss"
+CONF = "conf"
+
+
+def _user_key(user: User) -> str:
+    """A stable printable key for a user (aux nodes from binarization included)."""
+    return str(user)
+
+
+def btn_to_program(network: TrustNetwork) -> LogicProgram:
+    """Translate a binary trust network into a logic program (Theorem 2.9)."""
+    if not network.is_binary():
+        raise NetworkError("btn_to_program expects a binary trust network")
+    program = LogicProgram()
+    value_var = var("X")
+    other_var = var("Y")
+
+    for user, belief in network.explicit_beliefs.items():
+        value = belief.positive_value
+        if value is not None:
+            program.add_fact(POSS, _user_key(user), value)
+
+    for user in network.users:
+        incoming = sorted(network.incoming(user), key=lambda e: e.priority)
+        if not incoming or network.has_explicit_belief(user):
+            continue
+        if len(incoming) == 1:
+            _add_preferred_rule(program, user, incoming[0].parent)
+            continue
+        low, high = incoming
+        if high.priority > low.priority:
+            # Case (c): one preferred and one non-preferred parent.
+            _add_preferred_rule(program, user, high.parent)
+            _add_guarded_rules(program, user, low.parent)
+        else:
+            # Case (d): two parents tied — both guarded against the node itself.
+            _add_guarded_rules(program, user, low.parent)
+            _add_guarded_rules(program, user, high.parent)
+    return program
+
+
+def _add_preferred_rule(program: LogicProgram, user: User, parent: User) -> None:
+    """``poss(x, X) :- poss(z, X).`` for a preferred (or only) parent."""
+    value_var = var("X")
+    program.add_rule(
+        Rule(
+            head=Atom(POSS, (_user_key(user), value_var)),
+            body=(Literal.pos(Atom(POSS, (_user_key(parent), value_var))),),
+        )
+    )
+
+
+def _add_guarded_rules(program: LogicProgram, user: User, parent: User) -> None:
+    """The ``conf`` / guarded-import pair for a non-preferred parent."""
+    value_var = var("X")
+    other_var = var("Y")
+    user_key, parent_key = _user_key(user), _user_key(parent)
+    program.add_rule(
+        Rule(
+            head=Atom(CONF, (user_key, parent_key, value_var)),
+            body=(
+                Literal.pos(Atom(POSS, (parent_key, value_var))),
+                Literal.pos(Atom(POSS, (user_key, other_var))),
+                Literal.not_equal(other_var, value_var),
+            ),
+        )
+    )
+    program.add_rule(
+        Rule(
+            head=Atom(POSS, (user_key, value_var)),
+            body=(
+                Literal.pos(Atom(POSS, (parent_key, value_var))),
+                Literal.neg(Atom(CONF, (user_key, parent_key, value_var))),
+            ),
+        )
+    )
+
+
+def tn_to_program(network: TrustNetwork) -> LogicProgram:
+    """Translate an arbitrary (possibly non-binary) trust network directly.
+
+    Follows Appendix B.4, Remark 2: a node with parents ``z1 ≤ … ≤ zk`` (by
+    priority) imports the unique top-priority parent unguarded; every other
+    parent ``zi`` is blocked by each strictly higher-priority parent, and
+    additionally by the node's own value when ``zi`` shares its priority with
+    another parent.
+    """
+    program = LogicProgram()
+    value_var = var("X")
+    other_var = var("Y")
+
+    for user, belief in network.explicit_beliefs.items():
+        value = belief.positive_value
+        if value is not None:
+            program.add_fact(POSS, _user_key(user), value)
+
+    for user in network.users:
+        if network.has_explicit_belief(user):
+            # As in the binary translation we treat explicit beliefs as
+            # overriding: no import rules for this node (Appendix B.4 case e).
+            continue
+        incoming = sorted(
+            network.incoming(user), key=lambda e: e.priority, reverse=True
+        )
+        if not incoming:
+            continue
+        priorities = [edge.priority for edge in incoming]
+        user_key = _user_key(user)
+        for index, edge in enumerate(incoming):
+            higher = [e for e in incoming if e.priority > edge.priority]
+            tied = any(
+                e is not edge and e.priority == edge.priority for e in incoming
+            )
+            parent_key = _user_key(edge.parent)
+            if not higher and not tied:
+                _add_preferred_rule(program, user, edge.parent)
+                continue
+            for blocker in higher:
+                program.add_rule(
+                    Rule(
+                        head=Atom(CONF, (user_key, parent_key, value_var)),
+                        body=(
+                            Literal.pos(Atom(POSS, (parent_key, value_var))),
+                            Literal.pos(
+                                Atom(POSS, (_user_key(blocker.parent), other_var))
+                            ),
+                            Literal.not_equal(other_var, value_var),
+                        ),
+                    )
+                )
+            if tied:
+                program.add_rule(
+                    Rule(
+                        head=Atom(CONF, (user_key, parent_key, value_var)),
+                        body=(
+                            Literal.pos(Atom(POSS, (parent_key, value_var))),
+                            Literal.pos(Atom(POSS, (user_key, other_var))),
+                            Literal.not_equal(other_var, value_var),
+                        ),
+                    )
+                )
+            program.add_rule(
+                Rule(
+                    head=Atom(POSS, (user_key, value_var)),
+                    body=(
+                        Literal.pos(Atom(POSS, (parent_key, value_var))),
+                        Literal.neg(Atom(CONF, (user_key, parent_key, value_var))),
+                    ),
+                )
+            )
+    return program
+
+
+def program_size(program: LogicProgram) -> int:
+    """Size measure used in the appendix discussion (number of rules)."""
+    return program.size()

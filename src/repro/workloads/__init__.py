@@ -1,0 +1,29 @@
+"""Workload generators for every experiment in the paper's evaluation."""
+
+from repro.workloads import bulkload, cliques, indus, oscillators, powerlaw, worstcase
+from repro.workloads.bulkload import figure19_network, generate_objects, object_sweep
+from repro.workloads.cliques import clique_network
+from repro.workloads.indus import all_glyph_networks, trust_network_for_glyph
+from repro.workloads.oscillators import oscillator_network, size_sweep
+from repro.workloads.powerlaw import WebWorkloadConfig, web_trust_network
+from repro.workloads.worstcase import worstcase_network
+
+__all__ = [
+    "WebWorkloadConfig",
+    "all_glyph_networks",
+    "bulkload",
+    "clique_network",
+    "cliques",
+    "figure19_network",
+    "generate_objects",
+    "indus",
+    "object_sweep",
+    "oscillator_network",
+    "oscillators",
+    "powerlaw",
+    "size_sweep",
+    "trust_network_for_glyph",
+    "web_trust_network",
+    "worstcase",
+    "worstcase_network",
+]

@@ -1,0 +1,115 @@
+"""The bulk-insert workload of Figure 8c (network of Figure 19).
+
+The experiment fixes a small trust network — 7 users, 12 mappings, 2 users
+with explicit beliefs — and varies the number of objects in the database.
+For every object the two explicit users' beliefs are chosen at random to be
+either in conflict or in agreement (about half of the objects conflict).
+
+Figure 19 gives the node and mapping counts and marks the two belief users,
+but the full priority assignment is not recoverable from the figure; the
+network below has the stated counts, a mixture of preferred and tied edges
+and a cycle among the derived users, which is the behaviour the experiment
+exercises (the substitution is recorded in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.errors import WorkloadError
+from repro.core.network import TrustNetwork
+
+#: The two users carrying explicit beliefs ("dark nodes" in Figure 19).
+BELIEF_USERS = ("x6", "x7")
+
+
+def figure19_network() -> TrustNetwork:
+    """The fixed 7-user / 12-mapping network used by the bulk experiment.
+
+    ``x6`` and ``x7`` are the two root users with explicit (per-object)
+    beliefs; ``x1`` and ``x5`` have three parents each — the network is not
+    binary, exactly as in Figure 19, and the bulk resolver binarizes it
+    internally — and ``x4`` / ``x5`` form a cycle so that the SCC-flooding
+    step of the plan is exercised.
+    """
+    network = TrustNetwork()
+    users = [f"x{i}" for i in range(1, 8)]
+    for user in users:
+        network.add_user(user)
+    mappings = [
+        ("x6", 2, "x2"),
+        ("x7", 1, "x2"),
+        ("x6", 3, "x1"),
+        ("x2", 2, "x1"),
+        ("x7", 1, "x1"),
+        ("x7", 2, "x3"),
+        ("x2", 1, "x3"),
+        ("x1", 2, "x4"),
+        ("x5", 1, "x4"),
+        ("x3", 3, "x5"),
+        ("x4", 2, "x5"),
+        ("x6", 1, "x5"),
+    ]
+    for parent, priority, child in mappings:
+        network.add_trust(child, parent, priority=priority)
+    return network
+
+
+def count_summary(network: TrustNetwork) -> Dict[str, int]:
+    """Users / mappings / belief users of the bulk network (sanity check)."""
+    return {
+        "users": len(network.users),
+        "mappings": len(network.mappings),
+        "belief_users": len(BELIEF_USERS),
+    }
+
+
+def generate_objects(
+    n_objects: int,
+    conflict_probability: float = 0.5,
+    seed: int = 0,
+    belief_users: Sequence[str] = BELIEF_USERS,
+) -> List[Tuple[str, str, str]]:
+    """Explicit beliefs for ``n_objects`` objects as (user, key, value) rows.
+
+    For each object the two belief users either agree on a common value or
+    conflict on two distinct values, with the given probability of conflict.
+    """
+    if n_objects < 1:
+        raise WorkloadError("at least one object is required")
+    if len(belief_users) != 2:
+        raise WorkloadError("the bulk workload uses exactly two belief users")
+    rng = random.Random(seed)
+    rows: List[Tuple[str, str, str]] = []
+    first, second = belief_users
+    for index in range(n_objects):
+        key = f"k{index}"
+        if rng.random() < conflict_probability:
+            rows.append((first, key, f"a{index}"))
+            rows.append((second, key, f"b{index}"))
+        else:
+            shared = f"a{index}"
+            rows.append((first, key, shared))
+            rows.append((second, key, shared))
+    return rows
+
+
+def object_sweep(max_objects: int, points: int = 6) -> List[int]:
+    """A geometric sweep of object counts for the Figure 8c experiment."""
+    if max_objects < 1:
+        raise WorkloadError("max_objects must be positive")
+    if points < 2:
+        return [max_objects]
+    sizes = []
+    current = 10.0
+    ratio = (max_objects / current) ** (1 / (points - 1)) if max_objects > 10 else 1.0
+    for _ in range(points):
+        size = int(round(current))
+        if not sizes or size > sizes[-1]:
+            sizes.append(min(size, max_objects))
+        current *= ratio
+    if sizes[-1] != max_objects:
+        sizes.append(max_objects)
+    return sizes

@@ -1,0 +1,44 @@
+"""n-clique trust networks (the binarization size analysis of Figure 11)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.errors import WorkloadError
+from repro.core.network import TrustNetwork
+
+
+def clique_network(n: int, with_beliefs: bool = True) -> TrustNetwork:
+    """A trust network where every user trusts every other user.
+
+    Each user assigns distinct priorities ``1 … n-1`` to the other users, so
+    every node has a strict priority order over its ``n - 1`` parents.  When
+    ``with_beliefs`` is set, the first two users receive conflicting explicit
+    beliefs so that the network can also be resolved, not just binarized.
+    """
+    if n < 2:
+        raise WorkloadError("a clique needs at least two users")
+    network = TrustNetwork()
+    users = [f"u{i}" for i in range(n)]
+    for user in users:
+        network.add_user(user)
+    for child_index, child in enumerate(users):
+        priority = 1
+        for parent_index, parent in enumerate(users):
+            if parent == child:
+                continue
+            network.add_trust(child, parent, priority=priority)
+            priority += 1
+    if with_beliefs:
+        network.set_explicit_belief(users[0], "v")
+        network.set_explicit_belief(users[1], "w")
+    return network
+
+
+def clique_size_row(network: TrustNetwork) -> Dict[str, int]:
+    """The measured ``|U|``, ``|E|`` and ``|U| + |E|`` of a network."""
+    return {
+        "users": len(network.users),
+        "edges": len(network.mappings),
+        "size": network.size,
+    }

@@ -1,0 +1,64 @@
+"""The Indus-script running example (Figures 1 and 2, Examples 1.1 and 1.2).
+
+Three archaeologists — Alice, Bob and Charlie — hold partially conflicting
+beliefs about the origin of three Indus glyphs.  Alice trusts Bob (priority
+100) and Charlie (priority 50); Bob trusts Alice (priority 80).  Applying the
+trust mappings gives Alice the snapshot of Figure 1b: she keeps her own
+belief where she has one, and otherwise sees Bob's value because Bob outranks
+Charlie.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.network import TrustNetwork
+
+#: The trust mappings of Figure 2 as (parent, priority, child) triples.
+TRUST_MAPPINGS: Tuple[Tuple[str, int, str], ...] = (
+    ("Bob", 100, "Alice"),
+    ("Charlie", 50, "Alice"),
+    ("Alice", 80, "Bob"),
+)
+
+#: The explicit beliefs of Figure 1a, keyed by glyph.
+GLYPH_BELIEFS: Dict[str, Dict[str, str]] = {
+    "glyph-ship": {"Alice": "ship hull", "Bob": "cow", "Charlie": "jar"},
+    "glyph-fish": {"Bob": "fish", "Charlie": "knot"},
+    "glyph-arrow": {"Bob": "arrow", "Charlie": "arrow"},
+}
+
+#: Alice's expected snapshot after applying the trust mappings (Figure 1b).
+ALICE_SNAPSHOT: Dict[str, str] = {
+    "glyph-ship": "ship hull",
+    "glyph-fish": "fish",
+    "glyph-arrow": "arrow",
+}
+
+
+def trust_network_for_glyph(glyph: str) -> TrustNetwork:
+    """The per-object trust network (mappings of Fig. 2, beliefs of Fig. 1a)."""
+    network = TrustNetwork(mappings=TRUST_MAPPINGS)
+    for user, value in GLYPH_BELIEFS[glyph].items():
+        network.set_explicit_belief(user, value)
+    return network
+
+
+def all_glyph_networks() -> Dict[str, TrustNetwork]:
+    """Per-glyph trust networks for the whole running example."""
+    return {glyph: trust_network_for_glyph(glyph) for glyph in GLYPH_BELIEFS}
+
+
+def belief_rows() -> List[Tuple[str, str, str]]:
+    """The Figure 1a table as (user, key, value) rows for the bulk resolver.
+
+    Only users with beliefs for *every* glyph can be used under the bulk
+    assumptions, so this returns the rows of Bob and Charlie; Alice's single
+    explicit belief is handled per-object in the examples.
+    """
+    rows: List[Tuple[str, str, str]] = []
+    for glyph, beliefs in GLYPH_BELIEFS.items():
+        for user in ("Bob", "Charlie"):
+            rows.append((user, glyph, beliefs[user]))
+    return rows

@@ -1,0 +1,94 @@
+"""Synthetic many-cycle workload (Figures 5 and 8a).
+
+The paper's first synthetic data set consists of "several, disconnected
+4-node clusters of the form from Example 2.6", i.e. copies of the oscillator
+of Figure 4b, where one out of two users has an explicit belief.  The network
+size reported on the x-axis of the plots is ``|U| + |E|``; each cluster
+contributes 4 users and 4 mappings, i.e. 8 size units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.errors import WorkloadError
+from repro.core.network import TrustNetwork
+
+#: Size units (|U| + |E|) contributed by a single oscillator cluster.
+CLUSTER_SIZE = 8
+
+
+def oscillator_cluster(
+    network: TrustNetwork,
+    index: int,
+    values: Tuple[str, str] = ("v", "w"),
+) -> None:
+    """Add one 4-node oscillator cluster (Figure 4b) to ``network``.
+
+    Nodes are named ``c{index}.x1`` … ``c{index}.x4``; ``x3`` and ``x4`` carry
+    the explicit beliefs (one out of two users, as in the paper's setup).
+    """
+    prefix = f"c{index}"
+    x1, x2, x3, x4 = (f"{prefix}.x{i}" for i in range(1, 5))
+    network.add_trust(x1, x2, priority=100)
+    network.add_trust(x1, x3, priority=50)
+    network.add_trust(x2, x1, priority=80)
+    network.add_trust(x2, x4, priority=40)
+    network.set_explicit_belief(x3, values[0])
+    network.set_explicit_belief(x4, values[1])
+
+
+def oscillator_network(
+    clusters: int,
+    values: Tuple[str, str] = ("v", "w"),
+    distinct_values_per_cluster: bool = False,
+) -> TrustNetwork:
+    """A network of ``clusters`` disconnected oscillators.
+
+    With ``distinct_values_per_cluster`` every cluster uses its own pair of
+    values, which keeps the grounded logic program smaller (the active domain
+    of each cluster stays at two values); the default shares one global pair,
+    as the conflicts in the paper's synthetic workload do.
+    """
+    if clusters < 1:
+        raise WorkloadError("at least one oscillator cluster is required")
+    network = TrustNetwork()
+    for index in range(clusters):
+        if distinct_values_per_cluster:
+            cluster_values = (f"v{index}", f"w{index}")
+        else:
+            cluster_values = values
+        oscillator_cluster(network, index, cluster_values)
+    return network
+
+
+def network_size(network: TrustNetwork) -> int:
+    """The plotted size measure ``|U| + |E|``."""
+    return network.size
+
+
+def clusters_for_size(target_size: int) -> int:
+    """Number of clusters needed to reach (at least) a target ``|U| + |E|``."""
+    if target_size < CLUSTER_SIZE:
+        raise WorkloadError(f"minimum oscillator network size is {CLUSTER_SIZE}")
+    return (target_size + CLUSTER_SIZE - 1) // CLUSTER_SIZE
+
+
+def size_sweep(max_size: int, points: int = 8, min_size: int = CLUSTER_SIZE) -> List[int]:
+    """A geometric sweep of network sizes used by the scaling experiments."""
+    if max_size < min_size:
+        raise WorkloadError("max_size must be at least min_size")
+    if points < 2:
+        return [max_size]
+    sizes = []
+    ratio = (max_size / min_size) ** (1 / (points - 1))
+    current = float(min_size)
+    for _ in range(points):
+        size = int(round(current))
+        if not sizes or size > sizes[-1]:
+            sizes.append(size)
+        current *= ratio
+    if sizes[-1] != max_size:
+        sizes.append(max_size)
+    return sizes

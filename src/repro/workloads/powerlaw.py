@@ -1,0 +1,135 @@
+"""Synthetic scale-free trust network (the Figure 8b "web crawl" substitute).
+
+The paper's second data set is a crawl of a top-level web domain (about 270k
+domains and 5.4M links): domains are identified with users, hyperlinks with
+trust mappings, priorities are random, and the graph is sub-sampled by taking
+a random fraction of the edges together with their endpoints.  The crawl
+itself is not available offline, so this module generates a synthetic
+scale-free directed graph with the same structural properties — a power-law
+degree distribution and comparatively few directed cycles — using a
+preferential-attachment process, and then applies the same edge-fraction
+sampling and random priority assignment.  The substitution is recorded in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.core.errors import WorkloadError
+from repro.core.network import TrustNetwork
+
+
+@dataclass(frozen=True)
+class WebWorkloadConfig:
+    """Parameters of the synthetic web-like trust network."""
+
+    n_domains: int = 2000
+    edges_per_node: int = 3
+    belief_fraction: float = 0.3
+    n_values: int = 5
+    seed: int = 0
+
+
+def scale_free_digraph(n_domains: int, edges_per_node: int, seed: int) -> nx.DiGraph:
+    """A simple directed scale-free graph via preferential attachment.
+
+    Node ``i`` links to ``edges_per_node`` earlier nodes chosen with
+    probability proportional to their current degree, and each link is
+    oriented randomly, yielding the hub-dominated structure of web link
+    graphs without requiring the (multi-edge producing) networkx generator.
+    """
+    if n_domains < 2:
+        raise WorkloadError("the web workload needs at least two domains")
+    rng = random.Random(seed)
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n_domains))
+    targets: List[int] = [0, 1]
+    graph_degrees: List[int] = []
+    for node in range(2, n_domains):
+        chosen: Set[int] = set()
+        for _ in range(min(edges_per_node, node)):
+            candidate = rng.choice(targets)
+            if candidate == node:
+                continue
+            chosen.add(candidate)
+        for other in chosen:
+            if rng.random() < 0.5:
+                graph.add_edge(other, node)
+            else:
+                graph.add_edge(node, other)
+            targets.append(other)
+            targets.append(node)
+    return graph
+
+
+def sample_edges(
+    graph: nx.DiGraph, fraction: float, seed: int
+) -> List[Tuple[int, int]]:
+    """Randomly sample a fraction of the edges (with both endpoints kept)."""
+    if not 0 < fraction <= 1:
+        raise WorkloadError("edge fraction must be in (0, 1]")
+    rng = random.Random(seed)
+    edges = list(graph.edges())
+    rng.shuffle(edges)
+    keep = max(1, int(round(len(edges) * fraction)))
+    return edges[:keep]
+
+
+def web_trust_network(
+    config: WebWorkloadConfig = WebWorkloadConfig(),
+    edge_fraction: float = 1.0,
+) -> TrustNetwork:
+    """Build the sampled web-like trust network with random priorities.
+
+    Every user keeps at most two incoming mappings (the two highest random
+    priorities) so that the result is directly a binary trust network, which
+    both the Resolution Algorithm and the logic-program translation accept;
+    this mirrors the binarization the paper applies to its crawl.
+    """
+    graph = scale_free_digraph(config.n_domains, config.edges_per_node, config.seed)
+    sampled = sample_edges(graph, edge_fraction, config.seed + 1)
+    rng = random.Random(config.seed + 2)
+
+    incoming: Dict[int, List[Tuple[int, int]]] = {}
+    for parent, child in sampled:
+        incoming.setdefault(child, []).append((parent, rng.randint(1, 1_000_000)))
+
+    network = TrustNetwork()
+    nodes_in_sample: Set[int] = set()
+    for parent, child in sampled:
+        nodes_in_sample.add(parent)
+        nodes_in_sample.add(child)
+    for node in nodes_in_sample:
+        network.add_user(f"d{node}")
+
+    for child, parents in incoming.items():
+        top_two = sorted(parents, key=lambda item: item[1], reverse=True)[:2]
+        for parent, priority in top_two:
+            network.add_trust(f"d{child}", f"d{parent}", priority=priority)
+
+    values = [f"val{i}" for i in range(config.n_values)]
+    for node in sorted(nodes_in_sample):
+        user = f"d{node}"
+        if network.incoming(user):
+            continue
+        if rng.random() < max(config.belief_fraction, 0.0) or not network.incoming(user):
+            network.set_explicit_belief(user, rng.choice(values))
+    return network
+
+
+def fraction_sweep(points: int = 6, smallest: float = 0.02) -> List[float]:
+    """Edge fractions used for the Figure 8b size sweep."""
+    if points < 1:
+        raise WorkloadError("at least one sweep point is required")
+    fractions = []
+    current = smallest
+    for _ in range(points):
+        fractions.append(min(1.0, current))
+        current *= (1.0 / smallest) ** (1 / max(points - 1, 1))
+    fractions[-1] = 1.0
+    return sorted(set(round(f, 4) for f in fractions))

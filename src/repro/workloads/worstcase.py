@@ -1,0 +1,88 @@
+"""The quadratic worst-case network family (Appendix B.5, Figures 14 and 15).
+
+The Resolution Algorithm is quadratic only on highly regular graphs with
+"nested" strongly connected components: every SCC-flooding step must trigger
+a recomputation of the SCC graph over all still-open nodes.  The paper's
+Figure 14a shows one such parameterized family with ``|U| = 5 + 6k`` nodes
+and ``|E| = 5 + 10k`` edges.
+
+The exact wiring of Figure 14a is not fully recoverable from the figure, so
+this module builds a family with the *same node and edge counts* and the same
+behaviour: a prologue of five nodes (two belief roots feeding a three-node
+cycle) followed by ``k`` blocks of six nodes forming a cycle; every edge into
+a block comes from the previous block (or the prologue) and is non-preferred
+(tied priorities), so Step 1 of the algorithm never fires, the blocks are
+closed one per iteration, and each iteration recomputes the SCC graph of all
+remaining open nodes — Θ(k) iterations of Θ(k) work, i.e. quadratic in the
+network size.  This substitution is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.core.errors import WorkloadError
+from repro.core.network import TrustNetwork
+
+#: Nodes contributed by each block of the parameterized family.
+BLOCK_NODES = 6
+#: Edges contributed by each block (6 cycle edges + 4 feeder edges).
+BLOCK_EDGES = 10
+
+
+def worstcase_network(k: int, values: Tuple[str, str] = ("v", "w")) -> TrustNetwork:
+    """Build the nested-SCC worst-case network with parameter ``k``.
+
+    The returned network has ``5 + 6k`` users and ``5 + 10k`` mappings,
+    matching the counts stated for Figure 14a.
+    """
+    if k < 0:
+        raise WorkloadError("the worst-case parameter k must be non-negative")
+    network = TrustNetwork()
+
+    # Prologue: two roots with explicit beliefs feed a 3-node cycle with
+    # tied (non-preferred) priorities; 5 nodes, 5 edges.
+    z1, z2 = "z1", "z2"
+    network.set_explicit_belief(z1, values[0])
+    network.set_explicit_belief(z2, values[1])
+    cycle = ["x1", "x2", "x3"]
+    for index, node in enumerate(cycle):
+        network.add_trust(node, cycle[(index - 1) % len(cycle)], priority=1)
+    network.add_trust("x1", z1, priority=1)
+    network.add_trust("x2", z2, priority=1)
+
+    previous = cycle + ["x1"]  # four attachment points for the first block
+    for block in range(1, k + 1):
+        nodes = [f"y{block}.{i}" for i in range(1, BLOCK_NODES + 1)]
+        for index, node in enumerate(nodes):
+            network.add_trust(node, nodes[(index - 1) % BLOCK_NODES], priority=1)
+        # Four feeder edges from the previous layer, all non-preferred.
+        for index in range(4):
+            network.add_trust(nodes[index], previous[index % len(previous)], priority=1)
+        previous = nodes[:4]
+    return network
+
+
+def expected_sizes(k: int) -> Tuple[int, int]:
+    """The ``(|U|, |E|)`` the family is designed to have for parameter ``k``."""
+    return 5 + BLOCK_NODES * k, 5 + BLOCK_EDGES * k
+
+
+def parameter_for_size(target_size: int) -> int:
+    """The block count whose network size ``|U| + |E|`` is closest to the target."""
+    if target_size < 10:
+        raise WorkloadError("minimum worst-case network size is 10")
+    return max(0, round((target_size - 10) / (BLOCK_NODES + BLOCK_EDGES)))
+
+
+def size_sweep(max_k: int, points: int = 6) -> List[int]:
+    """A sweep of ``k`` values for the Figure 15 scaling experiment."""
+    if max_k < 1:
+        raise WorkloadError("max_k must be at least 1")
+    if points < 2:
+        return [max_k]
+    step = max(1, max_k // points)
+    ks = list(range(step, max_k + 1, step))
+    if ks[-1] != max_k:
+        ks.append(max_k)
+    return ks

@@ -1,0 +1,101 @@
+"""Tests for the FIFO update-propagation baseline (Example 1.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fifo import (
+    FifoReconciler,
+    Update,
+    UpdateKind,
+    order_dependence_witness,
+)
+from repro.core.binarize import binarize
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.workloads.indus import TRUST_MAPPINGS
+
+
+@pytest.fixture
+def indus_network():
+    return TrustNetwork(mappings=TRUST_MAPPINGS)
+
+
+class TestExample12:
+    def test_first_update_sequence_leaves_alice_stale(self, indus_network):
+        # Time 1: Charlie inserts jar; time 4: Bob inserts cow.  Alice keeps
+        # jar even though she trusts Bob more (the anomaly of Example 1.2).
+        fifo = FifoReconciler(indus_network)
+        fifo.apply(Update.insert("Charlie", "jar"))
+        assert fifo.snapshot() == {"Charlie": "jar", "Alice": "jar", "Bob": "jar"}
+        fifo.apply(Update.insert("Bob", "cow"))
+        snapshot = fifo.snapshot()
+        assert snapshot["Alice"] == "jar"
+        assert snapshot["Bob"] == "cow"
+
+    def test_reverse_order_gives_alice_cow(self, indus_network):
+        fifo = FifoReconciler(indus_network)
+        fifo.apply(Update.insert("Bob", "cow"))
+        fifo.apply(Update.insert("Charlie", "jar"))
+        assert fifo.snapshot()["Alice"] == "cow"
+
+    def test_order_dependence_witness_found(self, indus_network):
+        updates = [Update.insert("Charlie", "jar"), Update.insert("Bob", "cow")]
+        witness = order_dependence_witness(indus_network, updates, focus_user="Alice")
+        assert witness is not None
+        first, second = witness
+        assert set(first) == set(second)
+
+    def test_update_of_propagated_value_is_lost(self, indus_network):
+        # Second table of Example 1.2: Charlie updates jar -> cow, but Alice
+        # and Bob keep the stale jar.
+        fifo = FifoReconciler(indus_network)
+        fifo.apply(Update.insert("Charlie", "jar"))
+        fifo.apply(Update.change("Charlie", "cow"))
+        snapshot = fifo.snapshot()
+        assert snapshot["Charlie"] == "cow"
+        assert snapshot["Alice"] == "jar"
+        assert snapshot["Bob"] == "jar"
+
+    def test_stable_solution_semantics_is_order_invariant(self, indus_network):
+        # The contrast: re-running resolution gives the same snapshot for any
+        # insertion order and reflects the revocation.
+        network = indus_network.copy()
+        network.set_explicit_belief("Charlie", "cow")
+        result = resolve(binarize(network).btn)
+        assert result.certain_value("Alice") == "cow"
+        assert result.certain_value("Bob") == "cow"
+
+
+class TestReconcilerMechanics:
+    def test_revoke_clears_value(self, indus_network):
+        fifo = FifoReconciler(indus_network)
+        fifo.apply(Update.insert("Charlie", "jar"))
+        fifo.apply(Update.revoke("Charlie"))
+        assert fifo.state.value_of("Charlie") is None
+        # ... but the previously propagated copies remain (the baseline flaw).
+        assert fifo.state.value_of("Alice") == "jar"
+
+    def test_insert_requires_value(self, indus_network):
+        fifo = FifoReconciler(indus_network)
+        with pytest.raises(NetworkError):
+            fifo.apply(Update("Charlie", UpdateKind.INSERT))
+
+    def test_per_object_keys_are_independent(self, indus_network):
+        fifo = FifoReconciler(indus_network)
+        fifo.apply(Update.insert("Charlie", "jar", key="glyph1"))
+        fifo.apply(Update.insert("Bob", "fish", key="glyph2"))
+        assert fifo.snapshot("glyph1")["Alice"] == "jar"
+        assert fifo.snapshot("glyph2")["Alice"] == "fish"
+
+    def test_apply_all(self, indus_network):
+        fifo = FifoReconciler(indus_network)
+        fifo.apply_all([Update.insert("Bob", "cow"), Update.insert("Charlie", "jar")])
+        assert fifo.snapshot()["Alice"] == "cow"
+
+    def test_no_order_dependence_without_conflict(self, indus_network):
+        updates = [Update.insert("Charlie", "jar"), Update.insert("Bob", "jar")]
+        assert (
+            order_dependence_witness(indus_network, updates, focus_user="Alice") is None
+        )

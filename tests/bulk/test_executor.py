@@ -1,0 +1,141 @@
+"""Integration tests: bulk SQL resolution matches per-object Algorithm 1/2."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bulk.executor import BulkResolver, SkepticBulkResolver
+from repro.bulk.store import BOTTOM_VALUE
+from repro.core.beliefs import BeliefSet
+from repro.core.binarize import binarize
+from repro.core.errors import BulkProcessingError
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.core.skeptic import resolve_skeptic
+from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
+
+
+def per_object_reference(network, rows):
+    """Possible values per (user, key) via per-object Algorithm 1."""
+    by_key = {}
+    for user, key, value in rows:
+        by_key.setdefault(key, []).append((user, value))
+    reference = {}
+    for key, beliefs in by_key.items():
+        per_object = network.copy()
+        for user, value in beliefs:
+            per_object.set_explicit_belief(user, value)
+        resolved = resolve(binarize(per_object).btn)
+        for user in network.users:
+            reference[(str(user), str(key))] = set(
+                map(str, resolved.possible_values(user))
+            )
+    return reference
+
+
+class TestBulkResolver:
+    def test_matches_per_object_resolution_on_figure19(self):
+        network = figure19_network()
+        rows = generate_objects(40, conflict_probability=0.5, seed=7)
+        resolver = BulkResolver(network, explicit_users=BELIEF_USERS)
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        assert report.objects == 40
+        reference = per_object_reference(network, rows)
+        for (user, key), expected in reference.items():
+            assert set(resolver.possible_values(user, key)) == expected, (user, key)
+        resolver.store.close()
+
+    def test_statement_count_is_independent_of_object_count(self):
+        network = figure19_network()
+        counts = []
+        for n_objects in (5, 50):
+            resolver = BulkResolver(network, explicit_users=BELIEF_USERS)
+            resolver.load_beliefs(generate_objects(n_objects, seed=1))
+            report = resolver.run()
+            counts.append(report.statements)
+            resolver.store.close()
+        assert counts[0] == counts[1]
+
+    def test_certain_values_reported(self, oscillator_network):
+        resolver = BulkResolver(oscillator_network)
+        resolver.load_beliefs([("x3", "k0", "v"), ("x4", "k0", "w")])
+        resolver.run()
+        assert resolver.certain_values("x3", "k0") == frozenset({"v"})
+        assert resolver.certain_values("x1", "k0") == frozenset()
+        assert resolver.possible_values("x1", "k0") == frozenset({"v", "w"})
+        resolver.store.close()
+
+    def test_bulk_assumption_ii_enforced(self):
+        network = figure19_network()
+        resolver = BulkResolver(network, explicit_users=BELIEF_USERS)
+        with pytest.raises(BulkProcessingError):
+            resolver.load_beliefs(
+                [("x6", "k0", "v"), ("x7", "k0", "w"), ("x6", "k1", "v")]
+            )
+
+    def test_rejects_beliefs_from_unplanned_users(self):
+        network = figure19_network()
+        resolver = BulkResolver(network, explicit_users=BELIEF_USERS)
+        with pytest.raises(BulkProcessingError):
+            resolver.load_beliefs([("x1", "k0", "v")])
+
+    def test_conflicting_and_agreeing_objects(self, oscillator_network):
+        resolver = BulkResolver(oscillator_network)
+        resolver.load_beliefs(
+            [
+                ("x3", "agree", "same"),
+                ("x4", "agree", "same"),
+                ("x3", "clash", "v"),
+                ("x4", "clash", "w"),
+            ]
+        )
+        report = resolver.run()
+        assert resolver.certain_values("x1", "agree") == frozenset({"same"})
+        assert resolver.certain_values("x1", "clash") == frozenset()
+        assert report.conflicts > 0
+        resolver.store.close()
+
+
+class TestSkepticBulkResolver:
+    def test_blocked_value_becomes_bottom(self):
+        tn = TrustNetwork()
+        tn.add_trust("p", "source", priority=2)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "filter", priority=2)
+        tn.add_trust("q", "p", priority=1)
+        resolver = SkepticBulkResolver(
+            tn, positive_users=["source"], negative_constraints={"filter": ["v1"]}
+        )
+        resolver.load_beliefs([("source", "k0", "v1"), ("source", "k1", "v2")])
+        resolver.run()
+        # k0 carries the rejected value: q reports ⊥; k1 passes through.
+        assert resolver.possible_values("q", "k0") == frozenset({BOTTOM_VALUE})
+        assert resolver.possible_values("p", "k0") == frozenset({"v1"})
+        assert resolver.possible_values("q", "k1") == frozenset({"v2"})
+        assert resolver.bottom_value() == BOTTOM_VALUE
+        resolver.store.close()
+
+    def test_matches_algorithm2_possible_positives(self):
+        tn = TrustNetwork()
+        tn.add_trust("p", "source", priority=2)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "filter", priority=2)
+        tn.add_trust("q", "p", priority=1)
+        value = "measured"
+        per_object = tn.copy()
+        per_object.set_explicit_belief("source", value)
+        per_object.set_explicit_belief("filter", BeliefSet.from_negatives(["other"]))
+        expected = resolve_skeptic(per_object)
+
+        resolver = SkepticBulkResolver(
+            tn, positive_users=["source"], negative_constraints={"filter": ["other"]}
+        )
+        resolver.load_beliefs([("source", "k0", value)])
+        resolver.run()
+        for user in ("p", "q"):
+            sql_positive = {
+                v for v in resolver.possible_values(user, "k0") if v != BOTTOM_VALUE
+            }
+            assert sql_positive == set(map(str, expected.possible_positive_values(user)))
+        resolver.store.close()

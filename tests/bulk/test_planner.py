@@ -1,0 +1,88 @@
+"""Tests for the bulk resolution planner (Section 4 assumptions and steps)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bulk.planner import (
+    CopyStep,
+    FloodStep,
+    plan_resolution,
+    plan_skeptic_resolution,
+)
+from repro.core.errors import BulkProcessingError
+from repro.core.network import TrustNetwork
+
+
+class TestPlanResolution:
+    def test_chain_produces_copy_steps_only(self):
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        plan = plan_resolution(tn, explicit_users=["a"])
+        assert all(isinstance(step, CopyStep) for step in plan.steps)
+        assert [step.child for step in plan.copy_steps] == ["b", "c"]
+        assert plan.statement_count() == 2
+
+    def test_cycle_produces_flood_step(self, oscillator_network):
+        plan = plan_resolution(oscillator_network)
+        floods = plan.flood_steps
+        assert len(floods) == 1
+        assert set(floods[0].members) == {"x1", "x2"}
+        assert set(floods[0].parents) == {"x3", "x4"}
+
+    def test_explicit_users_default_to_network_beliefs(self, oscillator_network):
+        plan = plan_resolution(oscillator_network)
+        assert plan.explicit_users == frozenset({"x3", "x4"})
+
+    def test_unknown_explicit_user_rejected(self, oscillator_network):
+        with pytest.raises(BulkProcessingError):
+            plan_resolution(oscillator_network, explicit_users=["nobody"])
+
+    def test_unreachable_users_are_not_planned(self):
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("d", "c", priority=1)  # c has no belief
+        plan = plan_resolution(tn, explicit_users=["a"])
+        children = {step.child for step in plan.copy_steps}
+        assert children == {"b"}
+
+    def test_statement_count_independent_of_values(self, oscillator_network):
+        plan = plan_resolution(oscillator_network)
+        # 1 flood step over a 2-node component -> 2 statements, no copies.
+        assert plan.statement_count() == 2
+
+
+class TestSkepticPlan:
+    def test_blocked_values_recorded_for_forced_members(self):
+        tn = TrustNetwork()
+        tn.add_trust("p", "source", priority=2)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "filter", priority=2)
+        tn.add_trust("q", "p", priority=1)
+        plan = plan_skeptic_resolution(
+            tn, positive_users=["source"], negative_constraints={"filter": ["a"]}
+        )
+        floods = plan.flood_steps
+        assert floods, "the cycle must be planned as a flood step"
+        blocked = floods[-1].blocked_map()
+        assert blocked.get("q") == ("a",)
+        assert "p" not in blocked
+
+    def test_positive_user_with_constraint_rejected(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "a", priority=1)
+        with pytest.raises(BulkProcessingError):
+            plan_skeptic_resolution(
+                tn, positive_users=["a"], negative_constraints={"a": ["v"]}
+            )
+
+    def test_plan_without_constraints_matches_plain_plan_shape(self, oscillator_network):
+        plain = plan_resolution(oscillator_network)
+        skeptic = plan_skeptic_resolution(
+            oscillator_network,
+            positive_users=["x3", "x4"],
+            negative_constraints={},
+        )
+        assert len(plain.steps) == len(skeptic.steps)
+        assert plain.statement_count() == skeptic.statement_count()

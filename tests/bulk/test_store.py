@@ -1,0 +1,88 @@
+"""Unit tests for the sqlite3-backed POSS(X, K, V) store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bulk.store import BOTTOM_VALUE, PossRow, PossStore
+
+
+@pytest.fixture
+def store():
+    with PossStore() as s:
+        yield s
+
+
+class TestLoading:
+    def test_insert_and_query(self, store):
+        inserted = store.insert_explicit_beliefs(
+            [("alice", "k1", "v"), ("bob", "k1", "w")]
+        )
+        assert inserted == 2
+        assert store.possible_values("alice", "k1") == frozenset({"v"})
+        assert store.possible_values("bob", "k1") == frozenset({"w"})
+        assert store.possible_values("alice", "missing") == frozenset()
+
+    def test_row_count_users_keys(self, store):
+        store.insert_explicit_beliefs([("a", "k1", "v"), ("a", "k2", "w")])
+        assert store.row_count() == 2
+        assert store.users() == frozenset({"a"})
+        assert store.keys() == frozenset({"k1", "k2"})
+
+    def test_clear(self, store):
+        store.insert_explicit_beliefs([("a", "k1", "v")])
+        store.clear()
+        assert store.row_count() == 0
+
+    def test_values_are_stringified(self, store):
+        store.insert_explicit_beliefs([("a", 1, 2)])
+        assert store.possible_values("a", 1) == frozenset({"2"})
+
+
+class TestBulkStatements:
+    def test_copy_from_parent(self, store):
+        store.insert_explicit_beliefs([("z", "k1", "v"), ("z", "k2", "w")])
+        copied = store.copy_from_parent("x", "z")
+        assert copied == 2
+        assert store.possible_values("x", "k1") == frozenset({"v"})
+        assert store.possible_values("x", "k2") == frozenset({"w"})
+
+    def test_flood_component_unions_parent_values(self, store):
+        store.insert_explicit_beliefs(
+            [("z1", "k1", "v"), ("z2", "k1", "w"), ("z1", "k2", "v"), ("z2", "k2", "v")]
+        )
+        store.flood_component(["x", "y"], ["z1", "z2"])
+        assert store.possible_values("x", "k1") == frozenset({"v", "w"})
+        assert store.possible_values("y", "k1") == frozenset({"v", "w"})
+        assert store.possible_values("x", "k2") == frozenset({"v"})
+
+    def test_flood_component_without_parents_is_noop(self, store):
+        assert store.flood_component(["x"], []) == 0
+
+    def test_flood_component_skeptic_inserts_bottom_for_blocked_values(self, store):
+        store.insert_explicit_beliefs([("z", "k1", "v"), ("z", "k2", "w")])
+        store.flood_component_skeptic(["x"], ["z"], {"x": ["v"]})
+        assert store.possible_values("x", "k1") == frozenset({BOTTOM_VALUE})
+        assert store.possible_values("x", "k2") == frozenset({"w"})
+
+    def test_flood_component_skeptic_without_blocked_values(self, store):
+        store.insert_explicit_beliefs([("z", "k1", "v")])
+        store.flood_component_skeptic(["x"], ["z"], {})
+        assert store.possible_values("x", "k1") == frozenset({"v"})
+
+
+class TestAggregates:
+    def test_certain_snapshot_and_conflicts(self, store):
+        store.insert_explicit_beliefs(
+            [("a", "k1", "v"), ("a", "k2", "v"), ("a", "k2", "w")]
+        )
+        snapshot = store.certain_snapshot()
+        assert snapshot[("a", "k1")] == "v"
+        assert ("a", "k2") not in snapshot
+        assert store.conflict_count() == 1
+        assert store.certain_values("a", "k1") == frozenset({"v"})
+        assert store.certain_values("a", "k2") == frozenset()
+
+    def test_possible_table_is_distinct(self, store):
+        store.insert_explicit_beliefs([("a", "k1", "v"), ("a", "k1", "v")])
+        assert store.possible_table() == [PossRow("a", "k1", "v")]

@@ -1,0 +1,84 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.network import TrustNetwork
+
+
+@pytest.fixture
+def oscillator_network() -> TrustNetwork:
+    """The Figure 4b oscillator: two stable solutions."""
+    tn = TrustNetwork()
+    tn.add_trust("x1", "x2", priority=100)
+    tn.add_trust("x1", "x3", priority=50)
+    tn.add_trust("x2", "x1", priority=80)
+    tn.add_trust("x2", "x4", priority=40)
+    tn.set_explicit_belief("x3", "v")
+    tn.set_explicit_belief("x4", "w")
+    return tn
+
+
+@pytest.fixture
+def simple_network() -> TrustNetwork:
+    """The Figure 4a network: a single stable solution."""
+    tn = TrustNetwork()
+    tn.add_trust("x1", "x2", priority=100)
+    tn.add_trust("x1", "x3", priority=50)
+    tn.set_explicit_belief("x2", "v")
+    tn.set_explicit_belief("x3", "w")
+    return tn
+
+
+@pytest.fixture
+def indus_mappings() -> List[Tuple[str, int, str]]:
+    """The Figure 2 trust mappings (parent, priority, child)."""
+    return [
+        ("Bob", 100, "Alice"),
+        ("Charlie", 50, "Alice"),
+        ("Alice", 80, "Bob"),
+    ]
+
+
+def random_binary_network(
+    seed: int,
+    n_nodes: int = 8,
+    n_values: int = 3,
+    edge_probability: float = 0.7,
+    belief_probability: float = 0.6,
+) -> TrustNetwork:
+    """A random binary trust network used by property-based tests.
+
+    Nodes are numbered; edges only go in a way that keeps fan-in at most two,
+    cycles are allowed, and explicit beliefs are placed on a random subset of
+    the nodes without parents.
+    """
+    rng = random.Random(seed)
+    users = [f"u{i}" for i in range(n_nodes)]
+    values = [f"val{i}" for i in range(n_values)]
+    tn = TrustNetwork(users=users)
+
+    fan_in: Dict[str, int] = {user: 0 for user in users}
+    for child in users:
+        for _ in range(2):
+            if fan_in[child] >= 2 or rng.random() > edge_probability:
+                continue
+            parent = rng.choice(users)
+            if parent == child:
+                continue
+            if any(
+                m.parent == parent for m in tn.incoming(child)
+            ):
+                continue
+            priority = rng.choice([1, 2, 2])  # allow ties occasionally
+            tn.add_trust(child, parent, priority=priority)
+            fan_in[child] += 1
+
+    for user in users:
+        if not tn.incoming(user) and rng.random() < belief_probability:
+            tn.set_explicit_belief(user, rng.choice(values))
+    return tn

@@ -1,0 +1,97 @@
+"""Tests for the acyclic evaluator (Proposition 3.6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acyclic import resolve_acyclic
+from repro.core.beliefs import Belief, BeliefSet, Paradigm
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+
+
+class TestAcyclicResolution:
+    def test_simple_network_positive_only(self, simple_network):
+        for paradigm in Paradigm:
+            solution = resolve_acyclic(simple_network, paradigm)
+            assert solution["x1"].positive_value == "v"
+            assert solution["x2"].positive_value == "v"
+            assert solution["x3"].positive_value == "w"
+
+    def test_agrees_with_algorithm1_on_positive_only_dags(self, simple_network):
+        reference = resolve(simple_network)
+        for paradigm in Paradigm:
+            solution = resolve_acyclic(simple_network, paradigm)
+            for user in simple_network.users:
+                positive = solution[user].positive_value
+                expected = reference.certain_value(user)
+                assert positive == expected
+
+    def test_cyclic_network_is_rejected(self, oscillator_network):
+        with pytest.raises(NetworkError):
+            resolve_acyclic(oscillator_network)
+
+    def test_ties_are_rejected(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 1, "x")])
+        tn.set_explicit_belief("a", "v")
+        tn.set_explicit_belief("b", "w")
+        with pytest.raises(NetworkError):
+            resolve_acyclic(tn)
+
+    def test_more_than_two_parents_rejected(self):
+        tn = TrustNetwork(
+            mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")],
+            explicit_beliefs={"a": "v"},
+        )
+        with pytest.raises(NetworkError):
+            resolve_acyclic(tn)
+
+    def test_fixed_nodes_break_cycles(self, oscillator_network):
+        # Fixing x1 removes the only cycle; the rest is evaluated around it.
+        fixed = {"x1": BeliefSet.from_positive("v")}
+        solution = resolve_acyclic(oscillator_network, Paradigm.AGNOSTIC, fixed=fixed)
+        assert solution["x2"].positive_value == "v"
+
+    def test_constraint_filters_value_from_non_preferred_parent(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "filter", priority=2)
+        tn.add_trust("x", "source", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["bad"]))
+        tn.set_explicit_belief("source", "bad")
+        for paradigm in Paradigm:
+            solution = resolve_acyclic(tn, paradigm)
+            assert solution["x"].positive_value is None, paradigm
+
+    def test_constraint_lets_other_values_through(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "filter", priority=2)
+        tn.add_trust("x", "source", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["bad"]))
+        tn.set_explicit_belief("source", "good")
+        for paradigm in Paradigm:
+            solution = resolve_acyclic(tn, paradigm)
+            assert solution["x"].positive_value == "good", paradigm
+
+    def test_skeptic_positive_blocks_everything_downstream(self):
+        # Under Skeptic, accepting a+ also rejects every other value, so a
+        # downstream node whose preferred parent rejects a+ ends with ⊥.
+        tn = TrustNetwork()
+        tn.add_trust("mid", "value_root", priority=1)
+        tn.add_trust("low", "reject_a", priority=2)
+        tn.add_trust("low", "mid", priority=1)
+        tn.add_trust("sink", "low", priority=2)
+        tn.add_trust("sink", "other_value", priority=1)
+        tn.set_explicit_belief("value_root", "a")
+        tn.set_explicit_belief("reject_a", BeliefSet.from_negatives(["a"]))
+        tn.set_explicit_belief("other_value", "b")
+        skeptic = resolve_acyclic(tn, Paradigm.SKEPTIC)
+        assert skeptic["low"].is_bottom
+        assert skeptic["sink"].is_bottom
+        agnostic = resolve_acyclic(tn, Paradigm.AGNOSTIC)
+        assert agnostic["sink"].positive_value == "b"
+
+    def test_empty_parents_yield_normalized_explicit_belief(self):
+        tn = TrustNetwork(explicit_beliefs={"a": "v"})
+        solution = resolve_acyclic(tn, Paradigm.SKEPTIC)
+        assert solution["a"] == BeliefSet.skeptic_positive("v")

@@ -1,0 +1,245 @@
+"""Unit tests for signed beliefs, belief sets and the paradigm algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beliefs import BOTTOM, Belief, BeliefSet, Paradigm, Sign
+from repro.core.errors import BeliefError, InconsistentBeliefsError, ParadigmError
+
+
+class TestBelief:
+    def test_positive_and_negative_constructors(self):
+        assert Belief.positive("cow").sign is Sign.POSITIVE
+        assert Belief.negative("cow").sign is Sign.NEGATIVE
+        assert Belief.positive("cow").is_positive
+        assert Belief.negative("cow").is_negative
+
+    def test_distinct_positive_beliefs_conflict(self):
+        assert Belief.positive("cow").conflicts_with(Belief.positive("jar"))
+
+    def test_same_positive_beliefs_do_not_conflict(self):
+        assert Belief.positive("cow").consistent_with(Belief.positive("cow"))
+
+    def test_positive_conflicts_with_matching_negative(self):
+        assert Belief.positive("cow").conflicts_with(Belief.negative("cow"))
+        assert Belief.negative("cow").conflicts_with(Belief.positive("cow"))
+
+    def test_positive_consistent_with_other_negative(self):
+        assert Belief.positive("cow").consistent_with(Belief.negative("jar"))
+
+    def test_negative_beliefs_never_conflict(self):
+        assert Belief.negative("cow").consistent_with(Belief.negative("cow"))
+        assert Belief.negative("cow").consistent_with(Belief.negative("jar"))
+
+    def test_beliefs_are_hashable_and_comparable(self):
+        assert len({Belief.positive("a"), Belief.positive("a")}) == 1
+        assert Belief("a", Sign.NEGATIVE) != Belief("a", Sign.POSITIVE)
+
+
+class TestParadigm:
+    @pytest.mark.parametrize(
+        "alias, expected",
+        [
+            ("A", Paradigm.AGNOSTIC),
+            ("agnostic", Paradigm.AGNOSTIC),
+            ("E", Paradigm.ECLECTIC),
+            ("Eclectic", Paradigm.ECLECTIC),
+            ("s", Paradigm.SKEPTIC),
+            (Paradigm.SKEPTIC, Paradigm.SKEPTIC),
+        ],
+    )
+    def test_coerce_accepts_names_and_abbreviations(self, alias, expected):
+        assert Paradigm.coerce(alias) is expected
+
+    def test_coerce_rejects_unknown(self):
+        with pytest.raises(ParadigmError):
+            Paradigm.coerce("optimist")
+        with pytest.raises(ParadigmError):
+            Paradigm.coerce(42)
+
+
+class TestBeliefSetConstruction:
+    def test_empty_set(self):
+        empty = BeliefSet.empty()
+        assert empty.is_empty
+        assert not empty.is_bottom
+        assert empty.positive_value is None
+
+    def test_positive_singleton(self):
+        beliefs = BeliefSet.from_positive("cow")
+        assert beliefs.positive_value == "cow"
+        assert beliefs.contains(Belief.positive("cow"))
+        assert not beliefs.rejects("cow")
+
+    def test_negative_set(self):
+        beliefs = BeliefSet.from_negatives(["cow", "jar"])
+        assert beliefs.rejects("cow") and beliefs.rejects("jar")
+        assert not beliefs.rejects("fish")
+        assert beliefs.positive_value is None
+
+    def test_bottom_rejects_everything(self):
+        assert BOTTOM.is_bottom
+        assert BOTTOM.rejects("anything")
+        assert not BOTTOM.accepts("anything")
+
+    def test_skeptic_positive_rejects_everything_else(self):
+        beliefs = BeliefSet.skeptic_positive("cow")
+        assert beliefs.positive_value == "cow"
+        assert beliefs.accepts("cow")
+        assert beliefs.rejects("jar")
+        assert not beliefs.rejects("cow")
+
+    def test_from_beliefs_consistent(self):
+        beliefs = BeliefSet.from_beliefs(
+            [Belief.positive("cow"), Belief.negative("jar")]
+        )
+        assert beliefs.positive_value == "cow"
+        assert beliefs.rejects("jar")
+
+    def test_from_beliefs_conflicting_positives_raises(self):
+        with pytest.raises(InconsistentBeliefsError):
+            BeliefSet.from_beliefs([Belief.positive("cow"), Belief.positive("jar")])
+
+    def test_from_beliefs_positive_and_matching_negative_raises(self):
+        with pytest.raises(InconsistentBeliefsError):
+            BeliefSet.from_beliefs([Belief.positive("cow"), Belief.negative("cow")])
+
+    def test_finite_negatives_cannot_be_enumerated_for_bottom(self):
+        with pytest.raises(BeliefError):
+            BOTTOM.finite_negative_values()
+
+
+class TestBeliefSetQueries:
+    def test_restrict_domain_materializes_cofinite_sets(self):
+        beliefs = BeliefSet.skeptic_positive("a")
+        materialized = beliefs.restrict_domain(["a", "b", "c"])
+        assert Belief.positive("a") in materialized
+        assert Belief.negative("b") in materialized
+        assert Belief.negative("c") in materialized
+        assert Belief.negative("a") not in materialized
+
+    def test_restrict_domain_finite_negatives(self):
+        beliefs = BeliefSet.from_negatives(["b"])
+        assert beliefs.restrict_domain(["a", "b"]) == frozenset({Belief.negative("b")})
+
+    def test_accepts_respects_positive_and_negatives(self):
+        beliefs = BeliefSet.from_beliefs([Belief.positive("a"), Belief.negative("b")])
+        assert beliefs.accepts("a")
+        assert not beliefs.accepts("b")
+        assert not beliefs.accepts("c")  # a different positive conflicts with a+
+
+    def test_consistency_checks(self):
+        assert BeliefSet.from_positive("a").is_consistent()
+        assert BOTTOM.is_consistent()
+        beliefs = BeliefSet.from_positive("a")
+        assert beliefs.consistent_with_belief(Belief.negative("b"))
+        assert not beliefs.consistent_with_belief(Belief.negative("a"))
+        assert not beliefs.consistent_with_belief(Belief.positive("b"))
+
+
+class TestPreferredUnion:
+    def test_keeps_all_of_first_argument(self):
+        first = BeliefSet.from_positive("a")
+        second = BeliefSet.from_positive("b")
+        assert first.preferred_union(second).positive_value == "a"
+
+    def test_adds_consistent_beliefs_of_second(self):
+        first = BeliefSet.from_negatives(["a"])
+        second = BeliefSet.from_beliefs([Belief.positive("b"), Belief.negative("c")])
+        merged = first.preferred_union(second)
+        assert merged.positive_value == "b"
+        assert merged.rejects("a") and merged.rejects("c")
+
+    def test_blocks_positive_conflicting_with_first(self):
+        first = BeliefSet.from_negatives(["b"])
+        second = BeliefSet.from_positive("b")
+        merged = first.preferred_union(second)
+        assert merged.positive_value is None
+        assert merged.rejects("b")
+
+    def test_paper_examples_for_each_paradigm(self):
+        a_neg = BeliefSet.from_negatives(["a"])
+        b_pos = BeliefSet.from_positive("b")
+        agnostic = a_neg.preferred_union_sigma(b_pos, Paradigm.AGNOSTIC)
+        assert agnostic == BeliefSet.from_positive("b")
+
+        eclectic = a_neg.preferred_union_sigma(b_pos, Paradigm.ECLECTIC)
+        assert eclectic.positive_value == "b" and eclectic.rejects("a")
+
+        skeptic = a_neg.preferred_union_sigma(b_pos, Paradigm.SKEPTIC)
+        assert skeptic.positive_value == "b"
+        assert skeptic.rejects("a") and skeptic.rejects("zzz")
+        assert not skeptic.rejects("b")
+
+        bottom = BeliefSet.from_negatives(["b"]).preferred_union_sigma(
+            b_pos, Paradigm.SKEPTIC
+        )
+        assert bottom.is_bottom
+
+    def test_union_raises_on_conflicting_positives(self):
+        with pytest.raises(InconsistentBeliefsError):
+            BeliefSet.from_positive("a").union(BeliefSet.from_positive("b"))
+
+    def test_union_merges_negative_parts(self):
+        merged = BeliefSet.from_negatives(["a"]).union(BeliefSet.from_negatives(["b"]))
+        assert merged.rejects("a") and merged.rejects("b")
+
+    def test_union_with_cofinite_keeps_exceptions_only_if_not_rejected(self):
+        merged = BeliefSet.skeptic_positive("a").union(BeliefSet.from_negatives(["c"]))
+        assert merged.rejects("c") and merged.rejects("b")
+        assert not merged.rejects("a")
+
+
+class TestNormalForms:
+    def test_agnostic_drops_negatives_when_positive_present(self):
+        beliefs = BeliefSet.from_beliefs([Belief.positive("a"), Belief.negative("b")])
+        assert beliefs.normalize(Paradigm.AGNOSTIC) == BeliefSet.from_positive("a")
+
+    def test_agnostic_keeps_pure_negative_sets(self):
+        beliefs = BeliefSet.from_negatives(["a", "b"])
+        assert beliefs.normalize(Paradigm.AGNOSTIC) == beliefs
+
+    def test_eclectic_is_identity(self):
+        beliefs = BeliefSet.from_beliefs([Belief.positive("a"), Belief.negative("b")])
+        assert beliefs.normalize(Paradigm.ECLECTIC) == beliefs
+
+    def test_skeptic_expands_positive_to_maximal_constraint(self):
+        normalized = BeliefSet.from_positive("a").normalize(Paradigm.SKEPTIC)
+        assert normalized == BeliefSet.skeptic_positive("a")
+
+    def test_skeptic_keeps_negative_sets(self):
+        beliefs = BeliefSet.from_negatives(["a"])
+        assert beliefs.normalize(Paradigm.SKEPTIC) == beliefs
+
+
+class TestAssociativity:
+    def test_skeptic_preferred_union_is_associative_on_examples(self):
+        sets = [
+            BeliefSet.from_negatives(["a"]),
+            BeliefSet.from_positive("a"),
+            BeliefSet.from_positive("b"),
+            BeliefSet.from_negatives(["b", "c"]),
+            BeliefSet.empty(),
+        ]
+        for x in sets:
+            for y in sets:
+                for z in sets:
+                    left = x.preferred_union_sigma(y, "S").preferred_union_sigma(z, "S")
+                    right = x.preferred_union_sigma(
+                        y.preferred_union_sigma(z, "S"), "S"
+                    )
+                    assert left == right, (x, y, z)
+
+    def test_agnostic_and_eclectic_are_not_associative(self):
+        a_neg = BeliefSet.from_negatives(["a"])
+        a_pos = BeliefSet.from_positive("a")
+        b_pos = BeliefSet.from_positive("b")
+        for paradigm in (Paradigm.AGNOSTIC, Paradigm.ECLECTIC):
+            left = a_neg.preferred_union_sigma(a_pos, paradigm).preferred_union_sigma(
+                b_pos, paradigm
+            )
+            right = a_neg.preferred_union_sigma(
+                a_pos.preferred_union_sigma(b_pos, paradigm), paradigm
+            )
+            assert left != right

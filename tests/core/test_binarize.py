@@ -1,0 +1,152 @@
+"""Tests for the TN → BTN binarization (Proposition 2.8, Appendix B.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.binarize import binarize, binarization_size, clique_binarization_row
+from repro.core.bruteforce import possible_values_bruteforce
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.workloads.cliques import clique_network
+
+
+def build_fanin_network(priorities, beliefs):
+    """A single child ``x`` with parents ``z1..zk`` at the given priorities."""
+    tn = TrustNetwork()
+    for index, priority in enumerate(priorities, start=1):
+        tn.add_trust("x", f"z{index}", priority=priority)
+    for user, value in beliefs.items():
+        tn.set_explicit_belief(user, value)
+    return tn
+
+
+class TestStructure:
+    def test_already_binary_network_is_unchanged_in_spirit(self, oscillator_network):
+        result = binarize(oscillator_network)
+        assert result.original_users == frozenset(oscillator_network.users)
+        assert result.auxiliary_users == frozenset()
+        assert result.btn.is_binary()
+        assert len(result.btn.mappings) == len(oscillator_network.mappings)
+
+    def test_every_output_is_binary(self):
+        for k in (3, 4, 5, 7):
+            tn = build_fanin_network(range(1, k + 1), {f"z{i}": f"v{i}" for i in range(1, k + 1)})
+            result = binarize(tn)
+            result.btn.validate()
+            for user in result.btn.users:
+                assert len(result.btn.incoming(user)) <= 2
+
+    def test_cascade_node_count(self):
+        # A node with k > 2 parents gains exactly k - 2 cascade nodes.
+        for k in (3, 5, 8):
+            tn = build_fanin_network(range(1, k + 1), {"z1": "v"})
+            result = binarize(tn)
+            assert len(result.cascades["x"]) == k - 2
+
+    def test_explicit_belief_on_non_root_is_lifted(self):
+        tn = TrustNetwork(mappings=[("p", 1, "x")], explicit_beliefs={"x": "own", "p": "v"})
+        result = binarize(tn)
+        assert "x" in result.belief_roots
+        root = result.belief_roots["x"]
+        assert result.btn.explicit_positive_value(root) == "own"
+        # The lifted root must dominate the original parent.
+        assert result.btn.preferred_parent("x") == root
+
+    def test_explicit_belief_on_root_is_kept_in_place(self):
+        tn = TrustNetwork(mappings=[("p", 1, "x")], explicit_beliefs={"p": "v"})
+        result = binarize(tn)
+        assert result.belief_roots == {}
+        assert result.btn.explicit_positive_value("p") == "v"
+
+    def test_clique_binarization_matches_figure11_formula(self):
+        for n in (4, 5, 8, 10):
+            network = clique_network(n, with_beliefs=False)
+            result = binarize(network)
+            expected = clique_binarization_row(n)
+            assert len(result.btn.users) == expected["binarized_users"]
+            assert len(result.btn.mappings) == expected["binarized_edges"]
+
+    def test_clique_growth_factors_bounded(self):
+        # Figure 11: edges grow by less than 2x, edges + nodes by less than 3x.
+        for n in (4, 6, 10, 14):
+            network = clique_network(n, with_beliefs=False)
+            result = binarize(network)
+            edge_factor = len(result.btn.mappings) / len(network.mappings)
+            size_factor = (len(result.btn.users) + len(result.btn.mappings)) / network.size
+            assert edge_factor < 2
+            assert size_factor < 3
+
+    def test_binarization_size_helper(self):
+        assert binarization_size(10, 20, 2) == (10, 20)
+        users, edges = binarization_size(4, 12, 3)
+        assert users == 4 + 4 and edges == 4 * 4
+
+    def test_clique_row_rejects_tiny_clique(self):
+        with pytest.raises(NetworkError):
+            clique_binarization_row(1)
+
+
+class TestSemanticsPreserved:
+    """Binarization must not change possible values of the original users."""
+
+    def assert_equivalent(self, network):
+        expected = possible_values_bruteforce(network)
+        result = binarize(network)
+        resolved = resolve(result.btn)
+        for user in network.users:
+            assert resolved.possible_values(user) == expected[user], user
+
+    def test_three_parents_distinct_priorities(self):
+        tn = build_fanin_network([1, 2, 3], {"z1": "a", "z2": "b", "z3": "c"})
+        self.assert_equivalent(tn)
+
+    def test_three_parents_top_tie(self):
+        tn = build_fanin_network([1, 2, 2], {"z1": "a", "z2": "b", "z3": "c"})
+        self.assert_equivalent(tn)
+
+    def test_three_parents_bottom_tie(self):
+        tn = build_fanin_network([1, 1, 2], {"z1": "a", "z2": "b", "z3": "c"})
+        self.assert_equivalent(tn)
+
+    def test_all_ties(self):
+        tn = build_fanin_network([1, 1, 1, 1], {f"z{i}": f"v{i}" for i in range(1, 5)})
+        self.assert_equivalent(tn)
+
+    def test_figure10_priority_pattern(self):
+        # p1 = p2 < p3 = p4 = p5 < p6 < p7 with partially defined beliefs.
+        priorities = [1, 1, 3, 3, 3, 6, 7]
+        beliefs = {"z2": "low", "z4": "mid", "z6": "high"}
+        tn = build_fanin_network(priorities, beliefs)
+        self.assert_equivalent(tn)
+
+    def test_missing_top_parent_belief_falls_through(self):
+        # The highest-priority parent has no belief: lower ones must win.
+        tn = build_fanin_network([1, 2, 3], {"z1": "a", "z2": "b"})
+        self.assert_equivalent(tn)
+
+    def test_partial_beliefs_with_ties(self):
+        tn = build_fanin_network([2, 2, 5], {"z1": "a", "z2": "b"})
+        self.assert_equivalent(tn)
+
+    def test_explicit_belief_overrides_parents_after_lifting(self):
+        tn = TrustNetwork(
+            mappings=[("p", 5, "x"), ("q", 1, "x")],
+            explicit_beliefs={"x": "own", "p": "v", "q": "w"},
+        )
+        result = binarize(tn)
+        resolved = resolve(result.btn)
+        assert resolved.certain_value("x") == "own"
+
+    def test_cycle_with_high_fanin_node(self):
+        # A cyclic, non-binary network: x trusts three users, one of which
+        # trusts x back.
+        tn = TrustNetwork()
+        tn.add_trust("x", "a", priority=3)
+        tn.add_trust("x", "b", priority=2)
+        tn.add_trust("x", "c", priority=1)
+        tn.add_trust("b", "x", priority=1)
+        tn.set_explicit_belief("a", "va")
+        tn.set_explicit_belief("c", "vc")
+        self.assert_equivalent(tn)

@@ -1,0 +1,124 @@
+"""Tests for the definition-level brute-force oracles themselves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beliefs import BeliefSet, Paradigm
+from repro.core.bruteforce import (
+    certain_values_bruteforce,
+    constrained_certain_positive,
+    constrained_possible_positive,
+    enumerate_constrained_solutions,
+    enumerate_stable_solutions,
+    possible_pairs_bruteforce,
+    possible_values_bruteforce,
+)
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+
+
+class TestPositiveOnlyEnumeration:
+    def test_simple_network_unique_solution(self, simple_network):
+        solutions = enumerate_stable_solutions(simple_network)
+        assert len(solutions) == 1
+        assert solutions[0] == {"x1": "v", "x2": "v", "x3": "w"}
+
+    def test_oscillator_two_solutions(self, oscillator_network):
+        solutions = enumerate_stable_solutions(oscillator_network)
+        assert len(solutions) == 2
+        flooded = {frozenset({s["x1"], s["x2"]}) for s in solutions}
+        assert flooded == {frozenset({"v"}), frozenset({"w"})}
+
+    def test_unfounded_values_are_rejected(self):
+        # A pure 2-cycle without external beliefs has exactly one stable
+        # solution: everything undefined (no unfounded value can appear).
+        tn = TrustNetwork()
+        tn.add_trust("x", "y", priority=1)
+        tn.add_trust("y", "x", priority=1)
+        solutions = enumerate_stable_solutions(tn)
+        assert solutions == [{}]
+
+    def test_certain_and_possible_helpers(self, oscillator_network):
+        possible = possible_values_bruteforce(oscillator_network)
+        certain = certain_values_bruteforce(oscillator_network)
+        assert possible["x1"] == frozenset({"v", "w"})
+        assert certain["x1"] == frozenset()
+        assert certain["x3"] == frozenset({"v"})
+
+    def test_possible_pairs_bruteforce(self, oscillator_network):
+        pairs = possible_pairs_bruteforce(oscillator_network)
+        assert pairs[("x1", "x2")] == frozenset({("v", "v"), ("w", "w")})
+
+    def test_size_guard(self):
+        tn = TrustNetwork(users=[f"u{i}" for i in range(40)])
+        with pytest.raises(NetworkError):
+            enumerate_stable_solutions(tn, max_nodes=30)
+
+    def test_priority_domination_is_enforced(self):
+        # x must not take the low-priority parent's value when the
+        # high-priority parent holds a conflicting one.
+        tn = TrustNetwork()
+        tn.add_trust("x", "hi", priority=2)
+        tn.add_trust("x", "lo", priority=1)
+        tn.set_explicit_belief("hi", "a")
+        tn.set_explicit_belief("lo", "b")
+        solutions = enumerate_stable_solutions(tn)
+        assert all(solution["x"] == "a" for solution in solutions)
+
+
+class TestConstrainedEnumeration:
+    def test_acyclic_constraint_filtering(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "filter", priority=2)
+        tn.add_trust("x", "source", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["a"]))
+        tn.set_explicit_belief("source", "a")
+        for paradigm in Paradigm:
+            solutions = enumerate_constrained_solutions(tn, paradigm)
+            assert len(solutions) == 1
+            assert solutions[0]["x"].positive_value is None
+
+    def test_without_constraints_positive_results_match_plain_enumeration(
+        self, oscillator_network
+    ):
+        plain = possible_values_bruteforce(oscillator_network)
+        for paradigm in Paradigm:
+            constrained = constrained_possible_positive(oscillator_network, paradigm)
+            for user in oscillator_network.users:
+                assert constrained[user] == plain[user], (paradigm, user)
+
+    def test_certain_positive_helper(self, simple_network):
+        certain = constrained_certain_positive(simple_network, Paradigm.SKEPTIC)
+        assert certain["x1"] == frozenset({"v"})
+        assert certain["x3"] == frozenset({"w"})
+
+    def test_ties_rejected_with_constraints(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 1, "x")])
+        tn.set_explicit_belief("a", "v")
+        with pytest.raises(NetworkError):
+            enumerate_constrained_solutions(tn, Paradigm.SKEPTIC)
+
+    def test_skeptic_cycle_admits_bottom_solution(self):
+        # Documented deviation (DESIGN.md): Definition 3.3 admits a solution
+        # in which a cycle collectively rejects the incoming value based on a
+        # constraint arriving over a non-preferred edge; Algorithm 2 reports
+        # the positive value as certain, the definition-level oracle does not.
+        tn = TrustNetwork()
+        tn.add_trust("x1", "x2", priority=2)
+        tn.add_trust("x1", "x3", priority=1)
+        tn.add_trust("x2", "x1", priority=2)
+        tn.add_trust("x2", "x4", priority=1)
+        tn.set_explicit_belief("x3", "v")
+        tn.set_explicit_belief("x4", BeliefSet.from_negatives(["v"]))
+        solutions = enumerate_constrained_solutions(tn, Paradigm.SKEPTIC)
+        kinds = {
+            (solution["x1"].positive_value, solution["x1"].is_bottom)
+            for solution in solutions
+        }
+        assert ("v", False) in kinds
+        assert (None, True) in kinds
+        # Possible positive beliefs still agree with Algorithm 2.
+        assert constrained_possible_positive(tn, Paradigm.SKEPTIC)["x1"] == frozenset(
+            {"v"}
+        )

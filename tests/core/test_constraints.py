@@ -1,0 +1,83 @@
+"""Tests for the high-level constrained resolution API (Section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beliefs import Belief, BeliefSet, Paradigm
+from repro.core.constraints import (
+    associativity_example,
+    normal_form,
+    preferred_union,
+    resolve_with_constraints,
+)
+from repro.core.errors import ParadigmError
+from repro.core.network import TrustNetwork
+
+
+class TestFunctionalAlgebra:
+    def test_normal_form_delegates_to_paradigm(self):
+        beliefs = BeliefSet.from_beliefs([Belief.positive("a"), Belief.negative("b")])
+        assert normal_form(beliefs, "A") == BeliefSet.from_positive("a")
+        assert normal_form(beliefs, "E") == beliefs
+        assert normal_form(beliefs, "S") == BeliefSet.skeptic_positive("a")
+
+    def test_preferred_union_without_paradigm_is_plain(self):
+        merged = preferred_union(
+            BeliefSet.from_negatives(["a"]), BeliefSet.from_positive("b")
+        )
+        assert merged.positive_value == "b" and merged.rejects("a")
+
+    def test_preferred_union_with_paradigm(self):
+        merged = preferred_union(
+            BeliefSet.from_negatives(["a"]), BeliefSet.from_positive("b"), "A"
+        )
+        assert merged == BeliefSet.from_positive("b")
+
+    def test_associativity_example_matches_paper(self):
+        b1, b2 = associativity_example(Paradigm.AGNOSTIC)
+        assert b1 == BeliefSet.from_negatives(["a"])
+        assert b2 == BeliefSet.from_positive("b")
+        b1, b2 = associativity_example(Paradigm.ECLECTIC)
+        assert b1 == BeliefSet.from_negatives(["a"])
+        assert b2.positive_value == "b" and b2.rejects("a")
+        b1, b2 = associativity_example(Paradigm.SKEPTIC)
+        assert b1 == b2
+
+
+class TestDispatch:
+    def test_acyclic_any_paradigm(self, simple_network):
+        for paradigm in Paradigm:
+            resolution = resolve_with_constraints(simple_network, paradigm)
+            assert resolution.is_unique
+            assert resolution.certain_positive_value("x1") == "v"
+            assert resolution.possible_positive_values("x1") == frozenset({"v"})
+
+    def test_cyclic_skeptic_uses_algorithm2(self, oscillator_network):
+        resolution = resolve_with_constraints(oscillator_network, Paradigm.SKEPTIC)
+        assert not resolution.is_unique
+        assert resolution.possible_positive_values("x1") == frozenset({"v", "w"})
+        assert resolution.certain_positive_values("x1") == frozenset()
+        assert resolution.belief_set("x1") is None
+
+    def test_cyclic_agnostic_and_eclectic_refused(self, oscillator_network):
+        for paradigm in (Paradigm.AGNOSTIC, Paradigm.ECLECTIC):
+            with pytest.raises(ParadigmError):
+                resolve_with_constraints(oscillator_network, paradigm)
+
+    def test_possible_beliefs_materialize_constraints(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "filter", priority=2)
+        tn.add_trust("x", "source", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["bad"]))
+        tn.set_explicit_belief("source", "good")
+        eclectic = resolve_with_constraints(tn, Paradigm.ECLECTIC)
+        beliefs = eclectic.possible_beliefs("x")
+        assert Belief.positive("good") in beliefs
+        assert Belief.negative("bad") in beliefs
+        skeptic = resolve_with_constraints(tn, Paradigm.SKEPTIC)
+        assert Belief.positive("good") in skeptic.possible_beliefs("x")
+
+    def test_certain_beliefs_for_unique_solutions_equal_possible(self, simple_network):
+        resolution = resolve_with_constraints(simple_network, Paradigm.ECLECTIC)
+        assert resolution.certain_beliefs("x1") == resolution.possible_beliefs("x1")

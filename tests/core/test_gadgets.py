@@ -1,0 +1,128 @@
+"""Tests for the Boolean gadgets and the CNF SAT reduction (Theorem 3.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beliefs import Paradigm
+from repro.core.errors import NetworkError
+from repro.core.gadgets import (
+    LEVEL_ENCODING,
+    build_gate_test_network,
+    cnf_is_satisfiable_directly,
+    cnf_is_satisfiable_via_trust_network,
+    encode_cnf,
+)
+
+PARADIGMS = (Paradigm.AGNOSTIC, Paradigm.ECLECTIC)
+
+
+def gate_truth_table(gadget, paradigm):
+    """Map each Boolean input assignment to the gate's output positive value."""
+    table = {}
+    for assignment, solution in gadget.enumerate_solutions(paradigm):
+        key = tuple(sorted(assignment.items()))
+        table[key] = solution[gadget.output].positive_value
+    return table
+
+
+class TestGates:
+    @pytest.mark.parametrize("paradigm", PARADIGMS)
+    def test_not_gate(self, paradigm):
+        gadget = build_gate_test_network("not")
+        table = gate_truth_table(gadget, paradigm)
+        # Level-2 encoding: d = true, c = false; NOT flips the input.
+        assert table[(("X", False),)] == "d"
+        assert table[(("X", True),)] == "c"
+
+    @pytest.mark.parametrize("paradigm", PARADIGMS)
+    def test_pass_through_gate(self, paradigm):
+        gadget = build_gate_test_network("pass")
+        table = gate_truth_table(gadget, paradigm)
+        assert table[(("X", False),)] == "c"
+        assert table[(("X", True),)] == "d"
+
+    @pytest.mark.parametrize("paradigm", PARADIGMS)
+    def test_or_gate(self, paradigm):
+        gadget = build_gate_test_network("or")
+        table = gate_truth_table(gadget, paradigm)
+        for key, output in table.items():
+            inputs = dict(key)
+            expected_true = any(inputs.values())
+            # Level-3 encoding: d = true, e = false.
+            assert output == ("d" if expected_true else "e"), key
+
+    def test_not_gate_breaks_under_skeptic(self):
+        # The hardness gadgets rely on blocked values leaving room for other
+        # positives; under Skeptic a positive carries ⊥-like constraints and
+        # the gate no longer computes NOT (this is why Skeptic is tractable).
+        gadget = build_gate_test_network("not")
+        table = gate_truth_table(gadget, Paradigm.SKEPTIC)
+        assert table != {(("X", False),): "d", (("X", True),): "c"}
+
+    def test_unknown_gate_rejected(self):
+        with pytest.raises(NetworkError):
+            build_gate_test_network("xor")
+
+
+class TestCnfEncoding:
+    SATISFIABLE = [
+        [[("x1", True)]],
+        [[("x1", True), ("x2", False)], [("x2", True), ("x3", True)]],
+        [[("x1", True), ("x2", True)], [("x1", False), ("x2", False)]],
+        [[("x1", False)], [("x2", True)], [("x1", False), ("x2", True)]],
+    ]
+    UNSATISFIABLE = [
+        [[("x1", True)], [("x1", False)]],
+        [
+            [("x1", True), ("x2", True)],
+            [("x1", True), ("x2", False)],
+            [("x1", False), ("x2", True)],
+            [("x1", False), ("x2", False)],
+        ],
+    ]
+
+    @pytest.mark.parametrize("formula", SATISFIABLE)
+    @pytest.mark.parametrize("paradigm", PARADIGMS)
+    def test_satisfiable_formulas(self, formula, paradigm):
+        assert cnf_is_satisfiable_directly(formula)
+        assert cnf_is_satisfiable_via_trust_network(formula, paradigm)
+
+    @pytest.mark.parametrize("formula", UNSATISFIABLE)
+    @pytest.mark.parametrize("paradigm", PARADIGMS)
+    def test_unsatisfiable_formulas(self, formula, paradigm):
+        assert not cnf_is_satisfiable_directly(formula)
+        assert not cnf_is_satisfiable_via_trust_network(formula, paradigm)
+
+    def test_reduction_matches_brute_force_on_random_formulas(self):
+        import random
+
+        rng = random.Random(5)
+        variables = ["x1", "x2", "x3"]
+        for _ in range(6):
+            formula = []
+            for _ in range(rng.randint(1, 3)):
+                clause = [
+                    (rng.choice(variables), rng.choice([True, False]))
+                    for _ in range(rng.randint(1, 3))
+                ]
+                formula.append(clause)
+            expected = cnf_is_satisfiable_directly(formula)
+            assert cnf_is_satisfiable_via_trust_network(formula, "A") == expected
+
+    def test_unsatisfiable_formula_makes_false_output_certain(self):
+        formula = [[("x1", True)], [("x1", False)]]
+        gadget = encode_cnf(formula)
+        outputs = gadget.possible_output_values(Paradigm.AGNOSTIC)
+        assert LEVEL_ENCODING[4][True] not in outputs
+        assert outputs == frozenset({LEVEL_ENCODING[4][False]})
+
+    def test_encoder_validates_input(self):
+        with pytest.raises(NetworkError):
+            encode_cnf([])
+        with pytest.raises(NetworkError):
+            encode_cnf([[]])
+
+    def test_encoded_network_is_binary(self):
+        gadget = encode_cnf([[("x1", True), ("x2", False)]])
+        assert gadget.network.is_binary()

@@ -1,0 +1,62 @@
+"""Tests for lineage retrieval (Section 2.5, "Retrieving lineage")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+
+
+class TestLineage:
+    def test_lineage_of_explicit_belief_is_a_single_step(self):
+        tn = TrustNetwork(explicit_beliefs={"a": "v"})
+        result = resolve(tn)
+        path = result.trace_lineage("a", "v")
+        assert len(path) == 1
+        assert path[0].user == "a" and path[0].source is None
+
+    def test_lineage_follows_preferred_chain(self):
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        tn.set_explicit_belief("a", "v")
+        result = resolve(tn)
+        path = result.trace_lineage("c", "v")
+        assert [step.user for step in path] == ["c", "b", "a"]
+        assert path[-1].source is None
+        assert all(step.value == "v" for step in path)
+
+    def test_lineage_through_scc_flooding(self, oscillator_network):
+        result = resolve(oscillator_network)
+        for value, origin in (("v", "x3"), ("w", "x4")):
+            path = result.trace_lineage("x1", value)
+            assert path[0].user == "x1"
+            assert path[-1].user == origin
+            assert path[-1].source is None
+
+    def test_every_possible_value_has_a_lineage(self, oscillator_network):
+        result = resolve(oscillator_network)
+        for user in oscillator_network.users:
+            for value in result.possible_values(user):
+                path = result.trace_lineage(user, value)
+                assert path, (user, value)
+                assert path[-1].source is None
+
+    def test_lineage_of_impossible_value_raises(self, oscillator_network):
+        result = resolve(oscillator_network)
+        with pytest.raises(KeyError):
+            result.trace_lineage("x1", "nonexistent")
+
+    def test_lineage_terminates_on_conflicting_network(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "a", priority=1)
+        tn.add_trust("x", "b", priority=1)
+        tn.add_trust("y", "x", priority=1)
+        tn.set_explicit_belief("a", "va")
+        tn.set_explicit_belief("b", "vb")
+        result = resolve(tn)
+        for value in ("va", "vb"):
+            path = result.trace_lineage("y", value)
+            assert path[-1].user in {"a", "b"}
+            assert path[-1].value == value

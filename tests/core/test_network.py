@@ -1,0 +1,144 @@
+"""Unit tests for trust networks and priority trust mappings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beliefs import Belief, BeliefSet
+from repro.core.errors import NetworkError, NotBinaryError
+from repro.core.network import BinaryTrustNetwork, TrustMapping, TrustNetwork
+
+
+class TestConstruction:
+    def test_add_mapping_creates_users(self):
+        tn = TrustNetwork()
+        tn.add_mapping(("bob", 100, "alice"))
+        assert {"alice", "bob"} <= set(tn.users)
+        assert tn.mappings == (TrustMapping("bob", 100, "alice"),)
+
+    def test_add_trust_convenience(self):
+        tn = TrustNetwork()
+        mapping = tn.add_trust("alice", "bob", priority=7)
+        assert mapping == TrustMapping("bob", 7, "alice")
+
+    def test_self_trust_rejected(self):
+        tn = TrustNetwork()
+        with pytest.raises(NetworkError):
+            tn.add_trust("alice", "alice", priority=1)
+
+    def test_constructor_accepts_tuples_and_beliefs(self):
+        tn = TrustNetwork(
+            users=["zoe"],
+            mappings=[("bob", 10, "alice")],
+            explicit_beliefs={"bob": "cow", "zoe": BeliefSet.from_negatives(["x"])},
+        )
+        assert tn.explicit_positive_value("bob") == "cow"
+        assert tn.explicit_belief("zoe").rejects("x")
+        assert "zoe" in tn
+
+    def test_explicit_belief_coercion_from_belief_object(self):
+        tn = TrustNetwork()
+        tn.set_explicit_belief("a", Belief.negative("v"))
+        assert tn.explicit_belief("a").rejects("v")
+
+    def test_remove_explicit_belief(self):
+        tn = TrustNetwork(explicit_beliefs={"a": "v"})
+        tn.remove_explicit_belief("a")
+        assert not tn.has_explicit_belief("a")
+        tn.remove_explicit_belief("a")  # idempotent
+
+    def test_size_counts_users_plus_mappings(self):
+        tn = TrustNetwork(mappings=[("a", 1, "b"), ("b", 1, "c")])
+        assert tn.size == 3 + 2
+
+    def test_copy_is_independent(self):
+        tn = TrustNetwork(mappings=[("a", 1, "b")], explicit_beliefs={"a": "v"})
+        clone = tn.copy()
+        clone.add_trust("c", "a", priority=5)
+        clone.set_explicit_belief("b", "w")
+        assert len(tn.mappings) == 1
+        assert not tn.has_explicit_belief("b")
+
+
+class TestStructureQueries:
+    def test_parents_sorted_by_priority(self):
+        tn = TrustNetwork(mappings=[("low", 1, "x"), ("high", 9, "x"), ("mid", 5, "x")])
+        assert tn.parents("x") == ("high", "mid", "low")
+
+    def test_children_and_outgoing(self):
+        tn = TrustNetwork(mappings=[("p", 1, "a"), ("p", 2, "b")])
+        assert set(tn.children("p")) == {"a", "b"}
+        assert len(tn.outgoing("p")) == 2
+
+    def test_roots(self):
+        tn = TrustNetwork(mappings=[("r", 1, "x")])
+        assert tn.roots() == frozenset({"r"})
+
+    def test_preferred_parent_single(self):
+        tn = TrustNetwork(mappings=[("p", 3, "x")])
+        assert tn.preferred_parent("x") == "p"
+
+    def test_preferred_parent_strict_priority(self):
+        tn = TrustNetwork(mappings=[("lo", 1, "x"), ("hi", 2, "x")])
+        assert tn.preferred_parent("x") == "hi"
+
+    def test_preferred_parent_none_on_tie(self):
+        tn = TrustNetwork(mappings=[("a", 2, "x"), ("b", 2, "x")])
+        assert tn.preferred_parent("x") is None
+
+    def test_preferred_parent_none_without_parents(self):
+        tn = TrustNetwork(users=["x"])
+        assert tn.preferred_parent("x") is None
+
+    def test_preferred_and_non_preferred_edges_partition_mappings(self):
+        tn = TrustNetwork(
+            mappings=[("hi", 2, "x"), ("lo", 1, "x"), ("a", 1, "y"), ("b", 1, "y")]
+        )
+        preferred = tn.preferred_edges()
+        non_preferred = tn.non_preferred_edges()
+        assert len(preferred) + len(non_preferred) == len(tn.mappings)
+        assert TrustMapping("hi", 2, "x") in preferred
+        assert TrustMapping("lo", 1, "x") in non_preferred
+        assert TrustMapping("a", 1, "y") in non_preferred
+
+    def test_is_binary(self, oscillator_network):
+        assert oscillator_network.is_binary()
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")])
+        assert not tn.is_binary()
+
+    def test_is_binary_false_for_non_root_belief(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x")], explicit_beliefs={"x": "v"})
+        assert not tn.is_binary()
+
+    def test_is_acyclic(self, simple_network, oscillator_network):
+        assert simple_network.is_acyclic()
+        assert not oscillator_network.is_acyclic()
+
+    def test_to_digraph_has_priorities(self):
+        tn = TrustNetwork(mappings=[("p", 7, "x")])
+        graph = tn.to_digraph()
+        assert graph.edges[("p", "x")]["priority"] == 7
+
+    def test_reachable_from_roots_with_beliefs(self):
+        tn = TrustNetwork(
+            mappings=[("r", 1, "a"), ("a", 1, "b"), ("other", 1, "c")],
+            explicit_beliefs={"r": "v"},
+        )
+        reachable = tn.reachable_from_roots_with_beliefs()
+        assert reachable == frozenset({"r", "a", "b"})
+
+
+class TestBinaryTrustNetwork:
+    def test_validate_accepts_binary(self, oscillator_network):
+        btn = BinaryTrustNetwork.from_network(oscillator_network)
+        assert btn.is_binary()
+
+    def test_validate_rejects_three_parents(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")])
+        with pytest.raises(NotBinaryError):
+            BinaryTrustNetwork.from_network(tn)
+
+    def test_validate_rejects_belief_on_non_root(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x")], explicit_beliefs={"x": "v"})
+        with pytest.raises(NotBinaryError):
+            BinaryTrustNetwork.from_network(tn)

@@ -1,0 +1,93 @@
+"""Tests for possible pairs, agreement checking and consensus values."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import TrustNetwork
+from repro.core.pairs import (
+    agreement_pairs,
+    consensus_values,
+    possible_pairs,
+    possible_pairs_incremental,
+)
+
+
+class TestPossiblePairs:
+    def test_oscillator_pairs_exclude_mixed_combinations(self, oscillator_network):
+        # Section 2.5: poss(x1, x2) contains (v, v) and (w, w) but neither
+        # (v, w) nor (w, v).
+        pairs = possible_pairs(oscillator_network)
+        assert pairs[("x1", "x2")] == frozenset({("v", "v"), ("w", "w")})
+        assert pairs[("x1", "x3")] == frozenset({("v", "v"), ("w", "v")})
+
+    def test_pairs_are_symmetric_transposes(self, oscillator_network):
+        pairs = possible_pairs(oscillator_network)
+        for (x, y), values in pairs.items():
+            assert pairs[(y, x)] == frozenset({(w, v) for v, w in values})
+
+    def test_marginals_match_possible_values(self, oscillator_network):
+        from repro.core.resolution import resolve
+
+        pairs = possible_pairs(oscillator_network)
+        result = resolve(oscillator_network)
+        for user in oscillator_network.users:
+            marginal = {v for v, _ in pairs[(user, user)]}
+            assert marginal == set(result.possible_values(user))
+
+    def test_incremental_pairs_match_bruteforce_on_oscillator(self, oscillator_network):
+        exact = possible_pairs(oscillator_network)
+        fast = possible_pairs_incremental(oscillator_network)
+        for key, values in exact.items():
+            assert fast[key] == values, key
+
+    def test_incremental_pairs_match_bruteforce_on_simple_network(self, simple_network):
+        exact = possible_pairs(simple_network)
+        fast = possible_pairs_incremental(simple_network)
+        for key, values in exact.items():
+            assert fast[key] == values, key
+
+    def test_incremental_pairs_on_shared_flooded_component(self):
+        # A 3-cycle fed by two conflicting roots: different nodes of the
+        # component can take different values in the same solution.
+        tn = TrustNetwork()
+        tn.add_trust("a", "b", priority=1)
+        tn.add_trust("b", "c", priority=1)
+        tn.add_trust("c", "a", priority=1)
+        tn.add_trust("a", "r1", priority=1)
+        tn.add_trust("c", "r2", priority=1)
+        tn.set_explicit_belief("r1", "v")
+        tn.set_explicit_belief("r2", "w")
+        exact = possible_pairs(tn)
+        fast = possible_pairs_incremental(tn)
+        for key in exact:
+            assert fast[key] == exact[key], key
+
+
+class TestAgreementAndConsensus:
+    def test_agreement_pairs_on_oscillator(self, oscillator_network):
+        agreeing = agreement_pairs(oscillator_network)
+        # x1 and x2 always hold the same value (either both v or both w).
+        assert ("x1", "x2") in agreeing
+        assert ("x2", "x1") in agreeing
+        # x1 and x3 disagree in the solution where x1 = w.
+        assert ("x1", "x3") not in agreeing
+
+    def test_agreement_pairs_on_simple_network(self, simple_network):
+        agreeing = agreement_pairs(simple_network)
+        assert ("x1", "x2") in agreeing
+        assert ("x1", "x3") not in agreeing
+
+    def test_consensus_values_oscillator(self, oscillator_network):
+        # x1 and x2 agree on both v and w: whenever one holds the value, so
+        # does the other.
+        assert consensus_values(oscillator_network, "x1", "x2") == frozenset({"v", "w"})
+        # x1 and x3: x3 always holds v but x1 sometimes holds w, so v is not a
+        # consensus value; w is not either because x1 can hold w while x3 not.
+        assert consensus_values(oscillator_network, "x1", "x3") == frozenset()
+
+    def test_consensus_values_reuses_precomputed_pairs(self, oscillator_network):
+        pairs = possible_pairs(oscillator_network)
+        assert consensus_values(
+            oscillator_network, "x1", "x2", pairs=pairs
+        ) == frozenset({"v", "w"})

@@ -1,0 +1,89 @@
+"""The Figure 6 example: one network, three paradigms, three different outcomes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.acyclic import resolve_acyclic
+from repro.core.beliefs import Belief, BeliefSet, Paradigm
+from repro.core.constraints import resolve_with_constraints
+from repro.core.network import TrustNetwork
+
+
+@pytest.fixture
+def figure6_network() -> TrustNetwork:
+    """Figure 6a: explicit beliefs {b-}, {a+}, {a-}, {b+}, {c+} and a chain of
+    preferred edges x2→x3, x4→x5, x5→x7, x7→x9."""
+    network = TrustNetwork()
+    network.set_explicit_belief("x1", BeliefSet.from_negatives(["b"]))
+    network.set_explicit_belief("x2", "a")
+    network.set_explicit_belief("x4", BeliefSet.from_negatives(["a"]))
+    network.set_explicit_belief("x6", "b")
+    network.set_explicit_belief("x8", "c")
+    network.add_trust("x3", "x2", priority=2)
+    network.add_trust("x3", "x1", priority=1)
+    network.add_trust("x5", "x4", priority=2)
+    network.add_trust("x5", "x3", priority=1)
+    network.add_trust("x7", "x5", priority=2)
+    network.add_trust("x7", "x6", priority=1)
+    network.add_trust("x9", "x7", priority=2)
+    network.add_trust("x9", "x8", priority=1)
+    return network
+
+
+class TestFigure6:
+    def test_network_is_acyclic_and_binary(self, figure6_network):
+        assert figure6_network.is_acyclic()
+        assert figure6_network.is_binary()
+
+    def test_agnostic_solution(self, figure6_network):
+        solution = resolve_acyclic(figure6_network, Paradigm.AGNOSTIC)
+        assert solution["x3"] == BeliefSet.from_positive("a")
+        assert solution["x5"] == BeliefSet.from_negatives(["a"])
+        assert solution["x7"] == BeliefSet.from_positive("b")
+        assert solution["x9"] == BeliefSet.from_positive("b")
+
+    def test_eclectic_solution(self, figure6_network):
+        solution = resolve_acyclic(figure6_network, Paradigm.ECLECTIC)
+        assert solution["x3"].positive_value == "a"
+        assert solution["x3"].rejects("b")
+        assert solution["x5"].positive_value is None
+        assert solution["x5"].rejects("a") and solution["x5"].rejects("b")
+        # The constraint b- defined upstream reaches x7 and blocks b+.
+        assert solution["x7"].positive_value is None
+        assert solution["x7"].rejects("a") and solution["x7"].rejects("b")
+        # x9 still accepts c+ under Eclectic ...
+        assert solution["x9"].positive_value == "c"
+        assert solution["x9"].rejects("a") and solution["x9"].rejects("b")
+
+    def test_skeptic_solution(self, figure6_network):
+        solution = resolve_acyclic(figure6_network, Paradigm.SKEPTIC)
+        assert solution["x3"] == BeliefSet.skeptic_positive("a")
+        assert solution["x5"].is_bottom
+        assert solution["x7"].is_bottom
+        # ... but under Skeptic x9 rejects c+ too and believes ⊥.
+        assert solution["x9"].is_bottom
+
+    def test_paradigms_collapse_without_constraints(self, figure6_network):
+        # Removing the negative beliefs makes all three paradigms agree on the
+        # positive values (Section 3.3).
+        network = TrustNetwork(mappings=figure6_network.mappings)
+        network.set_explicit_belief("x2", "a")
+        network.set_explicit_belief("x6", "b")
+        network.set_explicit_belief("x8", "c")
+        positives = {}
+        for paradigm in Paradigm:
+            solution = resolve_acyclic(network, paradigm)
+            positives[paradigm] = {
+                user: solution[user].positive_value for user in network.users
+            }
+        assert positives[Paradigm.AGNOSTIC] == positives[Paradigm.ECLECTIC]
+        assert positives[Paradigm.ECLECTIC] == positives[Paradigm.SKEPTIC]
+
+    def test_resolve_with_constraints_dispatches_to_acyclic(self, figure6_network):
+        resolution = resolve_with_constraints(figure6_network, Paradigm.ECLECTIC)
+        assert resolution.is_unique
+        assert resolution.certain_positive_value("x9") == "c"
+        assert resolution.certain_positive_value("x7") is None
+        skeptic = resolve_with_constraints(figure6_network, Paradigm.SKEPTIC)
+        assert skeptic.certain_positive_value("x9") is None

@@ -1,0 +1,189 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The central cross-validation properties:
+
+* Algorithm 1 computes exactly the possible values defined by Definition 2.4
+  (checked against the brute-force oracle on random binary networks).
+* Algorithm 1 agrees with the brave stable-model semantics of the translated
+  logic program (Theorem 2.9).
+* Binarization preserves the possible values of the original users
+  (Proposition 2.8).
+* The Skeptic preferred union is associative and idempotent-friendly
+  (Section 3.3), and normal forms are idempotent for every paradigm.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.beliefs import Belief, BeliefSet, Paradigm
+from repro.core.binarize import binarize
+from repro.core.bruteforce import possible_values_bruteforce
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.core.skeptic import resolve_skeptic
+from repro.logicprog.solver import solve_network_brave
+
+from tests.conftest import random_binary_network
+
+SLOW = settings(
+    max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ---------------------------------------------------------------------- #
+# belief-set algebra                                                      #
+# ---------------------------------------------------------------------- #
+
+VALUES = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def belief_sets(draw):
+    kind = draw(st.integers(min_value=0, max_value=4))
+    if kind == 0:
+        return BeliefSet.empty()
+    if kind == 1:
+        return BeliefSet.from_positive(draw(VALUES))
+    if kind == 2:
+        values = draw(st.sets(VALUES, min_size=1, max_size=3))
+        return BeliefSet.from_negatives(values)
+    if kind == 3:
+        return BeliefSet.bottom()
+    return BeliefSet.skeptic_positive(draw(VALUES))
+
+
+@given(belief_sets(), belief_sets(), belief_sets())
+@settings(max_examples=200, deadline=None)
+def test_skeptic_preferred_union_is_associative(x, y, z):
+    left = x.preferred_union_sigma(y, "S").preferred_union_sigma(z, "S")
+    right = x.preferred_union_sigma(y.preferred_union_sigma(z, "S"), "S")
+    assert left == right
+
+
+@given(belief_sets(), st.sampled_from(list(Paradigm)))
+@settings(max_examples=200, deadline=None)
+def test_normal_form_is_idempotent(beliefs, paradigm):
+    once = beliefs.normalize(paradigm)
+    assert once.normalize(paradigm) == once
+
+
+@given(belief_sets(), belief_sets(), st.sampled_from(list(Paradigm)))
+@settings(max_examples=200, deadline=None)
+def test_preferred_union_keeps_first_argument_positive(x, y, paradigm):
+    merged = x.preferred_union_sigma(y, paradigm)
+    if x.positive_value is not None:
+        assert merged.positive_value == x.positive_value
+
+
+@given(belief_sets(), belief_sets())
+@settings(max_examples=200, deadline=None)
+def test_preferred_union_result_is_consistent(x, y):
+    assert x.preferred_union(y).is_consistent()
+
+
+# ---------------------------------------------------------------------- #
+# resolution invariants on random binary networks                         #
+# ---------------------------------------------------------------------- #
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_algorithm1_matches_definition_oracle(seed):
+    network = random_binary_network(seed, n_nodes=7, n_values=2)
+    expected = possible_values_bruteforce(network)
+    result = resolve(network)
+    for user in network.users:
+        assert result.possible_values(user) == expected[user], (seed, user)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_algorithm1_matches_logic_program_brave_semantics(seed):
+    network = random_binary_network(seed, n_nodes=6, n_values=2)
+    result = resolve(network)
+    brave = solve_network_brave(network)
+    for user in network.users:
+        assert set(map(str, result.possible_values(user))) == set(
+            brave.get(str(user), frozenset())
+        ), (seed, user)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_every_possible_value_has_a_lineage(seed):
+    network = random_binary_network(seed, n_nodes=8, n_values=3)
+    result = resolve(network)
+    for user in network.users:
+        for value in result.possible_values(user):
+            path = result.trace_lineage(user, value)
+            assert path[-1].source is None
+            assert all(step.value == value for step in path)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_certain_values_are_possible_and_unique(seed):
+    network = random_binary_network(seed, n_nodes=8, n_values=3)
+    result = resolve(network)
+    for user in network.users:
+        certain = result.certain_values(user)
+        assert len(certain) <= 1
+        assert certain <= result.possible_values(user)
+
+
+@given(st.integers(min_value=0, max_value=10_000))
+@SLOW
+def test_skeptic_equals_algorithm1_without_constraints(seed):
+    network = random_binary_network(seed, n_nodes=7, n_values=2)
+    try:
+        skeptic = resolve_skeptic(network)
+    except Exception:
+        # Networks with tied parents are outside Algorithm 2's scope.
+        return
+    reference = resolve(network)
+    for user in network.users:
+        assert skeptic.possible_positive_values(user) == reference.possible_values(
+            user
+        ), (seed, user)
+
+
+# ---------------------------------------------------------------------- #
+# binarization                                                            #
+# ---------------------------------------------------------------------- #
+
+
+@st.composite
+def non_binary_networks(draw):
+    """Random networks with fan-in up to four and beliefs anywhere."""
+    import random as _random
+
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    rng = _random.Random(seed)
+    users = [f"n{i}" for i in range(draw(st.integers(min_value=4, max_value=7)))]
+    values = ["a", "b", "c"]
+    network = TrustNetwork(users=users)
+    for child in users:
+        parents = [u for u in users if u != child]
+        rng.shuffle(parents)
+        count = rng.randint(0, min(4, len(parents)))
+        priorities = list(range(1, count + 1))
+        if count >= 2 and rng.random() < 0.4:
+            priorities[1] = priorities[0]  # introduce a tie
+        for parent, priority in zip(parents[:count], priorities):
+            network.add_trust(child, parent, priority=priority)
+    for user in users:
+        if rng.random() < 0.5:
+            network.set_explicit_belief(user, rng.choice(values))
+    return network
+
+
+@given(non_binary_networks())
+@SLOW
+def test_binarization_preserves_possible_values(network):
+    expected = possible_values_bruteforce(network)
+    result = binarize(network)
+    result.btn.validate()
+    resolved = resolve(result.btn)
+    for user in network.users:
+        assert resolved.possible_values(user) == expected[user], user

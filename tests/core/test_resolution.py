@@ -1,0 +1,171 @@
+"""Tests for Algorithm 1 (possible / certain values, Section 2.4)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bruteforce import (
+    certain_values_bruteforce,
+    enumerate_stable_solutions,
+    possible_values_bruteforce,
+)
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+from repro.core.resolution import certain_snapshot, resolve
+
+
+class TestPaperExamples:
+    def test_simple_network_fig4a(self, simple_network):
+        result = resolve(simple_network)
+        assert result.certain_value("x1") == "v"
+        assert result.certain_value("x2") == "v"
+        assert result.certain_value("x3") == "w"
+
+    def test_oscillator_fig4b_has_two_possible_values(self, oscillator_network):
+        result = resolve(oscillator_network)
+        assert result.possible_values("x1") == frozenset({"v", "w"})
+        assert result.possible_values("x2") == frozenset({"v", "w"})
+        assert result.certain_values("x1") == frozenset()
+        assert result.certain_values("x2") == frozenset()
+        assert result.certain_values("x3") == frozenset({"v"})
+        assert result.certain_values("x4") == frozenset({"w"})
+
+    def test_oscillator_matches_bruteforce(self, oscillator_network):
+        expected = possible_values_bruteforce(oscillator_network)
+        result = resolve(oscillator_network)
+        for user in oscillator_network.users:
+            assert result.possible_values(user) == expected[user]
+
+    def test_oscillator_has_exactly_two_stable_solutions(self, oscillator_network):
+        assert len(enumerate_stable_solutions(oscillator_network)) == 2
+
+    def test_example_2_5_single_belief_propagates(self, indus_mappings):
+        tn = TrustNetwork(mappings=indus_mappings)
+        tn.set_explicit_belief("Charlie", "jar")
+        result = resolve(tn)
+        assert result.certain_value("Alice") == "jar"
+        assert result.certain_value("Bob") == "jar"
+
+    def test_example_2_5_priority_resolves_conflict(self, indus_mappings):
+        from repro.core.binarize import binarize
+
+        tn = TrustNetwork(mappings=indus_mappings)
+        tn.set_explicit_belief("Charlie", "jar")
+        tn.set_explicit_belief("Bob", "cow")
+        # Bob holds an explicit belief *and* has a parent, so the network must
+        # be binarized before Algorithm 1 applies (Proposition 2.8).
+        result = resolve(binarize(tn).btn)
+        assert result.certain_value("Alice") == "cow"
+        assert result.certain_value("Bob") == "cow"
+
+
+class TestResolutionBehaviour:
+    def test_non_binary_network_is_rejected(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")])
+        tn.set_explicit_belief("a", "v")
+        with pytest.raises(NetworkError):
+            resolve(tn)
+
+    def test_unreachable_user_has_no_possible_values(self):
+        tn = TrustNetwork(mappings=[("r", 1, "a"), ("lonely_root", 1, "b")])
+        tn.set_explicit_belief("r", "v")
+        result = resolve(tn)
+        assert result.possible_values("a") == frozenset({"v"})
+        assert result.possible_values("b") == frozenset()
+        assert result.possible_values("lonely_root") == frozenset()
+
+    def test_user_with_undefined_preferred_parent_uses_other_parent(self):
+        # The higher-priority parent can never hold a belief, so the value of
+        # the lower-priority parent must flow (Definition 2.4, condition 3
+        # only applies to parents that hold conflicting beliefs).
+        tn = TrustNetwork()
+        tn.add_trust("x", "never", priority=9)
+        tn.add_trust("x", "src", priority=1)
+        tn.set_explicit_belief("src", "v")
+        result = resolve(tn)
+        assert result.certain_value("x") == "v"
+
+    def test_tied_parents_produce_both_values(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 1, "x")])
+        tn.set_explicit_belief("a", "va")
+        tn.set_explicit_belief("b", "vb")
+        result = resolve(tn)
+        assert result.possible_values("x") == frozenset({"va", "vb"})
+        assert result.has_conflict("x")
+        assert result.users_with_conflicts() == frozenset({"x"})
+
+    def test_preferred_chain_propagates(self):
+        tn = TrustNetwork()
+        for index in range(1, 6):
+            tn.add_trust(f"n{index}", f"n{index - 1}" if index > 1 else "root", priority=1)
+        tn.set_explicit_belief("root", "v")
+        result = resolve(tn)
+        for index in range(1, 6):
+            assert result.certain_value(f"n{index}") == "v"
+
+    def test_snapshot_contains_only_certain_users(self, oscillator_network):
+        snapshot = resolve(oscillator_network).snapshot()
+        assert snapshot == {"x3": "v", "x4": "w"}
+
+    def test_certain_snapshot_helper(self, simple_network):
+        assert certain_snapshot(simple_network) == {"x1": "v", "x2": "v", "x3": "w"}
+
+    def test_every_btn_has_at_least_one_stable_solution(self, oscillator_network):
+        # Forward Lemma corollary: unlike general logic programs, a BTN always
+        # has a stable solution.
+        assert enumerate_stable_solutions(oscillator_network)
+
+    def test_explicit_belief_user_keeps_own_value(self):
+        tn = TrustNetwork()
+        tn.set_explicit_belief("a", "va")
+        tn.set_explicit_belief("b", "vb")
+        tn.add_trust("c", "a", priority=2)
+        tn.add_trust("c", "b", priority=1)
+        result = resolve(tn)
+        assert result.certain_value("a") == "va"
+        assert result.certain_value("b") == "vb"
+        assert result.certain_value("c") == "va"
+
+    def test_two_node_cycle_without_external_beliefs_is_undefined(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "y", priority=1)
+        tn.add_trust("y", "x", priority=1)
+        result = resolve(tn)
+        assert result.possible_values("x") == frozenset()
+        assert result.possible_values("y") == frozenset()
+
+    def test_order_invariance_of_insertion(self, indus_mappings):
+        # Building the same network with explicit beliefs added in different
+        # orders must give identical results (the paper's core motivation).
+        from repro.core.binarize import binarize
+
+        values = {"Charlie": "jar", "Bob": "cow"}
+        snapshots = []
+        for order in (["Charlie", "Bob"], ["Bob", "Charlie"]):
+            tn = TrustNetwork(mappings=indus_mappings)
+            for user in order:
+                tn.set_explicit_belief(user, values[user])
+            resolved = resolve(binarize(tn).btn).snapshot()
+            snapshots.append(
+                {user: value for user, value in resolved.items() if user in tn.users}
+            )
+        assert snapshots[0] == snapshots[1]
+        assert snapshots[0]["Alice"] == "cow"
+
+    def test_certain_equals_bruteforce_on_nested_cycles(self):
+        # Two coupled cycles sharing a node.
+        tn = TrustNetwork()
+        tn.add_trust("a", "b", priority=2)
+        tn.add_trust("b", "a", priority=2)
+        tn.add_trust("b", "c", priority=1)
+        tn.add_trust("c", "a", priority=2)
+        tn.add_trust("a", "r1", priority=1)
+        tn.add_trust("c", "r2", priority=1)
+        tn.set_explicit_belief("r1", "v")
+        tn.set_explicit_belief("r2", "w")
+        result = resolve(tn)
+        expected_poss = possible_values_bruteforce(tn)
+        expected_cert = certain_values_bruteforce(tn)
+        for user in tn.users:
+            assert result.possible_values(user) == expected_poss[user], user
+            assert result.certain_values(user) == expected_cert[user], user

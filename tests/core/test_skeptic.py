@@ -1,0 +1,186 @@
+"""Tests for the Skeptic Resolution Algorithm (Algorithm 2, Theorem 3.5)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beliefs import Belief, BeliefSet, Paradigm
+from repro.core.bruteforce import constrained_possible_positive
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.core.skeptic import resolve_skeptic
+
+
+def assert_positive_possible_match(network):
+    """Algorithm 2's possible positive values must match the Definition 3.3 oracle."""
+    algorithm = resolve_skeptic(network)
+    oracle = constrained_possible_positive(network, Paradigm.SKEPTIC)
+    for user in network.users:
+        assert algorithm.possible_positive_values(user) == oracle[user], user
+
+
+class TestWithoutConstraints:
+    """With no negative beliefs, Algorithm 2 must agree with Algorithm 1."""
+
+    def test_simple_network(self, simple_network):
+        algorithm1 = resolve(simple_network)
+        algorithm2 = resolve_skeptic(simple_network)
+        for user in simple_network.users:
+            assert algorithm2.possible_positive_values(user) == algorithm1.possible_values(user)
+            assert algorithm2.certain_positive_values(user) == algorithm1.certain_values(user)
+
+    def test_oscillator(self, oscillator_network):
+        algorithm1 = resolve(oscillator_network)
+        algorithm2 = resolve_skeptic(oscillator_network)
+        for user in oscillator_network.users:
+            assert algorithm2.possible_positive_values(user) == algorithm1.possible_values(user)
+
+    def test_chain(self):
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        tn.set_explicit_belief("a", "v")
+        algorithm2 = resolve_skeptic(tn)
+        assert algorithm2.certain_positive_values("c") == frozenset({"v"})
+
+
+class TestWithConstraints:
+    def test_constraint_via_non_preferred_edge_does_not_block(self):
+        # x prefers a negative-only root and also trusts a positive source:
+        # the positive value must still arrive (B.7 discussion).
+        tn = TrustNetwork()
+        tn.add_trust("x", "filter", priority=2)
+        tn.add_trust("x", "source", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["a"]))
+        tn.set_explicit_belief("source", "b")
+        result = resolve_skeptic(tn)
+        assert result.possible_positive_values("x") == frozenset({"b"})
+        assert result.certain_positive_values("x") == frozenset({"b"})
+
+    def test_constraint_blocks_matching_value(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "filter", priority=2)
+        tn.add_trust("x", "source", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["a"]))
+        tn.set_explicit_belief("source", "a")
+        result = resolve_skeptic(tn)
+        assert result.possible_positive_values("x") == frozenset()
+        assert result.representation("x").has_bottom
+
+    def test_bottom_propagates_through_preferred_chain(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "filter", priority=2)
+        tn.add_trust("x", "source", priority=1)
+        tn.add_trust("y", "x", priority=2)
+        tn.add_trust("y", "other", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["a"]))
+        tn.set_explicit_belief("source", "a")
+        tn.set_explicit_belief("other", "b")
+        result = resolve_skeptic(tn)
+        # x is ⊥, and under Skeptic ⊥ dominates: y cannot adopt b+ either.
+        assert result.representation("y").has_bottom
+        assert result.possible_positive_values("y") == frozenset()
+
+    def test_pref_neg_propagates_only_along_preferred_edges(self):
+        tn = TrustNetwork()
+        tn.add_trust("mid", "filter", priority=2)
+        tn.add_trust("leaf", "mid", priority=2)
+        tn.add_trust("leaf", "source", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["a", "b"]))
+        tn.set_explicit_belief("source", "b")
+        result = resolve_skeptic(tn)
+        assert result.forced_negative_values("mid") == frozenset({"a", "b"})
+        assert result.forced_negative_values("leaf") == frozenset({"a", "b"})
+        # The constraint chain forces leaf to reject b, so no positive arrives.
+        assert result.possible_positive_values("leaf") == frozenset()
+
+    def test_partial_flooding_of_a_component(self):
+        # A 2-cycle where one member prefers a positive source and the other
+        # prefers a constraint rejecting that value: the first member accepts
+        # the value, the second is forced to ⊥.
+        tn = TrustNetwork()
+        tn.add_trust("p", "source", priority=2)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "filter", priority=2)
+        tn.add_trust("q", "p", priority=1)
+        tn.set_explicit_belief("source", "a")
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["a"]))
+        result = resolve_skeptic(tn)
+        assert result.possible_positive_values("p") == frozenset({"a"})
+        assert result.possible_positive_values("q") == frozenset()
+        assert result.representation("q").has_bottom
+        assert_positive_possible_match(tn)
+
+    def test_forced_rejection_propagates_around_a_cycle(self):
+        # Both cycle members end up rejecting the value because the constraint
+        # reaches them through a chain of preferred edges.
+        tn = TrustNetwork()
+        tn.add_trust("p", "q", priority=2)
+        tn.add_trust("p", "source", priority=1)
+        tn.add_trust("q", "filter", priority=2)
+        tn.add_trust("q", "p", priority=1)
+        tn.set_explicit_belief("source", "a")
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["a"]))
+        result = resolve_skeptic(tn)
+        assert result.possible_positive_values("p") == frozenset()
+        assert result.possible_positive_values("q") == frozenset()
+        assert result.forced_negative_values("p") == frozenset({"a"})
+        assert_positive_possible_match(tn)
+
+    def test_matches_definition_oracle_on_acyclic_networks(self):
+        tn = TrustNetwork()
+        tn.add_trust("x3", "x2", priority=2)
+        tn.add_trust("x3", "x1", priority=1)
+        tn.add_trust("x5", "x4", priority=2)
+        tn.add_trust("x5", "x3", priority=1)
+        tn.set_explicit_belief("x1", BeliefSet.from_negatives(["b"]))
+        tn.set_explicit_belief("x2", "a")
+        tn.set_explicit_belief("x4", BeliefSet.from_negatives(["a"]))
+        assert_positive_possible_match(tn)
+
+    def test_matches_definition_oracle_on_cyclic_network(self):
+        tn = TrustNetwork()
+        tn.add_trust("x1", "x2", priority=2)
+        tn.add_trust("x1", "x3", priority=1)
+        tn.add_trust("x2", "x1", priority=2)
+        tn.add_trust("x2", "x4", priority=1)
+        tn.set_explicit_belief("x3", "v")
+        tn.set_explicit_belief("x4", BeliefSet.from_negatives(["v"]))
+        assert_positive_possible_match(tn)
+
+    def test_oscillator_with_two_values_and_one_constraint(self):
+        tn = TrustNetwork()
+        tn.add_trust("x1", "x2", priority=2)
+        tn.add_trust("x1", "x3", priority=1)
+        tn.add_trust("x2", "x1", priority=2)
+        tn.add_trust("x2", "x4", priority=1)
+        tn.add_trust("x5", "x1", priority=2)
+        tn.add_trust("x5", "x6", priority=1)
+        tn.set_explicit_belief("x3", "v")
+        tn.set_explicit_belief("x4", "w")
+        tn.set_explicit_belief("x6", BeliefSet.from_negatives(["v"]))
+        assert_positive_possible_match(tn)
+
+
+class TestValidation:
+    def test_ties_are_rejected(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 1, "x")])
+        tn.set_explicit_belief("a", "v")
+        with pytest.raises(NetworkError):
+            resolve_skeptic(tn)
+
+    def test_non_binary_rejected(self):
+        tn = TrustNetwork(
+            mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")],
+            explicit_beliefs={"a": "v"},
+        )
+        with pytest.raises(NetworkError):
+            resolve_skeptic(tn)
+
+    def test_cofinite_explicit_constraint_rejected(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "r", priority=1)
+        tn.set_explicit_belief("r", BeliefSet.bottom())
+        with pytest.raises(NetworkError):
+            resolve_skeptic(tn)

@@ -1,0 +1,90 @@
+"""Tests for the repPoss decoding of Figure 18 (five cases)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.beliefs import Belief
+from repro.core.skeptic import SkepticRepresentation
+
+DOMAIN = ("a", "b", "c")
+
+
+def negatives_of(beliefs):
+    return {belief.value for belief in beliefs if belief.is_negative}
+
+
+def positives_of(beliefs):
+    return {belief.value for belief in beliefs if belief.is_positive}
+
+
+class TestFigure18Decoding:
+    def test_case1_only_negative_beliefs(self):
+        rep = SkepticRepresentation(negatives=frozenset({"a"}))
+        poss = rep.possible_beliefs(DOMAIN)
+        cert = rep.certain_beliefs(DOMAIN)
+        assert poss == frozenset({Belief.negative("a")})
+        assert cert == frozenset({Belief.negative("a")})
+        assert rep.possible_positive_values() == frozenset()
+        assert rep.certain_positive_values() == frozenset()
+        assert not rep.is_type2
+
+    def test_case2_bottom_and_negatives(self):
+        rep = SkepticRepresentation(negatives=frozenset({"a"}), has_bottom=True)
+        poss = rep.possible_beliefs(DOMAIN)
+        cert = rep.certain_beliefs(DOMAIN)
+        assert negatives_of(poss) == set(DOMAIN)
+        assert negatives_of(cert) == set(DOMAIN)
+        assert positives_of(poss) == set()
+        assert rep.is_type2
+
+    def test_case3_single_positive_not_rejected(self):
+        rep = SkepticRepresentation(positives=frozenset({"a"}))
+        poss = rep.possible_beliefs(DOMAIN)
+        cert = rep.certain_beliefs(DOMAIN)
+        # poss = cert = {a+} ∪ (⊥ − {a−})
+        assert positives_of(poss) == {"a"}
+        assert negatives_of(poss) == {"b", "c"}
+        assert poss == cert
+        assert rep.certain_positive_values() == frozenset({"a"})
+
+    def test_case4_single_positive_also_rejected(self):
+        rep = SkepticRepresentation(positives=frozenset({"a"}), has_bottom=True)
+        poss = rep.possible_beliefs(DOMAIN)
+        cert = rep.certain_beliefs(DOMAIN)
+        # poss = {a+} ∪ ⊥ ; cert = ⊥ − {a−}
+        assert positives_of(poss) == {"a"}
+        assert negatives_of(poss) == set(DOMAIN)
+        assert positives_of(cert) == set()
+        assert negatives_of(cert) == {"b", "c"}
+        assert rep.certain_positive_values() == frozenset()
+
+    def test_case4_with_explicit_negative_instead_of_bottom(self):
+        rep = SkepticRepresentation(
+            positives=frozenset({"a"}), negatives=frozenset({"a"})
+        )
+        assert rep.certain_positive_values() == frozenset()
+
+    def test_case5_multiple_positives(self):
+        rep = SkepticRepresentation(positives=frozenset({"a", "b"}))
+        poss = rep.possible_beliefs(DOMAIN)
+        cert = rep.certain_beliefs(DOMAIN)
+        # poss = {a+, b+} ∪ ⊥ ; cert = ⊥ − {a−, b−}
+        assert positives_of(poss) == {"a", "b"}
+        assert negatives_of(poss) == set(DOMAIN)
+        assert positives_of(cert) == set()
+        assert negatives_of(cert) == {"c"}
+        assert rep.possible_positive_values() == frozenset({"a", "b"})
+        assert rep.certain_positive_values() == frozenset()
+
+    def test_empty_representation(self):
+        rep = SkepticRepresentation()
+        assert rep.is_empty
+        assert rep.possible_beliefs(DOMAIN) == frozenset()
+        assert rep.certain_beliefs(DOMAIN) == frozenset()
+
+    def test_domain_is_extended_by_mentioned_values(self):
+        rep = SkepticRepresentation(positives=frozenset({"z"}))
+        poss = rep.possible_beliefs(DOMAIN)
+        assert Belief.positive("z") in poss
+        assert Belief.negative("a") in poss

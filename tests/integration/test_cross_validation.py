@@ -1,0 +1,105 @@
+"""Cross-validation of the three resolution routes on shared workloads.
+
+Algorithm 1, the logic-program baseline and the bulk SQL executor implement
+the same semantics through very different machinery; these tests run them on
+the evaluation workloads (small parameterizations) and require identical
+answers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bulk import BulkResolver
+from repro.core.binarize import binarize
+from repro.core.resolution import resolve
+from repro.core.skeptic import resolve_skeptic
+from repro.logicprog.solver import solve_network_brave, solve_network_cautious
+from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
+from repro.workloads.oscillators import oscillator_network
+from repro.workloads.powerlaw import WebWorkloadConfig, web_trust_network
+from repro.workloads.worstcase import worstcase_network
+
+
+class TestAlgorithmVersusLogicProgram:
+    def test_oscillator_workload(self):
+        network = oscillator_network(2)
+        reference = resolve(network)
+        brave = solve_network_brave(network)
+        cautious = solve_network_cautious(network)
+        for user in network.users:
+            assert set(brave.get(str(user), frozenset())) == set(
+                reference.possible_values(user)
+            )
+            assert set(cautious.get(str(user), frozenset())) == set(
+                reference.certain_values(user)
+            )
+
+    def test_small_web_sample(self):
+        network = web_trust_network(
+            WebWorkloadConfig(n_domains=20, edges_per_node=2, seed=13)
+        )
+        reference = resolve(network)
+        brave = solve_network_brave(network)
+        for user in network.users:
+            assert set(brave.get(str(user), frozenset())) == set(
+                map(str, reference.possible_values(user))
+            ), user
+
+    def test_worstcase_family_small(self):
+        network = worstcase_network(0)
+        reference = resolve(network)
+        brave = solve_network_brave(network)
+        for user in network.users:
+            assert set(brave.get(str(user), frozenset())) == set(
+                reference.possible_values(user)
+            ), user
+
+
+class TestAlgorithmVersusBulk:
+    def test_figure19_objects(self):
+        network = figure19_network()
+        rows = generate_objects(25, conflict_probability=0.6, seed=23)
+        resolver = BulkResolver(network, explicit_users=BELIEF_USERS)
+        resolver.load_beliefs(rows)
+        resolver.run()
+        by_key = {}
+        for user, key, value in rows:
+            by_key.setdefault(key, []).append((user, value))
+        for key, beliefs in by_key.items():
+            per_object = network.copy()
+            for user, value in beliefs:
+                per_object.set_explicit_belief(user, value)
+            reference = resolve(binarize(per_object).btn)
+            for user in network.users:
+                assert set(resolver.possible_values(user, key)) == set(
+                    map(str, reference.possible_values(user))
+                ), (user, key)
+        resolver.store.close()
+
+    def test_oscillator_bulk_many_objects(self):
+        network = oscillator_network(1)
+        resolver = BulkResolver(network)
+        rows = []
+        for index in range(30):
+            rows.append(("c0.x3", f"k{index}", f"a{index}"))
+            rows.append(("c0.x4", f"k{index}", f"a{index}" if index % 2 else f"b{index}"))
+        resolver.load_beliefs(rows)
+        resolver.run()
+        for index in range(30):
+            expected = {f"a{index}"} if index % 2 else {f"a{index}", f"b{index}"}
+            assert set(resolver.possible_values("c0.x1", f"k{index}")) == expected
+        resolver.store.close()
+
+
+class TestAlgorithm1VersusAlgorithm2:
+    def test_positive_only_workloads_agree(self):
+        # Algorithm 2 forbids ties (Definition 3.3), so only the tie-free
+        # oscillator workload is compared here.
+        for network in (oscillator_network(2), oscillator_network(4)):
+            reference = resolve(network)
+            skeptic = resolve_skeptic(network)
+            for user in network.users:
+                assert skeptic.possible_positive_values(user) == reference.possible_values(
+                    user
+                ), user

@@ -1,0 +1,99 @@
+"""Unit tests for terms, atoms, literals and rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import LogicProgramError, UnsafeRuleError
+from repro.logicprog.atoms import Atom, Literal, Rule, Variable, fact, is_variable, var
+
+
+class TestAtoms:
+    def test_variables_and_constants(self):
+        atom = Atom("poss", ("alice", var("X")))
+        assert not atom.is_ground
+        assert atom.variables() == frozenset({Variable("X")})
+        assert is_variable(var("X"))
+        assert not is_variable("alice")
+
+    def test_ground_atom(self):
+        atom = Atom("poss", ("alice", "cow"))
+        assert atom.is_ground
+        assert atom.arity == 2
+
+    def test_substitution(self):
+        atom = Atom("poss", (var("U"), var("V")))
+        ground = atom.substitute({Variable("U"): "alice", Variable("V"): "cow"})
+        assert ground == Atom("poss", ("alice", "cow"))
+
+    def test_partial_substitution_keeps_unbound_variables(self):
+        atom = Atom("poss", (var("U"), var("V")))
+        partial = atom.substitute({Variable("U"): "alice"})
+        assert partial.terms[0] == "alice"
+        assert is_variable(partial.terms[1])
+
+
+class TestLiterals:
+    def test_positive_and_negative(self):
+        atom = Atom("poss", ("alice", "cow"))
+        assert Literal.pos(atom).positive
+        assert not Literal.neg(atom).positive
+
+    def test_builtin_not_equal(self):
+        literal = Literal.not_equal("a", "b")
+        assert literal.is_builtin
+        assert literal.evaluate_builtin()
+        assert not Literal.not_equal("a", "a").evaluate_builtin()
+
+    def test_builtin_with_variables_substitutes(self):
+        literal = Literal.not_equal(var("X"), "b")
+        ground = literal.substitute({Variable("X"): "b"})
+        assert not ground.evaluate_builtin()
+
+    def test_builtin_with_unbound_variable_raises(self):
+        with pytest.raises(LogicProgramError):
+            Literal.not_equal(var("X"), "b").evaluate_builtin()
+
+    def test_evaluate_builtin_on_non_builtin_raises(self):
+        with pytest.raises(LogicProgramError):
+            Literal.pos(Atom("p", ("a",))).evaluate_builtin()
+
+
+class TestRules:
+    def test_fact_constructor(self):
+        rule = fact("poss", "alice", "cow")
+        assert rule.is_fact
+        assert rule.head == Atom("poss", ("alice", "cow"))
+
+    def test_fact_with_variable_rejected(self):
+        with pytest.raises(LogicProgramError):
+            fact("poss", var("X"))
+
+    def test_safety_accepts_bound_variables(self):
+        rule = Rule(
+            head=Atom("poss", ("x", var("V"))),
+            body=(Literal.pos(Atom("poss", ("z", var("V")))),),
+        )
+        rule.check_safety()  # must not raise
+
+    def test_safety_rejects_unbound_head_variable(self):
+        rule = Rule(head=Atom("poss", ("x", var("V"))))
+        with pytest.raises(UnsafeRuleError):
+            rule.check_safety()
+
+    def test_safety_rejects_variable_bound_only_negatively(self):
+        rule = Rule(
+            head=Atom("p", ("x",)),
+            body=(Literal.neg(Atom("q", (var("V"),))),),
+        )
+        with pytest.raises(UnsafeRuleError):
+            rule.check_safety()
+
+    def test_rule_substitution(self):
+        rule = Rule(
+            head=Atom("p", (var("X"),)),
+            body=(Literal.pos(Atom("q", (var("X"),))), Literal.not_equal(var("X"), "a")),
+        )
+        ground = rule.substitute({Variable("X"): "b"})
+        assert ground.head == Atom("p", ("b",))
+        assert ground.body[1].evaluate_builtin()

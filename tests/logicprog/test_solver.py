@@ -1,0 +1,69 @@
+"""Tests for the high-level stable-model solver (the DLV substitute)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.logicprog.solver import (
+    StableModelSolver,
+    solve_network,
+    solve_network_brave,
+    solve_network_cautious,
+)
+from repro.logicprog.translate import POSS, btn_to_program
+
+
+class TestSolveNetwork:
+    def test_brave_equals_possible_values(self, oscillator_network):
+        brave = solve_network_brave(oscillator_network)
+        reference = resolve(oscillator_network)
+        for user in oscillator_network.users:
+            assert set(brave.get(str(user), frozenset())) == set(
+                reference.possible_values(user)
+            )
+
+    def test_cautious_equals_certain_values(self, oscillator_network):
+        cautious = solve_network_cautious(oscillator_network)
+        reference = resolve(oscillator_network)
+        for user in oscillator_network.users:
+            expected = set(reference.certain_values(user))
+            assert set(cautious.get(str(user), frozenset())) == expected
+
+    def test_report_contains_instrumentation(self, simple_network):
+        report = solve_network(simple_network, semantics="brave", count_models=True)
+        assert report.semantics == "brave"
+        assert report.ground_rules > 0
+        assert report.stable_models == 1
+        assert report.elapsed_seconds >= 0
+        assert report.values_for("x1") == frozenset({"v"})
+
+    def test_unknown_semantics_rejected(self, simple_network):
+        solver = StableModelSolver(btn_to_program(simple_network))
+        with pytest.raises(ValueError):
+            solver.query(POSS, semantics="wishful")
+
+    def test_binary_translation_is_default_for_binary_networks(self, simple_network):
+        auto = solve_network(simple_network)
+        forced = solve_network(simple_network, binary=True)
+        assert auto.answers == forced.answers
+
+    def test_direct_translation_for_non_binary_networks(self):
+        tn = TrustNetwork(
+            mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")],
+            explicit_beliefs={"a": "va", "b": "vb", "c": "vc"},
+        )
+        report = solve_network(tn)  # auto-selects the direct translation
+        assert report.values_for("x") == frozenset({"vc"})
+
+    def test_ground_rules_cached(self, simple_network):
+        solver = StableModelSolver(btn_to_program(simple_network))
+        first = solver.ground_rules()
+        assert solver.ground_rules() is first
+
+    def test_stable_models_listing(self, oscillator_network):
+        solver = StableModelSolver(btn_to_program(oscillator_network))
+        models = solver.stable_models()
+        assert len(models) == 2
+        assert len(solver.stable_models(max_models=1)) == 1

@@ -1,0 +1,194 @@
+"""Unit tests for grounding, reducts and stable-model enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.logicprog.atoms import Atom, Literal, Rule, fact, var
+from repro.logicprog.program import GroundRule, LogicProgram
+from repro.logicprog.stable import (
+    brave_consequences,
+    cautious_consequences,
+    count_stable_models,
+    enumerate_stable_models,
+    is_stable_model,
+    least_model,
+    negated_atoms,
+    reduct,
+)
+
+
+def ground(program: LogicProgram):
+    return program.ground()
+
+
+def atom(name, *terms):
+    return Atom(name, tuple(terms))
+
+
+class TestGrounding:
+    def test_facts_survive_grounding(self):
+        program = LogicProgram([fact("p", "a")])
+        rules = ground(program)
+        assert len(rules) == 1
+        assert rules[0].head == atom("p", "a")
+
+    def test_rule_grounds_over_active_domain(self):
+        program = LogicProgram(
+            [
+                fact("p", "a"),
+                fact("p", "b"),
+                Rule(head=atom("q", var("X")), body=(Literal.pos(atom("p", var("X"))),)),
+            ]
+        )
+        heads = {rule.head for rule in ground(program)}
+        assert atom("q", "a") in heads and atom("q", "b") in heads
+
+    def test_builtin_filters_instantiations(self):
+        program = LogicProgram(
+            [
+                fact("p", "a"),
+                fact("p", "b"),
+                Rule(
+                    head=atom("q", var("X")),
+                    body=(
+                        Literal.pos(atom("p", var("X"))),
+                        Literal.not_equal(var("X"), "a"),
+                    ),
+                ),
+            ]
+        )
+        rules = [rule for rule in ground(program) if rule.head.predicate == "q"]
+        assert len(rules) == 1
+        assert rules[0].head == atom("q", "b")
+
+    def test_constants_collects_all_terms(self):
+        program = LogicProgram(
+            [
+                fact("p", "a"),
+                Rule(
+                    head=atom("q", var("X")),
+                    body=(
+                        Literal.pos(atom("p", var("X"))),
+                        Literal.not_equal(var("X"), "zzz"),
+                    ),
+                ),
+            ]
+        )
+        assert program.constants() == frozenset({"a", "zzz"})
+
+    def test_to_dlv_source_round_trips_syntax(self):
+        program = LogicProgram(
+            [
+                fact("poss", "z1", "v"),
+                Rule(
+                    head=atom("poss", "x", var("X")),
+                    body=(Literal.pos(atom("poss", "z1", var("X"))),),
+                ),
+            ]
+        )
+        source = program.to_dlv_source()
+        assert "poss(z1,v)." in source
+        assert "poss(x,X) :- poss(z1,X)." in source
+
+
+class TestLeastModelAndReduct:
+    def test_least_model_of_chain(self):
+        rules = [
+            GroundRule(head=atom("a")),
+            GroundRule(head=atom("b"), positive_body=(atom("a"),)),
+            GroundRule(head=atom("c"), positive_body=(atom("b"),)),
+            GroundRule(head=atom("d"), positive_body=(atom("e"),)),
+        ]
+        model = least_model(rules)
+        assert model == frozenset({atom("a"), atom("b"), atom("c")})
+
+    def test_reduct_removes_blocked_rules_and_negations(self):
+        rules = [
+            GroundRule(head=atom("a")),
+            GroundRule(head=atom("b"), negative_body=(atom("a"),)),
+            GroundRule(head=atom("c"), negative_body=(atom("d"),)),
+        ]
+        reduced = reduct(rules, {atom("a")})
+        heads = {rule.head for rule in reduced}
+        assert atom("b") not in heads
+        assert atom("c") in heads
+        assert all(not rule.negative_body for rule in reduced)
+
+    def test_negated_atoms_collection(self):
+        rules = [
+            GroundRule(head=atom("b"), negative_body=(atom("a"),)),
+            GroundRule(head=atom("c"), positive_body=(atom("b"),)),
+        ]
+        assert negated_atoms(rules) == frozenset({atom("a")})
+
+
+class TestStableModels:
+    def test_definite_program_has_single_stable_model(self):
+        rules = [
+            GroundRule(head=atom("a")),
+            GroundRule(head=atom("b"), positive_body=(atom("a"),)),
+        ]
+        models = list(enumerate_stable_models(rules))
+        assert models == [frozenset({atom("a"), atom("b")})]
+
+    def test_even_negation_cycle_has_two_models(self):
+        # a :- not b.   b :- not a.
+        rules = [
+            GroundRule(head=atom("a"), negative_body=(atom("b"),)),
+            GroundRule(head=atom("b"), negative_body=(atom("a"),)),
+        ]
+        models = {frozenset(m) for m in enumerate_stable_models(rules)}
+        assert models == {frozenset({atom("a")}), frozenset({atom("b")})}
+        assert count_stable_models(rules) == 2
+
+    def test_odd_negation_cycle_has_no_model(self):
+        # a :- not a.
+        rules = [GroundRule(head=atom("a"), negative_body=(atom("a"),))]
+        assert list(enumerate_stable_models(rules)) == []
+        assert not is_stable_model(rules, set())
+        assert not is_stable_model(rules, {atom("a")})
+
+    def test_unsupported_interpretation_is_not_stable(self):
+        rules = [GroundRule(head=atom("a"))]
+        assert is_stable_model(rules, {atom("a")})
+        assert not is_stable_model(rules, {atom("a"), atom("b")})
+
+    def test_brave_and_cautious_consequences(self):
+        rules = [
+            GroundRule(head=atom("a"), negative_body=(atom("b"),)),
+            GroundRule(head=atom("b"), negative_body=(atom("a"),)),
+            GroundRule(head=atom("c"), positive_body=(atom("a"),)),
+            GroundRule(head=atom("c"), positive_body=(atom("b"),)),
+        ]
+        brave = brave_consequences(rules)
+        cautious = cautious_consequences(rules)
+        assert atom("a") in brave and atom("b") in brave
+        assert cautious == frozenset({atom("c")})
+
+    def test_max_models_limit(self):
+        rules = [
+            GroundRule(head=atom("a"), negative_body=(atom("b"),)),
+            GroundRule(head=atom("b"), negative_body=(atom("a"),)),
+        ]
+        assert len(list(enumerate_stable_models(rules, max_models=1))) == 1
+
+    def test_stratified_program_matches_textbook_semantics(self):
+        # win(X) :- move(X, Y), not win(Y).  on a 3-chain: a -> b -> c
+        program = LogicProgram(
+            [
+                fact("move", "a", "b"),
+                fact("move", "b", "c"),
+                Rule(
+                    head=atom("win", var("X")),
+                    body=(
+                        Literal.pos(atom("move", var("X"), var("Y"))),
+                        Literal.neg(atom("win", var("Y"))),
+                    ),
+                ),
+            ]
+        )
+        models = list(enumerate_stable_models(program.ground()))
+        assert len(models) == 1
+        wins = {a.terms[0] for a in models[0] if a.predicate == "win"}
+        assert wins == {"b"}

@@ -1,0 +1,117 @@
+"""Tests for the trust-network → logic-program translations (Theorem 2.9)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.binarize import binarize
+from repro.core.bruteforce import possible_values_bruteforce
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+from repro.logicprog.solver import StableModelSolver, solve_network
+from repro.logicprog.translate import CONF, POSS, btn_to_program, tn_to_program
+
+
+class TestBinaryTranslation:
+    def test_example_b1_single_preferred_and_non_preferred(self):
+        # Figure 13c with b0(z1)=v (low priority) and b0(z2)=w (high priority).
+        tn = TrustNetwork()
+        tn.add_trust("x", "z1", priority=1)
+        tn.add_trust("x", "z2", priority=2)
+        tn.set_explicit_belief("z1", "v")
+        tn.set_explicit_belief("z2", "w")
+        program = btn_to_program(tn)
+        solver = StableModelSolver(program)
+        brave = solver.query(POSS, "brave")
+        # Example B.1: x has only one possible value, namely w.
+        assert ("x", "w") in brave
+        assert ("x", "v") not in brave
+        assert solver.count_models() == 1
+
+    def test_example_b1_tied_parents(self):
+        # Figure 13d: both parents tied; x has two possible values.
+        tn = TrustNetwork()
+        tn.add_trust("x", "z1", priority=1)
+        tn.add_trust("x", "z2", priority=1)
+        tn.set_explicit_belief("z1", "v")
+        tn.set_explicit_belief("z2", "w")
+        solver = StableModelSolver(btn_to_program(tn))
+        brave = solver.query(POSS, "brave")
+        cautious = solver.query(POSS, "cautious")
+        assert ("x", "v") in brave and ("x", "w") in brave
+        assert ("x", "v") not in cautious and ("x", "w") not in cautious
+        assert solver.count_models() == 2
+
+    def test_oscillator_has_two_stable_models(self, oscillator_network):
+        solver = StableModelSolver(btn_to_program(oscillator_network))
+        assert solver.count_models() == 2
+
+    def test_rule_count_is_linear_in_edges(self, oscillator_network):
+        program = btn_to_program(oscillator_network)
+        # 2 facts + per node: preferred rule (1) + guarded pair (2).
+        assert program.size() == 2 + 2 * 3
+        assert CONF in program.predicates()
+
+    def test_non_binary_network_rejected(self):
+        tn = TrustNetwork(
+            mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")],
+            explicit_beliefs={"a": "v"},
+        )
+        with pytest.raises(NetworkError):
+            btn_to_program(tn)
+
+
+class TestDirectTranslation:
+    def test_example_b2_rule_shape(self):
+        # The non-binary node of Figure 12a: parents z1 < z2 < z3.
+        tn = TrustNetwork()
+        tn.add_trust("x", "z1", priority=1)
+        tn.add_trust("x", "z2", priority=2)
+        tn.add_trust("x", "z3", priority=3)
+        tn.set_explicit_belief("z1", "a")
+        tn.set_explicit_belief("z2", "b")
+        tn.set_explicit_belief("z3", "c")
+        program = tn_to_program(tn)
+        source = program.to_dlv_source()
+        # One plain import for the top parent, blocking rules for the others.
+        assert "poss(x,X) :- poss(z3,X)." in source
+        assert source.count("conf(x,z1,X)") >= 2  # blocked by z2 and z3
+        assert source.count("conf(x,z2,X)") >= 1  # blocked by z3
+
+    def test_direct_translation_matches_bruteforce(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "z1", priority=1)
+        tn.add_trust("x", "z2", priority=2)
+        tn.add_trust("x", "z3", priority=3)
+        tn.set_explicit_belief("z1", "a")
+        tn.set_explicit_belief("z2", "b")
+        expected = possible_values_bruteforce(tn)
+        report = solve_network(tn, semantics="brave", binary=False)
+        for user in tn.users:
+            assert set(report.values_for(user)) == set(expected[user]), user
+
+    def test_direct_translation_handles_shared_priorities(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "z1", priority=1)
+        tn.add_trust("x", "z2", priority=1)
+        tn.add_trust("x", "z3", priority=5)
+        tn.set_explicit_belief("z1", "a")
+        tn.set_explicit_belief("z2", "b")
+        expected = possible_values_bruteforce(tn)
+        report = solve_network(tn, semantics="brave", binary=False)
+        for user in tn.users:
+            assert set(report.values_for(user)) == set(expected[user]), user
+
+    def test_binary_and_direct_translations_agree_after_binarization(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "z1", priority=1)
+        tn.add_trust("x", "z2", priority=2)
+        tn.add_trust("x", "z3", priority=3)
+        tn.add_trust("z2", "x", priority=1)
+        tn.set_explicit_belief("z1", "a")
+        tn.set_explicit_belief("z3", "c")
+        direct = solve_network(tn, semantics="brave", binary=False)
+        binarized = binarize(tn).btn
+        via_btn = solve_network(binarized, semantics="brave", binary=True)
+        for user in tn.users:
+            assert set(direct.values_for(user)) == set(via_btn.values_for(user)), user

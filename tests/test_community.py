@@ -1,0 +1,117 @@
+"""Tests for the community-database front end (order-invariant curation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.community import CommunityDatabase
+from repro.workloads.indus import GLYPH_BELIEFS, TRUST_MAPPINGS
+
+
+@pytest.fixture
+def indus_db():
+    db = CommunityDatabase(mappings=TRUST_MAPPINGS)
+    for glyph, beliefs in GLYPH_BELIEFS.items():
+        for user, value in beliefs.items():
+            db.insert(user, glyph, value)
+    return db
+
+
+class TestUpdates:
+    def test_snapshot_matches_figure_1b(self, indus_db):
+        assert indus_db.certain_value("glyph-ship", "Alice") == "ship hull"
+        assert indus_db.certain_value("glyph-fish", "Alice") == "fish"
+        assert indus_db.certain_value("glyph-arrow", "Alice") == "arrow"
+
+    def test_insert_order_does_not_matter(self):
+        orders = [
+            [("Charlie", "jar"), ("Bob", "cow")],
+            [("Bob", "cow"), ("Charlie", "jar")],
+        ]
+        snapshots = []
+        for order in orders:
+            db = CommunityDatabase(mappings=TRUST_MAPPINGS)
+            for user, value in order:
+                db.insert(user, "glyph", value)
+            snapshots.append(db.certain_value("glyph", "Alice"))
+        assert snapshots == ["cow", "cow"]
+
+    def test_update_is_reflected_immediately(self):
+        db = CommunityDatabase(mappings=TRUST_MAPPINGS)
+        db.insert("Charlie", "glyph", "jar")
+        assert db.certain_value("glyph", "Alice") == "jar"
+        db.update("Charlie", "glyph", "cow")
+        assert db.certain_value("glyph", "Alice") == "cow"
+
+    def test_revoke_removes_derived_values(self):
+        db = CommunityDatabase(mappings=TRUST_MAPPINGS)
+        db.insert("Charlie", "glyph", "jar")
+        db.revoke("Charlie", "glyph")
+        assert db.certain_value("glyph", "Alice") is None
+        assert db.possible_values("glyph", "Alice") == frozenset()
+        assert db.objects() == frozenset()
+
+    def test_revoke_of_unknown_belief_is_noop(self):
+        db = CommunityDatabase(mappings=TRUST_MAPPINGS)
+        db.revoke("Charlie", "glyph")
+        assert db.objects() == frozenset()
+
+    def test_adding_trust_invalidates_cached_snapshots(self):
+        db = CommunityDatabase()
+        db.insert("bob", "k", "fish")
+        db.insert("charlie", "k", "knot")
+        db.add_trust("alice", "charlie", priority=10)
+        assert db.certain_value("k", "alice") == "knot"
+        db.add_trust("alice", "bob", priority=20)
+        assert db.certain_value("k", "alice") == "fish"
+
+
+class TestSnapshots:
+    def test_snapshot_separates_certain_from_conflicts(self):
+        db = CommunityDatabase()
+        db.add_trust("x", "a", priority=1)
+        db.add_trust("x", "b", priority=1)
+        db.insert("a", "k", "va")
+        db.insert("b", "k", "vb")
+        snapshot = db.snapshot("k")
+        assert snapshot.certain["a"] == "va"
+        assert snapshot.value_for("x") is None
+        assert snapshot.conflicts["x"] == frozenset({"va", "vb"})
+        assert db.conflicting_objects() == frozenset({"k"})
+
+    def test_lineage_passthrough(self, indus_db):
+        path = indus_db.lineage("glyph-fish", "Alice", "fish")
+        assert path[0].user == "Alice"
+        assert path[-1].source is None
+
+    def test_explicit_beliefs_accessor(self, indus_db):
+        assert indus_db.explicit_beliefs("glyph-fish") == GLYPH_BELIEFS["glyph-fish"]
+
+
+class TestBulkPath:
+    def test_bulk_assumptions(self, indus_db):
+        # Alice has a belief only for the ship glyph, so the assumptions fail.
+        assert not indus_db.bulk_assumptions_hold()
+
+    def test_resolve_all_fallback_matches_per_object(self, indus_db):
+        answers = indus_db.resolve_all()
+        assert answers[("Alice", "glyph-fish")] == frozenset({"fish"})
+        assert answers[("Alice", "glyph-ship")] == frozenset({"ship hull"})
+
+    def test_resolve_all_bulk_path(self):
+        db = CommunityDatabase(mappings=TRUST_MAPPINGS)
+        for index in range(8):
+            db.insert("Bob", f"k{index}", f"bob{index}")
+            db.insert("Charlie", f"k{index}", f"charlie{index}")
+        assert db.bulk_assumptions_hold()
+        answers = db.resolve_all()
+        for index in range(8):
+            assert answers[("Alice", f"k{index}")] == frozenset({f"bob{index}"})
+        # The bulk path and the per-object path must agree.
+        per_object = {
+            (user, key): frozenset(map(str, db.possible_values(key, user)))
+            for user in ("Alice", "Bob", "Charlie")
+            for key in (f"k{i}" for i in range(8))
+        }
+        for key, value in per_object.items():
+            assert answers[key] == value

@@ -1,0 +1,45 @@
+"""The example scripts must run end to end (they double as integration tests)."""
+
+from __future__ import annotations
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+EXAMPLES = [
+    ("quickstart.py", []),
+    ("indus_script.py", []),
+    ("update_reconciliation.py", []),
+    ("constraint_paradigms.py", []),
+    ("bulk_curation.py", ["200"]),
+    ("feature_table.py", []),
+]
+
+
+@pytest.mark.parametrize("script, args", EXAMPLES, ids=[name for name, _ in EXAMPLES])
+def test_example_runs_cleanly(script, args):
+    path = EXAMPLES_DIR / script
+    assert path.exists(), f"missing example {script}"
+    completed = subprocess.run(
+        [sys.executable, str(path), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert completed.stdout.strip(), "examples should print something"
+
+
+def test_quickstart_reports_expected_snapshot():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=60,
+    )
+    assert "alice" in completed.stdout
+    assert "fish" in completed.stdout

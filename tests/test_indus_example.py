@@ -1,0 +1,72 @@
+"""End-to-end test of the Indus-script running example (Figures 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bulk import BulkResolver
+from repro.core.binarize import binarize
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.workloads.indus import (
+    ALICE_SNAPSHOT,
+    GLYPH_BELIEFS,
+    TRUST_MAPPINGS,
+    all_glyph_networks,
+    belief_rows,
+    trust_network_for_glyph,
+)
+
+
+class TestFigure1:
+    def test_alice_snapshot_matches_figure_1b(self):
+        for glyph, network in all_glyph_networks().items():
+            result = resolve(binarize(network).btn)
+            assert result.certain_value("Alice") == ALICE_SNAPSHOT[glyph], glyph
+
+    def test_ship_glyph_each_archaeologist_keeps_their_own_belief(self):
+        network = trust_network_for_glyph("glyph-ship")
+        result = resolve(binarize(network).btn)
+        assert result.certain_value("Alice") == "ship hull"
+        assert result.certain_value("Bob") == "cow"
+        assert result.certain_value("Charlie") == "jar"
+
+    def test_fish_glyph_priority_decides(self):
+        network = trust_network_for_glyph("glyph-fish")
+        result = resolve(binarize(network).btn)
+        assert result.certain_value("Alice") == "fish"
+        assert result.certain_value("Bob") == "fish"
+        assert result.certain_value("Charlie") == "knot"
+
+    def test_arrow_glyph_is_uncontested(self):
+        network = trust_network_for_glyph("glyph-arrow")
+        result = resolve(binarize(network).btn)
+        for user in ("Alice", "Bob", "Charlie"):
+            assert result.certain_value(user) == "arrow"
+
+    def test_lineage_of_alices_fish_belief_goes_through_bob(self):
+        network = trust_network_for_glyph("glyph-fish")
+        result = resolve(binarize(network).btn)
+        path = result.trace_lineage("Alice", "fish")
+        assert path[0].user == "Alice"
+        assert any(step.user == "Bob" for step in path)
+
+
+class TestBulkIndus:
+    def test_bulk_resolution_of_bob_and_charlie_beliefs(self):
+        network = TrustNetwork(mappings=TRUST_MAPPINGS)
+        resolver = BulkResolver(network, explicit_users=("Bob", "Charlie"))
+        resolver.load_beliefs(belief_rows())
+        resolver.run()
+        # Without Alice's own belief, she sees Bob's value for every glyph.
+        assert resolver.possible_values("Alice", "glyph-fish") == frozenset({"fish"})
+        assert resolver.possible_values("Alice", "glyph-arrow") == frozenset({"arrow"})
+        assert resolver.possible_values("Alice", "glyph-ship") == frozenset({"cow"})
+        resolver.store.close()
+
+    def test_belief_rows_cover_every_glyph(self):
+        rows = belief_rows()
+        keys = {key for _, key, _ in rows}
+        assert keys == set(GLYPH_BELIEFS)
+        users = {user for user, _, _ in rows}
+        assert users == {"Bob", "Charlie"}

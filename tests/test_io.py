@@ -1,0 +1,97 @@
+"""Tests for JSON serialization of trust networks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.beliefs import BeliefSet
+from repro.core.errors import NetworkError
+from repro.core.network import TrustMapping, TrustNetwork
+from repro.io import (
+    belief_rows_from_network,
+    load_network,
+    mappings_from_rows,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+
+@pytest.fixture
+def sample_network():
+    tn = TrustNetwork()
+    tn.add_trust("alice", "bob", priority=100)
+    tn.add_trust("alice", "charlie", priority=50)
+    tn.set_explicit_belief("bob", "fish")
+    tn.set_explicit_belief("dora", BeliefSet.from_negatives(["cow", "jar"]))
+    return tn
+
+
+class TestDictRoundTrip:
+    def test_round_trip_preserves_structure(self, sample_network):
+        document = network_to_dict(sample_network)
+        rebuilt = network_from_dict(document)
+        assert rebuilt.users == frozenset(map(str, sample_network.users))
+        assert set(rebuilt.mappings) == set(sample_network.mappings)
+        assert rebuilt.explicit_positive_value("bob") == "fish"
+        assert rebuilt.explicit_belief("dora").rejects("cow")
+        assert rebuilt.explicit_belief("dora").rejects("jar")
+
+    def test_document_is_json_serializable(self, sample_network):
+        text = json.dumps(network_to_dict(sample_network))
+        assert "alice" in text
+
+    def test_positive_belief_as_plain_string(self):
+        rebuilt = network_from_dict(
+            {"users": ["a"], "mappings": [], "beliefs": {"a": "value"}}
+        )
+        assert rebuilt.explicit_positive_value("a") == "value"
+
+    def test_malformed_mapping_rejected(self):
+        with pytest.raises(NetworkError):
+            network_from_dict({"mappings": [{"child": "a"}]})
+
+    def test_mixed_belief_entry_rejected(self):
+        with pytest.raises(NetworkError):
+            network_from_dict(
+                {"beliefs": {"a": {"positive": "v", "negative": ["w"]}}}
+            )
+
+    def test_cofinite_constraint_cannot_be_serialized(self):
+        tn = TrustNetwork(explicit_beliefs={"a": BeliefSet.bottom()})
+        with pytest.raises(NetworkError):
+            network_to_dict(tn)
+
+
+class TestFiles:
+    def test_save_and_load(self, sample_network, tmp_path):
+        path = tmp_path / "network.json"
+        save_network(sample_network, path)
+        loaded = load_network(path)
+        assert loaded.users == frozenset(map(str, sample_network.users))
+        assert loaded.explicit_positive_value("bob") == "fish"
+
+    def test_resolution_survives_round_trip(self, sample_network, tmp_path):
+        from repro.core.binarize import binarize
+        from repro.core.resolution import resolve
+
+        path = tmp_path / "network.json"
+        save_network(sample_network, path)
+        loaded = load_network(path)
+        assert (
+            resolve(binarize(loaded).btn).certain_value("alice")
+            == resolve(binarize(sample_network).btn).certain_value("alice")
+        )
+
+
+class TestRowHelpers:
+    def test_mappings_from_rows(self):
+        mappings = mappings_from_rows([("alice", "bob", "3")])
+        assert mappings == [TrustMapping("bob", 3, "alice")]
+
+    def test_belief_rows_from_network(self, sample_network):
+        rows = belief_rows_from_network(sample_network, key="k1")
+        assert ("bob", "k1", "fish") in rows
+        assert all(user != "dora" for user, _, _ in rows)

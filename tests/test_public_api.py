@@ -1,0 +1,59 @@
+"""The documented top-level API surface must stay importable and usable."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import (
+    Belief,
+    BeliefSet,
+    Paradigm,
+    TrustNetwork,
+    binarize,
+    certain_snapshot,
+    resolve,
+    resolve_skeptic,
+    resolve_with_constraints,
+)
+
+
+def test_version_is_exposed():
+    assert repro.__version__
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_readme_quickstart_snippet():
+    tn = TrustNetwork()
+    tn.add_trust("alice", "bob", priority=100)
+    tn.add_trust("alice", "charlie", priority=50)
+    tn.add_trust("bob", "alice", priority=80)
+    tn.set_explicit_belief("bob", "fish")
+    tn.set_explicit_belief("charlie", "knot")
+    result = resolve(binarize(tn).btn)
+    assert result.certain_value("alice") == "fish"
+
+
+def test_certain_snapshot_helper_is_exported(simple_network):
+    assert certain_snapshot(simple_network)["x1"] == "v"
+
+
+def test_constrained_entry_point_roundtrip():
+    tn = TrustNetwork()
+    tn.add_trust("x", "filter", priority=2)
+    tn.add_trust("x", "source", priority=1)
+    tn.set_explicit_belief("filter", BeliefSet.from_negatives(["bad"]))
+    tn.set_explicit_belief("source", "good")
+    for paradigm in ("A", "E", "S", Paradigm.SKEPTIC):
+        resolution = resolve_with_constraints(tn, paradigm)
+        assert resolution.certain_positive_value("x") == "good"
+    assert resolve_skeptic(tn).certain_positive_values("x") == frozenset({"good"})
+
+
+def test_belief_constructors_are_exported():
+    assert Belief.positive("v").is_positive
+    assert BeliefSet.bottom().is_bottom

@@ -1,0 +1,183 @@
+"""Tests for the workload generators used by the evaluation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import WorkloadError
+from repro.core.resolution import resolve
+from repro.workloads.bulkload import (
+    BELIEF_USERS,
+    count_summary,
+    figure19_network,
+    generate_objects,
+    object_sweep,
+)
+from repro.workloads.cliques import clique_network, clique_size_row
+from repro.workloads.oscillators import (
+    CLUSTER_SIZE,
+    clusters_for_size,
+    oscillator_network,
+    size_sweep,
+)
+from repro.workloads.powerlaw import (
+    WebWorkloadConfig,
+    fraction_sweep,
+    sample_edges,
+    scale_free_digraph,
+    web_trust_network,
+)
+from repro.workloads.worstcase import (
+    expected_sizes,
+    parameter_for_size,
+    worstcase_network,
+)
+
+
+class TestOscillators:
+    def test_cluster_counts(self):
+        network = oscillator_network(5)
+        assert len(network.users) == 20
+        assert len(network.mappings) == 20
+        assert network.size == 5 * CLUSTER_SIZE
+
+    def test_every_cluster_has_two_possible_values(self):
+        network = oscillator_network(3)
+        result = resolve(network)
+        for index in range(3):
+            assert result.possible_values(f"c{index}.x1") == frozenset({"v", "w"})
+
+    def test_distinct_values_per_cluster(self):
+        network = oscillator_network(2, distinct_values_per_cluster=True)
+        result = resolve(network)
+        assert result.possible_values("c0.x1") == frozenset({"v0", "w0"})
+        assert result.possible_values("c1.x1") == frozenset({"v1", "w1"})
+
+    def test_clusters_for_size(self):
+        assert clusters_for_size(CLUSTER_SIZE) == 1
+        assert clusters_for_size(100) == 13
+
+    def test_size_sweep_is_increasing_and_reaches_target(self):
+        sweep = size_sweep(10_000, points=6)
+        assert sweep == sorted(sweep)
+        assert sweep[-1] == 10_000
+
+    def test_invalid_parameters(self):
+        with pytest.raises(WorkloadError):
+            oscillator_network(0)
+        with pytest.raises(WorkloadError):
+            clusters_for_size(1)
+
+
+class TestWorstCase:
+    def test_node_and_edge_counts_match_figure14(self):
+        for k in (0, 1, 5, 10):
+            network = worstcase_network(k)
+            users, edges = expected_sizes(k)
+            assert len(network.users) == users
+            assert len(network.mappings) == edges
+
+    def test_network_is_binary_and_resolvable(self):
+        network = worstcase_network(4)
+        assert network.is_binary()
+        result = resolve(network)
+        # Every block node is flooded with both root values.
+        assert result.possible_values("y4.1") == frozenset({"v", "w"})
+
+    def test_parameter_for_size(self):
+        assert parameter_for_size(10) == 0
+        k = parameter_for_size(1000)
+        users, edges = expected_sizes(k)
+        assert abs((users + edges) - 1000) <= 16
+
+    def test_invalid_parameter(self):
+        with pytest.raises(WorkloadError):
+            worstcase_network(-1)
+
+
+class TestWebWorkload:
+    def test_scale_free_graph_shape(self):
+        graph = scale_free_digraph(500, 3, seed=1)
+        assert graph.number_of_nodes() == 500
+        degrees = sorted((d for _, d in graph.degree()), reverse=True)
+        # Hub-dominated: the largest degree is much bigger than the median.
+        assert degrees[0] > 5 * degrees[len(degrees) // 2]
+
+    def test_sampling_keeps_requested_fraction(self):
+        graph = scale_free_digraph(300, 3, seed=2)
+        edges = sample_edges(graph, 0.25, seed=3)
+        assert abs(len(edges) - 0.25 * graph.number_of_edges()) <= 1
+
+    def test_network_is_binary_with_roots_holding_beliefs(self):
+        network = web_trust_network(WebWorkloadConfig(n_domains=400, seed=4))
+        assert network.is_binary()
+        for root in network.roots():
+            assert network.has_explicit_belief(root)
+
+    def test_network_resolves_without_conflict_everywhere(self):
+        network = web_trust_network(WebWorkloadConfig(n_domains=300, seed=5))
+        result = resolve(network)
+        # Every user reachable from a root has at least one possible value.
+        reachable = network.reachable_from_roots_with_beliefs()
+        for user in reachable:
+            assert result.possible_values(user)
+
+    def test_determinism_with_seed(self):
+        config = WebWorkloadConfig(n_domains=200, seed=9)
+        first = web_trust_network(config, edge_fraction=0.5)
+        second = web_trust_network(config, edge_fraction=0.5)
+        assert first.mappings == second.mappings
+
+    def test_fraction_sweep(self):
+        sweep = fraction_sweep(points=5)
+        assert sweep[-1] == 1.0
+        assert all(0 < f <= 1 for f in sweep)
+
+    def test_invalid_fraction(self):
+        graph = scale_free_digraph(50, 2, seed=0)
+        with pytest.raises(WorkloadError):
+            sample_edges(graph, 0.0, seed=0)
+
+
+class TestCliquesAndBulk:
+    def test_clique_counts(self):
+        network = clique_network(5)
+        row = clique_size_row(network)
+        assert row["users"] == 5
+        assert row["edges"] == 20
+
+    def test_clique_minimum_size(self):
+        with pytest.raises(WorkloadError):
+            clique_network(1)
+
+    def test_figure19_counts(self):
+        network = figure19_network()
+        summary = count_summary(network)
+        assert summary["users"] == 7
+        assert summary["mappings"] == 12
+        assert summary["belief_users"] == 2
+        assert set(BELIEF_USERS) <= set(map(str, network.users))
+        assert not network.incoming("x6") and not network.incoming("x7")
+
+    def test_generate_objects_conflicts(self):
+        rows = generate_objects(100, conflict_probability=1.0, seed=0)
+        by_key = {}
+        for user, key, value in rows:
+            by_key.setdefault(key, set()).add(value)
+        assert all(len(values) == 2 for values in by_key.values())
+        rows = generate_objects(100, conflict_probability=0.0, seed=0)
+        by_key = {}
+        for user, key, value in rows:
+            by_key.setdefault(key, set()).add(value)
+        assert all(len(values) == 1 for values in by_key.values())
+
+    def test_generate_objects_validation(self):
+        with pytest.raises(WorkloadError):
+            generate_objects(0)
+        with pytest.raises(WorkloadError):
+            generate_objects(5, belief_users=("a",))
+
+    def test_object_sweep(self):
+        sweep = object_sweep(10_000, points=5)
+        assert sweep[-1] == 10_000
+        assert sweep == sorted(sweep)
