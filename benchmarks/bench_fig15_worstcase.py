@@ -1,10 +1,18 @@
-"""Figure 15: quadratic worst case of the Resolution Algorithm (nested SCCs)."""
+"""Figure 15: the nested-SCC worst case of the Resolution Algorithm.
+
+The quadratic shape the paper reports belongs to the recondense-per-pass
+strategy (Appendix B.5), preserved as ``repro.experiments.legacy``; the
+incremental SCC engine now resolves the same family in near-linear time.
+The shape test therefore asserts *both*: the legacy path reproduces the
+paper's superlinear growth, and the engine stays quadratic-bounded (in fact
+near-linear) while beating the legacy path outright.
+"""
 
 from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import full_sweep
+from benchmarks.conftest import full_sweep, record_scenario
 from repro.core.resolution import resolve
 from repro.experiments import fig15_worstcase
 from repro.experiments.runner import format_table
@@ -23,9 +31,11 @@ def test_fig15_resolution_on_nested_sccs(benchmark, k):
     assert result.possible_values("x1") == frozenset({"v", "w"})
 
 
-def test_fig15_shape_quadratic(benchmark, bench_report_lines):
+def test_fig15_shape_quadratic(benchmark, bench_report_lines, bench_json_records):
     rows = benchmark.pedantic(
-        lambda: fig15_worstcase.run(block_counts=BLOCK_COUNTS, repeats=1),
+        lambda: fig15_worstcase.run(
+            block_counts=BLOCK_COUNTS, repeats=1, include_legacy=True
+        ),
         rounds=1,
         iterations=1,
     )
@@ -33,5 +43,18 @@ def test_fig15_shape_quadratic(benchmark, bench_report_lines):
     bench_report_lines.append("Figure 15 — nested-SCC worst case for the Resolution Algorithm")
     bench_report_lines.append(format_table(rows))
     bench_report_lines.append(f"summary: {summary}")
-    # Superlinear (close to quadratic) growth, in contrast to Figures 8a/8b.
-    assert summary["superlinear"], summary
+    for row in rows:
+        if row.get("ra_seconds"):
+            record_scenario(
+                bench_json_records,
+                f"fig15_worstcase/k={row['k']}",
+                seconds=row["ra_seconds"],
+                legacy_seconds=row.get("legacy_seconds"),
+            )
+    # The paper's quadratic shape survives on the legacy strategy...
+    assert summary["legacy_superlinear"], summary
+    # ...while the incremental engine stays quadratic-bounded (near-linear
+    # in practice) and beats the legacy path at the largest instance.
+    assert summary["log_log_slope"] < 2.2, summary
+    largest = rows[-1]
+    assert largest["ra_seconds"] < largest["legacy_seconds"], rows

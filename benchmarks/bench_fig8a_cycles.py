@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import full_sweep
+from benchmarks.conftest import full_sweep, record_scenario
 from repro.core.resolution import resolve
 from repro.experiments import fig8a_cycles
 from repro.experiments.runner import format_table, log_log_slope
@@ -49,7 +49,9 @@ def test_fig8a_lp_baseline(benchmark, clusters):
     )
 
 
-def test_fig8a_shape_ra_quasi_linear_lp_exponential(benchmark, bench_report_lines):
+def test_fig8a_shape_ra_quasi_linear_lp_exponential(
+    benchmark, bench_report_lines, bench_json_records
+):
     rows = benchmark.pedantic(
         lambda: fig8a_cycles.run(
             ra_sizes=RA_SIZES, lp_max_clusters=max(LP_CLUSTERS), repeats=1
@@ -58,6 +60,15 @@ def test_fig8a_shape_ra_quasi_linear_lp_exponential(benchmark, bench_report_line
         iterations=1,
     )
     summary = fig8a_cycles.summarize(rows)
+    for row in rows:
+        if row.get("ra_seconds"):
+            record_scenario(
+                bench_json_records,
+                f"fig8a_cycles/size={row['size']}",
+                seconds=row["ra_seconds"],
+                nodes=row["size"] // 2,
+                edges=row["size"] // 2,
+            )
     bench_report_lines.append("Figure 8a — many independent cycles, one object")
     bench_report_lines.append(format_table(rows))
     bench_report_lines.append(f"summary: {summary}")

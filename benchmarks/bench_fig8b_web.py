@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import full_sweep
+from benchmarks.conftest import full_sweep, record_scenario
 from repro.core.resolution import resolve
 from repro.experiments import fig8b_web
 from repro.experiments.runner import format_table
@@ -34,7 +34,7 @@ def test_fig8b_resolution_algorithm(benchmark, fraction):
     assert all(result.possible_values(user) for user in reachable)
 
 
-def test_fig8b_shape_quasi_linear(benchmark, bench_report_lines):
+def test_fig8b_shape_quasi_linear(benchmark, bench_report_lines, bench_json_records):
     rows = benchmark.pedantic(
         lambda: fig8b_web.run(
             config=CONFIG, edge_fractions=FRACTIONS, lp_max_size=300, repeats=1
@@ -43,6 +43,15 @@ def test_fig8b_shape_quasi_linear(benchmark, bench_report_lines):
         iterations=1,
     )
     summary = fig8b_web.summarize(rows)
+    for row in rows:
+        if row.get("ra_seconds"):
+            record_scenario(
+                bench_json_records,
+                f"fig8b_web/domains={CONFIG.n_domains}/fraction={row['edge_fraction']}",
+                seconds=row["ra_seconds"],
+                nodes=row["users"],
+                edges=row["mappings"],
+            )
     bench_report_lines.append("Figure 8b — sampled scale-free trust network, one object")
     bench_report_lines.append(format_table(rows))
     bench_report_lines.append(f"summary: {summary}")

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import full_sweep
+from benchmarks.conftest import full_sweep, record_scenario
 from repro.bulk.executor import BulkResolver
 from repro.experiments import fig8c_bulk
 from repro.experiments.runner import format_table, log_log_slope
@@ -51,6 +51,30 @@ def test_fig8c_shape_linear_in_objects(benchmark, bench_report_lines):
     bench_report_lines.append(format_table(rows))
     bench_report_lines.append(f"summary: {summary}")
     assert summary["bulk_linear_in_objects"], summary
+
+
+def test_fig8c_statement_counts(bench_json_records):
+    """Statements stay linear in plan steps (one per copy / flood group).
+
+    Records the executed-statement count so BENCH_resolution.json tracks the
+    multi-member flood batching introduced with the incremental SCC engine.
+    """
+    n_objects = OBJECT_COUNTS[1]
+    network = figure19_network()
+    resolver = BulkResolver(network, explicit_users=BELIEF_USERS)
+    resolver.load_beliefs(
+        generate_objects(n_objects, conflict_probability=0.5, seed=11)
+    )
+    report = resolver.run()
+    assert report.statements == resolver.plan.statement_count()
+    record_scenario(
+        bench_json_records,
+        f"fig8c_bulk/objects={n_objects}",
+        seconds=report.elapsed_seconds,
+        statements=report.statements,
+        rows_inserted=report.rows_inserted,
+    )
+    resolver.store.close()
 
 
 def test_fig8c_bulk_time_independent_of_conflicts(benchmark):

@@ -1,0 +1,120 @@
+"""Micro-benchmark: incremental condensation engine vs. recondense-per-pass.
+
+The seed implementation rebuilt a fresh ``networkx`` digraph and recomputed
+the full condensation of the open subgraph on every Step-2 pass — the
+quadratic pattern Appendix B.5 warns about.  ``legacy_resolve`` below
+preserves that strategy as a reference; the production
+:func:`repro.core.resolution.resolve` runs on the incremental engine of
+:mod:`repro.core.sccs`.
+
+Two shapes are compared:
+
+* **many independent cycles** (the Figure 8a oscillator workload): every
+  cycle is a minimal SCC in the very first pass, so the legacy path pays one
+  full condensation and the incremental engine one Tarjan pass — both
+  near-linear, with the engine ahead on constants;
+* **nested SCCs** (the Figure 15 worst-case family): only one component is
+  minimal per pass, so the legacy path recondenses Θ(k) times (quadratic),
+  while the engine closes one component per counter decrement and stays
+  near-linear — comfortably inside the paper's quadratic bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import full_sweep, record_scenario
+from repro.core.resolution import resolve
+from repro.experiments.legacy import legacy_resolve
+from repro.experiments.runner import log_log_slope
+from repro.workloads.oscillators import clusters_for_size, oscillator_network
+from repro.workloads.worstcase import worstcase_network
+
+CYCLE_SIZES = (2_000, 8_000, 32_000) if not full_sweep() else (2_000, 8_000, 32_000, 128_000)
+NESTED_KS = (25, 50, 100, 200) if not full_sweep() else (25, 50, 100, 200, 400)
+
+
+def _timed(fn) -> float:
+    started = time.perf_counter()
+    fn()
+    return time.perf_counter() - started
+
+
+@pytest.mark.parametrize("size", CYCLE_SIZES)
+def test_engine_vs_legacy_on_independent_cycles(benchmark, size):
+    network = oscillator_network(clusters_for_size(size))
+    benchmark.extra_info["shape"] = "independent-cycles"
+    benchmark.extra_info["network_size"] = network.size
+    result = benchmark.pedantic(lambda: resolve(network), rounds=1, iterations=1)
+    assert result.possible_values("c0.x1") == frozenset({"v", "w"})
+
+
+@pytest.mark.parametrize("k", NESTED_KS)
+def test_engine_vs_legacy_on_nested_sccs(benchmark, k):
+    network = worstcase_network(k)
+    benchmark.extra_info["shape"] = "nested-sccs"
+    benchmark.extra_info["k"] = k
+    result = benchmark.pedantic(lambda: resolve(network), rounds=1, iterations=1)
+    assert result.possible_values("x1") == frozenset({"v", "w"})
+
+
+def test_engine_beats_legacy_and_scales(bench_report_lines, bench_json_records):
+    """The core comparison: engine vs. recondense-per-pass on both shapes."""
+    lines = ["SCC engine vs. legacy recondense-per-pass"]
+
+    # Shape 1: many independent cycles (Figure 8a) — typical case.
+    cycle_points = []
+    for size in CYCLE_SIZES:
+        network = oscillator_network(clusters_for_size(size))
+        engine_seconds = _timed(lambda: resolve(network))
+        legacy_seconds = _timed(lambda: legacy_resolve(network))
+        cycle_points.append((network.size, engine_seconds, legacy_seconds))
+        record_scenario(
+            bench_json_records,
+            f"scc_engine/cycles/size={network.size}",
+            seconds=engine_seconds,
+            legacy_seconds=legacy_seconds,
+        )
+        lines.append(
+            f"  cycles size={network.size}: engine={engine_seconds:.4f}s "
+            f"legacy={legacy_seconds:.4f}s"
+        )
+
+    # Shape 2: nested SCCs (Figure 15) — adversarial worst case.
+    nested_points = []
+    for k in NESTED_KS:
+        network = worstcase_network(k)
+        engine_seconds = _timed(lambda: resolve(network))
+        legacy_seconds = _timed(lambda: legacy_resolve(network))
+        nested_points.append((network.size, engine_seconds, legacy_seconds))
+        record_scenario(
+            bench_json_records,
+            f"scc_engine/nested/k={k}",
+            seconds=engine_seconds,
+            legacy_seconds=legacy_seconds,
+        )
+        lines.append(
+            f"  nested k={k}: engine={engine_seconds:.4f}s "
+            f"legacy={legacy_seconds:.4f}s"
+        )
+    bench_report_lines.extend(lines)
+
+    # Typical case is near-linear: log-log slope comfortably below the
+    # legacy quadratic regime (generous noise allowance).
+    slope = log_log_slope([(size, secs) for size, secs, _ in cycle_points])
+    assert slope < 1.6, (slope, cycle_points)
+
+    # The engine wins on the largest typical-case instance.
+    _, engine_large, legacy_large = cycle_points[-1]
+    assert engine_large < legacy_large, cycle_points
+
+    # Worst case stays quadratic-bounded: t(size) / size^2 must not grow —
+    # allow a generous factor for timer noise on tiny instances.
+    quad = [secs / (size**2) for size, secs, _ in nested_points]
+    assert quad[-1] < 10 * max(quad[0], 1e-12), nested_points
+
+    # And the engine must dominate the legacy quadratic path at scale.
+    _, engine_nested, legacy_nested = nested_points[-1]
+    assert engine_nested < legacy_nested, nested_points

@@ -5,20 +5,90 @@ sweeps are sized so that the whole suite finishes in a few minutes on a
 laptop while still exhibiting the shapes the paper reports (linear vs.
 exponential growth, crossovers, quadratic worst case).  Set the environment
 variable ``REPRO_BENCH_FULL=1`` to run the larger sweeps.
+
+Besides the human-readable report, the suite persists machine-readable
+timings to ``BENCH_resolution.json`` at the repository root (scenario →
+nodes/edges/seconds), so later PRs have a perf trajectory to regress
+against.  Existing entries are merged key-by-key: re-running a subset of
+the benchmarks refreshes only those scenarios, and recorded
+``baseline_seconds`` values (the pre-incremental-SCC seed implementation)
+are preserved so speedups stay visible.
 """
 
 from __future__ import annotations
 
+import json
 import os
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
 
 import pytest
 
 FULL = os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False")
 
+#: Machine-readable benchmark results, merged across runs.
+BENCH_JSON_PATH = Path(__file__).resolve().parent.parent / "BENCH_resolution.json"
+
 
 def full_sweep() -> bool:
     """Whether the large (paper-scale) parameterizations were requested."""
     return FULL
+
+
+def record_scenario(
+    records: Dict[str, Dict[str, object]],
+    scenario: str,
+    *,
+    seconds: float,
+    nodes: Optional[int] = None,
+    edges: Optional[int] = None,
+    **extra: object,
+) -> None:
+    """Queue one scenario measurement for the end-of-session JSON dump."""
+    entry: Dict[str, object] = {"seconds": seconds}
+    if nodes is not None:
+        entry["nodes"] = nodes
+    if edges is not None:
+        entry["edges"] = edges
+    entry.update(extra)
+    records[scenario] = entry
+
+
+def _merge_into_file(records: Dict[str, Dict[str, object]]) -> None:
+    data: Dict[str, object] = {}
+    if BENCH_JSON_PATH.exists():
+        try:
+            data = json.loads(BENCH_JSON_PATH.read_text())
+        except (OSError, ValueError):  # pragma: no cover - corrupt file
+            data = {}
+    scenarios: Dict[str, Dict[str, object]] = dict(data.get("scenarios", {}))
+    for scenario, entry in records.items():
+        merged = dict(scenarios.get(scenario, {}))
+        # Never clobber the recorded pre-optimization baseline.
+        baseline = merged.get("baseline_seconds")
+        merged.update(entry)
+        if baseline is not None and "baseline_seconds" not in entry:
+            merged["baseline_seconds"] = baseline
+        seconds = merged.get("seconds")
+        baseline = merged.get("baseline_seconds")
+        if isinstance(seconds, (int, float)) and isinstance(baseline, (int, float)):
+            if seconds > 0:
+                merged["speedup"] = round(baseline / seconds, 2)
+        scenarios[scenario] = merged
+    data["scenarios"] = scenarios
+    data["updated"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+    data["full_sweep"] = FULL
+    BENCH_JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.fixture(scope="session")
+def bench_json_records():
+    """Collect scenario timings and merge them into BENCH_resolution.json."""
+    records: Dict[str, Dict[str, object]] = {}
+    yield records
+    if records:
+        _merge_into_file(records)
 
 
 @pytest.fixture(scope="session")

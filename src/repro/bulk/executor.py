@@ -3,8 +3,10 @@
 The executor replays a :class:`~repro.bulk.planner.ResolutionPlan` as SQL
 statements: a :class:`~repro.bulk.planner.CopyStep` becomes one
 ``INSERT … SELECT`` and a :class:`~repro.bulk.planner.FloodStep` becomes one
-``INSERT … SELECT DISTINCT`` per component member.  The number of statements
-is therefore linear in the size of the network and — crucially for
+multi-member ``INSERT … SELECT`` per group of members sharing the same
+constraint set — for plain Algorithm-1 plans that is a single statement per
+flood step, regardless of component size.  The number of statements is
+therefore linear in the number of plan steps and — crucially for
 Figure 8c — independent of the number of objects and of the number of
 conflicts among them.
 """
@@ -93,21 +95,19 @@ class BulkResolver:
     def run(self) -> BulkRunReport:
         """Execute the plan and return instrumentation."""
         started = time.perf_counter()
-        statements = 0
+        statements_before = self.store.bulk_statements
         rows = 0
         for step in self.plan.steps:
             if isinstance(step, CopyStep):
                 rows += self.store.copy_from_parent(step.child, step.parent)
-                statements += 1
             elif isinstance(step, FloodStep):
                 rows += self.store.flood_component(step.members, step.parents)
-                statements += len(step.members)
             else:  # pragma: no cover - plans only contain the two step types
                 raise BulkProcessingError(f"unknown plan step {step!r}")
         elapsed = time.perf_counter() - started
         return BulkRunReport(
             objects=len(self._loaded_objects),
-            statements=statements,
+            statements=self.store.bulk_statements - statements_before,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=self.store.conflict_count(),
@@ -153,23 +153,21 @@ class SkepticBulkResolver:
 
     def run(self) -> BulkRunReport:
         started = time.perf_counter()
-        statements = 0
+        statements_before = self.store.bulk_statements
         rows = 0
         for step in self.plan.steps:
             if isinstance(step, CopyStep):
                 rows += self.store.copy_from_parent(step.child, step.parent)
-                statements += 1
             elif isinstance(step, FloodStep):
                 rows += self.store.flood_component_skeptic(
                     step.members, step.parents, step.blocked_map()
                 )
-                statements += len(step.members)
             else:  # pragma: no cover
                 raise BulkProcessingError(f"unknown plan step {step!r}")
         elapsed = time.perf_counter() - started
         return BulkRunReport(
             objects=len(self._loaded_objects),
-            statements=statements,
+            statements=self.store.bulk_statements - statements_before,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=self.store.conflict_count(),

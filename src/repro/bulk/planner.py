@@ -10,20 +10,27 @@ Under those assumptions the *sequence of resolution steps* taken by
 Algorithm 1 (and Algorithm 2) depends only on the network topology and on
 *which* users have explicit beliefs — not on the actual values.  The planner
 therefore runs the closed/open bookkeeping once on the network and records
-the steps; the executor then replays each step as a single SQL statement over
-all objects at once.
+the steps; the executor then replays each step as SQL over all objects at
+once (one statement per :class:`CopyStep`, and one statement per group of
+same-constraint members per :class:`FloodStep` — for plain Algorithm-1 plans
+that is a single statement per flood step regardless of component size).
+
+Like :mod:`repro.core.resolution`, the planner discovers minimal SCCs
+through the incremental condensation engine (:mod:`repro.core.sccs`), so
+planning itself is near-linear instead of recondensing per flooding pass.
 """
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
-
-import networkx as nx
 
 from repro.core.beliefs import Value
 from repro.core.errors import BulkProcessingError
 from repro.core.network import TrustNetwork, User
+from repro.core.sccs import CondensationEngine
+from repro.core.skeptic import propagate_forced_negatives
 
 
 @dataclass(frozen=True)
@@ -49,6 +56,20 @@ class FloodStep:
     def blocked_map(self) -> Dict[str, Tuple[Value, ...]]:
         return {str(user): values for user, values in self.blocked}
 
+    def statement_count(self) -> int:
+        """SQL statements the executor issues for this step.
+
+        Members sharing the same (possibly empty) blocked-value set are
+        flooded by one multi-member statement; a non-empty blocked set needs
+        a second statement for the ⊥ rows.  A flood without closed parents
+        inserts nothing and costs no statement.
+        """
+        if not self.parents or not self.members:
+            return 0
+        blocked = self.blocked_map()
+        groups = {blocked.get(str(member), ()) for member in self.members}
+        return sum(2 if rejected else 1 for rejected in groups)
+
 
 ResolutionStep = object  # CopyStep | FloodStep
 
@@ -72,7 +93,7 @@ class ResolutionPlan:
     def statement_count(self) -> int:
         """Number of SQL statements the executor will issue."""
         return len(self.copy_steps) + sum(
-            len(step.members) for step in self.flood_steps
+            step.statement_count() for step in self.flood_steps
         )
 
 
@@ -94,32 +115,59 @@ def plan_resolution(
     preferred = {
         user: _preferred_parent(network, reachable, user) for user in reachable
     }
+    children_pref = _preferred_children(network, reachable, preferred)
+    order, index, successors = _indexed_graph(network, reachable)
+
+    # The engine works on dense integer ids; ids follow sorted(str) order so
+    # component discovery (and hence plan output) is deterministic.
+    engine = CondensationEngine(
+        (i for i, user in enumerate(order) if user in open_nodes), successors, len(order)
+    )
+    # Lexicographic heap keeps the copy-step order identical to the seed
+    # implementation (which re-scanned sorted(open_nodes) every pass).
+    heap: List[Tuple[str, User]] = []
+    for user in closed:
+        for child in children_pref.get(user, ()):
+            heapq.heappush(heap, (str(child), child))
 
     while open_nodes:
-        step1 = _next_copy(open_nodes, closed, preferred)
-        if step1 is not None:
-            child, parent = step1
-            plan.steps.append(CopyStep(parent=parent, child=child))
-            closed.add(child)
-            open_nodes.discard(child)
-            continue
-        for members in _minimal_open_sccs(network, reachable, open_nodes):
-            parents = sorted(
-                {
-                    edge.parent
-                    for member in members
-                    for edge in network.incoming(member)
-                    if edge.parent in closed and edge.parent in reachable
-                },
-                key=str,
+        while heap:
+            _, node = heapq.heappop(heap)
+            if node not in open_nodes:
+                continue
+            parent = preferred.get(node)
+            if parent is None or parent not in closed:
+                continue
+            plan.steps.append(CopyStep(parent=parent, child=node))
+            closed.add(node)
+            open_nodes.discard(node)
+            engine.close(index[node])
+            for child in children_pref.get(node, ()):
+                heapq.heappush(heap, (str(child), child))
+        if not open_nodes:
+            break
+        members = {order[i] for i in engine.pop_minimal()}
+        incoming = network.incoming_map()
+        parents = sorted(
+            {
+                edge.parent
+                for member in members
+                for edge in incoming.get(member, ())
+                if edge.parent in closed and edge.parent in reachable
+            },
+            key=str,
+        )
+        plan.steps.append(
+            FloodStep(
+                members=tuple(sorted(members, key=str)), parents=tuple(parents)
             )
-            plan.steps.append(
-                FloodStep(
-                    members=tuple(sorted(members, key=str)), parents=tuple(parents)
-                )
-            )
-            closed.update(members)
-            open_nodes.difference_update(members)
+        )
+        closed.update(members)
+        open_nodes.difference_update(members)
+        for member in members:
+            engine.close(index[member])
+            for child in children_pref.get(member, ()):
+                heapq.heappush(heap, (str(child), child))
     return plan
 
 
@@ -139,26 +187,24 @@ def plan_skeptic_resolution(
     positive = frozenset(positive_users)
     plan = ResolutionPlan(network=network, explicit_users=positive)
 
-    # prefNeg propagation (phase P of Algorithm 2).
+    # prefNeg propagation (phase P of Algorithm 2), worklist-driven.
     pref_neg: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    preferred_all = network.preferred_parent_map()
+    children_pref_all: Dict[User, List[User]] = {}
+    for user, parent in preferred_all.items():
+        if parent is not None:
+            children_pref_all.setdefault(parent, []).append(user)
+    pending: List[User] = []
     for user, values in negative_constraints.items():
         if user in positive:
             raise BulkProcessingError(
                 f"user {user!r} cannot have both positive beliefs and a constraint"
             )
         pref_neg[user].update(values)
-    preferred_all = {user: network.preferred_parent(user) for user in network.users}
-    changed = True
-    while changed:
-        changed = False
-        for user in network.users:
-            parent = preferred_all[user]
-            if parent is None or user in positive:
-                continue
-            missing = pref_neg[parent] - pref_neg[user]
-            if missing:
-                pref_neg[user].update(missing)
-                changed = True
+        pending.append(user)
+    propagate_forced_negatives(
+        pref_neg, pending, lambda parent: children_pref_all.get(parent, ()), positive
+    )
 
     sources = positive | frozenset(negative_constraints)
     reachable = _reachable(network, sources)
@@ -170,46 +216,71 @@ def plan_skeptic_resolution(
     preferred = {
         user: _preferred_parent(network, reachable, user) for user in reachable
     }
+    children_pref = _preferred_children(network, reachable, preferred)
+    order, index, successors = _indexed_graph(network, reachable)
 
+    engine = CondensationEngine(
+        (i for i, user in enumerate(order) if user in open_nodes), successors, len(order)
+    )
+    heap: List[Tuple[str, User]] = []
+    for user in closed:
+        for child in children_pref.get(user, ()):
+            heapq.heappush(heap, (str(child), child))
+
+    incoming = network.incoming_map()
     while open_nodes:
-        step1 = _next_copy(open_nodes, closed, preferred, type2_only=type2)
-        if step1 is not None:
-            child, parent = step1
-            plan.steps.append(CopyStep(parent=parent, child=child))
-            closed.add(child)
-            type2.add(child)
-            open_nodes.discard(child)
-            continue
-        for members in _minimal_open_sccs(network, reachable, open_nodes):
-            parents = sorted(
-                {
-                    edge.parent
-                    for member in members
-                    for edge in network.incoming(member)
-                    if edge.parent in closed and edge.parent in reachable
-                },
-                key=str,
+        while heap:
+            _, node = heapq.heappop(heap)
+            if node not in open_nodes:
+                continue
+            parent = preferred.get(node)
+            if parent is None or parent not in closed or parent not in type2:
+                continue
+            plan.steps.append(CopyStep(parent=parent, child=node))
+            closed.add(node)
+            type2.add(node)
+            open_nodes.discard(node)
+            engine.close(index[node])
+            for child in children_pref.get(node, ()):
+                heapq.heappush(heap, (str(child), child))
+        if not open_nodes:
+            break
+        members = {order[i] for i in engine.pop_minimal()}
+        parents = sorted(
+            {
+                edge.parent
+                for member in members
+                for edge in incoming.get(member, ())
+                if edge.parent in closed and edge.parent in reachable
+            },
+            key=str,
+        )
+        blocked = tuple(
+            (member, tuple(sorted(pref_neg[member], key=str)))
+            for member in sorted(members, key=str)
+            if pref_neg[member]
+        )
+        plan.steps.append(
+            FloodStep(
+                members=tuple(sorted(members, key=str)),
+                parents=tuple(parents),
+                blocked=blocked,
             )
-            blocked = tuple(
-                (member, tuple(sorted(pref_neg[member], key=str)))
-                for member in sorted(members, key=str)
-                if pref_neg[member]
-            )
-            plan.steps.append(
-                FloodStep(
-                    members=tuple(sorted(members, key=str)),
-                    parents=tuple(parents),
-                    blocked=blocked,
-                )
-            )
-            closed.update(members)
-            # Members become Type 2 (and therefore valid sources for later
-            # copy steps) only if the component actually receives values from
-            # a Type-2 parent; a component fed solely by negative-only users
-            # stays empty, exactly as in Algorithm 2.
-            if any(parent in type2 for parent in parents):
-                type2.update(members)
-            open_nodes.difference_update(members)
+        )
+        closed.update(members)
+        # Members become Type 2 (and therefore valid sources for later
+        # copy steps) only if the component actually receives values from
+        # a Type-2 parent; a component fed solely by negative-only users
+        # stays empty, exactly as in Algorithm 2.
+        member_type2 = any(parent in type2 for parent in parents)
+        if member_type2:
+            type2.update(members)
+        open_nodes.difference_update(members)
+        for member in members:
+            engine.close(index[member])
+            if member_type2:
+                for child in children_pref.get(member, ()):
+                    heapq.heappush(heap, (str(child), child))
     return plan
 
 
@@ -235,6 +306,7 @@ def _explicit_users(
 
 
 def _reachable(network: TrustNetwork, sources) -> Set[User]:
+    outgoing = network.outgoing_map()
     reachable: Set[User] = set()
     stack: List[User] = []
     for source in sources:
@@ -243,7 +315,7 @@ def _reachable(network: TrustNetwork, sources) -> Set[User]:
             stack.append(source)
     while stack:
         node = stack.pop()
-        for edge in network.outgoing(node):
+        for edge in outgoing.get(node, ()):
             if edge.child not in reachable:
                 reachable.add(edge.child)
                 stack.append(edge.child)
@@ -262,37 +334,36 @@ def _preferred_parent(network: TrustNetwork, reachable: Set[User], user: User):
     return None
 
 
-def _next_copy(
-    open_nodes: Set[User],
-    closed: Set[User],
+def _preferred_children(
+    network: TrustNetwork,
+    reachable: Set[User],
     preferred: Dict[User, Optional[User]],
-    type2_only: Optional[Set[User]] = None,
-) -> Optional[Tuple[User, User]]:
-    for node in sorted(open_nodes, key=str):
-        parent = preferred.get(node)
-        if parent is None or parent not in closed:
+) -> Dict[User, List[User]]:
+    """Children via preferred edges, within the reachable set."""
+    incoming = network.incoming_map()
+    children_pref: Dict[User, List[User]] = {}
+    for node in reachable:
+        node_preferred = preferred.get(node)
+        if node_preferred is None:
             continue
-        if type2_only is not None and parent not in type2_only:
-            continue
-        return node, parent
-    return None
+        for edge in incoming.get(node, ()):
+            if edge.parent == node_preferred:
+                children_pref.setdefault(edge.parent, []).append(node)
+    return children_pref
 
 
-def _minimal_open_sccs(
-    network: TrustNetwork, reachable: Set[User], open_nodes: Set[User]
-) -> List[Set[User]]:
-    subgraph = nx.DiGraph()
-    subgraph.add_nodes_from(open_nodes)
-    for node in open_nodes:
-        for edge in network.incoming(node):
-            if edge.parent in open_nodes and edge.parent in reachable:
-                subgraph.add_edge(edge.parent, node)
-    condensation = nx.condensation(subgraph)
-    sources = [
-        set(condensation.nodes[component_id]["members"])
-        for component_id in condensation.nodes
-        if condensation.in_degree(component_id) == 0
-    ]
-    if not sources:
-        raise BulkProcessingError("open subgraph has no minimal SCC")  # pragma: no cover
-    return sources
+def _indexed_graph(
+    network: TrustNetwork, reachable: Set[User]
+) -> Tuple[List[User], Dict[User, int], List[List[int]]]:
+    """Dense integer ids (in sorted(str) order) and successor lists for the
+    reachable subgraph, as consumed by the condensation engine."""
+    order = sorted(reachable, key=str)
+    index = {user: i for i, user in enumerate(order)}
+    successors: List[List[int]] = [[] for _ in order]
+    incoming = network.incoming_map()
+    for i, user in enumerate(order):
+        for edge in incoming.get(user, ()):
+            parent_id = index.get(edge.parent)
+            if parent_id is not None:
+                successors[parent_id].append(i)
+    return order, index, successors

@@ -43,6 +43,7 @@ class PossStore:
 
     def __init__(self, path: str = ":memory:") -> None:
         self._connection = sqlite3.connect(path)
+        self._bulk_statements = 0
         self._connection.execute(
             "CREATE TABLE IF NOT EXISTS POSS (X TEXT NOT NULL, K TEXT NOT NULL, V TEXT NOT NULL)"
         )
@@ -90,6 +91,11 @@ class PossStore:
     # the two bulk statements of Section 4                                 #
     # ------------------------------------------------------------------ #
 
+    @property
+    def bulk_statements(self) -> int:
+        """Running count of bulk ``INSERT … SELECT`` statements issued."""
+        return self._bulk_statements
+
     def copy_from_parent(self, child: User, parent: User) -> int:
         """Step-1 bulk insert: copy every (key, value) of ``parent`` to ``child``.
 
@@ -102,31 +108,41 @@ class PossStore:
             "INSERT INTO POSS (X, K, V) SELECT ?, t.K, t.V FROM POSS t WHERE t.X = ?",
             (str(child), str(parent)),
         )
+        self._bulk_statements += 1
         self._connection.commit()
         return cursor.rowcount
 
     def flood_component(self, members: Sequence[User], parents: Sequence[User]) -> int:
         """Step-2 bulk insert: flood a component with all parents' values.
 
-        Mirrors, for each member ``xi``::
+        One statement floods the *whole* component — the member names form an
+        inline ``VALUES`` relation cross-joined with the distinct parent
+        values, so the statement count per flood step is 1 instead of
+        ``|members|``::
 
             insert into POSS
-            select distinct 'xi' AS X, t.K, t.V
-            from POSS t where t.X = 'z1' or ... or t.X = 'zk'
+            select m.column1 AS X, t.K, t.V
+            from (values ('x1'), …, ('xn')) m,
+                 (select distinct t.K, t.V from POSS t
+                  where t.X in ('z1', …, 'zk')) t
         """
-        if not parents:
+        if not parents or not members:
             return 0
-        placeholders = ",".join("?" for _ in parents)
-        total = 0
-        for member in members:
-            cursor = self._connection.execute(
-                f"INSERT INTO POSS (X, K, V) "
-                f"SELECT DISTINCT ?, t.K, t.V FROM POSS t WHERE t.X IN ({placeholders})",
-                (str(member), *[str(parent) for parent in parents]),
-            )
-            total += cursor.rowcount
+        member_rows = ",".join("(?)" for _ in members)
+        parent_placeholders = ",".join("?" for _ in parents)
+        cursor = self._connection.execute(
+            f"INSERT INTO POSS (X, K, V) "
+            f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
+            f"(SELECT DISTINCT s.K, s.V FROM POSS s "
+            f"WHERE s.X IN ({parent_placeholders})) AS t",
+            (
+                *[str(member) for member in members],
+                *[str(parent) for parent in parents],
+            ),
+        )
+        self._bulk_statements += 1
         self._connection.commit()
-        return total
+        return cursor.rowcount
 
     def flood_component_skeptic(
         self,
@@ -138,44 +154,56 @@ class PossStore:
 
         ``blocked`` maps a member to the values it is forced to reject
         (its ``prefNeg`` set); for keys whose incoming value is blocked, the
-        ⊥ sentinel is inserted instead of the value.
+        ⊥ sentinel is inserted instead of the value.  Members sharing the
+        same rejected-value set are flooded together, so the statement count
+        is one (plus one ⊥ statement for constrained groups) per *distinct
+        constraint group*, not per member.
         """
-        if not parents:
+        if not parents or not members:
             return 0
-        placeholders = ",".join("?" for _ in parents)
-        total = 0
+        groups: Dict[Tuple[str, ...], List[str]] = {}
         for member in members:
             member_key = str(member)
-            rejected = [str(value) for value in blocked.get(member_key, ())]
+            rejected = tuple(str(value) for value in blocked.get(member_key, ()))
+            groups.setdefault(rejected, []).append(member_key)
+        parent_placeholders = ",".join("?" for _ in parents)
+        parent_args = [str(parent) for parent in parents]
+        total = 0
+        for rejected, group_members in groups.items():
+            member_rows = ",".join("(?)" for _ in group_members)
             if rejected:
                 value_placeholders = ",".join("?" for _ in rejected)
-                allowed_sql = (
-                    f"INSERT INTO POSS (X, K, V) "
-                    f"SELECT DISTINCT ?, t.K, t.V FROM POSS t "
-                    f"WHERE t.X IN ({placeholders}) AND t.V NOT IN ({value_placeholders})"
-                )
                 cursor = self._connection.execute(
-                    allowed_sql,
-                    (member_key, *[str(p) for p in parents], *rejected),
+                    f"INSERT INTO POSS (X, K, V) "
+                    f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
+                    f"(SELECT DISTINCT s.K, s.V FROM POSS s "
+                    f"WHERE s.X IN ({parent_placeholders}) "
+                    f"AND s.V NOT IN ({value_placeholders})) AS t",
+                    (*group_members, *parent_args, *rejected),
                 )
                 total += cursor.rowcount
-                bottom_sql = (
-                    f"INSERT INTO POSS (X, K, V) "
-                    f"SELECT DISTINCT ?, t.K, ? FROM POSS t "
-                    f"WHERE t.X IN ({placeholders}) AND t.V IN ({value_placeholders})"
-                )
+                # Parameter order follows textual appearance: the ⊥ scalar
+                # precedes the VALUES member list in the bottom statement.
                 cursor = self._connection.execute(
-                    bottom_sql,
-                    (member_key, BOTTOM_VALUE, *[str(p) for p in parents], *rejected),
+                    f"INSERT INTO POSS (X, K, V) "
+                    f"SELECT m.column1, t.K, ? FROM (VALUES {member_rows}) AS m, "
+                    f"(SELECT DISTINCT s.K FROM POSS s "
+                    f"WHERE s.X IN ({parent_placeholders}) "
+                    f"AND s.V IN ({value_placeholders})) AS t",
+                    (BOTTOM_VALUE, *group_members, *parent_args, *rejected),
                 )
                 total += cursor.rowcount
+                self._bulk_statements += 2
             else:
                 cursor = self._connection.execute(
                     f"INSERT INTO POSS (X, K, V) "
-                    f"SELECT DISTINCT ?, t.K, t.V FROM POSS t WHERE t.X IN ({placeholders})",
-                    (member_key, *[str(p) for p in parents]),
+                    f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
+                    f"(SELECT DISTINCT s.K, s.V FROM POSS s "
+                    f"WHERE s.X IN ({parent_placeholders})) AS t",
+                    (*group_members, *parent_args),
                 )
                 total += cursor.rowcount
+                self._bulk_statements += 1
         self._connection.commit()
         return total
 

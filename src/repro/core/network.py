@@ -31,12 +31,15 @@ User = Hashable
 """Type alias for user identifiers.  Any hashable object may identify a user."""
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class TrustMapping:
     """A priority trust mapping ``m = (parent, priority, child)`` (Def. 2.2).
 
     The child trusts the parent's value with the given integer priority.
     Priorities are only comparable among mappings *entering the same child*.
+    ``slots=True`` keeps large networks off the cyclic garbage collector's
+    radar (hundreds of thousands of instance dicts otherwise dominate every
+    generation-2 scan during resolution).
     """
 
     parent: User
@@ -87,6 +90,14 @@ class TrustNetwork:
         self._incoming: Dict[User, List[TrustMapping]] = {}
         self._outgoing: Dict[User, List[TrustMapping]] = {}
         self._beliefs: Dict[User, BeliefSet] = {}
+        # Lazily-built indexed adjacency (and preferred-parent) caches; they
+        # are invalidated whenever a mapping mutates the graph so that the
+        # resolution hot paths can use them without defensive re-copies.
+        self._adjacency_cache: Optional[
+            Tuple[Dict[User, Tuple[TrustMapping, ...]], Dict[User, Tuple[TrustMapping, ...]]]
+        ] = None
+        self._preferred_cache: Optional[Dict[User, Optional[User]]] = None
+        self._binary_cache: Optional[bool] = None
 
         for mapping in mappings:
             if not isinstance(mapping, TrustMapping):
@@ -101,7 +112,9 @@ class TrustNetwork:
 
     def add_user(self, user: User) -> None:
         """Add a user (idempotent)."""
-        self._users.add(user)
+        if user not in self._users:
+            self._users.add(user)
+            self._invalidate_structure_caches()
 
     def add_mapping(
         self, mapping: TrustMapping | Tuple[User, int, User]
@@ -116,7 +129,13 @@ class TrustNetwork:
         self._mappings.append(mapping)
         self._incoming.setdefault(mapping.child, []).append(mapping)
         self._outgoing.setdefault(mapping.parent, []).append(mapping)
+        self._invalidate_structure_caches()
         return mapping
+
+    def _invalidate_structure_caches(self) -> None:
+        self._adjacency_cache = None
+        self._preferred_cache = None
+        self._binary_cache = None
 
     def add_trust(self, child: User, parent: User, priority: int) -> TrustMapping:
         """Convenience wrapper: ``child`` trusts ``parent`` with ``priority``."""
@@ -124,12 +143,14 @@ class TrustNetwork:
 
     def set_explicit_belief(self, user: User, belief: object) -> None:
         """Set (or replace) the explicit belief ``b0(user)``."""
-        self._users.add(user)
+        self.add_user(user)
         self._beliefs[user] = _coerce_explicit_belief(belief)
+        self._binary_cache = None
 
     def remove_explicit_belief(self, user: User) -> None:
         """Revoke the explicit belief of a user (no-op if there is none)."""
         self._beliefs.pop(user, None)
+        self._binary_cache = None
 
     # ------------------------------------------------------------------ #
     # basic accessors                                                     #
@@ -172,11 +193,46 @@ class TrustNetwork:
 
     def incoming(self, user: User) -> Tuple[TrustMapping, ...]:
         """All mappings entering ``user`` (its trusted parents)."""
-        return tuple(self._incoming.get(user, ()))
+        return self.incoming_map().get(user, ())
 
     def outgoing(self, user: User) -> Tuple[TrustMapping, ...]:
         """All mappings leaving ``user`` (the users that trust it)."""
-        return tuple(self._outgoing.get(user, ()))
+        return self.outgoing_map().get(user, ())
+
+    def incoming_map(self) -> Dict[User, Tuple[TrustMapping, ...]]:
+        """Cached index ``user -> incoming mappings``.
+
+        Built once per network and invalidated on mutation; hot paths
+        (resolution, planning) iterate it without per-call tuple copies.
+        The returned mapping must be treated as read-only.
+        """
+        return self._adjacency()[0]
+
+    def outgoing_map(self) -> Dict[User, Tuple[TrustMapping, ...]]:
+        """Cached index ``user -> outgoing mappings`` (read-only)."""
+        return self._adjacency()[1]
+
+    def _adjacency(
+        self,
+    ) -> Tuple[
+        Dict[User, Tuple[TrustMapping, ...]], Dict[User, Tuple[TrustMapping, ...]]
+    ]:
+        cache = self._adjacency_cache
+        if cache is None:
+            cache = (
+                {user: tuple(edges) for user, edges in self._incoming.items()},
+                {user: tuple(edges) for user, edges in self._outgoing.items()},
+            )
+            self._adjacency_cache = cache
+        return cache
+
+    def preferred_parent_map(self) -> Dict[User, Optional[User]]:
+        """Cached index ``user -> preferred parent (or None)`` (read-only)."""
+        cache = self._preferred_cache
+        if cache is None:
+            cache = {user: self._preferred_parent_of(user) for user in self._users}
+            self._preferred_cache = cache
+        return cache
 
     def parents(self, user: User) -> Tuple[User, ...]:
         """The parents of ``user`` in descending priority order."""
@@ -213,6 +269,9 @@ class TrustNetwork:
         parent of strictly highest priority is preferred; if the highest
         priority is shared, no parent is preferred.
         """
+        return self._preferred_parent_of(user)
+
+    def _preferred_parent_of(self, user: User) -> Optional[User]:
         edges = self._incoming.get(user, ())
         if not edges:
             return None
@@ -251,14 +310,18 @@ class TrustNetwork:
 
     def is_binary(self) -> bool:
         """True iff every node has at most two incoming edges and explicit
-        beliefs appear only on root nodes."""
-        for user in self._users:
-            if len(self._incoming.get(user, ())) > 2:
-                return False
-        for user in self._beliefs:
-            if self._incoming.get(user):
-                return False
-        return True
+        beliefs appear only on root nodes.
+
+        The verdict is cached (mutations invalidate it) so repeated
+        resolutions of one network skip the structural scan.
+        """
+        cached = self._binary_cache
+        if cached is None:
+            cached = all(len(edges) <= 2 for edges in self._incoming.values()) and not any(
+                self._incoming.get(user) for user in self._beliefs
+            )
+            self._binary_cache = cached
+        return cached
 
     def is_acyclic(self) -> bool:
         """True iff the trust graph contains no directed cycle."""
@@ -290,6 +353,7 @@ class TrustNetwork:
         clone._incoming = {u: list(edges) for u, edges in self._incoming.items()}
         clone._outgoing = {u: list(edges) for u, edges in self._outgoing.items()}
         clone._beliefs = dict(self._beliefs)
+        clone._invalidate_structure_caches()
         return clone
 
     def __repr__(self) -> str:  # pragma: no cover - repr convenience

@@ -3,7 +3,7 @@
 Under the Skeptic paradigm a positive belief ``v+`` carries the maximal
 constraint rejecting every other value, so propagating constraints stays
 tractable: Algorithm 2 computes for every node ``x`` a *representation*
-``repPoss(x)`` of its possible beliefs in quadratic time.
+``repPoss(x)`` of its possible beliefs.
 
 ``repPoss(x)`` may contain positive values, negative values and the marker
 ⊥.  It is decoded into possible / certain beliefs by the five cases of
@@ -19,18 +19,31 @@ value only reaches the part of the component not forced to reject it; the
 unreachable part receives ⊥ instead, because in the Skeptic paradigm
 rejecting the value of one's trusted source leaves no acceptable value at
 all (``{v-} ⊎_S {v+} = ⊥``).
+
+Complexity
+----------
+Like Algorithm 1, the skeleton of Algorithm 2 (Step-1 propagation plus
+minimal-SCC discovery) runs in near-linear time here: minimal SCCs come from
+the incremental condensation engine of :mod:`repro.core.sccs` (condense
+once, maintain in-degree counters as nodes close) and both Step 1 and the
+``prefNeg`` pre-pass are event-driven worklists seeded from newly closed
+nodes instead of full rescans.  The paper's quadratic bound survives only in
+the per-component flooding itself, where every (closed parent, positive
+value) pair triggers a reachability sweep restricted to the component — the
+cost the paper accepts for constraint handling (Section 3.2).  No
+third-party graph library is used on this hot path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import gc
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
-import networkx as nx
-
-from repro.core.beliefs import Belief, BeliefSet, Value
+from repro.core.beliefs import Belief, Value
 from repro.core.errors import NetworkError
 from repro.core.network import TrustNetwork, User
+from repro.core.sccs import CondensationEngine
 
 
 class Bottom:
@@ -191,7 +204,20 @@ def resolve_skeptic(network: TrustNetwork) -> SkepticResult:
             "Algorithm 2 requires a binary trust network; call binarize() first"
         )
     _reject_ties(network)
+    # Pause the cyclic collector for the batch run (see resolve()): the
+    # algorithm allocates no reference cycles and large networks otherwise
+    # pay repeated full-heap generation-2 scans.
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        return _resolve_skeptic_impl(network)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
 
+
+def _resolve_skeptic_impl(network: TrustNetwork) -> SkepticResult:
     explicit_positive: Dict[User, Value] = {}
     explicit_negative: Dict[User, FrozenSet[Value]] = {}
     for user, belief in network.explicit_beliefs.items():
@@ -208,76 +234,116 @@ def resolve_skeptic(network: TrustNetwork) -> SkepticResult:
         value for values in explicit_negative.values() for value in values
     )
 
-    preferred_parent = {user: network.preferred_parent(user) for user in network.users}
+    # Index every user with a dense integer id so the engine and the main
+    # loop run on arrays (Algorithm 2 is defined over all users, including
+    # ones unreachable from any belief — those flood to empty sets).
+    order: List[User] = list(network.users)
+    index: Dict[User, int] = {user: i for i, user in enumerate(order)}
+    n = len(order)
 
-    # Phase P: propagate forced negative beliefs along preferred edges.
-    pref_neg: Dict[User, Set[Value]] = {user: set() for user in network.users}
+    preferred_users = network.preferred_parent_map()
+    preferred: List[int] = [-1] * n
+    # Children reached through preferred edges, used to seed both the
+    # prefNeg pre-pass and the Step-1 worklist from newly closed nodes
+    # instead of rescanning every open node.
+    children_pref: List[List[int]] = [[] for _ in range(n)]
+    for i, user in enumerate(order):
+        parent = preferred_users.get(user)
+        if parent is not None:
+            parent_id = index[parent]
+            preferred[i] = parent_id
+            children_pref[parent_id].append(i)
+
+    positive_ids = {index[user] for user in explicit_positive}
+
+    # Phase P: propagate forced negative beliefs along preferred edges,
+    # worklist-driven from the explicitly constrained nodes.
+    pref_neg: List[Set[Value]] = [set() for _ in range(n)]
+    pending: List[int] = []
     for user, negatives in explicit_negative.items():
-        pref_neg[user].update(negatives)
-    changed = True
-    while changed:
-        changed = False
-        for user in network.users:
-            parent = preferred_parent[user]
-            if parent is None or user in explicit_positive:
-                continue
-            missing = pref_neg[parent] - pref_neg[user]
-            if missing:
-                pref_neg[user].update(missing)
-                changed = True
+        i = index[user]
+        pref_neg[i].update(negatives)
+        pending.append(i)
+    propagate_forced_negatives(
+        pref_neg, pending, children_pref.__getitem__, positive_ids
+    )
 
     # Phase I: close nodes with explicit positive beliefs.
-    rep_pos: Dict[User, Set[Value]] = {user: set() for user in network.users}
-    rep_neg: Dict[User, Set[Value]] = {user: set() for user in network.users}
-    rep_bottom: Dict[User, bool] = {user: False for user in network.users}
-
-    closed: Set[User] = set()
+    rep_pos: List[Set[Value]] = [set() for _ in range(n)]
+    rep_neg: List[Set[Value]] = [set() for _ in range(n)]
+    rep_bottom = bytearray(n)
+    closed = bytearray(n)
     for user, value in explicit_positive.items():
-        rep_pos[user].add(value)
-        closed.add(user)
-    open_nodes: Set[User] = set(network.users) - closed
+        i = index[user]
+        rep_pos[i].add(value)
+        closed[i] = 1
+    open_count = n - len(positive_ids)
 
-    parents_of: Dict[User, List[Tuple[User, bool]]] = {}
-    for user in network.users:
-        entries = []
-        for edge in network.incoming(user):
-            entries.append((edge.parent, edge.parent == preferred_parent[user]))
-        parents_of[user] = entries
+    incoming = network.incoming_map()
+    parents_of: List[List[Tuple[int, bool]]] = [[] for _ in range(n)]
+    successors: List[List[int]] = [[] for _ in range(n)]
+    for i, user in enumerate(order):
+        entries = parents_of[i]
+        for edge in incoming.get(user, ()):
+            parent_id = index[edge.parent]
+            entries.append((parent_id, parent_id == preferred[i]))
+            successors[parent_id].append(i)
 
-    # Main loop.
-    while open_nodes:
-        progressed = _skeptic_step1(
-            open_nodes,
-            closed,
-            preferred_parent,
-            rep_pos,
-            rep_neg,
-            rep_bottom,
+    engine = CondensationEngine(
+        (i for i in range(n) if not closed[i]), successors, n
+    )
+
+    # Step-1 worklist seeded from the explicitly positive (Type 2) nodes.
+    worklist: List[int] = []
+    for i in positive_ids:
+        worklist.extend(children_pref[i])
+
+    # Main loop: Step 1 and Step 2 drain one shared worklist/engine pair.
+    while open_count:
+        while worklist:
+            node = worklist.pop()
+            if closed[node]:
+                continue
+            parent = preferred[node]
+            if parent < 0 or not closed[parent]:
+                continue
+            # Per Appendix B.7 a node is only closed along its preferred edge
+            # when the parent's representation is of Type 2 (positive or ⊥);
+            # otherwise positive values may still arrive through the
+            # non-preferred edge and the node must wait for Step 2.
+            if not (rep_pos[parent] or rep_bottom[parent]):
+                continue
+            rep_pos[node].update(rep_pos[parent])
+            rep_neg[node].update(rep_neg[parent])
+            rep_bottom[node] = rep_bottom[node] or rep_bottom[parent]
+            closed[node] = 1
+            open_count -= 1
+            engine.close(node)
+            worklist.extend(children_pref[node])
+        if not open_count:
+            break
+
+        scc = set(engine.pop_minimal())
+        _flood_skeptic_component(
+            scc, closed, parents_of, pref_neg, rep_pos, rep_neg, rep_bottom
         )
-        if progressed:
-            continue
-        _skeptic_step2(
-            network,
-            open_nodes,
-            closed,
-            parents_of,
-            pref_neg,
-            rep_pos,
-            rep_neg,
-            rep_bottom,
-        )
+        for node in scc:
+            closed[node] = 1
+            open_count -= 1
+            engine.close(node)
+            worklist.extend(children_pref[node])
 
     representations = {
         user: SkepticRepresentation(
-            positives=frozenset(rep_pos[user]),
-            negatives=frozenset(rep_neg[user]),
-            has_bottom=rep_bottom[user],
+            positives=frozenset(rep_pos[i]),
+            negatives=frozenset(rep_neg[i]),
+            has_bottom=bool(rep_bottom[i]),
         )
-        for user in network.users
+        for i, user in enumerate(order)
     }
     return SkepticResult(
         representations=representations,
-        pref_neg={user: frozenset(values) for user, values in pref_neg.items()},
+        pref_neg={user: frozenset(pref_neg[index[user]]) for user in order},
         domain=domain,
     )
 
@@ -287,116 +353,79 @@ def resolve_skeptic(network: TrustNetwork) -> SkepticResult:
 # ---------------------------------------------------------------------- #
 
 
-def _skeptic_step1(
-    open_nodes: Set[User],
-    closed: Set[User],
-    preferred_parent: Dict[User, Optional[User]],
-    rep_pos: Dict[User, Set[Value]],
-    rep_neg: Dict[User, Set[Value]],
-    rep_bottom: Dict[User, bool],
-) -> bool:
-    """Step 1: copy the representation along preferred edges.
+def propagate_forced_negatives(pref_neg, pending, children_of, skip) -> None:
+    """Phase P of Algorithm 2: push ``prefNeg`` along preferred edges.
 
-    Per the correctness discussion in Appendix B.7 a node is only closed this
-    way when its preferred parent's representation is of Type 2 (contains a
-    positive value or ⊥); otherwise positive values may still arrive through
-    the non-preferred edge and the node must wait for Step 2.
+    Worklist-driven fixpoint shared by :func:`resolve_skeptic` (int-indexed
+    structures) and the bulk planner (user-keyed structures): ``pref_neg``
+    is any indexable node → mutable-set mapping, ``pending`` seeds the
+    worklist with the explicitly constrained nodes, ``children_of`` maps a
+    node to its preferred children, and nodes in ``skip`` (those holding
+    explicit positive beliefs) never accumulate forced negatives.
     """
-    progressed = False
-    worklist = [
-        node
-        for node in open_nodes
-        if preferred_parent.get(node) in closed
-        and _is_type2(preferred_parent[node], rep_pos, rep_bottom)
-    ]
-    while worklist:
-        node = worklist.pop()
-        if node not in open_nodes:
-            continue
-        parent = preferred_parent.get(node)
-        if parent is None or parent not in closed:
-            continue
-        if not _is_type2(parent, rep_pos, rep_bottom):
-            continue
-        rep_pos[node].update(rep_pos[parent])
-        rep_neg[node].update(rep_neg[parent])
-        rep_bottom[node] = rep_bottom[node] or rep_bottom[parent]
-        open_nodes.discard(node)
-        closed.add(node)
-        progressed = True
-        # Children whose preferred parent is `node` may now be closable.
-        worklist.extend(
-            child
-            for child, parent_of_child in preferred_parent.items()
-            if parent_of_child == node and child in open_nodes
-        )
-    return progressed
+    while pending:
+        parent = pending.pop()
+        parent_neg = pref_neg[parent]
+        for child in children_of(parent):
+            if child in skip:
+                continue
+            missing = parent_neg - pref_neg[child]
+            if missing:
+                pref_neg[child].update(missing)
+                pending.append(child)
 
 
-def _is_type2(
-    user: User, rep_pos: Dict[User, Set[Value]], rep_bottom: Dict[User, bool]
-) -> bool:
-    return bool(rep_pos[user]) or rep_bottom[user]
-
-
-def _skeptic_step2(
-    network: TrustNetwork,
-    open_nodes: Set[User],
-    closed: Set[User],
-    parents_of: Dict[User, List[Tuple[User, bool]]],
-    pref_neg: Dict[User, Set[Value]],
-    rep_pos: Dict[User, Set[Value]],
-    rep_neg: Dict[User, Set[Value]],
-    rep_bottom: Dict[User, bool],
+def _flood_skeptic_component(
+    scc: Set[int],
+    closed: bytearray,
+    parents_of: List[List[Tuple[int, bool]]],
+    pref_neg: List[Set[Value]],
+    rep_pos: List[Set[Value]],
+    rep_neg: List[Set[Value]],
+    rep_bottom: bytearray,
 ) -> None:
-    """Step 2: flood the minimal SCCs of the open subgraph.
+    """Step 2: flood one minimal SCC of the open subgraph.
 
-    A positive value ``v+`` entering a component from a closed parent only
+    A positive value ``v+`` entering the component from a closed parent only
     reaches the nodes not forced to reject ``v`` (those without ``v-`` in
     ``prefNeg``); the other nodes of the component receive ⊥.  Bare negative
     values of closed parents are copied to every node of the component.
 
-    As in Algorithm 1, every SCC that is minimal at this point draws its
-    inputs exclusively from already-closed nodes, so all of them are flooded
-    per condensation pass (see ``_flood_minimal_sccs`` in
-    :mod:`repro.core.resolution` for the argument).
+    Every SCC that is minimal draws its inputs exclusively from
+    already-closed nodes whose representations are final, so the flood result
+    does not depend on the order minimal SCCs are processed.
     """
-    for scc in _minimal_open_sccs(parents_of, open_nodes):
-        inputs: List[Tuple[User, User]] = []  # (closed parent, entry node in scc)
-        for node in scc:
-            for parent, _preferred in parents_of.get(node, ()):
-                if parent in closed:
-                    inputs.append((parent, node))
+    inputs: List[Tuple[int, int]] = []  # (closed parent, entry node in scc)
+    for node in scc:
+        for parent, _preferred in parents_of[node]:
+            if closed[parent]:
+                inputs.append((parent, node))
 
-        internal_edges = [
-            (parent, node)
-            for node in scc
-            for parent, _pref in parents_of.get(node, ())
-            if parent in scc
-        ]
+    internal_edges = [
+        (parent, node)
+        for node in scc
+        for parent, _pref in parents_of[node]
+        if parent in scc
+    ]
 
-        for parent, entry in inputs:
-            for value in rep_pos[parent]:
-                blocked = {node for node in scc if value in pref_neg[node]}
-                allowed = scc - blocked
-                reachable = _reachable_within(entry, allowed, internal_edges)
-                for node in scc:
-                    if node in reachable:
-                        rep_pos[node].add(value)
-                    else:
-                        rep_bottom[node] = True
-            for value in rep_neg[parent]:
-                for node in scc:
-                    rep_neg[node].add(value)
-
-        for node in scc:
-            open_nodes.discard(node)
-            closed.add(node)
+    for parent, entry in inputs:
+        for value in rep_pos[parent]:
+            blocked = {node for node in scc if value in pref_neg[node]}
+            allowed = scc - blocked
+            reachable = _reachable_within(entry, allowed, internal_edges)
+            for node in scc:
+                if node in reachable:
+                    rep_pos[node].add(value)
+                else:
+                    rep_bottom[node] = 1
+        for value in rep_neg[parent]:
+            for node in scc:
+                rep_neg[node].add(value)
 
 
 def _reachable_within(
-    entry: User, allowed: Set[User], internal_edges: List[Tuple[User, User]]
-) -> Set[User]:
+    entry: int, allowed: Set[int], internal_edges: List[Tuple[int, int]]
+) -> Set[int]:
     """Nodes of ``allowed`` reachable from ``entry`` using edges inside ``allowed``.
 
     ``entry`` is the node of the component adjacent to the closed parent; the
@@ -419,30 +448,10 @@ def _reachable_within(
     return reachable
 
 
-def _minimal_open_sccs(
-    parents_of: Dict[User, List[Tuple[User, bool]]], open_nodes: Set[User]
-) -> List[Set[User]]:
-    """The source SCCs of the open subgraph (no incoming edges from open nodes)."""
-    subgraph = nx.DiGraph()
-    subgraph.add_nodes_from(open_nodes)
-    for node in open_nodes:
-        for parent, _pref in parents_of.get(node, ()):
-            if parent in open_nodes:
-                subgraph.add_edge(parent, node)
-    condensation = nx.condensation(subgraph)
-    sources = [
-        set(condensation.nodes[component_id]["members"])
-        for component_id in condensation.nodes
-        if condensation.in_degree(component_id) == 0
-    ]
-    if not sources:
-        raise NetworkError("open subgraph has no minimal SCC")  # pragma: no cover
-    return sources
-
-
 def _reject_ties(network: TrustNetwork) -> None:
+    incoming = network.incoming_map()
     for user in network.users:
-        priorities = [edge.priority for edge in network.incoming(user)]
+        priorities = [edge.priority for edge in incoming.get(user, ())]
         if len(priorities) != len(set(priorities)):
             raise NetworkError(
                 f"ties between parents of {user!r} are not allowed with constraints"

@@ -1,0 +1,102 @@
+"""Reference resolution strategies retained for comparison experiments.
+
+The production :func:`repro.core.resolution.resolve` runs on the incremental
+condensation engine of :mod:`repro.core.sccs`.  This module preserves the
+seed's *recondense-per-pass* strategy — a fresh ``networkx`` digraph and a
+full condensation of the open subgraph before every Step-2 flooding pass —
+so experiments (Figure 15, the SCC-engine micro-benchmark) can still
+demonstrate the quadratic behaviour the paper analyses in Appendix B.5.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+import networkx as nx
+
+from repro.core.network import TrustNetwork, User
+
+
+def legacy_resolve(network: TrustNetwork) -> Dict[User, Set[object]]:
+    """The seed's Algorithm-1 strategy: recondense (via networkx) per pass.
+
+    Computes the ``poss`` sets only (no lineage), which makes it a lower
+    bound on what the seed implementation spent — the comparison is
+    therefore conservative in the new engine's favour.
+    """
+    explicit = {
+        user: belief.positive_value
+        for user, belief in network.explicit_beliefs.items()
+        if belief.positive_value is not None
+    }
+    outgoing = network.outgoing_map()
+    incoming = network.incoming_map()
+    reachable: Set[User] = set(explicit)
+    stack = list(explicit)
+    while stack:
+        node = stack.pop()
+        for edge in outgoing.get(node, ()):
+            if edge.child not in reachable:
+                reachable.add(edge.child)
+                stack.append(edge.child)
+
+    preferred: Dict[User, Optional[User]] = {}
+    parents: Dict[User, List[User]] = {}
+    for node in reachable:
+        surviving = [e for e in incoming.get(node, ()) if e.parent in reachable]
+        parents[node] = [e.parent for e in surviving]
+        if not surviving:
+            preferred[node] = None
+        elif len(surviving) == 1:
+            preferred[node] = surviving[0].parent
+        else:
+            ordered = sorted(surviving, key=lambda e: e.priority, reverse=True)
+            preferred[node] = (
+                ordered[0].parent
+                if ordered[0].priority > ordered[1].priority
+                else None
+            )
+
+    possible: Dict[User, Set[object]] = {u: set() for u in reachable}
+    closed: Set[User] = set()
+    for user, value in explicit.items():
+        possible[user].add(value)
+        closed.add(user)
+    open_nodes = set(reachable) - closed
+
+    while open_nodes:
+        progressed = True
+        while progressed:
+            progressed = False
+            for node in [n for n in open_nodes if preferred.get(n) in closed]:
+                parent = preferred[node]
+                if parent is None:
+                    continue
+                possible[node] |= possible[parent]
+                open_nodes.discard(node)
+                closed.add(node)
+                progressed = True
+        if not open_nodes:
+            break
+        # Recondense the whole open subgraph from scratch (the legacy cost).
+        subgraph = nx.DiGraph()
+        subgraph.add_nodes_from(open_nodes)
+        for node in open_nodes:
+            for parent in parents.get(node, ()):
+                if parent in open_nodes:
+                    subgraph.add_edge(parent, node)
+        condensation = nx.condensation(subgraph)
+        for component_id in condensation.nodes:
+            if condensation.in_degree(component_id) != 0:
+                continue
+            members = set(condensation.nodes[component_id]["members"])
+            flood: Set[object] = set()
+            for node in members:
+                for parent in parents.get(node, ()):
+                    if parent in closed:
+                        flood |= possible[parent]
+            for node in members:
+                possible[node] |= flood
+                open_nodes.discard(node)
+                closed.add(node)
+    return possible

@@ -49,8 +49,8 @@ class TestPlanResolution:
 
     def test_statement_count_independent_of_values(self, oscillator_network):
         plan = plan_resolution(oscillator_network)
-        # 1 flood step over a 2-node component -> 2 statements, no copies.
-        assert plan.statement_count() == 2
+        # 1 flood step over a 2-node component -> 1 multi-member statement.
+        assert plan.statement_count() == 1
 
 
 class TestSkepticPlan:

@@ -1,0 +1,172 @@
+"""Unit tests for the incremental condensation engine (repro.core.sccs).
+
+The engine is validated against networkx: after any interleaving of node
+closures, the components it reports as minimal must be exactly the source
+components of the condensation of the remaining open subgraph.
+"""
+
+from __future__ import annotations
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.core.sccs import CondensationEngine, strongly_connected_components
+
+
+def nx_minimal_sccs(n, successors, open_nodes):
+    """Reference: source components of the open subgraph's condensation."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(open_nodes)
+    for node in open_nodes:
+        for child in successors[node]:
+            if child in open_nodes:
+                graph.add_edge(node, child)
+    condensation = nx.condensation(graph)
+    return {
+        frozenset(condensation.nodes[cid]["members"])
+        for cid in condensation.nodes
+        if condensation.in_degree(cid) == 0
+    }
+
+
+def random_graph(rng, n, edge_prob):
+    successors = [[] for _ in range(n)]
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < edge_prob:
+                successors[u].append(v)
+    return successors
+
+
+class TestStronglyConnectedComponents:
+    def test_matches_networkx_on_random_graphs(self):
+        rng = random.Random(42)
+        for _ in range(50):
+            n = rng.randint(1, 12)
+            successors = random_graph(rng, n, rng.uniform(0.05, 0.4))
+            mine = {
+                frozenset(c)
+                for c in strongly_connected_components(
+                    range(n), lambda u: successors[u]
+                )
+            }
+            graph = nx.DiGraph()
+            graph.add_nodes_from(range(n))
+            for u in range(n):
+                for v in successors[u]:
+                    graph.add_edge(u, v)
+            theirs = {frozenset(c) for c in nx.strongly_connected_components(graph)}
+            assert mine == theirs
+
+    def test_reverse_topological_order(self):
+        # a -> b -> c: c's component must be emitted before b's before a's.
+        successors = {0: [1], 1: [2], 2: []}
+        comps = strongly_connected_components(range(3), lambda u: successors[u])
+        assert comps == [[2], [1], [0]]
+
+    def test_deep_chain_does_not_recurse(self):
+        n = 50_000
+        successors = {i: [i + 1] for i in range(n - 1)}
+        successors[n - 1] = []
+        comps = strongly_connected_components(
+            range(n), lambda u: successors[u]
+        )
+        assert len(comps) == n
+
+
+class TestCondensationEngine:
+    def test_empty_graph_raises_on_pop(self):
+        engine = CondensationEngine([], [[]])
+        with pytest.raises(NetworkError):
+            engine.pop_minimal()
+
+    def test_single_cycle_is_minimal(self):
+        successors = [[1], [2], [0]]
+        engine = CondensationEngine(range(3), successors)
+        assert set(engine.pop_minimal()) == {0, 1, 2}
+
+    def test_chain_of_components_pops_in_dependency_order(self):
+        # {0,1} -> {2} -> {3,4}
+        successors = [[1, 2], [0], [3], [4], [3]]
+        engine = CondensationEngine(range(5), successors)
+        first = engine.pop_minimal()
+        assert set(first) == {0, 1}
+        for node in first:
+            engine.close(node)
+        second = engine.pop_minimal()
+        assert set(second) == {2}
+        engine.close(2)
+        third = engine.pop_minimal()
+        assert set(third) == {3, 4}
+
+    def test_carved_component_splits(self):
+        # Cycle 0 -> 1 -> 2 -> 0; closing 1 externally splits the residual
+        # into {2} (now minimal) and {0} (waiting on 2).
+        successors = [[1], [2], [0]]
+        engine = CondensationEngine(range(3), successors)
+        engine.close(1)
+        assert set(engine.pop_minimal()) == {2}
+        engine.close(2)
+        assert set(engine.pop_minimal()) == {0}
+
+    def test_matches_networkx_under_random_closures(self):
+        rng = random.Random(7)
+        for trial in range(120):
+            n = rng.randint(2, 14)
+            successors = random_graph(rng, n, rng.uniform(0.05, 0.35))
+            engine = CondensationEngine(range(n), successors)
+            open_nodes = set(range(n))
+            while open_nodes:
+                # Interleave arbitrary external closures (Step-1 analogue)...
+                if rng.random() < 0.4:
+                    victim = rng.choice(sorted(open_nodes))
+                    engine.close(victim)
+                    open_nodes.discard(victim)
+                    continue
+                # ...with minimal-component pops (Step-2 analogue).
+                expected = nx_minimal_sccs(n, successors, open_nodes)
+                popped = frozenset(engine.pop_minimal())
+                assert popped in expected, (trial, popped, expected)
+                for node in popped:
+                    engine.close(node)
+                open_nodes -= popped
+            assert engine.open_count == 0
+
+    def test_every_minimal_component_is_eventually_popped(self):
+        rng = random.Random(99)
+        for _ in range(60):
+            n = rng.randint(2, 12)
+            successors = random_graph(rng, n, rng.uniform(0.1, 0.5))
+            engine = CondensationEngine(range(n), successors)
+            open_nodes = set(range(n))
+            seen = []
+            while open_nodes:
+                popped = engine.pop_minimal()
+                assert popped, "pop_minimal returned an empty component"
+                assert open_nodes.issuperset(popped)
+                seen.append(set(popped))
+                for node in popped:
+                    engine.close(node)
+                open_nodes.difference_update(popped)
+            assert sum(len(c) for c in seen) == n
+
+    def test_close_is_idempotent_and_ignores_unknown(self):
+        successors = [[1], [0], []]
+        engine = CondensationEngine([0, 1], successors, 3)
+        engine.close(2)  # never open: must be a no-op
+        assert set(engine.pop_minimal()) == {0, 1}
+        engine.close(0)
+        engine.close(0)  # double close must not corrupt counters
+        engine.close(1)
+        assert engine.open_count == 0
+
+    def test_parallel_edges_are_counted_consistently(self):
+        # Two parallel edges 0 -> 1; closing 0 must leave {1} minimal.
+        successors = [[1, 1], []]
+        engine = CondensationEngine(range(2), successors)
+        assert set(engine.pop_minimal()) == {0}
+        engine.close(0)
+        assert set(engine.pop_minimal()) == {1}
