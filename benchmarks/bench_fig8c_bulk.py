@@ -54,10 +54,11 @@ def test_fig8c_shape_linear_in_objects(benchmark, bench_report_lines):
 
 
 def test_fig8c_statement_counts(bench_json_records):
-    """Statements stay linear in plan steps (one per copy / flood group).
+    """Statements stay linear in plan steps (one per copy group / flood group).
 
     Records the executed-statement count so BENCH_resolution.json tracks the
-    multi-member flood batching introduced with the incremental SCC engine.
+    grouped-copy and multi-member flood batching; the run must execute as a
+    single transaction over a grouped plan.
     """
     n_objects = OBJECT_COUNTS[1]
     network = figure19_network()
@@ -67,14 +68,76 @@ def test_fig8c_statement_counts(bench_json_records):
     )
     report = resolver.run()
     assert report.statements == resolver.plan.statement_count()
+    assert report.grouped_plan
+    assert report.transactions == 1
     record_scenario(
         bench_json_records,
         f"fig8c_bulk/objects={n_objects}",
         seconds=report.elapsed_seconds,
         statements=report.statements,
         rows_inserted=report.rows_inserted,
+        transactions=report.transactions,
     )
     resolver.store.close()
+
+
+def test_fig8c_grouped_copies_shrink_the_plan(bench_json_records):
+    """Grouped plans issue strictly fewer statements than ungrouped ones
+    while producing the identical relation (cross-checked in tests/bulk)."""
+    n_objects = OBJECT_COUNTS[0]
+    network = figure19_network()
+    statements = {}
+    for label, group_copies in (("grouped", True), ("ungrouped", False)):
+        resolver = BulkResolver(
+            network, explicit_users=BELIEF_USERS, group_copies=group_copies
+        )
+        resolver.load_beliefs(generate_objects(n_objects, seed=11))
+        report = resolver.run()
+        statements[label] = report.statements
+        resolver.store.close()
+    assert statements["grouped"] < statements["ungrouped"]
+    record_scenario(
+        bench_json_records,
+        "fig8c_bulk/copy_grouping",
+        seconds=0.0,
+        grouped_statements=statements["grouped"],
+        ungrouped_statements=statements["ungrouped"],
+    )
+
+
+def test_fig8c_index_strategy_sweep(bench_json_records, bench_report_lines):
+    """The covering-index experiment (ROADMAP item): physical design changes
+    the running time, never the statement count or transaction count."""
+    sweep = fig8c_bulk.run_index_sweep(object_counts=OBJECT_COUNTS)
+    summary = fig8c_bulk.summarize_index_sweep(sweep)
+    assert summary["statements_independent_of_objects"], summary
+    assert summary["one_transaction_per_run"], summary
+    bench_report_lines.append(
+        "Figure 8c — index-strategy sweep (grouped copies, one transaction per run)"
+    )
+    bench_report_lines.append(
+        format_table(
+            sweep,
+            columns=[
+                "index_strategy",
+                "objects",
+                "seconds",
+                "statements",
+                "transactions",
+            ],
+        )
+    )
+    bench_report_lines.append(f"summary: {summary}")
+    for row in sweep:
+        record_scenario(
+            bench_json_records,
+            f"fig8c_bulk/index={row['index_strategy']}/objects={row['objects']}",
+            seconds=row["seconds"],
+            statements=row["statements"],
+            transactions=row["transactions"],
+            copy_seconds=round(row["copy_seconds"], 6),
+            flood_seconds=round(row["flood_seconds"], 6),
+        )
 
 
 def test_fig8c_bulk_time_independent_of_conflicts(benchmark):

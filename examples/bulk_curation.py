@@ -40,6 +40,12 @@ def main(n_objects: int = 5_000) -> None:
         f"Resolved {report.objects} objects in {report.elapsed_seconds:.3f}s "
         f"({report.rows_inserted} rows inserted, {report.conflicts} user/object conflicts remain)"
     )
+    print(
+        f"Execution: {report.statements} statements in {report.transactions} transaction "
+        f"on {report.backend} [{report.index_strategy} indexes]; "
+        f"copy phase {report.phase_seconds['copy']:.3f}s, "
+        f"flood phase {report.phase_seconds['flood']:.3f}s"
+    )
 
     # Spot-check one conflicting and one agreeing object against per-object
     # resolution with Algorithm 1.

@@ -1,9 +1,33 @@
-"""Bulk conflict resolution over many objects via SQL (Section 4)."""
+"""Bulk conflict resolution over many objects via SQL (Section 4).
 
+The package splits the bulk path into four layers:
+
+* :mod:`repro.bulk.planner` — compiles a trust network into an ordered
+  :class:`ResolutionPlan` of copy/flood steps (data-independent);
+* :mod:`repro.bulk.store` — the ``POSS(X, K, V)`` relation plus the bulk
+  ``INSERT … SELECT`` statements and the run-scoped transaction;
+* :mod:`repro.bulk.backends` — pluggable SQL engines and index strategies
+  behind the store;
+* :mod:`repro.bulk.executor` — replays a plan against a store inside one
+  transaction and reports instrumentation.
+"""
+
+from repro.bulk.backends import (
+    BASELINE_INDEXES,
+    COVERING_INDEX,
+    INDEX_STRATEGIES,
+    NO_INDEXES,
+    DbApiBackend,
+    IndexStrategy,
+    SqlBackend,
+    SqliteFileBackend,
+    SqliteMemoryBackend,
+)
 from repro.bulk.executor import BulkResolver, BulkRunReport, SkepticBulkResolver
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
+    GroupedCopyStep,
     ResolutionPlan,
     plan_resolution,
     plan_skeptic_resolution,
@@ -11,15 +35,25 @@ from repro.bulk.planner import (
 from repro.bulk.store import BOTTOM_VALUE, PossRow, PossStore
 
 __all__ = [
+    "BASELINE_INDEXES",
     "BOTTOM_VALUE",
     "BulkResolver",
     "BulkRunReport",
+    "COVERING_INDEX",
     "CopyStep",
+    "DbApiBackend",
     "FloodStep",
+    "GroupedCopyStep",
+    "INDEX_STRATEGIES",
+    "IndexStrategy",
+    "NO_INDEXES",
     "PossRow",
     "PossStore",
     "ResolutionPlan",
     "SkepticBulkResolver",
+    "SqlBackend",
+    "SqliteFileBackend",
+    "SqliteMemoryBackend",
     "plan_resolution",
     "plan_skeptic_resolution",
 ]

@@ -1,0 +1,254 @@
+"""Pluggable relational backends for the ``POSS`` store (Section 4).
+
+The paper runs its bulk experiments inside a full relational engine
+(Microsoft SQL Server in Section 4 / Appendix B.10).  This reproduction keeps
+the same architecture — resolution compiled to ``INSERT … SELECT`` statements
+executed by a database — but abstracts the engine behind a tiny protocol so
+that the store is not welded to one driver:
+
+* :class:`SqliteMemoryBackend` — the default; an in-memory ``sqlite3``
+  database, which is what the Figure 8c benchmarks measure.
+* :class:`SqliteFileBackend` — the same engine persisted to a file, for runs
+  whose ``POSS`` relation outgrows RAM or must survive the process.
+* :class:`DbApiBackend` — the extension point: adapts any PEP 249 (DB-API
+  2.0) connection factory, translating the store's ``qmark`` placeholders to
+  the driver's paramstyle.  This is the seam through which a future PR can
+  ship the bulk path to a client/server engine (the ROADMAP's sharded /
+  multi-engine north star) without touching planner or executor.
+
+Alongside the connection backends, :class:`IndexStrategy` makes the physical
+schema a configuration instead of a fork: the Figure 8c covering-index
+variant (one index serving the ``WHERE X = ?`` probes *and* the ``K, V``
+projection) differs from the baseline only in which ``CREATE INDEX``
+statements run at setup.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+from repro.core.errors import BulkProcessingError
+
+# --------------------------------------------------------------------------- #
+# index strategies                                                             #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class IndexStrategy:
+    """A physical-design choice for the ``POSS(X, K, V)`` relation.
+
+    ``create_statements`` are executed once when the store initializes its
+    schema (after ``CREATE TABLE``); they must be idempotent
+    (``IF NOT EXISTS``) so that reopening an on-disk database works.
+    ``index_names`` lists the indexes the statements create; the store uses
+    it to *drop* indexes left behind by a different strategy when an
+    existing database is reopened, so the physical design always matches
+    the declared strategy.  The Figure 8c sweep in
+    :mod:`repro.experiments.fig8c_bulk` compares the strategies below at a
+    fixed plan, demonstrating that the *statement count* is a property of
+    the plan (independent of physical design) while the *running time* is
+    not.
+    """
+
+    name: str
+    create_statements: Tuple[str, ...]
+    index_names: Tuple[str, ...] = ()
+    description: str = ""
+
+
+#: The seed's physical design: a probe index on ``X`` plus a composite index.
+BASELINE_INDEXES = IndexStrategy(
+    name="baseline",
+    create_statements=(
+        "CREATE INDEX IF NOT EXISTS POSS_X ON POSS (X)",
+        "CREATE INDEX IF NOT EXISTS POSS_XKV ON POSS (X, K, V)",
+    ),
+    index_names=("POSS_X", "POSS_XKV"),
+    description="probe index on X plus composite (X, K, V) index",
+)
+
+#: One covering index: serves the X probes and projects (K, V) without
+#: touching the base table — the Figure 8c covering-index experiment.
+COVERING_INDEX = IndexStrategy(
+    name="covering",
+    create_statements=(
+        "CREATE INDEX IF NOT EXISTS POSS_COVER ON POSS (X, K, V)",
+    ),
+    index_names=("POSS_COVER",),
+    description="single covering index on (X, K, V)",
+)
+
+#: No secondary indexes: every bulk statement scans the heap.  The lower
+#: bound for insert cost and the upper bound for probe cost.
+NO_INDEXES = IndexStrategy(
+    name="none",
+    create_statements=(),
+    index_names=(),
+    description="heap only, no secondary indexes",
+)
+
+#: Registry of the shipped strategies, keyed by name (CLI / sweep entry point).
+INDEX_STRATEGIES: Dict[str, IndexStrategy] = {
+    strategy.name: strategy
+    for strategy in (BASELINE_INDEXES, COVERING_INDEX, NO_INDEXES)
+}
+
+#: Every index name any shipped strategy may have created; reopening a
+#: database under one strategy drops the others' leftovers from this set.
+ALL_INDEX_NAMES: Tuple[str, ...] = tuple(
+    sorted(
+        {
+            name
+            for strategy in INDEX_STRATEGIES.values()
+            for name in strategy.index_names
+        }
+    )
+)
+
+
+def resolve_index_strategy(strategy: "IndexStrategy | str | None") -> IndexStrategy:
+    """Normalize a strategy argument (name, object, or ``None``) to an object."""
+    if strategy is None:
+        return BASELINE_INDEXES
+    if isinstance(strategy, IndexStrategy):
+        return strategy
+    try:
+        return INDEX_STRATEGIES[strategy]
+    except KeyError:
+        raise BulkProcessingError(
+            f"unknown index strategy {strategy!r}; "
+            f"known strategies: {sorted(INDEX_STRATEGIES)}"
+        ) from None
+
+
+# --------------------------------------------------------------------------- #
+# connection backends                                                          #
+# --------------------------------------------------------------------------- #
+
+
+class SqlBackend:
+    """Protocol for relational engines hosting the ``POSS`` relation.
+
+    A backend owns exactly two responsibilities: producing a PEP 249
+    connection (:meth:`connect`) and describing how the store's canonical
+    ``qmark``-style SQL must be rendered for the engine (:meth:`render`).
+    Everything else — schema, statements, transactions — lives in
+    :class:`repro.bulk.store.PossStore`, so adding an engine means
+    implementing these two methods only.
+    """
+
+    #: Human-readable backend identifier (surfaced in ``BulkRunReport``).
+    name: str = "abstract"
+
+    def connect(self) -> Any:
+        """Open and return a DB-API 2.0 connection."""
+        raise NotImplementedError
+
+    def render(self, sql: str) -> str:
+        """Translate canonical ``?``-placeholder SQL to the engine's dialect."""
+        return sql
+
+
+class SqliteMemoryBackend(SqlBackend):
+    """An in-memory ``sqlite3`` database (the default, used by benchmarks)."""
+
+    name = "sqlite-memory"
+
+    def connect(self) -> sqlite3.Connection:
+        """Open a fresh private in-memory database."""
+        return sqlite3.connect(":memory:")
+
+    def __repr__(self) -> str:
+        return "SqliteMemoryBackend()"
+
+
+class SqliteFileBackend(SqlBackend):
+    """An on-disk ``sqlite3`` database at ``path``.
+
+    Lets the ``POSS`` relation exceed RAM and persist across processes; the
+    store's schema setup is idempotent, so reopening an existing file
+    resumes with its rows intact.
+    """
+
+    name = "sqlite-file"
+
+    def __init__(self, path: str) -> None:
+        if not path or path == ":memory:":
+            raise BulkProcessingError(
+                "SqliteFileBackend requires a filesystem path; "
+                "use SqliteMemoryBackend for in-memory databases"
+            )
+        self.path = path
+
+    def connect(self) -> sqlite3.Connection:
+        """Open (creating if necessary) the database file at ``path``."""
+        return sqlite3.connect(self.path)
+
+    def __repr__(self) -> str:
+        return f"SqliteFileBackend({self.path!r})"
+
+
+def sqlite_backend(path: str = ":memory:") -> SqlBackend:
+    """Pick the sqlite backend matching ``path`` (memory sentinel or file)."""
+    if path == ":memory:":
+        return SqliteMemoryBackend()
+    return SqliteFileBackend(path)
+
+
+class DbApiBackend(SqlBackend):
+    """Adapter for any PEP 249 (DB-API 2.0) driver — the extension point.
+
+    Parameters
+    ----------
+    connection_factory:
+        Zero-argument callable returning an open DB-API connection, e.g.
+        ``lambda: psycopg2.connect(dsn)``.
+    paramstyle:
+        The driver's ``paramstyle`` attribute.  ``qmark`` (the canonical
+        style the store emits), ``format`` (``%s``) and ``numeric``
+        (``:1``/``:2``/…) are supported; the named styles would need value
+        mapping and are rejected explicitly.
+    name:
+        Identifier recorded in run reports; defaults to ``dbapi-<paramstyle>``.
+    """
+
+    _SUPPORTED = ("qmark", "format", "numeric")
+
+    def __init__(
+        self,
+        connection_factory: Callable[[], Any],
+        paramstyle: str = "qmark",
+        name: str = "",
+    ) -> None:
+        if paramstyle not in self._SUPPORTED:
+            raise BulkProcessingError(
+                f"unsupported paramstyle {paramstyle!r}; "
+                f"supported: {self._SUPPORTED}"
+            )
+        self._factory = connection_factory
+        self.paramstyle = paramstyle
+        self.name = name or f"dbapi-{paramstyle}"
+
+    def connect(self) -> Any:
+        """Open a connection through the caller-supplied factory."""
+        return self._factory()
+
+    def render(self, sql: str) -> str:
+        """Rewrite ``?`` placeholders into the driver's paramstyle."""
+        if self.paramstyle == "qmark":
+            return sql
+        if self.paramstyle == "format":
+            return sql.replace("?", "%s")
+        # numeric: ? -> :1, :2, ... in textual order.
+        parts = sql.split("?")
+        out = [parts[0]]
+        for position, part in enumerate(parts[1:], start=1):
+            out.append(f":{position}")
+            out.append(part)
+        return "".join(out)
+
+    def __repr__(self) -> str:
+        return f"DbApiBackend(name={self.name!r}, paramstyle={self.paramstyle!r})"

@@ -1,20 +1,28 @@
 """Execution of bulk resolution plans against the ``POSS`` store (Section 4).
 
 The executor replays a :class:`~repro.bulk.planner.ResolutionPlan` as SQL
-statements: a :class:`~repro.bulk.planner.CopyStep` becomes one
-``INSERT … SELECT`` and a :class:`~repro.bulk.planner.FloodStep` becomes one
-multi-member ``INSERT … SELECT`` per group of members sharing the same
-constraint set — for plain Algorithm-1 plans that is a single statement per
-flood step, regardless of component size.  The number of statements is
-therefore linear in the number of plan steps and — crucially for
-Figure 8c — independent of the number of objects and of the number of
-conflicts among them.
+statements inside **one transaction per run**:
+
+* a :class:`~repro.bulk.planner.GroupedCopyStep` becomes one multi-child
+  ``INSERT … SELECT`` (a plain :class:`~repro.bulk.planner.CopyStep`, as
+  emitted by ungrouped plans, becomes one single-child statement);
+* a :class:`~repro.bulk.planner.FloodStep` becomes one multi-member
+  ``INSERT … SELECT`` per group of members sharing the same constraint set —
+  for plain Algorithm-1 plans that is a single statement per flood step,
+  regardless of component size.
+
+The number of statements is therefore linear in the number of plan steps
+and — crucially for Figure 8c — independent of the number of objects and of
+the number of conflicts among them.  Because the whole run is one
+transaction, a mid-run :class:`~repro.core.errors.BulkProcessingError` rolls
+the relation back to its pre-run state (the loaded explicit beliefs commit
+separately and survive).
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
 
 from repro.core.beliefs import Value
@@ -24,6 +32,7 @@ from repro.core.network import TrustNetwork, User
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
+    GroupedCopyStep,
     ResolutionPlan,
     plan_resolution,
     plan_skeptic_resolution,
@@ -33,17 +42,97 @@ from repro.bulk.store import BOTTOM_VALUE, PossStore
 
 @dataclass
 class BulkRunReport:
-    """Instrumentation of one bulk resolution run."""
+    """Instrumentation of one bulk resolution run.
+
+    Beyond the Figure 8c headline numbers (``objects``, ``statements``,
+    ``elapsed_seconds``) the report records the execution configuration so a
+    benchmark sweep can attribute timing differences: ``phase_seconds``
+    splits the run into the Step-1 copy phase and the Step-2 flood phase of
+    Algorithm 1, ``transactions`` counts transactions committed during the
+    run (1 by construction — the one-transaction-per-run model of
+    Section 4), and ``index_strategy`` / ``backend`` name the store's
+    physical design and engine.
+    """
 
     objects: int
     statements: int
     rows_inserted: int
     elapsed_seconds: float
     conflicts: int
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    transactions: int = 1
+    index_strategy: str = "baseline"
+    backend: str = "sqlite-memory"
+    grouped_plan: bool = True
 
 
-class BulkResolver:
-    """Resolve many objects at once through SQL bulk statements.
+class _PlanExecutor:
+    """Shared run loop: replay a plan inside one store transaction.
+
+    Subclasses bind the plan (plain Algorithm 1 vs. Skeptic) and how a
+    flood step maps to SQL via :meth:`_flood`.
+    """
+
+    store: PossStore
+    plan: ResolutionPlan
+
+    def __init__(self) -> None:
+        self._loaded_objects: set = set()
+
+    def _flood(self, step: FloodStep) -> int:
+        raise NotImplementedError
+
+    def run(self) -> BulkRunReport:
+        """Execute the plan in a single transaction and return instrumentation.
+
+        On any error the transaction is rolled back before the exception
+        propagates, leaving the relation exactly as loaded.
+        """
+        store = self.store
+        started = time.perf_counter()
+        statements_before = store.bulk_statements
+        transactions_before = store.transactions
+        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        rows = 0
+        with store.transaction():
+            for step in self.plan.steps:
+                step_started = time.perf_counter()
+                if isinstance(step, GroupedCopyStep):
+                    rows += store.copy_to_children(step.parent, step.children)
+                    phase_seconds["copy"] += time.perf_counter() - step_started
+                elif isinstance(step, CopyStep):
+                    rows += store.copy_from_parent(step.child, step.parent)
+                    phase_seconds["copy"] += time.perf_counter() - step_started
+                elif isinstance(step, FloodStep):
+                    rows += self._flood(step)
+                    phase_seconds["flood"] += time.perf_counter() - step_started
+                else:
+                    raise BulkProcessingError(f"unknown plan step {step!r}")
+        elapsed = time.perf_counter() - started
+        return BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=store.bulk_statements - statements_before,
+            rows_inserted=rows,
+            elapsed_seconds=elapsed,
+            conflicts=store.conflict_count(),
+            phase_seconds=phase_seconds,
+            transactions=store.transactions - transactions_before,
+            index_strategy=store.index_strategy.name,
+            backend=store.backend_name,
+            grouped_plan=self.plan.grouped,
+        )
+
+    def possible_values(self, user: User, key: object) -> FrozenSet[str]:
+        """Possible values of a user for one object after :meth:`run`."""
+        return self.store.possible_values(user, key)
+
+    def certain_values(self, user: User, key: object) -> FrozenSet[str]:
+        """Certain values of a user for one object after :meth:`run`."""
+        return self.store.certain_values(user, key)
+
+
+class BulkResolver(_PlanExecutor):
+    """Resolve many objects at once through SQL bulk statements (Section 4).
 
     Typical use::
 
@@ -51,6 +140,10 @@ class BulkResolver:
         resolver.load_beliefs(beliefs)          # (user, key, value) triples
         report = resolver.run()
         resolver.store.possible_values("x1", "k0")
+
+    ``group_copies`` selects between grouped copy statements (the default,
+    one per distinct parent) and the seed's one-per-child plan; both produce
+    identical relations.
     """
 
     def __init__(
@@ -58,7 +151,9 @@ class BulkResolver:
         network: TrustNetwork,
         store: Optional[PossStore] = None,
         explicit_users: Optional[Sequence[User]] = None,
+        group_copies: bool = True,
     ) -> None:
+        super().__init__()
         self.network = network
         self.store = store or PossStore()
         # Algorithm 1 (and hence the plan) is defined on binary networks; the
@@ -68,8 +163,9 @@ class BulkResolver:
         if not network.is_binary():
             planning_network = binarize(network).btn
         self._planning_network = planning_network
-        self.plan: ResolutionPlan = plan_resolution(planning_network, explicit_users)
-        self._loaded_objects: set = set()
+        self.plan: ResolutionPlan = plan_resolution(
+            planning_network, explicit_users, group_copies=group_copies
+        )
 
     def load_beliefs(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
         """Load explicit beliefs; verifies bulk assumptions (i) and (ii)."""
@@ -92,37 +188,11 @@ class BulkResolver:
                 )
         return self.store.insert_explicit_beliefs(rows)
 
-    def run(self) -> BulkRunReport:
-        """Execute the plan and return instrumentation."""
-        started = time.perf_counter()
-        statements_before = self.store.bulk_statements
-        rows = 0
-        for step in self.plan.steps:
-            if isinstance(step, CopyStep):
-                rows += self.store.copy_from_parent(step.child, step.parent)
-            elif isinstance(step, FloodStep):
-                rows += self.store.flood_component(step.members, step.parents)
-            else:  # pragma: no cover - plans only contain the two step types
-                raise BulkProcessingError(f"unknown plan step {step!r}")
-        elapsed = time.perf_counter() - started
-        return BulkRunReport(
-            objects=len(self._loaded_objects),
-            statements=self.store.bulk_statements - statements_before,
-            rows_inserted=rows,
-            elapsed_seconds=elapsed,
-            conflicts=self.store.conflict_count(),
-        )
-
-    def possible_values(self, user: User, key: object) -> FrozenSet[str]:
-        """Possible values of a user for one object after :meth:`run`."""
-        return self.store.possible_values(user, key)
-
-    def certain_values(self, user: User, key: object) -> FrozenSet[str]:
-        """Certain values of a user for one object after :meth:`run`."""
-        return self.store.certain_values(user, key)
+    def _flood(self, step: FloodStep) -> int:
+        return self.store.flood_component(step.members, step.parents)
 
 
-class SkepticBulkResolver:
+class SkepticBulkResolver(_PlanExecutor):
     """Bulk resolution under the Skeptic paradigm (Appendix B.10, last remark).
 
     Negative constraints are properties of the network (the same filter
@@ -137,44 +207,29 @@ class SkepticBulkResolver:
         positive_users: Sequence[User],
         negative_constraints: Mapping[User, Sequence[Value]],
         store: Optional[PossStore] = None,
+        group_copies: bool = True,
     ) -> None:
+        super().__init__()
         self.network = network
         self.store = store or PossStore()
         self.plan = plan_skeptic_resolution(
-            network, positive_users, dict(negative_constraints)
+            network,
+            positive_users,
+            dict(negative_constraints),
+            group_copies=group_copies,
         )
-        self._loaded_objects: set = set()
 
     def load_beliefs(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
+        """Load the per-object positive beliefs of the positive users."""
         rows = list(rows)
         for _user, key, _value in rows:
             self._loaded_objects.add(str(key))
         return self.store.insert_explicit_beliefs(rows)
 
-    def run(self) -> BulkRunReport:
-        started = time.perf_counter()
-        statements_before = self.store.bulk_statements
-        rows = 0
-        for step in self.plan.steps:
-            if isinstance(step, CopyStep):
-                rows += self.store.copy_from_parent(step.child, step.parent)
-            elif isinstance(step, FloodStep):
-                rows += self.store.flood_component_skeptic(
-                    step.members, step.parents, step.blocked_map()
-                )
-            else:  # pragma: no cover
-                raise BulkProcessingError(f"unknown plan step {step!r}")
-        elapsed = time.perf_counter() - started
-        return BulkRunReport(
-            objects=len(self._loaded_objects),
-            statements=self.store.bulk_statements - statements_before,
-            rows_inserted=rows,
-            elapsed_seconds=elapsed,
-            conflicts=self.store.conflict_count(),
+    def _flood(self, step: FloodStep) -> int:
+        return self.store.flood_component_skeptic(
+            step.members, step.parents, step.blocked_map()
         )
-
-    def possible_values(self, user: User, key: object) -> FrozenSet[str]:
-        return self.store.possible_values(user, key)
 
     def bottom_value(self) -> str:
         """The sentinel representing ⊥ in the relation."""

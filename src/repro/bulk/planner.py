@@ -11,9 +11,12 @@ Algorithm 1 (and Algorithm 2) depends only on the network topology and on
 *which* users have explicit beliefs — not on the actual values.  The planner
 therefore runs the closed/open bookkeeping once on the network and records
 the steps; the executor then replays each step as SQL over all objects at
-once (one statement per :class:`CopyStep`, and one statement per group of
-same-constraint members per :class:`FloodStep` — for plain Algorithm-1 plans
-that is a single statement per flood step regardless of component size).
+once.  Statement batching keeps the statement count a function of the
+network alone: copy steps sharing a parent merge into one multi-child
+:class:`GroupedCopyStep` (one ``INSERT … SELECT`` per distinct parent), and
+a :class:`FloodStep` issues one statement per group of same-constraint
+members — for plain Algorithm-1 plans a single statement per flood step
+regardless of component size.
 
 Like :mod:`repro.core.resolution`, the planner discovers minimal SCCs
 through the incremental condensation engine (:mod:`repro.core.sccs`), so
@@ -35,10 +38,41 @@ from repro.core.skeptic import propagate_forced_negatives
 
 @dataclass(frozen=True)
 class CopyStep:
-    """Step 1 of Algorithm 1: copy all values from a preferred parent."""
+    """Step 1 of Algorithm 1: copy all values from a preferred parent.
+
+    One step is one single-child ``INSERT … SELECT``.  Grouped plans merge
+    all copy steps sharing a parent into one :class:`GroupedCopyStep`.
+    """
 
     parent: User
     child: User
+
+    def statement_count(self) -> int:
+        """SQL statements the executor issues for this step (always 1)."""
+        return 1
+
+
+@dataclass(frozen=True)
+class GroupedCopyStep:
+    """Step 1 of Algorithm 1, batched: copy a parent's values to many children.
+
+    Every :class:`CopyStep` sharing the same parent collapses into one
+    multi-child ``INSERT … SELECT`` (see
+    :meth:`repro.bulk.store.PossStore.copy_to_children`).  This is sound
+    because a user's rows are final once it closes, and it closes before the
+    first copy that reads from it: executing the later same-parent copies
+    early cannot change what any intervening statement reads, since every
+    bulk statement selects rows for explicitly named users only.  The
+    grouped statement count is therefore one per *distinct parent* instead
+    of one per child, shrinking the plan without changing its output.
+    """
+
+    parent: User
+    children: Tuple[User, ...]
+
+    def statement_count(self) -> int:
+        """SQL statements the executor issues for this step."""
+        return 1 if self.children else 0
 
 
 @dataclass(frozen=True)
@@ -54,6 +88,7 @@ class FloodStep:
     blocked: Tuple[Tuple[User, Tuple[Value, ...]], ...] = ()
 
     def blocked_map(self) -> Dict[str, Tuple[Value, ...]]:
+        """``blocked`` as a mapping from member name to rejected values."""
         return {str(user): values for user, values in self.blocked}
 
     def statement_count(self) -> int:
@@ -71,40 +106,140 @@ class FloodStep:
         return sum(2 if rejected else 1 for rejected in groups)
 
 
-ResolutionStep = object  # CopyStep | FloodStep
+ResolutionStep = object  # CopyStep | GroupedCopyStep | FloodStep
 
 
 @dataclass
 class ResolutionPlan:
-    """An ordered list of bulk-resolution steps for a fixed network."""
+    """An ordered list of bulk-resolution steps for a fixed network.
+
+    ``grouped`` records whether same-parent copy steps were merged into
+    :class:`GroupedCopyStep`\\ s (the default); :meth:`grouped_copies` /
+    :meth:`ungrouped_copies` convert between the two representations without
+    re-planning.
+    """
 
     network: TrustNetwork
     explicit_users: FrozenSet[User]
     steps: List[ResolutionStep] = field(default_factory=list)
+    grouped: bool = False
 
     @property
-    def copy_steps(self) -> List[CopyStep]:
-        return [step for step in self.steps if isinstance(step, CopyStep)]
+    def copy_steps(self) -> List["CopyStep | GroupedCopyStep"]:
+        """Copy steps (single-child or grouped), in execution order."""
+        return [
+            step
+            for step in self.steps
+            if isinstance(step, (CopyStep, GroupedCopyStep))
+        ]
 
     @property
     def flood_steps(self) -> List[FloodStep]:
+        """Flood steps, in execution order."""
         return [step for step in self.steps if isinstance(step, FloodStep)]
+
+    def copied_children(self) -> List[User]:
+        """Every user that receives a Step-1 copy, in execution order."""
+        children: List[User] = []
+        for step in self.steps:
+            if isinstance(step, CopyStep):
+                children.append(step.child)
+            elif isinstance(step, GroupedCopyStep):
+                children.extend(step.children)
+        return children
 
     def statement_count(self) -> int:
         """Number of SQL statements the executor will issue."""
-        return len(self.copy_steps) + sum(
-            step.statement_count() for step in self.flood_steps
+        return sum(step.statement_count() for step in self.steps)
+
+    def grouped_copies(self) -> "ResolutionPlan":
+        """This plan with same-parent copy steps merged (idempotent)."""
+        if self.grouped:
+            return self
+        return ResolutionPlan(
+            network=self.network,
+            explicit_users=self.explicit_users,
+            steps=_group_copy_steps(self.steps),
+            grouped=True,
+        )
+
+    def ungrouped_copies(self) -> "ResolutionPlan":
+        """This plan with grouped copy steps expanded back to single copies.
+
+        The expansion keeps each group's position and child order, which is
+        exactly the order the ungrouped planner emitted them in — useful for
+        the grouped-vs-ungrouped equivalence tests.
+        """
+        if not self.grouped:
+            return self
+        steps: List[ResolutionStep] = []
+        for step in self.steps:
+            if isinstance(step, GroupedCopyStep):
+                steps.extend(
+                    CopyStep(parent=step.parent, child=child)
+                    for child in step.children
+                )
+            else:
+                steps.append(step)
+        return ResolutionPlan(
+            network=self.network,
+            explicit_users=self.explicit_users,
+            steps=steps,
+            grouped=False,
         )
 
 
+def _group_copy_steps(steps: Sequence[ResolutionStep]) -> List[ResolutionStep]:
+    """Merge same-parent :class:`CopyStep`\\ s into :class:`GroupedCopyStep`\\ s.
+
+    Each group lands at the position of its parent's *first* copy step.
+    Moving the later same-parent copies earlier is sound (see
+    :class:`GroupedCopyStep`): the parent's rows are already final there,
+    and no intervening statement reads the children being filled early.
+    Flood steps keep their positions.
+    """
+    children_of: Dict[User, List[User]] = {}
+    grouped: List[ResolutionStep] = []
+    for step in steps:
+        if isinstance(step, CopyStep):
+            known = children_of.get(step.parent)
+            if known is None:
+                children: List[User] = [step.child]
+                children_of[step.parent] = children
+                # Placeholder keeps first-occurrence order; filled below
+                # once the parent's full child list is known.
+                grouped.append(step.parent)
+            else:
+                known.append(step.child)
+        else:
+            grouped.append(step)
+    out: List[ResolutionStep] = []
+    for entry in grouped:
+        if isinstance(entry, (FloodStep, CopyStep, GroupedCopyStep)):
+            out.append(entry)
+        else:
+            out.append(
+                GroupedCopyStep(parent=entry, children=tuple(children_of[entry]))
+            )
+    return out
+
+
 def plan_resolution(
-    network: TrustNetwork, explicit_users: Optional[Sequence[User]] = None
+    network: TrustNetwork,
+    explicit_users: Optional[Sequence[User]] = None,
+    group_copies: bool = True,
 ) -> ResolutionPlan:
     """Build the Algorithm-1 resolution plan for a network.
 
     ``explicit_users`` defaults to the users carrying explicit beliefs in the
     network itself; passing it explicitly supports planning against a
     template network whose per-object values live only in the store.
+
+    With ``group_copies`` (the default) all copy steps sharing a parent are
+    merged into one :class:`GroupedCopyStep`, so the executor issues one
+    multi-child ``INSERT … SELECT`` per distinct parent; pass ``False`` to
+    keep the seed's one-statement-per-child plan (the equivalence tests
+    compare the two).
     """
     users_with_beliefs = _explicit_users(network, explicit_users)
     plan = ResolutionPlan(network=network, explicit_users=users_with_beliefs)
@@ -168,13 +303,14 @@ def plan_resolution(
             engine.close(index[member])
             for child in children_pref.get(member, ()):
                 heapq.heappush(heap, (str(child), child))
-    return plan
+    return plan.grouped_copies() if group_copies else plan
 
 
 def plan_skeptic_resolution(
     network: TrustNetwork,
     positive_users: Sequence[User],
     negative_constraints: Dict[User, Sequence[Value]],
+    group_copies: bool = True,
 ) -> ResolutionPlan:
     """Build the Algorithm-2 (Skeptic) plan for bulk resolution.
 
@@ -183,6 +319,11 @@ def plan_skeptic_resolution(
     rejected values) they apply to *every* object.  Constraints are network
     properties here, matching bulk assumption (i) that the trust structure —
     including filters — is shared across objects.
+
+    ``group_copies`` behaves as in :func:`plan_resolution`: grouping is
+    sound for Skeptic plans too, because Type-2 membership (which gates a
+    copy's admission into the plan) is decided at planning time and copied
+    rows are final once a user closes.
     """
     positive = frozenset(positive_users)
     plan = ResolutionPlan(network=network, explicit_users=positive)
@@ -281,7 +422,7 @@ def plan_skeptic_resolution(
             if member_type2:
                 for child in children_pref.get(member, ()):
                     heapq.heappush(heap, (str(child), child))
-    return plan
+    return plan.grouped_copies() if group_copies else plan
 
 
 # ---------------------------------------------------------------------- #

@@ -3,28 +3,45 @@
 The paper stores possible values in a single relation ``POSS(X, K, V)`` —
 user, object key, value — inside a relational engine (Microsoft SQL Server in
 the original experiments) and drives resolution with bulk ``INSERT … SELECT``
-statements.  This module provides that relation on top of :mod:`sqlite3`,
-which ships with CPython and therefore keeps the reproduction dependency-free
-while preserving the set-oriented execution the experiment measures.
+statements.  :class:`PossStore` provides that relation on top of a pluggable
+:class:`~repro.bulk.backends.SqlBackend` (``sqlite3`` in memory by default,
+on disk or any DB-API 2.0 engine by configuration), which keeps the
+reproduction dependency-free while preserving the set-oriented execution the
+Section 4 experiment measures.
+
+Transactions follow the paper's execution model: a bulk run is *one*
+relational transaction.  The executor opens a run-scoped
+:meth:`PossStore.transaction` around the whole plan; inside it the
+statement methods defer to the single run commit, so a mid-run failure
+rolls the relation back to its pre-run state.  Outside a run transaction
+(direct store use, loading explicit beliefs) every method commits its own
+work, keeping on-disk databases durable across :meth:`PossStore.close`.
 """
 
 from __future__ import annotations
 
-import sqlite3
+import contextlib
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.beliefs import Value
 from repro.core.errors import BulkProcessingError
 from repro.core.network import User
+from repro.bulk.backends import (
+    ALL_INDEX_NAMES,
+    IndexStrategy,
+    SqlBackend,
+    resolve_index_strategy,
+    sqlite_backend,
+)
 
 #: Reserved value representing ⊥ in the Skeptic bulk variant.
 BOTTOM_VALUE = "__BOTTOM__"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, order=True)
 class PossRow:
-    """One row of the ``POSS`` relation."""
+    """One row of the ``POSS`` relation (ordered for canonical snapshots)."""
 
     user: str
     key: str
@@ -32,32 +49,125 @@ class PossRow:
 
 
 class PossStore:
-    """The ``POSS(X, K, V)`` relation backed by an sqlite3 database.
+    """The ``POSS(X, K, V)`` relation behind a pluggable SQL backend.
 
     Parameters
     ----------
     path:
-        Database path; the default ``":memory:"`` keeps everything in RAM,
-        which is what the benchmarks use.
+        Convenience shorthand for the sqlite backends: the default
+        ``":memory:"`` keeps everything in RAM (what the benchmarks use);
+        any other string selects an on-disk sqlite database.  Ignored when
+        ``backend`` is given.
+    backend:
+        A :class:`~repro.bulk.backends.SqlBackend`; overrides ``path``.
+    index_strategy:
+        An :class:`~repro.bulk.backends.IndexStrategy` (or its name) fixing
+        the physical design of the relation; defaults to the seed's
+        ``baseline`` strategy.  See the Figure 8c index sweep.
     """
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
+    def __init__(
+        self,
+        path: str = ":memory:",
+        backend: Optional[SqlBackend] = None,
+        index_strategy: "IndexStrategy | str | None" = None,
+    ) -> None:
+        self._backend = backend if backend is not None else sqlite_backend(path)
+        self._index_strategy = resolve_index_strategy(index_strategy)
+        self._connection = self._backend.connect()
         self._bulk_statements = 0
-        self._connection.execute(
-            "CREATE TABLE IF NOT EXISTS POSS (X TEXT NOT NULL, K TEXT NOT NULL, V TEXT NOT NULL)"
+        self._transactions = 0
+        self._in_transaction = False
+        self._execute(
+            "CREATE TABLE IF NOT EXISTS POSS "
+            "(X TEXT NOT NULL, K TEXT NOT NULL, V TEXT NOT NULL)"
         )
-        self._connection.execute(
-            "CREATE INDEX IF NOT EXISTS POSS_X ON POSS (X)"
-        )
-        self._connection.execute(
-            "CREATE INDEX IF NOT EXISTS POSS_XKV ON POSS (X, K, V)"
-        )
-        self._connection.commit()
+        # Reconcile the physical design: an on-disk database may carry
+        # indexes from a previous strategy; drop anything this strategy
+        # does not declare so reports never misattribute timings.
+        declared = set(self._index_strategy.index_names)
+        for index_name in ALL_INDEX_NAMES:
+            if index_name not in declared:
+                self._execute(f"DROP INDEX IF EXISTS {index_name}")
+        for statement in self._index_strategy.create_statements:
+            self._execute(statement)
+        self._commit()
+
+    # ------------------------------------------------------------------ #
+    # plumbing                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _execute(self, sql: str, parameters: Sequence[object] = ()):
+        """Run one statement via a DB-API cursor, rendered for the backend."""
+        cursor = self._connection.cursor()
+        cursor.execute(self._backend.render(sql), tuple(parameters))
+        return cursor
+
+    def _commit(self) -> None:
+        """Commit now unless a run-scoped transaction is open."""
+        if not self._in_transaction:
+            self._connection.commit()
+            self._transactions += 1
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                            #
     # ------------------------------------------------------------------ #
+
+    @property
+    def backend_name(self) -> str:
+        """Identifier of the backend hosting the relation."""
+        return self._backend.name
+
+    @property
+    def index_strategy(self) -> IndexStrategy:
+        """The physical-design strategy the relation was created with."""
+        return self._index_strategy
+
+    @property
+    def transactions(self) -> int:
+        """Number of transactions committed so far on this connection."""
+        return self._transactions
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a run-scoped :meth:`transaction` is currently open."""
+        return self._in_transaction
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator["PossStore"]:
+        """Run-scoped transaction: commit on success, roll back on error.
+
+        This is the one-transaction-per-run execution model of Section 4:
+        the executor wraps an entire resolution plan in a single
+        ``transaction()`` block, inside which the statement methods below
+        skip their per-statement commits, so a mid-run failure (e.g. a
+        :class:`~repro.core.errors.BulkProcessingError`) leaves the relation
+        exactly as it was before the run.  Nesting is rejected — a run is
+        one transaction by construction.
+        """
+        if self._in_transaction:
+            raise BulkProcessingError("transaction already in progress")
+        # Open a real transaction even on connections that default to
+        # autocommit (e.g. sqlite3 with isolation_level=None): without it,
+        # rollback() would silently be a no-op and the pre-run state could
+        # not be restored.  Drivers that already opened an implicit
+        # transaction reject the extra BEGIN — that is fine, the statements
+        # below then join the driver-managed transaction.
+        try:
+            self._execute("BEGIN")
+        except Exception:
+            pass
+        self._in_transaction = True
+        try:
+            yield self
+        except BaseException:
+            self._connection.rollback()
+            raise
+        else:
+            self._connection.commit()
+            self._transactions += 1
+        finally:
+            self._in_transaction = False
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -71,8 +181,8 @@ class PossStore:
 
     def clear(self) -> None:
         """Delete every row."""
-        self._connection.execute("DELETE FROM POSS")
-        self._connection.commit()
+        self._execute("DELETE FROM POSS")
+        self._commit()
 
     # ------------------------------------------------------------------ #
     # loading                                                              #
@@ -81,14 +191,22 @@ class PossStore:
     def insert_explicit_beliefs(
         self, rows: Iterable[Tuple[User, object, Value]]
     ) -> int:
-        """Bulk-load explicit beliefs as ``(user, key, value)`` triples."""
+        """Bulk-load explicit beliefs as ``(user, key, value)`` triples.
+
+        This is the durable source data of Section 4 (the per-object values
+        the two explicit users publish); unlike the resolution statements it
+        commits immediately, so a later rolled-back run leaves it in place.
+        """
         data = [(str(user), str(key), str(value)) for user, key, value in rows]
-        self._connection.executemany("INSERT INTO POSS (X, K, V) VALUES (?, ?, ?)", data)
-        self._connection.commit()
+        cursor = self._connection.cursor()
+        cursor.executemany(
+            self._backend.render("INSERT INTO POSS (X, K, V) VALUES (?, ?, ?)"), data
+        )
+        self._commit()
         return len(data)
 
     # ------------------------------------------------------------------ #
-    # the two bulk statements of Section 4                                 #
+    # the bulk statements of Section 4                                     #
     # ------------------------------------------------------------------ #
 
     @property
@@ -99,17 +217,45 @@ class PossStore:
     def copy_from_parent(self, child: User, parent: User) -> int:
         """Step-1 bulk insert: copy every (key, value) of ``parent`` to ``child``.
 
-        Mirrors::
+        Mirrors the single-child statement of Section 4::
 
             insert into POSS
             select 'x' AS X, t.K, t.V from POSS t where t.X = 'z'
         """
-        cursor = self._connection.execute(
+        cursor = self._execute(
             "INSERT INTO POSS (X, K, V) SELECT ?, t.K, t.V FROM POSS t WHERE t.X = ?",
             (str(child), str(parent)),
         )
         self._bulk_statements += 1
-        self._connection.commit()
+        self._commit()
+        return cursor.rowcount
+
+    def copy_to_children(self, parent: User, children: Sequence[User]) -> int:
+        """Grouped Step-1 insert: copy ``parent``'s rows to *all* ``children``.
+
+        One multi-child statement replaces ``len(children)`` single-child
+        copies (the grouped-copy batching of
+        :func:`repro.bulk.planner.plan_resolution`): the child names form an
+        inline ``VALUES`` relation cross-joined with the parent's rows::
+
+            insert into POSS
+            select c.column1 AS X, t.K, t.V
+            from (values ('x1'), …, ('xn')) c,
+                 (select t.K, t.V from POSS t where t.X = 'z') t
+        """
+        if not children:
+            return 0
+        if len(children) == 1:
+            return self.copy_from_parent(children[0], parent)
+        child_rows = ",".join("(?)" for _ in children)
+        cursor = self._execute(
+            f"INSERT INTO POSS (X, K, V) "
+            f"SELECT c.column1, t.K, t.V FROM (VALUES {child_rows}) AS c, "
+            f"(SELECT s.K, s.V FROM POSS s WHERE s.X = ?) AS t",
+            (*[str(child) for child in children], str(parent)),
+        )
+        self._bulk_statements += 1
+        self._commit()
         return cursor.rowcount
 
     def flood_component(self, members: Sequence[User], parents: Sequence[User]) -> int:
@@ -130,7 +276,7 @@ class PossStore:
             return 0
         member_rows = ",".join("(?)" for _ in members)
         parent_placeholders = ",".join("?" for _ in parents)
-        cursor = self._connection.execute(
+        cursor = self._execute(
             f"INSERT INTO POSS (X, K, V) "
             f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
             f"(SELECT DISTINCT s.K, s.V FROM POSS s "
@@ -141,7 +287,7 @@ class PossStore:
             ),
         )
         self._bulk_statements += 1
-        self._connection.commit()
+        self._commit()
         return cursor.rowcount
 
     def flood_component_skeptic(
@@ -173,7 +319,7 @@ class PossStore:
             member_rows = ",".join("(?)" for _ in group_members)
             if rejected:
                 value_placeholders = ",".join("?" for _ in rejected)
-                cursor = self._connection.execute(
+                cursor = self._execute(
                     f"INSERT INTO POSS (X, K, V) "
                     f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
                     f"(SELECT DISTINCT s.K, s.V FROM POSS s "
@@ -184,7 +330,7 @@ class PossStore:
                 total += cursor.rowcount
                 # Parameter order follows textual appearance: the ⊥ scalar
                 # precedes the VALUES member list in the bottom statement.
-                cursor = self._connection.execute(
+                cursor = self._execute(
                     f"INSERT INTO POSS (X, K, V) "
                     f"SELECT m.column1, t.K, ? FROM (VALUES {member_rows}) AS m, "
                     f"(SELECT DISTINCT s.K FROM POSS s "
@@ -195,7 +341,7 @@ class PossStore:
                 total += cursor.rowcount
                 self._bulk_statements += 2
             else:
-                cursor = self._connection.execute(
+                cursor = self._execute(
                     f"INSERT INTO POSS (X, K, V) "
                     f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
                     f"(SELECT DISTINCT s.K, s.V FROM POSS s "
@@ -204,7 +350,7 @@ class PossStore:
                 )
                 total += cursor.rowcount
                 self._bulk_statements += 1
-        self._connection.commit()
+        self._commit()
         return total
 
     # ------------------------------------------------------------------ #
@@ -213,7 +359,7 @@ class PossStore:
 
     def possible_values(self, user: User, key: object) -> FrozenSet[str]:
         """Possible values of one user for one object."""
-        cursor = self._connection.execute(
+        cursor = self._execute(
             "SELECT DISTINCT V FROM POSS WHERE X = ? AND K = ?",
             (str(user), str(key)),
         )
@@ -226,19 +372,19 @@ class PossStore:
 
     def possible_table(self) -> List[PossRow]:
         """The full (distinct) content of the relation."""
-        cursor = self._connection.execute("SELECT DISTINCT X, K, V FROM POSS")
+        cursor = self._execute("SELECT DISTINCT X, K, V FROM POSS")
         return [PossRow(*row) for row in cursor.fetchall()]
 
     def certain_snapshot(self) -> Dict[Tuple[str, str], str]:
         """The certain value for every (user, key) with exactly one value."""
-        cursor = self._connection.execute(
+        cursor = self._execute(
             "SELECT X, K, MIN(V) FROM POSS GROUP BY X, K HAVING COUNT(DISTINCT V) = 1"
         )
         return {(row[0], row[1]): row[2] for row in cursor.fetchall()}
 
     def conflict_count(self) -> int:
         """Number of (user, key) pairs with more than one possible value."""
-        cursor = self._connection.execute(
+        cursor = self._execute(
             "SELECT COUNT(*) FROM ("
             "SELECT X, K FROM POSS GROUP BY X, K HAVING COUNT(DISTINCT V) > 1)"
         )
@@ -246,15 +392,15 @@ class PossStore:
 
     def row_count(self) -> int:
         """Total number of rows currently stored."""
-        cursor = self._connection.execute("SELECT COUNT(*) FROM POSS")
+        cursor = self._execute("SELECT COUNT(*) FROM POSS")
         return int(cursor.fetchone()[0])
 
     def users(self) -> FrozenSet[str]:
         """Users mentioned in the relation."""
-        cursor = self._connection.execute("SELECT DISTINCT X FROM POSS")
+        cursor = self._execute("SELECT DISTINCT X FROM POSS")
         return frozenset(row[0] for row in cursor.fetchall())
 
     def keys(self) -> FrozenSet[str]:
         """Object keys mentioned in the relation."""
-        cursor = self._connection.execute("SELECT DISTINCT K FROM POSS")
+        cursor = self._execute("SELECT DISTINCT K FROM POSS")
         return frozenset(row[0] for row in cursor.fetchall())

@@ -411,4 +411,5 @@ class CondensationEngine:
         return self._open_count
 
     def is_open(self, node: int) -> bool:
+        """Whether ``node`` is still open (not yet closed via :meth:`close`)."""
         return bool(self._open[node])

@@ -97,6 +97,78 @@ class TestBulkResolver:
         resolver.store.close()
 
 
+def serialized_relation(store) -> bytes:
+    """The full POSS relation as a canonical byte string."""
+    rows = sorted(store.possible_table())
+    return "\n".join(f"{row.user}|{row.key}|{row.value}" for row in rows).encode()
+
+
+class TestGroupedCopyEquivalence:
+    """Grouped copy plans must resolve byte-identically to ungrouped ones."""
+
+    def test_figure19_grouped_matches_ungrouped(self):
+        network = figure19_network()
+        rows = generate_objects(30, conflict_probability=0.5, seed=19)
+        relations = []
+        statements = []
+        for group_copies in (True, False):
+            resolver = BulkResolver(
+                network, explicit_users=BELIEF_USERS, group_copies=group_copies
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            statements.append(report.statements)
+            relations.append(serialized_relation(resolver.store))
+            resolver.store.close()
+        assert relations[0] == relations[1]
+        assert statements[0] <= statements[1]
+
+    def test_fanout_network_grouped_is_fewer_statements_same_relation(self):
+        tn = TrustNetwork()
+        for child in ("b", "c", "d", "e"):
+            tn.add_trust(child, "a", priority=1)
+        tn.add_trust("f", "b", priority=1)
+        tn.add_trust("g", "b", priority=1)
+        rows = [("a", f"k{i}", f"v{i}") for i in range(10)]
+        relations = []
+        statements = []
+        for group_copies in (True, False):
+            resolver = BulkResolver(
+                tn, explicit_users=["a"], group_copies=group_copies
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            statements.append(report.statements)
+            relations.append(serialized_relation(resolver.store))
+            resolver.store.close()
+        assert relations[0] == relations[1]
+        # 6 single-child copies collapse to 2 grouped ones (parents a and b).
+        assert statements == [2, 6]
+
+    def test_skeptic_grouped_matches_ungrouped(self):
+        tn = TrustNetwork()
+        tn.add_trust("p", "source", priority=2)
+        tn.add_trust("r", "source", priority=2)
+        tn.add_trust("p2", "p", priority=2)
+        tn.add_trust("q", "filter", priority=2)
+        tn.add_trust("q", "p", priority=1)
+        relations = []
+        for group_copies in (True, False):
+            resolver = SkepticBulkResolver(
+                tn,
+                positive_users=["source"],
+                negative_constraints={"filter": ["v0"]},
+                group_copies=group_copies,
+            )
+            resolver.load_beliefs(
+                [("source", "k0", "v0"), ("source", "k1", "v1")]
+            )
+            resolver.run()
+            relations.append(serialized_relation(resolver.store))
+            resolver.store.close()
+        assert relations[0] == relations[1]
+
+
 class TestSkepticBulkResolver:
     def test_blocked_value_becomes_bottom(self):
         tn = TrustNetwork()

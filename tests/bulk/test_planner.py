@@ -7,6 +7,7 @@ import pytest
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
+    GroupedCopyStep,
     plan_resolution,
     plan_skeptic_resolution,
 )
@@ -20,9 +21,47 @@ class TestPlanResolution:
         tn.add_trust("b", "a", priority=1)
         tn.add_trust("c", "b", priority=1)
         plan = plan_resolution(tn, explicit_users=["a"])
+        assert all(isinstance(step, GroupedCopyStep) for step in plan.steps)
+        assert plan.copied_children() == ["b", "c"]
+        # Distinct parents (a and b), so grouping cannot shrink the chain.
+        assert plan.statement_count() == 2
+
+    def test_ungrouped_plan_keeps_single_copy_steps(self):
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        plan = plan_resolution(tn, explicit_users=["a"], group_copies=False)
+        assert not plan.grouped
         assert all(isinstance(step, CopyStep) for step in plan.steps)
         assert [step.child for step in plan.copy_steps] == ["b", "c"]
         assert plan.statement_count() == 2
+
+    def test_shared_parent_copies_collapse_into_one_statement(self):
+        tn = TrustNetwork()
+        for child in ("b", "c", "d"):
+            tn.add_trust(child, "a", priority=1)
+        grouped = plan_resolution(tn, explicit_users=["a"])
+        ungrouped = plan_resolution(tn, explicit_users=["a"], group_copies=False)
+        assert ungrouped.statement_count() == 3
+        assert grouped.statement_count() == 1
+        (step,) = grouped.steps
+        assert isinstance(step, GroupedCopyStep)
+        assert step.parent == "a"
+        assert set(step.children) == {"b", "c", "d"}
+
+    def test_grouping_roundtrip_preserves_child_order(self):
+        tn = TrustNetwork()
+        for child in ("b", "c", "d"):
+            tn.add_trust(child, "a", priority=1)
+        tn.add_trust("e", "b", priority=1)
+        ungrouped = plan_resolution(tn, explicit_users=["a"], group_copies=False)
+        grouped = ungrouped.grouped_copies()
+        assert grouped.grouped
+        assert grouped.ungrouped_copies().steps == ungrouped.steps
+        assert grouped.copied_children() != []
+        assert sorted(map(str, grouped.copied_children())) == sorted(
+            map(str, ungrouped.copied_children())
+        )
 
     def test_cycle_produces_flood_step(self, oscillator_network):
         plan = plan_resolution(oscillator_network)
@@ -44,8 +83,7 @@ class TestPlanResolution:
         tn.add_trust("b", "a", priority=1)
         tn.add_trust("d", "c", priority=1)  # c has no belief
         plan = plan_resolution(tn, explicit_users=["a"])
-        children = {step.child for step in plan.copy_steps}
-        assert children == {"b"}
+        assert plan.copied_children() == ["b"]
 
     def test_statement_count_independent_of_values(self, oscillator_network):
         plan = plan_resolution(oscillator_network)
@@ -86,3 +124,20 @@ class TestSkepticPlan:
         )
         assert len(plain.steps) == len(skeptic.steps)
         assert plain.statement_count() == skeptic.statement_count()
+
+    def test_skeptic_grouping_matches_ungrouped_children(self):
+        tn = TrustNetwork()
+        tn.add_trust("p", "source", priority=2)
+        tn.add_trust("r", "source", priority=2)
+        tn.add_trust("s", "p", priority=2)
+        grouped = plan_skeptic_resolution(
+            tn, positive_users=["source"], negative_constraints={}
+        )
+        ungrouped = plan_skeptic_resolution(
+            tn, positive_users=["source"], negative_constraints={}, group_copies=False
+        )
+        assert grouped.grouped and not ungrouped.grouped
+        assert sorted(map(str, grouped.copied_children())) == sorted(
+            map(str, ungrouped.copied_children())
+        )
+        assert grouped.statement_count() <= ungrouped.statement_count()

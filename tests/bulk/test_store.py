@@ -47,6 +47,26 @@ class TestBulkStatements:
         assert store.possible_values("x", "k1") == frozenset({"v"})
         assert store.possible_values("x", "k2") == frozenset({"w"})
 
+    def test_copy_to_children_fills_every_child_in_one_statement(self, store):
+        store.insert_explicit_beliefs([("z", "k1", "v"), ("z", "k2", "w")])
+        statements_before = store.bulk_statements
+        copied = store.copy_to_children("z", ["x", "y"])
+        assert copied == 4
+        assert store.bulk_statements == statements_before + 1
+        for child in ("x", "y"):
+            assert store.possible_values(child, "k1") == frozenset({"v"})
+            assert store.possible_values(child, "k2") == frozenset({"w"})
+
+    def test_copy_to_children_single_child_matches_copy_from_parent(self, store):
+        store.insert_explicit_beliefs([("z", "k1", "v")])
+        assert store.copy_to_children("z", ["x"]) == 1
+        assert store.possible_values("x", "k1") == frozenset({"v"})
+
+    def test_copy_to_children_without_children_is_noop(self, store):
+        statements_before = store.bulk_statements
+        assert store.copy_to_children("z", []) == 0
+        assert store.bulk_statements == statements_before
+
     def test_flood_component_unions_parent_values(self, store):
         store.insert_explicit_beliefs(
             [("z1", "k1", "v"), ("z2", "k1", "w"), ("z1", "k2", "v"), ("z2", "k2", "v")]
