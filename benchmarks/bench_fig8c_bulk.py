@@ -140,6 +140,54 @@ def test_fig8c_index_strategy_sweep(bench_json_records, bench_report_lines):
         )
 
 
+def test_fig8c_shard_sweep(bench_json_records, bench_report_lines):
+    """The scatter/gather experiment: the identical plan DAG replays on every
+    shard of a key-partitioned store, so statements-per-shard stays at the
+    unsharded plan's count (6 for Figure 19) for every shard count, with one
+    all-or-nothing transaction per shard."""
+    unsharded_plan_statements = None
+    sweep = fig8c_bulk.run_shard_sweep(
+        object_counts=OBJECT_COUNTS[:2], shard_counts=(1, 2, 4)
+    )
+    summary = fig8c_bulk.summarize_shard_sweep(sweep)
+    assert summary["statements_per_shard_fixed"], summary
+    assert summary["one_transaction_per_shard"], summary
+    for row in sweep:
+        if row["shards"] == 1:
+            unsharded_plan_statements = row["statements_per_shard"]
+    assert summary["statements_per_shard_observed"] == [unsharded_plan_statements]
+    bench_report_lines.append(
+        "Figure 8c — shard sweep (same plan DAG replayed on every shard)"
+    )
+    bench_report_lines.append(
+        format_table(
+            sweep,
+            columns=[
+                "shards",
+                "objects",
+                "seconds",
+                "statements_per_shard",
+                "transactions",
+                "dag_stages",
+            ],
+        )
+    )
+    bench_report_lines.append(f"summary: {summary}")
+    for row in sweep:
+        record_scenario(
+            bench_json_records,
+            f"fig8c_bulk/shards={row['shards']}/objects={row['objects']}",
+            seconds=row["seconds"],
+            statements=row["statements"],
+            statements_per_shard=row["statements_per_shard"],
+            transactions=row["transactions"],
+            shards=row["shards"],
+            dag_stages=row["dag_stages"],
+            max_shard_seconds=round(row["max_shard_seconds"], 6),
+            shard_balance=row["shard_balance"],
+        )
+
+
 def test_fig8c_bulk_time_independent_of_conflicts(benchmark):
     """The paper: bulk resolution time does not depend on how many objects conflict."""
     n_objects = OBJECT_COUNTS[1]

@@ -3,13 +3,18 @@
 The package splits the bulk path into four layers:
 
 * :mod:`repro.bulk.planner` — compiles a trust network into an ordered
-  :class:`ResolutionPlan` of copy/flood steps (data-independent);
+  :class:`ResolutionPlan` of copy/flood steps (data-independent) and lowers
+  it to a dependency DAG (:class:`PlanDag`) whose stages are units of safe
+  parallelism;
 * :mod:`repro.bulk.store` — the ``POSS(X, K, V)`` relation plus the bulk
   ``INSERT … SELECT`` statements and the run-scoped transaction;
-* :mod:`repro.bulk.backends` — pluggable SQL engines and index strategies
-  behind the store;
+  :class:`ShardedPossStore` partitions the relation by object key across N
+  child stores with all-or-nothing per-shard transactions;
+* :mod:`repro.bulk.backends` — pluggable SQL engines, index strategies and
+  shard routing (:class:`ShardSpec`) behind the store;
 * :mod:`repro.bulk.executor` — replays a plan against a store inside one
-  transaction and reports instrumentation.
+  transaction and reports instrumentation; :class:`ConcurrentBulkResolver`
+  scatter/gathers the DAG replay across the shards.
 """
 
 from repro.bulk.backends import (
@@ -19,20 +24,29 @@ from repro.bulk.backends import (
     NO_INDEXES,
     DbApiBackend,
     IndexStrategy,
+    ShardSpec,
     SqlBackend,
     SqliteFileBackend,
     SqliteMemoryBackend,
 )
-from repro.bulk.executor import BulkResolver, BulkRunReport, SkepticBulkResolver
+from repro.bulk.executor import (
+    BulkResolver,
+    BulkRunReport,
+    ConcurrentBulkResolver,
+    SkepticBulkResolver,
+)
 from repro.bulk.planner import (
     CopyStep,
+    DagNode,
     FloodStep,
     GroupedCopyStep,
+    PlanDag,
     ResolutionPlan,
+    plan_dag,
     plan_resolution,
     plan_skeptic_resolution,
 )
-from repro.bulk.store import BOTTOM_VALUE, PossRow, PossStore
+from repro.bulk.store import BOTTOM_VALUE, PossRow, PossStore, ShardedPossStore
 
 __all__ = [
     "BASELINE_INDEXES",
@@ -40,20 +54,26 @@ __all__ = [
     "BulkResolver",
     "BulkRunReport",
     "COVERING_INDEX",
+    "ConcurrentBulkResolver",
     "CopyStep",
+    "DagNode",
     "DbApiBackend",
     "FloodStep",
     "GroupedCopyStep",
     "INDEX_STRATEGIES",
     "IndexStrategy",
     "NO_INDEXES",
+    "PlanDag",
     "PossRow",
     "PossStore",
     "ResolutionPlan",
+    "ShardSpec",
+    "ShardedPossStore",
     "SkepticBulkResolver",
     "SqlBackend",
     "SqliteFileBackend",
     "SqliteMemoryBackend",
+    "plan_dag",
     "plan_resolution",
     "plan_skeptic_resolution",
 ]

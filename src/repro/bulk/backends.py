@@ -25,11 +25,97 @@ statements run at setup.
 
 from __future__ import annotations
 
+import bisect
 import sqlite3
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Tuple
 
 from repro.core.errors import BulkProcessingError
+
+# --------------------------------------------------------------------------- #
+# shard routing                                                                #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """How object keys of ``POSS(X, K, V)`` are routed across N shards.
+
+    The bulk plan is data-independent (Section 4), so partitioning the
+    *data* by object key and replaying the same plan on every partition
+    resolves the whole relation: a key's resolution never reads another
+    key's rows.  Two routing schemes are supported:
+
+    * ``hash`` — ``crc32(key) % count``.  Deterministic across processes
+      (unlike Python's randomized ``hash``), so a relation loaded by one
+      process can be queried by another under the same spec.
+    * ``range`` — ``boundaries`` holds ``count - 1`` sorted split points;
+      a key routes to the first range whose upper bound exceeds it
+      (``boundaries[i - 1] <= key < boundaries[i]``, string order).
+
+    Construct via :meth:`hashed` / :meth:`ranged`.
+    """
+
+    count: int
+    kind: str = "hash"
+    boundaries: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise BulkProcessingError("a shard spec needs at least one shard")
+        if self.kind not in ("hash", "range"):
+            raise BulkProcessingError(
+                f"unknown shard routing kind {self.kind!r}; known: hash, range"
+            )
+        if self.kind == "range":
+            if len(self.boundaries) != self.count - 1:
+                raise BulkProcessingError(
+                    f"range routing over {self.count} shards needs "
+                    f"{self.count - 1} boundaries, got {len(self.boundaries)}"
+                )
+            if any(
+                a >= b for a, b in zip(self.boundaries, self.boundaries[1:])
+            ):
+                # Equal boundaries would create a shard no key can route to.
+                raise BulkProcessingError(
+                    "range boundaries must be strictly increasing"
+                )
+        elif self.boundaries:
+            raise BulkProcessingError("hash routing takes no boundaries")
+
+    @classmethod
+    def hashed(cls, count: int) -> "ShardSpec":
+        """A hash-routed spec over ``count`` shards."""
+        return cls(count=count, kind="hash")
+
+    @classmethod
+    def ranged(cls, boundaries: "Tuple[str, ...] | list") -> "ShardSpec":
+        """A range-routed spec with the given sorted split points."""
+        bounds = tuple(str(boundary) for boundary in boundaries)
+        return cls(count=len(bounds) + 1, kind="range", boundaries=bounds)
+
+    def shard_of(self, key: object) -> int:
+        """The shard index the object ``key`` routes to."""
+        text = str(key)
+        if self.kind == "hash":
+            return zlib.crc32(text.encode("utf-8")) % self.count
+        return bisect.bisect_right(self.boundaries, text)
+
+    def partition_rows(self, rows) -> list:
+        """Partition ``(user, key, value)`` rows into one list per shard.
+
+        The single routing point for bulk loading: both
+        :meth:`repro.bulk.store.ShardedPossStore.insert_explicit_beliefs`
+        and the workload-side
+        :func:`repro.workloads.bulkload.partition_rows` defer here, so rows
+        partitioned ahead of time land on exactly the shard the store would
+        route them to.
+        """
+        partitions: list = [[] for _ in range(self.count)]
+        for row in rows:
+            partitions[self.shard_of(row[1])].append(row)
+        return partitions
 
 # --------------------------------------------------------------------------- #
 # index strategies                                                             #
@@ -143,6 +229,13 @@ class SqlBackend:
     #: Human-readable backend identifier (surfaced in ``BulkRunReport``).
     name: str = "abstract"
 
+    #: Whether a connection from :meth:`connect` may be driven from a worker
+    #: thread other than the one that created it (one thread at a time).
+    #: The concurrent scatter/gather executor replays each shard's plan on
+    #: its own thread; shards on backends without this capability fall back
+    #: to sequential replay.
+    supports_concurrent_replay: bool = False
+
     def connect(self) -> Any:
         """Open and return a DB-API 2.0 connection."""
         raise NotImplementedError
@@ -170,10 +263,16 @@ class SqliteFileBackend(SqlBackend):
 
     Lets the ``POSS`` relation exceed RAM and persist across processes; the
     store's schema setup is idempotent, so reopening an existing file
-    resumes with its rows intact.
+    resumes with its rows intact.  Connections are opened with
+    ``check_same_thread=False`` so a shard replay thread can drive a
+    connection created by the coordinating thread (each connection is still
+    used by one thread at a time) — unlike the memory backend, whose
+    database is private to its creating connection and which therefore
+    cannot hand replay to workers.
     """
 
     name = "sqlite-file"
+    supports_concurrent_replay = True
 
     def __init__(self, path: str) -> None:
         if not path or path == ":memory:":
@@ -185,7 +284,7 @@ class SqliteFileBackend(SqlBackend):
 
     def connect(self) -> sqlite3.Connection:
         """Open (creating if necessary) the database file at ``path``."""
-        return sqlite3.connect(self.path)
+        return sqlite3.connect(self.path, check_same_thread=False)
 
     def __repr__(self) -> str:
         return f"SqliteFileBackend({self.path!r})"
@@ -213,6 +312,13 @@ class DbApiBackend(SqlBackend):
         mapping and are rejected explicitly.
     name:
         Identifier recorded in run reports; defaults to ``dbapi-<paramstyle>``.
+    supports_concurrent_replay:
+        Whether the driver's connections tolerate being driven from a thread
+        other than their creator (one thread at a time).  Client/server
+        drivers (psycopg, MySQL drivers, …) generally do, so this defaults
+        to ``True``; pass ``False`` for drivers that pin connections to
+        their creating thread (e.g. ``sqlite3`` without
+        ``check_same_thread=False``).
     """
 
     _SUPPORTED = ("qmark", "format", "numeric")
@@ -222,6 +328,7 @@ class DbApiBackend(SqlBackend):
         connection_factory: Callable[[], Any],
         paramstyle: str = "qmark",
         name: str = "",
+        supports_concurrent_replay: bool = True,
     ) -> None:
         if paramstyle not in self._SUPPORTED:
             raise BulkProcessingError(
@@ -231,6 +338,7 @@ class DbApiBackend(SqlBackend):
         self._factory = connection_factory
         self.paramstyle = paramstyle
         self.name = name or f"dbapi-{paramstyle}"
+        self.supports_concurrent_replay = supports_concurrent_replay
 
     def connect(self) -> Any:
         """Open a connection through the caller-supplied factory."""

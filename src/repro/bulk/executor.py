@@ -17,27 +17,36 @@ the number of conflicts among them.  Because the whole run is one
 transaction, a mid-run :class:`~repro.core.errors.BulkProcessingError` rolls
 the relation back to its pre-run state (the loaded explicit beliefs commit
 separately and survive).
+
+:class:`ConcurrentBulkResolver` is the scale-out variant: the plan is
+lowered to its dependency DAG and replayed — concurrently where the
+backends allow — on every shard of a key-partitioned
+:class:`~repro.bulk.store.ShardedPossStore`, with one all-or-nothing
+transaction per shard and per-shard timings in the report.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.beliefs import Value
 from repro.core.binarize import binarize
 from repro.core.errors import BulkProcessingError
 from repro.core.network import TrustNetwork, User
+from repro.bulk.backends import ShardSpec
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
     GroupedCopyStep,
+    PlanDag,
     ResolutionPlan,
     plan_resolution,
     plan_skeptic_resolution,
 )
-from repro.bulk.store import BOTTOM_VALUE, PossStore
+from repro.bulk.store import BOTTOM_VALUE, PossStore, ShardedPossStore
 
 
 @dataclass
@@ -64,13 +73,53 @@ class BulkRunReport:
     index_strategy: str = "baseline"
     backend: str = "sqlite-memory"
     grouped_plan: bool = True
+    #: Number of data partitions the run executed over (1 = unsharded).
+    shards: int = 1
+    #: Wall-clock seconds each shard spent replaying the plan, keyed
+    #: ``"shard<i>"``; empty for single-store runs.
+    per_shard_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Critical-path length of the DAG the run replayed (0 = sequential
+    #: plan-order replay without DAG lowering).
+    dag_stages: int = 0
+
+    def statements_per_shard(self) -> int:
+        """Statements one shard's replay issued (the Section 4 invariant).
+
+        Every shard replays the identical plan, so this equals the
+        unsharded plan's statement count regardless of ``shards``.
+        """
+        return self.statements // max(self.shards, 1)
+
+
+def _replay_step(store, step) -> Tuple[int, str]:
+    """Execute one plan step against a store; returns (rows, phase name).
+
+    This is the single step dispatcher shared by every executor (sequential
+    and sharded), so sequential and scatter/gather replays cannot drift
+    apart.  The flood dispatch is plan-driven: a step carrying blocked
+    values (only Skeptic plans emit those) uses the ⊥-aware statement.
+    """
+    if isinstance(step, GroupedCopyStep):
+        return store.copy_to_children(step.parent, step.children), "copy"
+    if isinstance(step, CopyStep):
+        return store.copy_from_parent(step.child, step.parent), "copy"
+    if isinstance(step, FloodStep):
+        if step.blocked:
+            return (
+                store.flood_component_skeptic(
+                    step.members, step.parents, step.blocked_map()
+                ),
+                "flood",
+            )
+        return store.flood_component(step.members, step.parents), "flood"
+    raise BulkProcessingError(f"unknown plan step {step!r}")
 
 
 class _PlanExecutor:
     """Shared run loop: replay a plan inside one store transaction.
 
-    Subclasses bind the plan (plain Algorithm 1 vs. Skeptic) and how a
-    flood step maps to SQL via :meth:`_flood`.
+    Subclasses bind the plan (plain Algorithm 1 vs. Skeptic); step → SQL
+    dispatch is shared via :func:`_replay_step`.
     """
 
     store: PossStore
@@ -78,9 +127,6 @@ class _PlanExecutor:
 
     def __init__(self) -> None:
         self._loaded_objects: set = set()
-
-    def _flood(self, step: FloodStep) -> int:
-        raise NotImplementedError
 
     def run(self) -> BulkRunReport:
         """Execute the plan in a single transaction and return instrumentation.
@@ -97,17 +143,9 @@ class _PlanExecutor:
         with store.transaction():
             for step in self.plan.steps:
                 step_started = time.perf_counter()
-                if isinstance(step, GroupedCopyStep):
-                    rows += store.copy_to_children(step.parent, step.children)
-                    phase_seconds["copy"] += time.perf_counter() - step_started
-                elif isinstance(step, CopyStep):
-                    rows += store.copy_from_parent(step.child, step.parent)
-                    phase_seconds["copy"] += time.perf_counter() - step_started
-                elif isinstance(step, FloodStep):
-                    rows += self._flood(step)
-                    phase_seconds["flood"] += time.perf_counter() - step_started
-                else:
-                    raise BulkProcessingError(f"unknown plan step {step!r}")
+                step_rows, phase = _replay_step(store, step)
+                rows += step_rows
+                phase_seconds[phase] += time.perf_counter() - step_started
         elapsed = time.perf_counter() - started
         return BulkRunReport(
             objects=len(self._loaded_objects),
@@ -188,8 +226,145 @@ class BulkResolver(_PlanExecutor):
                 )
         return self.store.insert_explicit_beliefs(rows)
 
-    def _flood(self, step: FloodStep) -> int:
-        return self.store.flood_component(step.members, step.parents)
+class ConcurrentBulkResolver(BulkResolver):
+    """Scatter/gather bulk resolution over a key-sharded ``POSS`` relation.
+
+    The plan is lowered to its dependency DAG
+    (:class:`~repro.bulk.planner.PlanDag`) and replayed stage by stage on
+    **every shard** of a :class:`~repro.bulk.store.ShardedPossStore` — each
+    shard holds a disjoint slice of the object keys, and the plan is
+    data-independent, so per-shard replay of the identical DAG resolves the
+    whole relation.  When every shard's backend supports it
+    (``supports_concurrent_replay``: sqlite-file and DB-API backends do),
+    shards replay on their own threads; in-memory sqlite shards degrade to
+    sequential replay, same results, no concurrency.
+
+    The run spans one transaction per shard, opened together and
+    all-or-nothing: a failure on any shard (worker exceptions re-raise on
+    the gathering thread) rolls back every shard.
+
+    Typical use::
+
+        resolver = ConcurrentBulkResolver(network, shards=4)
+        resolver.load_beliefs(beliefs)          # routed to shards by key
+        report = resolver.run()                 # report.shards == 4
+        resolver.store.possible_values("x1", "k0")
+
+    ``shards`` is an ``int`` (hash routing, default 2) or a
+    :class:`~repro.bulk.backends.ShardSpec`; pass ``store`` to control the
+    shard backends (files, servers, schemas) instead — the two are mutually
+    exclusive, since an explicit store already fixes its shard layout.
+    """
+
+    def __init__(
+        self,
+        network: TrustNetwork,
+        shards: "ShardSpec | int | None" = None,
+        store: Optional[ShardedPossStore] = None,
+        explicit_users: Optional[Sequence[User]] = None,
+        group_copies: bool = True,
+    ) -> None:
+        if store is None:
+            store = ShardedPossStore(2 if shards is None else shards)
+        elif shards is not None:
+            raise BulkProcessingError(
+                "pass either shards or store, not both: an explicit "
+                "ShardedPossStore already fixes its shard layout"
+            )
+        elif not isinstance(store, ShardedPossStore):
+            raise BulkProcessingError(
+                "ConcurrentBulkResolver requires a ShardedPossStore; "
+                "use BulkResolver for single-store execution"
+            )
+        super().__init__(
+            network,
+            store=store,
+            explicit_users=explicit_users,
+            group_copies=group_copies,
+        )
+        self.dag: PlanDag = self.plan.dag()
+
+    def _replay_shard(self, shard: PossStore) -> Tuple[int, Dict[str, float], float]:
+        """Replay the DAG on one shard (deterministic stage-by-stage order)."""
+        shard_started = time.perf_counter()
+        phase = {"copy": 0.0, "flood": 0.0}
+        rows = 0
+        for node in self.dag.topological_order():
+            step_started = time.perf_counter()
+            step_rows, phase_name = _replay_step(shard, node.step)
+            rows += step_rows
+            phase[phase_name] += time.perf_counter() - step_started
+        return rows, phase, time.perf_counter() - shard_started
+
+    def run(self) -> BulkRunReport:
+        """Scatter the DAG replay over the shards and gather one report.
+
+        On any shard failure the exception is re-raised inside the sharded
+        transaction scope, so every shard rolls back before it propagates.
+        """
+        store: ShardedPossStore = self.store
+        started = time.perf_counter()
+        statements_before = store.bulk_statements
+        transactions_before = store.transactions
+        concurrent = store.supports_concurrent_replay and len(store.shards) > 1
+        results: List[Optional[Tuple[int, Dict[str, float], float]]] = [
+            None
+        ] * len(store.shards)
+        errors: List[BaseException] = []
+
+        def replay(index: int, shard: PossStore) -> None:
+            try:
+                results[index] = self._replay_shard(shard)
+            except BaseException as error:  # gathered and re-raised below
+                errors.append(error)
+
+        with store.transaction():
+            if concurrent:
+                threads = [
+                    threading.Thread(
+                        target=replay, args=(index, shard), name=f"shard{index}"
+                    )
+                    for index, shard in enumerate(store.shards)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            else:
+                for index, shard in enumerate(store.shards):
+                    replay(index, shard)
+                    if errors:
+                        # The whole run rolls back anyway; replaying the
+                        # remaining shards would be pure wasted work.
+                        break
+            if errors:
+                raise errors[0]
+
+        elapsed = time.perf_counter() - started
+        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        per_shard_seconds: Dict[str, float] = {}
+        rows = 0
+        for index, result in enumerate(results):
+            shard_rows, phase, seconds = result
+            rows += shard_rows
+            for name, value in phase.items():
+                phase_seconds[name] += value
+            per_shard_seconds[f"shard{index}"] = seconds
+        return BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=store.bulk_statements - statements_before,
+            rows_inserted=rows,
+            elapsed_seconds=elapsed,
+            conflicts=store.conflict_count(),
+            phase_seconds=phase_seconds,
+            transactions=store.transactions - transactions_before,
+            index_strategy=store.index_strategy.name,
+            backend=store.backend_name,
+            grouped_plan=self.plan.grouped,
+            shards=len(store.shards),
+            per_shard_seconds=per_shard_seconds,
+            dag_stages=self.dag.stage_count,
+        )
 
 
 class SkepticBulkResolver(_PlanExecutor):
@@ -225,11 +400,6 @@ class SkepticBulkResolver(_PlanExecutor):
         for _user, key, _value in rows:
             self._loaded_objects.add(str(key))
         return self.store.insert_explicit_beliefs(rows)
-
-    def _flood(self, step: FloodStep) -> int:
-        return self.store.flood_component_skeptic(
-            step.members, step.parents, step.blocked_map()
-        )
 
     def bottom_value(self) -> str:
         """The sentinel representing ⊥ in the relation."""

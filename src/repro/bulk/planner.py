@@ -109,6 +109,136 @@ class FloodStep:
 ResolutionStep = object  # CopyStep | GroupedCopyStep | FloodStep
 
 
+def step_io(step: ResolutionStep) -> Tuple[Tuple[User, ...], Tuple[User, ...]]:
+    """The users a step reads from and the users it closes, as (reads, closes).
+
+    This is the dependency interface of the DAG lowering: every bulk
+    statement selects rows of explicitly named *source* users and inserts
+    rows for the users the step closes, so a step depends exactly on the
+    steps that close one of its sources.
+    """
+    if isinstance(step, CopyStep):
+        return (step.parent,), (step.child,)
+    if isinstance(step, GroupedCopyStep):
+        return (step.parent,), step.children
+    if isinstance(step, FloodStep):
+        return step.parents, step.members
+    raise BulkProcessingError(f"unknown plan step {step!r}")
+
+
+@dataclass(frozen=True)
+class DagNode:
+    """One plan step with its explicit dependencies inside a :class:`PlanDag`.
+
+    ``depends_on`` holds the indices (into :attr:`PlanDag.nodes`) of the
+    steps that close one of this step's source users; sources closed by the
+    initial data load (the explicit users) contribute no edge.  ``stage`` is
+    the node's level in the longest-path layering: 0 for steps depending on
+    loaded data only, otherwise one more than the deepest dependency.
+    """
+
+    index: int
+    step: ResolutionStep
+    depends_on: Tuple[int, ...]
+    stage: int
+
+
+@dataclass(frozen=True)
+class PlanDag:
+    """A :class:`ResolutionPlan` lowered to a dependency DAG of its steps.
+
+    The sequential plan order is one valid topological order of this DAG,
+    but not the only one: a step only *reads* rows of users closed by the
+    steps it depends on (or loaded explicitly), and every user's rows are
+    written by exactly one step, so replaying the nodes in **any**
+    topological order produces the identical ``POSS`` relation.  That is
+    what makes independent subtrees schedulable concurrently and lets the
+    sharded executor replay the same DAG on every shard.
+
+    ``stages`` groups node indices by :attr:`DagNode.stage`; all nodes of a
+    stage are mutually independent (their dependencies live in strictly
+    earlier stages), so a stage is a unit of safe parallelism and
+    ``len(stages)`` is the critical-path length of the plan.
+    """
+
+    plan: ResolutionPlan
+    nodes: Tuple[DagNode, ...]
+    stages: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def stage_count(self) -> int:
+        """Critical-path length of the plan (number of stages)."""
+        return len(self.stages)
+
+    def topological_order(self) -> List[DagNode]:
+        """The nodes stage by stage (index order within a stage).
+
+        This is the deterministic replay order the executors use; it is
+        topological by construction and coincides with the sequential plan
+        order whenever the plan is a single chain.
+        """
+        return [self.nodes[index] for stage in self.stages for index in stage]
+
+    def edge_count(self) -> int:
+        """Total number of depends-on edges."""
+        return sum(len(node.depends_on) for node in self.nodes)
+
+    def statement_count(self) -> int:
+        """SQL statements one replay of the DAG issues (a plan property)."""
+        return self.plan.statement_count()
+
+
+def plan_dag(plan: ResolutionPlan) -> PlanDag:
+    """Lower a plan's step list to its dependency DAG.
+
+    A step depends on the steps that close one of its source users; users
+    whose rows come from the explicit-belief load close no step and add no
+    edge.  Dependencies always point backwards in plan order (a source is
+    closed before any step reads it), so the DAG is acyclic by construction;
+    a violation — a step closing a user twice, or reading a user that only a
+    *later* step closes — means the plan itself is malformed and is rejected.
+    """
+    closer: Dict[str, int] = {}
+    for index, step in enumerate(plan.steps):
+        for user in step_io(step)[1]:
+            name = str(user)
+            if name in closer:
+                raise BulkProcessingError(
+                    f"plan closes user {name!r} twice (steps {closer[name]} and {index})"
+                )
+            closer[name] = index
+    nodes: List[DagNode] = []
+    stage_of: List[int] = []
+    stages: Dict[int, List[int]] = {}
+    for index, step in enumerate(plan.steps):
+        reads, _closes = step_io(step)
+        dependencies = set()
+        for user in reads:
+            closed_at = closer.get(str(user))
+            if closed_at is None:
+                continue  # explicitly loaded data, no edge
+            if closed_at >= index:
+                raise BulkProcessingError(
+                    f"step {index} reads user {user!r} closed only by the "
+                    f"later step {closed_at}; the plan order is not causal"
+                )
+            dependencies.add(closed_at)
+        depends_on = tuple(sorted(dependencies))
+        stage = 1 + max((stage_of[dep] for dep in depends_on), default=-1)
+        nodes.append(
+            DagNode(index=index, step=step, depends_on=depends_on, stage=stage)
+        )
+        stage_of.append(stage)
+        stages.setdefault(stage, []).append(index)
+    return PlanDag(
+        plan=plan,
+        nodes=tuple(nodes),
+        stages=tuple(
+            tuple(stages[level]) for level in sorted(stages)
+        ),
+    )
+
+
 @dataclass
 class ResolutionPlan:
     """An ordered list of bulk-resolution steps for a fixed network.
@@ -151,6 +281,10 @@ class ResolutionPlan:
     def statement_count(self) -> int:
         """Number of SQL statements the executor will issue."""
         return sum(step.statement_count() for step in self.steps)
+
+    def dag(self) -> "PlanDag":
+        """This plan lowered to its dependency DAG (see :func:`plan_dag`)."""
+        return plan_dag(self)
 
     def grouped_copies(self) -> "ResolutionPlan":
         """This plan with same-parent copy steps merged (idempotent)."""

@@ -30,6 +30,7 @@ from repro.core.network import User
 from repro.bulk.backends import (
     ALL_INDEX_NAMES,
     IndexStrategy,
+    ShardSpec,
     SqlBackend,
     resolve_index_strategy,
     sqlite_backend,
@@ -122,6 +123,11 @@ class PossStore:
     def index_strategy(self) -> IndexStrategy:
         """The physical-design strategy the relation was created with."""
         return self._index_strategy
+
+    @property
+    def supports_concurrent_replay(self) -> bool:
+        """Whether this store's connection may be driven from a worker thread."""
+        return self._backend.supports_concurrent_replay
 
     @property
     def transactions(self) -> int:
@@ -404,3 +410,242 @@ class PossStore:
         """Object keys mentioned in the relation."""
         cursor = self._execute("SELECT DISTINCT K FROM POSS")
         return frozenset(row[0] for row in cursor.fetchall())
+
+
+class ShardedPossStore:
+    """The ``POSS`` relation horizontally partitioned by object key.
+
+    ``POSS(X, K, V)`` is split across ``spec.count`` child :class:`PossStore`
+    instances, routed by :meth:`~repro.bulk.backends.ShardSpec.shard_of` on
+    the ``K`` column.  Because the bulk plan never joins across object keys
+    (every statement restricts on ``X`` and carries ``K``/``V`` through
+    unchanged), replaying the same plan on every shard resolves the whole
+    relation — the scatter/gather decomposition the
+    :class:`~repro.bulk.executor.ConcurrentBulkResolver` exploits.
+
+    The class implements the :class:`PossStore` surface: the statement
+    methods fan out to every shard (each shard only holds its own keys, so
+    the union of the per-shard effects equals the single-store effect),
+    key-addressed queries route to the owning shard, and whole-relation
+    queries aggregate across shards.  :meth:`transaction` opens a run-scoped
+    transaction on *every* shard; a failure on any shard during the run
+    rolls back all of them (see its docstring for the commit-time caveat).
+
+    Parameters
+    ----------
+    spec:
+        A :class:`~repro.bulk.backends.ShardSpec`, or an ``int`` shorthand
+        for ``ShardSpec.hashed(n)``.
+    backends:
+        Optional one :class:`~repro.bulk.backends.SqlBackend` per shard (the
+        way to place shards on separate files, servers, or schemas); the
+        default is one private in-memory sqlite database per shard.
+    index_strategy:
+        Physical design applied to every shard.
+    """
+
+    def __init__(
+        self,
+        spec: "ShardSpec | int" = 2,
+        backends: Optional[Sequence[SqlBackend]] = None,
+        index_strategy: "IndexStrategy | str | None" = None,
+    ) -> None:
+        if isinstance(spec, int):
+            spec = ShardSpec.hashed(spec)
+        self.spec = spec
+        if backends is not None and len(backends) != spec.count:
+            raise BulkProcessingError(
+                f"spec routes over {spec.count} shards but "
+                f"{len(backends)} backends were supplied"
+            )
+        self.shards: Tuple[PossStore, ...] = tuple(
+            PossStore(
+                backend=backends[i] if backends is not None else None,
+                index_strategy=index_strategy,
+            )
+            for i in range(spec.count)
+        )
+        self._in_transaction = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                            #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def backend_name(self) -> str:
+        """Composite identifier: ``sharded(<child>x<count>)`` when uniform."""
+        names = sorted({shard.backend_name for shard in self.shards})
+        if len(names) == 1:
+            return f"sharded({names[0]}x{self.spec.count})"
+        return f"sharded({'+'.join(names)})"
+
+    @property
+    def index_strategy(self) -> IndexStrategy:
+        """The (shared) physical-design strategy of the shards."""
+        return self.shards[0].index_strategy
+
+    @property
+    def supports_concurrent_replay(self) -> bool:
+        """Whether *every* shard's connection may move to a worker thread."""
+        return all(shard.supports_concurrent_replay for shard in self.shards)
+
+    @property
+    def transactions(self) -> int:
+        """Transactions committed across all shards."""
+        return sum(shard.transactions for shard in self.shards)
+
+    @property
+    def bulk_statements(self) -> int:
+        """Bulk statements issued across all shards."""
+        return sum(shard.bulk_statements for shard in self.shards)
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a run-scoped :meth:`transaction` is currently open."""
+        return self._in_transaction
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator["ShardedPossStore"]:
+        """Run transaction spanning every shard, all-or-nothing on run errors.
+
+        Each shard opens its own run-scoped transaction; an error anywhere
+        *during the run* (including on a replay thread, which re-raises on
+        the coordinating thread) unwinds through every shard's context
+        manager, rolling each back — a failed run never commits on any
+        shard.  On success the shards commit sequentially; there is no
+        two-phase protocol, so a crash or commit-time failure partway
+        through the commit sequence can persist a subset of shards (the
+        ROADMAP tracks distributed 2PC for shards spanning machines).
+        Sharded runs otherwise keep the one-transaction-per-run model of
+        Section 4, once per shard.
+        """
+        if self._in_transaction:
+            raise BulkProcessingError("transaction already in progress")
+        with contextlib.ExitStack() as stack:
+            for shard in self.shards:
+                stack.enter_context(shard.transaction())
+            self._in_transaction = True
+            try:
+                yield self
+            finally:
+                self._in_transaction = False
+
+    def close(self) -> None:
+        """Close every shard's connection."""
+        for shard in self.shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedPossStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def clear(self) -> None:
+        """Delete every row on every shard."""
+        for shard in self.shards:
+            shard.clear()
+
+    # ------------------------------------------------------------------ #
+    # loading                                                              #
+    # ------------------------------------------------------------------ #
+
+    def insert_explicit_beliefs(
+        self, rows: Iterable[Tuple[User, object, Value]]
+    ) -> int:
+        """Bulk-load explicit beliefs, routing each row to its key's shard."""
+        partitions = self.spec.partition_rows(rows)
+        return sum(
+            shard.insert_explicit_beliefs(partition)
+            for shard, partition in zip(self.shards, partitions)
+            if partition
+        )
+
+    # ------------------------------------------------------------------ #
+    # the bulk statements (fan-out)                                        #
+    # ------------------------------------------------------------------ #
+
+    def copy_from_parent(self, child: User, parent: User) -> int:
+        """Step-1 copy on every shard (each shard holds only its own keys)."""
+        return sum(
+            shard.copy_from_parent(child, parent) for shard in self.shards
+        )
+
+    def copy_to_children(self, parent: User, children: Sequence[User]) -> int:
+        """Grouped Step-1 copy on every shard."""
+        return sum(
+            shard.copy_to_children(parent, children) for shard in self.shards
+        )
+
+    def flood_component(
+        self, members: Sequence[User], parents: Sequence[User]
+    ) -> int:
+        """Step-2 flood on every shard."""
+        return sum(
+            shard.flood_component(members, parents) for shard in self.shards
+        )
+
+    def flood_component_skeptic(
+        self,
+        members: Sequence[User],
+        parents: Sequence[User],
+        blocked: Dict[str, Sequence[str]],
+    ) -> int:
+        """Skeptic Step-2 flood on every shard."""
+        return sum(
+            shard.flood_component_skeptic(members, parents, blocked)
+            for shard in self.shards
+        )
+
+    # ------------------------------------------------------------------ #
+    # queries (route by key, aggregate otherwise)                          #
+    # ------------------------------------------------------------------ #
+
+    def shard_for(self, key: object) -> PossStore:
+        """The child store owning ``key``."""
+        return self.shards[self.spec.shard_of(key)]
+
+    def possible_values(self, user: User, key: object) -> FrozenSet[str]:
+        """Possible values of one user for one object (owning shard only)."""
+        return self.shard_for(key).possible_values(user, key)
+
+    def certain_values(self, user: User, key: object) -> FrozenSet[str]:
+        """Certain value of one user for one object (owning shard only)."""
+        return self.shard_for(key).certain_values(user, key)
+
+    def possible_table(self) -> List[PossRow]:
+        """The full (distinct) content of the relation across shards.
+
+        Shards hold disjoint key sets, so concatenation needs no dedup.
+        """
+        rows: List[PossRow] = []
+        for shard in self.shards:
+            rows.extend(shard.possible_table())
+        return rows
+
+    def certain_snapshot(self) -> Dict[Tuple[str, str], str]:
+        """The certain value for every (user, key) with exactly one value."""
+        snapshot: Dict[Tuple[str, str], str] = {}
+        for shard in self.shards:
+            snapshot.update(shard.certain_snapshot())
+        return snapshot
+
+    def conflict_count(self) -> int:
+        """Number of (user, key) pairs with more than one possible value."""
+        return sum(shard.conflict_count() for shard in self.shards)
+
+    def row_count(self) -> int:
+        """Total number of rows across shards."""
+        return sum(shard.row_count() for shard in self.shards)
+
+    def row_counts_per_shard(self) -> List[int]:
+        """Row count of each shard, in shard-index order (balance metric)."""
+        return [shard.row_count() for shard in self.shards]
+
+    def users(self) -> FrozenSet[str]:
+        """Users mentioned in the relation (union over shards)."""
+        return frozenset().union(*(shard.users() for shard in self.shards))
+
+    def keys(self) -> FrozenSet[str]:
+        """Object keys mentioned in the relation (union over shards)."""
+        return frozenset().union(*(shard.keys() for shard in self.shards))

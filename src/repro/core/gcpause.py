@@ -1,0 +1,38 @@
+"""Pausing the cyclic garbage collector around batch computations.
+
+Both resolution algorithms are bounded batch computations that allocate no
+reference cycles of their own; pausing the cyclic collector keeps
+generation-2 scans of large networks (hundreds of thousands of tracked
+objects) from dominating the runtime, while plain refcounting still frees
+all temporaries immediately.
+
+:func:`paused_gc` snapshots ``gc.isenabled()`` on entry and restores that
+exact state on exit: a caller that already runs with collection disabled
+(a benchmark harness, an embedding application with its own GC policy)
+keeps it disabled, and re-entrant use is safe — the inner pause observes an
+already-disabled collector and restores "disabled".
+"""
+
+from __future__ import annotations
+
+import contextlib
+import gc
+from typing import Iterator
+
+
+@contextlib.contextmanager
+def paused_gc() -> Iterator[None]:
+    """Disable cyclic GC for the duration of the block, then restore.
+
+    Restores the collector to its *entry* state rather than unconditionally
+    re-enabling it, so the pause composes with callers that manage GC
+    themselves.
+    """
+    was_enabled = gc.isenabled()
+    if was_enabled:
+        gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()

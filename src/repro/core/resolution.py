@@ -41,12 +41,12 @@ back to at least one explicit belief.
 
 from __future__ import annotations
 
-import gc
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from repro.core.beliefs import Value
 from repro.core.errors import NetworkError
+from repro.core.gcpause import paused_gc
 from repro.core.network import TrustNetwork, User
 from repro.core.sccs import CondensationEngine
 
@@ -197,18 +197,10 @@ def resolve(network: TrustNetwork) -> ResolutionResult:
             "Algorithm 1 requires a binary trust network; call binarize() first"
         )
     # Resolution is a bounded batch computation that allocates no reference
-    # cycles of its own; pausing the cyclic collector keeps generation-2
-    # scans of large networks (hundreds of thousands of tracked objects)
-    # from dominating the runtime.  Plain refcounting still frees all
-    # temporaries immediately.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
+    # cycles of its own; see repro.core.gcpause for why the collector is
+    # paused (and restored to its entry state) around the batch.
+    with paused_gc():
         return _resolve_impl(network)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
 
 
 def _resolve_impl(network: TrustNetwork) -> ResolutionResult:

@@ -36,12 +36,12 @@ third-party graph library is used on this hot path.
 
 from __future__ import annotations
 
-import gc
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.core.beliefs import Belief, Value
 from repro.core.errors import NetworkError
+from repro.core.gcpause import paused_gc
 from repro.core.network import TrustNetwork, User
 from repro.core.sccs import CondensationEngine
 
@@ -204,17 +204,11 @@ def resolve_skeptic(network: TrustNetwork) -> SkepticResult:
             "Algorithm 2 requires a binary trust network; call binarize() first"
         )
     _reject_ties(network)
-    # Pause the cyclic collector for the batch run (see resolve()): the
-    # algorithm allocates no reference cycles and large networks otherwise
-    # pay repeated full-heap generation-2 scans.
-    gc_was_enabled = gc.isenabled()
-    if gc_was_enabled:
-        gc.disable()
-    try:
+    # Pause the cyclic collector for the batch run (see repro.core.gcpause):
+    # the algorithm allocates no reference cycles and large networks
+    # otherwise pay repeated full-heap generation-2 scans.
+    with paused_gc():
         return _resolve_skeptic_impl(network)
-    finally:
-        if gc_was_enabled:
-            gc.enable()
 
 
 def _resolve_skeptic_impl(network: TrustNetwork) -> SkepticResult:

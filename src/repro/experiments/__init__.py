@@ -14,6 +14,7 @@ from repro.experiments.runner import (
     average_time,
     doubling_ratios,
     format_table,
+    gather_balance,
     log_log_slope,
     per_unit,
     timed,
@@ -30,6 +31,7 @@ __all__ = [
     "fig8b_web",
     "fig8c_bulk",
     "format_table",
+    "gather_balance",
     "log_log_slope",
     "per_unit",
     "tables",

@@ -14,11 +14,17 @@ physical-design variants (see :mod:`repro.bulk.backends`): the statement
 count is a property of the *plan* and therefore identical for every strategy
 and every object count, while the running time shifts with the chosen
 indexes — the covering-index experiment the ROADMAP called for.
+:func:`run_shard_sweep` scales the *data* side instead: the same plan is
+replayed on every shard of a key-partitioned store
+(:class:`~repro.bulk.executor.ConcurrentBulkResolver`), so the per-shard
+statement count stays at the unsharded plan's count while each shard only
+touches its slice of the objects.
 
 CLI::
 
     python -m repro.experiments.fig8c_bulk [--quick] [--objects N [N ...]]
                                            [--sweep-indexes]
+                                           [--shards N [N ...]]
 """
 
 from __future__ import annotations
@@ -27,10 +33,15 @@ import argparse
 from typing import Dict, List, Optional, Sequence
 
 from repro.bulk.backends import resolve_index_strategy
-from repro.bulk.executor import BulkResolver, BulkRunReport
+from repro.bulk.executor import BulkResolver, BulkRunReport, ConcurrentBulkResolver
 from repro.bulk.store import PossStore
 from repro.core.resolution import resolve
-from repro.experiments.runner import average_time, format_table, log_log_slope
+from repro.experiments.runner import (
+    average_time,
+    format_table,
+    gather_balance,
+    log_log_slope,
+)
 from repro.logicprog.solver import solve_network
 from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
 
@@ -181,6 +192,75 @@ def summarize_index_sweep(rows: Sequence[Dict[str, object]]) -> Dict[str, object
     }
 
 
+def _sharded_report(n_objects: int, shards: int, seed: int) -> BulkRunReport:
+    """One sharded bulk run over the Figure 19 network."""
+    network = figure19_network()
+    resolver = ConcurrentBulkResolver(
+        network, shards=shards, explicit_users=BELIEF_USERS
+    )
+    resolver.load_beliefs(generate_objects(n_objects, seed=seed))
+    report = resolver.run()
+    resolver.store.close()
+    return report
+
+
+def run_shard_sweep(
+    object_counts: Sequence[int] = (1_000, 10_000),
+    shard_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 11,
+) -> List[Dict[str, object]]:
+    """The scatter/gather experiment: shard counts × object counts.
+
+    Every run replays the identical plan DAG on every shard, so
+    ``statements_per_shard`` must equal the unsharded plan's statement count
+    for every row — the Section 4 invariant carried over to the sharded
+    engine — while each shard only stores and resolves its hash slice of
+    the objects (one transaction per shard, all-or-nothing).
+    """
+    rows: List[Dict[str, object]] = []
+    for shards in shard_counts:
+        for count in object_counts:
+            report = _sharded_report(count, shards, seed)
+            rows.append(
+                {
+                    "shards": shards,
+                    "objects": count,
+                    "seconds": report.elapsed_seconds,
+                    "statements": report.statements,
+                    "statements_per_shard": report.statements_per_shard(),
+                    "transactions": report.transactions,
+                    "dag_stages": report.dag_stages,
+                    "rows_inserted": report.rows_inserted,
+                    "max_shard_seconds": max(
+                        report.per_shard_seconds.values(), default=0.0
+                    ),
+                    "shard_balance": round(
+                        gather_balance(list(report.per_shard_seconds.values())), 3
+                    ),
+                }
+            )
+    return rows
+
+
+def summarize_shard_sweep(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Invariants of the shard sweep: fixed per-shard statements, 1 txn/shard."""
+    per_shard = {row["statements_per_shard"] for row in rows}
+    txn_per_shard = {row["transactions"] == row["shards"] for row in rows}
+    balances = [
+        row["shard_balance"] for row in rows if row["shards"] > 1
+    ]
+    return {
+        "statements_per_shard_observed": sorted(per_shard),
+        "statements_per_shard_fixed": len(per_shard) == 1,
+        "one_transaction_per_shard": txn_per_shard == {True},
+        "dag_stages": sorted({row["dag_stages"] for row in rows}),
+        "largest_shard_count": max((row["shards"] for row in rows), default=0),
+        "mean_shard_balance": (
+            round(sum(balances) / len(balances), 3) if balances else None
+        ),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point (exercised by the docs job)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -200,6 +280,14 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "--sweep-indexes",
         action="store_true",
         help="also run the covering-index strategy sweep",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="also run the scatter/gather shard sweep over these shard counts",
     )
     args = parser.parse_args(argv)
     if args.objects is not None:
@@ -242,6 +330,24 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             )
         )
         print("summary:", summarize_index_sweep(sweep))
+
+    if args.shards:
+        sweep = run_shard_sweep(object_counts=counts, shard_counts=args.shards)
+        print("\nFigure 8c — shard sweep (same plan DAG replayed per shard)")
+        print(
+            format_table(
+                sweep,
+                columns=[
+                    "shards",
+                    "objects",
+                    "seconds",
+                    "statements_per_shard",
+                    "transactions",
+                    "dag_stages",
+                ],
+            )
+        )
+        print("summary:", summarize_shard_sweep(sweep))
 
 
 if __name__ == "__main__":  # pragma: no cover

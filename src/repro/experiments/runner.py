@@ -110,3 +110,21 @@ def doubling_ratios(points: Sequence[Tuple[float, float]]) -> List[float]:
         if y0 > 0:
             ratios.append(y1 / y0)
     return ratios
+
+
+def gather_balance(per_worker_seconds: Sequence[float]) -> float:
+    """Load balance of a scatter/gather run: mean over max worker seconds.
+
+    A gather waits for its slowest worker, so the achievable speedup over
+    sequential execution is ``sum/max`` and this ratio (``mean/max``, in
+    ``(0, 1]``) measures how much of it the partitioning delivers: 1.0 means
+    perfectly balanced shards, values near ``1/n`` mean one shard carries
+    essentially all the work.  Used by the Figure 8c shard sweep.
+    """
+    seconds = [s for s in per_worker_seconds if s >= 0]
+    if not seconds:
+        return math.nan
+    slowest = max(seconds)
+    if slowest == 0:
+        return 1.0
+    return statistics.fmean(seconds) / slowest

@@ -18,6 +18,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+from repro.bulk.backends import ShardSpec
 from repro.core.errors import WorkloadError
 from repro.core.network import TrustNetwork
 
@@ -94,6 +95,47 @@ def generate_objects(
             rows.append((first, key, shared))
             rows.append((second, key, shared))
     return rows
+
+
+def partition_rows(
+    rows: Sequence[Tuple[str, str, str]], spec: "ShardSpec | int"
+) -> List[List[Tuple[str, str, str]]]:
+    """Partition ``(user, key, value)`` rows by object key under a shard spec.
+
+    This is the loading side of the scatter/gather decomposition: every row
+    of one object lands on the same shard (routing is a function of the key
+    alone), so each partition can be bulk-loaded into its shard's ``POSS``
+    relation independently — e.g. by parallel loader processes.  Routing
+    defers to :meth:`ShardSpec.partition_rows`, the same code path the
+    sharded store loads through, so pre-partitioned rows land exactly where
+    the store would put them.
+    """
+    if isinstance(spec, int):
+        spec = ShardSpec.hashed(spec)
+    return spec.partition_rows(rows)
+
+
+def generate_sharded_objects(
+    n_objects: int,
+    spec: "ShardSpec | int",
+    conflict_probability: float = 0.5,
+    seed: int = 0,
+    belief_users: Sequence[str] = BELIEF_USERS,
+) -> List[List[Tuple[str, str, str]]]:
+    """The Figure 8c workload pre-partitioned for a sharded store.
+
+    Generates exactly the rows of :func:`generate_objects` (same seed, same
+    values) and routes them with :func:`partition_rows`, so a sharded run
+    over these partitions resolves the identical data an unsharded run
+    loads in one piece.
+    """
+    rows = generate_objects(
+        n_objects,
+        conflict_probability=conflict_probability,
+        seed=seed,
+        belief_users=belief_users,
+    )
+    return partition_rows(rows, spec)
 
 
 def object_sweep(max_objects: int, points: int = 6) -> List[int]:

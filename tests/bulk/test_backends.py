@@ -123,6 +123,12 @@ class TestDbApiBackend:
         with pytest.raises(BulkProcessingError):
             DbApiBackend(lambda: None, paramstyle="named")
 
+    def test_default_dbapi_backend_is_thread_eligible(self):
+        backend = DbApiBackend(lambda: None)
+        assert backend.supports_concurrent_replay
+        pinned = DbApiBackend(lambda: None, supports_concurrent_replay=False)
+        assert not pinned.supports_concurrent_replay
+
     def test_store_runs_on_a_generic_dbapi_connection(self):
         # sqlite3 through the *generic* adapter, not the sqlite backend:
         # exercises the extension-point path end to end.
@@ -136,3 +142,136 @@ class TestDbApiBackend:
                 store.copy_to_children("z", ["x", "y"])
             assert store.possible_values("y", "k1") == frozenset({"v"})
             assert store.transactions >= 2  # schema/load + run
+
+
+class FakeCursor:
+    """Minimal DB-API cursor that records every rendered statement."""
+
+    rowcount = 0
+
+    def __init__(self, connection: "FakeConnection") -> None:
+        self._connection = connection
+
+    def execute(self, sql, parameters=()):
+        self._connection.statements.append((sql, tuple(parameters)))
+        return self
+
+    def executemany(self, sql, rows):
+        for row in rows:
+            self.execute(sql, row)
+        return self
+
+    def fetchall(self):
+        return []
+
+    def fetchone(self):
+        return (0,)
+
+
+class FakeConnection:
+    """Minimal DB-API connection; ``autocommit`` mimics drivers that do not
+    open an implicit transaction (every statement commits on its own)."""
+
+    def __init__(self, autocommit: bool = False) -> None:
+        self.autocommit = autocommit
+        self.statements = []
+        self.commits = 0
+        self.rollbacks = 0
+        self.closed = False
+
+    def cursor(self) -> FakeCursor:
+        return FakeCursor(self)
+
+    def commit(self) -> None:
+        self.commits += 1
+
+    def rollback(self) -> None:
+        self.rollbacks += 1
+
+    def close(self) -> None:
+        self.closed = True
+
+
+class TestDbApiRenderingThroughTheStore:
+    """The store's SQL as actually rendered for each supported paramstyle."""
+
+    def _store_and_connection(self, paramstyle):
+        connection = FakeConnection()
+        backend = DbApiBackend(
+            lambda: connection, paramstyle=paramstyle, name=f"fake-{paramstyle}"
+        )
+        return PossStore(backend=backend), connection
+
+    def _bulk_sql(self, connection):
+        return [
+            sql
+            for sql, _params in connection.statements
+            if sql.startswith("INSERT INTO POSS")
+        ]
+
+    def test_qmark_statements_pass_through_unchanged(self):
+        store, connection = self._store_and_connection("qmark")
+        store.copy_from_parent("child", "parent")
+        (sql,) = self._bulk_sql(connection)
+        assert sql == (
+            "INSERT INTO POSS (X, K, V) "
+            "SELECT ?, t.K, t.V FROM POSS t WHERE t.X = ?"
+        )
+
+    def test_format_statements_render_percent_s(self):
+        store, connection = self._store_and_connection("format")
+        store.copy_to_children("parent", ["c1", "c2"])
+        (sql,) = self._bulk_sql(connection)
+        assert "?" not in sql
+        assert sql.count("%s") == 3  # two child VALUES rows + parent probe
+        assert "(VALUES (%s),(%s))" in sql
+
+    def test_numeric_statements_render_positional_numbers(self):
+        store, connection = self._store_and_connection("numeric")
+        store.flood_component(["m1", "m2"], ["p1"])
+        (sql,) = self._bulk_sql(connection)
+        assert "?" not in sql
+        assert "(VALUES (:1),(:2))" in sql
+        assert "WHERE s.X IN (:3)" in sql
+
+    def test_parameters_reach_the_cursor_in_textual_order(self):
+        store, connection = self._store_and_connection("numeric")
+        store.flood_component_skeptic(
+            ["m"], ["p"], {"m": ["bad"]}
+        )
+        inserts = [
+            (sql, params)
+            for sql, params in connection.statements
+            if sql.startswith("INSERT INTO POSS")
+        ]
+        assert len(inserts) == 2  # filtered flood + ⊥ statement
+        _, bottom_params = inserts[1]
+        # ⊥ scalar precedes the member list, matching textual placeholder order.
+        assert bottom_params[0] == "__BOTTOM__"
+        assert bottom_params[1:] == ("m", "p", "bad")
+
+    def test_schema_statements_are_rendered_too(self):
+        _store, connection = self._store_and_connection("format")
+        assert any(
+            sql.startswith("CREATE TABLE") for sql, _ in connection.statements
+        )
+
+    def test_transaction_begins_explicitly_and_rolls_back_on_autocommit(self):
+        """The explicit-BEGIN path: on a connection without an implicit
+        transaction, transaction() must issue BEGIN so rollback() has a
+        transaction to undo."""
+        connection = FakeConnection(autocommit=True)
+        backend = DbApiBackend(lambda: connection, paramstyle="format")
+        store = PossStore(backend=backend)
+        commits_before = connection.commits
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.copy_from_parent("b", "a")
+                raise RuntimeError("mid-run failure")
+        assert ("BEGIN", ()) in connection.statements
+        assert connection.rollbacks == 1
+        assert connection.commits == commits_before  # nothing committed mid-run
+        # And the commit path: BEGIN …statements… commit().
+        with store.transaction():
+            store.copy_from_parent("c", "a")
+        assert connection.commits == commits_before + 1

@@ -97,16 +97,10 @@ class TestBulkResolver:
         resolver.store.close()
 
 
-def serialized_relation(store) -> bytes:
-    """The full POSS relation as a canonical byte string."""
-    rows = sorted(store.possible_table())
-    return "\n".join(f"{row.user}|{row.key}|{row.value}" for row in rows).encode()
-
-
 class TestGroupedCopyEquivalence:
     """Grouped copy plans must resolve byte-identically to ungrouped ones."""
 
-    def test_figure19_grouped_matches_ungrouped(self):
+    def test_figure19_grouped_matches_ungrouped(self, serialized_relation):
         network = figure19_network()
         rows = generate_objects(30, conflict_probability=0.5, seed=19)
         relations = []
@@ -123,7 +117,7 @@ class TestGroupedCopyEquivalence:
         assert relations[0] == relations[1]
         assert statements[0] <= statements[1]
 
-    def test_fanout_network_grouped_is_fewer_statements_same_relation(self):
+    def test_fanout_network_grouped_is_fewer_statements_same_relation(self, serialized_relation):
         tn = TrustNetwork()
         for child in ("b", "c", "d", "e"):
             tn.add_trust(child, "a", priority=1)
@@ -145,7 +139,7 @@ class TestGroupedCopyEquivalence:
         # 6 single-child copies collapse to 2 grouped ones (parents a and b).
         assert statements == [2, 6]
 
-    def test_skeptic_grouped_matches_ungrouped(self):
+    def test_skeptic_grouped_matches_ungrouped(self, serialized_relation):
         tn = TrustNetwork()
         tn.add_trust("p", "source", priority=2)
         tn.add_trust("r", "source", priority=2)

@@ -1,0 +1,71 @@
+"""The shared GC pause must restore the collector to its entry state."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.core.gcpause import paused_gc
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.core.skeptic import resolve_skeptic
+
+
+@pytest.fixture(autouse=True)
+def _gc_enabled_afterwards():
+    """Whatever a test does, leave the interpreter's collector enabled."""
+    yield
+    gc.enable()
+
+
+class TestPausedGc:
+    def test_disables_inside_and_restores_enabled(self):
+        gc.enable()
+        with paused_gc():
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_preserves_disabled_state(self):
+        """The original bug: a caller running with GC off must not find it
+        re-enabled after the batch."""
+        gc.disable()
+        with paused_gc():
+            assert not gc.isenabled()
+        assert not gc.isenabled()
+
+    def test_restores_on_error(self):
+        gc.enable()
+        with pytest.raises(RuntimeError):
+            with paused_gc():
+                raise RuntimeError("mid-batch failure")
+        assert gc.isenabled()
+
+    def test_nested_pauses_compose(self):
+        gc.enable()
+        with paused_gc():
+            with paused_gc():
+                assert not gc.isenabled()
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+
+def _binary_chain() -> TrustNetwork:
+    tn = TrustNetwork()
+    tn.add_trust("b", "a", priority=1)
+    tn.set_explicit_belief("a", "v")
+    return tn
+
+
+class TestResolversRestoreGcState:
+    @pytest.mark.parametrize("resolver", [resolve, resolve_skeptic])
+    def test_resolver_leaves_disabled_gc_disabled(self, resolver):
+        gc.disable()
+        resolver(_binary_chain())
+        assert not gc.isenabled()
+
+    @pytest.mark.parametrize("resolver", [resolve, resolve_skeptic])
+    def test_resolver_leaves_enabled_gc_enabled(self, resolver):
+        gc.enable()
+        resolver(_binary_chain())
+        assert gc.isenabled()

@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     average_time,
     doubling_ratios,
     format_table,
+    gather_balance,
     log_log_slope,
     per_unit,
     timed,
@@ -48,6 +49,13 @@ class TestRunnerHelpers:
         assert abs(log_log_slope(linear) - 1.0) < 0.01
         assert abs(log_log_slope(quadratic) - 2.0) < 0.01
         assert math.isnan(log_log_slope([(1, 1)]))
+
+    def test_gather_balance(self):
+        assert gather_balance([1.0, 1.0, 1.0]) == pytest.approx(1.0)
+        # one shard carries everything: mean/max -> 1/n
+        assert gather_balance([0.0, 0.0, 3.0]) == pytest.approx(1 / 3)
+        assert gather_balance([0.0, 0.0]) == 1.0
+        assert math.isnan(gather_balance([]))
 
     def test_doubling_ratios(self):
         ratios = doubling_ratios([(1, 1.0), (2, 2.0), (4, 8.0)])
@@ -97,6 +105,17 @@ class TestFigureDrivers:
         assert rows[1]["per_object_lp_seconds"] is None
         summary = fig8c_bulk.summarize(rows)
         assert summary["largest_object_count"] == 20
+
+    def test_fig8c_shard_sweep_rows(self):
+        sweep = fig8c_bulk.run_shard_sweep(
+            object_counts=(30,), shard_counts=(1, 2)
+        )
+        assert [row["shards"] for row in sweep] == [1, 2]
+        summary = fig8c_bulk.summarize_shard_sweep(sweep)
+        assert summary["statements_per_shard_fixed"]
+        assert summary["one_transaction_per_shard"]
+        assert summary["largest_shard_count"] == 2
+        assert 0.0 < summary["mean_shard_balance"] <= 1.0
 
     def test_fig11_rows(self):
         rows = fig11_binarization.run(clique_sizes=(4, 6))

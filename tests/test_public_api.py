@@ -57,3 +57,61 @@ def test_constrained_entry_point_roundtrip():
 def test_belief_constructors_are_exported():
     assert Belief.positive("v").is_positive
     assert BeliefSet.bottom().is_bottom
+
+
+#: The locked surface of repro.bulk: removing or renaming any of these is a
+#: breaking change and must be deliberate (update this list in the same PR).
+BULK_API = [
+    "BASELINE_INDEXES",
+    "BOTTOM_VALUE",
+    "BulkResolver",
+    "BulkRunReport",
+    "COVERING_INDEX",
+    "ConcurrentBulkResolver",
+    "CopyStep",
+    "DagNode",
+    "DbApiBackend",
+    "FloodStep",
+    "GroupedCopyStep",
+    "INDEX_STRATEGIES",
+    "IndexStrategy",
+    "NO_INDEXES",
+    "PlanDag",
+    "PossRow",
+    "PossStore",
+    "ResolutionPlan",
+    "ShardSpec",
+    "ShardedPossStore",
+    "SkepticBulkResolver",
+    "SqlBackend",
+    "SqliteFileBackend",
+    "SqliteMemoryBackend",
+    "plan_dag",
+    "plan_resolution",
+    "plan_skeptic_resolution",
+]
+
+
+def test_bulk_surface_is_locked():
+    import repro.bulk
+
+    assert sorted(repro.bulk.__all__) == BULK_API
+    for name in repro.bulk.__all__:
+        assert hasattr(repro.bulk, name), name
+
+
+def test_sharded_engine_round_trip():
+    """The new names work together end to end through the public surface."""
+    from repro.bulk import ConcurrentBulkResolver, ShardSpec, ShardedPossStore
+
+    tn = TrustNetwork()
+    tn.add_trust("mirror", "source", priority=1)
+    store = ShardedPossStore(ShardSpec.hashed(2))
+    resolver = ConcurrentBulkResolver(tn, store=store, explicit_users=["source"])
+    resolver.load_beliefs([("source", "k0", "v"), ("source", "k1", "w")])
+    report = resolver.run()
+    assert report.shards == 2
+    assert report.dag_stages == resolver.dag.stage_count
+    assert store.possible_values("mirror", "k0") == frozenset({"v"})
+    assert store.possible_values("mirror", "k1") == frozenset({"w"})
+    store.close()
