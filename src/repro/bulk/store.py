@@ -77,6 +77,7 @@ class PossStore:
         self._index_strategy = resolve_index_strategy(index_strategy)
         self._connection = self._backend.connect()
         self._bulk_statements = 0
+        self._delta_statements = 0
         self._transactions = 0
         self._in_transaction = False
         self._execute(
@@ -203,7 +204,66 @@ class PossStore:
         the two explicit users publish); unlike the resolution statements it
         commits immediately, so a later rolled-back run leaves it in place.
         """
+        return self._insert_row_batch(rows)
+
+    # ------------------------------------------------------------------ #
+    # the delta statements of the incremental engine                       #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def delta_statements(self) -> int:
+        """Running count of delta ``DELETE``/``INSERT`` statements issued."""
+        return self._delta_statements
+
+    def delete_user_rows(self, users: Sequence[User], key: object = None) -> int:
+        """Delta DELETE: drop the rows of ``users`` (optionally for one key).
+
+        This is the deletion half of the incremental maintenance path
+        (:mod:`repro.incremental`): instead of reloading the whole relation
+        after an update, only the rows of the users whose possible values
+        actually changed are removed and re-inserted::
+
+            delete from POSS where X in ('x1', …, 'xn') [and K = 'k']
+
+        Returns the number of rows deleted.
+        """
+        names = [str(user) for user in users]
+        if not names:
+            return 0
+        deleted = 0
+        # Chunked so a large change set never exceeds an engine's bound
+        # variable limit (sqlite historically allows as few as 999).
+        for start in range(0, len(names), 500):
+            chunk = names[start : start + 500]
+            placeholders = ",".join("?" for _ in chunk)
+            sql = f"DELETE FROM POSS WHERE X IN ({placeholders})"
+            parameters: List[object] = list(chunk)
+            if key is not None:
+                sql += " AND K = ?"
+                parameters.append(str(key))
+            cursor = self._execute(sql, parameters)
+            self._delta_statements += 1
+            deleted += cursor.rowcount
+        self._commit()
+        return deleted
+
+    def insert_rows(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
+        """Delta INSERT: add explicit ``(user, key, value)`` rows.
+
+        The insertion half of the incremental maintenance path (also used
+        to seed a store from an in-memory resolution result).  One
+        ``executemany`` batch counts as one delta statement.
+        """
+        inserted = self._insert_row_batch(rows)
+        if inserted:
+            self._delta_statements += 1
+        return inserted
+
+    def _insert_row_batch(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
+        """Shared ``executemany`` behind every plain row insert."""
         data = [(str(user), str(key), str(value)) for user, key, value in rows]
+        if not data:
+            return 0
         cursor = self._connection.cursor()
         cursor.executemany(
             self._backend.render("INSERT INTO POSS (X, K, V) VALUES (?, ?, ?)"), data
@@ -500,6 +560,11 @@ class ShardedPossStore:
         return sum(shard.bulk_statements for shard in self.shards)
 
     @property
+    def delta_statements(self) -> int:
+        """Delta statements issued across all shards."""
+        return sum(shard.delta_statements for shard in self.shards)
+
+    @property
     def in_transaction(self) -> bool:
         """Whether a run-scoped :meth:`transaction` is currently open."""
         return self._in_transaction
@@ -557,6 +622,25 @@ class ShardedPossStore:
         partitions = self.spec.partition_rows(rows)
         return sum(
             shard.insert_explicit_beliefs(partition)
+            for shard, partition in zip(self.shards, partitions)
+            if partition
+        )
+
+    # ------------------------------------------------------------------ #
+    # the delta statements (route by key, fan out otherwise)               #
+    # ------------------------------------------------------------------ #
+
+    def delete_user_rows(self, users: Sequence[User], key: object = None) -> int:
+        """Delta DELETE: key-addressed deletes hit only the owning shard."""
+        if key is not None:
+            return self.shard_for(key).delete_user_rows(users, key=key)
+        return sum(shard.delete_user_rows(users) for shard in self.shards)
+
+    def insert_rows(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
+        """Delta INSERT, routing each row to its key's shard."""
+        partitions = self.spec.partition_rows(rows)
+        return sum(
+            shard.insert_rows(partition)
             for shard, partition in zip(self.shards, partitions)
             if partition
         )

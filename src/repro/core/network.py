@@ -114,7 +114,10 @@ class TrustNetwork:
         """Add a user (idempotent)."""
         if user not in self._users:
             self._users.add(user)
-            self._invalidate_structure_caches()
+            # An isolated user has no edges and no belief: the adjacency and
+            # binary caches stay valid, only the preferred map gains a slot.
+            if self._preferred_cache is not None:
+                self._preferred_cache[user] = None
 
     def add_mapping(
         self, mapping: TrustMapping | Tuple[User, int, User]
@@ -124,12 +127,12 @@ class TrustNetwork:
             mapping = TrustMapping(*mapping)
         if mapping.parent == mapping.child:
             raise NetworkError(f"self-trust mapping is not allowed: {mapping}")
-        self._users.add(mapping.parent)
-        self._users.add(mapping.child)
+        self.add_user(mapping.parent)
+        self.add_user(mapping.child)
         self._mappings.append(mapping)
         self._incoming.setdefault(mapping.child, []).append(mapping)
         self._outgoing.setdefault(mapping.parent, []).append(mapping)
-        self._invalidate_structure_caches()
+        self._patch_structure_caches(mapping.parent, mapping.child)
         return mapping
 
     def _invalidate_structure_caches(self) -> None:
@@ -137,9 +140,127 @@ class TrustNetwork:
         self._preferred_cache = None
         self._binary_cache = None
 
+    def _patch_structure_caches(self, parent: User, child: User) -> None:
+        """Surgically repair the structure caches after one edge mutation.
+
+        A single mapping change only affects the child's incoming list, the
+        parent's outgoing list and the child's preferred parent, so warm
+        caches are patched in place instead of being rebuilt from scratch —
+        the incremental engine applies structural deltas in time
+        proportional to the affected region, and a full ``O(|U| + |E|)``
+        cache rebuild per delta would defeat that.  The binary verdict can
+        flip either way and is recomputed lazily.
+        """
+        cache = self._adjacency_cache
+        if cache is not None:
+            incoming_cache, outgoing_cache = cache
+            edges_in = self._incoming.get(child)
+            if edges_in:
+                incoming_cache[child] = tuple(edges_in)
+            else:
+                incoming_cache.pop(child, None)
+            edges_out = self._outgoing.get(parent)
+            if edges_out:
+                outgoing_cache[parent] = tuple(edges_out)
+            else:
+                outgoing_cache.pop(parent, None)
+        if self._preferred_cache is not None:
+            self._preferred_cache[child] = self._preferred_parent_of(child)
+        self._binary_cache = None
+
     def add_trust(self, child: User, parent: User, priority: int) -> TrustMapping:
         """Convenience wrapper: ``child`` trusts ``parent`` with ``priority``."""
         return self.add_mapping(TrustMapping(parent, priority, child))
+
+    # ------------------------------------------------------------------ #
+    # mutation (the network is not append-only)                           #
+    # ------------------------------------------------------------------ #
+
+    def remove_mapping(self, mapping: TrustMapping | Tuple[User, int, User]) -> TrustMapping:
+        """Remove one exact mapping; raises :class:`NetworkError` if absent.
+
+        Endpoints stay in the network even when they lose their last edge
+        (use :meth:`remove_user` to drop a user entirely).
+        """
+        if not isinstance(mapping, TrustMapping):
+            mapping = TrustMapping(*mapping)
+        try:
+            self._mappings.remove(mapping)
+        except ValueError:
+            raise NetworkError(f"no such mapping: {mapping}") from None
+        self._incoming[mapping.child].remove(mapping)
+        if not self._incoming[mapping.child]:
+            del self._incoming[mapping.child]
+        self._outgoing[mapping.parent].remove(mapping)
+        if not self._outgoing[mapping.parent]:
+            del self._outgoing[mapping.parent]
+        self._patch_structure_caches(mapping.parent, mapping.child)
+        return mapping
+
+    def remove_trust(self, child: User, parent: User) -> Tuple[TrustMapping, ...]:
+        """Remove every mapping ``parent -> child`` (any priority).
+
+        Returns the removed mappings; raises :class:`NetworkError` when the
+        child does not trust the parent at all.
+        """
+        doomed = tuple(
+            edge for edge in self._incoming.get(child, ()) if edge.parent == parent
+        )
+        if not doomed:
+            raise NetworkError(f"{child!r} does not trust {parent!r}")
+        for edge in doomed:
+            self.remove_mapping(edge)
+        return doomed
+
+    def set_priority(self, child: User, parent: User, priority: int) -> TrustMapping:
+        """Change the priority of the mapping ``parent -> child``.
+
+        The mapping must exist and be unique (parallel mappings between the
+        same pair would make the update ambiguous); the frozen
+        :class:`TrustMapping` is replaced in place, preserving its position
+        in insertion order, and the structure caches are invalidated.
+        """
+        edges = [
+            edge for edge in self._incoming.get(child, ()) if edge.parent == parent
+        ]
+        if not edges:
+            raise NetworkError(f"{child!r} does not trust {parent!r}")
+        if len(edges) > 1:
+            raise NetworkError(
+                f"{child!r} trusts {parent!r} through {len(edges)} parallel "
+                f"mappings; set_priority needs a unique edge"
+            )
+        old = edges[0]
+        if old.priority == priority:
+            return old
+        new = TrustMapping(parent, priority, child)
+        self._mappings[self._mappings.index(old)] = new
+        incoming = self._incoming[child]
+        incoming[incoming.index(old)] = new
+        outgoing = self._outgoing[parent]
+        outgoing[outgoing.index(old)] = new
+        self._patch_structure_caches(parent, child)
+        return new
+
+    def remove_user(self, user: User) -> None:
+        """Remove a user, its incident mappings and its explicit belief.
+
+        Raises :class:`NetworkError` for unknown users.
+        """
+        if user not in self._users:
+            raise NetworkError(f"unknown user: {user!r}")
+        for edge in tuple(self._incoming.get(user, ())):
+            self.remove_mapping(edge)
+        for edge in tuple(self._outgoing.get(user, ())):
+            self.remove_mapping(edge)
+        self._users.discard(user)
+        self._beliefs.pop(user, None)
+        # The edge removals above already patched the adjacency and
+        # preferred caches of every (former) neighbour; only the departing
+        # user's own slots remain to drop.
+        if self._preferred_cache is not None:
+            self._preferred_cache.pop(user, None)
+        self._binary_cache = None
 
     def set_explicit_belief(self, user: User, belief: object) -> None:
         """Set (or replace) the explicit belief ``b0(user)``."""

@@ -2,6 +2,7 @@
 
 from repro.experiments import (
     fig5_lp_exponential,
+    fig8_incremental,
     fig8a_cycles,
     fig8b_web,
     fig8c_bulk,
@@ -27,6 +28,7 @@ __all__ = [
     "fig11_binarization",
     "fig15_worstcase",
     "fig5_lp_exponential",
+    "fig8_incremental",
     "fig8a_cycles",
     "fig8b_web",
     "fig8c_bulk",

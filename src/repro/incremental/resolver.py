@@ -1,0 +1,465 @@
+"""Delta resolution for Algorithm 1: maintain ``poss`` under updates.
+
+:class:`DeltaResolver` keeps the possible-value map of an already-resolved
+binary trust network consistent while the network changes, without full
+re-resolution.  The key observations:
+
+* Influence only flows parent → child, so a delta touching users ``T`` can
+  only change the possible values of the *descendants* of ``T`` — the dirty
+  region.  The region is successor-closed by construction: no edge leaves
+  it, every edge crossing its boundary comes in from a node whose value is
+  already final.
+* Within the region, resolution is modular over the SCC condensation: the
+  possible values of a component are a function of its members' structure
+  and of the possible values of its external parents (Algorithm 1 closes a
+  minimal component only when all its inputs are final, so the function is
+  well defined and order-independent).  The region is therefore recomputed
+  component by component in topological order, each component by a
+  *localized* Algorithm 1 run whose closed boundary is the current possible
+  map — using the same :class:`~repro.core.sccs.CondensationEngine` that
+  powers the batch resolvers.
+* A component none of whose inputs changed — no structurally touched
+  member, every external parent recomputed (or kept) equal to its old
+  closed value — keeps its old values and is **pruned**: its members are
+  never re-resolved, so the expensive work is proportional to the actually
+  affected region, not to ``|U| + |E|``.  The network mutators patch the
+  structure caches surgically so structural deltas stay in the same cost
+  class; the one residual non-regional term is the ``O(|E|)`` ordered-list
+  maintenance inside ``remove_mapping``/``set_priority`` — a plain scan,
+  cheap in absolute terms and paid by structural deltas only.
+
+Equivalence to from-scratch resolution (``resolve`` on the mutated network)
+is locked by the property suite in ``tests/incremental``: every update
+stream must leave the resolver's map byte-identical to a full re-resolution.
+
+Edge dropping matches :func:`repro.core.resolution.resolve`: a parent whose
+possible set is empty is exactly an unreachable parent (it can never hold a
+belief), so its edges are ignored and preferred parents are re-derived on
+the surviving edges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+
+from repro.core.beliefs import Value
+from repro.core.errors import NetworkError
+from repro.core.gcpause import paused_gc
+from repro.core.network import TrustNetwork, User, _coerce_explicit_belief
+from repro.core.resolution import ResolutionResult, resolve
+from repro.core.sccs import CondensationEngine, strongly_connected_components
+from repro.incremental.deltas import (
+    AddTrust,
+    Delta,
+    DeltaLog,
+    RemoveBelief,
+    RemoveTrust,
+    RemoveUser,
+    RowChange,
+    SetBelief,
+    SetPriority,
+)
+from repro.incremental.region import dirty_region
+
+_EMPTY: FrozenSet[Value] = frozenset()
+
+
+class DeltaResolver:
+    """Maintain ``poss`` for one belief assignment under a delta stream.
+
+    Parameters
+    ----------
+    network:
+        A binary trust network (Section 2.2).  The resolver mutates it in
+        place when structural deltas are applied.
+    beliefs:
+        Optional positive-belief override ``user -> value``.  When omitted
+        the resolver *owns* the network's beliefs: belief deltas are written
+        back to the network, so ``resolve(resolver.network)`` always agrees
+        with the maintained state.  Passing a mapping detaches belief state
+        from the network — several resolvers can then share one structure
+        with per-object beliefs (the multi-key mode of
+        :class:`~repro.incremental.session.IncrementalSession`).
+
+    The maintained map is :attr:`possible` (``user -> frozenset`` of
+    values, one entry per network user, empty for unreachable users) —
+    exactly the ``possible`` attribute of a
+    :class:`~repro.core.resolution.ResolutionResult`.
+    """
+
+    def __init__(
+        self,
+        network: TrustNetwork,
+        beliefs: Optional[Mapping[User, Value]] = None,
+    ) -> None:
+        self.network = network
+        self._owns_beliefs = beliefs is None
+        if beliefs is None:
+            self.beliefs: Dict[User, Value] = {
+                user: belief.positive_value
+                for user, belief in network.explicit_beliefs.items()
+                if belief.positive_value is not None
+            }
+        else:
+            self.beliefs = dict(beliefs)
+            unknown = [u for u in self.beliefs if u not in network]
+            if unknown:
+                raise NetworkError(
+                    f"belief override names unknown users: {sorted(map(str, unknown))}"
+                )
+        self._validate_binary()
+        if self._owns_beliefs:
+            # self.beliefs is exactly the network's positive assignment, so
+            # the network resolves to the same map — no throwaway copy.
+            source = network
+        else:
+            source = TrustNetwork(
+                users=network.users,
+                mappings=network.mappings,
+                explicit_beliefs=dict(self.beliefs),
+            )
+        self.possible: Dict[User, FrozenSet[Value]] = dict(resolve(source).possible)
+
+    # ------------------------------------------------------------------ #
+    # validation                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _validate_binary(self) -> None:
+        incoming = self.network.incoming_map()
+        for user, edges in incoming.items():
+            if len(edges) > 2:
+                raise NetworkError(
+                    f"user {user!r} has {len(edges)} parents (max 2); "
+                    "the incremental engine maintains binary networks only"
+                )
+        belief_users = set(self.beliefs)
+        if self._owns_beliefs:
+            belief_users |= set(self.network.explicit_beliefs)
+        for user in belief_users:
+            if incoming.get(user):
+                raise NetworkError(
+                    f"user {user!r} has both an explicit belief and parents"
+                )
+
+    def validate(self, delta: Delta) -> None:
+        """Reject a delta that would break the binary restrictions.
+
+        Raises before any state is mutated, so a session can pre-check a
+        structural delta against every per-key resolver and fail atomically.
+        """
+        if isinstance(delta, SetBelief):
+            if delta.user in self.network and self.network.incoming(delta.user):
+                raise NetworkError(
+                    f"cannot set a belief on {delta.user!r}: beliefs are "
+                    "restricted to root nodes in a binary network"
+                )
+        elif isinstance(delta, AddTrust):
+            if delta.child == delta.parent:
+                raise NetworkError(f"self-trust mapping is not allowed: {delta}")
+            if delta.child in self.beliefs:
+                raise NetworkError(
+                    f"cannot add a parent to {delta.child!r}: it holds an "
+                    "explicit belief (beliefs are restricted to roots)"
+                )
+            if len(self.network.incoming(delta.child)) >= 2:
+                raise NetworkError(
+                    f"{delta.child!r} already has two parents; a third "
+                    "would break binarity"
+                )
+        elif isinstance(delta, (RemoveTrust, SetPriority)):
+            if not any(
+                edge.parent == delta.parent
+                for edge in self.network.incoming(delta.child)
+            ):
+                raise NetworkError(f"{delta.child!r} does not trust {delta.parent!r}")
+        elif isinstance(delta, RemoveUser):
+            if delta.user not in self.network:
+                raise NetworkError(f"unknown user: {delta.user!r}")
+
+    # ------------------------------------------------------------------ #
+    # the delta pipeline                                                  #
+    # ------------------------------------------------------------------ #
+
+    def apply(
+        self,
+        delta: Delta,
+        mutate_network: bool = True,
+        touched: Optional[Tuple[User, ...]] = None,
+    ) -> DeltaLog:
+        """Apply one delta and return the log of row-level changes.
+
+        ``mutate_network=False`` skips the structural mutation (for
+        resolvers sharing a network on which the delta was already applied);
+        ``touched`` overrides the touched-user set in that case (required
+        for :class:`RemoveUser`, whose children are unrecoverable after the
+        fact).  The recomputation runs under a batch-scoped
+        :func:`~repro.core.gcpause.paused_gc` — the collector is restored
+        before this method returns, never held across a session's lifetime.
+        """
+        with paused_gc():
+            touched_users, removed = self._mutate(delta, mutate_network, touched)
+            return self._recompute(delta, touched_users, removed)
+
+    def ensure_user(self, user: User) -> None:
+        """Give a (new) network user its empty possible-value entry."""
+        if user in self.network and user not in self.possible:
+            self.possible[user] = _EMPTY
+
+    def resolution(self) -> ResolutionResult:
+        """The maintained state as a :class:`ResolutionResult` snapshot.
+
+        Lineage pointers are not maintained incrementally; call
+        :func:`repro.core.resolution.resolve` when a lineage trace is
+        needed.
+        """
+        return ResolutionResult(
+            possible=dict(self.possible),
+            explicit_users=frozenset(self.beliefs),
+        )
+
+    # ------------------------------------------------------------------ #
+    # mutation                                                            #
+    # ------------------------------------------------------------------ #
+
+    def _mutate(
+        self,
+        delta: Delta,
+        mutate_network: bool,
+        touched: Optional[Tuple[User, ...]],
+    ) -> Tuple[Set[User], Optional[User]]:
+        if isinstance(delta, SetBelief):
+            self.validate(delta)
+            self.network.add_user(delta.user)
+            self.ensure_user(delta.user)
+            value = _coerce_explicit_belief(delta.value).positive_value
+            if value is None:
+                self.beliefs.pop(delta.user, None)
+            else:
+                self.beliefs[delta.user] = value
+            if self._owns_beliefs:
+                self.network.set_explicit_belief(delta.user, delta.value)
+            return {delta.user}, None
+
+        if isinstance(delta, RemoveBelief):
+            had_network_belief = self.network.has_explicit_belief(delta.user)
+            had_value = self.beliefs.pop(delta.user, None) is not None
+            if self._owns_beliefs:
+                self.network.remove_explicit_belief(delta.user)
+            if not had_value and not had_network_belief:
+                return set(), None
+            return {delta.user}, None
+
+        if isinstance(delta, AddTrust):
+            if mutate_network:
+                self.validate(delta)
+                self.network.add_trust(delta.child, delta.parent, delta.priority)
+            self.ensure_user(delta.child)
+            self.ensure_user(delta.parent)
+            return {delta.child}, None
+
+        if isinstance(delta, RemoveTrust):
+            if mutate_network:
+                self.network.remove_trust(delta.child, delta.parent)
+            return {delta.child}, None
+
+        if isinstance(delta, SetPriority):
+            if mutate_network:
+                self.network.set_priority(delta.child, delta.parent, delta.priority)
+            return {delta.child}, None
+
+        if isinstance(delta, RemoveUser):
+            if mutate_network:
+                children = set(self.network.children(delta.user))
+                self.network.remove_user(delta.user)
+            else:
+                children = set(touched or ())
+            self.beliefs.pop(delta.user, None)
+            return children, delta.user
+
+        raise NetworkError(f"unknown delta {delta!r}")
+
+    # ------------------------------------------------------------------ #
+    # dirty-region recomputation                                          #
+    # ------------------------------------------------------------------ #
+
+    def _recompute(
+        self, delta: Delta, touched: Set[User], removed: Optional[User]
+    ) -> DeltaLog:
+        changes: List[RowChange] = []
+        if removed is not None:
+            old = self.possible.pop(removed, None)
+            if old is not None:
+                changes.append(RowChange(removed, old, _EMPTY, removed=True))
+
+        network = self.network
+        touched_live = sorted((u for u in touched if u in network), key=str)
+
+        region, _pos, successors = dirty_region(network, touched_live)
+        n = len(region)
+
+        # SCCs of the region in reverse topological order; walking them in
+        # topological order guarantees every component sees its (region)
+        # parents' final values before it decides whether it is dirty.
+        components = strongly_connected_components(range(n), successors.__getitem__)
+
+        incoming = network.incoming_map()
+        forced = set(touched_live)
+        changed: Set[User] = set()
+        recomputed = pruned = 0
+        for component in reversed(components):
+            members = [region[i] for i in component]
+            dirty = any(member in forced for member in members)
+            if not dirty:
+                member_set = set(members)
+                for member in members:
+                    for edge in incoming.get(member, ()):
+                        if edge.parent not in member_set and edge.parent in changed:
+                            dirty = True
+                            break
+                    if dirty:
+                        break
+            if not dirty:
+                # Value-equality pruning: every input kept its old closed
+                # value, so the component's values are provably unchanged.
+                pruned += len(members)
+                continue
+            recomputed += len(members)
+            new_values = self._recompute_component(members)
+            for member in members:
+                old = self.possible.get(member, _EMPTY)
+                new = new_values[member]
+                if new != old:
+                    self.possible[member] = new
+                    changed.add(member)
+                    changes.append(RowChange(member, old, new))
+
+        return DeltaLog(
+            delta=delta,
+            changes=tuple(changes),
+            touched=tuple(touched_live),
+            dirty_region=n,
+            recomputed=recomputed,
+            pruned=pruned,
+        )
+
+    def _recompute_component(
+        self, members: List[User]
+    ) -> Dict[User, FrozenSet[Value]]:
+        """Localized Algorithm 1 on one SCC with a closed boundary.
+
+        The component's external parents are closed with their current
+        possible values; parents with empty sets are unreachable and their
+        edges are dropped, with preferred parents re-derived on the
+        survivors — exactly the treatment of
+        :func:`repro.core.resolution.resolve`.
+        """
+        incoming = self.network.incoming_map()
+        possible = self.possible
+
+        if len(members) == 1:
+            member = members[0]
+            belief = self.beliefs.get(member)
+            if belief is not None:
+                return {member: frozenset((belief,))}
+            surviving = [
+                edge for edge in incoming.get(member, ()) if possible.get(edge.parent)
+            ]
+            if not surviving:
+                return {member: _EMPTY}
+            if len(surviving) == 1:
+                return {member: possible[surviving[0].parent]}
+            first, second = surviving
+            if first.priority > second.priority:
+                return {member: possible[first.parent]}
+            if second.priority > first.priority:
+                return {member: possible[second.parent]}
+            return {member: possible[first.parent] | possible[second.parent]}
+
+        # Multi-node SCC.  Members cannot carry beliefs (each has an
+        # internal in-edge, and binary networks put beliefs on roots only).
+        member_index = {member: i for i, member in enumerate(members)}
+        m = len(members)
+        boundary: List[User] = []
+        boundary_index: Dict[User, int] = {}
+        parent_ids: List[List[int]] = [[] for _ in range(m)]
+        preferred: List[int] = [-1] * m
+        internal_successors: List[List[int]] = [[] for _ in range(m)]
+        for i, member in enumerate(members):
+            surviving: List[Tuple[int, int]] = []  # (priority, node id)
+            for edge in incoming.get(member, ()):
+                parent = edge.parent
+                internal = member_index.get(parent)
+                if internal is not None:
+                    surviving.append((edge.priority, internal))
+                    internal_successors[internal].append(i)
+                    continue
+                if not possible.get(parent):
+                    continue  # unreachable parent: the edge is dropped
+                parent_id = boundary_index.get(parent)
+                if parent_id is None:
+                    parent_id = m + len(boundary)
+                    boundary_index[parent] = parent_id
+                    boundary.append(parent)
+                surviving.append((edge.priority, parent_id))
+            parent_ids[i] = [node for _priority, node in surviving]
+            if len(surviving) == 1:
+                preferred[i] = surviving[0][1]
+            elif len(surviving) == 2:
+                (p_first, id_first), (p_second, id_second) = surviving
+                if p_first > p_second:
+                    preferred[i] = id_first
+                elif p_second > p_first:
+                    preferred[i] = id_second
+
+        if not boundary:
+            # No external value ever enters the component: every member is
+            # unreachable and floods to the empty set.
+            return {member: _EMPTY for member in members}
+
+        total = m + len(boundary)
+        poss: List[Optional[FrozenSet[Value]]] = [None] * total
+        closed = bytearray(total)
+        children_pref: List[List[int]] = [[] for _ in range(total)]
+        for i in range(m):
+            if preferred[i] >= 0:
+                children_pref[preferred[i]].append(i)
+        for k, parent in enumerate(boundary):
+            poss[m + k] = possible[parent]
+            closed[m + k] = 1
+
+        engine = CondensationEngine(range(m), internal_successors, m)
+        worklist: List[int] = []
+        for k in range(len(boundary)):
+            worklist.extend(children_pref[m + k])
+
+        open_count = m
+        while open_count:
+            while worklist:
+                node = worklist.pop()
+                if closed[node]:
+                    continue
+                parent = preferred[node]
+                if parent < 0 or not closed[parent]:
+                    continue
+                poss[node] = poss[parent]
+                closed[node] = 1
+                open_count -= 1
+                engine.close(node)
+                worklist.extend(children_pref[node])
+            if not open_count:
+                break
+            scc = engine.pop_minimal()
+            flood_values: Set[Value] = set()
+            for node in scc:
+                for parent_id in parent_ids[node]:
+                    if closed[parent_id]:
+                        flood_values.update(poss[parent_id])
+            flood = frozenset(flood_values)
+            for node in scc:
+                poss[node] = flood
+                closed[node] = 1
+                open_count -= 1
+                engine.close(node)
+                worklist.extend(children_pref[node])
+
+        return {members[i]: poss[i] for i in range(m)}

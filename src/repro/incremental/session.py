@@ -1,0 +1,360 @@
+"""Live sessions: delta resolution applied to the ``POSS`` store.
+
+An :class:`IncrementalSession` keeps a relational ``POSS`` store (single
+:class:`~repro.bulk.store.PossStore` or key-partitioned
+:class:`~repro.bulk.store.ShardedPossStore`) consistent with an evolving
+trust network.  Where the bulk executor re-resolves and reloads the whole
+relation per run, a session applies each update's
+:class:`~repro.incremental.deltas.DeltaLog` as **delta** ``DELETE`` /
+``INSERT`` statements — only the rows of the users whose possible values
+actually changed move — inside one run-scoped transaction (one per shard on
+partitioned stores, via the same :meth:`transaction` surface the bulk
+executor uses), so a mid-apply failure leaves the relation untouched.
+
+Sessions follow the bulk assumptions of Section 4: the trust structure is
+shared by every object key, while explicit beliefs vary per key.  One
+:class:`~repro.incremental.resolver.DeltaResolver` per key maintains that
+key's possible map against the shared network; structural deltas fan out to
+every key (the structure mutates once), belief deltas route to the key they
+name.
+
+Garbage-collector policy (ROADMAP PR-2 note): the cyclic collector is
+paused **per apply batch** — :func:`~repro.core.gcpause.paused_gc` wraps
+each recomputation and is exited before :meth:`apply` returns — never
+across the session's lifetime, so a long-lived session does not starve the
+rest of the process of cycle collection.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.beliefs import Value
+from repro.core.errors import BulkProcessingError, NetworkError
+from repro.core.gcpause import paused_gc
+from repro.core.network import TrustNetwork, User
+from repro.bulk.store import PossStore, ShardedPossStore
+from repro.incremental.deltas import (
+    Delta,
+    DeltaLog,
+    RemoveUser,
+    RowChange,
+    is_structural,
+    rows_to_delete,
+    rows_to_insert,
+)
+from repro.incremental.resolver import DeltaResolver
+
+_EMPTY: FrozenSet[Value] = frozenset()
+
+
+@dataclass
+class DeltaApplyReport:
+    """Instrumentation of one :meth:`IncrementalSession.apply` batch.
+
+    The counters mirror :class:`~repro.bulk.executor.BulkRunReport` where
+    they overlap (``transactions``, ``backend``) and add the incremental
+    engine's cost model: how large the dirty region was across all
+    resolvers, how much of it the value-equality pruning skipped, and how
+    few rows/statements the delta path moved compared to a full reload.
+    """
+
+    deltas: int
+    keys: int
+    users_changed: int
+    rows_deleted: int
+    rows_inserted: int
+    statements: int
+    transactions: int
+    seconds: float
+    dirty_region: int
+    recomputed: int
+    pruned: int
+    backend: str = "sqlite-memory"
+    logs: Tuple[Tuple[str, DeltaLog], ...] = field(default=(), repr=False)
+
+
+class IncrementalSession:
+    """Maintain a resolved ``POSS`` relation under a stream of deltas.
+
+    Parameters
+    ----------
+    network:
+        The shared binary trust structure.  Structural deltas mutate it in
+        place (once, regardless of the number of keys).
+    store:
+        The relation to maintain; defaults to an in-memory
+        :class:`PossStore`.  A :class:`ShardedPossStore` works unchanged —
+        delta deletes route to the owning shard and the apply transaction
+        spans every shard all-or-nothing.
+    keys:
+        The object keys the session maintains (default: the single key
+        ``"k0"``).
+    beliefs_by_key:
+        Optional per-key positive-belief overrides ``key -> {user: value}``;
+        keys without an entry start from the network's own explicit
+        beliefs.
+    autoload:
+        Load the initial resolution of every key into the store (default).
+
+    Typical use::
+
+        session = IncrementalSession(network, store=PossStore())
+        report = session.apply(SetBelief("alice", "fish"))
+        report.rows_inserted        # only the changed users' rows moved
+    """
+
+    def __init__(
+        self,
+        network: TrustNetwork,
+        store: "PossStore | ShardedPossStore | None" = None,
+        keys: Sequence[str] = ("k0",),
+        beliefs_by_key: Optional[Dict[str, Dict[User, Value]]] = None,
+        autoload: bool = True,
+    ) -> None:
+        if not keys:
+            raise BulkProcessingError("a session needs at least one object key")
+        self.network = network
+        self.store = store if store is not None else PossStore()
+        base_beliefs = {
+            user: belief.positive_value
+            for user, belief in network.explicit_beliefs.items()
+            if belief.positive_value is not None
+        }
+        overrides = beliefs_by_key or {}
+        unknown = set(overrides) - set(keys)
+        if unknown:
+            raise BulkProcessingError(
+                f"belief overrides name keys outside the session: {sorted(unknown)}"
+            )
+        if beliefs_by_key is None and len(keys) == 1:
+            # The common single-object session: the resolver owns the
+            # network's beliefs, so belief deltas write back and
+            # ``resolve(session.network)`` stays authoritative.
+            self._resolvers: Dict[str, DeltaResolver] = {
+                str(keys[0]): DeltaResolver(network)
+            }
+        else:
+            # Multi-key (or explicitly overridden) sessions detach belief
+            # state per key; the shared network carries structure only.
+            self._resolvers = {
+                str(key): DeltaResolver(
+                    network, beliefs=dict(overrides.get(key, base_beliefs))
+                )
+                for key in keys
+            }
+        self._default_key = str(keys[0])
+        if autoload:
+            self.load()
+
+    # ------------------------------------------------------------------ #
+    # views                                                               #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        """The object keys this session maintains."""
+        return tuple(self._resolvers)
+
+    def resolver(self, key: Optional[str] = None) -> DeltaResolver:
+        """The per-key resolver (default key when ``key`` is omitted)."""
+        key = self._default_key if key is None else str(key)
+        try:
+            return self._resolvers[key]
+        except KeyError:
+            raise BulkProcessingError(
+                f"unknown object key {key!r}; session keys: {list(self._resolvers)}"
+            ) from None
+
+    def possible_values(self, user: User, key: Optional[str] = None) -> FrozenSet[Value]:
+        """In-memory ``poss(user)`` for one key (no store round trip)."""
+        return self.resolver(key).possible.get(user, _EMPTY)
+
+    def rows(self) -> List[Tuple[str, str, str]]:
+        """The full relation implied by the in-memory state (sorted)."""
+        return sorted(
+            (str(user), key, str(value))
+            for key, resolver in self._resolvers.items()
+            for user, values in resolver.possible.items()
+            for value in values
+        )
+
+    # ------------------------------------------------------------------ #
+    # loading                                                             #
+    # ------------------------------------------------------------------ #
+
+    def load(self) -> int:
+        """Load the current resolution of every key into the store."""
+        return self.store.insert_rows(self.rows())
+
+    # ------------------------------------------------------------------ #
+    # applying deltas                                                     #
+    # ------------------------------------------------------------------ #
+
+    def apply(self, *deltas: Delta) -> DeltaApplyReport:
+        """Apply a batch of deltas to the resolvers and the store.
+
+        The whole batch recomputes under one batch-scoped GC pause and
+        lands in the store inside one run transaction (one per shard on
+        sharded stores).  If a delta in the middle of the batch is rejected
+        by validation (e.g. one breaking binarity, or naming an unknown
+        key), the changes of the deltas *before* it are still flushed to
+        the store before the exception propagates — the relation always
+        matches the in-memory state, which a rejected delta never touches.
+        Non-validation failures (a backend error during the store
+        transaction, an interrupt mid-recompute) can leave the relation
+        behind the resolvers; call :meth:`resync` to reconcile then.
+        """
+        if not deltas:
+            raise BulkProcessingError("apply() needs at least one delta")
+        started = time.perf_counter()
+        logs: List[Tuple[str, DeltaLog]] = []
+        try:
+            with paused_gc():
+                for delta in deltas:
+                    if is_structural(delta):
+                        for resolver in self._resolvers.values():
+                            resolver.validate(delta)
+                        touched: Optional[Tuple[User, ...]] = None
+                        if isinstance(delta, RemoveUser):
+                            touched = tuple(self.network.children(delta.user))
+                        first = True
+                        for key, resolver in self._resolvers.items():
+                            logs.append(
+                                (
+                                    key,
+                                    resolver.apply(
+                                        delta, mutate_network=first, touched=touched
+                                    ),
+                                )
+                            )
+                            first = False
+                    else:
+                        key = (
+                            self._default_key
+                            if delta.key is None
+                            else str(delta.key)
+                        )
+                        logs.append((key, self.resolver(key).apply(delta)))
+                    # A delta can introduce brand-new users (a belief on a
+                    # fresh user, a trust edge with a fresh endpoint); every
+                    # key's map gains their (empty) entries so the in-memory
+                    # states stay aligned with the shared user set.
+                    if not isinstance(delta, RemoveUser):
+                        for attribute in ("user", "child", "parent"):
+                            user = getattr(delta, attribute, None)
+                            if user is not None:
+                                for resolver in self._resolvers.values():
+                                    resolver.ensure_user(user)
+        except (NetworkError, BulkProcessingError):
+            # A validation rejection mutated nothing, but the deltas before
+            # it did: land their changes so the relation keeps matching the
+            # resolvers, then let the rejection propagate.  Anything else
+            # (interrupt, resolver crash) may have left mid-delta state and
+            # propagates without a flush — resync() is the recovery path.
+            if logs:
+                self._flush(logs)
+            raise
+
+        users_changed, rows_deleted, rows_inserted, statements, transactions = (
+            self._flush(logs)
+        )
+        return DeltaApplyReport(
+            deltas=len(deltas),
+            keys=len(self._resolvers),
+            users_changed=users_changed,
+            rows_deleted=rows_deleted,
+            rows_inserted=rows_inserted,
+            statements=statements,
+            transactions=transactions,
+            seconds=time.perf_counter() - started,
+            dirty_region=sum(log.dirty_region for _key, log in logs),
+            recomputed=sum(log.recomputed for _key, log in logs),
+            pruned=sum(log.pruned for _key, log in logs),
+            backend=self.store.backend_name,
+            logs=tuple(logs),
+        )
+
+    def _flush(
+        self, logs: List[Tuple[str, DeltaLog]]
+    ) -> Tuple[int, int, int, int, int]:
+        """Apply a batch of delta logs to the store in one run transaction.
+
+        Returns ``(users_changed, rows_deleted, rows_inserted, statements,
+        transactions)``.  Per (key, user) only the *net* effect moves: the
+        first old value set is compared against the last new one, so a
+        batch that round-trips a user back to its old rows touches nothing.
+        """
+        net: Dict[Tuple[str, str], RowChange] = {}
+        for key, log in logs:
+            for change in log.changes:
+                slot = (key, str(change.user))
+                first = net.get(slot)
+                net[slot] = RowChange(
+                    user=str(change.user),
+                    old_values=first.old_values if first else change.old_values,
+                    new_values=change.new_values,
+                    removed=change.removed or bool(first and first.removed),
+                )
+
+        deletes: Dict[str, List[str]] = {}
+        inserts: List[Tuple[str, str, str]] = []
+        users_changed = 0
+        for (key, _user), change in net.items():
+            if change.old_values == change.new_values:
+                continue
+            users_changed += 1
+            netted = (change,)
+            to_delete = rows_to_delete(netted)
+            if to_delete:
+                deletes.setdefault(key, []).extend(to_delete)
+            inserts.extend(rows_to_insert(netted, key))
+
+        statements_before = self.store.delta_statements
+        transactions_before = self.store.transactions
+        rows_deleted = rows_inserted = 0
+        if deletes or inserts:
+            with self.store.transaction():
+                for key, users in deletes.items():
+                    rows_deleted += self.store.delete_user_rows(
+                        sorted(users), key=key
+                    )
+                rows_inserted += self.store.insert_rows(sorted(inserts))
+        return (
+            users_changed,
+            rows_deleted,
+            rows_inserted,
+            self.store.delta_statements - statements_before,
+            self.store.transactions - transactions_before,
+        )
+
+    def resync(self) -> int:
+        """Rebuild the store content from the in-memory state.
+
+        The recovery path for a failed store transaction (the one case
+        where the relation can fall behind the resolvers): clears every
+        maintained key's rows and reloads them from the resolvers.
+        """
+        with self.store.transaction():
+            for key in self._resolvers:
+                self.store.delete_user_rows(
+                    sorted(self.store.users()), key=key
+                )
+            self.store.insert_rows(self.rows())
+        return self.store.row_count()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close the underlying store."""
+        self.store.close()
+
+    def __enter__(self) -> "IncrementalSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

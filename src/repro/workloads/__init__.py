@@ -1,11 +1,20 @@
 """Workload generators for every experiment in the paper's evaluation."""
 
-from repro.workloads import bulkload, cliques, indus, oscillators, powerlaw, worstcase
+from repro.workloads import (
+    bulkload,
+    cliques,
+    indus,
+    oscillators,
+    powerlaw,
+    updates,
+    worstcase,
+)
 from repro.workloads.bulkload import figure19_network, generate_objects, object_sweep
 from repro.workloads.cliques import clique_network
 from repro.workloads.indus import all_glyph_networks, trust_network_for_glyph
 from repro.workloads.oscillators import oscillator_network, size_sweep
 from repro.workloads.powerlaw import WebWorkloadConfig, web_trust_network
+from repro.workloads.updates import generate_update_stream
 from repro.workloads.worstcase import worstcase_network
 
 __all__ = [
@@ -16,6 +25,7 @@ __all__ = [
     "cliques",
     "figure19_network",
     "generate_objects",
+    "generate_update_stream",
     "indus",
     "object_sweep",
     "oscillator_network",
@@ -23,6 +33,7 @@ __all__ = [
     "powerlaw",
     "size_sweep",
     "trust_network_for_glyph",
+    "updates",
     "web_trust_network",
     "worstcase",
     "worstcase_network",

@@ -1,0 +1,157 @@
+"""Random update streams for the incremental maintenance engine.
+
+The incremental engine (:mod:`repro.incremental`) is exercised against the
+same workload families as the batch algorithms, plus this module's *update
+streams*: sequences of random deltas that evolve a binary trust network —
+belief revisions, trust additions/removals, priority changes and user
+departures — while preserving the structural restrictions the resolvers
+require (fan-in at most two, beliefs on roots only; optionally distinct
+priorities for the Skeptic variant).
+
+Streams are generated against a private working copy of the network, so
+each op is valid at the moment it would be applied; replaying the returned
+deltas in order through a :class:`~repro.incremental.resolver.DeltaResolver`
+therefore never trips a validation error.  Generation is deterministic in
+``seed``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.core.errors import WorkloadError
+from repro.core.network import TrustNetwork, User
+from repro.incremental.deltas import (
+    AddTrust,
+    Delta,
+    RemoveBelief,
+    RemoveTrust,
+    RemoveUser,
+    SetBelief,
+    SetPriority,
+)
+
+#: Default relative frequencies of the delta kinds in a generated stream.
+DEFAULT_WEIGHTS = {
+    "set_belief": 0.30,
+    "remove_belief": 0.10,
+    "add_trust": 0.20,
+    "remove_trust": 0.15,
+    "set_priority": 0.15,
+    "remove_user": 0.10,
+}
+
+
+def generate_update_stream(
+    network: TrustNetwork,
+    n_ops: int = 20,
+    seed: int = 0,
+    values: Sequence[str] = ("val0", "val1", "val2"),
+    weights: Optional[dict] = None,
+    distinct_priorities: bool = False,
+    min_users: int = 4,
+) -> List[Delta]:
+    """A deterministic stream of ``n_ops`` valid deltas for ``network``.
+
+    The input network is not modified (ops are simulated on a copy).  With
+    ``distinct_priorities`` the stream never creates priority ties among a
+    node's parents, which keeps it valid for Algorithm 2's no-ties
+    restriction; ``min_users`` stops ``remove_user`` ops from shrinking the
+    network below a floor.
+    """
+    if n_ops < 1:
+        raise WorkloadError("an update stream needs at least one operation")
+    weights = dict(DEFAULT_WEIGHTS, **(weights or {}))
+    kinds = sorted(weights)
+    kind_weights = [weights[kind] for kind in kinds]
+    rng = random.Random(seed)
+    working = network.copy()
+    stream: List[Delta] = []
+
+    def users() -> List[User]:
+        return sorted(working.users, key=str)
+
+    def priority_pool(child: User, exclude_parent: Optional[User] = None) -> List[int]:
+        pool = list(range(1, 16))
+        if distinct_priorities:
+            used = {
+                edge.priority
+                for edge in working.incoming(child)
+                if edge.parent != exclude_parent
+            }
+            pool = [priority for priority in pool if priority not in used]
+        return pool
+
+    attempts = 0
+    while len(stream) < n_ops and attempts < n_ops * 50:
+        attempts += 1
+        kind = rng.choices(kinds, weights=kind_weights)[0]
+        delta: Optional[Delta] = None
+        if kind == "set_belief":
+            roots = [user for user in users() if not working.incoming(user)]
+            if roots:
+                delta = SetBelief(rng.choice(roots), rng.choice(list(values)))
+                working.set_explicit_belief(delta.user, delta.value)
+        elif kind == "remove_belief":
+            believers = [
+                user for user in users() if working.has_explicit_belief(user)
+            ]
+            if believers:
+                delta = RemoveBelief(rng.choice(believers))
+                working.remove_explicit_belief(delta.user)
+        elif kind == "add_trust":
+            children = [
+                user
+                for user in users()
+                if len(working.incoming(user)) < 2
+                and not working.has_explicit_belief(user)
+            ]
+            rng.shuffle(children)
+            for child in children:
+                current = {edge.parent for edge in working.incoming(child)}
+                parents = [
+                    parent
+                    for parent in users()
+                    if parent != child and parent not in current
+                ]
+                pool = priority_pool(child)
+                if parents and pool:
+                    delta = AddTrust(child, rng.choice(parents), rng.choice(pool))
+                    working.add_trust(delta.child, delta.parent, delta.priority)
+                    break
+        elif kind == "remove_trust":
+            if working.mappings:
+                mapping = rng.choice(working.mappings)
+                delta = RemoveTrust(mapping.child, mapping.parent)
+                working.remove_trust(delta.child, delta.parent)
+        elif kind == "set_priority":
+            if working.mappings:
+                mapping = rng.choice(working.mappings)
+                parallel = sum(
+                    1
+                    for edge in working.incoming(mapping.child)
+                    if edge.parent == mapping.parent
+                )
+                pool = priority_pool(mapping.child, exclude_parent=mapping.parent)
+                pool = [p for p in pool if p != mapping.priority]
+                # Parallel mappings between the same pair make the update
+                # ambiguous (set_priority rejects them): pick another op.
+                if parallel == 1 and pool:
+                    delta = SetPriority(
+                        mapping.child, mapping.parent, rng.choice(pool)
+                    )
+                    working.set_priority(delta.child, delta.parent, delta.priority)
+        elif kind == "remove_user":
+            candidates = users()
+            if len(candidates) > min_users:
+                delta = RemoveUser(rng.choice(candidates))
+                working.remove_user(delta.user)
+        if delta is not None:
+            stream.append(delta)
+    if len(stream) < n_ops:
+        raise WorkloadError(
+            f"could only generate {len(stream)}/{n_ops} valid operations; "
+            "the network offers too few mutation targets"
+        )
+    return stream

@@ -106,3 +106,79 @@ class TestAggregates:
     def test_possible_table_is_distinct(self, store):
         store.insert_explicit_beliefs([("a", "k1", "v"), ("a", "k1", "v")])
         assert store.possible_table() == [PossRow("a", "k1", "v")]
+
+
+class TestDeltaStatements:
+    """The incremental engine's DELETE/INSERT path (repro.incremental)."""
+
+    def test_insert_rows_counts_one_statement(self, store):
+        assert store.delta_statements == 0
+        inserted = store.insert_rows([("a", "k1", "v"), ("a", "k2", "w")])
+        assert inserted == 2
+        assert store.delta_statements == 1
+        assert store.possible_values("a", "k1") == frozenset({"v"})
+        assert store.insert_rows([]) == 0
+        assert store.delta_statements == 1  # empty batches are free
+
+    def test_delete_user_rows_all_keys(self, store):
+        store.insert_rows([("a", "k1", "v"), ("a", "k2", "w"), ("b", "k1", "x")])
+        deleted = store.delete_user_rows(["a"])
+        assert deleted == 2
+        assert store.possible_values("a", "k1") == frozenset()
+        assert store.possible_values("b", "k1") == frozenset({"x"})
+        assert store.delta_statements == 2
+
+    def test_delete_user_rows_scoped_to_one_key(self, store):
+        store.insert_rows([("a", "k1", "v"), ("a", "k2", "w")])
+        assert store.delete_user_rows(["a"], key="k1") == 1
+        assert store.possible_values("a", "k1") == frozenset()
+        assert store.possible_values("a", "k2") == frozenset({"w"})
+        assert store.delete_user_rows([], key="k1") == 0
+
+    def test_delta_statements_join_run_transactions(self, store):
+        store.insert_rows([("a", "k1", "v")])
+        with pytest.raises(RuntimeError):
+            with store.transaction():
+                store.delete_user_rows(["a"])
+                store.insert_rows([("a", "k1", "replacement")])
+                raise RuntimeError("mid-apply failure")
+        # Both delta statements rolled back with the transaction.
+        assert store.possible_values("a", "k1") == frozenset({"v"})
+
+
+class TestShardedDeltaStatements:
+    def test_key_scoped_delete_routes_to_owning_shard(self):
+        from repro.bulk.store import ShardedPossStore
+
+        store = ShardedPossStore(3)
+        store.insert_rows([("a", "k1", "v"), ("a", "k2", "w"), ("b", "k1", "x")])
+        owning = store.shard_for("k1")
+        before = [shard.delta_statements for shard in store.shards]
+        assert store.delete_user_rows(["a"], key="k1") == 1
+        after = [shard.delta_statements for shard in store.shards]
+        assert sum(after) - sum(before) == 1  # only the owning shard moved
+        assert owning.delta_statements == after[store.spec.shard_of("k1")]
+        assert store.possible_values("a", "k2") == frozenset({"w"})
+        store.close()
+
+    def test_unscoped_delete_fans_out(self):
+        from repro.bulk.store import ShardedPossStore
+
+        store = ShardedPossStore(2)
+        store.insert_rows([("a", "k1", "v"), ("a", "k2", "w")])
+        assert store.delete_user_rows(["a"]) == 2
+        assert store.row_count() == 0
+        assert store.delta_statements >= 2
+        store.close()
+
+    def test_insert_rows_partitions_by_key(self):
+        from repro.bulk.store import ShardedPossStore
+
+        store = ShardedPossStore(2)
+        rows = [("u", f"k{i}", "v") for i in range(8)]
+        assert store.insert_rows(rows) == 8
+        for i in range(8):
+            shard = store.shard_for(f"k{i}")
+            assert shard.possible_values("u", f"k{i}") == frozenset({"v"})
+        assert store.row_count() == 8
+        store.close()

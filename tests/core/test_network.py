@@ -60,6 +60,136 @@ class TestConstruction:
         assert not tn.has_explicit_belief("b")
 
 
+class TestMutators:
+    def test_remove_mapping_exact(self):
+        tn = TrustNetwork(mappings=[("p", 1, "x"), ("p", 2, "x")])
+        tn.remove_mapping(("p", 1, "x"))
+        assert tn.mappings == (TrustMapping("p", 2, "x"),)
+        assert "x" in tn and "p" in tn  # endpoints survive
+
+    def test_remove_mapping_missing_raises(self):
+        tn = TrustNetwork(mappings=[("p", 1, "x")])
+        with pytest.raises(NetworkError):
+            tn.remove_mapping(("p", 9, "x"))
+
+    def test_remove_trust_drops_all_parallel_edges(self):
+        tn = TrustNetwork(mappings=[("p", 1, "x"), ("p", 2, "x"), ("q", 3, "x")])
+        removed = tn.remove_trust("x", "p")
+        assert {m.priority for m in removed} == {1, 2}
+        assert tn.parents("x") == ("q",)
+
+    def test_remove_trust_missing_raises(self):
+        tn = TrustNetwork(mappings=[("p", 1, "x")])
+        with pytest.raises(NetworkError):
+            tn.remove_trust("x", "q")
+
+    def test_remove_trust_invalidates_preferred_cache(self):
+        tn = TrustNetwork(mappings=[("hi", 2, "x"), ("lo", 1, "x")])
+        assert tn.preferred_parent_map()["x"] == "hi"  # warm the cache
+        tn.remove_trust("x", "hi")
+        assert tn.preferred_parent_map()["x"] == "lo"
+        assert tn.incoming_map()["x"] == (TrustMapping("lo", 1, "x"),)
+
+    def test_set_priority_replaces_edge_in_place(self):
+        tn = TrustNetwork(mappings=[("hi", 2, "x"), ("lo", 1, "x")])
+        assert tn.preferred_parent("x") == "hi"
+        tn.set_priority("x", "lo", priority=5)
+        assert tn.preferred_parent("x") == "lo"
+        assert [m.priority for m in tn.incoming("x")] == [2, 5]
+        assert len(tn.mappings) == 2
+
+    def test_set_priority_same_value_is_noop(self):
+        tn = TrustNetwork(mappings=[("p", 3, "x")])
+        mapping = tn.set_priority("x", "p", priority=3)
+        assert mapping == TrustMapping("p", 3, "x")
+
+    def test_set_priority_missing_or_ambiguous_raises(self):
+        tn = TrustNetwork(mappings=[("p", 1, "x"), ("p", 2, "x")])
+        with pytest.raises(NetworkError):
+            tn.set_priority("x", "q", priority=1)
+        with pytest.raises(NetworkError):
+            tn.set_priority("x", "p", priority=9)
+
+    def test_remove_user_drops_edges_and_belief(self):
+        tn = TrustNetwork(
+            mappings=[("r", 1, "a"), ("a", 1, "b")], explicit_beliefs={"r": "v"}
+        )
+        tn.remove_user("a")
+        assert "a" not in tn
+        assert tn.mappings == ()
+        assert tn.has_explicit_belief("r")
+        tn.remove_user("r")
+        assert not tn.has_explicit_belief("r")
+        assert tn.users == frozenset({"b"})
+
+    def test_remove_user_unknown_raises(self):
+        tn = TrustNetwork(users=["a"])
+        with pytest.raises(NetworkError):
+            tn.remove_user("zz")
+
+    def test_remove_user_invalidates_adjacency_caches(self):
+        tn = TrustNetwork(mappings=[("r", 1, "a"), ("r", 1, "b")])
+        assert set(tn.outgoing_map()["r"]) == {
+            TrustMapping("r", 1, "a"),
+            TrustMapping("r", 1, "b"),
+        }
+        tn.remove_user("b")
+        assert tn.outgoing_map()["r"] == (TrustMapping("r", 1, "a"),)
+        assert tn.roots() == frozenset({"r"})
+        assert "b" not in tn.preferred_parent_map()
+
+    def test_mutators_invalidate_binary_cache(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")])
+        assert not tn.is_binary()
+        tn.remove_trust("x", "c")
+        assert tn.is_binary()
+        tn.add_trust("x", "c", priority=3)
+        assert not tn.is_binary()
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_patched_caches_match_a_fresh_rebuild(self, seed):
+        """Mutators patch warm caches in place; after every op the cached
+        maps must equal those of a freshly constructed network (the oracle
+        cannot share the caches under test, hence the rebuild)."""
+        import random
+
+        rng = random.Random(seed)
+        tn = TrustNetwork(users=[f"u{i}" for i in range(6)])
+        for _ in range(40):
+            # Keep all caches warm so every mutation exercises the patches.
+            tn.incoming_map(), tn.outgoing_map(), tn.preferred_parent_map()
+            tn.is_binary()
+            users = sorted(tn.users, key=str)
+            op = rng.random()
+            try:
+                if op < 0.35:
+                    child, parent = rng.sample(users, 2)
+                    tn.add_trust(child, parent, rng.randint(1, 4))
+                elif op < 0.55 and tn.mappings:
+                    edge = rng.choice(tn.mappings)
+                    tn.remove_trust(edge.child, edge.parent)
+                elif op < 0.7 and tn.mappings:
+                    edge = rng.choice(tn.mappings)
+                    tn.set_priority(edge.child, edge.parent, rng.randint(1, 4))
+                elif op < 0.8:
+                    tn.add_user(f"extra{rng.randint(0, 9)}")
+                elif op < 0.9 and len(users) > 2:
+                    tn.remove_user(rng.choice(users))
+                else:
+                    tn.set_explicit_belief(rng.choice(users), "v")
+            except NetworkError:
+                continue  # ambiguous parallel edge etc. — state unchanged
+            fresh = TrustNetwork(
+                users=tn.users,
+                mappings=tn.mappings,
+                explicit_beliefs=tn.explicit_beliefs,
+            )
+            assert tn.incoming_map() == fresh.incoming_map()
+            assert tn.outgoing_map() == fresh.outgoing_map()
+            assert tn.preferred_parent_map() == fresh.preferred_parent_map()
+            assert tn.is_binary() == fresh.is_binary()
+
+
 class TestStructureQueries:
     def test_parents_sorted_by_priority(self):
         tn = TrustNetwork(mappings=[("low", 1, "x"), ("high", 9, "x"), ("mid", 5, "x")])

@@ -117,6 +117,31 @@ class TestFigureDrivers:
         assert summary["largest_shard_count"] == 2
         assert 0.0 < summary["mean_shard_balance"] <= 1.0
 
+    def test_fig8_incremental_rows(self):
+        from repro.experiments import fig8_incremental
+
+        rows = fig8_incremental.run(sizes=(80, 400), workload="fig8a")
+        assert [row["workload"] for row in rows] == ["fig8a", "fig8a"]
+        assert all(row["byte_identical"] for row in rows)
+        assert all(row["dirty_region"] >= 1 for row in rows)
+        assert all(row["delta_apply_seconds"] > 0 for row in rows)
+        summary = fig8_incremental.summarize(rows)
+        assert summary["all_byte_identical"]
+        assert summary["largest_size"] == rows[-1]["size"]
+
+    def test_fig8_incremental_web_rows(self):
+        from repro.experiments import fig8_incremental
+
+        rows = fig8_incremental.run(sizes=(150,), workload="fig8b")
+        assert rows[0]["byte_identical"]
+        assert rows[0]["rows_touched"] >= 1
+
+    def test_fig8_incremental_rejects_unknown_workload(self):
+        from repro.experiments import fig8_incremental
+
+        with pytest.raises(ValueError):
+            fig8_incremental.run(sizes=(80,), workload="fig9z")
+
     def test_fig11_rows(self):
         rows = fig11_binarization.run(clique_sizes=(4, 6))
         assert all(row["binarized_users"] == row["expected_users"] for row in rows)

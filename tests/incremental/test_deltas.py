@@ -1,0 +1,77 @@
+"""Unit tests for the delta vocabulary and the row-level log."""
+
+from __future__ import annotations
+
+from repro.incremental.deltas import (
+    AddTrust,
+    DeltaLog,
+    RemoveBelief,
+    RemoveTrust,
+    RemoveUser,
+    RowChange,
+    SetBelief,
+    SetPriority,
+    is_structural,
+)
+
+
+class TestDeltaKinds:
+    def test_structural_classification(self):
+        assert is_structural(AddTrust("c", "p", 1))
+        assert is_structural(RemoveTrust("c", "p"))
+        assert is_structural(SetPriority("c", "p", 2))
+        assert is_structural(RemoveUser("u"))
+        assert not is_structural(SetBelief("u", "v"))
+        assert not is_structural(RemoveBelief("u"))
+
+    def test_belief_deltas_carry_an_optional_key(self):
+        assert SetBelief("u", "v").key is None
+        assert SetBelief("u", "v", key="k3").key == "k3"
+        assert RemoveBelief("u", key="k1").key == "k1"
+
+    def test_deltas_are_hashable_and_comparable(self):
+        assert SetBelief("u", "v") == SetBelief("u", "v")
+        assert len({AddTrust("c", "p", 1), AddTrust("c", "p", 1)}) == 1
+
+
+class TestDeltaLog:
+    def _log(self):
+        return DeltaLog(
+            delta=SetBelief("a", "v2"),
+            changes=(
+                RowChange("a", frozenset({"v"}), frozenset({"v2"})),
+                RowChange("b", frozenset(), frozenset({"v2", "w"})),
+                RowChange("gone", frozenset({"x"}), frozenset(), removed=True),
+            ),
+            touched=("a",),
+            dirty_region=5,
+            recomputed=3,
+            pruned=2,
+        )
+
+    def test_changed_users_in_order(self):
+        assert self._log().changed_users() == ("a", "b", "gone")
+
+    def test_delete_users_skips_previously_empty_rows(self):
+        # "b" had no rows, so no DELETE is needed for it; the removed user
+        # is always deleted.
+        assert self._log().delete_users() == ["a", "gone"]
+
+    def test_insert_rows_expand_sorted_values_per_user(self):
+        rows = self._log().insert_rows("k0")
+        assert rows == [
+            ("a", "k0", "v2"),
+            ("b", "k0", "v2"),
+            ("b", "k0", "w"),
+        ]
+
+    def test_empty_log(self):
+        log = DeltaLog(delta=RemoveBelief("u"), changes=(), touched=())
+        assert log.is_empty
+        assert log.delete_users() == []
+        assert log.insert_rows("k") == []
+        assert not self._log().is_empty
+
+    def test_cost_counters(self):
+        log = self._log()
+        assert (log.dirty_region, log.recomputed, log.pruned) == (5, 3, 2)

@@ -1,0 +1,199 @@
+"""Unit tests for the Algorithm-1 delta resolver (dirty-region recompute)."""
+
+from __future__ import annotations
+
+import gc
+
+import pytest
+
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+from repro.core.resolution import resolve
+from repro.incremental.deltas import (
+    AddTrust,
+    RemoveBelief,
+    RemoveTrust,
+    RemoveUser,
+    SetBelief,
+    SetPriority,
+)
+from repro.incremental.resolver import DeltaResolver
+from repro.workloads.oscillators import oscillator_network
+
+
+def assert_matches_full(resolver: DeltaResolver) -> None:
+    """The maintained map must equal a from-scratch resolution."""
+    assert resolver.possible == resolve(resolver.network).possible
+
+
+@pytest.fixture
+def oscillator(oscillator_network):
+    """The Figure 4b oscillator (two stable solutions) — suite-wide fixture."""
+    return oscillator_network
+
+
+class TestBeliefDeltas:
+    def test_set_belief_propagates_downstream(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        assert resolver.possible["x1"] == frozenset({"v", "w"})
+        log = resolver.apply(SetBelief("x4", "v"))
+        # Both sources now agree, so the cycle collapses to one value.
+        assert resolver.possible["x1"] == frozenset({"v"})
+        assert resolver.possible["x2"] == frozenset({"v"})
+        assert {change.user for change in log.changes} == {"x1", "x2", "x4"}
+        assert_matches_full(resolver)
+
+    def test_set_belief_same_value_changes_nothing(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        log = resolver.apply(SetBelief("x3", "v"))
+        assert log.is_empty
+        assert log.dirty_region >= 1  # the touched user is always recomputed
+        assert_matches_full(resolver)
+
+    def test_set_belief_on_new_user_extends_the_network(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        resolver.apply(SetBelief("x9", "q"))
+        assert resolver.possible["x9"] == frozenset({"q"})
+        assert_matches_full(resolver)
+
+    def test_set_belief_on_non_root_is_rejected(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        with pytest.raises(NetworkError):
+            resolver.apply(SetBelief("x1", "v"))
+
+    def test_remove_belief_makes_descendants_undefined(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        resolver.apply(RemoveBelief("x4"))
+        # x2 keeps only the x1-side value; the x4 source is gone.
+        assert resolver.possible["x4"] == frozenset()
+        assert_matches_full(resolver)
+
+    def test_remove_absent_belief_is_a_noop(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        log = resolver.apply(RemoveBelief("x1"))
+        assert log.is_empty and log.dirty_region == 0
+
+
+class TestStructuralDeltas:
+    def test_add_trust_reaches_new_child(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        resolver.apply(AddTrust("x5", "x1", 10))
+        assert resolver.possible["x5"] == frozenset({"v", "w"})
+        assert_matches_full(resolver)
+
+    def test_add_trust_validates_binarity(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        with pytest.raises(NetworkError):
+            resolver.apply(AddTrust("x1", "x4", 10))  # third parent
+        with pytest.raises(NetworkError):
+            resolver.apply(AddTrust("x3", "x1", 10))  # belief holder
+        with pytest.raises(NetworkError):
+            resolver.apply(AddTrust("x7", "x7", 1))  # self-trust
+
+    def test_remove_trust_and_priority_change(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        # Dropping the preferred edge x2 -> x1 leaves only x3's value.
+        resolver.apply(RemoveTrust("x1", "x2"))
+        assert resolver.possible["x1"] == frozenset({"v"})
+        assert_matches_full(resolver)
+        # Re-adding with a *lower* priority than x3 flips the preference.
+        resolver.apply(AddTrust("x1", "x2", 10))
+        assert_matches_full(resolver)
+        resolver.apply(SetPriority("x1", "x2", 100))
+        assert_matches_full(resolver)
+        assert resolver.possible["x1"] == frozenset({"v", "w"})
+
+    def test_remove_user_drops_its_rows_and_updates_children(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        log = resolver.apply(RemoveUser("x4"))
+        assert "x4" not in resolver.possible
+        removed = [change for change in log.changes if change.removed]
+        assert [change.user for change in removed] == ["x4"]
+        assert_matches_full(resolver)
+
+    def test_structural_delta_on_missing_edge_is_rejected(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        with pytest.raises(NetworkError):
+            resolver.apply(RemoveTrust("x1", "x4"))
+        with pytest.raises(NetworkError):
+            resolver.apply(SetPriority("x9", "x1", 3))
+        with pytest.raises(NetworkError):
+            resolver.apply(RemoveUser("nope"))
+
+
+class TestPruning:
+    def test_disconnected_clusters_are_never_visited(self):
+        network = oscillator_network(50)
+        resolver = DeltaResolver(network)
+        log = resolver.apply(SetBelief("c0.x3", "fresh"))
+        # The dirty region is one cluster's reachable half, not the network.
+        assert log.dirty_region == 3
+        assert log.recomputed <= 3
+        assert_matches_full(resolver)
+
+    def test_equal_value_recompute_prunes_descendants(self):
+        # chain: a -> b -> c -> d; flipping a's belief back and forth.
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        tn.add_trust("d", "c", priority=1)
+        tn.set_explicit_belief("a", "v")
+        resolver = DeltaResolver(tn)
+        log = resolver.apply(SetBelief("a", "v"))
+        # a is recomputed (touched), but its value is unchanged, so the
+        # three downstream users are pruned without recomputation.
+        assert log.dirty_region == 4
+        assert log.recomputed == 1
+        assert log.pruned == 3
+        assert log.is_empty
+
+    def test_partial_pruning_stops_at_stable_values(self):
+        # two sources merging: flipping the non-preferred source only
+        # recomputes until values stabilize.
+        tn = TrustNetwork()
+        tn.add_trust("m", "hi", priority=2)
+        tn.add_trust("m", "lo", priority=1)
+        tn.add_trust("tail", "m", priority=1)
+        tn.set_explicit_belief("hi", "v")
+        tn.set_explicit_belief("lo", "w")
+        resolver = DeltaResolver(tn)
+        log = resolver.apply(SetBelief("lo", "zzz"))
+        # m copies from the preferred parent "hi", so m (and tail) keep
+        # their values: only lo and m are recomputed, tail is pruned.
+        assert resolver.possible["m"] == frozenset({"v"})
+        assert log.recomputed == 2
+        assert log.pruned == 1
+        assert_matches_full(resolver)
+
+
+class TestResolverState:
+    def test_resolution_snapshot(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        resolver.apply(SetBelief("x4", "v"))
+        snapshot = resolver.resolution()
+        assert snapshot.possible == resolver.possible
+        assert snapshot.certain_value("x1") == "v"
+        assert snapshot.explicit_users == frozenset({"x3", "x4"})
+
+    def test_belief_override_detaches_from_network(self, oscillator):
+        resolver = DeltaResolver(oscillator, beliefs={"x3": "a", "x4": "b"})
+        assert resolver.possible["x1"] == frozenset({"a", "b"})
+        resolver.apply(SetBelief("x3", "zz"))
+        # The network's own beliefs are untouched in override mode.
+        assert oscillator.explicit_belief("x3").positive_value == "v"
+        assert resolver.possible["x1"] == frozenset({"zz", "b"})
+
+    def test_belief_override_unknown_user_rejected(self, oscillator):
+        with pytest.raises(NetworkError):
+            DeltaResolver(oscillator, beliefs={"ghost": "v"})
+
+    def test_non_binary_network_rejected(self):
+        tn = TrustNetwork(mappings=[("a", 1, "x"), ("b", 2, "x"), ("c", 3, "x")])
+        with pytest.raises(NetworkError):
+            DeltaResolver(tn)
+
+    def test_gc_is_restored_after_every_apply(self, oscillator):
+        resolver = DeltaResolver(oscillator)
+        assert gc.isenabled()
+        resolver.apply(SetBelief("x4", "v"))
+        assert gc.isenabled()

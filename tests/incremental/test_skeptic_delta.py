@@ -1,0 +1,141 @@
+"""The Skeptic (Algorithm 2) delta resolver vs. from-scratch resolution."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.beliefs import BeliefSet
+from repro.core.errors import NetworkError
+from repro.core.network import TrustNetwork
+from repro.core.skeptic import resolve_skeptic
+from repro.incremental.deltas import (
+    AddTrust,
+    RemoveBelief,
+    RemoveTrust,
+    RemoveUser,
+    SetBelief,
+    SetPriority,
+)
+from repro.incremental.skeptic import SkepticDeltaResolver
+from repro.workloads.updates import generate_update_stream
+
+
+def random_constrained_network(
+    seed: int, n_nodes: int = 8, n_values: int = 3
+) -> TrustNetwork:
+    """A random binary network with distinct priorities and mixed beliefs."""
+    rng = random.Random(seed)
+    users = [f"u{i}" for i in range(n_nodes)]
+    values = [f"val{i}" for i in range(n_values)]
+    tn = TrustNetwork(users=users)
+    for child in users:
+        priorities = rng.sample(range(1, 10), 2)
+        count = 0
+        for _ in range(2):
+            if count >= 2 or rng.random() > 0.7:
+                continue
+            parent = rng.choice(users)
+            if parent == child:
+                continue
+            if any(m.parent == parent for m in tn.incoming(child)):
+                continue
+            tn.add_trust(child, parent, priority=priorities[count])
+            count += 1
+    for user in users:
+        if tn.incoming(user):
+            continue
+        roll = rng.random()
+        if roll < 0.4:
+            tn.set_explicit_belief(user, rng.choice(values))
+        elif roll < 0.65:
+            tn.set_explicit_belief(
+                user,
+                BeliefSet.from_negatives(rng.sample(values, rng.randint(1, 2))),
+            )
+    return tn
+
+
+def assert_matches_full(resolver: SkepticDeltaResolver) -> None:
+    oracle = resolve_skeptic(resolver.network)
+    got = resolver.result()
+    assert got.representations == oracle.representations
+    assert got.pref_neg == oracle.pref_neg
+    assert got.domain == oracle.domain
+
+
+class TestSkepticDeltas:
+    def _filter_network(self):
+        tn = TrustNetwork()
+        tn.add_trust("x", "filter", priority=2)
+        tn.add_trust("x", "source", priority=1)
+        tn.set_explicit_belief("filter", BeliefSet.from_negatives(["bad"]))
+        tn.set_explicit_belief("source", "good")
+        return tn
+
+    def test_constraint_blocks_new_value(self):
+        resolver = SkepticDeltaResolver(self._filter_network())
+        assert resolver.result().possible_positive_values("x") == frozenset(
+            {"good"}
+        )
+        resolver.apply(SetBelief("source", "bad"))
+        # The filtered value is rejected along the preferred chain: x
+        # cannot accept it, so x floods to bottom.
+        assert resolver.result().possible_positive_values("x") == frozenset()
+        assert resolver.result().representation("x").has_bottom
+        assert_matches_full(resolver)
+
+    def test_constraint_update_reaches_pref_neg(self):
+        resolver = SkepticDeltaResolver(self._filter_network())
+        resolver.apply(SetBelief("filter", BeliefSet.from_negatives(["good"])))
+        assert resolver.result().forced_negative_values("x") == frozenset(
+            {"good"}
+        )
+        assert_matches_full(resolver)
+
+    def test_structural_deltas(self):
+        resolver = SkepticDeltaResolver(self._filter_network())
+        resolver.apply(RemoveTrust("x", "filter"))
+        assert_matches_full(resolver)
+        resolver.apply(AddTrust("y", "x", 5))
+        assert_matches_full(resolver)
+        resolver.apply(SetPriority("y", "x", 7))
+        assert_matches_full(resolver)
+        resolver.apply(RemoveUser("source"))
+        assert_matches_full(resolver)
+        resolver.apply(RemoveBelief("filter"))
+        assert_matches_full(resolver)
+
+    def test_tie_creating_deltas_are_rejected(self):
+        resolver = SkepticDeltaResolver(self._filter_network())
+        resolver.apply(AddTrust("y", "x", 5))
+        with pytest.raises(NetworkError):
+            resolver.apply(AddTrust("y", "filter", 5))  # ties y's parents
+        with pytest.raises(NetworkError):
+            resolver.apply(SetPriority("x", "source", 2))  # ties x's parents
+        assert_matches_full(resolver)
+
+    def test_cofinite_negative_belief_rejected(self):
+        resolver = SkepticDeltaResolver(self._filter_network())
+        with pytest.raises(NetworkError):
+            resolver.apply(SetBelief("source", BeliefSet.bottom()))
+
+
+@pytest.mark.parametrize("seed", range(120))
+def test_skeptic_stream_matches_full_resolution(seed):
+    network = random_constrained_network(seed)
+    stream = generate_update_stream(
+        network,
+        n_ops=12,
+        seed=seed * 13 + 5,
+        distinct_priorities=True,
+    )
+    resolver = SkepticDeltaResolver(network)
+    for delta in stream:
+        resolver.apply(delta)
+        oracle = resolve_skeptic(network)
+        got = resolver.result()
+        assert got.representations == oracle.representations, (seed, delta)
+        assert got.pref_neg == oracle.pref_neg, (seed, delta)
+        assert got.domain == oracle.domain, (seed, delta)

@@ -100,6 +100,59 @@ def test_bulk_surface_is_locked():
         assert hasattr(repro.bulk, name), name
 
 
+#: The locked surface of repro.incremental (same contract as BULK_API).
+INCREMENTAL_API = [
+    "AddTrust",
+    "Delta",
+    "DeltaApplyReport",
+    "DeltaLog",
+    "DeltaResolver",
+    "IncrementalSession",
+    "RemoveBelief",
+    "RemoveTrust",
+    "RemoveUser",
+    "RowChange",
+    "SetBelief",
+    "SetPriority",
+    "SkepticDeltaLog",
+    "SkepticDeltaResolver",
+    "SkepticRowChange",
+    "is_structural",
+]
+
+
+def test_incremental_surface_is_locked():
+    import repro.incremental
+
+    assert sorted(repro.incremental.__all__) == INCREMENTAL_API
+    for name in repro.incremental.__all__:
+        assert hasattr(repro.incremental, name), name
+
+
+def test_incremental_round_trip():
+    """The new names work together end to end through the public surface."""
+    from repro.incremental import (
+        DeltaResolver,
+        IncrementalSession,
+        SetBelief,
+        is_structural,
+    )
+
+    tn = TrustNetwork()
+    tn.add_trust("mirror", "source", priority=1)
+    tn.set_explicit_belief("source", "v")
+    resolver = DeltaResolver(tn)
+    log = resolver.apply(SetBelief("source", "w"))
+    assert not is_structural(log.delta)
+    assert resolver.possible["mirror"] == frozenset({"w"})
+
+    session = IncrementalSession(tn.copy())
+    report = session.apply(SetBelief("source", "z"))
+    assert report.transactions == 1
+    assert session.store.possible_values("mirror", "k0") == frozenset({"z"})
+    session.close()
+
+
 def test_sharded_engine_round_trip():
     """The new names work together end to end through the public surface."""
     from repro.bulk import ConcurrentBulkResolver, ShardSpec, ShardedPossStore

@@ -181,3 +181,99 @@ class TestCliquesAndBulk:
         sweep = object_sweep(10_000, points=5)
         assert sweep[-1] == 10_000
         assert sweep == sorted(sweep)
+
+
+class TestUpdateStreams:
+    def _network(self, seed=0):
+        from tests.conftest import random_binary_network
+
+        return random_binary_network(seed, n_nodes=8, n_values=3)
+
+    def test_stream_is_deterministic_and_sized(self):
+        from repro.workloads.updates import generate_update_stream
+
+        network = self._network()
+        first = generate_update_stream(network, n_ops=20, seed=9)
+        second = generate_update_stream(network, n_ops=20, seed=9)
+        assert first == second
+        assert len(first) == 20
+        # The input network is never modified by generation.
+        assert self._network().mappings == network.mappings
+
+    def test_stream_replays_without_validation_errors(self):
+        from repro.incremental.resolver import DeltaResolver
+        from repro.workloads.updates import generate_update_stream
+
+        network = self._network(3)
+        stream = generate_update_stream(network, n_ops=30, seed=4)
+        resolver = DeltaResolver(network)
+        for delta in stream:
+            resolver.apply(delta)  # raises on any invalid op
+
+    def test_distinct_priorities_mode_never_creates_ties(self):
+        from repro.core.network import TrustNetwork
+        from repro.workloads.updates import generate_update_stream
+        from repro.incremental.deltas import AddTrust, SetPriority
+
+        network = TrustNetwork()
+        network.add_trust("b", "a", priority=1)
+        network.add_trust("b", "c", priority=2)
+        network.add_trust("d", "b", priority=1)
+        network.set_explicit_belief("a", "v")
+        working = network.copy()
+        stream = generate_update_stream(
+            working, n_ops=25, seed=11, distinct_priorities=True
+        )
+        replay = network.copy()
+        from repro.incremental.resolver import DeltaResolver
+
+        resolver = DeltaResolver(replay)
+        for delta in stream:
+            resolver.apply(delta)
+            for user in replay.users:
+                priorities = [m.priority for m in replay.incoming(user)]
+                assert len(priorities) == len(set(priorities)), (delta, user)
+
+    def test_remove_user_respects_floor(self):
+        from repro.workloads.updates import generate_update_stream
+        from repro.incremental.deltas import RemoveUser
+        from repro.incremental.resolver import DeltaResolver
+
+        network = self._network(7)
+        floor = len(network.users) - 1
+        stream = generate_update_stream(
+            network,
+            n_ops=25,
+            seed=2,
+            weights={"remove_user": 5.0},
+            min_users=floor,
+        )
+        assert sum(isinstance(d, RemoveUser) for d in stream) <= 1
+        resolver = DeltaResolver(network)
+        for delta in stream:
+            resolver.apply(delta)
+
+    def test_stream_validation(self):
+        from repro.core.errors import WorkloadError
+        from repro.workloads.updates import generate_update_stream
+
+        with pytest.raises(WorkloadError):
+            generate_update_stream(self._network(), n_ops=0)
+
+    def test_parallel_edges_in_the_input_do_not_crash_generation(self):
+        """Parallel mappings between one pair are legal (fan-in <= 2) but
+        make set_priority ambiguous; the generator must skip, not raise."""
+        from repro.core.network import TrustNetwork
+        from repro.incremental.resolver import DeltaResolver
+        from repro.workloads.updates import generate_update_stream
+
+        tn = TrustNetwork(
+            mappings=[("p", 1, "x"), ("p", 2, "x"), ("r", 1, "y")],
+            explicit_beliefs={"p": "v", "r": "w"},
+        )
+        stream = generate_update_stream(
+            tn, n_ops=15, seed=0, weights={"set_priority": 50.0}
+        )
+        resolver = DeltaResolver(tn)
+        for delta in stream:
+            resolver.apply(delta)
