@@ -115,3 +115,46 @@ def test_incremental_update_stream_throughput(bench_json_records):
         incremental_seconds,
         one_full_resolve,
     )
+
+
+def test_engine_batch_apply_sweep(bench_json_records, bench_report_lines):
+    """The engine-path batching experiment: a 50-op overlapping burst
+    applied as one coalesced batch (ResolutionEngine.apply — net-effect
+    dedupe + one merged-region recompute) vs. op-at-a-time application.
+    Relations must be byte-identical with fewer recomputes than ops."""
+    rows = fig8_incremental.run_batch_sweep(
+        sizes=(2_000, 10_000), workload="fig8a", ops=50
+    )
+    summary = fig8_incremental.summarize_batch_sweep(rows)
+    assert summary["all_byte_identical"], summary
+    assert summary["fewer_recomputes_than_ops"], summary
+    bench_report_lines.append(
+        "Engine batch apply (coalesced, one recompute) vs. op-at-a-time"
+    )
+    bench_report_lines.append(
+        format_table(
+            rows,
+            columns=[
+                "size",
+                "ops",
+                "coalesced_to",
+                "recomputes",
+                "op_at_a_time_seconds",
+                "batched_seconds",
+                "speedup",
+            ],
+        )
+    )
+    bench_report_lines.append(f"summary: {summary}")
+    for row in rows:
+        record_scenario(
+            bench_json_records,
+            f"engine/fig8_incremental/batch/size={row['size']}",
+            seconds=row["batched_seconds"],
+            op_at_a_time_seconds=round(row["op_at_a_time_seconds"], 6),
+            speedup_vs_op_at_a_time=round(row["speedup"], 1),
+            ops=row["ops"],
+            coalesced_to=row["coalesced_to"],
+            recomputes=row["recomputes"],
+            byte_identical=row["byte_identical"],
+        )

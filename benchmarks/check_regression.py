@@ -1,0 +1,145 @@
+"""CI benchmark-regression guard for ``BENCH_resolution.json``.
+
+The bench-smoke CI job snapshots the committed ``BENCH_resolution.json``
+(the stored baseline), reruns the quick benchmarks (which merge fresh
+``seconds`` per scenario into the file), and then runs this checker: any
+scenario whose fresh timing regressed by more than ``--threshold`` (2x by
+default) against its stored baseline fails the job.
+
+Scenarios below ``--min-seconds`` in the baseline are skipped — CI runner
+noise dominates sub-millisecond timings — as are scenarios present in only
+one of the two files (new series have no baseline yet; retired series have
+no fresh value).
+
+The stored baseline was recorded on a different machine than the CI
+runner, so raw ratios measure machine speed as much as regressions.  With
+enough shared scenarios (≥ 5) the checker therefore normalizes by the
+**median** ratio across all compared scenarios — a uniformly slower
+machine shifts every ratio and cancels out, while a genuine regression
+sticks out against the rest of the suite.  The machine-speed factor is
+never taken below 1.0 (a faster machine must not mask absolute
+regressions), and ``--no-normalize`` restores raw-ratio comparison.
+
+Usage::
+
+    cp BENCH_resolution.json BENCH_baseline.json
+    PYTHONPATH=src python -m pytest -q benchmarks/...
+    python benchmarks/check_regression.py \
+        --baseline BENCH_baseline.json --current BENCH_resolution.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: Below this many comparable scenarios the median is too easily dominated
+#: by a single genuine regression, so normalization is skipped.
+MIN_SCENARIOS_FOR_NORMALIZATION = 5
+
+
+def load_scenarios(path: str) -> Dict[str, Dict[str, object]]:
+    """The scenario table of one BENCH json file."""
+    with open(path) as handle:
+        data = json.load(handle)
+    scenarios = data.get("scenarios", {})
+    if not isinstance(scenarios, dict):
+        raise ValueError(f"{path}: 'scenarios' is not a mapping")
+    return scenarios
+
+
+def find_regressions(
+    baseline: Dict[str, Dict[str, object]],
+    current: Dict[str, Dict[str, object]],
+    threshold: float = 2.0,
+    min_seconds: float = 0.005,
+    normalize: bool = True,
+) -> Tuple[List[Tuple[str, float, float, float]], int, float]:
+    """Scenarios whose fresh seconds exceed threshold x their baseline.
+
+    Returns ``(regressions, compared, machine_factor)`` where each
+    regression is ``(scenario, baseline_seconds, current_seconds, ratio)``,
+    ``compared`` counts the scenarios that passed the comparability filters
+    (shared, numeric, above the noise floor), and ``machine_factor`` is the
+    median ratio the comparison was normalized by (1.0 when normalization
+    was off or the sample too small).  A scenario regresses when its ratio
+    exceeds ``threshold * machine_factor``.
+    """
+    comparable: List[Tuple[str, float, float, float]] = []
+    for scenario in sorted(set(baseline) & set(current)):
+        before = baseline[scenario].get("seconds")
+        after = current[scenario].get("seconds")
+        if not isinstance(before, (int, float)) or not isinstance(
+            after, (int, float)
+        ):
+            continue
+        if before < min_seconds:
+            continue
+        comparable.append(
+            (scenario, float(before), float(after), after / before)
+        )
+    machine_factor = 1.0
+    if normalize and len(comparable) >= MIN_SCENARIOS_FOR_NORMALIZATION:
+        # A uniformly slower machine shifts every ratio; the median tracks
+        # that shift without being dragged by a few true regressions.  It
+        # is clamped at 1.0 so a faster machine cannot mask regressions.
+        machine_factor = max(
+            1.0, statistics.median(ratio for *_rest, ratio in comparable)
+        )
+    regressions = [
+        entry for entry in comparable if entry[3] > threshold * machine_factor
+    ]
+    return regressions, len(comparable), machine_factor
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="the stored baseline json")
+    parser.add_argument("--current", required=True, help="the freshly merged json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=2.0,
+        help="fail when current/baseline exceeds this ratio (default: 2.0)",
+    )
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.005,
+        help="skip scenarios whose baseline is below this noise floor",
+    )
+    parser.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compare raw ratios instead of normalizing by the median "
+        "(machine-speed) ratio",
+    )
+    args = parser.parse_args(argv)
+    baseline = load_scenarios(args.baseline)
+    current = load_scenarios(args.current)
+    regressions, compared, machine_factor = find_regressions(
+        baseline,
+        current,
+        threshold=args.threshold,
+        min_seconds=args.min_seconds,
+        normalize=not args.no_normalize,
+    )
+    print(
+        f"benchmark regression guard: {compared} scenario(s) compared "
+        f"(threshold {args.threshold}x, noise floor {args.min_seconds}s, "
+        f"machine factor {machine_factor:.2f}x)"
+    )
+    if not regressions:
+        print("no regressions")
+        return 0
+    print(f"{len(regressions)} regression(s):")
+    for scenario, before, after, ratio in regressions:
+        print(f"  {scenario}: {before:.6f}s -> {after:.6f}s ({ratio:.2f}x)")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,9 @@ conflict-resolution model end to end:
 * ``repro.logicprog`` — a Datalog-with-negation substrate with stable-model
   semantics, used as the paper's DLV baseline.
 * ``repro.bulk`` — SQL-based bulk resolution over many objects (sqlite3).
+* ``repro.incremental`` — delta maintenance of resolved networks.
+* ``repro.engine`` — :class:`ResolutionEngine`, the unified façade over
+  batch resolution, bulk materialization and incremental maintenance.
 * ``repro.baselines`` — the Orchestra-style FIFO update-propagation baseline.
 * ``repro.workloads`` — generators for every workload used in the evaluation.
 * ``repro.experiments`` — drivers that regenerate the paper's figures.
@@ -52,8 +55,9 @@ from repro.core import (
     resolve_skeptic,
     resolve_with_constraints,
 )
+from repro.engine import EngineReport, ResolutionEngine
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BOTTOM",
@@ -62,9 +66,11 @@ __all__ = [
     "BinarizationResult",
     "BinaryTrustNetwork",
     "ConstrainedResolution",
+    "EngineReport",
     "LineageStep",
     "Paradigm",
     "ReproError",
+    "ResolutionEngine",
     "ResolutionResult",
     "SkepticRepresentation",
     "SkepticResult",

@@ -12,9 +12,14 @@ The package splits the bulk path into four layers:
   child stores with all-or-nothing per-shard transactions;
 * :mod:`repro.bulk.backends` — pluggable SQL engines, index strategies and
   shard routing (:class:`ShardSpec`) behind the store;
-* :mod:`repro.bulk.executor` — replays a plan against a store inside one
-  transaction and reports instrumentation; :class:`ConcurrentBulkResolver`
-  scatter/gathers the DAG replay across the shards.
+* :mod:`repro.bulk.executor` — replays a plan's DAG against a store inside
+  one transaction through the pipelined stage scheduler (dependency
+  work-queue, no stage barriers) and reports instrumentation;
+  :class:`ConcurrentBulkResolver` scatter/gathers the replay across the
+  shards;
+* :mod:`repro.bulk.planpatch` — patches a plan's affected region after a
+  structural delta instead of re-planning the network
+  (:func:`patch_plan`, consumed by :class:`repro.engine.ResolutionEngine`).
 """
 
 from repro.bulk.backends import (
@@ -30,10 +35,12 @@ from repro.bulk.backends import (
     SqliteMemoryBackend,
 )
 from repro.bulk.executor import (
+    SCHEDULERS,
     BulkResolver,
     BulkRunReport,
     ConcurrentBulkResolver,
     SkepticBulkResolver,
+    replay_dag,
 )
 from repro.bulk.planner import (
     CopyStep,
@@ -46,6 +53,7 @@ from repro.bulk.planner import (
     plan_resolution,
     plan_skeptic_resolution,
 )
+from repro.bulk.planpatch import PlanPatch, patch_plan
 from repro.bulk.store import BOTTOM_VALUE, PossRow, PossStore, ShardedPossStore
 
 __all__ = [
@@ -64,16 +72,20 @@ __all__ = [
     "IndexStrategy",
     "NO_INDEXES",
     "PlanDag",
+    "PlanPatch",
     "PossRow",
     "PossStore",
     "ResolutionPlan",
+    "SCHEDULERS",
     "ShardSpec",
     "ShardedPossStore",
     "SkepticBulkResolver",
     "SqlBackend",
     "SqliteFileBackend",
     "SqliteMemoryBackend",
+    "patch_plan",
     "plan_dag",
     "plan_resolution",
     "plan_skeptic_resolution",
+    "replay_dag",
 ]

@@ -236,6 +236,15 @@ class SqlBackend:
     #: to sequential replay.
     supports_concurrent_replay: bool = False
 
+    #: Whether one connection tolerates statements issued from *several*
+    #: threads at once (the driver serializes internally).  This is the
+    #: "concurrent writers" capability the pipelined executor needs to
+    #: overlap independent DAG stages on a single store: with it, worker
+    #: threads issue ready statements directly; without it, the executor
+    #: serializes statement execution behind a lock (scheduling still
+    #: overlaps, statements do not).
+    supports_concurrent_statements: bool = False
+
     def connect(self) -> Any:
         """Open and return a DB-API 2.0 connection."""
         raise NotImplementedError
@@ -273,6 +282,10 @@ class SqliteFileBackend(SqlBackend):
 
     name = "sqlite-file"
     supports_concurrent_replay = True
+    # A serialized (SQLITE_THREADSAFE=1) sqlite3 build locks around every
+    # statement in C, so one connection may be shared by several worker
+    # threads; non-serialized builds fall back to locked execution.
+    supports_concurrent_statements = sqlite3.threadsafety == 3
 
     def __init__(self, path: str) -> None:
         if not path or path == ":memory:":
@@ -319,6 +332,13 @@ class DbApiBackend(SqlBackend):
         to ``True``; pass ``False`` for drivers that pin connections to
         their creating thread (e.g. ``sqlite3`` without
         ``check_same_thread=False``).
+    supports_concurrent_statements:
+        Whether one connection tolerates statements from several threads at
+        once (the driver serializes internally, as psycopg does via its
+        connection lock).  Defaults to ``False`` — the conservative choice
+        for unknown drivers; the pipelined executor then serializes
+        statement execution behind a lock while still scheduling without
+        stage barriers.
     """
 
     _SUPPORTED = ("qmark", "format", "numeric")
@@ -329,6 +349,7 @@ class DbApiBackend(SqlBackend):
         paramstyle: str = "qmark",
         name: str = "",
         supports_concurrent_replay: bool = True,
+        supports_concurrent_statements: bool = False,
     ) -> None:
         if paramstyle not in self._SUPPORTED:
             raise BulkProcessingError(
@@ -339,6 +360,7 @@ class DbApiBackend(SqlBackend):
         self.paramstyle = paramstyle
         self.name = name or f"dbapi-{paramstyle}"
         self.supports_concurrent_replay = supports_concurrent_replay
+        self.supports_concurrent_statements = supports_concurrent_statements
 
     def connect(self) -> Any:
         """Open a connection through the caller-supplied factory."""

@@ -18,15 +18,43 @@ transaction, a mid-run :class:`~repro.core.errors.BulkProcessingError` rolls
 the relation back to its pre-run state (the loaded explicit beliefs commit
 separately and survive).
 
-:class:`ConcurrentBulkResolver` is the scale-out variant: the plan is
-lowered to its dependency DAG and replayed — concurrently where the
-backends allow — on every shard of a key-partitioned
-:class:`~repro.bulk.store.ShardedPossStore`, with one all-or-nothing
-transaction per shard and per-shard timings in the report.
+Scheduling (the pipelined stage scheduler)
+------------------------------------------
+
+Every resolver replays the plan through its dependency DAG
+(:class:`~repro.bulk.planner.PlanDag`): a statement becomes *ready* the
+moment the statements it depends on have finished, independent of how much
+of its stage is still outstanding.  This is a **work-queue** over DAG
+nodes, not a stage-barrier loop — a node of stage 3 may execute while a
+slower, independent node of stage 1 is still running (on another shard, or
+on another worker thread of the same store).  Replaying the nodes in any
+dependency-satisfied order produces the byte-identical relation (each
+user's rows are written by exactly one node and read only after that node
+finished — see :class:`~repro.bulk.planner.PlanDag`), which the property
+suite locks on hundreds of randomized networks.
+
+* Single store, one worker (the default): the ready queue pops nodes in
+  plan order — exactly the sequential replay, now with per-node stage
+  instrumentation (``stages_overlapped``).
+* Single store, ``workers=N``: worker threads pull ready nodes
+  concurrently.  Where the backend's driver serializes concurrent
+  statements on one connection internally
+  (``supports_concurrent_statements``: sqlite-file on serialized builds,
+  opted-in DB-API drivers), the workers issue them directly; otherwise a
+  lock serializes the statements while the *scheduling* still overlaps.
+  Requires ``supports_concurrent_replay`` (the connection may move across
+  threads); stores without it fall back to one worker.
+* Sharded store (:class:`ConcurrentBulkResolver`): one thread per shard
+  replays the DAG in dependency order with **no cross-shard
+  synchronization** — shard A may be three stages ahead of shard B.  The
+  ``stage-barrier`` scheduler (``threading.Barrier`` per stage, all shards
+  in lockstep) is kept as the measured baseline the pipelined default is
+  benchmarked against.
 """
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
 from dataclasses import dataclass, field
@@ -48,6 +76,9 @@ from repro.bulk.planner import (
 )
 from repro.bulk.store import BOTTOM_VALUE, PossStore, ShardedPossStore
 
+#: The scheduler names a run report may carry.
+SCHEDULERS = ("pipelined", "stage-barrier")
+
 
 @dataclass
 class BulkRunReport:
@@ -61,6 +92,13 @@ class BulkRunReport:
     run (1 by construction — the one-transaction-per-run model of
     Section 4), and ``index_strategy`` / ``backend`` name the store's
     physical design and engine.
+
+    The scheduler fields describe *how* the DAG was replayed:
+    ``scheduler`` names the replay discipline (``pipelined`` work-queue or
+    the ``stage-barrier`` baseline), ``workers`` the number of threads that
+    executed statements per store, and ``stages_overlapped`` how many
+    statements began while a statement of a strictly earlier stage was
+    still outstanding — 0 under a stage barrier by construction.
     """
 
     objects: int
@@ -78,9 +116,16 @@ class BulkRunReport:
     #: Wall-clock seconds each shard spent replaying the plan, keyed
     #: ``"shard<i>"``; empty for single-store runs.
     per_shard_seconds: Dict[str, float] = field(default_factory=dict)
-    #: Critical-path length of the DAG the run replayed (0 = sequential
-    #: plan-order replay without DAG lowering).
+    #: Critical-path length of the DAG the run replayed.
     dag_stages: int = 0
+    #: Replay discipline: ``pipelined`` (dependency work-queue, the
+    #: default) or ``stage-barrier`` (lockstep baseline).
+    scheduler: str = "pipelined"
+    #: Statement-executing threads per store (1 = serial replay).
+    workers: int = 1
+    #: Statements that began before every statement of all strictly
+    #: earlier stages had finished (counted across shards/workers).
+    stages_overlapped: int = 0
 
     def statements_per_shard(self) -> int:
         """Statements one shard's replay issued (the Section 4 invariant).
@@ -115,18 +160,241 @@ def _replay_step(store, step) -> Tuple[int, str]:
     raise BulkProcessingError(f"unknown plan step {step!r}")
 
 
+class _OverlapTracker:
+    """Counts statements that ran ahead of a stage barrier.
+
+    ``lanes`` is the number of independent replays of the same DAG sharing
+    the tracker (shards, or 1 for a single store): a node of stage *s*
+    counts as overlapped when it starts while any node of a strictly
+    earlier stage — in any lane — has not finished.  Under a stage-barrier
+    schedule the count is 0 by construction, so the counter directly
+    measures how much barrier-free scheduling reordered the replay.
+    """
+
+    def __init__(self, dag: PlanDag, lanes: int) -> None:
+        self._lock = threading.Lock()
+        self._open = [len(stage) * lanes for stage in dag.stages]
+        self.overlapped = 0
+
+    def started(self, stage: int) -> None:
+        with self._lock:
+            if any(self._open[level] for level in range(stage)):
+                self.overlapped += 1
+
+    def finished(self, stage: int) -> None:
+        with self._lock:
+            self._open[stage] -= 1
+
+
+class _WorkQueue:
+    """Dependency-satisfied scheduling of DAG nodes (min-index order).
+
+    A node becomes ready when every node it depends on has been marked
+    :meth:`done`; :meth:`get` blocks until a node is ready, all nodes have
+    drained, or the queue was aborted by a failing worker.  Popping the
+    smallest ready index keeps single-worker replay identical to the
+    sequential plan order (dependencies always point backwards).
+    """
+
+    def __init__(self, dag: PlanDag) -> None:
+        self._cond = threading.Condition()
+        self._pending = [len(node.depends_on) for node in dag.nodes]
+        self._dependents: List[List[int]] = [[] for _ in dag.nodes]
+        for node in dag.nodes:
+            for dep in node.depends_on:
+                self._dependents[dep].append(node.index)
+        self._ready = [
+            index for index, count in enumerate(self._pending) if count == 0
+        ]
+        heapq.heapify(self._ready)
+        self._unfinished = len(dag.nodes)
+        self._aborted = False
+
+    def get(self) -> Optional[int]:
+        """Next ready node index, or ``None`` once drained or aborted."""
+        with self._cond:
+            while True:
+                if self._aborted or not self._unfinished:
+                    return None
+                if self._ready:
+                    return heapq.heappop(self._ready)
+                self._cond.wait()
+
+    def done(self, index: int) -> None:
+        """Mark a node finished, readying its now-unblocked dependents."""
+        with self._cond:
+            self._unfinished -= 1
+            for dependent in self._dependents[index]:
+                self._pending[dependent] -= 1
+                if not self._pending[dependent]:
+                    heapq.heappush(self._ready, dependent)
+            self._cond.notify_all()
+
+    def abort(self) -> None:
+        """Wake every waiting worker; the run is over."""
+        with self._cond:
+            self._aborted = True
+            self._cond.notify_all()
+
+
+def _execute_node(store, node, tracker, phase_seconds, lock) -> int:
+    """Execute one DAG node with stage/phase instrumentation; returns rows."""
+    if tracker is not None:
+        tracker.started(node.stage)
+    step_started = time.perf_counter()
+    if lock is not None:
+        with lock:
+            rows, phase = _replay_step(store, node.step)
+    else:
+        rows, phase = _replay_step(store, node.step)
+    phase_seconds[phase] += time.perf_counter() - step_started
+    if tracker is not None:
+        tracker.finished(node.stage)
+    return rows
+
+
+def replay_dag(
+    store: PossStore,
+    dag: PlanDag,
+    workers: int = 1,
+    tracker: Optional[_OverlapTracker] = None,
+    stage_barrier: bool = False,
+) -> Tuple[int, Dict[str, float]]:
+    """Replay every node of ``dag`` on one store; returns (rows, phases).
+
+    The caller owns the surrounding run transaction.  With one worker the
+    replay is serial — dependency order for the pipelined scheduler (which
+    coincides with the sequential plan order), stage order under the
+    barrier discipline.  With several workers, ready nodes are pulled from
+    the shared :class:`_WorkQueue` (pipelined) or executed stage by stage
+    with a join between stages (barrier); statements are issued directly
+    when the store's driver serializes concurrent statements internally and
+    behind a shared lock otherwise.
+    """
+    if workers > 1 and not store.supports_concurrent_replay:
+        workers = 1
+    lock = (
+        None
+        if workers == 1 or store.supports_concurrent_statements
+        else threading.Lock()
+    )
+    phase_seconds = {"copy": 0.0, "flood": 0.0}
+    if workers == 1:
+        nodes = dag.topological_order() if stage_barrier else dag.nodes
+        rows = 0
+        for node in nodes:
+            rows += _execute_node(store, node, tracker, phase_seconds, None)
+        return rows, phase_seconds
+
+    totals = [0] * workers
+    worker_phases = [{"copy": 0.0, "flood": 0.0} for _ in range(workers)]
+    errors: List[BaseException] = []
+
+    if stage_barrier:
+        for stage in dag.stages:
+            _run_stage_on_workers(
+                store, dag, stage, workers, tracker, totals, worker_phases, errors, lock
+            )
+            if errors:
+                raise errors[0]
+    else:
+        queue = _WorkQueue(dag)
+
+        def pull(slot: int) -> None:
+            while True:
+                index = queue.get()
+                if index is None:
+                    return
+                node = dag.nodes[index]
+                try:
+                    totals[slot] += _execute_node(
+                        store, node, tracker, worker_phases[slot], lock
+                    )
+                except BaseException as error:  # re-raised on the caller
+                    errors.append(error)
+                    queue.abort()
+                    return
+                queue.done(index)
+
+        threads = [
+            threading.Thread(target=pull, args=(slot,), name=f"worker{slot}")
+            for slot in range(workers)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+
+    for phases in worker_phases:
+        for name, value in phases.items():
+            phase_seconds[name] += value
+    return sum(totals), phase_seconds
+
+
+def _run_stage_on_workers(
+    store, dag, stage, workers, tracker, totals, worker_phases, errors, lock
+) -> None:
+    """Barrier discipline: execute one stage's nodes, join, move on."""
+    position = {"next": 0}
+    guard = threading.Lock()
+
+    def pull(slot: int) -> None:
+        while True:
+            with guard:
+                if errors or position["next"] >= len(stage):
+                    return
+                index = stage[position["next"]]
+                position["next"] += 1
+            node = dag.nodes[index]
+            try:
+                totals[slot] += _execute_node(
+                    store, node, tracker, worker_phases[slot], lock
+                )
+            except BaseException as error:
+                errors.append(error)
+                return
+
+    threads = [
+        threading.Thread(target=pull, args=(slot,), name=f"stage-worker{slot}")
+        for slot in range(min(workers, len(stage)))
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
 class _PlanExecutor:
-    """Shared run loop: replay a plan inside one store transaction.
+    """Shared run loop: replay a plan's DAG inside one store transaction.
 
     Subclasses bind the plan (plain Algorithm 1 vs. Skeptic); step → SQL
-    dispatch is shared via :func:`_replay_step`.
+    dispatch is shared via :func:`_replay_step` and scheduling via
+    :func:`replay_dag`, so the three resolvers cannot drift apart.
     """
 
     store: PossStore
     plan: ResolutionPlan
 
-    def __init__(self) -> None:
+    def __init__(self, workers: int = 1, scheduler: str = "pipelined") -> None:
+        if scheduler not in SCHEDULERS:
+            raise BulkProcessingError(
+                f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
+            )
+        if workers < 1:
+            raise BulkProcessingError("workers must be >= 1")
         self._loaded_objects: set = set()
+        self._workers = workers
+        self._scheduler = scheduler
+        self._dag: Optional[PlanDag] = None
+
+    @property
+    def dag(self) -> PlanDag:
+        """The plan's dependency DAG (lowered once, cached)."""
+        if self._dag is None:
+            self._dag = self.plan.dag()
+        return self._dag
 
     def run(self) -> BulkRunReport:
         """Execute the plan in a single transaction and return instrumentation.
@@ -138,14 +406,19 @@ class _PlanExecutor:
         started = time.perf_counter()
         statements_before = store.bulk_statements
         transactions_before = store.transactions
-        phase_seconds = {"copy": 0.0, "flood": 0.0}
-        rows = 0
+        dag = self.dag
+        workers = self._workers
+        if workers > 1 and not store.supports_concurrent_replay:
+            workers = 1
+        tracker = _OverlapTracker(dag, lanes=1)
         with store.transaction():
-            for step in self.plan.steps:
-                step_started = time.perf_counter()
-                step_rows, phase = _replay_step(store, step)
-                rows += step_rows
-                phase_seconds[phase] += time.perf_counter() - step_started
+            rows, phase_seconds = replay_dag(
+                store,
+                dag,
+                workers=workers,
+                tracker=tracker,
+                stage_barrier=self._scheduler == "stage-barrier",
+            )
         elapsed = time.perf_counter() - started
         return BulkRunReport(
             objects=len(self._loaded_objects),
@@ -158,6 +431,10 @@ class _PlanExecutor:
             index_strategy=store.index_strategy.name,
             backend=store.backend_name,
             grouped_plan=self.plan.grouped,
+            dag_stages=dag.stage_count,
+            scheduler=self._scheduler,
+            workers=workers,
+            stages_overlapped=tracker.overlapped,
         )
 
     def possible_values(self, user: User, key: object) -> FrozenSet[str]:
@@ -181,7 +458,10 @@ class BulkResolver(_PlanExecutor):
 
     ``group_copies`` selects between grouped copy statements (the default,
     one per distinct parent) and the seed's one-per-child plan; both produce
-    identical relations.
+    identical relations.  ``workers`` > 1 lets the pipelined scheduler
+    overlap independent DAG stages on stores whose connection may move
+    across threads (sqlite-file, DB-API engines); ``scheduler`` selects the
+    replay discipline (see the module docstring).
     """
 
     def __init__(
@@ -190,10 +470,20 @@ class BulkResolver(_PlanExecutor):
         store: Optional[PossStore] = None,
         explicit_users: Optional[Sequence[User]] = None,
         group_copies: bool = True,
+        workers: int = 1,
+        scheduler: str = "pipelined",
+        plan: Optional[ResolutionPlan] = None,
     ) -> None:
-        super().__init__()
+        super().__init__(workers=workers, scheduler=scheduler)
         self.network = network
         self.store = store or PossStore()
+        if plan is not None:
+            # A caller-maintained plan (the engine's incrementally patched
+            # one) replaces planning from scratch; it must already target
+            # the binary planning network.
+            self._planning_network = plan.network
+            self.plan = plan
+            return
         # Algorithm 1 (and hence the plan) is defined on binary networks; the
         # bulk resolver binarizes transparently so that callers can hand it
         # the network exactly as drawn in the paper (Figure 19 is not binary).
@@ -230,14 +520,23 @@ class ConcurrentBulkResolver(BulkResolver):
     """Scatter/gather bulk resolution over a key-sharded ``POSS`` relation.
 
     The plan is lowered to its dependency DAG
-    (:class:`~repro.bulk.planner.PlanDag`) and replayed stage by stage on
-    **every shard** of a :class:`~repro.bulk.store.ShardedPossStore` — each
-    shard holds a disjoint slice of the object keys, and the plan is
-    data-independent, so per-shard replay of the identical DAG resolves the
-    whole relation.  When every shard's backend supports it
-    (``supports_concurrent_replay``: sqlite-file and DB-API backends do),
-    shards replay on their own threads; in-memory sqlite shards degrade to
-    sequential replay, same results, no concurrency.
+    (:class:`~repro.bulk.planner.PlanDag`) and replayed — concurrently where
+    the backends allow — on **every shard** of a
+    :class:`~repro.bulk.store.ShardedPossStore`: each shard holds a disjoint
+    slice of the object keys, and the plan is data-independent, so per-shard
+    replay of the identical DAG resolves the whole relation.  When every
+    shard's backend supports it (``supports_concurrent_replay``: sqlite-file
+    and DB-API backends do), shards replay on their own threads; in-memory
+    sqlite shards degrade to sequential replay, same results, no
+    concurrency.
+
+    Scheduling is pipelined by default: each shard thread replays the DAG
+    in dependency order with no cross-shard synchronization, so shard A may
+    run a stage-3 statement while shard B is still flooding stage 1 —
+    independent DAG stages genuinely overlap on the one (sharded) store.
+    ``scheduler="stage-barrier"`` keeps every shard in lockstep with a
+    :class:`threading.Barrier` per stage; it exists as the measured
+    baseline of the pipelined default (see the Figure 8c scheduler sweep).
 
     The run spans one transaction per shard, opened together and
     all-or-nothing: a failure on any shard (worker exceptions re-raise on
@@ -263,6 +562,8 @@ class ConcurrentBulkResolver(BulkResolver):
         store: Optional[ShardedPossStore] = None,
         explicit_users: Optional[Sequence[User]] = None,
         group_copies: bool = True,
+        scheduler: str = "pipelined",
+        plan: Optional[ResolutionPlan] = None,
     ) -> None:
         if store is None:
             store = ShardedPossStore(2 if shards is None else shards)
@@ -281,19 +582,42 @@ class ConcurrentBulkResolver(BulkResolver):
             store=store,
             explicit_users=explicit_users,
             group_copies=group_copies,
+            scheduler=scheduler,
+            plan=plan,
         )
-        self.dag: PlanDag = self.plan.dag()
 
-    def _replay_shard(self, shard: PossStore) -> Tuple[int, Dict[str, float], float]:
-        """Replay the DAG on one shard (deterministic stage-by-stage order)."""
+    def _replay_shard(
+        self,
+        shard: PossStore,
+        tracker: Optional[_OverlapTracker] = None,
+        barrier: Optional[threading.Barrier] = None,
+    ) -> Tuple[int, Dict[str, float], float]:
+        """Replay the DAG on one shard; returns (rows, phases, seconds).
+
+        Pipelined (no ``barrier``): nodes in dependency order, the shard
+        never waits for its siblings.  Stage-barrier: every shard calls
+        :meth:`threading.Barrier.wait` before each stage, so all shards
+        move through the stages in lockstep.
+        """
         shard_started = time.perf_counter()
         phase = {"copy": 0.0, "flood": 0.0}
         rows = 0
-        for node in self.dag.topological_order():
-            step_started = time.perf_counter()
-            step_rows, phase_name = _replay_step(shard, node.step)
-            rows += step_rows
-            phase[phase_name] += time.perf_counter() - step_started
+        if barrier is None:
+            for node in self.dag.nodes:
+                rows += _execute_node(shard, node, tracker, phase, None)
+        else:
+            try:
+                for stage in self.dag.stages:
+                    barrier.wait()
+                    for index in stage:
+                        rows += _execute_node(
+                            shard, self.dag.nodes[index], tracker, phase, None
+                        )
+            except BaseException:
+                # Unblock the sibling shards waiting at the next stage
+                # boundary; they observe BrokenBarrierError and unwind.
+                barrier.abort()
+                raise
         return rows, phase, time.perf_counter() - shard_started
 
     def run(self) -> BulkRunReport:
@@ -307,6 +631,10 @@ class ConcurrentBulkResolver(BulkResolver):
         statements_before = store.bulk_statements
         transactions_before = store.transactions
         concurrent = store.supports_concurrent_replay and len(store.shards) > 1
+        tracker = _OverlapTracker(self.dag, lanes=len(store.shards))
+        barrier: Optional[threading.Barrier] = None
+        if self._scheduler == "stage-barrier" and concurrent:
+            barrier = threading.Barrier(len(store.shards))
         results: List[Optional[Tuple[int, Dict[str, float], float]]] = [
             None
         ] * len(store.shards)
@@ -314,7 +642,7 @@ class ConcurrentBulkResolver(BulkResolver):
 
         def replay(index: int, shard: PossStore) -> None:
             try:
-                results[index] = self._replay_shard(shard)
+                results[index] = self._replay_shard(shard, tracker, barrier)
             except BaseException as error:  # gathered and re-raised below
                 errors.append(error)
 
@@ -338,7 +666,14 @@ class ConcurrentBulkResolver(BulkResolver):
                         # remaining shards would be pure wasted work.
                         break
             if errors:
-                raise errors[0]
+                # A shard aborting the stage barrier breaks its siblings
+                # out with BrokenBarrierError; report the root cause.
+                primary = [
+                    error
+                    for error in errors
+                    if not isinstance(error, threading.BrokenBarrierError)
+                ]
+                raise (primary or errors)[0]
 
         elapsed = time.perf_counter() - started
         phase_seconds = {"copy": 0.0, "flood": 0.0}
@@ -364,6 +699,9 @@ class ConcurrentBulkResolver(BulkResolver):
             shards=len(store.shards),
             per_shard_seconds=per_shard_seconds,
             dag_stages=self.dag.stage_count,
+            scheduler=self._scheduler,
+            workers=1,
+            stages_overlapped=tracker.overlapped,
         )
 
 
@@ -374,6 +712,9 @@ class SkepticBulkResolver(_PlanExecutor):
     applies to every object); positive beliefs vary per object and live in
     the store.  Values blocked by a member's forced constraints are replaced
     by the ⊥ sentinel, matching Algorithm 2's use of ⊥ during flooding.
+    Scheduling is shared with :class:`BulkResolver` — Skeptic plans lower
+    to the same dependency DAG and replay through the same pipelined
+    scheduler.
     """
 
     def __init__(
@@ -383,8 +724,10 @@ class SkepticBulkResolver(_PlanExecutor):
         negative_constraints: Mapping[User, Sequence[Value]],
         store: Optional[PossStore] = None,
         group_copies: bool = True,
+        workers: int = 1,
+        scheduler: str = "pipelined",
     ) -> None:
-        super().__init__()
+        super().__init__(workers=workers, scheduler=scheduler)
         self.network = network
         self.store = store or PossStore()
         self.plan = plan_skeptic_resolution(

@@ -1,0 +1,325 @@
+"""Incremental maintenance of bulk resolution plans (structural deltas).
+
+A :class:`~repro.bulk.planner.ResolutionPlan` depends only on the network
+topology and on which users carry explicit beliefs, so a structural delta —
+an edge added or removed, a priority change, a user joining or leaving the
+explicit set — invalidates only the part of the plan downstream of the
+touched users.  Re-planning the whole network per delta would cost
+``O(|U| + |E|)``; this module patches the plan instead, in time
+proportional to the *affected region*:
+
+1. The affected region is the set of descendants of the touched users in
+   the (already mutated) network — the same successor-closed dirty region
+   the incremental resolvers recompute (influence only flows parent →
+   child, so steps closing users outside the region are still correct).
+2. Every old step closing a region user is dropped (grouped copy steps are
+   split: children outside the region survive).  A flood step's members
+   form one SCC, and an SCC is either entirely inside or entirely outside
+   the region — any mutation of an intra-component edge touches its child —
+   so flood steps never straddle the boundary.
+3. The region is re-planned locally: the kept steps (plus the explicit
+   users) define which boundary parents are closed and reachable, and the
+   standard Algorithm-1 planning loop runs on the region's nodes only, with
+   that boundary closed from the start.
+4. The new region steps are appended after the kept steps.  This is causal:
+   a kept step never reads a region user (a user read by an outside step
+   would make that step's closer a region descendant — contradiction), and
+   a region step reads either boundary users (closed by kept steps or the
+   load) or region users closed earlier in the appended segment.
+
+The patched plan's step *order* (and copy grouping across the boundary)
+can differ from a fresh re-plan's, but replaying a plan DAG in any
+dependency-satisfied order produces the byte-identical relation, so the
+patched and fresh plans are interchangeable — the property the test suite
+locks on randomized delta streams.
+
+Skeptic plans (flood steps carrying blocked values) are not patched: the
+``prefNeg`` propagation is not region-local in the plan representation, so
+:class:`repro.engine.ResolutionEngine` re-plans those from scratch.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import BulkProcessingError
+from repro.core.network import TrustNetwork, User
+from repro.core.sccs import CondensationEngine
+from repro.bulk.planner import (
+    CopyStep,
+    FloodStep,
+    GroupedCopyStep,
+    ResolutionPlan,
+    ResolutionStep,
+    _explicit_users,
+    _group_copy_steps,
+    _preferred_parent,
+    step_io,
+)
+
+
+@dataclass(frozen=True)
+class PlanPatch:
+    """The result of one :func:`patch_plan` call.
+
+    ``plan`` is the patched plan; the counters expose the patch's cost
+    model — how many old steps survived, how many were dropped or split
+    away, how many fresh steps the regional re-plan produced, and how large
+    the affected region was (the unit the patch cost is proportional to).
+    """
+
+    plan: ResolutionPlan
+    kept_steps: int
+    dropped_steps: int
+    added_steps: int
+    region_size: int
+
+
+def _descendants(network: TrustNetwork, touched: Iterable[User]) -> Set[User]:
+    """The successor-closed region of ``touched`` (inclusive)."""
+    outgoing = network.outgoing_map()
+    region: Set[User] = set()
+    stack: List[User] = []
+    for user in touched:
+        if user in network and user not in region:
+            region.add(user)
+            stack.append(user)
+    while stack:
+        user = stack.pop()
+        for edge in outgoing.get(user, ()):
+            if edge.child not in region:
+                region.add(edge.child)
+                stack.append(edge.child)
+    return region
+
+
+def patch_plan(
+    plan: ResolutionPlan,
+    network: TrustNetwork,
+    touched: Iterable[User],
+    removed: Iterable[User] = (),
+    explicit_users: Optional[Sequence[User]] = None,
+) -> PlanPatch:
+    """Patch a plan after a structural (or explicit-set) delta.
+
+    Parameters
+    ----------
+    plan:
+        The plan built *before* the delta (Algorithm-1 plans only; plans
+        with blocked flood steps are rejected).
+    network:
+        The network *after* the mutation.
+    touched:
+        The users whose incoming edges or explicit-belief status changed —
+        the same touched set the incremental resolvers use (for a removed
+        user: its former children).
+    removed:
+        Users the delta removed from the network entirely; their steps are
+        dropped alongside the region's.
+    explicit_users:
+        Optional override of the explicit-user set, as in
+        :func:`~repro.bulk.planner.plan_resolution`; defaults to the users
+        carrying positive explicit beliefs in ``network``.
+    """
+    for step in plan.steps:
+        if isinstance(step, FloodStep) and step.blocked:
+            raise BulkProcessingError(
+                "cannot patch a Skeptic plan (blocked flood steps); re-plan"
+            )
+
+    new_explicit = _explicit_users(network, explicit_users)
+    region = _descendants(network, touched)
+    affected: Set[User] = set(region)
+    affected.update(removed)
+
+    # ---- partition the old steps ------------------------------------- #
+    kept: List[ResolutionStep] = []
+    dropped = 0
+    for step in plan.steps:
+        if isinstance(step, CopyStep):
+            if step.child in affected:
+                dropped += 1
+            else:
+                kept.append(step)
+        elif isinstance(step, GroupedCopyStep):
+            surviving = tuple(
+                child for child in step.children if child not in affected
+            )
+            if len(surviving) == len(step.children):
+                kept.append(step)
+            else:
+                dropped += 1
+                if surviving:
+                    kept.append(
+                        GroupedCopyStep(parent=step.parent, children=surviving)
+                    )
+        elif isinstance(step, FloodStep):
+            inside = sum(1 for member in step.members if member in affected)
+            if inside and inside != len(step.members):
+                raise BulkProcessingError(
+                    "flood step straddles the affected region; the touched "
+                    "set does not cover the delta"
+                )
+            if inside:
+                dropped += 1
+            else:
+                kept.append(step)
+        else:
+            raise BulkProcessingError(f"unknown plan step {step!r}")
+
+    # Explicit users never carry steps: a user that just joined the
+    # explicit set may still be closed by a kept step only if it is outside
+    # the region — but joining the explicit set always touches the user, so
+    # its old step (if any) was dropped above.
+
+    # ---- re-plan the region ------------------------------------------- #
+    reachable_out: Set[User] = {
+        user for user in new_explicit if user not in affected and user in network
+    }
+    for step in kept:
+        for user in step_io(step)[1]:
+            reachable_out.add(user)
+
+    region_live = sorted((user for user in region if user in network), key=str)
+    incoming = network.incoming_map()
+
+    # Region reachability: seeded by region explicit users and by region
+    # users fed from a reachable boundary parent, expanded inside the region.
+    region_reachable: Set[User] = set()
+    stack: List[User] = []
+    outgoing = network.outgoing_map()
+    for user in region_live:
+        seeded = user in new_explicit or any(
+            edge.parent in reachable_out for edge in incoming.get(user, ())
+        )
+        if seeded:
+            region_reachable.add(user)
+            stack.append(user)
+    while stack:
+        user = stack.pop()
+        for edge in outgoing.get(user, ()):
+            child = edge.child
+            if child in region and child not in region_reachable:
+                region_reachable.add(child)
+                stack.append(child)
+
+    full_reachable = reachable_out | region_reachable
+    added = _plan_region(
+        network,
+        region_reachable,
+        new_explicit,
+        reachable_out,
+        full_reachable,
+        incoming,
+    )
+    if plan.grouped:
+        added = _group_copy_steps(added)
+
+    patched = ResolutionPlan(
+        network=network,
+        explicit_users=new_explicit,
+        steps=kept + added,
+        grouped=plan.grouped,
+    )
+    return PlanPatch(
+        plan=patched,
+        kept_steps=len(kept),
+        dropped_steps=dropped,
+        added_steps=len(added),
+        region_size=len(region_live),
+    )
+
+
+def _plan_region(
+    network: TrustNetwork,
+    region_reachable: Set[User],
+    explicit: FrozenSet[User],
+    closed_boundary: Set[User],
+    full_reachable: Set[User],
+    incoming,
+) -> List[ResolutionStep]:
+    """The Algorithm-1 planning loop restricted to one region.
+
+    ``closed_boundary`` users (outside the region) are closed from the
+    start; region users carrying explicit beliefs are closed without steps;
+    everything else in ``region_reachable`` receives exactly one copy or
+    flood step, mirroring :func:`~repro.bulk.planner.plan_resolution`.
+    """
+    closed: Set[User] = set(closed_boundary)
+    closed.update(user for user in region_reachable if user in explicit)
+    open_nodes: Set[User] = {
+        user for user in region_reachable if user not in explicit
+    }
+    if not open_nodes:
+        return []
+
+    preferred = {
+        user: _preferred_parent(network, full_reachable, user)
+        for user in region_reachable
+    }
+    children_pref: Dict[User, List[User]] = {}
+    for user in region_reachable:
+        parent = preferred.get(user)
+        if parent is not None:
+            children_pref.setdefault(parent, []).append(user)
+
+    order = sorted(region_reachable, key=str)
+    index = {user: i for i, user in enumerate(order)}
+    successors: List[List[int]] = [[] for _ in order]
+    for i, user in enumerate(order):
+        for edge in incoming.get(user, ()):
+            parent_id = index.get(edge.parent)
+            if parent_id is not None:
+                successors[parent_id].append(i)
+
+    engine = CondensationEngine(
+        (i for i, user in enumerate(order) if user in open_nodes),
+        successors,
+        len(order),
+    )
+    heap: List[Tuple[str, User]] = []
+    for user in closed:
+        for child in children_pref.get(user, ()):
+            heapq.heappush(heap, (str(child), child))
+
+    steps: List[ResolutionStep] = []
+    while open_nodes:
+        while heap:
+            _, node = heapq.heappop(heap)
+            if node not in open_nodes:
+                continue
+            parent = preferred.get(node)
+            if parent is None or parent not in closed:
+                continue
+            steps.append(CopyStep(parent=parent, child=node))
+            closed.add(node)
+            open_nodes.discard(node)
+            engine.close(index[node])
+            for child in children_pref.get(node, ()):
+                heapq.heappush(heap, (str(child), child))
+        if not open_nodes:
+            break
+        members = {order[i] for i in engine.pop_minimal()}
+        parents = sorted(
+            {
+                edge.parent
+                for member in members
+                for edge in incoming.get(member, ())
+                if edge.parent in closed and edge.parent in full_reachable
+            },
+            key=str,
+        )
+        steps.append(
+            FloodStep(
+                members=tuple(sorted(members, key=str)), parents=tuple(parents)
+            )
+        )
+        closed.update(members)
+        open_nodes.difference_update(members)
+        for member in members:
+            engine.close(index[member])
+            for child in children_pref.get(member, ()):
+                heapq.heappush(heap, (str(child), child))
+    return steps

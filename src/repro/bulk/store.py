@@ -21,6 +21,7 @@ work, keeping on-disk databases durable across :meth:`PossStore.close`.
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -80,6 +81,11 @@ class PossStore:
         self._delta_statements = 0
         self._transactions = 0
         self._in_transaction = False
+        # Statement counters are read-modify-write; the pipelined executor
+        # may issue statements from several worker threads at once (when the
+        # backend's driver serializes internally), so the counters take a
+        # lock of their own.
+        self._counter_lock = threading.Lock()
         self._execute(
             "CREATE TABLE IF NOT EXISTS POSS "
             "(X TEXT NOT NULL, K TEXT NOT NULL, V TEXT NOT NULL)"
@@ -111,6 +117,14 @@ class PossStore:
             self._connection.commit()
             self._transactions += 1
 
+    def _count_bulk(self, statements: int = 1) -> None:
+        with self._counter_lock:
+            self._bulk_statements += statements
+
+    def _count_delta(self, statements: int = 1) -> None:
+        with self._counter_lock:
+            self._delta_statements += statements
+
     # ------------------------------------------------------------------ #
     # lifecycle                                                            #
     # ------------------------------------------------------------------ #
@@ -129,6 +143,16 @@ class PossStore:
     def supports_concurrent_replay(self) -> bool:
         """Whether this store's connection may be driven from a worker thread."""
         return self._backend.supports_concurrent_replay
+
+    @property
+    def supports_concurrent_statements(self) -> bool:
+        """Whether several threads may issue statements on this store at once.
+
+        True only when the backend's driver serializes concurrent calls on
+        one connection internally; the pipelined executor otherwise guards
+        statement execution with a lock of its own.
+        """
+        return self._backend.supports_concurrent_statements
 
     @property
     def transactions(self) -> int:
@@ -242,7 +266,7 @@ class PossStore:
                 sql += " AND K = ?"
                 parameters.append(str(key))
             cursor = self._execute(sql, parameters)
-            self._delta_statements += 1
+            self._count_delta()
             deleted += cursor.rowcount
         self._commit()
         return deleted
@@ -256,7 +280,7 @@ class PossStore:
         """
         inserted = self._insert_row_batch(rows)
         if inserted:
-            self._delta_statements += 1
+            self._count_delta()
         return inserted
 
     def _insert_row_batch(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
@@ -292,7 +316,7 @@ class PossStore:
             "INSERT INTO POSS (X, K, V) SELECT ?, t.K, t.V FROM POSS t WHERE t.X = ?",
             (str(child), str(parent)),
         )
-        self._bulk_statements += 1
+        self._count_bulk()
         self._commit()
         return cursor.rowcount
 
@@ -320,7 +344,7 @@ class PossStore:
             f"(SELECT s.K, s.V FROM POSS s WHERE s.X = ?) AS t",
             (*[str(child) for child in children], str(parent)),
         )
-        self._bulk_statements += 1
+        self._count_bulk()
         self._commit()
         return cursor.rowcount
 
@@ -352,7 +376,7 @@ class PossStore:
                 *[str(parent) for parent in parents],
             ),
         )
-        self._bulk_statements += 1
+        self._count_bulk()
         self._commit()
         return cursor.rowcount
 
@@ -405,7 +429,7 @@ class PossStore:
                     (BOTTOM_VALUE, *group_members, *parent_args, *rejected),
                 )
                 total += cursor.rowcount
-                self._bulk_statements += 2
+                self._count_bulk(2)
             else:
                 cursor = self._execute(
                     f"INSERT INTO POSS (X, K, V) "
@@ -415,7 +439,7 @@ class PossStore:
                     (*group_members, *parent_args),
                 )
                 total += cursor.rowcount
-                self._bulk_statements += 1
+                self._count_bulk()
         self._commit()
         return total
 
@@ -548,6 +572,11 @@ class ShardedPossStore:
     def supports_concurrent_replay(self) -> bool:
         """Whether *every* shard's connection may move to a worker thread."""
         return all(shard.supports_concurrent_replay for shard in self.shards)
+
+    @property
+    def supports_concurrent_statements(self) -> bool:
+        """Whether every shard tolerates concurrently issued statements."""
+        return all(shard.supports_concurrent_statements for shard in self.shards)
 
     @property
     def transactions(self) -> int:

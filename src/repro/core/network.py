@@ -98,6 +98,13 @@ class TrustNetwork:
         ] = None
         self._preferred_cache: Optional[Dict[User, Optional[User]]] = None
         self._binary_cache: Optional[bool] = None
+        # Monotonic mutation counters (the cache hooks consumed by
+        # repro.engine): structure_version ticks on every user/mapping
+        # mutation, belief_version on every explicit-belief change, so a
+        # caller holding a derived artifact (a ResolutionPlan, a DAG) can
+        # cheaply detect that the network moved underneath it.
+        self._structure_version = 0
+        self._belief_version = 0
 
         for mapping in mappings:
             if not isinstance(mapping, TrustMapping):
@@ -114,6 +121,7 @@ class TrustNetwork:
         """Add a user (idempotent)."""
         if user not in self._users:
             self._users.add(user)
+            self._structure_version += 1
             # An isolated user has no edges and no belief: the adjacency and
             # binary caches stay valid, only the preferred map gains a slot.
             if self._preferred_cache is not None:
@@ -132,6 +140,7 @@ class TrustNetwork:
         self._mappings.append(mapping)
         self._incoming.setdefault(mapping.child, []).append(mapping)
         self._outgoing.setdefault(mapping.parent, []).append(mapping)
+        self._structure_version += 1
         self._patch_structure_caches(mapping.parent, mapping.child)
         return mapping
 
@@ -194,6 +203,7 @@ class TrustNetwork:
         self._outgoing[mapping.parent].remove(mapping)
         if not self._outgoing[mapping.parent]:
             del self._outgoing[mapping.parent]
+        self._structure_version += 1
         self._patch_structure_caches(mapping.parent, mapping.child)
         return mapping
 
@@ -239,6 +249,7 @@ class TrustNetwork:
         incoming[incoming.index(old)] = new
         outgoing = self._outgoing[parent]
         outgoing[outgoing.index(old)] = new
+        self._structure_version += 1
         self._patch_structure_caches(parent, child)
         return new
 
@@ -254,7 +265,9 @@ class TrustNetwork:
         for edge in tuple(self._outgoing.get(user, ())):
             self.remove_mapping(edge)
         self._users.discard(user)
-        self._beliefs.pop(user, None)
+        if self._beliefs.pop(user, None) is not None:
+            self._belief_version += 1
+        self._structure_version += 1
         # The edge removals above already patched the adjacency and
         # preferred caches of every (former) neighbour; only the departing
         # user's own slots remain to drop.
@@ -266,11 +279,13 @@ class TrustNetwork:
         """Set (or replace) the explicit belief ``b0(user)``."""
         self.add_user(user)
         self._beliefs[user] = _coerce_explicit_belief(belief)
+        self._belief_version += 1
         self._binary_cache = None
 
     def remove_explicit_belief(self, user: User) -> None:
         """Revoke the explicit belief of a user (no-op if there is none)."""
-        self._beliefs.pop(user, None)
+        if self._beliefs.pop(user, None) is not None:
+            self._belief_version += 1
         self._binary_cache = None
 
     # ------------------------------------------------------------------ #
@@ -291,6 +306,28 @@ class TrustNetwork:
     def size(self) -> int:
         """``|U| + |E|`` — the size measure used throughout the paper's plots."""
         return len(self._users) + len(self._mappings)
+
+    @property
+    def structure_version(self) -> int:
+        """Counter ticked by every user/mapping mutation (a cache hook).
+
+        Artifacts derived from the structure (a bulk
+        :class:`~repro.bulk.planner.ResolutionPlan`, its DAG) record the
+        version they were built at; a mismatch later tells the holder the
+        network was mutated out-of-band and the artifact must be rebuilt
+        (or, in :class:`repro.engine.ResolutionEngine`, patched).
+        """
+        return self._structure_version
+
+    @property
+    def belief_version(self) -> int:
+        """Counter ticked by every explicit-belief change (a cache hook)."""
+        return self._belief_version
+
+    @property
+    def version(self) -> Tuple[int, int]:
+        """``(structure_version, belief_version)`` — one token for both."""
+        return (self._structure_version, self._belief_version)
 
     def explicit_belief(self, user: User) -> Optional[BeliefSet]:
         """The explicit belief ``b0(user)`` or ``None``."""

@@ -1,0 +1,454 @@
+"""The unified resolution engine: one façade over batch, bulk and deltas.
+
+The repository grew three parallel execution paths for the paper's
+trust-mapping resolution — the in-memory batch algorithms
+(:func:`repro.core.resolution.resolve` / Algorithm 1), the bulk SQL replay
+(:mod:`repro.bulk`, Section 4) and the incremental maintenance engine
+(:mod:`repro.incremental`) — each with its own entry points, reports and
+configuration.  :class:`ResolutionEngine` makes them modes of **one**
+engine, the way a database engine unifies one-off evaluation with repeated
+conditioning: it owns the network, the plan/DAG cache, the ``POSS`` store
+and an incremental session, and exposes four verbs:
+
+``resolve()``
+    The in-memory resolution of every maintained object key (Algorithm 1
+    semantics, served from the incrementally maintained state — no
+    recomputation unless the state is cold).
+``materialize()``
+    Execute the cached bulk plan against the store through the pipelined
+    stage scheduler — the Section 4 path, one (per-shard) transaction.
+``apply(*deltas)``
+    Absorb a batch of updates: coalesced, applied with one regional
+    recomputation per key, landed in the store as delta statements, *and*
+    the cached plan/DAG is patched for the affected region instead of
+    re-planned (:mod:`repro.bulk.planpatch`).
+``query(user, key)``
+    Point lookup of possible values — from the relation when it is
+    materialized, from memory otherwise (``mode`` pins one side).
+
+Every verb that does work returns the same :class:`EngineReport`, which
+subsumes :class:`~repro.bulk.executor.BulkRunReport` and
+:class:`~repro.incremental.session.DeltaApplyReport` (both remain
+available on the report for the fields only one path produces).
+
+Typical use::
+
+    from repro import ResolutionEngine
+
+    engine = ResolutionEngine.open(network, shards=2)
+    engine.materialize()                    # bulk-load the relation
+    engine.apply(SetBelief("alice", "x"))   # delta-maintain it
+    engine.query("bob", "k0")               # read either representation
+
+The legacy entry points (``BulkResolver``, ``IncrementalSession``, …)
+remain public and are what the engine drives underneath — existing code
+keeps working unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.beliefs import Value
+from repro.core.errors import BulkProcessingError, NetworkError
+from repro.core.network import TrustNetwork, User
+from repro.core.resolution import ResolutionResult
+from repro.bulk.backends import ShardSpec
+from repro.bulk.executor import (
+    BulkResolver,
+    BulkRunReport,
+    ConcurrentBulkResolver,
+)
+from repro.bulk.planner import PlanDag, ResolutionPlan, plan_resolution
+from repro.bulk.planpatch import patch_plan
+from repro.bulk.store import PossStore, ShardedPossStore
+from repro.incremental.deltas import Delta, RemoveUser
+from repro.incremental.session import DeltaApplyReport, IncrementalSession
+
+#: Where :meth:`ResolutionEngine.query` reads from.
+MODES = ("auto", "memory", "store")
+
+__all__ = ["MODES", "EngineReport", "ResolutionEngine"]
+
+
+@dataclass
+class EngineReport:
+    """The one report every engine verb returns.
+
+    The shared header (``operation``, ``seconds``, ``backend``, ``keys``)
+    is always filled; the bulk block (``statements`` … ``stages_overlapped``)
+    is populated by :meth:`ResolutionEngine.materialize`, the delta block
+    (``deltas`` … ``recomputes``) by :meth:`ResolutionEngine.apply`, and
+    the plan block (``plan_source``, ``plan_steps``) by every verb that
+    consulted the plan cache.  ``bulk`` / ``delta`` hold the underlying
+    :class:`~repro.bulk.executor.BulkRunReport` /
+    :class:`~repro.incremental.session.DeltaApplyReport` for fields only
+    one path produces.
+    """
+
+    operation: str
+    seconds: float
+    backend: str = ""
+    keys: int = 1
+
+    # -- bulk block (materialize) -------------------------------------- #
+    statements: int = 0
+    transactions: int = 0
+    rows_inserted: int = 0
+    shards: int = 1
+    dag_stages: int = 0
+    scheduler: str = ""
+    stages_overlapped: int = 0
+
+    # -- delta block (apply) ------------------------------------------- #
+    deltas: int = 0
+    coalesced_from: int = 0
+    users_changed: int = 0
+    rows_deleted: int = 0
+    dirty_region: int = 0
+    recomputed: int = 0
+    pruned: int = 0
+    recomputes: int = 0
+
+    # -- plan cache block ---------------------------------------------- #
+    #: How this verb obtained its plan: ``fresh`` (planned from scratch
+    #: now), ``patched`` (regionally patched now, ``apply`` only) or
+    #: ``cached`` (reused an earlier build unchanged).
+    plan_source: str = ""
+    plan_steps: int = 0
+
+    #: The in-memory resolution (``resolve`` only), keyed by object key.
+    resolutions: Dict[str, ResolutionResult] = field(default_factory=dict, repr=False)
+    #: The underlying single-path reports, where applicable.
+    bulk: Optional[BulkRunReport] = field(default=None, repr=False)
+    delta: Optional[DeltaApplyReport] = field(default=None, repr=False)
+
+
+class ResolutionEngine:
+    """One session over batch resolution, bulk materialization and deltas.
+
+    Parameters
+    ----------
+    network:
+        A **binary** trust network (Section 2.2) — the shared structure all
+        three paths operate on.  Binarize first
+        (:func:`repro.core.binarize.binarize`) when starting from a general
+        network; the engine mutates its network in place under
+        :meth:`apply`, which is only sound on the binary form.
+    store:
+        The ``POSS`` relation to materialize into / maintain; mutually
+        exclusive with ``shards``.  Defaults to an in-memory
+        :class:`~repro.bulk.store.PossStore`.
+    shards:
+        Shorthand for a key-partitioned store: an ``int`` or
+        :class:`~repro.bulk.backends.ShardSpec` builds a
+        :class:`~repro.bulk.store.ShardedPossStore`.
+    keys:
+        The object keys the engine maintains (default ``("k0",)``).
+    mode:
+        Where :meth:`query` reads: ``auto`` (the store once materialized,
+        memory before), ``memory``, or ``store``.
+    beliefs_by_key:
+        Optional per-key positive-belief overrides, as in
+        :class:`~repro.incremental.session.IncrementalSession`.
+    workers / scheduler:
+        Passed to the bulk executor: ``scheduler`` selects the replay
+        discipline (``pipelined`` / ``stage-barrier``); ``workers`` is the
+        statement-worker count for **single-store** materialization only —
+        sharded stores already parallelize with one replay thread per
+        shard, and per-shard statement workers are not layered on top.
+    """
+
+    def __init__(
+        self,
+        network: TrustNetwork,
+        store: "PossStore | ShardedPossStore | None" = None,
+        shards: "ShardSpec | int | None" = None,
+        keys: Sequence[str] = ("k0",),
+        mode: str = "auto",
+        beliefs_by_key: Optional[Dict[str, Dict[User, Value]]] = None,
+        workers: int = 1,
+        scheduler: str = "pipelined",
+    ) -> None:
+        if mode not in MODES:
+            raise BulkProcessingError(f"unknown mode {mode!r}; known: {MODES}")
+        if store is not None and shards is not None:
+            raise BulkProcessingError(
+                "pass either store or shards, not both: an explicit store "
+                "already fixes its shard layout"
+            )
+        if not network.is_binary():
+            raise NetworkError(
+                "ResolutionEngine requires a binary network; "
+                "binarize(network).btn converts any network (Prop. 2.8)"
+            )
+        if shards is not None:
+            store = ShardedPossStore(shards)
+        self.network = network
+        self.store = store if store is not None else PossStore()
+        self.mode = mode
+        self._workers = workers
+        self._scheduler = scheduler
+        self._session = IncrementalSession(
+            network,
+            store=self.store,
+            keys=keys,
+            beliefs_by_key=beliefs_by_key,
+            autoload=False,
+        )
+        self._materialized = False
+        self._plan: Optional[ResolutionPlan] = None
+        self._dag: Optional[PlanDag] = None
+        self._plan_version: Optional[Tuple[int, int]] = None
+        self._plan_source = ""
+        #: Plan-cache statistics: fresh plans built vs. regional patches.
+        self.plans_built = 0
+        self.plans_patched = 0
+
+    @classmethod
+    def open(
+        cls,
+        network: TrustNetwork,
+        store: "PossStore | ShardedPossStore | None" = None,
+        shards: "ShardSpec | int | None" = None,
+        mode: str = "auto",
+        **options,
+    ) -> "ResolutionEngine":
+        """Open an engine session — the documented construction spelling.
+
+        ``Engine.open(network, store=…, shards=…, mode=…)`` mirrors how a
+        database engine opens over existing storage; keyword ``options``
+        pass through to the constructor (``keys``, ``workers``, …).
+        """
+        return cls(network, store=store, shards=shards, mode=mode, **options)
+
+    # ------------------------------------------------------------------ #
+    # the plan cache                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def plan(self) -> ResolutionPlan:
+        """The cached bulk plan (built or validated on first access)."""
+        self._ensure_plan()
+        return self._plan
+
+    @property
+    def dag(self) -> PlanDag:
+        """The cached plan's dependency DAG (lowered once per plan)."""
+        self._ensure_plan()
+        if self._dag is None:
+            self._dag = self._plan.dag()
+        return self._dag
+
+    @property
+    def keys(self) -> Tuple[str, ...]:
+        """The object keys this engine maintains."""
+        return self._session.keys
+
+    def _ensure_plan(self) -> None:
+        """Build the plan, or rebuild it after out-of-band mutations.
+
+        The network's version counters (the PR-5 cache hooks) tell the
+        engine whether its cached plan still describes the structure; a
+        mismatch not caused by :meth:`apply` — someone mutated the network
+        directly — forces a fresh re-plan.
+        """
+        version = self.network.version
+        if self._plan is not None and self._plan_version == version:
+            self._plan_source = "cached"
+            return
+        self._plan = plan_resolution(self.network)
+        self._dag = None
+        self._plan_version = version
+        self._plan_source = "fresh"
+        self.plans_built += 1
+
+    def _maintain_plan(self, report: DeltaApplyReport) -> None:
+        """Patch the cached plan for the just-applied batch's region."""
+        if self._plan is None:
+            return  # nothing cached yet: the next access plans fresh
+        touched = set()
+        removed = set()
+        for _key, log in report.logs:
+            touched.update(log.touched)
+            batch = log.delta if isinstance(log.delta, tuple) else (log.delta,)
+            removed.update(
+                delta.user for delta in batch if isinstance(delta, RemoveUser)
+            )
+        if not touched and not removed:
+            self._plan_version = self.network.version
+            self._plan_source = "cached"
+            return
+        try:
+            patch = patch_plan(self._plan, self.network, touched, removed=removed)
+        except BulkProcessingError:
+            # Regions the patcher cannot cover (or Skeptic plans) fall back
+            # to a fresh re-plan on next access.
+            self._plan = None
+            self._dag = None
+            self._plan_version = None
+            return
+        self._plan = patch.plan
+        self._dag = None
+        self._plan_version = self.network.version
+        self._plan_source = "patched"
+        self.plans_patched += 1
+
+    # ------------------------------------------------------------------ #
+    # the four verbs                                                      #
+    # ------------------------------------------------------------------ #
+
+    def resolve(self) -> EngineReport:
+        """The in-memory resolution of every maintained key.
+
+        Served from the incrementally maintained per-key state — warm after
+        construction, patched in place by :meth:`apply` — as
+        :class:`~repro.core.resolution.ResolutionResult` snapshots on the
+        report's ``resolutions`` mapping.
+        """
+        started = time.perf_counter()
+        resolutions = {
+            key: self._session.resolver(key).resolution()
+            for key in self._session.keys
+        }
+        return EngineReport(
+            operation="resolve",
+            seconds=time.perf_counter() - started,
+            backend=self.store.backend_name,
+            keys=len(resolutions),
+            resolutions=resolutions,
+        )
+
+    def materialize(self) -> EngineReport:
+        """Execute the cached plan against the store (the Section 4 path).
+
+        Clears the relation, bulk-loads every key's explicit beliefs and
+        replays the plan DAG through the pipelined scheduler — scatter/
+        gathered over the shards on a sharded store — inside one
+        (per-shard) transaction.  After this, :meth:`query` in ``auto``
+        mode reads from the relation.
+        """
+        started = time.perf_counter()
+        self._ensure_plan()
+        plan_users = {str(user) for user in self._plan.explicit_users}
+        rows: List[Tuple[str, str, str]] = []
+        for key in self._session.keys:
+            beliefs = self._session.resolver(key).beliefs
+            users = {str(user) for user in beliefs}
+            if users != plan_users:
+                raise BulkProcessingError(
+                    f"key {key!r} violates bulk assumption (ii): its belief "
+                    f"users {sorted(users)} differ from the planned explicit "
+                    f"set {sorted(plan_users)}"
+                )
+            rows.extend(
+                (str(user), key, str(value)) for user, value in beliefs.items()
+            )
+        self.store.clear()
+        if isinstance(self.store, ShardedPossStore):
+            executor = ConcurrentBulkResolver(
+                self.network,
+                store=self.store,
+                scheduler=self._scheduler,
+                plan=self._plan,
+            )
+        else:
+            executor = BulkResolver(
+                self.network,
+                store=self.store,
+                workers=self._workers,
+                scheduler=self._scheduler,
+                plan=self._plan,
+            )
+        executor.load_beliefs(rows)
+        bulk = executor.run()
+        self._materialized = True
+        return EngineReport(
+            operation="materialize",
+            seconds=time.perf_counter() - started,
+            backend=bulk.backend,
+            keys=len(self._session.keys),
+            statements=bulk.statements,
+            transactions=bulk.transactions,
+            rows_inserted=bulk.rows_inserted,
+            shards=bulk.shards,
+            dag_stages=bulk.dag_stages,
+            scheduler=bulk.scheduler,
+            stages_overlapped=bulk.stages_overlapped,
+            plan_source=self._plan_source,
+            plan_steps=len(self._plan.steps),
+            bulk=bulk,
+        )
+
+    def apply(self, *deltas: Delta, coalesce: bool = True) -> EngineReport:
+        """Absorb a batch of updates through the incremental path.
+
+        The batch is coalesced, recomputed once per key over the merged
+        dirty region, and landed in the store as delta statements
+        (:meth:`IncrementalSession.apply_batch`); the cached plan is then
+        patched for the affected region (:func:`repro.bulk.planpatch
+        .patch_plan`) instead of re-planned, so the next
+        :meth:`materialize` pays plan-maintenance proportional to the
+        update, not to the network.
+        """
+        started = time.perf_counter()
+        delta_report = self._session.apply_batch(*deltas, coalesce=coalesce)
+        self._maintain_plan(delta_report)
+        return EngineReport(
+            operation="apply",
+            seconds=time.perf_counter() - started,
+            backend=delta_report.backend,
+            keys=delta_report.keys,
+            deltas=delta_report.deltas,
+            coalesced_from=delta_report.coalesced_from,
+            users_changed=delta_report.users_changed,
+            rows_deleted=delta_report.rows_deleted,
+            rows_inserted=delta_report.rows_inserted,
+            statements=delta_report.statements,
+            transactions=delta_report.transactions,
+            dirty_region=delta_report.dirty_region,
+            recomputed=delta_report.recomputed,
+            pruned=delta_report.pruned,
+            recomputes=delta_report.recomputes,
+            plan_source=self._plan_source if self._plan is not None else "",
+            plan_steps=len(self._plan.steps) if self._plan is not None else 0,
+            delta=delta_report,
+        )
+
+    def query(self, user: User, key: Optional[str] = None) -> FrozenSet[str]:
+        """Possible values of one user for one key (default key if omitted).
+
+        Reads the relation when materialized (``auto``/``store`` modes) and
+        the in-memory maintained state otherwise; both stay in lockstep
+        under :meth:`apply`, which is what the round-trip tests lock.
+        """
+        key = self._session.keys[0] if key is None else str(key)
+        use_store = self.mode == "store" or (
+            self.mode == "auto" and self._materialized
+        )
+        if use_store:
+            return self.store.possible_values(user, key)
+        return frozenset(
+            str(value) for value in self._session.possible_values(user, key)
+        )
+
+    def certain(self, user: User, key: Optional[str] = None) -> FrozenSet[str]:
+        """Certain value of one user for one key (singleton or empty)."""
+        values = self.query(user, key)
+        return values if len(values) == 1 else frozenset()
+
+    # ------------------------------------------------------------------ #
+    # lifecycle                                                           #
+    # ------------------------------------------------------------------ #
+
+    def close(self) -> None:
+        """Close the underlying store."""
+        self._session.close()
+
+    def __enter__(self) -> "ResolutionEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -18,15 +18,23 @@ grows; on the sampled web family (Figure 8b) the experiment updates the
 belief root with the smallest descendant region (the locality a real
 per-user update exhibits), reported explicitly as ``dirty_region``.
 
+Besides the single-update sweep, :func:`run_batch_sweep` measures the
+engine path (:class:`repro.engine.ResolutionEngine`): a burst of updates
+applied as one coalesced batch — net-effect dedupe plus a single merged
+dirty-region recomputation per key — against op-at-a-time application
+through the legacy session.
+
 CLI::
 
     python -m repro.experiments.fig8_incremental [--quick]
         [--sizes N [N ...]] [--workload fig8a fig8b]
+        [--sweep-batches] [--seed N] [--json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -34,6 +42,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.bulk.store import PossStore
 from repro.core.network import TrustNetwork, User
 from repro.core.resolution import resolve
+from repro.engine import ResolutionEngine
 from repro.experiments.runner import format_table
 from repro.incremental.deltas import SetBelief
 from repro.incremental.region import dirty_region
@@ -170,6 +179,80 @@ def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
     }
 
 
+def run_batch_sweep(
+    sizes: Sequence[int] = (2_000, 10_000),
+    workload: str = "fig8a",
+    ops: int = 50,
+    targets: int = 3,
+    seed: int = 7,
+) -> List[Dict[str, object]]:
+    """The engine-path sweep: one coalesced batch vs. op-at-a-time.
+
+    A burst of ``ops`` belief flips round-robins over ``targets`` belief
+    roots (an overlapping high-rate stream).  The engine applies it as one
+    batch — coalescing collapses the burst to one net write per target and
+    the merged dirty region recomputes **once** — while the baseline
+    session applies it op by op, paying one regional recomputation and one
+    store round trip per op.  Both relations must come out byte-identical.
+    """
+    rows: List[Dict[str, object]] = []
+    for size in sizes:
+        network = _build_network(workload, size, seed)
+        believers = sorted(
+            (u for u in network.users if network.has_explicit_belief(u)), key=str
+        )
+        chosen = believers[: max(1, min(targets, len(believers)))]
+        stream = [
+            SetBelief(chosen[i % len(chosen)], f"burst-{i}") for i in range(ops)
+        ]
+
+        baseline = IncrementalSession(network.copy(), store=PossStore())
+        started = time.perf_counter()
+        baseline_recomputes = 0
+        for delta in stream:
+            baseline_recomputes += baseline.apply(delta).recomputes
+        op_at_a_time_seconds = time.perf_counter() - started
+
+        engine = ResolutionEngine.open(network.copy(), store=PossStore())
+        engine.materialize()
+        started = time.perf_counter()
+        report = engine.apply(*stream)
+        batched_seconds = time.perf_counter() - started
+
+        identical = _serialized(engine.store) == _serialized(baseline.store)
+        rows.append(
+            {
+                "workload": workload,
+                "size": network.size,
+                "ops": ops,
+                "coalesced_to": report.deltas,
+                "recomputes": report.recomputes,
+                "baseline_recomputes": baseline_recomputes,
+                "op_at_a_time_seconds": op_at_a_time_seconds,
+                "batched_seconds": batched_seconds,
+                "speedup": op_at_a_time_seconds / max(batched_seconds, 1e-9),
+                "byte_identical": identical,
+            }
+        )
+        baseline.close()
+        engine.close()
+    return rows
+
+
+def summarize_batch_sweep(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Headline claims of the batch path: identical output, fewer recomputes."""
+    return {
+        "all_byte_identical": all(row["byte_identical"] for row in rows),
+        "fewer_recomputes_than_ops": all(
+            row["recomputes"] < row["ops"] for row in rows
+        ),
+        "max_speedup": (
+            round(max(row["speedup"] for row in rows), 1) if rows else None
+        ),
+        "largest_size": max((row["size"] for row in rows), default=0),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point (exercised by the docs job)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -190,6 +273,22 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         default=("fig8a", "fig8b"),
         help="network families to sweep",
     )
+    parser.add_argument(
+        "--sweep-batches",
+        action="store_true",
+        help="also run the engine-path batched/coalesced apply sweep",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=7,
+        help="workload seed, for reproducible runs (default: 7)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of tables",
+    )
     args = parser.parse_args(argv)
     if args.sizes is not None:
         sizes: Sequence[int] = tuple(args.sizes)
@@ -197,28 +296,66 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         sizes = QUICK_SIZES
     else:
         sizes = DEFAULT_SIZES
+    document: Dict[str, object] = {"seed": args.seed, "workloads": {}}
     for workload in args.workload:
-        rows = run(sizes=sizes, workload=workload)
-        print(
-            f"Figure 8 ({workload}) — single-belief update: "
-            "incremental vs. full re-resolution + reload"
-        )
-        print(
-            format_table(
-                rows,
-                columns=[
-                    "size",
-                    "dirty_region",
-                    "incremental_seconds",
-                    "full_resolve_seconds",
-                    "delta_apply_seconds",
-                    "store_reload_seconds",
-                    "speedup_total",
-                    "byte_identical",
-                ],
+        rows = run(sizes=sizes, workload=workload, seed=args.seed)
+        entry: Dict[str, object] = {"rows": rows, "summary": summarize(rows)}
+        if not args.json:
+            print(
+                f"Figure 8 ({workload}) — single-belief update: "
+                "incremental vs. full re-resolution + reload"
             )
-        )
-        print("summary:", summarize(rows))
+            print(
+                format_table(
+                    rows,
+                    columns=[
+                        "size",
+                        "dirty_region",
+                        "incremental_seconds",
+                        "full_resolve_seconds",
+                        "delta_apply_seconds",
+                        "store_reload_seconds",
+                        "speedup_total",
+                        "byte_identical",
+                    ],
+                )
+            )
+            print("summary:", summarize(rows))
+        if args.sweep_batches:
+            batch_rows = run_batch_sweep(
+                sizes=sizes[: max(1, len(sizes) - 1)],
+                workload=workload,
+                ops=20 if args.quick else 50,
+                seed=args.seed,
+            )
+            entry["batch_sweep"] = {
+                "rows": batch_rows,
+                "summary": summarize_batch_sweep(batch_rows),
+            }
+            if not args.json:
+                print(
+                    f"\nFigure 8 ({workload}) — engine batch apply "
+                    "(coalesced, one recompute) vs. op-at-a-time"
+                )
+                print(
+                    format_table(
+                        batch_rows,
+                        columns=[
+                            "size",
+                            "ops",
+                            "coalesced_to",
+                            "recomputes",
+                            "op_at_a_time_seconds",
+                            "batched_seconds",
+                            "speedup",
+                            "byte_identical",
+                        ],
+                    )
+                )
+                print("summary:", summarize_batch_sweep(batch_rows))
+        document["workloads"][workload] = entry
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True, default=str))
 
 
 if __name__ == "__main__":  # pragma: no cover

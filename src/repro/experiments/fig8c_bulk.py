@@ -18,23 +18,31 @@ indexes — the covering-index experiment the ROADMAP called for.
 replayed on every shard of a key-partitioned store
 (:class:`~repro.bulk.executor.ConcurrentBulkResolver`), so the per-shard
 statement count stays at the unsharded plan's count while each shard only
-touches its slice of the objects.
+touches its slice of the objects.  :func:`run_scheduler_sweep` compares
+the engine's replay disciplines on a deep multi-stage chain workload: the
+pipelined dependency work-queue (the default) against the stage-barrier
+baseline that keeps every shard in lockstep per stage.
 
 CLI::
 
     python -m repro.experiments.fig8c_bulk [--quick] [--objects N [N ...]]
                                            [--sweep-indexes]
                                            [--shards N [N ...]]
+                                           [--sweep-schedulers]
+                                           [--seed N] [--json]
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
+import tempfile
 from typing import Dict, List, Optional, Sequence
 
-from repro.bulk.backends import resolve_index_strategy
+from repro.bulk.backends import SqliteFileBackend, resolve_index_strategy
 from repro.bulk.executor import BulkResolver, BulkRunReport, ConcurrentBulkResolver
-from repro.bulk.store import PossStore
+from repro.bulk.store import PossStore, ShardedPossStore
 from repro.core.resolution import resolve
 from repro.experiments.runner import (
     average_time,
@@ -43,7 +51,12 @@ from repro.experiments.runner import (
     log_log_slope,
 )
 from repro.logicprog.solver import solve_network
-from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
+from repro.workloads.bulkload import (
+    BELIEF_USERS,
+    chain_network,
+    figure19_network,
+    generate_objects,
+)
 
 
 def _bulk_report(
@@ -261,6 +274,109 @@ def summarize_shard_sweep(rows: Sequence[Dict[str, object]]) -> Dict[str, object
     }
 
 
+def _scheduler_report(
+    depth: int,
+    n_objects: int,
+    shards: int,
+    scheduler: str,
+    seed: int,
+    directory: str,
+) -> BulkRunReport:
+    """One chain-workload run on file-backed shards under one scheduler."""
+    network = chain_network(depth)
+    os.makedirs(directory, exist_ok=True)
+    backends = [
+        SqliteFileBackend(
+            os.path.join(directory, f"{scheduler}-s{shards}-{i}.db")
+        )
+        for i in range(shards)
+    ]
+    store = ShardedPossStore(shards, backends=backends)
+    resolver = ConcurrentBulkResolver(
+        network,
+        store=store,
+        explicit_users=BELIEF_USERS,
+        scheduler=scheduler,
+    )
+    resolver.load_beliefs(generate_objects(n_objects, seed=seed))
+    report = resolver.run()
+    store.close()
+    return report
+
+
+def run_scheduler_sweep(
+    depth: int = 400,
+    n_objects: int = 100,
+    shard_counts: Sequence[int] = (2, 4),
+    seed: int = 11,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """The engine-path scheduler experiment: pipelined vs. stage-barrier.
+
+    The workload is a ``depth``-stage chain (one copy statement per stage),
+    replayed on file-backed shards so the shard threads genuinely run
+    concurrently.  The stage-barrier baseline synchronizes every shard at
+    each of the ``depth`` stage boundaries; the pipelined work-queue lets
+    each shard run ahead, so its wall clock drops by the accumulated
+    barrier overhead — ``stages_overlapped`` counts how often it actually
+    ran ahead.  Best-of-``repeats`` per cell smooths scheduler noise.
+    """
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-scheduler-") as directory:
+        for shards in shard_counts:
+            cells: Dict[str, BulkRunReport] = {}
+            for scheduler in ("stage-barrier", "pipelined"):
+                best: Optional[BulkRunReport] = None
+                for attempt in range(repeats):
+                    report = _scheduler_report(
+                        depth,
+                        n_objects,
+                        shards,
+                        scheduler,
+                        seed,
+                        os.path.join(directory, f"r{attempt}"),
+                    )
+                    if best is None or report.elapsed_seconds < best.elapsed_seconds:
+                        best = report
+                cells[scheduler] = best
+            pipelined = cells["pipelined"]
+            barrier = cells["stage-barrier"]
+            rows.append(
+                {
+                    "shards": shards,
+                    "depth": depth,
+                    "objects": n_objects,
+                    "pipelined_seconds": pipelined.elapsed_seconds,
+                    "barrier_seconds": barrier.elapsed_seconds,
+                    "speedup": barrier.elapsed_seconds
+                    / max(pipelined.elapsed_seconds, 1e-9),
+                    "dag_stages": pipelined.dag_stages,
+                    "stages_overlapped": pipelined.stages_overlapped,
+                    "barrier_overlapped": barrier.stages_overlapped,
+                    "statements_per_shard": pipelined.statements_per_shard(),
+                }
+            )
+    return rows
+
+
+def summarize_scheduler_sweep(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Invariants of the scheduler sweep: barriers never overlap, pipelining does."""
+    return {
+        "barrier_never_overlaps": all(
+            row["barrier_overlapped"] == 0 for row in rows
+        ),
+        "pipelined_overlaps_observed": all(
+            row["stages_overlapped"] > 0 for row in rows
+        ),
+        "mean_speedup_vs_barrier": (
+            round(sum(row["speedup"] for row in rows) / len(rows), 3)
+            if rows
+            else None
+        ),
+        "dag_stages": sorted({row["dag_stages"] for row in rows}),
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point (exercised by the docs job)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -289,6 +405,22 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         metavar="N",
         help="also run the scatter/gather shard sweep over these shard counts",
     )
+    parser.add_argument(
+        "--sweep-schedulers",
+        action="store_true",
+        help="also run the pipelined vs. stage-barrier scheduler sweep",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=11,
+        help="workload seed, for reproducible runs (default: 11)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one machine-readable JSON document instead of tables",
+    )
     args = parser.parse_args(argv)
     if args.objects is not None:
         counts: Sequence[int] = tuple(args.objects)
@@ -299,55 +431,108 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     lp_cap = 10 if args.quick else 20
     ra_cap = 500 if args.quick else 2_000
 
-    rows = run(object_counts=counts, lp_max_objects=lp_cap, ra_max_objects=ra_cap)
-    print("Figure 8c — bulk inserts over the fixed 7-user / 12-mapping network")
-    print(
-        format_table(
-            rows,
-            columns=[
-                "objects",
-                "bulk_sql_seconds",
-                "per_object_ra_seconds",
-                "per_object_lp_seconds",
-            ],
-        )
+    document: Dict[str, object] = {"seed": args.seed}
+    rows = run(
+        object_counts=counts,
+        lp_max_objects=lp_cap,
+        ra_max_objects=ra_cap,
+        seed=args.seed,
     )
-    print("summary:", summarize(rows))
+    document["fig8c"] = {"rows": rows, "summary": summarize(rows)}
+    if not args.json:
+        print("Figure 8c — bulk inserts over the fixed 7-user / 12-mapping network")
+        print(
+            format_table(
+                rows,
+                columns=[
+                    "objects",
+                    "bulk_sql_seconds",
+                    "per_object_ra_seconds",
+                    "per_object_lp_seconds",
+                ],
+            )
+        )
+        print("summary:", summarize(rows))
 
     if args.sweep_indexes:
-        sweep = run_index_sweep(object_counts=counts)
-        print("\nFigure 8c — index-strategy sweep (grouped copies, 1 txn/run)")
-        print(
-            format_table(
-                sweep,
-                columns=[
-                    "index_strategy",
-                    "objects",
-                    "seconds",
-                    "statements",
-                    "transactions",
-                ],
+        sweep = run_index_sweep(object_counts=counts, seed=args.seed)
+        document["index_sweep"] = {
+            "rows": sweep,
+            "summary": summarize_index_sweep(sweep),
+        }
+        if not args.json:
+            print("\nFigure 8c — index-strategy sweep (grouped copies, 1 txn/run)")
+            print(
+                format_table(
+                    sweep,
+                    columns=[
+                        "index_strategy",
+                        "objects",
+                        "seconds",
+                        "statements",
+                        "transactions",
+                    ],
+                )
             )
-        )
-        print("summary:", summarize_index_sweep(sweep))
+            print("summary:", summarize_index_sweep(sweep))
 
     if args.shards:
-        sweep = run_shard_sweep(object_counts=counts, shard_counts=args.shards)
-        print("\nFigure 8c — shard sweep (same plan DAG replayed per shard)")
-        print(
-            format_table(
-                sweep,
-                columns=[
-                    "shards",
-                    "objects",
-                    "seconds",
-                    "statements_per_shard",
-                    "transactions",
-                    "dag_stages",
-                ],
-            )
+        sweep = run_shard_sweep(
+            object_counts=counts, shard_counts=args.shards, seed=args.seed
         )
-        print("summary:", summarize_shard_sweep(sweep))
+        document["shard_sweep"] = {
+            "rows": sweep,
+            "summary": summarize_shard_sweep(sweep),
+        }
+        if not args.json:
+            print("\nFigure 8c — shard sweep (same plan DAG replayed per shard)")
+            print(
+                format_table(
+                    sweep,
+                    columns=[
+                        "shards",
+                        "objects",
+                        "seconds",
+                        "statements_per_shard",
+                        "transactions",
+                        "dag_stages",
+                    ],
+                )
+            )
+            print("summary:", summarize_shard_sweep(sweep))
+
+    if args.sweep_schedulers:
+        sweep = run_scheduler_sweep(
+            depth=100 if args.quick else 400,
+            n_objects=50 if args.quick else 100,
+            seed=args.seed,
+        )
+        document["scheduler_sweep"] = {
+            "rows": sweep,
+            "summary": summarize_scheduler_sweep(sweep),
+        }
+        if not args.json:
+            print(
+                "\nFigure 8c — scheduler sweep (pipelined work-queue vs. "
+                "stage-barrier lockstep)"
+            )
+            print(
+                format_table(
+                    sweep,
+                    columns=[
+                        "shards",
+                        "depth",
+                        "pipelined_seconds",
+                        "barrier_seconds",
+                        "speedup",
+                        "stages_overlapped",
+                    ],
+                )
+            )
+            print("summary:", summarize_scheduler_sweep(sweep))
+
+    if args.json:
+        print(json.dumps(document, indent=2, sort_keys=True, default=str))
 
 
 if __name__ == "__main__":  # pragma: no cover

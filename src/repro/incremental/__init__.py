@@ -16,13 +16,17 @@ network under a stream of deltas instead:
   same for Algorithm 2's representations;
 * :mod:`repro.incremental.session` — :class:`IncrementalSession`, which
   applies delta logs to a ``POSS`` store as delta ``DELETE``/``INSERT``
-  statements inside one (per-shard) transaction instead of a full reload.
+  statements inside one (per-shard) transaction instead of a full reload;
+* :mod:`repro.incremental.coalesce` — :func:`coalesce`, the net-effect
+  batch rewriter behind ``IncrementalSession.apply_batch`` (one regional
+  recompute per batch instead of one per op).
 
 Correctness contract, locked by the property suite: after any update
 stream, the maintained state is byte-identical to a from-scratch
 re-resolution of the mutated network — in memory and in the relation.
 """
 
+from repro.incremental.coalesce import coalesce
 from repro.incremental.deltas import (
     AddTrust,
     Delta,
@@ -59,5 +63,6 @@ __all__ = [
     "SkepticDeltaLog",
     "SkepticDeltaResolver",
     "SkepticRowChange",
+    "coalesce",
     "is_structural",
 ]

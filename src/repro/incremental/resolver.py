@@ -40,7 +40,7 @@ the surviving edges.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Mapping, Optional, Set, Tuple
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.beliefs import Value
 from repro.core.errors import NetworkError
@@ -198,12 +198,97 @@ class DeltaResolver:
         """
         with paused_gc():
             touched_users, removed = self._mutate(delta, mutate_network, touched)
-            return self._recompute(delta, touched_users, removed)
+            return self._recompute(
+                delta, touched_users, () if removed is None else (removed,)
+            )
+
+    def apply_batch(
+        self,
+        deltas: Sequence[Delta],
+        mutate_network: bool = True,
+        touched_overrides: Optional[Sequence[Optional[Tuple[User, ...]]]] = None,
+        record_touched: Optional[List[Tuple[User, ...]]] = None,
+    ) -> DeltaLog:
+        """Apply several deltas with **one** regional recomputation.
+
+        All mutations are applied first; the dirty regions they touch are
+        then recomputed together — overlapping regions merge, so a batch of
+        *k* updates inside one subtree costs one regional re-resolution
+        instead of *k* (the delta-batching half of the coalescing design;
+        pair with :func:`~repro.incremental.coalesce.coalesce` to also
+        dedupe the deltas themselves).  The returned log's ``delta`` field
+        holds the tuple of applied deltas and its ``changes`` the *net*
+        row-level effect of the whole batch.
+
+        ``touched_overrides`` supplies per-delta touched tuples for
+        resolvers sharing an already-mutated network (``mutate_network=
+        False``); ``record_touched`` — a caller-owned list — receives each
+        delta's touched tuple so a session can replay the batch on sibling
+        resolvers.
+
+        If a delta in the middle of the batch is rejected, the mutations
+        before it have already been applied; the maintained map is then
+        recomputed for those before the exception propagates, so the
+        resolver never ends up inconsistent with its network.
+        """
+        deltas = tuple(deltas)
+        if not deltas:
+            raise NetworkError("apply_batch() needs at least one delta")
+        touched_all: Set[User] = set()
+        removed: List[User] = []
+        with paused_gc():
+            try:
+                for position, delta in enumerate(deltas):
+                    override = (
+                        touched_overrides[position]
+                        if touched_overrides is not None
+                        else None
+                    )
+                    touched, gone = self._mutate(delta, mutate_network, override)
+                    if record_touched is not None:
+                        record_touched.append(tuple(touched))
+                    touched_all |= set(touched)
+                    if gone is not None:
+                        removed.append(gone)
+            except NetworkError:
+                if touched_all or removed:
+                    self._recompute(deltas[:position], touched_all, removed)
+                raise
+            return self._recompute(deltas, touched_all, removed)
 
     def ensure_user(self, user: User) -> None:
         """Give a (new) network user its empty possible-value entry."""
         if user in self.network and user not in self.possible:
             self.possible[user] = _EMPTY
+
+    def rebuild(self) -> None:
+        """Re-derive the maintained map from a fresh resolution.
+
+        The recovery path after a partially applied batch: the network (and
+        this resolver's belief map) hold whatever prefix of the batch
+        succeeded, so a from-scratch resolution of that state is by
+        definition the consistent map.  Costs one full ``resolve()`` —
+        acceptable on an error path.
+        """
+        if self._owns_beliefs:
+            self.beliefs = {
+                user: belief.positive_value
+                for user, belief in self.network.explicit_beliefs.items()
+                if belief.positive_value is not None
+            }
+            source = self.network
+        else:
+            self.beliefs = {
+                user: value
+                for user, value in self.beliefs.items()
+                if user in self.network
+            }
+            source = TrustNetwork(
+                users=self.network.users,
+                mappings=self.network.mappings,
+                explicit_beliefs=dict(self.beliefs),
+            )
+        self.possible = dict(resolve(source).possible)
 
     def resolution(self) -> ResolutionResult:
         """The maintained state as a :class:`ResolutionResult` snapshot.
@@ -283,13 +368,13 @@ class DeltaResolver:
     # ------------------------------------------------------------------ #
 
     def _recompute(
-        self, delta: Delta, touched: Set[User], removed: Optional[User]
+        self, delta: "Delta | Tuple[Delta, ...]", touched: Set[User], removed: Sequence[User]
     ) -> DeltaLog:
         changes: List[RowChange] = []
-        if removed is not None:
-            old = self.possible.pop(removed, None)
+        for gone in removed:
+            old = self.possible.pop(gone, None)
             if old is not None:
-                changes.append(RowChange(removed, old, _EMPTY, removed=True))
+                changes.append(RowChange(gone, old, _EMPTY, removed=True))
 
         network = self.network
         touched_live = sorted((u for u in touched if u in network), key=str)

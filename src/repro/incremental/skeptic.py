@@ -183,7 +183,38 @@ class SkepticDeltaResolver:
         """Apply one delta; recompute only the dirty region."""
         with paused_gc():
             touched, removed = self._mutate(delta)
-            return self._recompute(delta, touched, removed)
+            return self._recompute(
+                delta, touched, () if removed is None else (removed,)
+            )
+
+    def apply_batch(self, deltas) -> SkepticDeltaLog:
+        """Apply several deltas with one merged-region recomputation.
+
+        The Skeptic sibling of
+        :meth:`~repro.incremental.resolver.DeltaResolver.apply_batch`: all
+        mutations first, then a single ``prefNeg`` re-propagation and
+        representation recompute over the union of the dirty regions.  The
+        returned log's ``delta`` field holds the tuple of applied deltas.
+        A mid-batch rejection recomputes the already-mutated prefix before
+        propagating, keeping the maintained state consistent.
+        """
+        deltas = tuple(deltas)
+        if not deltas:
+            raise NetworkError("apply_batch() needs at least one delta")
+        touched_all: Set[User] = set()
+        removed: List[User] = []
+        with paused_gc():
+            try:
+                for position, delta in enumerate(deltas):
+                    touched, gone = self._mutate(delta)
+                    touched_all |= set(touched)
+                    if gone is not None:
+                        removed.append(gone)
+            except NetworkError:
+                if touched_all or removed:
+                    self._recompute(deltas[:position], touched_all, removed)
+                raise
+            return self._recompute(deltas, touched_all, removed)
 
     def _mutate(self, delta: Delta) -> Tuple[Set[User], Optional[User]]:
         network = self.network
@@ -235,14 +266,17 @@ class SkepticDeltaResolver:
     # ------------------------------------------------------------------ #
 
     def _recompute(
-        self, delta: Delta, touched: Set[User], removed: Optional[User]
+        self,
+        delta: "Delta | Tuple[Delta, ...]",
+        touched: Set[User],
+        removed: "Tuple[User, ...] | List[User]",
     ) -> SkepticDeltaLog:
         changes: List[SkepticRowChange] = []
-        if removed is not None:
-            old = self.representations.pop(removed, None)
-            self.pref_neg.pop(removed, None)
+        for gone in removed:
+            old = self.representations.pop(gone, None)
+            self.pref_neg.pop(gone, None)
             if old is not None and old != _EMPTY_REP:
-                changes.append(SkepticRowChange(removed, old, _EMPTY_REP))
+                changes.append(SkepticRowChange(gone, old, _EMPTY_REP))
 
         network = self.network
         touched_live = sorted((u for u in touched if u in network), key=str)

@@ -58,6 +58,28 @@ def figure19_network() -> TrustNetwork:
     return network
 
 
+def chain_network(depth: int) -> TrustNetwork:
+    """A ``depth``-stage chain below the two Figure 19 belief users.
+
+    ``d1`` prefers ``x6`` over ``x7``; every later ``d<i>`` copies from its
+    predecessor, so the grouped plan is ``depth`` single-parent copy steps
+    whose dependency DAG is one long chain — ``dag_stages == depth``.  This
+    is the multi-stage workload of the scheduler experiments: with many
+    narrow stages, a stage-barrier replay pays one synchronization per
+    stage while the pipelined work-queue pays none.
+    """
+    if depth < 1:
+        raise WorkloadError("a chain needs at least one derived user")
+    network = TrustNetwork()
+    for user in BELIEF_USERS:
+        network.add_user(user)
+    network.add_trust("d1", BELIEF_USERS[0], priority=2)
+    network.add_trust("d1", BELIEF_USERS[1], priority=1)
+    for index in range(2, depth + 1):
+        network.add_trust(f"d{index}", f"d{index - 1}", priority=1)
+    return network
+
+
 def count_summary(network: TrustNetwork) -> Dict[str, int]:
     """Users / mappings / belief users of the bulk network (sanity check)."""
     return {

@@ -256,6 +256,60 @@ class TestDbApiRenderingThroughTheStore:
             sql.startswith("CREATE TABLE") for sql, _ in connection.statements
         )
 
+    def _delta_sql(self, connection):
+        return [
+            (sql, params)
+            for sql, params in connection.statements
+            if sql.startswith(("DELETE FROM POSS", "INSERT INTO POSS (X, K, V) VALUES"))
+        ]
+
+    def test_numeric_delta_delete_renders_in_list_and_key(self):
+        """The incremental engine's delta DELETE — ``X IN (…) AND K = ?`` —
+        through the numeric paramstyle: positions cover the IN list first,
+        the key last, and the parameters arrive in that order."""
+        store, connection = self._store_and_connection("numeric")
+        store.delete_user_rows(["x1", "x2", "x3"], key="k7")
+        ((sql, params),) = self._delta_sql(connection)
+        assert "?" not in sql
+        assert "WHERE X IN (:1,:2,:3)" in sql
+        assert sql.endswith("AND K = :4")
+        assert params == ("x1", "x2", "x3", "k7")
+        assert store.delta_statements == 1
+
+    def test_numeric_delta_delete_without_key_omits_the_key_clause(self):
+        store, connection = self._store_and_connection("numeric")
+        store.delete_user_rows(["a", "b"])
+        ((sql, params),) = self._delta_sql(connection)
+        assert sql == "DELETE FROM POSS WHERE X IN (:1,:2)"
+        assert params == ("a", "b")
+
+    def test_numeric_delta_delete_chunks_restart_numbering(self):
+        """Chunked deletes (bound-variable limits) must re-render the
+        placeholders per chunk — positions restart at :1 each time."""
+        store, connection = self._store_and_connection("numeric")
+        users = [f"x{i}" for i in range(501)]
+        store.delete_user_rows(users, key="k0")
+        statements = self._delta_sql(connection)
+        assert len(statements) == 2  # 500 + 1
+        first_sql, first_params = statements[0]
+        second_sql, second_params = statements[1]
+        assert first_sql.startswith("DELETE FROM POSS WHERE X IN (:1,")
+        assert f":{500}" in first_sql and first_sql.endswith("AND K = :501")
+        assert second_sql == "DELETE FROM POSS WHERE X IN (:1) AND K = :2"
+        assert first_params == (*users[:500], "k0")
+        assert second_params == ("x500", "k0")
+        assert store.delta_statements == 2
+
+    def test_numeric_delta_insert_renders_row_placeholders(self):
+        store, connection = self._store_and_connection("numeric")
+        store.insert_rows([("u", "k0", "v"), ("w", "k1", "z")])
+        inserts = self._delta_sql(connection)
+        assert len(inserts) == 2  # executemany records one call per row
+        for sql, params in inserts:
+            assert sql == "INSERT INTO POSS (X, K, V) VALUES (:1, :2, :3)"
+            assert len(params) == 3
+        assert store.delta_statements == 1  # one executemany batch
+
     def test_transaction_begins_explicitly_and_rolls_back_on_autocommit(self):
         """The explicit-BEGIN path: on a connection without an implicit
         transaction, transaction() must issue BEGIN so rollback() has a

@@ -1,0 +1,371 @@
+"""Tests for the pipelined stage scheduler (dependency work-queue replay).
+
+The acceptance property of the scheduler refactor: replaying a plan's DAG
+through the pipelined work-queue — serially, on worker threads, or shard by
+shard without cross-shard barriers — must produce a relation byte-identical
+to the sequential plan-order replay, on hundreds of randomized networks,
+for shard counts {1, 2, 4} and for sqlite-file and DB-API backends.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import threading
+
+import pytest
+
+from repro.bulk.backends import DbApiBackend, SqliteFileBackend
+from repro.bulk.executor import (
+    BulkResolver,
+    ConcurrentBulkResolver,
+    SkepticBulkResolver,
+    _replay_step,
+    replay_dag,
+)
+from repro.bulk.store import PossStore, ShardedPossStore
+from repro.core.errors import BulkProcessingError
+from repro.core.network import TrustNetwork
+from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
+
+
+def _random_network(rng, max_users: int = 9):
+    """A random trust network plus the users carrying explicit beliefs."""
+    n = rng.randint(4, max_users)
+    users = [f"u{i}" for i in range(n)]
+    tn = TrustNetwork()
+    for user in users:
+        tn.add_user(user)
+    n_explicit = rng.randint(1, 2)
+    explicit = users[:n_explicit]
+    for child in users[n_explicit:]:
+        parents = rng.sample([u for u in users if u != child], rng.randint(1, 2))
+        priorities = (
+            rng.sample([1, 2], len(parents))
+            if rng.random() < 0.7
+            else [1] * len(parents)
+        )
+        for parent, priority in zip(parents, priorities):
+            tn.add_trust(child, parent, priority=priority)
+    return tn, explicit
+
+
+def _random_rows(rng, explicit, n_objects):
+    rows = []
+    for index in range(n_objects):
+        key = f"k{index}"
+        for user in explicit:
+            rows.append((user, key, rng.choice(["v1", "v2", "v3"])))
+    return rows
+
+
+def _sequential_reference(plan, rows, serialized_relation):
+    """The relation produced by a plain plan-order sequential replay."""
+    store = PossStore()
+    store.insert_explicit_beliefs(rows)
+    with store.transaction():
+        for step in plan.steps:
+            _replay_step(store, step)
+    expected = serialized_relation(store)
+    store.close()
+    return expected
+
+
+def _file_backends(tmp_path, tag, count):
+    return [
+        SqliteFileBackend(str(tmp_path / f"{tag}-shard{i}.db")) for i in range(count)
+    ]
+
+
+def _dbapi_backends(tmp_path, tag, count):
+    def factory(path):
+        return lambda: sqlite3.connect(path, check_same_thread=False)
+
+    return [
+        DbApiBackend(
+            factory(str(tmp_path / f"{tag}-dbshard{i}.db")),
+            name="dbapi-sqlite",
+            supports_concurrent_statements=sqlite3.threadsafety == 3,
+        )
+        for i in range(count)
+    ]
+
+
+class TestPipelinedEquivalenceProperty:
+    """Acceptance property: the pipelined scheduler is byte-identical to
+    sequential replay on >= 200 random networks, shard counts {1, 2, 4},
+    through in-memory sqlite, sqlite-file and DB-API backends."""
+
+    NETWORKS = 200
+    SHARD_COUNTS = (1, 2, 4)
+    BACKEND_KINDS = ("memory", "file", "dbapi")
+
+    def test_pipelined_replay_is_byte_identical_over_random_networks(
+        self, tmp_path, serialized_relation
+    ):
+        rng = random.Random(20100608)
+        for trial in range(self.NETWORKS):
+            network, explicit = _random_network(rng)
+            rows = _random_rows(rng, explicit, n_objects=rng.randint(2, 5))
+            shards = self.SHARD_COUNTS[trial % len(self.SHARD_COUNTS)]
+            kind = self.BACKEND_KINDS[(trial // 3) % len(self.BACKEND_KINDS)]
+            if kind == "memory":
+                store = ShardedPossStore(shards)
+            elif kind == "file":
+                store = ShardedPossStore(
+                    shards, backends=_file_backends(tmp_path, f"t{trial}", shards)
+                )
+            else:
+                store = ShardedPossStore(
+                    shards, backends=_dbapi_backends(tmp_path, f"t{trial}", shards)
+                )
+            resolver = ConcurrentBulkResolver(
+                network, store=store, explicit_users=explicit
+            )
+            expected = _sequential_reference(
+                resolver.plan, rows, serialized_relation
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, (
+                f"trial {trial}: pipelined replay diverged "
+                f"(shards={shards}, backend={kind})"
+            )
+            assert report.scheduler == "pipelined"
+            assert report.statements_per_shard() == resolver.plan.statement_count()
+            store.close()
+
+    def test_single_store_worker_replay_is_byte_identical(
+        self, tmp_path, serialized_relation
+    ):
+        """Worker threads on one sqlite-file / DB-API store stay identical."""
+        rng = random.Random(4242)
+        for trial in range(40):
+            network, explicit = _random_network(rng)
+            rows = _random_rows(rng, explicit, n_objects=3)
+            if trial % 2:
+                backend = SqliteFileBackend(str(tmp_path / f"w{trial}.db"))
+            else:
+                path = str(tmp_path / f"w{trial}-db.db")
+                backend = DbApiBackend(
+                    lambda path=path: sqlite3.connect(path, check_same_thread=False),
+                    name="dbapi-sqlite",
+                    supports_concurrent_statements=sqlite3.threadsafety == 3,
+                )
+            store = PossStore(backend=backend)
+            resolver = BulkResolver(
+                network, store=store, explicit_users=explicit, workers=3
+            )
+            expected = _sequential_reference(
+                resolver.plan, rows, serialized_relation
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, f"trial {trial}"
+            assert report.workers == 3
+            assert report.statements == resolver.plan.statement_count()
+            assert report.transactions == 1
+            store.close()
+
+
+class TestSchedulerModes:
+    def test_memory_store_degrades_to_one_worker(self):
+        resolver = BulkResolver(
+            figure19_network(), explicit_users=BELIEF_USERS, workers=4
+        )
+        resolver.load_beliefs(generate_objects(10, seed=3))
+        report = resolver.run()
+        # The in-memory connection cannot move across threads.
+        assert report.workers == 1
+        assert report.scheduler == "pipelined"
+        assert report.dag_stages == resolver.dag.stage_count
+        resolver.store.close()
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(BulkProcessingError):
+            BulkResolver(figure19_network(), scheduler="chaotic")
+        with pytest.raises(BulkProcessingError):
+            BulkResolver(figure19_network(), workers=0)
+
+    def test_stage_barrier_single_store_matches_pipelined(self, serialized_relation):
+        rows = generate_objects(15, seed=8)
+        relations = {}
+        for scheduler in ("pipelined", "stage-barrier"):
+            resolver = BulkResolver(
+                figure19_network(),
+                explicit_users=BELIEF_USERS,
+                scheduler=scheduler,
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert report.scheduler == scheduler
+            if scheduler == "stage-barrier":
+                # A barrier schedule never runs ahead of a stage boundary.
+                assert report.stages_overlapped == 0
+            relations[scheduler] = serialized_relation(resolver.store)
+            resolver.store.close()
+        assert relations["pipelined"] == relations["stage-barrier"]
+
+    def test_sharded_stage_barrier_matches_pipelined(
+        self, tmp_path, serialized_relation
+    ):
+        rows = generate_objects(20, seed=13)
+        relations = {}
+        for scheduler in ("pipelined", "stage-barrier"):
+            store = ShardedPossStore(
+                2, backends=_file_backends(tmp_path, scheduler, 2)
+            )
+            resolver = ConcurrentBulkResolver(
+                figure19_network(),
+                store=store,
+                explicit_users=BELIEF_USERS,
+                scheduler=scheduler,
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert report.scheduler == scheduler
+            if scheduler == "stage-barrier":
+                assert report.stages_overlapped == 0
+            relations[scheduler] = serialized_relation(store)
+            store.close()
+        assert relations["pipelined"] == relations["stage-barrier"]
+
+    def test_sharded_barrier_failure_rolls_back_all_shards(self, tmp_path):
+        """A shard dying mid-stage must abort the barrier (no deadlock) and
+        roll back every shard."""
+        store = ShardedPossStore(2, backends=_file_backends(tmp_path, "fail", 2))
+        resolver = ConcurrentBulkResolver(
+            figure19_network(),
+            store=store,
+            explicit_users=BELIEF_USERS,
+            scheduler="stage-barrier",
+        )
+        resolver.load_beliefs(generate_objects(10, seed=4))
+        before = [sorted(shard.possible_table()) for shard in store.shards]
+        victim = store.shards[1]
+
+        def failing_copy(parent, children):
+            raise BulkProcessingError("shard 1 lost its engine mid-stage")
+
+        victim.copy_to_children = failing_copy
+        with pytest.raises(BulkProcessingError, match="lost its engine"):
+            resolver.run()
+        assert [sorted(shard.possible_table()) for shard in store.shards] == before
+        assert not store.in_transaction
+        store.close()
+
+    def test_worker_failure_rolls_back_the_run(self, tmp_path):
+        store = PossStore(backend=SqliteFileBackend(str(tmp_path / "boom.db")))
+        resolver = BulkResolver(
+            figure19_network(), store=store, explicit_users=BELIEF_USERS, workers=2
+        )
+        resolver.load_beliefs(generate_objects(10, seed=5))
+        before = sorted(store.possible_table())
+        original = store.copy_to_children
+        calls = []
+
+        def failing_copy(parent, children):
+            calls.append(parent)
+            if len(calls) >= 3:
+                raise BulkProcessingError("worker statement failed")
+            return original(parent, children)
+
+        store.copy_to_children = failing_copy
+        with pytest.raises(BulkProcessingError, match="worker statement"):
+            resolver.run()
+        assert sorted(store.possible_table()) == before
+        assert not store.in_transaction
+        store.close()
+
+    def test_skeptic_resolver_shares_the_scheduler(self, serialized_relation):
+        tn = TrustNetwork()
+        tn.add_trust("p", "source", priority=2)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "filter", priority=2)
+        tn.add_trust("q", "p", priority=1)
+        rows = [("source", "k0", "v1"), ("source", "k1", "v2")]
+        relations = {}
+        for scheduler in ("pipelined", "stage-barrier"):
+            resolver = SkepticBulkResolver(
+                tn,
+                positive_users=["source"],
+                negative_constraints={"filter": ["v1"]},
+                scheduler=scheduler,
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert report.scheduler == scheduler
+            assert report.dag_stages == resolver.dag.stage_count
+            relations[scheduler] = serialized_relation(resolver.store)
+            resolver.store.close()
+        assert relations["pipelined"] == relations["stage-barrier"]
+
+
+class TestReportInstrumentation:
+    """Satellite: phase_seconds double-counts nothing under the scheduler."""
+
+    def test_phase_seconds_sum_to_wall_time_on_serial_replay(self):
+        """copy + flood must account for (almost all of) the run's wall
+        time: the serial scheduler times each statement exactly once, so the
+        two phases plus loop overhead equal the elapsed wall clock."""
+        resolver = BulkResolver(figure19_network(), explicit_users=BELIEF_USERS)
+        resolver.load_beliefs(generate_objects(2_000, seed=11))
+        report = resolver.run()
+        phased = sum(report.phase_seconds.values())
+        assert set(report.phase_seconds) == {"copy", "flood"}
+        # Never more than the wall clock (no double counting) ...
+        assert phased <= report.elapsed_seconds
+        # ... and never less than 80% of it (nothing material untimed).
+        assert phased >= 0.8 * report.elapsed_seconds, report
+        resolver.store.close()
+
+    def test_stages_overlapped_is_surfaced_and_counts_reordering(self, tmp_path):
+        """A sharded pipelined run with an artificially slow shard must
+        observe genuine stage overlap: the fast shard reaches later stages
+        while the slow shard is still working through stage 0."""
+        store = ShardedPossStore(2, backends=_file_backends(tmp_path, "slow", 2))
+        resolver = ConcurrentBulkResolver(
+            figure19_network(), store=store, explicit_users=BELIEF_USERS
+        )
+        assert resolver.dag.stage_count >= 2
+        resolver.load_beliefs(generate_objects(30, seed=2))
+        slow_shard = store.shards[0]
+        original = slow_shard.copy_to_children
+        release = threading.Event()
+
+        def stalled_copy(parent, children):
+            release.wait(timeout=5.0)
+            return original(parent, children)
+
+        slow_shard.copy_to_children = stalled_copy
+        done = {}
+
+        def run():
+            done["report"] = resolver.run()
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        # Give the fast shard time to run ahead, then release the slow one.
+        import time as _time
+
+        _time.sleep(0.1)
+        release.set()
+        thread.join(timeout=30)
+        report = done["report"]
+        assert report.stages_overlapped > 0
+        assert report.scheduler == "pipelined"
+        store.close()
+
+
+class TestReplayDagDirect:
+    def test_replay_dag_matches_plan_statement_count(self):
+        resolver = BulkResolver(figure19_network(), explicit_users=BELIEF_USERS)
+        resolver.load_beliefs(generate_objects(5, seed=1))
+        store = resolver.store
+        before = store.bulk_statements
+        with store.transaction():
+            rows, phases = replay_dag(store, resolver.dag)
+        assert store.bulk_statements - before == resolver.plan.statement_count()
+        assert rows > 0
+        assert set(phases) == {"copy", "flood"}
+        store.close()

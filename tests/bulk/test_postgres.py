@@ -193,3 +193,34 @@ class TestPostgresDeltaApply:
         fresh.close()
         store.clear()
         store.close()
+
+
+class TestPostgresEngine:
+    """The unified engine round trip on a real client/server store."""
+
+    def test_engine_round_trip(self, pg_store, serialized_relation):
+        from repro.engine import ResolutionEngine
+
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        tn.set_explicit_belief("a", "v")
+        # No context manager: the pg_store fixture owns the connection.
+        engine = ResolutionEngine.open(tn, store=pg_store)
+        resolved = engine.resolve()
+        assert resolved.resolutions["k0"].possible["c"] == frozenset({"v"})
+        report = engine.materialize()
+        assert report.backend == "pg-public"
+        assert report.transactions == 1
+        report = engine.apply(SetBelief("a", "w"), AddTrust("d", "c", 1))
+        assert report.plan_source == "patched"
+        assert engine.query("d") == frozenset({"w"})
+        # The maintained relation equals a fresh load of the in-memory
+        # state, and re-materializing the patched plan reproduces it.
+        fresh = PossStore()
+        fresh.insert_rows(engine._session.rows())
+        expected = serialized_relation(fresh)
+        fresh.close()
+        assert serialized_relation(pg_store) == expected
+        engine.materialize()
+        assert serialized_relation(pg_store) == expected

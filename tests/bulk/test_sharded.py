@@ -286,11 +286,11 @@ class TestConcurrentBulkResolver:
 
         original = ConcurrentBulkResolver._replay_shard
 
-        def recording_replay(self, shard):
+        def recording_replay(self, shard, *args, **kwargs):
             replayed.append(shard)
             if len(replayed) == 1:
                 raise BulkProcessingError("first shard dies")
-            return original(self, shard)  # pragma: no cover - must not run
+            return original(self, shard, *args, **kwargs)  # pragma: no cover - must not run
 
         ConcurrentBulkResolver._replay_shard = recording_replay
         try:

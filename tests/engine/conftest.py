@@ -1,0 +1,19 @@
+"""Shared helpers for the engine test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def serialized_relation():
+    """Canonical byte serialization of a store's POSS relation (the same
+    oracle the bulk suite uses)."""
+
+    def serialize(store) -> bytes:
+        rows = sorted(store.possible_table())
+        return "\n".join(
+            f"{row.user}|{row.key}|{row.value}" for row in rows
+        ).encode()
+
+    return serialize

@@ -1,0 +1,331 @@
+"""End-to-end tests for the unified resolution engine (repro.engine).
+
+The acceptance round trip: ``resolve`` → ``materialize`` → ``apply`` →
+``query`` must stay consistent — the in-memory maintained state, the
+``POSS`` relation and a from-scratch resolution of the mutated network all
+agree — in memory, on sqlite files, and (in CI) on PostgreSQL via the
+DbApiBackend round trip in ``tests/bulk/test_postgres.py``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import ResolutionEngine, TrustNetwork, resolve
+from repro.bulk.backends import ShardSpec, SqliteFileBackend
+from repro.bulk.store import PossStore, ShardedPossStore
+from repro.core.errors import BulkProcessingError, NetworkError
+from repro.engine import EngineReport
+from repro.incremental import AddTrust, RemoveTrust, RemoveUser, SetBelief
+from repro.workloads.updates import generate_update_stream
+
+
+def _chain_network():
+    tn = TrustNetwork()
+    tn.add_trust("b", "a", priority=1)
+    tn.add_trust("c", "b", priority=1)
+    tn.set_explicit_belief("a", "v")
+    return tn
+
+
+def _random_network(rng, max_users=8):
+    n = rng.randint(4, max_users)
+    users = [f"u{i}" for i in range(n)]
+    tn = TrustNetwork()
+    for user in users:
+        tn.add_user(user)
+    n_explicit = rng.randint(1, 2)
+    for child in users[n_explicit:]:
+        parents = rng.sample([u for u in users if u != child], rng.randint(1, 2))
+        priorities = rng.sample([1, 2], len(parents))
+        for parent, priority in zip(parents, priorities):
+            tn.add_trust(child, parent, priority=priority)
+    for user in users[:n_explicit]:
+        tn.set_explicit_belief(user, rng.choice(["v1", "v2"]))
+    return tn
+
+
+def _memory_rows(engine):
+    """The relation implied by the engine's in-memory state, sorted."""
+    rows = []
+    for key, resolution in engine.resolve().resolutions.items():
+        for user, values in resolution.possible.items():
+            for value in values:
+                rows.append((str(user), key, str(value)))
+    return sorted(rows)
+
+
+def _store_rows(engine):
+    return sorted(
+        (row.user, row.key, row.value) for row in engine.store.possible_table()
+    )
+
+
+class TestOpenValidation:
+    def test_requires_binary_network(self):
+        tn = TrustNetwork()
+        for parent in ("a", "b", "c"):
+            tn.add_trust("x", parent, priority=1)
+        with pytest.raises(NetworkError, match="binary"):
+            ResolutionEngine.open(tn)
+
+    def test_store_and_shards_mutually_exclusive(self):
+        with PossStore() as store:
+            with pytest.raises(BulkProcessingError):
+                ResolutionEngine.open(_chain_network(), store=store, shards=2)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(BulkProcessingError, match="mode"):
+            ResolutionEngine.open(_chain_network(), mode="turbo")
+
+    def test_shards_shorthand_builds_sharded_store(self):
+        with ResolutionEngine.open(_chain_network(), shards=ShardSpec.hashed(3)) as engine:
+            assert isinstance(engine.store, ShardedPossStore)
+            assert len(engine.store.shards) == 3
+
+
+class TestRoundTrip:
+    """resolve → materialize → apply → query, against every store kind."""
+
+    def _round_trip(self, engine):
+        # resolve: warm in-memory state matches a from-scratch resolution.
+        report = engine.resolve()
+        assert isinstance(report, EngineReport)
+        assert report.operation == "resolve"
+        fresh = resolve(engine.network)
+        for key in engine.keys:
+            assert report.resolutions[key].possible == fresh.possible
+
+        # materialize: the relation equals the in-memory rows.
+        bulk_report = engine.materialize()
+        assert bulk_report.operation == "materialize"
+        assert bulk_report.bulk is not None
+        assert bulk_report.plan_source in ("fresh", "cached", "patched")
+        assert bulk_report.statements == bulk_report.bulk.statements
+        assert _store_rows(engine) == _memory_rows(engine)
+
+        # apply: store and memory move together, plan is patched.
+        apply_report = engine.apply(
+            SetBelief("a", "w"), AddTrust("d", "c", 1), SetBelief("a", "w2")
+        )
+        assert apply_report.operation == "apply"
+        assert apply_report.delta is not None
+        assert apply_report.coalesced_from == 3
+        assert apply_report.deltas == 2  # the two belief writes merged
+        assert apply_report.recomputes == len(engine.keys)
+        assert apply_report.plan_source == "patched"
+        assert _store_rows(engine) == _memory_rows(engine)
+
+        # query: reads the materialized relation and sees the deltas.
+        assert engine.query("d") == frozenset({"w2"})
+        assert engine.certain("d") == frozenset({"w2"})
+        assert engine.query("c") == frozenset({"w2"})
+
+        # a re-materialization reuses the patched plan (now "cached") and
+        # reproduces the same relation from scratch.
+        rows_before = _store_rows(engine)
+        rematerialized = engine.materialize()
+        assert rematerialized.plan_source == "cached"
+        assert _store_rows(engine) == rows_before
+
+    def test_round_trip_in_memory(self):
+        with ResolutionEngine.open(_chain_network()) as engine:
+            self._round_trip(engine)
+
+    def test_round_trip_on_sqlite_file(self, tmp_path):
+        store = PossStore(backend=SqliteFileBackend(str(tmp_path / "poss.db")))
+        with ResolutionEngine.open(_chain_network(), store=store) as engine:
+            self._round_trip(engine)
+
+    def test_round_trip_sharded(self, tmp_path):
+        backends = [
+            SqliteFileBackend(str(tmp_path / f"shard{i}.db")) for i in range(2)
+        ]
+        store = ShardedPossStore(2, backends=backends)
+        with ResolutionEngine.open(
+            _chain_network(), store=store, keys=("k0", "k1", "k2")
+        ) as engine:
+            self._round_trip(engine)
+
+    def test_round_trip_multi_key(self):
+        with ResolutionEngine.open(
+            _chain_network(), keys=("k0", "k1")
+        ) as engine:
+            engine.materialize()
+            engine.apply(SetBelief("a", "x", key="k0"))
+            assert engine.query("c", "k0") == frozenset({"x"})
+            assert engine.query("c", "k1") == frozenset({"v"})
+            assert _store_rows(engine) == _memory_rows(engine)
+
+
+class TestQueryModes:
+    def test_auto_mode_switches_to_store_after_materialize(self):
+        with ResolutionEngine.open(_chain_network()) as engine:
+            assert engine.query("c") == frozenset({"v"})  # memory
+            engine.materialize()
+            engine.store.insert_rows([("c", "k0", "planted")])
+            assert "planted" in engine.query("c")  # now reading the store
+
+    def test_memory_mode_never_touches_the_store(self):
+        with ResolutionEngine.open(_chain_network(), mode="memory") as engine:
+            engine.materialize()
+            engine.store.insert_rows([("c", "k0", "planted")])
+            assert engine.query("c") == frozenset({"v"})
+
+    def test_store_mode_reads_the_relation_immediately(self):
+        with ResolutionEngine.open(_chain_network(), mode="store") as engine:
+            assert engine.query("c") == frozenset()  # nothing materialized
+            engine.materialize()
+            assert engine.query("c") == frozenset({"v"})
+
+
+class TestPlanMaintenance:
+    def test_plan_is_patched_not_replanned_across_applies(self):
+        with ResolutionEngine.open(_chain_network()) as engine:
+            assert engine.plan is not None
+            assert engine.plans_built == 1
+            for i in range(5):
+                engine.apply(AddTrust(f"extra{i}", "c", 1))
+            assert engine.plans_built == 1
+            assert engine.plans_patched == 5
+            # The maintained plan matches a fresh re-plan's closed set.
+            from repro.bulk.planner import plan_resolution, step_io
+
+            def closed(plan):
+                return {str(u) for s in plan.steps for u in step_io(s)[1]}
+
+            assert closed(engine.plan) == closed(plan_resolution(engine.network))
+
+    def test_out_of_band_mutation_forces_a_fresh_plan(self):
+        with ResolutionEngine.open(_chain_network()) as engine:
+            assert engine.plan is not None
+            built = engine.plans_built
+            # Mutate the network behind the engine's back: the version
+            # hook invalidates the cached plan.
+            engine.network.add_trust("rogue", "c", priority=1)
+            plan = engine.plan
+            assert engine.plans_built == built + 1
+            assert any(
+                "rogue" in str(u)
+                for s in plan.steps
+                for u in __import__(
+                    "repro.bulk.planner", fromlist=["step_io"]
+                ).step_io(s)[1]
+            )
+
+    def test_remove_user_patches_the_plan(self):
+        with ResolutionEngine.open(_chain_network()) as engine:
+            engine.materialize()
+            engine.apply(RemoveUser("c"))
+            from repro.bulk.planner import step_io
+
+            closed = {
+                str(u) for s in engine.plan.steps for u in step_io(s)[1]
+            }
+            assert "c" not in closed
+            assert engine.query("c") == frozenset()
+
+    def test_plan_property_matches_fresh_replan_on_random_streams(self):
+        """The engine-maintained plan materializes the same relation a
+        fresh plan would, across random update streams."""
+        rng = random.Random(808)
+        for trial in range(25):
+            network = _random_network(rng)
+            engine = ResolutionEngine.open(network)
+            stream = list(
+                generate_update_stream(network.copy(), n_ops=8, seed=trial)
+            )
+            try:
+                for delta in stream:
+                    engine.apply(delta)
+                engine.materialize()
+                assert _store_rows(engine) == _memory_rows(engine), f"trial {trial}"
+            finally:
+                engine.close()
+
+
+class TestPlanSourceLifecycle:
+    def test_cached_is_reported_on_reuse(self):
+        with ResolutionEngine.open(_chain_network()) as engine:
+            first = engine.materialize()
+            second = engine.materialize()
+            assert first.plan_source == "fresh"
+            assert second.plan_source == "cached"
+
+
+class TestMidBatchRecovery:
+    def test_sibling_keys_recover_from_a_mid_batch_rejection(self):
+        """A structural prefix that succeeded before a mid-batch rejection
+        must be visible to EVERY key's maintained state (and the store),
+        not only to the first resolver that processed it."""
+        from repro.bulk.store import PossStore as _PossStore
+        from repro.incremental.session import IncrementalSession
+
+        tn = _chain_network()
+        session = IncrementalSession(tn, store=_PossStore(), keys=("k0", "k1"))
+        with pytest.raises(NetworkError):
+            session.apply_batch(
+                AddTrust("d", "c", 1),        # succeeds, mutates the network
+                AddTrust("e", "e", 1),        # self-trust: rejected mid-batch
+                coalesce=False,
+            )
+        # The shared network holds the first edge; both keys must agree.
+        expected = resolve(tn).possible
+        for key in ("k0", "k1"):
+            for user in tn.users:
+                assert session.possible_values(user, key) == expected[user], (
+                    key,
+                    user,
+                )
+            assert session.store.possible_values("d", key) == expected["d"]
+        session.close()
+
+
+class TestCoalesceBarriers:
+    def test_remove_user_barriers_unrelated_belief_slots(self):
+        """RemoveUser changes the parent sets of children it does not name,
+        so no belief merge may cross it — a stream that is valid op-at-a-
+        time must stay valid after coalescing."""
+        from repro.incremental import RemoveBelief, RemoveUser, coalesce
+
+        tn = TrustNetwork()
+        tn.add_trust("u", "w", priority=1)
+        tn.set_explicit_belief("w", "v")
+        stream = [RemoveBelief("u"), RemoveUser("w"), SetBelief("u", "x")]
+        condensed = coalesce(stream)
+        assert condensed == stream  # nothing merged across the removal
+        with ResolutionEngine.open(tn) as engine:
+            report = engine.apply(*stream)
+            assert report.deltas == 3
+            assert engine.query("u") == frozenset({"x"})
+
+
+class TestEngineReportSubsumption:
+    def test_materialize_report_subsumes_bulk_run_report(self):
+        with ResolutionEngine.open(_chain_network(), shards=2) as engine:
+            report = engine.materialize()
+            bulk = report.bulk
+            assert (report.statements, report.transactions, report.shards) == (
+                bulk.statements,
+                bulk.transactions,
+                bulk.shards,
+            )
+            assert report.scheduler == bulk.scheduler == "pipelined"
+            assert report.dag_stages == bulk.dag_stages
+            assert report.stages_overlapped == bulk.stages_overlapped
+
+    def test_apply_report_subsumes_delta_apply_report(self):
+        with ResolutionEngine.open(_chain_network()) as engine:
+            engine.materialize()
+            report = engine.apply(SetBelief("a", "z"))
+            delta = report.delta
+            assert (report.deltas, report.recomputes, report.users_changed) == (
+                delta.deltas,
+                delta.recomputes,
+                delta.users_changed,
+            )
+            assert report.rows_deleted == delta.rows_deleted
+            assert report.rows_inserted == delta.rows_inserted
+            assert report.dirty_region == delta.dirty_region

@@ -1,0 +1,303 @@
+"""Tests for delta coalescing and batched (single-recompute) application.
+
+Acceptance property: coalesced batches applied through the batch path must
+leave both the in-memory state and the ``POSS`` relation byte-identical to
+op-at-a-time application of the original stream, on 100+ random networks ×
+20-op streams — while performing fewer regional recomputes than ops when
+the stream overlaps itself.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bulk.store import PossStore, ShardedPossStore
+from repro.core.errors import NetworkError
+from repro.core.resolution import resolve
+from repro.incremental.coalesce import coalesce
+from repro.incremental.deltas import (
+    AddTrust,
+    RemoveBelief,
+    RemoveTrust,
+    RemoveUser,
+    SetBelief,
+    SetPriority,
+)
+from repro.incremental.resolver import DeltaResolver
+from repro.incremental.session import IncrementalSession
+from repro.incremental.skeptic import SkepticDeltaResolver
+from repro.workloads.updates import generate_update_stream
+from repro.workloads.oscillators import clusters_for_size, oscillator_network
+
+
+def _random_network(rng, max_users=8):
+    from repro.core.network import TrustNetwork
+
+    n = rng.randint(4, max_users)
+    users = [f"u{i}" for i in range(n)]
+    tn = TrustNetwork()
+    for user in users:
+        tn.add_user(user)
+    n_explicit = rng.randint(1, 2)
+    for child in users[n_explicit:]:
+        parents = rng.sample([u for u in users if u != child], rng.randint(1, 2))
+        priorities = rng.sample([1, 2], len(parents))
+        for parent, priority in zip(parents, priorities):
+            tn.add_trust(child, parent, priority=priority)
+    for user in users[:n_explicit]:
+        tn.set_explicit_belief(user, rng.choice(["v1", "v2"]))
+    return tn
+
+
+class TestCoalesceRules:
+    def test_belief_slot_last_write_wins(self):
+        stream = [
+            SetBelief("a", "v1"),
+            SetBelief("b", "w"),
+            SetBelief("a", "v2"),
+            RemoveBelief("a"),
+        ]
+        out = coalesce(stream)
+        assert out == [RemoveBelief("a"), SetBelief("b", "w")]
+
+    def test_belief_slots_are_per_key(self):
+        stream = [
+            SetBelief("a", "v1", key="k0"),
+            SetBelief("a", "v2", key="k1"),
+            SetBelief("a", "v3", key="k0"),
+        ]
+        out = coalesce(stream)
+        assert out == [SetBelief("a", "v3", key="k0"), SetBelief("a", "v2", key="k1")]
+
+    def test_priority_runs_merge(self):
+        stream = [
+            SetPriority("c", "p", 1),
+            SetBelief("x", "v"),
+            SetPriority("c", "p", 5),
+        ]
+        out = coalesce(stream)
+        assert out == [SetPriority("c", "p", 5), SetBelief("x", "v")]
+
+    def test_structural_barrier_blocks_belief_merge(self):
+        stream = [
+            SetBelief("a", "v1"),
+            RemoveUser("a"),
+            SetBelief("a", "v2"),
+        ]
+        assert coalesce(stream) == stream
+
+    def test_edge_mutation_barriers_priority_merge(self):
+        stream = [
+            SetPriority("c", "p", 1),
+            RemoveTrust("c", "p"),
+            AddTrust("c", "p", 2),
+            SetPriority("c", "p", 3),
+        ]
+        assert coalesce(stream) == stream
+
+    def test_trust_deltas_pass_through(self):
+        stream = [AddTrust("c", "p", 1), RemoveTrust("c", "p")]
+        assert coalesce(stream) == stream
+
+
+class TestCoalescedStreamEquivalence:
+    """coalesce(stream) must be observationally equal to the stream."""
+
+    NETWORKS = 110
+    OPS = 20
+
+    def test_coalesced_streams_apply_identically(self):
+        rng = random.Random(31415)
+        merged_something = 0
+        for trial in range(self.NETWORKS):
+            network = _random_network(rng)
+            stream = list(
+                generate_update_stream(
+                    network.copy(), n_ops=self.OPS, seed=trial
+                )
+            )
+            # Bias the stream toward overlap: re-target users that are
+            # still valid belief roots once the stream has played out.
+            probe = DeltaResolver(network.copy())
+            for delta in stream:
+                probe.apply(delta)
+            believers = sorted(
+                (
+                    user
+                    for user in probe.beliefs
+                    if user in probe.network and not probe.network.incoming(user)
+                ),
+                key=str,
+            )
+            if believers:
+                stream.extend(
+                    SetBelief(rng.choice(believers), f"late-{trial}-{i}")
+                    for i in range(3)
+                )
+            reference = DeltaResolver(network.copy())
+            for delta in stream:
+                reference.apply(delta)
+            condensed = coalesce(stream)
+            if len(condensed) < len(stream):
+                merged_something += 1
+            subject = DeltaResolver(network.copy())
+            for delta in condensed:
+                subject.apply(delta)
+            assert subject.possible == reference.possible, f"trial {trial}"
+        assert merged_something > self.NETWORKS // 4
+
+
+class TestBatchApply:
+    """apply_batch: one regional recompute, identical results."""
+
+    NETWORKS = 110
+    OPS = 20
+
+    def test_batch_apply_matches_op_at_a_time_and_full_resolution(self):
+        rng = random.Random(2718)
+        for trial in range(self.NETWORKS):
+            network = _random_network(rng)
+            stream = list(
+                generate_update_stream(network.copy(), n_ops=self.OPS, seed=trial)
+            )
+            batch_resolver = DeltaResolver(network.copy())
+            log = batch_resolver.apply_batch(stream)
+            assert log.delta == tuple(stream)
+            reference = DeltaResolver(network.copy())
+            for delta in stream:
+                reference.apply(delta)
+            assert batch_resolver.possible == reference.possible, f"trial {trial}"
+            # And both equal a from-scratch resolution of the mutated network.
+            assert (
+                batch_resolver.possible
+                == resolve(batch_resolver.network).possible
+            ), f"trial {trial}"
+
+    def test_session_batch_is_byte_identical_with_fewer_recomputes(self):
+        """The acceptance claim: relations byte-identical to op-at-a-time,
+        with fewer regional recomputes than ops on overlapping streams."""
+        rng = random.Random(16180)
+        fewer = 0
+        for trial in range(40):
+            network = _random_network(rng)
+            stream = list(
+                generate_update_stream(network.copy(), n_ops=self.OPS, seed=trial)
+            )
+            reference = IncrementalSession(network.copy(), store=PossStore())
+            for delta in stream:
+                reference.apply(delta)
+            batched = IncrementalSession(network.copy(), store=PossStore())
+            report = batched.apply_batch(*stream)
+            assert sorted(batched.store.possible_table()) == sorted(
+                reference.store.possible_table()
+            ), f"trial {trial}"
+            assert report.recomputes == len(batched.keys)
+            assert report.coalesced_from == len(stream)
+            if report.recomputes < len(stream):
+                fewer += 1
+            reference.close()
+            batched.close()
+        assert fewer == 40  # one recompute per key always beats 20 ops
+
+    def test_multi_key_session_batch_routes_by_key(self):
+        from repro.core.network import TrustNetwork
+
+        tn = TrustNetwork()
+        tn.add_trust("mirror", "source", priority=1)
+        tn.set_explicit_belief("source", "v")
+        session = IncrementalSession(
+            tn, store=ShardedPossStore(2), keys=("k0", "k1")
+        )
+        report = session.apply_batch(
+            SetBelief("source", "a", key="k0"),
+            SetBelief("source", "b", key="k1"),
+            SetBelief("source", "a2", key="k0"),
+            AddTrust("tail", "mirror", 1),
+        )
+        assert report.coalesced_from == 4
+        assert report.deltas == 3  # the two k0 writes merged
+        assert session.store.possible_values("mirror", "k0") == frozenset({"a2"})
+        assert session.store.possible_values("mirror", "k1") == frozenset({"b"})
+        assert session.store.possible_values("tail", "k0") == frozenset({"a2"})
+        assert session.store.possible_values("tail", "k1") == frozenset({"b"})
+        # In-memory and relation agree per key.
+        assert session.possible_values("tail", "k0") == frozenset({"a2"})
+        assert session.possible_values("tail", "k1") == frozenset({"b"})
+        session.close()
+
+    def test_batch_rejection_resyncs_the_store(self):
+        from repro.core.network import TrustNetwork
+
+        tn = TrustNetwork()
+        tn.add_trust("mirror", "source", priority=1)
+        tn.set_explicit_belief("source", "v")
+        session = IncrementalSession(tn, store=PossStore())
+        with pytest.raises(NetworkError):
+            session.apply_batch(
+                SetBelief("source", "w"),
+                # Rejected mid-batch: mirror has a parent, so a belief on
+                # it is illegal — but only execution-time validation of the
+                # belief delta sees that.
+                SetBelief("mirror", "nope"),
+            )
+        # The store matches the maintained state (the first delta landed).
+        assert session.possible_values("mirror") == frozenset({"w"})
+        assert session.store.possible_values("mirror", "k0") == frozenset({"w"})
+        session.close()
+
+    def test_empty_batch_rejected(self):
+        from repro.core.network import TrustNetwork
+        from repro.core.errors import BulkProcessingError
+
+        tn = TrustNetwork()
+        tn.set_explicit_belief("source", "v")
+        session = IncrementalSession(tn, store=PossStore())
+        with pytest.raises(BulkProcessingError):
+            session.apply_batch()
+        session.close()
+
+    def test_overlapping_dirty_regions_merge(self):
+        """A batch of updates inside one cluster recomputes the region once
+        (dirty_region counts the merged region, not per-op copies)."""
+        network = oscillator_network(clusters_for_size(400))
+        resolver = DeltaResolver(network)
+        per_op_regions = []
+        probe = DeltaResolver(network.copy())
+        for i in range(5):
+            per_op_regions.append(
+                probe.apply(SetBelief("c0.x3", f"v{i}")).dirty_region
+            )
+        log = resolver.apply_batch(
+            [SetBelief("c0.x3", f"v{i}") for i in range(5)]
+        )
+        assert log.dirty_region == per_op_regions[0]  # one region, not five
+        assert resolver.possible == probe.possible
+
+    def test_skeptic_batch_matches_op_at_a_time(self):
+        rng = random.Random(99)
+        from repro.core.skeptic import resolve_skeptic
+
+        for trial in range(30):
+            network = _random_network(rng)
+            stream = list(
+                generate_update_stream(
+                    network.copy(),
+                    n_ops=10,
+                    seed=trial,
+                    distinct_priorities=True,
+                )
+            )
+            reference = SkepticDeltaResolver(network.copy())
+            for delta in stream:
+                reference.apply(delta)
+            batched = SkepticDeltaResolver(network.copy())
+            batched.apply_batch(stream)
+            assert batched.representations == reference.representations, (
+                f"trial {trial}"
+            )
+            assert (
+                batched.representations
+                == resolve_skeptic(batched.network).representations
+            ), f"trial {trial}"

@@ -1,0 +1,125 @@
+"""Tests for the CI benchmark-regression guard (benchmarks/check_regression.py)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.check_regression import find_regressions, load_scenarios, main
+
+
+def _write(path, scenarios):
+    path.write_text(json.dumps({"scenarios": scenarios}))
+    return str(path)
+
+
+class TestFindRegressions:
+    def test_regression_over_threshold_is_reported(self):
+        baseline = {"a": {"seconds": 0.1}}
+        current = {"a": {"seconds": 0.25}}
+        regressions, compared, factor = find_regressions(baseline, current)
+        assert compared == 1 and factor == 1.0
+        assert regressions == [("a", 0.1, 0.25, pytest.approx(2.5))]
+
+    def test_within_threshold_passes(self):
+        baseline = {"a": {"seconds": 0.1}}
+        current = {"a": {"seconds": 0.19}}
+        regressions, compared, _factor = find_regressions(baseline, current)
+        assert compared == 1 and regressions == []
+
+    def test_noise_floor_skips_tiny_baselines(self):
+        baseline = {"a": {"seconds": 0.0004}}
+        current = {"a": {"seconds": 0.04}}  # 100x, but sub-noise baseline
+        regressions, compared, _factor = find_regressions(baseline, current)
+        assert compared == 0 and regressions == []
+
+    def test_new_and_retired_scenarios_are_skipped(self):
+        baseline = {"old": {"seconds": 1.0}}
+        current = {"new": {"seconds": 9.0}}
+        regressions, compared, _factor = find_regressions(baseline, current)
+        assert compared == 0 and regressions == []
+
+    def test_non_numeric_seconds_are_skipped(self):
+        baseline = {"a": {"seconds": "fast"}, "b": {}}
+        current = {"a": {"seconds": 1.0}, "b": {"seconds": 1.0}}
+        regressions, compared, _factor = find_regressions(baseline, current)
+        assert compared == 0 and regressions == []
+
+    def test_threshold_is_configurable(self):
+        baseline = {"a": {"seconds": 0.1}}
+        current = {"a": {"seconds": 0.15}}
+        regressions, _compared, _factor = find_regressions(
+            baseline, current, threshold=1.2
+        )
+        assert len(regressions) == 1
+
+    def test_uniformly_slow_machine_is_normalized_away(self):
+        """A CI runner 3x slower than the baseline machine shifts every
+        ratio; the median normalization must not flag that as regression."""
+        baseline = {f"s{i}": {"seconds": 0.1} for i in range(6)}
+        current = {f"s{i}": {"seconds": 0.3} for i in range(6)}
+        regressions, compared, factor = find_regressions(baseline, current)
+        assert compared == 6
+        assert factor == pytest.approx(3.0)
+        assert regressions == []
+
+    def test_true_regression_sticks_out_of_a_slow_machine(self):
+        baseline = {f"s{i}": {"seconds": 0.1} for i in range(6)}
+        current = {f"s{i}": {"seconds": 0.3} for i in range(6)}
+        current["s5"] = {"seconds": 2.0}  # 20x vs 3x machine factor
+        regressions, _compared, factor = find_regressions(baseline, current)
+        assert factor == pytest.approx(3.0)
+        assert [scenario for scenario, *_ in regressions] == ["s5"]
+
+    def test_fast_machine_never_masks_regressions(self):
+        """The machine factor is clamped at 1.0: on a 10x faster runner an
+        absolute 3x regression must still be flagged."""
+        baseline = {f"s{i}": {"seconds": 1.0} for i in range(6)}
+        current = {f"s{i}": {"seconds": 0.1} for i in range(6)}
+        current["s5"] = {"seconds": 3.0}
+        regressions, _compared, factor = find_regressions(baseline, current)
+        assert factor == 1.0
+        assert [scenario for scenario, *_ in regressions] == ["s5"]
+
+    def test_normalization_can_be_disabled(self):
+        baseline = {f"s{i}": {"seconds": 0.1} for i in range(6)}
+        current = {f"s{i}": {"seconds": 0.3} for i in range(6)}
+        regressions, _compared, factor = find_regressions(
+            baseline, current, normalize=False
+        )
+        assert factor == 1.0
+        assert len(regressions) == 6
+
+
+class TestCli:
+    def test_exit_zero_without_regressions(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"a": {"seconds": 0.1}})
+        current = _write(tmp_path / "cur.json", {"a": {"seconds": 0.11}})
+        assert main(["--baseline", baseline, "--current", current]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_exit_one_with_regressions(self, tmp_path, capsys):
+        baseline = _write(tmp_path / "base.json", {"a": {"seconds": 0.1}})
+        current = _write(tmp_path / "cur.json", {"a": {"seconds": 0.5}})
+        assert main(["--baseline", baseline, "--current", current]) == 1
+        out = capsys.readouterr().out
+        assert "1 regression(s)" in out and "5.00x" in out
+
+    def test_load_rejects_malformed_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"scenarios": ["not", "a", "mapping"]}))
+        with pytest.raises(ValueError, match="not a mapping"):
+            load_scenarios(str(bad))
+
+    def test_real_bench_json_loads(self):
+        """The committed BENCH_resolution.json is valid input for the guard."""
+        path = Path(__file__).resolve().parent.parent / "BENCH_resolution.json"
+        scenarios = load_scenarios(str(path))
+        assert scenarios
+        regressions, compared, factor = find_regressions(scenarios, scenarios)
+        assert compared > 0 and regressions == [] and factor == 1.0

@@ -17,6 +17,7 @@ EXAMPLES = [
     ("constraint_paradigms.py", []),
     ("bulk_curation.py", ["200"]),
     ("feature_table.py", []),
+    ("engine_session.py", []),
 ]
 
 

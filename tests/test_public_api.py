@@ -77,18 +77,22 @@ BULK_API = [
     "IndexStrategy",
     "NO_INDEXES",
     "PlanDag",
+    "PlanPatch",
     "PossRow",
     "PossStore",
     "ResolutionPlan",
+    "SCHEDULERS",
     "ShardSpec",
     "ShardedPossStore",
     "SkepticBulkResolver",
     "SqlBackend",
     "SqliteFileBackend",
     "SqliteMemoryBackend",
+    "patch_plan",
     "plan_dag",
     "plan_resolution",
     "plan_skeptic_resolution",
+    "replay_dag",
 ]
 
 
@@ -117,6 +121,7 @@ INCREMENTAL_API = [
     "SkepticDeltaLog",
     "SkepticDeltaResolver",
     "SkepticRowChange",
+    "coalesce",
     "is_structural",
 ]
 
@@ -165,6 +170,48 @@ def test_sharded_engine_round_trip():
     report = resolver.run()
     assert report.shards == 2
     assert report.dag_stages == resolver.dag.stage_count
+    assert report.scheduler == "pipelined"
     assert store.possible_values("mirror", "k0") == frozenset({"v"})
     assert store.possible_values("mirror", "k1") == frozenset({"w"})
     store.close()
+
+
+#: The locked surface of repro.engine (same contract as BULK_API).
+ENGINE_API = [
+    "EngineReport",
+    "MODES",
+    "ResolutionEngine",
+]
+
+
+def test_engine_surface_is_locked():
+    import repro.engine
+
+    assert sorted(repro.engine.__all__) == ENGINE_API
+    for name in repro.engine.__all__:
+        assert hasattr(repro.engine, name), name
+    # The façade is re-exported at the top level.
+    import repro
+
+    assert repro.ResolutionEngine is repro.engine.ResolutionEngine
+    assert repro.EngineReport is repro.engine.EngineReport
+    assert "ResolutionEngine" in repro.__all__
+    assert "EngineReport" in repro.__all__
+
+
+def test_unified_engine_round_trip():
+    """resolve -> materialize -> apply -> query through the public surface."""
+    from repro import ResolutionEngine
+    from repro.incremental import SetBelief
+
+    tn = TrustNetwork()
+    tn.add_trust("mirror", "source", priority=1)
+    tn.set_explicit_belief("source", "v")
+    with ResolutionEngine.open(tn) as engine:
+        assert engine.resolve().resolutions["k0"].possible["mirror"] == frozenset(
+            {"v"}
+        )
+        assert engine.materialize().transactions == 1
+        report = engine.apply(SetBelief("source", "w"))
+        assert report.operation == "apply"
+        assert engine.query("mirror") == frozenset({"w"})
