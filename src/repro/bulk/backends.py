@@ -31,7 +31,12 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Tuple
 
-from repro.core.errors import BulkProcessingError
+from repro.core.errors import (
+    BackendError,
+    BackendUnavailable,
+    BulkProcessingError,
+    TransientBackendError,
+)
 
 # --------------------------------------------------------------------------- #
 # shard routing                                                                #
@@ -211,6 +216,39 @@ def resolve_index_strategy(strategy: "IndexStrategy | str | None") -> IndexStrat
 
 
 # --------------------------------------------------------------------------- #
+# error classification                                                         #
+# --------------------------------------------------------------------------- #
+
+#: sqlite3 message fragments that indicate a retryable condition.
+_SQLITE_TRANSIENT_FRAGMENTS = ("locked", "busy")
+
+#: sqlite3 message fragments that indicate the connection/database is gone.
+_SQLITE_UNAVAILABLE_FRAGMENTS = (
+    "unable to open database",
+    "closed database",
+    "disk i/o error",
+)
+
+
+def classify_sqlite_error(error: BaseException) -> "type | None":
+    """Map a raw ``sqlite3`` exception to a classified error class.
+
+    ``None`` means "not a sqlite3 error" — the caller falls through to
+    its next classification rule.
+    """
+    if not isinstance(error, sqlite3.Error):
+        return None
+    message = str(error).lower()
+    if any(fragment in message for fragment in _SQLITE_TRANSIENT_FRAGMENTS):
+        return TransientBackendError
+    if any(fragment in message for fragment in _SQLITE_UNAVAILABLE_FRAGMENTS):
+        return BackendUnavailable
+    if isinstance(error, sqlite3.ProgrammingError) and "closed" in message:
+        return BackendUnavailable
+    return BackendError
+
+
+# --------------------------------------------------------------------------- #
 # connection backends                                                          #
 # --------------------------------------------------------------------------- #
 
@@ -252,6 +290,20 @@ class SqlBackend:
     def render(self, sql: str) -> str:
         """Translate canonical ``?``-placeholder SQL to the engine's dialect."""
         return sql
+
+    def classify_error(self, error: BaseException) -> "type | None":
+        """Map a raw driver exception to a ``core.errors`` class, or ``None``.
+
+        The store's retry loop consults this at every failure: a
+        :class:`~repro.core.errors.TransientBackendError` result retries
+        the statement, any other :class:`~repro.core.errors.BackendError`
+        subclass rolls the run back typed, and ``None`` re-raises the
+        original exception unchanged (it is not a backend failure — e.g.
+        a programming error in the store itself).
+        """
+        if isinstance(error, BackendError):
+            return type(error)
+        return classify_sqlite_error(error)
 
 
 class SqliteMemoryBackend(SqlBackend):
@@ -332,6 +384,19 @@ class DbApiBackend(SqlBackend):
         to ``True``; pass ``False`` for drivers that pin connections to
         their creating thread (e.g. ``sqlite3`` without
         ``check_same_thread=False``).
+    error_classifier:
+        Optional hook mapping a raw driver exception to a class from the
+        ``core.errors`` backend hierarchy (or ``None`` to fall through).
+        Consulted *first*, before the built-in rules, so driver-specific
+        knowledge (e.g. psycopg's ``errors.SerializationFailure``) wins.
+        Without it, sqlite3 exceptions classify by message and other
+        drivers fall back to PEP 249 type-name heuristics:
+        ``OperationalError`` →
+        :class:`~repro.core.errors.TransientBackendError` (per the DB-API
+        spec these are environment failures — lost connections, failed
+        allocations), ``InterfaceError`` →
+        :class:`~repro.core.errors.BackendUnavailable` (the connection
+        object itself is broken).
     supports_concurrent_statements:
         Whether one connection tolerates statements from several threads at
         once (the driver serializes internally, as psycopg does via its
@@ -350,6 +415,7 @@ class DbApiBackend(SqlBackend):
         name: str = "",
         supports_concurrent_replay: bool = True,
         supports_concurrent_statements: bool = False,
+        error_classifier: "Callable[[BaseException], type | None] | None" = None,
     ) -> None:
         if paramstyle not in self._SUPPORTED:
             raise BulkProcessingError(
@@ -361,10 +427,35 @@ class DbApiBackend(SqlBackend):
         self.name = name or f"dbapi-{paramstyle}"
         self.supports_concurrent_replay = supports_concurrent_replay
         self.supports_concurrent_statements = supports_concurrent_statements
+        self.error_classifier = error_classifier
 
     def connect(self) -> Any:
         """Open a connection through the caller-supplied factory."""
         return self._factory()
+
+    def classify_error(self, error: BaseException) -> "type | None":
+        """Classify through the hook first, then the generic rules."""
+        if isinstance(error, BackendError):
+            return type(error)
+        if self.error_classifier is not None:
+            classified = self.error_classifier(error)
+            if classified is not None:
+                return classified
+        # sqlite3-over-DbApiBackend (common in tests) must classify by
+        # message, not by the name heuristics below — sqlite raises
+        # OperationalError for plain SQL mistakes ("no such table"),
+        # which must NOT look retryable.
+        sqlite_classified = classify_sqlite_error(error)
+        if sqlite_classified is not None:
+            return sqlite_classified
+        type_names = {cls.__name__ for cls in type(error).__mro__}
+        if "OperationalError" in type_names:
+            return TransientBackendError
+        if "InterfaceError" in type_names:
+            return BackendUnavailable
+        if "DatabaseError" in type_names or "Error" in type_names:
+            return BackendError
+        return None
 
     def render(self, sql: str) -> str:
         """Rewrite ``?`` placeholders into the driver's paramstyle."""

@@ -62,9 +62,10 @@ from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence,
 
 from repro.core.beliefs import Value
 from repro.core.binarize import binarize
-from repro.core.errors import BulkProcessingError
+from repro.core.errors import BackendUnavailable, BulkProcessingError
 from repro.core.network import TrustNetwork, User
 from repro.bulk.backends import ShardSpec
+from repro.faults.retry import RetryPolicy
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
@@ -78,6 +79,10 @@ from repro.bulk.store import BOTTOM_VALUE, PossStore, ShardedPossStore
 
 #: The scheduler names a run report may carry.
 SCHEDULERS = ("pipelined", "stage-barrier")
+
+#: Journal marker for "the explicit beliefs of this run are loaded".
+#: DAG node ids are non-negative, so -1 can never collide with one.
+JOURNAL_BELIEFS_NODE = -1
 
 
 @dataclass
@@ -126,6 +131,18 @@ class BulkRunReport:
     #: Statements that began before every statement of all strictly
     #: earlier stages had finished (counted across shards/workers).
     stages_overlapped: int = 0
+    #: Statement retries the store's retry funnel performed during the run.
+    retries: int = 0
+    #: Statements abandoned because their per-statement deadline elapsed.
+    timed_out_statements: int = 0
+    #: Faults a fault-injecting backend raised during the run (0 otherwise).
+    faults_injected: int = 0
+    #: Whether the run journaled per-node checkpoints (one transaction per
+    #: DAG node instead of one per run; see ``nodes_skipped``).
+    checkpointed: bool = False
+    #: DAG nodes skipped because a previous (interrupted) run of the same
+    #: checkpoint id had already committed them.
+    nodes_skipped: int = 0
 
     def statements_per_shard(self) -> int:
         """Statements one shard's replay issued (the Section 4 invariant).
@@ -377,7 +394,13 @@ class _PlanExecutor:
     store: PossStore
     plan: ResolutionPlan
 
-    def __init__(self, workers: int = 1, scheduler: str = "pipelined") -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        scheduler: str = "pipelined",
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[str] = None,
+    ) -> None:
         if scheduler not in SCHEDULERS:
             raise BulkProcessingError(
                 f"unknown scheduler {scheduler!r}; known: {SCHEDULERS}"
@@ -387,7 +410,17 @@ class _PlanExecutor:
         self._loaded_objects: set = set()
         self._workers = workers
         self._scheduler = scheduler
+        self._retry_policy = retry_policy
+        self._checkpoint = checkpoint
         self._dag: Optional[PlanDag] = None
+
+    def _attach_store(self, store) -> None:
+        """Bind the store, applying the caller's retry policy if any."""
+        self.store = store
+        if self._retry_policy is not None:
+            # The retry loop lives at the store's statement funnel (one
+            # retry site, BEGIN included); the executor only configures it.
+            store.retry_policy = self._retry_policy
 
     @property
     def dag(self) -> PlanDag:
@@ -396,16 +429,42 @@ class _PlanExecutor:
             self._dag = self.plan.dag()
         return self._dag
 
+    def _counters_before(self) -> Dict[str, int]:
+        store = self.store
+        return {
+            "retries": store.retries,
+            "timed_out": store.timed_out_statements,
+            "faults": store.faults_injected,
+        }
+
+    def _fault_fields(self, before: Dict[str, int]) -> Dict[str, int]:
+        store = self.store
+        return {
+            "retries": store.retries - before["retries"],
+            "timed_out_statements": store.timed_out_statements
+            - before["timed_out"],
+            "faults_injected": store.faults_injected - before["faults"],
+        }
+
     def run(self) -> BulkRunReport:
         """Execute the plan in a single transaction and return instrumentation.
 
         On any error the transaction is rolled back before the exception
-        propagates, leaving the relation exactly as loaded.
+        propagates, leaving the relation exactly as loaded.  With a
+        ``checkpoint`` run id the execution model changes to one
+        transaction *per DAG node*, journaled, resumable (see
+        :meth:`_run_checkpointed`).
         """
         store = self.store
+        # Run-start health check: heal a died-while-idle connection (one
+        # reconnect attempt) before the first statement of the run.
+        store.ensure_available()
+        if self._checkpoint is not None:
+            return self._run_checkpointed()
         started = time.perf_counter()
         statements_before = store.bulk_statements
         transactions_before = store.transactions
+        fault_counters = self._counters_before()
         dag = self.dag
         workers = self._workers
         if workers > 1 and not store.supports_concurrent_replay:
@@ -435,6 +494,56 @@ class _PlanExecutor:
             scheduler=self._scheduler,
             workers=workers,
             stages_overlapped=tracker.overlapped,
+            **self._fault_fields(fault_counters),
+        )
+
+    def _run_checkpointed(self) -> BulkRunReport:
+        """Journaled replay: one transaction per DAG node, resumable.
+
+        Each node's rows and its ``POSS_JOURNAL`` record commit atomically;
+        nodes already journaled under this run id are skipped.  A crash (or
+        exhausted retries) therefore loses at most the one in-flight node,
+        and re-running with the same checkpoint id completes exactly the
+        remaining nodes.  Sound because resolution is deterministic and a
+        node's output rows depend only on its (already final) inputs —
+        the resumed relation is byte-identical to an uninterrupted run.
+        """
+        store = self.store
+        run_id = self._checkpoint
+        started = time.perf_counter()
+        statements_before = store.bulk_statements
+        transactions_before = store.transactions
+        fault_counters = self._counters_before()
+        dag = self.dag
+        completed = store.journal_completed(run_id)
+        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        rows = 0
+        skipped = 0
+        for node in dag.nodes:
+            if node.index in completed:
+                skipped += 1
+                continue
+            with store.transaction():
+                rows += _execute_node(store, node, None, phase_seconds, None)
+                store.journal_record(run_id, node.index)
+        elapsed = time.perf_counter() - started
+        return BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=store.bulk_statements - statements_before,
+            rows_inserted=rows,
+            elapsed_seconds=elapsed,
+            conflicts=store.conflict_count(),
+            phase_seconds=phase_seconds,
+            transactions=store.transactions - transactions_before,
+            index_strategy=store.index_strategy.name,
+            backend=store.backend_name,
+            grouped_plan=self.plan.grouped,
+            dag_stages=dag.stage_count,
+            scheduler=self._scheduler,
+            workers=1,
+            checkpointed=True,
+            nodes_skipped=skipped,
+            **self._fault_fields(fault_counters),
         )
 
     def possible_values(self, user: User, key: object) -> FrozenSet[str]:
@@ -473,10 +582,17 @@ class BulkResolver(_PlanExecutor):
         workers: int = 1,
         scheduler: str = "pipelined",
         plan: Optional[ResolutionPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[str] = None,
     ) -> None:
-        super().__init__(workers=workers, scheduler=scheduler)
+        super().__init__(
+            workers=workers,
+            scheduler=scheduler,
+            retry_policy=retry_policy,
+            checkpoint=checkpoint,
+        )
         self.network = network
-        self.store = store or PossStore()
+        self._attach_store(store or PossStore())
         if plan is not None:
             # A caller-maintained plan (the engine's incrementally patched
             # one) replaces planning from scratch; it must already target
@@ -495,9 +611,8 @@ class BulkResolver(_PlanExecutor):
             planning_network, explicit_users, group_copies=group_copies
         )
 
-    def load_beliefs(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
-        """Load explicit beliefs; verifies bulk assumptions (i) and (ii)."""
-        rows = list(rows)
+    def _register_beliefs(self, rows: List[Tuple[User, object, Value]]) -> None:
+        """Verify bulk assumptions (i) and (ii) and record the object set."""
         by_user: Dict[str, set] = {}
         for user, key, _value in rows:
             by_user.setdefault(str(user), set()).add(str(key))
@@ -514,7 +629,43 @@ class BulkResolver(_PlanExecutor):
                     f"bulk assumption (ii) violated: user {user} lacks beliefs for "
                     f"{len(self._loaded_objects - keys)} objects"
                 )
+
+    def load_beliefs(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
+        """Load explicit beliefs; verifies bulk assumptions (i) and (ii).
+
+        Under a checkpoint run id the load itself is journaled (the
+        ``JOURNAL_BELIEFS_NODE`` marker commits atomically with the rows),
+        so a resumed run neither duplicates nor skips the source data.
+        """
+        rows = list(rows)
+        self._register_beliefs(rows)
+        if self._checkpoint is not None:
+            return self._load_beliefs_checkpointed(rows)
         return self.store.insert_explicit_beliefs(rows)
+
+    def _load_beliefs_checkpointed(
+        self, rows: List[Tuple[User, object, Value]]
+    ) -> int:
+        run_id = self._checkpoint
+        store = self.store
+        if isinstance(store, ShardedPossStore):
+            partitions = store.spec.partition_rows(rows)
+            inserted = 0
+            for index, shard in enumerate(store.shards):
+                if store.is_degraded(index):
+                    continue
+                if JOURNAL_BELIEFS_NODE in shard.journal_completed(run_id):
+                    continue
+                with shard.transaction():
+                    inserted += shard.insert_explicit_beliefs(partitions[index])
+                    shard.journal_record(run_id, JOURNAL_BELIEFS_NODE)
+            return inserted
+        if JOURNAL_BELIEFS_NODE in store.journal_completed(run_id):
+            return 0
+        with store.transaction():
+            inserted = store.insert_explicit_beliefs(rows)
+            store.journal_record(run_id, JOURNAL_BELIEFS_NODE)
+        return inserted
 
 class ConcurrentBulkResolver(BulkResolver):
     """Scatter/gather bulk resolution over a key-sharded ``POSS`` relation.
@@ -564,6 +715,8 @@ class ConcurrentBulkResolver(BulkResolver):
         group_copies: bool = True,
         scheduler: str = "pipelined",
         plan: Optional[ResolutionPlan] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[str] = None,
     ) -> None:
         if store is None:
             store = ShardedPossStore(2 if shards is None else shards)
@@ -584,6 +737,8 @@ class ConcurrentBulkResolver(BulkResolver):
             group_copies=group_copies,
             scheduler=scheduler,
             plan=plan,
+            retry_policy=retry_policy,
+            checkpoint=checkpoint,
         )
 
     def _replay_shard(
@@ -625,11 +780,18 @@ class ConcurrentBulkResolver(BulkResolver):
 
         On any shard failure the exception is re-raised inside the sharded
         transaction scope, so every shard rolls back before it propagates.
+        With a ``checkpoint`` run id the replay is journaled per shard and
+        an unavailable shard is quarantined instead of failing the run
+        (see :meth:`_run_checkpointed`).
         """
         store: ShardedPossStore = self.store
+        if self._checkpoint is not None:
+            return self._run_checkpointed()
+        store.ensure_available()
         started = time.perf_counter()
         statements_before = store.bulk_statements
         transactions_before = store.transactions
+        fault_counters = self._counters_before()
         concurrent = store.supports_concurrent_replay and len(store.shards) > 1
         tracker = _OverlapTracker(self.dag, lanes=len(store.shards))
         barrier: Optional[threading.Barrier] = None
@@ -702,6 +864,76 @@ class ConcurrentBulkResolver(BulkResolver):
             scheduler=self._scheduler,
             workers=1,
             stages_overlapped=tracker.overlapped,
+            **self._fault_fields(fault_counters),
+        )
+
+    def _run_checkpointed(self) -> BulkRunReport:
+        """Journaled scatter replay: per-shard checkpoints, quarantine on loss.
+
+        Shards replay sequentially (recovery mode favors simplicity over
+        overlap): each shard is health-checked, its journal consulted, and
+        the unfinished nodes committed one transaction at a time.  A shard
+        whose backend is (or becomes) unavailable is *quarantined* — the
+        run finishes on the healthy shards and the caller reads
+        ``store.degraded_shards`` / re-runs after ``recover_shard``.
+        """
+        store: ShardedPossStore = self.store
+        run_id = self._checkpoint
+        try:
+            store.ensure_available()
+        except BackendUnavailable:
+            # Dead shards are now quarantined; serve the healthy ones.
+            pass
+        started = time.perf_counter()
+        statements_before = store.bulk_statements
+        transactions_before = store.transactions
+        fault_counters = self._counters_before()
+        dag = self.dag
+        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        per_shard_seconds: Dict[str, float] = {}
+        rows = 0
+        skipped = 0
+        for index, shard in enumerate(store.shards):
+            if store.is_degraded(index):
+                continue
+            shard_started = time.perf_counter()
+            try:
+                completed = shard.journal_completed(run_id)
+                for node in dag.nodes:
+                    if node.index in completed:
+                        skipped += 1
+                        continue
+                    with shard.transaction():
+                        rows += _execute_node(
+                            shard, node, None, phase_seconds, None
+                        )
+                        shard.journal_record(run_id, node.index)
+            except BackendUnavailable:
+                store.quarantine(index)
+                continue
+            per_shard_seconds[f"shard{index}"] = (
+                time.perf_counter() - shard_started
+            )
+        elapsed = time.perf_counter() - started
+        return BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=store.bulk_statements - statements_before,
+            rows_inserted=rows,
+            elapsed_seconds=elapsed,
+            conflicts=store.conflict_count(),
+            phase_seconds=phase_seconds,
+            transactions=store.transactions - transactions_before,
+            index_strategy=store.index_strategy.name,
+            backend=store.backend_name,
+            grouped_plan=self.plan.grouped,
+            shards=len(store.shards),
+            per_shard_seconds=per_shard_seconds,
+            dag_stages=dag.stage_count,
+            scheduler=self._scheduler,
+            workers=1,
+            checkpointed=True,
+            nodes_skipped=skipped,
+            **self._fault_fields(fault_counters),
         )
 
 
@@ -726,10 +958,17 @@ class SkepticBulkResolver(_PlanExecutor):
         group_copies: bool = True,
         workers: int = 1,
         scheduler: str = "pipelined",
+        retry_policy: Optional[RetryPolicy] = None,
+        checkpoint: Optional[str] = None,
     ) -> None:
-        super().__init__(workers=workers, scheduler=scheduler)
+        super().__init__(
+            workers=workers,
+            scheduler=scheduler,
+            retry_policy=retry_policy,
+            checkpoint=checkpoint,
+        )
         self.network = network
-        self.store = store or PossStore()
+        self._attach_store(store or PossStore())
         self.plan = plan_skeptic_resolution(
             network,
             positive_users,

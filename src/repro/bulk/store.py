@@ -16,17 +16,37 @@ statement methods defer to the single run commit, so a mid-run failure
 rolls the relation back to its pre-run state.  Outside a run transaction
 (direct store use, loading explicit beliefs) every method commits its own
 work, keeping on-disk databases durable across :meth:`PossStore.close`.
+
+Fault tolerance lives at two seams of this class.  Every statement passes
+through the single :meth:`PossStore._run_statement` funnel, where raw
+driver exceptions are classified through the backend
+(:meth:`~repro.bulk.backends.SqlBackend.classify_error`) and
+:class:`~repro.core.errors.TransientBackendError` failures retry under the
+store's :class:`~repro.faults.retry.RetryPolicy`.  And the
+``POSS_JOURNAL(RUN, NODE)`` side table records which plan-DAG nodes a
+checkpointed run has completed, so an interrupted materialization resumes
+from the last committed node (sound because resolution is deterministic
+and closed users' rows are final — replaying the remaining nodes yields
+the byte-identical relation).
 """
 
 from __future__ import annotations
 
 import contextlib
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.beliefs import Value
-from repro.core.errors import BulkProcessingError
+from repro.core.errors import (
+    BackendError,
+    BackendUnavailable,
+    BulkProcessingError,
+    ShardUnavailable,
+    StatementTimeout,
+    TransientBackendError,
+)
 from repro.core.network import User
 from repro.bulk.backends import (
     ALL_INDEX_NAMES,
@@ -36,6 +56,12 @@ from repro.bulk.backends import (
     resolve_index_strategy,
     sqlite_backend,
 )
+# NOTE: only the leaf modules (policy, retry) are imported here —
+# repro.faults.backend imports repro.bulk.backends, so importing it at
+# module level would create a cycle; PossStore.__init__ pulls
+# FaultInjectingBackend in lazily for the env-gated chaos wrap.
+from repro.faults.policy import FaultPolicy
+from repro.faults.retry import RetryPolicy
 
 #: Reserved value representing ⊥ in the Skeptic bulk variant.
 BOTTOM_VALUE = "__BOTTOM__"
@@ -66,6 +92,16 @@ class PossStore:
         An :class:`~repro.bulk.backends.IndexStrategy` (or its name) fixing
         the physical design of the relation; defaults to the seed's
         ``baseline`` strategy.  See the Figure 8c index sweep.
+    retry_policy:
+        The :class:`~repro.faults.retry.RetryPolicy` the statement funnel
+        runs under; defaults to :meth:`RetryPolicy.default` (six attempts,
+        millisecond backoff).  Pass :meth:`RetryPolicy.none` to fail fast.
+
+    Setting ``REPRO_FAULT_SEED`` in the environment wraps the backend in a
+    :class:`~repro.faults.backend.FaultInjectingBackend` (transient faults
+    at the statement sites, probability ``REPRO_FAULT_P``, default 0.05):
+    the chaos switch that lets the whole test suite run under injected
+    faults without any test opting in.
     """
 
     def __init__(
@@ -73,22 +109,51 @@ class PossStore:
         path: str = ":memory:",
         backend: Optional[SqlBackend] = None,
         index_strategy: "IndexStrategy | str | None" = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         self._backend = backend if backend is not None else sqlite_backend(path)
+        env_policy = FaultPolicy.from_env()
+        if env_policy is not None:
+            from repro.faults.backend import FaultInjectingBackend
+
+            if not isinstance(self._backend, FaultInjectingBackend):
+                self._backend = FaultInjectingBackend(self._backend, env_policy)
         self._index_strategy = resolve_index_strategy(index_strategy)
-        self._connection = self._backend.connect()
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy.default()
+        )
         self._bulk_statements = 0
         self._delta_statements = 0
         self._transactions = 0
+        self._retries = 0
+        self._timed_out = 0
+        self._reconnects = 0
         self._in_transaction = False
         # Statement counters are read-modify-write; the pipelined executor
         # may issue statements from several worker threads at once (when the
         # backend's driver serializes internally), so the counters take a
         # lock of their own.
         self._counter_lock = threading.Lock()
+        self._connection = self._connect()
+        self._ensure_schema()
+
+    def _connect(self):
+        """Open the backend connection, classifying connect-time failures."""
+        try:
+            return self._backend.connect()
+        except Exception as error:
+            raise self._classify(error, default=BackendUnavailable) from error
+
+    def _ensure_schema(self) -> None:
+        """Create (idempotently) the relation, journal and declared indexes."""
         self._execute(
             "CREATE TABLE IF NOT EXISTS POSS "
             "(X TEXT NOT NULL, K TEXT NOT NULL, V TEXT NOT NULL)"
+        )
+        # The checkpoint journal: which DAG nodes a named run has committed.
+        self._execute(
+            "CREATE TABLE IF NOT EXISTS POSS_JOURNAL "
+            "(RUN TEXT NOT NULL, NODE INTEGER NOT NULL)"
         )
         # Reconcile the physical design: an on-disk database may carry
         # indexes from a previous strategy; drop anything this strategy
@@ -105,16 +170,108 @@ class PossStore:
     # plumbing                                                            #
     # ------------------------------------------------------------------ #
 
+    def _classify(self, error: Exception, default=None):
+        """Turn a raw driver exception into a classified error instance.
+
+        Returns the classified :class:`~repro.core.errors.BackendError`
+        (already-classified errors pass through unchanged); ``default``
+        names the class to use when the backend cannot classify the error
+        — ``None`` means "return the original exception unchanged".
+        """
+        if isinstance(error, BackendError):
+            return error
+        classified = self._backend.classify_error(error)
+        if classified is None:
+            classified = default
+        if classified is None:
+            return error
+        failure = classified(f"{self._backend.name}: {error}")
+        failure.__cause__ = error
+        return failure
+
+    def _run_statement(self, runner):
+        """The retry funnel every statement passes through.
+
+        ``runner`` is a re-executable thunk (fresh cursor per call).
+        Transient failures retry under :attr:`retry_policy` (exponential
+        backoff, deterministic jitter); a retryable failure that exhausts
+        the policy's per-statement ``deadline`` raises
+        :class:`~repro.core.errors.StatementTimeout`; everything else
+        propagates classified on the first failure.  Retrying whole
+        statements is safe here: an ``INSERT`` that failed rolled back
+        atomically, and duplicate ``POSS`` rows are logically invisible
+        anyway (every read path is ``SELECT DISTINCT``).
+        """
+        policy = self.retry_policy
+        deadline = policy.deadline
+        started = time.monotonic() if deadline is not None else 0.0
+        attempt = 1
+        while True:
+            try:
+                return runner()
+            except Exception as error:
+                failure = self._classify(error)
+                if not isinstance(failure, BackendError):
+                    raise  # not a backend failure (e.g. bad SQL arity)
+                if not isinstance(failure, TransientBackendError):
+                    raise failure from error
+                if attempt >= policy.max_attempts:
+                    raise failure from error
+                delay = policy.delay(attempt)
+                if deadline is not None and (
+                    time.monotonic() - started + delay > deadline
+                ):
+                    with self._counter_lock:
+                        self._timed_out += 1
+                    timeout = StatementTimeout(
+                        f"statement exceeded its {deadline}s deadline "
+                        f"after {attempt} attempt(s)"
+                    )
+                    raise timeout from error
+                with self._counter_lock:
+                    self._retries += 1
+                time.sleep(delay)
+                attempt += 1
+
     def _execute(self, sql: str, parameters: Sequence[object] = ()):
         """Run one statement via a DB-API cursor, rendered for the backend."""
-        cursor = self._connection.cursor()
-        cursor.execute(self._backend.render(sql), tuple(parameters))
-        return cursor
+        rendered = self._backend.render(sql)
+        bound = tuple(parameters)
+
+        def runner():
+            cursor = self._connection.cursor()
+            cursor.execute(rendered, bound)
+            return cursor
+
+        return self._run_statement(runner)
+
+    def _executemany(self, sql: str, rows: Sequence[Sequence[object]]):
+        """Run one batched statement (``executemany``) through the funnel."""
+        rendered = self._backend.render(sql)
+
+        def runner():
+            cursor = self._connection.cursor()
+            cursor.executemany(rendered, rows)
+            return cursor
+
+        return self._run_statement(runner)
+
+    def _commit_connection(self) -> None:
+        """Commit the connection, classifying commit-time failures (no retry:
+        a failed commit's transaction state is driver-specific, so the safe
+        reaction is a typed error and a run-level rollback)."""
+        try:
+            self._connection.commit()
+        except Exception as error:
+            failure = self._classify(error)
+            if failure is error:
+                raise
+            raise failure from error
 
     def _commit(self) -> None:
         """Commit now unless a run-scoped transaction is open."""
         if not self._in_transaction:
-            self._connection.commit()
+            self._commit_connection()
             self._transactions += 1
 
     def _count_bulk(self, statements: int = 1) -> None:
@@ -192,13 +349,139 @@ class PossStore:
         try:
             yield self
         except BaseException:
-            self._connection.rollback()
+            # The rollback itself may fail when the connection is gone; the
+            # original (classified) run error is the one that matters, so
+            # never let a rollback failure mask it.
+            try:
+                self._connection.rollback()
+            except Exception:
+                pass
             raise
         else:
-            self._connection.commit()
+            self._commit_connection()
             self._transactions += 1
         finally:
             self._in_transaction = False
+
+    # ------------------------------------------------------------------ #
+    # connection health                                                    #
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> bool:
+        """Whether the connection still answers a trivial query.
+
+        Only an *unavailable*-classified failure counts as dead: a
+        transient error (a locked database, an injected transient fault)
+        means the connection responded, so the health check passes.
+        """
+        try:
+            cursor = self._connection.cursor()
+            cursor.execute(self._backend.render("SELECT 1"))
+            cursor.fetchone()
+            return True
+        except Exception as error:
+            return not isinstance(
+                self._classify(error, default=BackendUnavailable),
+                BackendUnavailable,
+            )
+
+    def reconnect(self) -> None:
+        """Drop the current connection and open a fresh one (schema re-run).
+
+        Note the durability split: file-backed and client/server databases
+        come back with their committed rows; a dead *in-memory* database is
+        simply gone, and the fresh connection starts empty (the engine's
+        checkpoint/rebuild paths re-derive the content).
+        """
+        try:
+            self._connection.close()
+        except Exception:
+            pass
+        self._in_transaction = False
+        self._connection = self._connect()
+        with self._counter_lock:
+            self._reconnects += 1
+        self._ensure_schema()
+
+    def ensure_available(self) -> None:
+        """Health-check the connection, reconnecting once if it is dead.
+
+        Raises :class:`~repro.core.errors.BackendUnavailable` when the
+        single reconnect attempt does not produce an answering connection.
+        Executors call this at run start so a died-while-idle connection
+        heals before any statement of the run is issued.
+        """
+        if self.ping():
+            return
+        try:
+            self.reconnect()
+        except Exception as error:
+            raise self._classify(error, default=BackendUnavailable) from error
+        if not self.ping():
+            raise BackendUnavailable(
+                f"{self._backend.name}: connection unavailable after reconnect"
+            )
+
+    @property
+    def retries(self) -> int:
+        """Statement retries performed by the funnel so far."""
+        return self._retries
+
+    @property
+    def timed_out_statements(self) -> int:
+        """Statements abandoned because their retry deadline elapsed."""
+        return self._timed_out
+
+    @property
+    def reconnects(self) -> int:
+        """Successful :meth:`reconnect` calls so far."""
+        return self._reconnects
+
+    @property
+    def faults_injected(self) -> int:
+        """Faults injected by a fault-injecting backend (0 otherwise)."""
+        return getattr(self._backend, "faults_injected", 0)
+
+    # ------------------------------------------------------------------ #
+    # the checkpoint journal                                               #
+    # ------------------------------------------------------------------ #
+
+    def journal_record(self, run_id: str, node: int) -> None:
+        """Record that checkpointed run ``run_id`` committed DAG node ``node``.
+
+        The checkpointing executor calls this *inside* the per-node
+        transaction, so the node's rows and its journal entry commit
+        atomically — a crash can never journal work that did not commit,
+        nor commit work that is not journaled.
+        """
+        self._execute(
+            "INSERT INTO POSS_JOURNAL (RUN, NODE) VALUES (?, ?)",
+            (str(run_id), int(node)),
+        )
+        self._commit()
+
+    def journal_completed(self, run_id: str) -> FrozenSet[int]:
+        """The DAG node ids run ``run_id`` has already committed."""
+        cursor = self._execute(
+            "SELECT DISTINCT NODE FROM POSS_JOURNAL WHERE RUN = ?",
+            (str(run_id),),
+        )
+        return frozenset(int(row[0]) for row in cursor.fetchall())
+
+    def journal_runs(self) -> FrozenSet[str]:
+        """Run ids with journal entries on this store."""
+        cursor = self._execute("SELECT DISTINCT RUN FROM POSS_JOURNAL")
+        return frozenset(row[0] for row in cursor.fetchall())
+
+    def journal_clear(self, run_id: Optional[str] = None) -> None:
+        """Forget one run's journal (or all of them with ``run_id=None``)."""
+        if run_id is None:
+            self._execute("DELETE FROM POSS_JOURNAL")
+        else:
+            self._execute(
+                "DELETE FROM POSS_JOURNAL WHERE RUN = ?", (str(run_id),)
+            )
+        self._commit()
 
     def close(self) -> None:
         """Close the underlying connection."""
@@ -288,10 +571,7 @@ class PossStore:
         data = [(str(user), str(key), str(value)) for user, key, value in rows]
         if not data:
             return 0
-        cursor = self._connection.cursor()
-        cursor.executemany(
-            self._backend.render("INSERT INTO POSS (X, K, V) VALUES (?, ?, ?)"), data
-        )
+        self._executemany("INSERT INTO POSS (X, K, V) VALUES (?, ?, ?)", data)
         self._commit()
         return len(data)
 
@@ -533,6 +813,7 @@ class ShardedPossStore:
         spec: "ShardSpec | int" = 2,
         backends: Optional[Sequence[SqlBackend]] = None,
         index_strategy: "IndexStrategy | str | None" = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if isinstance(spec, int):
             spec = ShardSpec.hashed(spec)
@@ -546,10 +827,90 @@ class ShardedPossStore:
             PossStore(
                 backend=backends[i] if backends is not None else None,
                 index_strategy=index_strategy,
+                retry_policy=retry_policy,
             )
             for i in range(spec.count)
         )
         self._in_transaction = False
+        self._degraded: set = set()
+
+    # ------------------------------------------------------------------ #
+    # quarantine                                                           #
+    # ------------------------------------------------------------------ #
+
+    def _check_index(self, index: int) -> int:
+        if not 0 <= index < self.spec.count:
+            raise BulkProcessingError(
+                f"shard index {index} out of range for {self.spec.count} shards"
+            )
+        return index
+
+    @contextlib.contextmanager
+    def _shard_errors(self, index: int, keys: Sequence[str] = ()):
+        """Tag (and quarantine on) a shard's unavailability.
+
+        A :class:`~repro.core.errors.BackendUnavailable` escaping a shard
+        operation marks that shard degraded and re-raises as
+        :class:`~repro.core.errors.ShardUnavailable` carrying the shard
+        index and the affected object keys, so callers can degrade
+        gracefully instead of treating the whole relation as lost.
+        """
+        try:
+            yield
+        except ShardUnavailable:
+            raise
+        except BackendUnavailable as error:
+            self._degraded.add(index)
+            raise ShardUnavailable(
+                f"shard {index} unavailable: {error}",
+                shard=index,
+                keys=tuple(keys),
+            ) from error
+
+    def quarantine(self, index: int) -> None:
+        """Mark a shard degraded: its keys fail typed, the rest keep serving."""
+        self._degraded.add(self._check_index(index))
+
+    def heal(self, index: int) -> None:
+        """Un-quarantine a shard once its connection answers again.
+
+        Health-checks (reconnecting if needed) before clearing the mark;
+        a still-dead shard raises :class:`~repro.core.errors.ShardUnavailable`
+        and stays quarantined.  Note this restores *availability* only —
+        replaying whatever writes the shard missed is the engine's job
+        (:meth:`repro.engine.ResolutionEngine.recover_shard`).
+        """
+        index = self._check_index(index)
+        with self._shard_errors(index):
+            self.shards[index].ensure_available()
+        self._degraded.discard(index)
+
+    def is_degraded(self, index: int) -> bool:
+        """Whether the shard at ``index`` is currently quarantined."""
+        return self._check_index(index) in self._degraded
+
+    @property
+    def degraded_shards(self) -> Tuple[int, ...]:
+        """Indices of the currently quarantined shards, sorted."""
+        return tuple(sorted(self._degraded))
+
+    def _healthy(self) -> List[Tuple[int, PossStore]]:
+        """The serving shards as ``(index, store)`` pairs."""
+        return [
+            (index, shard)
+            for index, shard in enumerate(self.shards)
+            if index not in self._degraded
+        ]
+
+    def _require_all_healthy(self, operation: str) -> None:
+        """Whole-relation *writes* need every shard (reads degrade instead)."""
+        if self._degraded:
+            index = min(self._degraded)
+            raise ShardUnavailable(
+                f"{operation} needs all shards, but shard {index} is "
+                f"quarantined (degraded: {self.degraded_shards})",
+                shard=index,
+            )
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                            #
@@ -594,6 +955,62 @@ class ShardedPossStore:
         return sum(shard.delta_statements for shard in self.shards)
 
     @property
+    def retries(self) -> int:
+        """Statement retries across all shards."""
+        return sum(shard.retries for shard in self.shards)
+
+    @property
+    def timed_out_statements(self) -> int:
+        """Deadline-abandoned statements across all shards."""
+        return sum(shard.timed_out_statements for shard in self.shards)
+
+    @property
+    def faults_injected(self) -> int:
+        """Injected faults across all shards (0 without injection)."""
+        return sum(shard.faults_injected for shard in self.shards)
+
+    @property
+    def reconnects(self) -> int:
+        """Reconnects across all shards."""
+        return sum(shard.reconnects for shard in self.shards)
+
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        """The (shared) retry policy of the shards."""
+        return self.shards[0].retry_policy
+
+    @retry_policy.setter
+    def retry_policy(self, policy: RetryPolicy) -> None:
+        for shard in self.shards:
+            shard.retry_policy = policy
+
+    def ensure_available(self) -> None:
+        """Health-check every serving shard, quarantining the dead ones.
+
+        Raises :class:`~repro.core.errors.ShardUnavailable` (for the
+        lowest-indexed degraded shard) when any shard — previously
+        quarantined or newly found dead — is out of service; callers that
+        can degrade catch it and keep going on the healthy shards.
+        """
+        for index, shard in self._healthy():
+            try:
+                shard.ensure_available()
+            except BackendUnavailable:
+                self._degraded.add(index)
+        if self._degraded:
+            index = min(self._degraded)
+            raise ShardUnavailable(
+                f"shard {index} is out of service "
+                f"(degraded: {self.degraded_shards})",
+                shard=index,
+            )
+
+    def journal_clear(self, run_id: Optional[str] = None) -> None:
+        """Forget a run's checkpoint journal on every serving shard."""
+        for _index, shard in self._healthy():
+            shard.journal_clear(run_id)
+
+    @property
     def in_transaction(self) -> bool:
         """Whether a run-scoped :meth:`transaction` is currently open."""
         return self._in_transaction
@@ -616,7 +1033,10 @@ class ShardedPossStore:
         if self._in_transaction:
             raise BulkProcessingError("transaction already in progress")
         with contextlib.ExitStack() as stack:
-            for shard in self.shards:
+            # Quarantined shards are skipped: a degraded store still runs
+            # transactions over its serving shards (the session's flush
+            # retry path relies on this to apply the healthy fragments).
+            for _index, shard in self._healthy():
                 stack.enter_context(shard.transaction())
             self._in_transaction = True
             try:
@@ -636,24 +1056,46 @@ class ShardedPossStore:
         self.close()
 
     def clear(self) -> None:
-        """Delete every row on every shard."""
-        for shard in self.shards:
-            shard.clear()
+        """Delete every row on every shard (a whole-relation write)."""
+        self._require_all_healthy("clear()")
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                shard.clear()
 
     # ------------------------------------------------------------------ #
     # loading                                                              #
     # ------------------------------------------------------------------ #
 
+    def _route_partitions(self, rows) -> List[list]:
+        """Partition rows by shard, failing typed if any land on a
+        quarantined shard (with the affected keys attached) before any
+        shard is touched."""
+        partitions = self.spec.partition_rows(rows)
+        for index in sorted(self._degraded):
+            if partitions[index]:
+                raise ShardUnavailable(
+                    f"shard {index} is quarantined and owns "
+                    f"{len(partitions[index])} of the rows",
+                    shard=index,
+                    keys=tuple(
+                        sorted({str(row[1]) for row in partitions[index]})
+                    ),
+                )
+        return partitions
+
     def insert_explicit_beliefs(
         self, rows: Iterable[Tuple[User, object, Value]]
     ) -> int:
         """Bulk-load explicit beliefs, routing each row to its key's shard."""
-        partitions = self.spec.partition_rows(rows)
-        return sum(
-            shard.insert_explicit_beliefs(partition)
-            for shard, partition in zip(self.shards, partitions)
-            if partition
-        )
+        partitions = self._route_partitions(rows)
+        total = 0
+        for index, (shard, partition) in enumerate(zip(self.shards, partitions)):
+            if partition:
+                with self._shard_errors(
+                    index, keys=sorted({str(row[1]) for row in partition})
+                ):
+                    total += shard.insert_explicit_beliefs(partition)
+        return total
 
     # ------------------------------------------------------------------ #
     # the delta statements (route by key, fan out otherwise)               #
@@ -662,17 +1104,27 @@ class ShardedPossStore:
     def delete_user_rows(self, users: Sequence[User], key: object = None) -> int:
         """Delta DELETE: key-addressed deletes hit only the owning shard."""
         if key is not None:
-            return self.shard_for(key).delete_user_rows(users, key=key)
-        return sum(shard.delete_user_rows(users) for shard in self.shards)
+            index = self.spec.shard_of(key)
+            with self._shard_errors(index, keys=(str(key),)):
+                return self.shard_for(key).delete_user_rows(users, key=key)
+        self._require_all_healthy("delete_user_rows() without a key")
+        total = 0
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                total += shard.delete_user_rows(users)
+        return total
 
     def insert_rows(self, rows: Iterable[Tuple[User, object, Value]]) -> int:
         """Delta INSERT, routing each row to its key's shard."""
-        partitions = self.spec.partition_rows(rows)
-        return sum(
-            shard.insert_rows(partition)
-            for shard, partition in zip(self.shards, partitions)
-            if partition
-        )
+        partitions = self._route_partitions(rows)
+        total = 0
+        for index, (shard, partition) in enumerate(zip(self.shards, partitions)):
+            if partition:
+                with self._shard_errors(
+                    index, keys=sorted({str(row[1]) for row in partition})
+                ):
+                    total += shard.insert_rows(partition)
+        return total
 
     # ------------------------------------------------------------------ #
     # the bulk statements (fan-out)                                        #
@@ -680,23 +1132,32 @@ class ShardedPossStore:
 
     def copy_from_parent(self, child: User, parent: User) -> int:
         """Step-1 copy on every shard (each shard holds only its own keys)."""
-        return sum(
-            shard.copy_from_parent(child, parent) for shard in self.shards
-        )
+        self._require_all_healthy("copy_from_parent()")
+        total = 0
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                total += shard.copy_from_parent(child, parent)
+        return total
 
     def copy_to_children(self, parent: User, children: Sequence[User]) -> int:
         """Grouped Step-1 copy on every shard."""
-        return sum(
-            shard.copy_to_children(parent, children) for shard in self.shards
-        )
+        self._require_all_healthy("copy_to_children()")
+        total = 0
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                total += shard.copy_to_children(parent, children)
+        return total
 
     def flood_component(
         self, members: Sequence[User], parents: Sequence[User]
     ) -> int:
         """Step-2 flood on every shard."""
-        return sum(
-            shard.flood_component(members, parents) for shard in self.shards
-        )
+        self._require_all_healthy("flood_component()")
+        total = 0
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                total += shard.flood_component(members, parents)
+        return total
 
     def flood_component_skeptic(
         self,
@@ -705,60 +1166,87 @@ class ShardedPossStore:
         blocked: Dict[str, Sequence[str]],
     ) -> int:
         """Skeptic Step-2 flood on every shard."""
-        return sum(
-            shard.flood_component_skeptic(members, parents, blocked)
-            for shard in self.shards
-        )
+        self._require_all_healthy("flood_component_skeptic()")
+        total = 0
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                total += shard.flood_component_skeptic(members, parents, blocked)
+        return total
 
     # ------------------------------------------------------------------ #
     # queries (route by key, aggregate otherwise)                          #
     # ------------------------------------------------------------------ #
 
     def shard_for(self, key: object) -> PossStore:
-        """The child store owning ``key``."""
-        return self.shards[self.spec.shard_of(key)]
+        """The child store owning ``key``.
+
+        Raises :class:`~repro.core.errors.ShardUnavailable` (carrying the
+        key) when the owning shard is quarantined — the typed signal that
+        lets callers distinguish "this key is temporarily unservable" from
+        "this key has no rows".
+        """
+        index = self.spec.shard_of(key)
+        if index in self._degraded:
+            raise ShardUnavailable(
+                f"shard {index} owning key {key!r} is quarantined",
+                shard=index,
+                keys=(str(key),),
+            )
+        return self.shards[index]
 
     def possible_values(self, user: User, key: object) -> FrozenSet[str]:
         """Possible values of one user for one object (owning shard only)."""
-        return self.shard_for(key).possible_values(user, key)
+        index = self.spec.shard_of(key)
+        with self._shard_errors(index, keys=(str(key),)):
+            return self.shard_for(key).possible_values(user, key)
 
     def certain_values(self, user: User, key: object) -> FrozenSet[str]:
         """Certain value of one user for one object (owning shard only)."""
-        return self.shard_for(key).certain_values(user, key)
+        index = self.spec.shard_of(key)
+        with self._shard_errors(index, keys=(str(key),)):
+            return self.shard_for(key).certain_values(user, key)
 
     def possible_table(self) -> List[PossRow]:
         """The full (distinct) content of the relation across shards.
 
         Shards hold disjoint key sets, so concatenation needs no dedup.
+        Whole-relation *reads* degrade gracefully: quarantined shards are
+        skipped, so the answer covers the serving shards' keys only (the
+        consistent-query-answering posture — answer what the healthy data
+        supports, fail only key lookups that need the lost shard).
         """
         rows: List[PossRow] = []
-        for shard in self.shards:
+        for _index, shard in self._healthy():
             rows.extend(shard.possible_table())
         return rows
 
     def certain_snapshot(self) -> Dict[Tuple[str, str], str]:
         """The certain value for every (user, key) with exactly one value."""
         snapshot: Dict[Tuple[str, str], str] = {}
-        for shard in self.shards:
+        for _index, shard in self._healthy():
             snapshot.update(shard.certain_snapshot())
         return snapshot
 
     def conflict_count(self) -> int:
         """Number of (user, key) pairs with more than one possible value."""
-        return sum(shard.conflict_count() for shard in self.shards)
+        return sum(shard.conflict_count() for _index, shard in self._healthy())
 
     def row_count(self) -> int:
-        """Total number of rows across shards."""
-        return sum(shard.row_count() for shard in self.shards)
+        """Total number of rows across the serving shards."""
+        return sum(shard.row_count() for _index, shard in self._healthy())
 
     def row_counts_per_shard(self) -> List[int]:
         """Row count of each shard, in shard-index order (balance metric)."""
         return [shard.row_count() for shard in self.shards]
 
     def users(self) -> FrozenSet[str]:
-        """Users mentioned in the relation (union over shards)."""
-        return frozenset().union(*(shard.users() for shard in self.shards))
+        """Users mentioned in the relation (union over serving shards)."""
+        return frozenset().union(
+            *(shard.users() for _index, shard in self._healthy()), frozenset()
+        )
 
     def keys(self) -> FrozenSet[str]:
-        """Object keys mentioned in the relation (union over shards)."""
-        return frozenset().union(*(shard.keys() for shard in self.shards))
+        """Object keys mentioned in the relation (union over serving shards)."""
+        return frozenset().union(
+            *(shard.keys() for _index, shard in self._healthy()), frozenset()
+        )

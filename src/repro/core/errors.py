@@ -45,3 +45,53 @@ class BulkProcessingError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload generator received invalid parameters."""
+
+
+class BackendError(BulkProcessingError):
+    """A SQL backend failed while executing a statement or transaction.
+
+    Raw driver exceptions (``sqlite3.Error``, psycopg errors, ...) are
+    classified into this sub-hierarchy so callers can decide between
+    retrying (:class:`TransientBackendError`) and rolling back the run
+    (everything else).
+    """
+
+
+class TransientBackendError(BackendError):
+    """A backend failure that is expected to succeed on retry.
+
+    Examples: a locked/busy database, a dropped-and-recoverable network
+    hiccup, an injected transient fault.  The store's retry loop treats
+    only this class as retryable.
+    """
+
+
+class StatementTimeout(BackendError):
+    """A statement exceeded its per-statement deadline (retries included).
+
+    Raised by the retry loop itself, not by drivers: the deadline window
+    spans all attempts of one logical statement.  Persistent — the run is
+    rolled back.
+    """
+
+
+class BackendUnavailable(BackendError):
+    """The backend connection is gone (closed, unreachable, crashed).
+
+    Persistent from the point of view of a single statement; a store-level
+    reconnect (or a sharded store's quarantine) is the recovery path.
+    """
+
+
+class ShardUnavailable(BackendUnavailable):
+    """A sharded store operation touched a quarantined (degraded) shard.
+
+    Carries which shard failed and, when known, which object keys were
+    affected so callers can degrade gracefully (serve the healthy shards,
+    queue the affected work for :meth:`recover_shard`).
+    """
+
+    def __init__(self, message: str, shard: "int | None" = None, keys=()) -> None:
+        super().__init__(message)
+        self.shard = shard
+        self.keys = tuple(keys)

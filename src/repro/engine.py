@@ -48,6 +48,7 @@ keeps working unchanged.
 from __future__ import annotations
 
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -64,6 +65,7 @@ from repro.bulk.executor import (
 from repro.bulk.planner import PlanDag, ResolutionPlan, plan_resolution
 from repro.bulk.planpatch import patch_plan
 from repro.bulk.store import PossStore, ShardedPossStore
+from repro.faults.retry import RetryPolicy
 from repro.incremental.deltas import Delta, RemoveUser
 from repro.incremental.session import DeltaApplyReport, IncrementalSession
 
@@ -112,6 +114,24 @@ class EngineReport:
     pruned: int = 0
     recomputes: int = 0
 
+    # -- fault-tolerance block ------------------------------------------ #
+    #: Transparent statement retries the store's retry loop performed.
+    retries: int = 0
+    #: Statements abandoned because their retry deadline expired.
+    timed_out_statements: int = 0
+    #: Faults the (test-only) injection layer raised, when enabled.
+    faults_injected: int = 0
+    #: Whether the verb ran under per-node checkpoint journaling.
+    checkpointed: bool = False
+    #: DAG nodes skipped on a resumed run because the journal had them.
+    nodes_skipped: int = 0
+    #: Whether a backend failure was absorbed by a recovery path
+    #: (resync / shard quarantine) instead of propagating.
+    recovered: bool = False
+    #: Indices of quarantined shards at the end of the verb (sharded
+    #: stores only; empty tuple otherwise).
+    degraded_shards: Tuple[int, ...] = ()
+
     # -- plan cache block ---------------------------------------------- #
     #: How this verb obtained its plan: ``fresh`` (planned from scratch
     #: now), ``patched`` (regionally patched now, ``apply`` only) or
@@ -159,6 +179,11 @@ class ResolutionEngine:
         statement-worker count for **single-store** materialization only —
         sharded stores already parallelize with one replay thread per
         shard, and per-shard statement workers are not layered on top.
+    retry_policy:
+        The :class:`~repro.faults.retry.RetryPolicy` every statement runs
+        under (transient backend errors retry with exponential backoff;
+        default: :meth:`RetryPolicy.default`).  Installed on the store, so
+        both materialization and delta maintenance honor it.
     """
 
     def __init__(
@@ -171,6 +196,7 @@ class ResolutionEngine:
         beliefs_by_key: Optional[Dict[str, Dict[User, Value]]] = None,
         workers: int = 1,
         scheduler: str = "pipelined",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> None:
         if mode not in MODES:
             raise BulkProcessingError(f"unknown mode {mode!r}; known: {MODES}")
@@ -191,6 +217,9 @@ class ResolutionEngine:
         self.mode = mode
         self._workers = workers
         self._scheduler = scheduler
+        self._retry_policy = retry_policy
+        if retry_policy is not None:
+            self.store.retry_policy = retry_policy
         self._session = IncrementalSession(
             network,
             store=self.store,
@@ -246,6 +275,17 @@ class ResolutionEngine:
     def keys(self) -> Tuple[str, ...]:
         """The object keys this engine maintains."""
         return self._session.keys
+
+    def _degraded_shards(self) -> Tuple[int, ...]:
+        """Quarantined shard indices (empty on single stores)."""
+        if isinstance(self.store, ShardedPossStore):
+            return self.store.degraded_shards
+        return ()
+
+    @property
+    def degraded_shards(self) -> Tuple[int, ...]:
+        """Indices of currently quarantined shards, sorted (read-only)."""
+        return self._degraded_shards()
 
     def _ensure_plan(self) -> None:
         """Build the plan, or rebuild it after out-of-band mutations.
@@ -321,7 +361,19 @@ class ResolutionEngine:
             resolutions=resolutions,
         )
 
-    def materialize(self) -> EngineReport:
+    def _run_id(self) -> str:
+        """The stable checkpoint id of the cached plan.
+
+        Derived from the plan's step list, so the same plan resumes the
+        same journal and a changed plan (re-planned or patched) starts a
+        fresh one — a resume can never replay another plan's checkpoints.
+        """
+        digest = zlib.crc32(repr(self._plan.steps).encode("utf-8"))
+        return f"plan-{digest:08x}-{len(self._plan.steps)}"
+
+    def materialize(
+        self, resume: bool = False, checkpoint: bool = False
+    ) -> EngineReport:
         """Execute the cached plan against the store (the Section 4 path).
 
         Clears the relation, bulk-loads every key's explicit beliefs and
@@ -329,9 +381,20 @@ class ResolutionEngine:
         gathered over the shards on a sharded store — inside one
         (per-shard) transaction.  After this, :meth:`query` in ``auto``
         mode reads from the relation.
+
+        With ``checkpoint=True`` the run journals per-node checkpoints
+        (one transaction per DAG node, recorded in the store's
+        ``POSS_JOURNAL``); with ``resume=True`` (which implies
+        ``checkpoint``) the store is *not* cleared and the journaled nodes
+        of the plan's run id are skipped — an interrupted checkpointed
+        materialize completes exactly the work it has not yet committed,
+        byte-identical to an uninterrupted run.  A fresh (non-resume)
+        materialize clears both the relation and any stale journal, so a
+        later resume can never replay leftovers of an abandoned run.
         """
         started = time.perf_counter()
         self._ensure_plan()
+        checkpoint = checkpoint or resume
         plan_users = {str(user) for user in self._plan.explicit_users}
         rows: List[Tuple[str, str, str]] = []
         for key in self._session.keys:
@@ -346,13 +409,18 @@ class ResolutionEngine:
             rows.extend(
                 (str(user), key, str(value)) for user, value in beliefs.items()
             )
-        self.store.clear()
+        if not resume:
+            self.store.clear()
+            self.store.journal_clear()
+        run_id = self._run_id() if checkpoint else None
         if isinstance(self.store, ShardedPossStore):
             executor = ConcurrentBulkResolver(
                 self.network,
                 store=self.store,
                 scheduler=self._scheduler,
                 plan=self._plan,
+                retry_policy=self._retry_policy,
+                checkpoint=run_id,
             )
         else:
             executor = BulkResolver(
@@ -361,6 +429,8 @@ class ResolutionEngine:
                 workers=self._workers,
                 scheduler=self._scheduler,
                 plan=self._plan,
+                retry_policy=self._retry_policy,
+                checkpoint=run_id,
             )
         executor.load_beliefs(rows)
         bulk = executor.run()
@@ -377,6 +447,12 @@ class ResolutionEngine:
             dag_stages=bulk.dag_stages,
             scheduler=bulk.scheduler,
             stages_overlapped=bulk.stages_overlapped,
+            retries=bulk.retries,
+            timed_out_statements=bulk.timed_out_statements,
+            faults_injected=bulk.faults_injected,
+            checkpointed=bulk.checkpointed,
+            nodes_skipped=bulk.nodes_skipped,
+            degraded_shards=self._degraded_shards(),
             plan_source=self._plan_source,
             plan_steps=len(self._plan.steps),
             bulk=bulk,
@@ -394,6 +470,9 @@ class ResolutionEngine:
         update, not to the network.
         """
         started = time.perf_counter()
+        retries_before = self.store.retries
+        timeouts_before = self.store.timed_out_statements
+        faults_before = self.store.faults_injected
         delta_report = self._session.apply_batch(*deltas, coalesce=coalesce)
         self._maintain_plan(delta_report)
         return EngineReport(
@@ -412,9 +491,47 @@ class ResolutionEngine:
             recomputed=delta_report.recomputed,
             pruned=delta_report.pruned,
             recomputes=delta_report.recomputes,
+            retries=self.store.retries - retries_before,
+            timed_out_statements=self.store.timed_out_statements - timeouts_before,
+            faults_injected=self.store.faults_injected - faults_before,
+            recovered=delta_report.recovered,
+            degraded_shards=self._degraded_shards(),
             plan_source=self._plan_source if self._plan is not None else "",
             plan_steps=len(self._plan.steps) if self._plan is not None else 0,
             delta=delta_report,
+        )
+
+    def recover_shard(self, index: int) -> EngineReport:
+        """Heal a quarantined shard and restore its slice of the relation.
+
+        Re-establishes the shard's availability
+        (:meth:`~repro.bulk.store.ShardedPossStore.heal`; a still-dead
+        shard raises :class:`~repro.core.errors.ShardUnavailable` and
+        stays quarantined), replays the delta fragments the session queued
+        while it was out and verifies the slice against the in-memory
+        state, rebuilding it wholesale when the shard lost committed rows
+        (:meth:`IncrementalSession.recover_shard`).  After a successful
+        recover the shard serves again and ``degraded_shards`` drops it.
+        """
+        started = time.perf_counter()
+        retries_before = self.store.retries
+        faults_before = self.store.faults_injected
+        slice_rows = self._session.recover_shard(index)
+        return EngineReport(
+            operation="recover",
+            seconds=time.perf_counter() - started,
+            backend=self.store.backend_name,
+            keys=len(self._session.keys),
+            rows_inserted=slice_rows,
+            shards=(
+                self.store.spec.count
+                if isinstance(self.store, ShardedPossStore)
+                else 1
+            ),
+            retries=self.store.retries - retries_before,
+            faults_injected=self.store.faults_injected - faults_before,
+            recovered=True,
+            degraded_shards=self._degraded_shards(),
         )
 
     def query(self, user: User, key: Optional[str] = None) -> FrozenSet[str]:

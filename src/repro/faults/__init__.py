@@ -1,0 +1,27 @@
+"""Deterministic fault injection and retry policies.
+
+The chaos-engineering toolkit for the execution engine: seeded
+:class:`FaultPolicy` schedules (probabilistic and scripted), the
+:class:`FaultInjectingBackend` decorator that applies them at the
+backend's named sites, and the :class:`RetryPolicy` data the store's
+retry loop runs under.
+
+Import order note: ``policy`` and ``retry`` must load before ``backend``
+— ``backend`` imports :mod:`repro.bulk.backends`, whose package pulls in
+:mod:`repro.bulk.store`, which in turn imports this package's ``policy``
+and ``retry`` modules.  Loading them first keeps that cycle acyclic at
+module granularity.
+"""
+
+from repro.faults.policy import FAULT_KINDS, FAULT_SITES, FaultPolicy, ScriptedFault
+from repro.faults.retry import RetryPolicy
+from repro.faults.backend import FaultInjectingBackend
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultInjectingBackend",
+    "FaultPolicy",
+    "RetryPolicy",
+    "ScriptedFault",
+]

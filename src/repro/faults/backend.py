@@ -1,0 +1,104 @@
+"""A fault-injecting decorator over any :class:`~repro.bulk.backends.SqlBackend`.
+
+The wrapper is transparent: ``name``, rendering, concurrency capabilities
+and error classification all mirror the inner backend, so reports and
+assertions written against the real backend keep holding under injection.
+Faults fire *before* the delegated call — an injected failure never
+half-applies a statement, which keeps the chaos suite's byte-identity
+oracle honest (the real store state is exactly what the successful calls
+produced).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bulk.backends import SqlBackend
+from repro.faults.policy import FaultPolicy
+
+__all__ = ["FaultInjectingBackend"]
+
+
+class _FaultCursor:
+    """Cursor proxy that consults the policy before execute/executemany."""
+
+    def __init__(self, cursor, policy: FaultPolicy, shard: Optional[int]) -> None:
+        self._cursor = cursor
+        self._policy = policy
+        self._shard = shard
+
+    def execute(self, sql, parameters=()):
+        self._policy.check("execute", self._shard)
+        return self._cursor.execute(sql, parameters)
+
+    def executemany(self, sql, rows):
+        self._policy.check("executemany", self._shard)
+        return self._cursor.executemany(sql, rows)
+
+    def __getattr__(self, name):
+        return getattr(self._cursor, name)
+
+
+class _FaultConnection:
+    """Connection proxy: fault-checks commit, hands out fault cursors."""
+
+    def __init__(self, connection, policy: FaultPolicy, shard: Optional[int]) -> None:
+        self._connection = connection
+        self._policy = policy
+        self._shard = shard
+
+    def cursor(self) -> _FaultCursor:
+        return _FaultCursor(self._connection.cursor(), self._policy, self._shard)
+
+    def commit(self) -> None:
+        self._policy.check("commit", self._shard)
+        self._connection.commit()
+
+    def __getattr__(self, name):
+        return getattr(self._connection, name)
+
+
+class FaultInjectingBackend(SqlBackend):
+    """Wrap ``inner`` so its connections fail according to ``policy``.
+
+    ``shard`` labels this backend's fault streams — a sharded store wraps
+    each shard's backend with its shard index so scripted faults can
+    target "statement N on shard S" exactly.
+    """
+
+    def __init__(
+        self,
+        inner: SqlBackend,
+        policy: FaultPolicy,
+        shard: Optional[int] = None,
+    ) -> None:
+        self.inner = inner
+        self.policy = policy
+        self.shard = shard
+
+    @property
+    def name(self) -> str:
+        # Mirror the inner backend: injection must not change reports.
+        return self.inner.name
+
+    @property
+    def supports_concurrent_replay(self) -> bool:
+        return self.inner.supports_concurrent_replay
+
+    @property
+    def supports_concurrent_statements(self) -> bool:
+        return self.inner.supports_concurrent_statements
+
+    @property
+    def faults_injected(self) -> int:
+        return self.policy.faults_injected
+
+    def connect(self):
+        self.policy.check("connect", self.shard)
+        return _FaultConnection(self.inner.connect(), self.policy, self.shard)
+
+    def render(self, sql: str) -> str:
+        return self.inner.render(sql)
+
+    def classify_error(self, error: BaseException):
+        return self.inner.classify_error(error)

@@ -1,0 +1,227 @@
+"""Deterministic fault policies for chaos testing the execution engine.
+
+A :class:`FaultPolicy` decides, at named *sites* in the backend layer
+(``connect``, ``execute``, ``executemany``, ``commit``), whether the next
+call should fail and with which classified error.  Decisions are fully
+deterministic: every ``(site, shard)`` pair gets its own seeded RNG stream
+and its own call counter, so the same policy configuration replays the
+same fault schedule run after run, across thread interleavings, regardless
+of how other streams advance.
+
+Two triggering mechanisms compose:
+
+* **probabilistic** — each call at an enabled site draws from the stream's
+  RNG and fails with probability ``probability`` (or a per-site override
+  from ``probabilities``);
+* **scripted** — a :class:`ScriptedFault` pins "fail call *index* at
+  *site* (on *shard*)" exactly, for reproducing a specific crash point.
+
+The injected exceptions are the classified errors from
+:mod:`repro.core.errors` so the production retry/rollback/quarantine
+machinery — not test-only code — handles them.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.errors import (
+    BackendUnavailable,
+    BulkProcessingError,
+    StatementTimeout,
+    TransientBackendError,
+)
+
+__all__ = ["FAULT_SITES", "FAULT_KINDS", "ScriptedFault", "FaultPolicy"]
+
+#: The named injection sites, in backend-call order.
+FAULT_SITES: Tuple[str, ...] = ("connect", "execute", "executemany", "commit")
+
+#: Classified error raised for each fault kind.
+FAULT_KINDS: Mapping[str, type] = {
+    "transient": TransientBackendError,
+    "timeout": StatementTimeout,
+    "unavailable": BackendUnavailable,
+}
+
+
+@dataclass(frozen=True)
+class ScriptedFault:
+    """Fail exactly the ``index``-th call (0-based) at ``site``.
+
+    ``shard=None`` matches the un-sharded stream; an integer matches only
+    that shard's stream.  ``kind`` picks the classified error raised.
+    """
+
+    site: str
+    index: int
+    shard: Optional[int] = None
+    kind: str = "transient"
+
+    def __post_init__(self) -> None:
+        if self.site not in FAULT_SITES:
+            raise BulkProcessingError(
+                f"unknown fault site {self.site!r}; expected one of {FAULT_SITES}"
+            )
+        if self.kind not in FAULT_KINDS:
+            raise BulkProcessingError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {tuple(FAULT_KINDS)}"
+            )
+
+
+@dataclass
+class FaultPolicy:
+    """Seeded, per-site fault-injection policy.
+
+    ``probability`` applies to every site in ``sites``; ``probabilities``
+    overrides it per site.  ``schedule`` adds scripted faults on top.
+    ``max_faults`` caps the total number of injected failures (scripted
+    and probabilistic combined) — handy for "fail once, then recover"
+    scenarios.
+    """
+
+    seed: int = 0
+    probability: float = 0.0
+    probabilities: Optional[Mapping[str, float]] = None
+    schedule: Sequence[ScriptedFault] = ()
+    kind: str = "transient"
+    sites: Sequence[str] = ("execute", "executemany")
+    max_faults: Optional[int] = None
+
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+    _calls: Dict[Tuple[str, Optional[int]], int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _rngs: Dict[Tuple[str, Optional[int]], random.Random] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    _injected: int = field(default=0, repr=False, compare=False)
+    _per_site: Dict[str, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise BulkProcessingError(
+                f"unknown fault kind {self.kind!r}; "
+                f"expected one of {tuple(FAULT_KINDS)}"
+            )
+        for site in self.sites:
+            if site not in FAULT_SITES:
+                raise BulkProcessingError(
+                    f"unknown fault site {site!r}; expected one of {FAULT_SITES}"
+                )
+        for fault in self.schedule:
+            if not isinstance(fault, ScriptedFault):
+                raise BulkProcessingError(
+                    f"schedule entries must be ScriptedFault, got {fault!r}"
+                )
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None):
+        """The environment-gated chaos policy, or ``None`` when disabled.
+
+        ``REPRO_FAULT_SEED`` enables injection (its value seeds the RNG);
+        ``REPRO_FAULT_P`` sets the per-statement probability (default
+        0.05).  Only transient faults at the statement sites are injected
+        — the default retry policy absorbs them, so an env-chaos test run
+        exercises the retry path without changing any test's outcome.
+        """
+        env = os.environ if environ is None else environ
+        raw_seed = env.get("REPRO_FAULT_SEED")
+        if raw_seed in (None, ""):
+            return None
+        try:
+            seed = int(raw_seed)
+        except ValueError:
+            raise BulkProcessingError(
+                f"REPRO_FAULT_SEED must be an integer, got {raw_seed!r}"
+            )
+        probability = float(env.get("REPRO_FAULT_P", "0.05"))
+        return cls(
+            seed=seed,
+            probability=probability,
+            kind="transient",
+            sites=("execute", "executemany"),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decision point                                                     #
+    # ------------------------------------------------------------------ #
+
+    def check(self, site: str, shard: Optional[int] = None) -> None:
+        """Raise the classified error if this call should fail.
+
+        Called by :class:`~repro.faults.backend.FaultInjectingBackend`
+        before delegating to the real backend.  Thread-safe; every
+        ``(site, shard)`` stream counts and draws independently.
+        """
+        with self._lock:
+            stream = (site, shard)
+            index = self._calls.get(stream, 0)
+            self._calls[stream] = index + 1
+
+            if self.max_faults is not None and self._injected >= self.max_faults:
+                return
+
+            kind = None
+            for fault in self.schedule:
+                if (
+                    fault.site == site
+                    and fault.shard == shard
+                    and fault.index == index
+                ):
+                    kind = fault.kind
+                    break
+
+            if kind is None and site in self.sites:
+                probability = self.probability
+                if self.probabilities is not None:
+                    probability = self.probabilities.get(site, probability)
+                if probability > 0.0:
+                    rng = self._rngs.get(stream)
+                    if rng is None:
+                        rng = random.Random(f"{self.seed}:{site}:{shard}")
+                        self._rngs[stream] = rng
+                    if rng.random() < probability:
+                        kind = self.kind
+
+            if kind is None:
+                return
+            self._injected += 1
+            self._per_site[site] = self._per_site.get(site, 0) + 1
+
+        label = site if shard is None else f"{site}@shard{shard}"
+        raise FAULT_KINDS[kind](
+            f"injected {kind} fault at {label} (call #{index})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+
+    @property
+    def faults_injected(self) -> int:
+        """Total faults raised so far, across all streams."""
+        with self._lock:
+            return self._injected
+
+    def faults_by_site(self) -> Dict[str, int]:
+        """Injected-fault counts keyed by site name."""
+        with self._lock:
+            return dict(self._per_site)
+
+    def reset(self) -> None:
+        """Forget all counters and RNG streams (fresh deterministic replay)."""
+        with self._lock:
+            self._calls.clear()
+            self._rngs.clear()
+            self._per_site.clear()
+            self._injected = 0

@@ -1,0 +1,83 @@
+"""Retry policy: exponential backoff with deterministic jitter.
+
+The policy is *data*, not machinery: the retry loop itself lives in
+:meth:`repro.bulk.store.PossStore._run_statement`, the single funnel every
+statement passes through, so one policy governs bulk replay, delta
+application and schema setup alike.
+
+Determinism matters here for the same reason it does in
+:mod:`repro.faults.policy`: chaos tests must replay byte-identically.
+Jitter is therefore drawn from a seeded per-attempt RNG rather than the
+global random state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.errors import BulkProcessingError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with seeded jitter and a per-statement deadline.
+
+    * ``max_attempts`` — total tries per statement (first run included).
+    * ``base_delay`` / ``max_delay`` — backoff grows ``base * 2**(n-1)``
+      and is capped at ``max_delay`` (seconds).
+    * ``jitter_seed`` — seeds the deterministic jitter stream; jitter adds
+      up to ``base_delay / 2`` per sleep.
+    * ``deadline`` — optional wall-clock budget (seconds) for one logical
+      statement across all of its attempts; exceeding it raises
+      :class:`~repro.core.errors.StatementTimeout`.
+    """
+
+    max_attempts: int = 6
+    base_delay: float = 0.001
+    max_delay: float = 0.05
+    jitter_seed: int = 0
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise BulkProcessingError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.base_delay < 0 or self.max_delay < 0:
+            raise BulkProcessingError("backoff delays must be non-negative")
+        if self.deadline is not None and self.deadline <= 0:
+            raise BulkProcessingError(
+                f"deadline must be positive, got {self.deadline}"
+            )
+
+    @classmethod
+    def default(cls) -> "RetryPolicy":
+        """The store's default policy: six attempts, millisecond backoff.
+
+        At the chaos suite's p=0.05 transient-fault rate, six attempts
+        drive the per-statement failure probability to ``0.05**6``
+        (about 1.6e-8) while keeping worst-case added latency under a
+        quarter second.
+        """
+        return cls()
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A no-retry policy (single attempt, fail fast)."""
+        return cls(max_attempts=1)
+
+    def delay(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based), in seconds."""
+        if attempt < 1:
+            raise BulkProcessingError(f"attempt must be >= 1, got {attempt}")
+        backoff = min(self.base_delay * (2 ** (attempt - 1)), self.max_delay)
+        jitter = (
+            random.Random(f"{self.jitter_seed}:{attempt}").random()
+            * self.base_delay
+            * 0.5
+        )
+        return backoff + jitter

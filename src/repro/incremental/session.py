@@ -32,7 +32,13 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.core.beliefs import Value
-from repro.core.errors import BulkProcessingError, NetworkError
+from repro.core.errors import (
+    BackendError,
+    BackendUnavailable,
+    BulkProcessingError,
+    NetworkError,
+    ShardUnavailable,
+)
 from repro.core.gcpause import paused_gc
 from repro.core.network import TrustNetwork, User
 from repro.bulk.store import PossStore, ShardedPossStore
@@ -81,6 +87,12 @@ class DeltaApplyReport:
     #: Number of ops the batch held *before* coalescing (0 = no coalescing
     #: was attempted; equal to ``deltas`` = nothing merged).
     coalesced_from: int = 0
+    #: Whether the flush hit a backend failure and recovered — by
+    #: resynchronizing the relation from the in-memory state (single
+    #: store) or by quarantining a shard and queueing its fragment for
+    #: :meth:`IncrementalSession.recover_shard` (sharded store).  The
+    #: report's row/statement counters then describe the recovery writes.
+    recovered: bool = False
     logs: Tuple[Tuple[str, DeltaLog], ...] = field(default=(), repr=False)
 
 
@@ -154,6 +166,14 @@ class IncrementalSession:
                 for key in keys
             }
         self._default_key = str(keys[0])
+        #: Row-change fragments owed to quarantined shards, in apply order:
+        #: ``shard index -> [(deletes, inserts), ...]``.  Replayed (or
+        #: superseded by a slice rebuild) by :meth:`recover_shard`.
+        self._pending: Dict[int, List[Tuple[Dict[str, List[str]], List[Tuple[str, str, str]]]]] = {}
+        #: The coalesced ops of the batch currently being applied — recorded
+        #: *before* the store is touched, so a crash mid-apply leaves a
+        #: durable-in-memory record of what the relation must converge to.
+        self._pending_batch: Tuple[Delta, ...] = ()
         if autoload:
             self.load()
 
@@ -266,9 +286,14 @@ class IncrementalSession:
                 self._flush(logs)
             raise
 
-        users_changed, rows_deleted, rows_inserted, statements, transactions = (
-            self._flush(logs)
-        )
+        (
+            users_changed,
+            rows_deleted,
+            rows_inserted,
+            statements,
+            transactions,
+            recovered,
+        ) = self._flush(logs)
         return DeltaApplyReport(
             deltas=len(deltas),
             keys=len(self._resolvers),
@@ -283,6 +308,7 @@ class IncrementalSession:
             pruned=sum(log.pruned for _key, log in logs),
             backend=self.store.backend_name,
             recomputes=len(logs),
+            recovered=recovered,
             logs=tuple(logs),
         )
 
@@ -339,6 +365,10 @@ class IncrementalSession:
 
         logs: List[Tuple[str, DeltaLog]] = []
         structural_touched: Dict[int, Tuple[User, ...]] = {}
+        # Crash-consistency record: the net batch is pinned before any
+        # resolver or store state mutates, so a failure at any later point
+        # can rebuild/resync to the exact post-batch state.
+        self._pending_batch = tuple(ops)
         try:
             with paused_gc():
                 first = True
@@ -386,11 +416,18 @@ class IncrementalSession:
             for resolver in self._resolvers.values():
                 resolver.rebuild()
             self.resync()
+            self._pending_batch = ()
             raise
 
-        users_changed, rows_deleted, rows_inserted, statements, transactions = (
-            self._flush(logs)
-        )
+        (
+            users_changed,
+            rows_deleted,
+            rows_inserted,
+            statements,
+            transactions,
+            recovered,
+        ) = self._flush(logs)
+        self._pending_batch = ()
         return DeltaApplyReport(
             deltas=len(ops),
             keys=len(self._resolvers),
@@ -406,18 +443,28 @@ class IncrementalSession:
             backend=self.store.backend_name,
             recomputes=len(logs),
             coalesced_from=original_count,
+            recovered=recovered,
             logs=tuple(logs),
         )
 
     def _flush(
         self, logs: List[Tuple[str, DeltaLog]]
-    ) -> Tuple[int, int, int, int, int]:
+    ) -> Tuple[int, int, int, int, int, bool]:
         """Apply a batch of delta logs to the store in one run transaction.
 
         Returns ``(users_changed, rows_deleted, rows_inserted, statements,
-        transactions)``.  Per (key, user) only the *net* effect moves: the
-        first old value set is compared against the last new one, so a
-        batch that round-trips a user back to its old rows touches nothing.
+        transactions, recovered)``.  Per (key, user) only the *net* effect
+        moves: the first old value set is compared against the last new
+        one, so a batch that round-trips a user back to its old rows
+        touches nothing.
+
+        Crash consistency: the in-memory resolvers already hold the
+        post-batch state when this runs, so a backend failure here never
+        loses the batch — it only leaves the relation behind.  On a single
+        store the recovery is a full :meth:`resync`; on a sharded store the
+        failing shard is quarantined, its row-change fragment queued for
+        :meth:`recover_shard`, and the healthy shards' fragments retried,
+        so the serving subset converges to the exact post-batch state.
         """
         net: Dict[Tuple[str, str], RowChange] = {}
         for key, log in logs:
@@ -447,35 +494,219 @@ class IncrementalSession:
         statements_before = self.store.delta_statements
         transactions_before = self.store.transactions
         rows_deleted = rows_inserted = 0
+        recovered = False
         if deletes or inserts:
-            with self.store.transaction():
-                for key, users in deletes.items():
-                    rows_deleted += self.store.delete_user_rows(
-                        sorted(users), key=key
-                    )
-                rows_inserted += self.store.insert_rows(sorted(inserts))
+            if isinstance(self.store, ShardedPossStore):
+                rows_deleted, rows_inserted, recovered = self._flush_sharded(
+                    deletes, inserts
+                )
+            else:
+                try:
+                    with self.store.transaction():
+                        for key, users in deletes.items():
+                            rows_deleted += self.store.delete_user_rows(
+                                sorted(users), key=key
+                            )
+                        rows_inserted += self.store.insert_rows(sorted(inserts))
+                except BackendError:
+                    # The transaction rolled back (or the connection died
+                    # mid-flight); the resolvers hold the truth.  Reconcile
+                    # the whole relation from them — reconnecting first if
+                    # the connection itself is gone.
+                    self.store.ensure_available()
+                    self.resync()
+                    recovered = True
+                    rows_deleted = sum(len(users) for users in deletes.values())
+                    rows_inserted = len(inserts)
         return (
             users_changed,
             rows_deleted,
             rows_inserted,
             self.store.delta_statements - statements_before,
             self.store.transactions - transactions_before,
+            recovered,
         )
+
+    def _flush_sharded(
+        self,
+        deletes: Dict[str, List[str]],
+        inserts: List[Tuple[str, str, str]],
+    ) -> Tuple[int, int, bool]:
+        """Land net row changes on a sharded store, degrading per shard.
+
+        The batch's changes partition cleanly by the owning shard (deletes
+        route by object key, inserts by the row's key column), so a dead
+        shard costs only its own fragment: the fragment is queued in
+        ``self._pending`` for :meth:`recover_shard`, the shard is
+        quarantined, and the remaining fragments are retried in a fresh
+        healthy-shards transaction.  Returns ``(rows_deleted,
+        rows_inserted, recovered)``.
+        """
+        store = self.store
+        assert isinstance(store, ShardedPossStore)
+        fragments: Dict[int, Tuple[Dict[str, List[str]], List[Tuple[str, str, str]]]] = {}
+        for key, users in deletes.items():
+            index = store.spec.shard_of(key)
+            fragment = fragments.setdefault(index, ({}, []))
+            fragment[0][key] = sorted(users)
+        for row in sorted(inserts):
+            index = store.spec.shard_of(row[1])
+            fragment = fragments.setdefault(index, ({}, []))
+            fragment[1].append(row)
+
+        recovered = False
+        # Fragments owed to shards that are already quarantined go straight
+        # to the pending queue — the healthy shards' work proceeds.
+        for index in sorted(fragments):
+            if store.is_degraded(index):
+                self._pending.setdefault(index, []).append(fragments.pop(index))
+                recovered = True
+
+        rows_deleted = rows_inserted = 0
+        while fragments:
+            failed: Optional[int] = None
+            attempt_deleted = attempt_inserted = 0
+            try:
+                with store.transaction():
+                    for index in sorted(fragments):
+                        frag_deletes, frag_inserts = fragments[index]
+                        shard = store.shards[index]
+                        try:
+                            for key, users in frag_deletes.items():
+                                attempt_deleted += shard.delete_user_rows(
+                                    users, key=key
+                                )
+                            if frag_inserts:
+                                attempt_inserted += shard.insert_rows(frag_inserts)
+                        except BackendUnavailable:
+                            failed = index
+                            raise
+            except BackendUnavailable as error:
+                if failed is None and isinstance(error, ShardUnavailable):
+                    failed = error.shard
+                if failed is None:
+                    # Died at transaction BEGIN, before any fragment ran:
+                    # probe the serving shards to find the dead one (the
+                    # transaction spans all of them, not just the batch's
+                    # targets; ping() counts only unavailability as dead,
+                    # so an injected transient during the probe is
+                    # harmless).
+                    for index in range(store.spec.count):
+                        if store.is_degraded(index):
+                            continue
+                        if not store.shards[index].ping():
+                            failed = index
+                            break
+                if failed is None:
+                    # Unattributable failure — nothing sane to quarantine.
+                    raise
+                store.quarantine(failed)
+                if failed in fragments:
+                    self._pending.setdefault(failed, []).append(
+                        fragments.pop(failed)
+                    )
+                recovered = True
+                continue
+            rows_deleted += attempt_deleted
+            rows_inserted += attempt_inserted
+            break
+        return rows_deleted, rows_inserted, recovered
+
+    def pending_shards(self) -> Tuple[int, ...]:
+        """Shard indices with queued row-change fragments, sorted.
+
+        Non-empty only after a sharded flush degraded around a dead shard;
+        :meth:`recover_shard` drains an index's queue.
+        """
+        return tuple(sorted(self._pending))
+
+    def recover_shard(self, index: int) -> int:
+        """Heal a quarantined shard and bring its slice back in sync.
+
+        Heals the shard's availability (:meth:`ShardedPossStore.heal`,
+        which raises :class:`~repro.core.errors.ShardUnavailable` and
+        leaves it quarantined if the connection is still dead), replays the
+        row-change fragments queued while it was out, then *verifies* the
+        shard's slice against the in-memory state — a shard that lost its
+        data entirely (an in-memory backend that reconnected, a restored
+        stale snapshot) fails the check and gets its slice rebuilt from the
+        resolvers instead.  Returns the number of rows the healed slice
+        holds.
+        """
+        store = self.store
+        if not isinstance(store, ShardedPossStore):
+            raise BulkProcessingError(
+                "recover_shard() needs a ShardedPossStore-backed session"
+            )
+        store.heal(index)
+        shard = store.shards[index]
+        pending = self._pending.pop(index, [])
+        if pending:
+            with shard.transaction():
+                for frag_deletes, frag_inserts in pending:
+                    for key, users in frag_deletes.items():
+                        shard.delete_user_rows(users, key=key)
+                    if frag_inserts:
+                        shard.insert_rows(frag_inserts)
+        expected = sorted(
+            row for row in self.rows() if store.spec.shard_of(row[1]) == index
+        )
+        session_keys = set(self._resolvers)
+        actual = sorted(
+            (row.user, row.key, row.value)
+            for row in shard.possible_table()
+            if row.key in session_keys
+        )
+        if actual != expected:
+            # The journal replay was not enough (the shard lost committed
+            # rows, or missed writes that pre-date the quarantine): rebuild
+            # the slice wholesale from the in-memory truth.
+            users = sorted(
+                shard.users() | {row[0] for row in expected}
+            )
+            with shard.transaction():
+                for key in session_keys:
+                    if store.spec.shard_of(key) == index:
+                        shard.delete_user_rows(users, key=key)
+                if expected:
+                    shard.insert_rows(expected)
+        return len(expected)
 
     def resync(self) -> int:
         """Rebuild the store content from the in-memory state.
 
         The recovery path for a failed store transaction (the one case
         where the relation can fall behind the resolvers): clears every
-        maintained key's rows and reloads them from the resolvers.
+        maintained key's rows and reloads them from the resolvers.  On a
+        degraded sharded store only the serving shards resync — the
+        quarantined shards' slices are :meth:`recover_shard`'s job — and
+        the returned row count covers the serving shards only.
         """
-        with self.store.transaction():
+        store = self.store
+        rows = self.rows()
+        if isinstance(store, ShardedPossStore) and store.degraded_shards:
+            with store.transaction():
+                for shard_index in range(store.spec.count):
+                    if store.is_degraded(shard_index):
+                        continue
+                    shard = store.shards[shard_index]
+                    users = sorted(shard.users())
+                    for key in self._resolvers:
+                        if store.spec.shard_of(key) == shard_index:
+                            shard.delete_user_rows(users, key=key)
+                    shard.insert_rows(
+                        [
+                            row
+                            for row in rows
+                            if store.spec.shard_of(row[1]) == shard_index
+                        ]
+                    )
+            return store.row_count()
+        with store.transaction():
             for key in self._resolvers:
-                self.store.delete_user_rows(
-                    sorted(self.store.users()), key=key
-                )
-            self.store.insert_rows(self.rows())
-        return self.store.row_count()
+                store.delete_user_rows(sorted(store.users()), key=key)
+            store.insert_rows(rows)
+        return store.row_count()
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                           #

@@ -18,7 +18,12 @@ from repro.bulk.backends import (
     sqlite_backend,
 )
 from repro.bulk.store import PossStore
-from repro.core.errors import BulkProcessingError
+from repro.core.errors import (
+    BackendError,
+    BackendUnavailable,
+    BulkProcessingError,
+    TransientBackendError,
+)
 
 
 class TestIndexStrategies:
@@ -329,3 +334,156 @@ class TestDbApiRenderingThroughTheStore:
         with store.transaction():
             store.copy_from_parent("c", "a")
         assert connection.commits == commits_before + 1
+
+
+class TestErrorClassification:
+    """The single classification funnel: hook first, then generic rules."""
+
+    def test_classifier_hook_takes_precedence(self):
+        class OperationalError(Exception):
+            """psycopg-style driver error (name-heuristic: transient)."""
+
+        def classifier(error):
+            if "server closed" in str(error):
+                return BackendUnavailable
+            return None
+
+        backend = DbApiBackend(lambda: FakeConnection(), error_classifier=classifier)
+        # The hook overrides the OperationalError name heuristic...
+        assert (
+            backend.classify_error(OperationalError("server closed the connection"))
+            is BackendUnavailable
+        )
+        # ...and falls through to it when it declines.
+        assert (
+            backend.classify_error(OperationalError("deadlock detected"))
+            is TransientBackendError
+        )
+
+    def test_mro_name_heuristics(self):
+        class InterfaceError(Exception):
+            pass
+
+        class DatabaseError(Exception):
+            pass
+
+        backend = DbApiBackend(lambda: FakeConnection())
+        assert backend.classify_error(InterfaceError("gone")) is BackendUnavailable
+        assert backend.classify_error(DatabaseError("broken")) is BackendError
+        assert backend.classify_error(ValueError("not a driver error")) is None
+
+    def test_sqlite_over_dbapi_is_not_name_heuristic_transient(self):
+        """sqlite raises OperationalError for plain SQL mistakes ("no such
+        table"); the message-based sqlite rules must win over the
+        OperationalError name heuristic, or programming errors would
+        retry."""
+        backend = DbApiBackend(lambda: FakeConnection())
+        assert (
+            backend.classify_error(sqlite3.OperationalError("no such table: NOPE"))
+            is BackendError
+        )
+        assert (
+            backend.classify_error(sqlite3.OperationalError("database is locked"))
+            is TransientBackendError
+        )
+
+    def test_already_classified_errors_pass_through(self):
+        backend = DbApiBackend(lambda: FakeConnection())
+        assert (
+            backend.classify_error(TransientBackendError("x"))
+            is TransientBackendError
+        )
+
+    def test_raw_driver_errors_surface_classified_from_the_store(self):
+        """End to end: a raw driver exception escaping a statement reaches
+        the caller as a classified ``core.errors`` type, never raw."""
+        with PossStore() as store:
+            with pytest.raises(BackendError):
+                store._execute("SELECT * FROM NO_SUCH_TABLE")
+
+
+class RecordingDeadConnection(FakeConnection):
+    """A fake connection that can die in place: once ``dead`` is set, every
+    cursor operation raises an InterfaceError-named driver exception (the
+    name heuristics classify it unavailable)."""
+
+    class InterfaceError(Exception):
+        pass
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.dead = False
+
+    def cursor(self):
+        if self.dead:
+            raise self.InterfaceError("connection already closed")
+        return _DeadableCursor(self)
+
+
+class _DeadableCursor(FakeCursor):
+    def execute(self, sql, parameters=()):
+        if self._connection.dead:
+            raise RecordingDeadConnection.InterfaceError(
+                "connection already closed"
+            )
+        return super().execute(sql, parameters)
+
+
+class TestRunStartHealthCheck:
+    """Satellite: the executor health-checks (and reconnects once) at run
+    start, so a died-while-idle connection heals before any statement."""
+
+    def _resolver(self, connections):
+        def factory():
+            connection = RecordingDeadConnection()
+            connections.append(connection)
+            return connection
+
+        backend = DbApiBackend(factory, name="fake-health")
+        from repro.bulk.executor import BulkResolver
+        from repro.workloads.bulkload import (
+            BELIEF_USERS,
+            figure19_network,
+            generate_objects,
+        )
+
+        resolver = BulkResolver(
+            figure19_network(),
+            store=PossStore(backend=backend),
+            explicit_users=BELIEF_USERS,
+        )
+        resolver.load_beliefs(generate_objects(2, seed=1))
+        return resolver
+
+    def test_dead_connection_reconnects_once_at_run_start(self):
+        connections = []
+        resolver = self._resolver(connections)
+        assert len(connections) == 1
+        connections[0].dead = True  # dies while idle, before the run
+        resolver.run()
+        # One reconnect: a second factory connection, schema re-run on it,
+        # and the whole plan executed there.
+        assert len(connections) == 2
+        assert resolver.store.reconnects == 1
+        replacement_sql = [sql for sql, _params in connections[1].statements]
+        assert any(sql.startswith("CREATE TABLE") for sql in replacement_sql)
+        assert any(sql.startswith("INSERT INTO POSS") for sql in replacement_sql)
+
+    def test_still_dead_after_reconnect_raises_unavailable(self):
+        connections = []
+        resolver = self._resolver(connections)
+        for connection in connections:
+            connection.dead = True
+        # Every future factory connection is dead on arrival too.
+        original_cursor = RecordingDeadConnection.cursor
+
+        def dead_cursor(self):
+            raise RecordingDeadConnection.InterfaceError("no route to host")
+
+        RecordingDeadConnection.cursor = dead_cursor
+        try:
+            with pytest.raises(BackendUnavailable):
+                resolver.run()
+        finally:
+            RecordingDeadConnection.cursor = original_cursor
+        assert resolver.store.reconnects <= 1

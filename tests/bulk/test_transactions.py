@@ -4,7 +4,12 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bulk.executor import BulkResolver, SkepticBulkResolver
+from repro.bulk.executor import (
+    SCHEDULERS,
+    BulkResolver,
+    ConcurrentBulkResolver,
+    SkepticBulkResolver,
+)
 from repro.bulk.store import PossStore
 from repro.core.errors import BulkProcessingError
 from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
@@ -138,6 +143,43 @@ class TestRunTransactionSemantics:
         resolver.plan.steps.pop()
         report = resolver.run()
         assert report.transactions == 1
+        resolver.store.close()
+
+
+class TestRollbackUnderPipelining:
+    """The rollback guarantee holds under every scheduler × shard layout."""
+
+    @pytest.mark.parametrize("shards", (1, 2, 4))
+    @pytest.mark.parametrize("scheduler", SCHEDULERS)
+    def test_failed_run_restores_pre_run_state(self, scheduler, shards):
+        network = figure19_network()
+        if shards == 1:
+            resolver = BulkResolver(
+                network,
+                explicit_users=BELIEF_USERS,
+                scheduler=scheduler,
+                workers=2,
+            )
+        else:
+            resolver = ConcurrentBulkResolver(
+                network,
+                shards=shards,
+                explicit_users=BELIEF_USERS,
+                scheduler=scheduler,
+            )
+        resolver.load_beliefs(generate_objects(10, seed=5))
+        before = sorted(resolver.store.possible_table())
+        # Corrupt the plan mid-way: real statements have already executed
+        # inside the run transaction(s) when the unknown step is hit.
+        resolver.plan.steps.insert(len(resolver.plan.steps) // 2, "not-a-step")
+        with pytest.raises(BulkProcessingError):
+            resolver.run()
+        assert sorted(resolver.store.possible_table()) == before
+        assert not resolver.store.in_transaction
+        # The store is reusable: the repaired plan runs to completion.
+        resolver.plan.steps.remove("not-a-step")
+        report = resolver.run()
+        assert report.rows_inserted > 0
         resolver.store.close()
 
 

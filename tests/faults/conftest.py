@@ -1,0 +1,52 @@
+"""Shared helpers for the fault-tolerance test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def serialized_relation():
+    """The byte-level equivalence oracle shared with the bulk suite: the
+    full POSS relation of a store (single or sharded) as one canonical
+    byte string.  Every chaos test compares a faulted run against its
+    fault-free twin through this single serialization.
+    """
+
+    def serialize(store) -> bytes:
+        rows = sorted(store.possible_table())
+        return "\n".join(
+            f"{row.user}|{row.key}|{row.value}" for row in rows
+        ).encode()
+
+    return serialize
+
+
+@pytest.fixture
+def kill_shard():
+    """Take one shard of a ShardedPossStore out of service, durably.
+
+    Closes the shard's live connection and wraps its backend so the next
+    ``dead_connects`` reconnect attempts fail with an injected
+    unavailability — the shard stays dead through the single-reconnect
+    healing in ``ensure_available`` until the scripted faults run out,
+    after which ``heal()`` / ``recover_shard()`` succeed (on a fresh,
+    empty in-memory database, exercising the rebuild path).
+    """
+    from repro.faults import FaultInjectingBackend, FaultPolicy, ScriptedFault
+
+    def kill(store, index: int, dead_connects: int = 3):
+        shard = store.shards[index]
+        policy = FaultPolicy(
+            schedule=[
+                ScriptedFault("connect", i, shard=index, kind="unavailable")
+                for i in range(dead_connects)
+            ]
+        )
+        shard._backend = FaultInjectingBackend(
+            shard._backend, policy, shard=index
+        )
+        shard._connection.close()
+        return policy
+
+    return kill

@@ -215,3 +215,43 @@ def test_unified_engine_round_trip():
         report = engine.apply(SetBelief("source", "w"))
         assert report.operation == "apply"
         assert engine.query("mirror") == frozenset({"w"})
+
+
+FAULTS_API = [
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultInjectingBackend",
+    "FaultPolicy",
+    "RetryPolicy",
+    "ScriptedFault",
+]
+
+
+def test_faults_surface_is_locked():
+    import repro.faults
+
+    assert sorted(repro.faults.__all__) == FAULTS_API
+    for name in repro.faults.__all__:
+        assert hasattr(repro.faults, name), name
+
+
+def test_fault_tolerant_round_trip():
+    """Injected transient faults are absorbed behind the public surface."""
+    from repro import ResolutionEngine
+    from repro.bulk import PossStore, SqliteMemoryBackend
+    from repro.faults import FaultInjectingBackend, FaultPolicy, RetryPolicy
+
+    tn = TrustNetwork()
+    tn.add_trust("mirror", "source", priority=1)
+    tn.set_explicit_belief("source", "v")
+    store = PossStore(
+        backend=FaultInjectingBackend(
+            SqliteMemoryBackend(),
+            FaultPolicy(seed=3, probability=0.2, sites=("execute",)),
+        ),
+        retry_policy=RetryPolicy(max_attempts=8, base_delay=0.0, max_delay=0.0),
+    )
+    with ResolutionEngine.open(tn, store=store) as engine:
+        report = engine.materialize()
+        assert engine.query("mirror") == frozenset({"v"})
+        assert report.retries == report.faults_injected
