@@ -19,7 +19,14 @@ The package splits the bulk path into four layers:
   shards;
 * :mod:`repro.bulk.planpatch` — patches a plan's affected region after a
   structural delta instead of re-planning the network
-  (:func:`patch_plan`, consumed by :class:`repro.engine.ResolutionEngine`).
+  (:func:`patch_plan`, consumed by :class:`repro.engine.ResolutionEngine`);
+* :mod:`repro.bulk.compile` / :mod:`repro.bulk.sql` — compiles a plan into
+  contiguous *regions* (:func:`compile_plan`): runs of acyclic copies
+  collapse into one recursive-CTE statement each, flood steps into one
+  window-function stage each, with statement-at-a-time replay as the
+  per-region fallback on dialects that lack the feature.  The ``compiled``
+  scheduler in :mod:`repro.bulk.executor` drives them;
+  :func:`splice_compiled` carries a compiled plan across a patch.
 """
 
 from repro.bulk.backends import (
@@ -34,6 +41,7 @@ from repro.bulk.backends import (
     SqliteFileBackend,
     SqliteMemoryBackend,
 )
+from repro.bulk.compile import CompiledPlan, CompiledRegion, compile_plan
 from repro.bulk.executor import (
     SCHEDULERS,
     BulkResolver,
@@ -53,7 +61,8 @@ from repro.bulk.planner import (
     plan_resolution,
     plan_skeptic_resolution,
 )
-from repro.bulk.planpatch import PlanPatch, patch_plan
+from repro.bulk.planpatch import PlanPatch, patch_plan, splice_compiled
+from repro.bulk.sql import SqlDialect, resolve_dialect, sqlite_dialect
 from repro.bulk.store import BOTTOM_VALUE, PossRow, PossStore, ShardedPossStore
 
 __all__ = [
@@ -62,6 +71,8 @@ __all__ = [
     "BulkResolver",
     "BulkRunReport",
     "COVERING_INDEX",
+    "CompiledPlan",
+    "CompiledRegion",
     "ConcurrentBulkResolver",
     "CopyStep",
     "DagNode",
@@ -81,11 +92,16 @@ __all__ = [
     "ShardedPossStore",
     "SkepticBulkResolver",
     "SqlBackend",
+    "SqlDialect",
     "SqliteFileBackend",
     "SqliteMemoryBackend",
+    "compile_plan",
     "patch_plan",
     "plan_dag",
     "plan_resolution",
     "plan_skeptic_resolution",
     "replay_dag",
+    "resolve_dialect",
+    "splice_compiled",
+    "sqlite_dialect",
 ]

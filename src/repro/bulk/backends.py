@@ -37,6 +37,7 @@ from repro.core.errors import (
     BulkProcessingError,
     TransientBackendError,
 )
+from repro.bulk.sql import SqlDialect, resolve_dialect, sqlite_dialect
 
 # --------------------------------------------------------------------------- #
 # shard routing                                                                #
@@ -283,6 +284,28 @@ class SqlBackend:
     #: overlaps, statements do not).
     supports_concurrent_statements: bool = False
 
+    @property
+    def compiled_dialect(self) -> "SqlDialect | None":
+        """The engine's region-compilation dialect, or ``None``.
+
+        A dialect (see :mod:`repro.bulk.sql`) lets the compiled scheduler
+        push whole plan regions into the engine as recursive CTEs and
+        window-function passes.  ``None`` — the conservative default for
+        unknown engines — makes every region fall back to
+        statement-at-a-time replay.
+        """
+        return None
+
+    @property
+    def supports_compiled_regions(self) -> bool:
+        """Whether the engine evaluates both compiled region shapes natively."""
+        dialect = self.compiled_dialect
+        return (
+            dialect is not None
+            and dialect.supports_copy_regions
+            and dialect.supports_flood_stages
+        )
+
     def connect(self) -> Any:
         """Open and return a DB-API 2.0 connection."""
         raise NotImplementedError
@@ -310,6 +333,10 @@ class SqliteMemoryBackend(SqlBackend):
     """An in-memory ``sqlite3`` database (the default, used by benchmarks)."""
 
     name = "sqlite-memory"
+
+    @property
+    def compiled_dialect(self) -> "SqlDialect | None":
+        return sqlite_dialect()
 
     def connect(self) -> sqlite3.Connection:
         """Open a fresh private in-memory database."""
@@ -346,6 +373,10 @@ class SqliteFileBackend(SqlBackend):
                 "use SqliteMemoryBackend for in-memory databases"
             )
         self.path = path
+
+    @property
+    def compiled_dialect(self) -> "SqlDialect | None":
+        return sqlite_dialect()
 
     def connect(self) -> sqlite3.Connection:
         """Open (creating if necessary) the database file at ``path``."""
@@ -404,6 +435,13 @@ class DbApiBackend(SqlBackend):
         for unknown drivers; the pipelined executor then serializes
         statement execution behind a lock while still scheduling without
         stage barriers.
+    dialect:
+        The engine's region-compilation dialect: a
+        :class:`~repro.bulk.sql.SqlDialect`, one of the names ``"sqlite"``
+        / ``"postgres"``, or ``None`` (the default — compiled regions fall
+        back to statement-at-a-time replay on this backend).  The compiled
+        statements are rendered through :meth:`render` like every other
+        statement, so any supported paramstyle works.
     """
 
     _SUPPORTED = ("qmark", "format", "numeric")
@@ -416,6 +454,7 @@ class DbApiBackend(SqlBackend):
         supports_concurrent_replay: bool = True,
         supports_concurrent_statements: bool = False,
         error_classifier: "Callable[[BaseException], type | None] | None" = None,
+        dialect: "SqlDialect | str | None" = None,
     ) -> None:
         if paramstyle not in self._SUPPORTED:
             raise BulkProcessingError(
@@ -428,6 +467,11 @@ class DbApiBackend(SqlBackend):
         self.supports_concurrent_replay = supports_concurrent_replay
         self.supports_concurrent_statements = supports_concurrent_statements
         self.error_classifier = error_classifier
+        self._dialect = resolve_dialect(dialect)
+
+    @property
+    def compiled_dialect(self) -> "SqlDialect | None":
+        return self._dialect
 
     def connect(self) -> Any:
         """Open a connection through the caller-supplied factory."""

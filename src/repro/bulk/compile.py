@@ -1,0 +1,216 @@
+"""Region compiler: resolution plans → set-based SQL regions.
+
+Statement-at-a-time replay executes one SQL statement per plan step, so a
+400-step chain plan costs 400 driver round trips even though the work is a
+single transitive closure the database could evaluate by itself.  This
+module partitions the step sequence of a :class:`~repro.bulk.planner
+.ResolutionPlan` into *compiled regions*:
+
+``copy`` regions
+    A maximal run of consecutive (grouped) copy steps.  All copy edges of
+    the run are handed to the engine as one recursive CTE
+    (:meth:`~repro.bulk.sql.SqlDialect.copy_region_statement`): the edges
+    form a forest rooted at the region's closed frontier — every child is
+    closed exactly once by Algorithm 1, so recursion from the frontier
+    reaches each child's rows without ever reading a row the region itself
+    has not yet derived.  The acyclic portion of a chain plan therefore
+    executes as a *single* statement.
+
+``flood`` regions
+    A maximal run of consecutive unblocked flood steps whose parents are
+    disjoint from the members of every flood already in the region (local
+    independence).  Such a stage reads only rows committed before the
+    region, so one window-function pass
+    (:meth:`~repro.bulk.sql.SqlDialect.flood_stage_statement`) floods all
+    members at once.  A flood that reads an earlier flood's members starts
+    a new region — preserving the replay's stage-by-stage semantics.
+
+``replay`` regions
+    Steps the compiler cannot express as one statement: blocked (Skeptic)
+    floods, and single steps whose parameter count alone exceeds the bind
+    limit.  They execute exactly as the sequential replay would.
+
+Regions partition the plan's step sequence contiguously and in order, so
+any contiguous tail of steps can be recompiled independently — that is what
+:func:`repro.bulk.planpatch.splice_compiled` exploits to keep untouched
+regions of a patched plan compiled.  Each region also maps to one
+checkpoint journal marker (the plan index of its last step), which keeps
+the region the unit of retry and resume under fault injection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Set, Tuple
+
+from repro.core.errors import BulkProcessingError
+from repro.bulk.planner import (
+    CopyStep,
+    FloodStep,
+    GroupedCopyStep,
+    ResolutionPlan,
+)
+
+#: Compiled region kinds, in the order the compiler may emit them.
+REGION_KINDS = ("copy", "flood", "replay")
+
+#: Edge cap per copy region: two bound parameters per edge stays far below
+#: the historic sqlite limit of 999 bound parameters per statement.
+MAX_COPY_EDGES = 480
+
+#: (member, parent) pair cap per flood region, for the same bind limit.
+MAX_FLOOD_PAIRS = 480
+
+
+@dataclass(frozen=True)
+class CompiledRegion:
+    """One contiguous run of plan steps executed as (at most) one statement.
+
+    ``kind`` is one of :data:`REGION_KINDS`.  ``copy`` regions carry the
+    flattened ``(child, parent)`` edges, ``flood`` regions the flattened
+    ``(member, parent)`` pairs; ``replay`` regions carry neither and fall
+    back to statement-at-a-time execution of ``steps``.
+    """
+
+    kind: str
+    steps: Tuple[object, ...]
+    edges: Tuple[Tuple[str, str], ...] = ()
+    pairs: Tuple[Tuple[str, str], ...] = ()
+
+    def statement_count(self) -> int:
+        """Statements this region issues when executed compiled."""
+        if self.kind == "copy":
+            return 1 if self.edges else 0
+        if self.kind == "flood":
+            return 1 if self.pairs else 0
+        return self.replay_statement_count()
+
+    def replay_statement_count(self) -> int:
+        """Statements the same steps cost under sequential replay."""
+        return sum(step.statement_count() for step in self.steps)
+
+
+@dataclass(frozen=True)
+class CompiledPlan:
+    """A :class:`ResolutionPlan` partitioned into compiled regions."""
+
+    plan: ResolutionPlan
+    regions: Tuple[CompiledRegion, ...]
+
+    @property
+    def region_count(self) -> int:
+        return len(self.regions)
+
+    def statement_count(self) -> int:
+        """Statements the compiled execution issues on a capable engine."""
+        return sum(region.statement_count() for region in self.regions)
+
+    def replay_statement_count(self) -> int:
+        """Statements sequential replay of the same plan issues."""
+        return sum(region.replay_statement_count() for region in self.regions)
+
+    def statements_saved(self) -> int:
+        """Round trips avoided per lane by compiling (never negative)."""
+        return max(0, self.replay_statement_count() - self.statement_count())
+
+    def journal_markers(self) -> Tuple[int, ...]:
+        """One checkpoint marker per region: the plan index of its last step.
+
+        Regions partition the plan's steps contiguously, so the markers are
+        the cumulative step counts minus one — distinct by construction and
+        disjoint from the beliefs marker (-1) used by the executor.
+        """
+        markers: List[int] = []
+        position = 0
+        for region in self.regions:
+            position += len(region.steps)
+            markers.append(position - 1)
+        return tuple(markers)
+
+
+def compile_steps(steps: Iterable[object]) -> List[CompiledRegion]:
+    """Partition a step sequence into compiled regions, preserving order.
+
+    Any contiguous segment of a plan's causal step order is a valid input —
+    the compiler never looks beyond the segment — which is what allows
+    patched plans to recompile only their changed suffix.
+    """
+    regions: List[CompiledRegion] = []
+    copy_steps: List[object] = []
+    copy_edges: List[Tuple[str, str]] = []
+    flood_steps: List[object] = []
+    flood_pairs: List[Tuple[str, str]] = []
+    flood_members: Set[str] = set()
+
+    def flush_copy() -> None:
+        nonlocal copy_steps, copy_edges
+        if copy_steps:
+            regions.append(
+                CompiledRegion("copy", tuple(copy_steps), edges=tuple(copy_edges))
+            )
+            copy_steps, copy_edges = [], []
+
+    def flush_flood() -> None:
+        nonlocal flood_steps, flood_pairs, flood_members
+        if flood_steps:
+            regions.append(
+                CompiledRegion("flood", tuple(flood_steps), pairs=tuple(flood_pairs))
+            )
+            flood_steps, flood_pairs, flood_members = [], [], set()
+
+    for step in steps:
+        if isinstance(step, (CopyStep, GroupedCopyStep)):
+            flush_flood()
+            children = (
+                (step.child,) if isinstance(step, CopyStep) else tuple(step.children)
+            )
+            edges = [(str(child), str(step.parent)) for child in children]
+            if len(edges) > MAX_COPY_EDGES:
+                # A single step too wide for the bind limit: replay is
+                # already one statement for it, so compiling buys nothing.
+                flush_copy()
+                regions.append(CompiledRegion("replay", (step,)))
+                continue
+            if copy_edges and len(copy_edges) + len(edges) > MAX_COPY_EDGES:
+                flush_copy()
+            copy_steps.append(step)
+            copy_edges.extend(edges)
+        elif isinstance(step, FloodStep):
+            flush_copy()
+            if step.blocked:
+                # Skeptic floods filter per-member blocked values; keep the
+                # replay statement, which already encodes the block list.
+                flush_flood()
+                regions.append(CompiledRegion("replay", (step,)))
+                continue
+            members = tuple(str(member) for member in step.members)
+            parents = tuple(str(parent) for parent in step.parents)
+            if not members or not parents:
+                # Inserts nothing under replay; closing the members still
+                # fences later floods that read them into a new region.
+                flood_steps.append(step)
+                flood_members.update(members)
+                continue
+            pairs = [(member, parent) for member in members for parent in parents]
+            if len(pairs) > MAX_FLOOD_PAIRS:
+                flush_flood()
+                regions.append(CompiledRegion("replay", (step,)))
+                continue
+            independent = flood_members.isdisjoint(parents)
+            if flood_steps and (
+                not independent or len(flood_pairs) + len(pairs) > MAX_FLOOD_PAIRS
+            ):
+                flush_flood()
+            flood_steps.append(step)
+            flood_pairs.extend(pairs)
+            flood_members.update(members)
+        else:
+            raise BulkProcessingError(f"cannot compile unknown plan step {step!r}")
+    flush_copy()
+    flush_flood()
+    return regions
+
+
+def compile_plan(plan: ResolutionPlan) -> CompiledPlan:
+    """Compile a resolution plan into its region partition."""
+    return CompiledPlan(plan=plan, regions=tuple(compile_steps(plan.steps)))

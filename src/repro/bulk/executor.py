@@ -65,6 +65,7 @@ from repro.core.binarize import binarize
 from repro.core.errors import BackendUnavailable, BulkProcessingError
 from repro.core.network import TrustNetwork, User
 from repro.bulk.backends import ShardSpec
+from repro.bulk.compile import CompiledPlan, CompiledRegion, compile_plan
 from repro.faults.retry import RetryPolicy
 from repro.bulk.planner import (
     CopyStep,
@@ -77,8 +78,11 @@ from repro.bulk.planner import (
 )
 from repro.bulk.store import BOTTOM_VALUE, PossStore, ShardedPossStore
 
-#: The scheduler names a run report may carry.
-SCHEDULERS = ("pipelined", "stage-barrier")
+#: The scheduler names a run report may carry.  ``compiled`` executes the
+#: plan region by region (recursive CTEs / window passes pushed into the
+#: engine, see :mod:`repro.bulk.compile`); the other two replay the DAG
+#: statement-at-a-time.
+SCHEDULERS = ("pipelined", "stage-barrier", "compiled")
 
 #: Journal marker for "the explicit beliefs of this run are loaded".
 #: DAG node ids are non-negative, so -1 can never collide with one.
@@ -143,6 +147,12 @@ class BulkRunReport:
     #: DAG nodes skipped because a previous (interrupted) run of the same
     #: checkpoint id had already committed them.
     nodes_skipped: int = 0
+    #: Plan regions the ``compiled`` scheduler pushed into the engine as a
+    #: single statement (regions that fell back to replay do not count).
+    regions_compiled: int = 0
+    #: Statements the compiled run avoided versus statement-at-a-time
+    #: replay of the same plan, summed across shards (0 for replay runs).
+    statements_saved: int = 0
 
     def statements_per_shard(self) -> int:
         """Statements one shard's replay issued (the Section 4 invariant).
@@ -175,6 +185,49 @@ def _replay_step(store, step) -> Tuple[int, str]:
             )
         return store.flood_component(step.members, step.parents), "flood"
     raise BulkProcessingError(f"unknown plan step {step!r}")
+
+
+def _region_supported(store, region: CompiledRegion) -> bool:
+    """Whether ``store``'s dialect can evaluate this region as one statement."""
+    dialect = getattr(store, "compiled_dialect", None)
+    if dialect is None:
+        return False
+    if region.kind == "copy":
+        return bool(region.edges) and dialect.supports_copy_regions
+    if region.kind == "flood":
+        return bool(region.pairs) and dialect.supports_flood_stages
+    return False
+
+
+def _execute_region(
+    store, region: CompiledRegion, phase_seconds: Dict[str, float]
+) -> Tuple[int, bool]:
+    """Execute one compiled region on one store; returns (rows, compiled?).
+
+    Capability dispatch happens here, per region and per store: a region
+    the store's dialect can evaluate runs as one pushed-down statement;
+    anything else — ``replay`` regions, dialect gaps, empty regions —
+    replays the region's steps statement-at-a-time through the shared
+    :func:`_replay_step` dispatcher.  Either way the region's effect on the
+    relation is identical, which is what the differential suite locks.
+    """
+    if _region_supported(store, region):
+        started = time.perf_counter()
+        if region.kind == "copy":
+            rows = store.copy_region(region.edges)
+            phase = "copy"
+        else:
+            rows = store.flood_stage(region.pairs)
+            phase = "flood"
+        phase_seconds[phase] += time.perf_counter() - started
+        return rows, True
+    rows = 0
+    for step in region.steps:
+        started = time.perf_counter()
+        step_rows, phase = _replay_step(store, step)
+        rows += step_rows
+        phase_seconds[phase] += time.perf_counter() - started
+    return rows, False
 
 
 class _OverlapTracker:
@@ -400,6 +453,7 @@ class _PlanExecutor:
         scheduler: str = "pipelined",
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
+        compiled_plan: Optional[CompiledPlan] = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise BulkProcessingError(
@@ -413,6 +467,7 @@ class _PlanExecutor:
         self._retry_policy = retry_policy
         self._checkpoint = checkpoint
         self._dag: Optional[PlanDag] = None
+        self._compiled_plan = compiled_plan
 
     def _attach_store(self, store) -> None:
         """Bind the store, applying the caller's retry policy if any."""
@@ -428,6 +483,18 @@ class _PlanExecutor:
         if self._dag is None:
             self._dag = self.plan.dag()
         return self._dag
+
+    @property
+    def compiled(self) -> CompiledPlan:
+        """The plan's region partition (compiled once, cached).
+
+        A caller-maintained :class:`~repro.bulk.compile.CompiledPlan` (the
+        engine's incrementally spliced one) takes precedence; otherwise the
+        plan compiles on first use by the ``compiled`` scheduler.
+        """
+        if self._compiled_plan is None or self._compiled_plan.plan is not self.plan:
+            self._compiled_plan = compile_plan(self.plan)
+        return self._compiled_plan
 
     def _counters_before(self) -> Dict[str, int]:
         store = self.store
@@ -459,6 +526,10 @@ class _PlanExecutor:
         # Run-start health check: heal a died-while-idle connection (one
         # reconnect attempt) before the first statement of the run.
         store.ensure_available()
+        if self._scheduler == "compiled":
+            if self._checkpoint is not None:
+                return self._run_compiled_checkpointed()
+            return self._run_compiled()
         if self._checkpoint is not None:
             return self._run_checkpointed()
         started = time.perf_counter()
@@ -546,6 +617,119 @@ class _PlanExecutor:
             **self._fault_fields(fault_counters),
         )
 
+    def _run_compiled(self) -> BulkRunReport:
+        """Region-at-a-time execution: one pushed-down statement per region.
+
+        The plan's region partition (:attr:`compiled`) executes in order
+        inside the usual single run transaction.  Regions the store's
+        dialect cannot evaluate fall back to statement-at-a-time replay
+        individually, so the run always completes with the byte-identical
+        relation; ``statements_saved`` reports the round trips the capable
+        regions actually avoided.  A transient fault inside a region is
+        retried at the store's statement funnel — the region *is* one
+        statement, so statement retry and region retry coincide.
+        """
+        store = self.store
+        started = time.perf_counter()
+        statements_before = store.bulk_statements
+        transactions_before = store.transactions
+        fault_counters = self._counters_before()
+        compiled = self.compiled
+        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        rows = 0
+        regions_compiled = 0
+        with store.transaction():
+            for region in compiled.regions:
+                region_rows, used_compiled = _execute_region(
+                    store, region, phase_seconds
+                )
+                rows += region_rows
+                regions_compiled += int(used_compiled)
+        elapsed = time.perf_counter() - started
+        statements = store.bulk_statements - statements_before
+        lanes = len(store.shards) if isinstance(store, ShardedPossStore) else 1
+        return BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=statements,
+            rows_inserted=rows,
+            elapsed_seconds=elapsed,
+            conflicts=store.conflict_count(),
+            phase_seconds=phase_seconds,
+            transactions=store.transactions - transactions_before,
+            index_strategy=store.index_strategy.name,
+            backend=store.backend_name,
+            grouped_plan=self.plan.grouped,
+            dag_stages=self.dag.stage_count,
+            scheduler=self._scheduler,
+            workers=1,
+            regions_compiled=regions_compiled,
+            statements_saved=max(
+                0, compiled.replay_statement_count() * lanes - statements
+            ),
+            **self._fault_fields(fault_counters),
+        )
+
+    def _run_compiled_checkpointed(self) -> BulkRunReport:
+        """Journaled region execution: one transaction per region, resumable.
+
+        The journal marker of a region is the plan index of its *last*
+        step, recorded atomically with the region's rows — a crash inside a
+        region rolls the whole region back and leaves no marker, so the
+        resumed run re-executes exactly the uncommitted regions.  Resume
+        with the same scheduler that started the run: the compiled and
+        per-node journals key on different markers, and the engine keeps
+        their run ids distinct for this reason.
+        """
+        store = self.store
+        run_id = self._checkpoint
+        started = time.perf_counter()
+        statements_before = store.bulk_statements
+        transactions_before = store.transactions
+        fault_counters = self._counters_before()
+        compiled = self.compiled
+        completed = store.journal_completed(run_id)
+        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        rows = 0
+        skipped = 0
+        regions_compiled = 0
+        for region, marker in zip(compiled.regions, compiled.journal_markers()):
+            if marker in completed:
+                # Region markers are plan step indices, so skipped work is
+                # reported in the same unit as the per-node scheduler.
+                skipped += len(region.steps)
+                continue
+            with store.transaction():
+                region_rows, used_compiled = _execute_region(
+                    store, region, phase_seconds
+                )
+                rows += region_rows
+                regions_compiled += int(used_compiled)
+                store.journal_record(run_id, marker)
+        elapsed = time.perf_counter() - started
+        statements = store.bulk_statements - statements_before
+        return BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=statements,
+            rows_inserted=rows,
+            elapsed_seconds=elapsed,
+            conflicts=store.conflict_count(),
+            phase_seconds=phase_seconds,
+            transactions=store.transactions - transactions_before,
+            index_strategy=store.index_strategy.name,
+            backend=store.backend_name,
+            grouped_plan=self.plan.grouped,
+            dag_stages=self.dag.stage_count,
+            scheduler=self._scheduler,
+            workers=1,
+            checkpointed=True,
+            nodes_skipped=skipped,
+            regions_compiled=regions_compiled,
+            statements_saved=max(
+                0, compiled.replay_statement_count() - statements
+            ),
+            **self._fault_fields(fault_counters),
+        )
+
     def possible_values(self, user: User, key: object) -> FrozenSet[str]:
         """Possible values of a user for one object after :meth:`run`."""
         return self.store.possible_values(user, key)
@@ -584,12 +768,14 @@ class BulkResolver(_PlanExecutor):
         plan: Optional[ResolutionPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
+        compiled_plan: Optional[CompiledPlan] = None,
     ) -> None:
         super().__init__(
             workers=workers,
             scheduler=scheduler,
             retry_policy=retry_policy,
             checkpoint=checkpoint,
+            compiled_plan=compiled_plan,
         )
         self.network = network
         self._attach_store(store or PossStore())
@@ -717,6 +903,7 @@ class ConcurrentBulkResolver(BulkResolver):
         plan: Optional[ResolutionPlan] = None,
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
+        compiled_plan: Optional[CompiledPlan] = None,
     ) -> None:
         if store is None:
             store = ShardedPossStore(2 if shards is None else shards)
@@ -739,6 +926,7 @@ class ConcurrentBulkResolver(BulkResolver):
             plan=plan,
             retry_policy=retry_policy,
             checkpoint=checkpoint,
+            compiled_plan=compiled_plan,
         )
 
     def _replay_shard(
@@ -746,18 +934,28 @@ class ConcurrentBulkResolver(BulkResolver):
         shard: PossStore,
         tracker: Optional[_OverlapTracker] = None,
         barrier: Optional[threading.Barrier] = None,
-    ) -> Tuple[int, Dict[str, float], float]:
-        """Replay the DAG on one shard; returns (rows, phases, seconds).
+    ) -> Tuple[int, Dict[str, float], float, int]:
+        """Replay the plan on one shard; returns (rows, phases, seconds,
+        regions compiled).
 
         Pipelined (no ``barrier``): nodes in dependency order, the shard
         never waits for its siblings.  Stage-barrier: every shard calls
         :meth:`threading.Barrier.wait` before each stage, so all shards
-        move through the stages in lockstep.
+        move through the stages in lockstep.  Compiled: the shard executes
+        the plan's region partition in order, pushing capable regions into
+        its engine (shards with dialect gaps replay those regions — a
+        heterogeneous placement degrades per shard, not per run).
         """
         shard_started = time.perf_counter()
         phase = {"copy": 0.0, "flood": 0.0}
         rows = 0
-        if barrier is None:
+        regions_compiled = 0
+        if self._scheduler == "compiled":
+            for region in self.compiled.regions:
+                region_rows, used_compiled = _execute_region(shard, region, phase)
+                rows += region_rows
+                regions_compiled += int(used_compiled)
+        elif barrier is None:
             for node in self.dag.nodes:
                 rows += _execute_node(shard, node, tracker, phase, None)
         else:
@@ -773,7 +971,7 @@ class ConcurrentBulkResolver(BulkResolver):
                 # boundary; they observe BrokenBarrierError and unwind.
                 barrier.abort()
                 raise
-        return rows, phase, time.perf_counter() - shard_started
+        return rows, phase, time.perf_counter() - shard_started, regions_compiled
 
     def run(self) -> BulkRunReport:
         """Scatter the DAG replay over the shards and gather one report.
@@ -797,7 +995,7 @@ class ConcurrentBulkResolver(BulkResolver):
         barrier: Optional[threading.Barrier] = None
         if self._scheduler == "stage-barrier" and concurrent:
             barrier = threading.Barrier(len(store.shards))
-        results: List[Optional[Tuple[int, Dict[str, float], float]]] = [
+        results: List[Optional[Tuple[int, Dict[str, float], float, int]]] = [
             None
         ] * len(store.shards)
         errors: List[BaseException] = []
@@ -841,15 +1039,25 @@ class ConcurrentBulkResolver(BulkResolver):
         phase_seconds = {"copy": 0.0, "flood": 0.0}
         per_shard_seconds: Dict[str, float] = {}
         rows = 0
+        regions_compiled = 0
         for index, result in enumerate(results):
-            shard_rows, phase, seconds = result
+            shard_rows, phase, seconds, shard_regions = result
             rows += shard_rows
+            regions_compiled += shard_regions
             for name, value in phase.items():
                 phase_seconds[name] += value
             per_shard_seconds[f"shard{index}"] = seconds
+        statements = store.bulk_statements - statements_before
+        statements_saved = 0
+        if self._scheduler == "compiled":
+            statements_saved = max(
+                0,
+                self.compiled.replay_statement_count() * len(store.shards)
+                - statements,
+            )
         return BulkRunReport(
             objects=len(self._loaded_objects),
-            statements=store.bulk_statements - statements_before,
+            statements=statements,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=store.conflict_count(),
@@ -864,6 +1072,8 @@ class ConcurrentBulkResolver(BulkResolver):
             scheduler=self._scheduler,
             workers=1,
             stages_overlapped=tracker.overlapped,
+            regions_compiled=regions_compiled,
+            statements_saved=statements_saved,
             **self._fault_fields(fault_counters),
         )
 
@@ -889,25 +1099,44 @@ class ConcurrentBulkResolver(BulkResolver):
         transactions_before = store.transactions
         fault_counters = self._counters_before()
         dag = self.dag
+        compiled = self.compiled if self._scheduler == "compiled" else None
         phase_seconds = {"copy": 0.0, "flood": 0.0}
         per_shard_seconds: Dict[str, float] = {}
         rows = 0
         skipped = 0
+        regions_compiled = 0
+        lanes = 0
         for index, shard in enumerate(store.shards):
             if store.is_degraded(index):
                 continue
+            lanes += 1
             shard_started = time.perf_counter()
             try:
                 completed = shard.journal_completed(run_id)
-                for node in dag.nodes:
-                    if node.index in completed:
-                        skipped += 1
-                        continue
-                    with shard.transaction():
-                        rows += _execute_node(
-                            shard, node, None, phase_seconds, None
-                        )
-                        shard.journal_record(run_id, node.index)
+                if compiled is not None:
+                    for region, marker in zip(
+                        compiled.regions, compiled.journal_markers()
+                    ):
+                        if marker in completed:
+                            skipped += len(region.steps)
+                            continue
+                        with shard.transaction():
+                            region_rows, used_compiled = _execute_region(
+                                shard, region, phase_seconds
+                            )
+                            rows += region_rows
+                            regions_compiled += int(used_compiled)
+                            shard.journal_record(run_id, marker)
+                else:
+                    for node in dag.nodes:
+                        if node.index in completed:
+                            skipped += 1
+                            continue
+                        with shard.transaction():
+                            rows += _execute_node(
+                                shard, node, None, phase_seconds, None
+                            )
+                            shard.journal_record(run_id, node.index)
             except BackendUnavailable:
                 store.quarantine(index)
                 continue
@@ -915,9 +1144,15 @@ class ConcurrentBulkResolver(BulkResolver):
                 time.perf_counter() - shard_started
             )
         elapsed = time.perf_counter() - started
+        statements = store.bulk_statements - statements_before
+        statements_saved = 0
+        if compiled is not None:
+            statements_saved = max(
+                0, compiled.replay_statement_count() * lanes - statements
+            )
         return BulkRunReport(
             objects=len(self._loaded_objects),
-            statements=store.bulk_statements - statements_before,
+            statements=statements,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=store.conflict_count(),
@@ -933,6 +1168,8 @@ class ConcurrentBulkResolver(BulkResolver):
             workers=1,
             checkpointed=True,
             nodes_skipped=skipped,
+            regions_compiled=regions_compiled,
+            statements_saved=statements_saved,
             **self._fault_fields(fault_counters),
         )
 

@@ -47,6 +47,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.core.errors import BulkProcessingError
 from repro.core.network import TrustNetwork, User
 from repro.core.sccs import CondensationEngine
+from repro.bulk.compile import CompiledPlan, compile_steps
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
@@ -230,6 +231,39 @@ def patch_plan(
         added_steps=len(added),
         region_size=len(region_live),
     )
+
+
+def splice_compiled(compiled: CompiledPlan, patch: PlanPatch) -> CompiledPlan:
+    """Carry a compiled plan across a :func:`patch_plan`, reusing regions.
+
+    The kept steps of a patch are an order-preserving prefix-subsequence of
+    the patched plan (kept first, regional re-plan appended), and compiled
+    regions partition the step sequence contiguously — so every region of
+    the old compiled plan whose steps survive *unchanged and in place* can
+    be reused as-is.  The splice walks the old regions against the patched
+    step list: regions matching by identity transfer directly; from the
+    first divergence (a dropped step, a split grouped copy, the appended
+    region steps) the remaining steps recompile via
+    :func:`~repro.bulk.compile.compile_steps`.  Region boundaries may then
+    differ from a from-scratch :func:`~repro.bulk.compile.compile_plan` of
+    the same plan, but any contiguous partition executes to the identical
+    relation — the equivalence the patch property suite locks.
+    """
+    steps = patch.plan.steps
+    reused: List = []
+    position = 0
+    for region in compiled.regions:
+        size = len(region.steps)
+        window = steps[position : position + size]
+        if len(window) == size and all(
+            new is old for new, old in zip(window, region.steps)
+        ):
+            reused.append(region)
+            position += size
+        else:
+            break
+    recompiled = compile_steps(steps[position:])
+    return CompiledPlan(plan=patch.plan, regions=tuple(reused + recompiled))
 
 
 def _plan_region(

@@ -1,0 +1,164 @@
+"""SQL dialects for compiled region execution (recursive CTEs, windows).
+
+The statement-at-a-time replay of :mod:`repro.bulk.executor` drives the
+database from Python: one round trip per plan step.  Compiled execution
+(:mod:`repro.bulk.compile`) pushes whole plan regions *into* the engine —
+one ``INSERT … WITH RECURSIVE`` per acyclic region of copy steps, one
+window-function pass per stage of independent floods — which needs two SQL
+features the canonical ``INSERT … SELECT`` statements of the store do not:
+common table expressions with recursion, and window functions.
+
+A :class:`SqlDialect` declares which of the two region shapes an engine can
+evaluate natively and renders them in the store's canonical ``qmark``
+placeholder style (the backend's :meth:`~repro.bulk.backends.SqlBackend
+.render` still rewrites placeholders per driver, exactly as for the replay
+statements).  Engines without a dialect — or without one of the two
+features — fall back to statement-at-a-time replay *per region*, so a
+partially capable engine still compiles what it can.
+
+Both statement shapes use the ``VALUES`` auto-naming convention
+(``column1``/``column2``) shared by sqlite and PostgreSQL, the same idiom
+the store's grouped copy and flood statements already rely on.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple
+
+from repro.core.errors import BulkProcessingError
+
+#: First sqlite release evaluating (recursive) common table expressions.
+SQLITE_CTE_VERSION = (3, 8, 3)
+
+#: First sqlite release evaluating window functions.
+SQLITE_WINDOW_VERSION = (3, 25, 0)
+
+
+@dataclass(frozen=True)
+class SqlDialect:
+    """How one engine family evaluates compiled plan regions.
+
+    ``supports_copy_regions`` gates the recursive-CTE statement (one per
+    acyclic region of copy steps); ``supports_flood_stages`` gates the
+    window-function statement (one per stage of independent floods).  The
+    two render methods emit canonical ``?``-placeholder SQL against the
+    ``POSS(X, K, V)`` relation plus the flat parameter tuple.
+    """
+
+    name: str
+    supports_copy_regions: bool = True
+    supports_flood_stages: bool = True
+
+    def copy_region_statement(
+        self, edges: Sequence[Tuple[str, str]]
+    ) -> Tuple[str, Tuple[str, ...]]:
+        """One recursive CTE closing every ``(child, parent)`` copy edge.
+
+        The edges of a region form a forest rooted at the region's *closed
+        frontier* (parents closed before the region — every child is closed
+        exactly once, so a parent that is no edge's child is frontier).  A
+        copy only ever duplicates its parent's rows, so every region child
+        ends up with exactly the rows of its frontier *ancestor*: the
+        recursion therefore runs over the **edge list** — computing the
+        ``(child, ancestor)`` closure in ``O(edges)`` queue rows — and one
+        flat indexed join against ``POSS`` then lands every child's rows.
+        (Recursing over the copied rows themselves would re-scan the edge
+        VALUES once per row — ``O(rows × edges)`` — which is why the closure
+        runs first.)  The plain join preserves row multiplicities exactly as
+        the replay copies do (they are not ``DISTINCT`` either), so the
+        compiled region is byte-identical to replaying its steps one
+        statement at a time.
+        """
+        if not edges:
+            raise BulkProcessingError("a copy region needs at least one edge")
+        values = ",".join("(?, ?)" for _ in edges)
+        sql = (
+            "INSERT INTO POSS (X, K, V) WITH RECURSIVE "
+            f"COPY_EDGES(CHILD, PARENT) AS (VALUES {values}), "
+            "CLOSURE(CHILD, ANCESTOR) AS ("
+            "SELECT CHILD, PARENT FROM COPY_EDGES "
+            "WHERE PARENT NOT IN (SELECT CHILD FROM COPY_EDGES) "
+            "UNION ALL "
+            "SELECT e.CHILD, c.ANCESTOR FROM COPY_EDGES AS e "
+            "JOIN CLOSURE AS c ON c.CHILD = e.PARENT) "
+            "SELECT cl.CHILD, s.K, s.V FROM CLOSURE AS cl "
+            "JOIN POSS AS s ON s.X = cl.ANCESTOR"
+        )
+        parameters = tuple(
+            text for child, parent in edges for text in (str(child), str(parent))
+        )
+        return sql, parameters
+
+    def flood_stage_statement(
+        self, pairs: Sequence[Tuple[str, str]]
+    ) -> Tuple[str, Tuple[str, ...]]:
+        """One window pass flooding every ``(member, parent)`` pair at once.
+
+        Each member receives the *distinct* ``(K, V)`` union over its own
+        parents — ``ROW_NUMBER()`` partitioned by ``(member, K, V)`` keeps
+        exactly one copy per member, replicating the per-step
+        ``SELECT DISTINCT`` of the replay flood.  Sound only for floods
+        whose parents were all closed before the stage (the compiler's
+        independence condition): the statement reads committed ``POSS``
+        rows, never its own inserts.
+        """
+        if not pairs:
+            raise BulkProcessingError("a flood stage needs at least one pair")
+        values = ",".join("(?, ?)" for _ in pairs)
+        sql = (
+            "INSERT INTO POSS (X, K, V) SELECT X, K, V FROM ("
+            "SELECT mp.column1 AS X, s.K AS K, s.V AS V, "
+            "ROW_NUMBER() OVER (PARTITION BY mp.column1, s.K, s.V) AS RN "
+            f"FROM (VALUES {values}) AS mp "
+            "JOIN POSS AS s ON s.X = mp.column2) AS RANKED "
+            "WHERE RN = 1"
+        )
+        parameters = tuple(
+            text for member, parent in pairs for text in (str(member), str(parent))
+        )
+        return sql, parameters
+
+
+#: PostgreSQL evaluates both shapes natively (any supported release).
+POSTGRES_DIALECT = SqlDialect(name="postgres")
+
+
+@lru_cache(maxsize=1)
+def sqlite_dialect() -> Optional[SqlDialect]:
+    """The dialect of the linked sqlite library, or ``None`` below 3.8.3.
+
+    Recursive CTEs arrived in sqlite 3.8.3 and window functions in 3.25;
+    the dialect's capability flags reflect the runtime library, so the
+    same wheel degrades gracefully on an ancient system sqlite.
+    """
+    version = sqlite3.sqlite_version_info
+    if version < SQLITE_CTE_VERSION:
+        return None
+    return SqlDialect(
+        name="sqlite",
+        supports_copy_regions=True,
+        supports_flood_stages=version >= SQLITE_WINDOW_VERSION,
+    )
+
+
+def resolve_dialect(
+    dialect: "SqlDialect | str | None",
+) -> Optional[SqlDialect]:
+    """Normalize a dialect argument (name, object, or ``None``).
+
+    ``None`` means the engine has no compiled-region support (the
+    conservative default for unknown DB-API drivers); the names
+    ``"sqlite"`` and ``"postgres"`` resolve to the built-in dialects.
+    """
+    if dialect is None or isinstance(dialect, SqlDialect):
+        return dialect
+    if dialect == "sqlite":
+        return sqlite_dialect()
+    if dialect == "postgres":
+        return POSTGRES_DIALECT
+    raise BulkProcessingError(
+        f"unknown SQL dialect {dialect!r}; known: sqlite, postgres"
+    )

@@ -312,6 +312,16 @@ class PossStore:
         return self._backend.supports_concurrent_statements
 
     @property
+    def compiled_dialect(self):
+        """The backend's region-compilation dialect, or ``None``."""
+        return getattr(self._backend, "compiled_dialect", None)
+
+    @property
+    def supports_compiled_regions(self) -> bool:
+        """Whether the backend evaluates both compiled region shapes natively."""
+        return getattr(self._backend, "supports_compiled_regions", False)
+
+    @property
     def transactions(self) -> int:
         """Number of transactions committed so far on this connection."""
         return self._transactions
@@ -724,6 +734,53 @@ class PossStore:
         return total
 
     # ------------------------------------------------------------------ #
+    # the compiled region statements                                       #
+    # ------------------------------------------------------------------ #
+
+    def copy_region(self, edges: Sequence[Tuple[str, str]]) -> int:
+        """Compiled Step-1 region: close all ``(child, parent)`` copy edges.
+
+        One recursive CTE (see
+        :meth:`~repro.bulk.sql.SqlDialect.copy_region_statement`) replaces
+        one replay statement per copy step of the region.  Raises
+        :class:`~repro.core.errors.BulkProcessingError` when the backend's
+        dialect cannot evaluate recursive CTEs — callers (the compiled
+        scheduler) check :attr:`compiled_dialect` and fall back to replay
+        instead of calling this blind.
+        """
+        dialect = self.compiled_dialect
+        if dialect is None or not dialect.supports_copy_regions:
+            raise BulkProcessingError(
+                f"{self._backend.name} has no recursive-CTE dialect; "
+                f"replay the region statement-at-a-time instead"
+            )
+        sql, parameters = dialect.copy_region_statement(edges)
+        cursor = self._execute(sql, parameters)
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+    def flood_stage(self, pairs: Sequence[Tuple[str, str]]) -> int:
+        """Compiled Step-2 stage: flood all ``(member, parent)`` pairs.
+
+        One window-function pass (see
+        :meth:`~repro.bulk.sql.SqlDialect.flood_stage_statement`) replaces
+        one replay statement per flood step of the stage.  Same capability
+        contract as :meth:`copy_region`.
+        """
+        dialect = self.compiled_dialect
+        if dialect is None or not dialect.supports_flood_stages:
+            raise BulkProcessingError(
+                f"{self._backend.name} has no window-function dialect; "
+                f"replay the stage statement-at-a-time instead"
+            )
+        sql, parameters = dialect.flood_stage_statement(pairs)
+        cursor = self._execute(sql, parameters)
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------ #
     # queries                                                              #
     # ------------------------------------------------------------------ #
 
@@ -938,6 +995,22 @@ class ShardedPossStore:
     def supports_concurrent_statements(self) -> bool:
         """Whether every shard tolerates concurrently issued statements."""
         return all(shard.supports_concurrent_statements for shard in self.shards)
+
+    @property
+    def compiled_dialect(self):
+        """The shards' shared compilation dialect, or ``None`` when mixed.
+
+        Heterogeneous placements may mix engines; the compiled scheduler
+        consults each *shard's* dialect anyway (capable shards compile,
+        the rest replay), so the composite dialect is only advisory.
+        """
+        dialects = {shard.compiled_dialect for shard in self.shards}
+        return dialects.pop() if len(dialects) == 1 else None
+
+    @property
+    def supports_compiled_regions(self) -> bool:
+        """Whether *every* shard evaluates compiled regions natively."""
+        return all(shard.supports_compiled_regions for shard in self.shards)
 
     @property
     def transactions(self) -> int:
@@ -1171,6 +1244,24 @@ class ShardedPossStore:
         for index, shard in self._healthy():
             with self._shard_errors(index):
                 total += shard.flood_component_skeptic(members, parents, blocked)
+        return total
+
+    def copy_region(self, edges: Sequence[Tuple[str, str]]) -> int:
+        """Compiled Step-1 region on every shard."""
+        self._require_all_healthy("copy_region()")
+        total = 0
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                total += shard.copy_region(edges)
+        return total
+
+    def flood_stage(self, pairs: Sequence[Tuple[str, str]]) -> int:
+        """Compiled Step-2 stage on every shard."""
+        self._require_all_healthy("flood_stage()")
+        total = 0
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                total += shard.flood_stage(pairs)
         return total
 
     # ------------------------------------------------------------------ #

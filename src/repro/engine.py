@@ -57,13 +57,14 @@ from repro.core.errors import BulkProcessingError, NetworkError
 from repro.core.network import TrustNetwork, User
 from repro.core.resolution import ResolutionResult
 from repro.bulk.backends import ShardSpec
+from repro.bulk.compile import CompiledPlan, compile_plan
 from repro.bulk.executor import (
     BulkResolver,
     BulkRunReport,
     ConcurrentBulkResolver,
 )
 from repro.bulk.planner import PlanDag, ResolutionPlan, plan_resolution
-from repro.bulk.planpatch import patch_plan
+from repro.bulk.planpatch import patch_plan, splice_compiled
 from repro.bulk.store import PossStore, ShardedPossStore
 from repro.faults.retry import RetryPolicy
 from repro.incremental.deltas import Delta, RemoveUser
@@ -103,6 +104,11 @@ class EngineReport:
     dag_stages: int = 0
     scheduler: str = ""
     stages_overlapped: int = 0
+    #: Compiled regions pushed down as single SQL statements
+    #: (``materialize(compiled=True)`` only).
+    regions_compiled: int = 0
+    #: Statements the compiled run avoided versus step-at-a-time replay.
+    statements_saved: int = 0
 
     # -- delta block (apply) ------------------------------------------- #
     deltas: int = 0
@@ -229,6 +235,7 @@ class ResolutionEngine:
         )
         self._materialized = False
         self._plan: Optional[ResolutionPlan] = None
+        self._compiled: Optional[CompiledPlan] = None
         self._dag: Optional[PlanDag] = None
         self._plan_version: Optional[Tuple[int, int]] = None
         self._plan_source = ""
@@ -300,10 +307,18 @@ class ResolutionEngine:
             self._plan_source = "cached"
             return
         self._plan = plan_resolution(self.network)
+        self._compiled = None
         self._dag = None
         self._plan_version = version
         self._plan_source = "fresh"
         self.plans_built += 1
+
+    def _compiled_plan(self) -> CompiledPlan:
+        """The cached plan's region compilation (spliced or rebuilt lazily)."""
+        self._ensure_plan()
+        if self._compiled is None or self._compiled.plan is not self._plan:
+            self._compiled = compile_plan(self._plan)
+        return self._compiled
 
     def _maintain_plan(self, report: DeltaApplyReport) -> None:
         """Patch the cached plan for the just-applied batch's region."""
@@ -327,9 +342,15 @@ class ResolutionEngine:
             # Regions the patcher cannot cover (or Skeptic plans) fall back
             # to a fresh re-plan on next access.
             self._plan = None
+            self._compiled = None
             self._dag = None
             self._plan_version = None
             return
+        if self._compiled is not None:
+            try:
+                self._compiled = splice_compiled(self._compiled, patch)
+            except BulkProcessingError:
+                self._compiled = None  # recompiled from scratch on next use
         self._plan = patch.plan
         self._dag = None
         self._plan_version = self.network.version
@@ -372,7 +393,10 @@ class ResolutionEngine:
         return f"plan-{digest:08x}-{len(self._plan.steps)}"
 
     def materialize(
-        self, resume: bool = False, checkpoint: bool = False
+        self,
+        resume: bool = False,
+        checkpoint: bool = False,
+        compiled: bool = False,
     ) -> EngineReport:
         """Execute the cached plan against the store (the Section 4 path).
 
@@ -391,10 +415,24 @@ class ResolutionEngine:
         byte-identical to an uninterrupted run.  A fresh (non-resume)
         materialize clears both the relation and any stale journal, so a
         later resume can never replay leftovers of an abandoned run.
+
+        With ``compiled=True`` the plan is region-compiled
+        (:func:`repro.bulk.compile.compile_plan`) and executed through the
+        ``compiled`` scheduler: acyclic runs collapse into recursive-CTE
+        copy regions and flood steps into window-function stages wherever
+        the store's SQL dialect supports them, with statement-at-a-time
+        replay as the per-region fallback — the relation is byte-identical
+        either way.  The compiled plan is cached and spliced across
+        :meth:`apply` (:func:`repro.bulk.planpatch.splice_compiled`).
+        Checkpoints journal one marker per *region* and use a run id
+        distinct from the node-at-a-time journal, so a resume never mixes
+        the two granularities.
         """
         started = time.perf_counter()
         self._ensure_plan()
         checkpoint = checkpoint or resume
+        compiled_plan = self._compiled_plan() if compiled else None
+        scheduler = "compiled" if compiled else self._scheduler
         plan_users = {str(user) for user in self._plan.explicit_users}
         rows: List[Tuple[str, str, str]] = []
         for key in self._session.keys:
@@ -413,12 +451,18 @@ class ResolutionEngine:
             self.store.clear()
             self.store.journal_clear()
         run_id = self._run_id() if checkpoint else None
+        if run_id is not None and compiled:
+            # Region markers and node markers share the journal's id space;
+            # a distinct run id keeps a node-at-a-time checkpoint from
+            # falsely satisfying a whole compiled region (and vice versa).
+            run_id += "-compiled"
         if isinstance(self.store, ShardedPossStore):
             executor = ConcurrentBulkResolver(
                 self.network,
                 store=self.store,
-                scheduler=self._scheduler,
+                scheduler=scheduler,
                 plan=self._plan,
+                compiled_plan=compiled_plan,
                 retry_policy=self._retry_policy,
                 checkpoint=run_id,
             )
@@ -427,8 +471,9 @@ class ResolutionEngine:
                 self.network,
                 store=self.store,
                 workers=self._workers,
-                scheduler=self._scheduler,
+                scheduler=scheduler,
                 plan=self._plan,
+                compiled_plan=compiled_plan,
                 retry_policy=self._retry_policy,
                 checkpoint=run_id,
             )
@@ -447,6 +492,8 @@ class ResolutionEngine:
             dag_stages=bulk.dag_stages,
             scheduler=bulk.scheduler,
             stages_overlapped=bulk.stages_overlapped,
+            regions_compiled=bulk.regions_compiled,
+            statements_saved=bulk.statements_saved,
             retries=bulk.retries,
             timed_out_statements=bulk.timed_out_statements,
             faults_injected=bulk.faults_injected,

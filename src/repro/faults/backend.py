@@ -90,6 +90,13 @@ class FaultInjectingBackend(SqlBackend):
         return self.inner.supports_concurrent_statements
 
     @property
+    def compiled_dialect(self):
+        # Forward the dialect so compiled regions run under injection; the
+        # base-class None default would silently disable the compiled path
+        # for exactly the tests meant to exercise it.
+        return self.inner.compiled_dialect
+
+    @property
     def faults_injected(self) -> int:
         return self.policy.faults_injected
 

@@ -1,0 +1,426 @@
+"""Differential tests for compiled SQL plan execution (bulk/compile.py).
+
+The acceptance property of the compiled scheduler: partitioning a plan into
+regions — recursive-CTE copy regions, window-function flood stages, replay
+fallbacks — and executing each region as one pushed-down SQL statement must
+produce a relation byte-identical to the sequential plan-order replay, on
+hundreds of randomized networks, for shard counts {1, 2, 4} and for
+in-memory sqlite, sqlite-file and DB-API backends.  A dialect gap never
+changes the relation, only how many statements it took.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+
+import pytest
+
+from repro.bulk.backends import DbApiBackend, SqliteFileBackend
+from repro.bulk.compile import (
+    MAX_COPY_EDGES,
+    MAX_FLOOD_PAIRS,
+    CompiledPlan,
+    CompiledRegion,
+    compile_plan,
+    compile_steps,
+)
+from repro.bulk.executor import BulkResolver, ConcurrentBulkResolver, _replay_step
+from repro.bulk.planner import (
+    CopyStep,
+    FloodStep,
+    GroupedCopyStep,
+    plan_resolution,
+)
+from repro.bulk.sql import SqlDialect, sqlite_dialect
+from repro.bulk.store import PossStore, ShardedPossStore
+from repro.core.network import TrustNetwork
+from repro.workloads.bulkload import (
+    BELIEF_USERS,
+    chain_network,
+    figure19_network,
+    generate_objects,
+)
+
+
+def _random_network(rng, max_users: int = 9):
+    """A random trust network plus the users carrying explicit beliefs."""
+    n = rng.randint(4, max_users)
+    users = [f"u{i}" for i in range(n)]
+    tn = TrustNetwork()
+    for user in users:
+        tn.add_user(user)
+    n_explicit = rng.randint(1, 2)
+    explicit = users[:n_explicit]
+    for child in users[n_explicit:]:
+        parents = rng.sample([u for u in users if u != child], rng.randint(1, 2))
+        priorities = (
+            rng.sample([1, 2], len(parents))
+            if rng.random() < 0.7
+            else [1] * len(parents)
+        )
+        for parent, priority in zip(parents, priorities):
+            tn.add_trust(child, parent, priority=priority)
+    return tn, explicit
+
+
+def _random_rows(rng, explicit, n_objects):
+    rows = []
+    for index in range(n_objects):
+        key = f"k{index}"
+        for user in explicit:
+            rows.append((user, key, rng.choice(["v1", "v2", "v3"])))
+    return rows
+
+
+def _sequential_reference(plan, rows, serialized_relation):
+    """The relation produced by a plain plan-order sequential replay."""
+    store = PossStore()
+    store.insert_explicit_beliefs(rows)
+    with store.transaction():
+        for step in plan.steps:
+            _replay_step(store, step)
+    expected = serialized_relation(store)
+    store.close()
+    return expected
+
+
+def _file_backends(tmp_path, tag, count):
+    return [
+        SqliteFileBackend(str(tmp_path / f"{tag}-shard{i}.db")) for i in range(count)
+    ]
+
+
+def _dbapi_backends(tmp_path, tag, count, dialect="sqlite"):
+    def factory(path):
+        return lambda: sqlite3.connect(path, check_same_thread=False)
+
+    return [
+        DbApiBackend(
+            factory(str(tmp_path / f"{tag}-dbshard{i}.db")),
+            name="dbapi-sqlite",
+            supports_concurrent_statements=sqlite3.threadsafety == 3,
+            dialect=dialect,
+        )
+        for i in range(count)
+    ]
+
+
+class TestCompiledEquivalenceProperty:
+    """Acceptance property: the compiled scheduler is byte-identical to
+    sequential replay on >= 200 random networks, shard counts {1, 2, 4},
+    through in-memory sqlite, sqlite-file and DB-API backends."""
+
+    NETWORKS = 200
+    SHARD_COUNTS = (1, 2, 4)
+    BACKEND_KINDS = ("memory", "file", "dbapi")
+
+    def test_compiled_execution_is_byte_identical_over_random_networks(
+        self, tmp_path, serialized_relation
+    ):
+        rng = random.Random(20100807)
+        flood_regions = 0
+        for trial in range(self.NETWORKS):
+            network, explicit = _random_network(rng)
+            rows = _random_rows(rng, explicit, n_objects=rng.randint(2, 5))
+            shards = self.SHARD_COUNTS[trial % len(self.SHARD_COUNTS)]
+            kind = self.BACKEND_KINDS[(trial // 3) % len(self.BACKEND_KINDS)]
+            if kind == "memory":
+                store = ShardedPossStore(shards)
+            elif kind == "file":
+                store = ShardedPossStore(
+                    shards, backends=_file_backends(tmp_path, f"t{trial}", shards)
+                )
+            else:
+                store = ShardedPossStore(
+                    shards, backends=_dbapi_backends(tmp_path, f"t{trial}", shards)
+                )
+            resolver = ConcurrentBulkResolver(
+                network,
+                store=store,
+                explicit_users=explicit,
+                scheduler="compiled",
+            )
+            expected = _sequential_reference(
+                resolver.plan, rows, serialized_relation
+            )
+            compiled = resolver.compiled
+            flood_regions += sum(
+                1 for region in compiled.regions if region.kind == "flood"
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, (
+                f"trial {trial}: compiled execution diverged "
+                f"(shards={shards}, backend={kind})"
+            )
+            assert report.scheduler == "compiled"
+            # Every region compiles on sqlite >= 3.25, on every shard ...
+            assert report.regions_compiled == compiled.region_count * shards
+            # ... so the statement count is the compiled one, not the replay's.
+            assert report.statements == compiled.statement_count() * shards
+            assert report.statements_saved == (
+                compiled.replay_statement_count() - compiled.statement_count()
+            ) * shards
+            store.close()
+        # The generator must actually exercise the window-function path.
+        assert flood_regions > 20
+
+    def test_single_store_compiled_is_byte_identical(
+        self, tmp_path, serialized_relation
+    ):
+        """One sqlite-file / DB-API store through BulkResolver directly."""
+        rng = random.Random(8742)
+        for trial in range(40):
+            network, explicit = _random_network(rng)
+            rows = _random_rows(rng, explicit, n_objects=3)
+            if trial % 2:
+                backend = SqliteFileBackend(str(tmp_path / f"c{trial}.db"))
+            else:
+                path = str(tmp_path / f"c{trial}-db.db")
+                backend = DbApiBackend(
+                    lambda path=path: sqlite3.connect(path, check_same_thread=False),
+                    name="dbapi-sqlite",
+                    dialect="sqlite",
+                )
+            store = PossStore(backend=backend)
+            resolver = BulkResolver(
+                network, store=store, explicit_users=explicit, scheduler="compiled"
+            )
+            expected = _sequential_reference(
+                resolver.plan, rows, serialized_relation
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, f"trial {trial}"
+            assert report.scheduler == "compiled"
+            assert report.transactions == 1
+            assert report.regions_compiled == resolver.compiled.region_count
+            store.close()
+
+
+class TestStatementCollapse:
+    """The headline win: long acyclic runs become one recursive CTE."""
+
+    def test_400_chain_collapses_to_one_statement(self, serialized_relation):
+        network = chain_network(400)
+        rows = generate_objects(5, seed=21)
+        reference = BulkResolver(network, explicit_users=BELIEF_USERS)
+        assert reference.plan.statement_count() >= 400
+        reference.load_beliefs(rows)
+        reference.run()
+        expected = serialized_relation(reference.store)
+        reference.store.close()
+
+        resolver = BulkResolver(
+            network, explicit_users=BELIEF_USERS, scheduler="compiled"
+        )
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        assert serialized_relation(resolver.store) == expected
+        # The entire acyclic chain is one recursive-CTE region.
+        assert report.statements <= 5
+        assert report.statements_saved >= 395
+        assert report.regions_compiled >= 1
+        resolver.store.close()
+
+    def test_figure19_compiles_below_replay(self, serialized_relation):
+        network = figure19_network()
+        rows = generate_objects(10, seed=6)
+        reference = BulkResolver(network, explicit_users=BELIEF_USERS)
+        reference.load_beliefs(rows)
+        reference.run()
+        expected = serialized_relation(reference.store)
+        replay_statements = reference.plan.statement_count()
+        reference.store.close()
+
+        resolver = BulkResolver(
+            network, explicit_users=BELIEF_USERS, scheduler="compiled"
+        )
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        assert serialized_relation(resolver.store) == expected
+        assert report.statements < replay_statements
+        resolver.store.close()
+
+
+class TestRegionBoundaries:
+    """Units for the partitioning rules of compile_steps/compile_plan."""
+
+    def test_all_acyclic_plan_is_one_copy_region(self):
+        network = chain_network(50)
+        plan = plan_resolution(network, explicit_users=BELIEF_USERS)
+        compiled = compile_plan(plan)
+        assert isinstance(compiled, CompiledPlan)
+        assert [region.kind for region in compiled.regions] == ["copy"]
+        assert compiled.statement_count() == 1
+        assert compiled.replay_statement_count() == plan.statement_count()
+
+    def test_single_scc_plan_is_one_flood_region(self):
+        tn = TrustNetwork()
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "p", priority=1)
+        tn.add_trust("p", "root", priority=1)
+        tn.set_explicit_belief("root", "v")
+        plan = plan_resolution(tn)
+        flood_steps = [s for s in plan.steps if isinstance(s, FloodStep)]
+        assert flood_steps, "plan shape changed: expected an SCC flood"
+        compiled = compile_plan(plan)
+        kinds = [region.kind for region in compiled.regions]
+        assert "flood" in kinds
+        for region in compiled.regions:
+            if region.kind == "flood":
+                assert region.pairs  # member × parent pairs, flattened later
+                assert all(isinstance(s, FloodStep) for s in region.steps)
+
+    def test_grouped_copies_flush_at_the_edge_cap(self):
+        big = MAX_COPY_EDGES - 180  # two of these cannot share a region
+        first = GroupedCopyStep(
+            parent="r", children=tuple(f"a{i}" for i in range(big))
+        )
+        second = GroupedCopyStep(
+            parent="r", children=tuple(f"b{i}" for i in range(big))
+        )
+        regions = compile_steps([first, second])
+        assert [region.kind for region in regions] == ["copy", "copy"]
+        assert len(regions[0].edges) == big
+        assert len(regions[1].edges) == big
+
+    def test_oversized_grouped_copy_becomes_a_replay_region(self):
+        step = GroupedCopyStep(
+            parent="r",
+            children=tuple(f"c{i}" for i in range(MAX_COPY_EDGES + 20)),
+        )
+        regions = compile_steps([step])
+        assert [region.kind for region in regions] == ["replay"]
+        # Replay of one grouped copy is still one statement: nothing lost.
+        assert regions[0].statement_count() == 1
+        assert regions[0].replay_statement_count() == 1
+
+    def test_copy_straddling_a_region_edge_stays_correct(self, serialized_relation):
+        """A copy chain interleaved with a flood splits into copy / flood /
+        copy regions whose concatenation replays the exact plan order."""
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("p", "b", priority=1)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "p", priority=1)
+        tn.add_trust("z", "p", priority=1)
+        tn.set_explicit_belief("a", "v")
+        plan = plan_resolution(tn)
+        compiled = compile_plan(plan)
+        kinds = [region.kind for region in compiled.regions]
+        assert kinds.count("flood") >= 1
+        assert kinds.count("copy") >= 2  # before and after the SCC
+        # Region steps concatenate back to the plan's step sequence.
+        flattened = [s for region in compiled.regions for s in region.steps]
+        assert flattened == list(plan.steps)
+        rows = [("a", "k0", "v1"), ("a", "k1", "v2")]
+        expected = _sequential_reference(plan, rows, serialized_relation)
+        store = PossStore()
+        resolver = BulkResolver(
+            tn, store=store, explicit_users=["a"], scheduler="compiled"
+        )
+        resolver.load_beliefs(rows)
+        resolver.run()
+        assert serialized_relation(store) == expected
+        store.close()
+
+    def test_blocked_flood_is_a_replay_region(self):
+        blocked = FloodStep(
+            members=("p",), parents=("source",), blocked=(("p", ("v1",)),)
+        )
+        regions = compile_steps([blocked])
+        assert [region.kind for region in regions] == ["replay"]
+
+    def test_journal_markers_are_strictly_increasing(self):
+        network = figure19_network()
+        plan = plan_resolution(network, explicit_users=BELIEF_USERS)
+        compiled = compile_plan(plan)
+        markers = compiled.journal_markers()
+        assert len(markers) == compiled.region_count
+        assert list(markers) == sorted(set(markers))
+        assert markers[-1] == len(plan.steps) - 1
+
+    def test_flood_pair_cap_spills_to_replay(self):
+        members = tuple(f"m{i}" for i in range(40))
+        parents = tuple(f"p{i}" for i in range(MAX_FLOOD_PAIRS // 40 + 1))
+        oversized = FloodStep(members=members, parents=parents)
+        regions = compile_steps([oversized])
+        assert [region.kind for region in regions] == ["replay"]
+
+
+class TestDialectFallback:
+    """Capability gaps degrade to replay, never to a different relation."""
+
+    def test_dialectless_dbapi_backend_falls_back_to_replay(
+        self, tmp_path, serialized_relation
+    ):
+        network = figure19_network()
+        rows = generate_objects(8, seed=9)
+        path = str(tmp_path / "nodialect.db")
+        backend = DbApiBackend(
+            lambda: sqlite3.connect(path, check_same_thread=False),
+            name="dbapi-unknown",
+        )
+        assert backend.compiled_dialect is None
+        assert not backend.supports_compiled_regions
+        store = PossStore(backend=backend)
+        resolver = BulkResolver(
+            network, store=store, explicit_users=BELIEF_USERS, scheduler="compiled"
+        )
+        expected = _sequential_reference(resolver.plan, rows, serialized_relation)
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        assert serialized_relation(store) == expected
+        assert report.scheduler == "compiled"
+        assert report.regions_compiled == 0  # every region replayed
+        assert report.statements == resolver.plan.statement_count()
+        assert report.statements_saved == 0
+        store.close()
+
+    def test_partial_dialect_compiles_only_the_supported_regions(
+        self, tmp_path, serialized_relation
+    ):
+        """A dialect without window functions replays floods but still
+        collapses copy regions — mirroring sqlite between 3.8.3 and 3.25."""
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        tn.add_trust("p", "c", priority=1)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "p", priority=1)
+        tn.set_explicit_belief("a", "v")
+        rows = [("a", "k0", "v1"), ("a", "k1", "v2")]
+        no_windows = SqlDialect(name="old-sqlite", supports_flood_stages=False)
+        path = str(tmp_path / "partial.db")
+        backend = DbApiBackend(
+            lambda: sqlite3.connect(path, check_same_thread=False),
+            name="dbapi-sqlite",
+            dialect=no_windows,
+        )
+        store = PossStore(backend=backend)
+        resolver = BulkResolver(
+            tn, store=store, explicit_users=["a"], scheduler="compiled"
+        )
+        expected = _sequential_reference(resolver.plan, rows, serialized_relation)
+        compiled = resolver.compiled
+        flood_regions = [r for r in compiled.regions if r.kind == "flood"]
+        copy_regions = [r for r in compiled.regions if r.kind == "copy"]
+        assert flood_regions and copy_regions
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        assert serialized_relation(store) == expected
+        assert report.regions_compiled == len(copy_regions)
+        store.close()
+
+    def test_sqlite_dialect_reflects_library_version(self):
+        dialect = sqlite_dialect()
+        assert dialect is not None  # the test environment ships >= 3.25
+        assert dialect.supports_copy_regions
+        assert dialect.supports_flood_stages
+
+    def test_region_dataclasses_are_frozen(self):
+        region = CompiledRegion(kind="copy", steps=(CopyStep("a", "b"),))
+        with pytest.raises(AttributeError):
+            region.kind = "flood"

@@ -11,7 +11,10 @@ import random
 
 import pytest
 
-from repro.bulk.executor import _replay_step
+from collections import defaultdict
+
+from repro.bulk.compile import CompiledPlan, compile_plan
+from repro.bulk.executor import _execute_region, _replay_step
 from repro.bulk.planner import (
     FloodStep,
     plan_dag,
@@ -19,7 +22,7 @@ from repro.bulk.planner import (
     plan_skeptic_resolution,
     step_io,
 )
-from repro.bulk.planpatch import PlanPatch, patch_plan
+from repro.bulk.planpatch import PlanPatch, patch_plan, splice_compiled
 from repro.bulk.store import PossStore
 from repro.core.errors import BulkProcessingError
 from repro.core.network import TrustNetwork
@@ -174,6 +177,102 @@ class TestPatchPlanProperty:
                     ), f"trial {trial}"
                 checked += 1
         assert checked >= self.TRIALS  # the stream generator never stalls
+
+
+def _run_compiled(compiled, rows, serialized_relation):
+    """The relation produced by executing a compiled plan region by region."""
+    store = PossStore()
+    store.insert_explicit_beliefs(rows)
+    with store.transaction():
+        for region in compiled.regions:
+            _execute_region(store, region, defaultdict(float))
+    relation = serialized_relation(store)
+    store.close()
+    return relation
+
+
+class TestSpliceCompiledProperty:
+    """Patched-then-spliced compiled plans must execute identically to a
+    fresh re-plan-and-compile, across randomized delta streams."""
+
+    TRIALS = 100
+    DELTAS_PER_TRIAL = 4
+
+    def test_spliced_compilation_matches_fresh_compile(self, serialized_relation):
+        rng = random.Random(2026)
+        checked = 0
+        reused_regions = 0
+        for trial in range(self.TRIALS):
+            network = _random_belief_network(rng)
+            plan = plan_resolution(network)
+            compiled = compile_plan(plan)
+            for _ in range(self.DELTAS_PER_TRIAL):
+                touched, removed = _mutate_randomly(network, rng)
+                if not touched and not removed:
+                    continue
+                patch = patch_plan(plan, network, touched, removed=removed)
+                plan = patch.plan
+                spliced = splice_compiled(compiled, patch)
+                assert isinstance(spliced, CompiledPlan)
+                assert spliced.plan is patch.plan
+                # Regions partition the patched step list contiguously.
+                flattened = [s for region in spliced.regions for s in region.steps]
+                assert flattened == list(plan.steps), f"trial {trial}"
+                reused_regions += sum(
+                    1 for region in spliced.regions if region in compiled.regions
+                )
+                compiled = spliced
+                fresh = compile_plan(plan)
+                rows = _belief_rows(network, rng)
+                if rows:
+                    assert _run_compiled(
+                        spliced, rows, serialized_relation
+                    ) == _run_compiled(fresh, rows, serialized_relation), (
+                        f"trial {trial}"
+                    )
+                    checked += 1
+        assert checked >= self.TRIALS
+        # The splice must actually reuse work, not recompile everything.
+        assert reused_regions > self.TRIALS // 2
+
+
+class TestSpliceCompiledUnits:
+    def test_untouched_leading_region_is_reused_by_identity(self):
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        tn.add_trust("p", "c", priority=1)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "p", priority=1)
+        tn.add_trust("e", "d", priority=1)
+        tn.set_explicit_belief("a", "v")
+        tn.set_explicit_belief("d", "w")
+        plan = plan_resolution(tn)
+        compiled = compile_plan(plan)
+        # Touch only the d-subtree: every region before the divergence
+        # point transfers without recompilation (same object).
+        tn.add_trust("f", "e", priority=1)
+        patch = patch_plan(plan, tn, {"f"})
+        spliced = splice_compiled(compiled, patch)
+        assert spliced.regions[0] is compiled.regions[0]
+
+    def test_divergent_plan_recompiles_the_suffix(self):
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        tn.set_explicit_belief("a", "v")
+        plan = plan_resolution(tn)
+        compiled = compile_plan(plan)
+        # Touching the head of the chain invalidates every step, so the
+        # splice keeps nothing and recompiles from the start.
+        tn.set_explicit_belief("b", "w")
+        patch = patch_plan(plan, tn, {"b"})
+        spliced = splice_compiled(compiled, patch)
+        assert all(
+            region not in compiled.regions for region in spliced.regions
+        )
+        flattened = [s for region in spliced.regions for s in region.steps]
+        assert flattened == list(patch.plan.steps)
 
 
 class TestPatchPlanUnits:

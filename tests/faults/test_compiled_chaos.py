@@ -1,0 +1,289 @@
+"""Chaos tests for the compiled scheduler: faults inside pushed-down regions.
+
+A compiled region is one SQL statement covering many plan steps, so the
+fault-tolerance machinery must treat it as one unit: transient faults retry
+the whole region statement, a crash between regions resumes at a region
+boundary (never inside one), and a quarantined shard degrades the run while
+the healthy shards keep executing compiled.  Every scenario is locked
+against a fault-free twin through the byte-identity oracle.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.errors import BackendUnavailable
+from repro.core.network import TrustNetwork
+from repro.faults import FaultInjectingBackend, FaultPolicy, RetryPolicy, ScriptedFault
+from repro.bulk.backends import SqliteFileBackend, SqliteMemoryBackend
+from repro.bulk.executor import BulkResolver, ConcurrentBulkResolver
+from repro.bulk.store import PossStore, ShardedPossStore
+from repro.engine import ResolutionEngine
+from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
+
+RUN = "compiled-run"
+
+RETRY_FAST = RetryPolicy(max_attempts=8, base_delay=0.0, max_delay=0.0)
+
+
+def _twin_relation(network, objects, serialized_relation, scheduler="compiled"):
+    """The fault-free reference run of the same plan and rows."""
+    resolver = BulkResolver(
+        network, explicit_users=BELIEF_USERS, scheduler=scheduler
+    )
+    resolver.load_beliefs(objects)
+    resolver.run()
+    expected = serialized_relation(resolver.store)
+    resolver.store.close()
+    return expected
+
+
+class TestTransientFaultsInsideRegions:
+    def test_region_statements_retry_transparently(self, serialized_relation):
+        """Probabilistic transient faults on execute hit the big region
+        statements too; the retry loop absorbs every one of them and the
+        relation matches the fault-free twin byte for byte."""
+        network = figure19_network()
+        objects = generate_objects(8, seed=31)
+        expected = _twin_relation(network, objects, serialized_relation)
+
+        saw_faults = False
+        for seed in range(6):
+            backend = FaultInjectingBackend(
+                SqliteMemoryBackend(),
+                FaultPolicy(seed=seed, probability=0.25, sites=("execute",)),
+            )
+            store = PossStore(backend=backend, retry_policy=RETRY_FAST)
+            resolver = BulkResolver(
+                network,
+                store=store,
+                explicit_users=BELIEF_USERS,
+                scheduler="compiled",
+            )
+            resolver.load_beliefs(objects)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, f"seed {seed}"
+            assert report.scheduler == "compiled"
+            assert report.retries == report.faults_injected
+            saw_faults = saw_faults or report.faults_injected > 0
+            store.close()
+        assert saw_faults  # the sweep actually injected something
+
+    def test_sharded_compiled_retries_per_shard(self, serialized_relation):
+        network = figure19_network()
+        objects = generate_objects(10, seed=32)
+        expected = _twin_relation(network, objects, serialized_relation)
+
+        backends = [
+            FaultInjectingBackend(
+                SqliteMemoryBackend(),
+                FaultPolicy(seed=40 + i, probability=0.2, sites=("execute",)),
+                shard=i,
+            )
+            for i in range(2)
+        ]
+        store = ShardedPossStore(2, backends=backends, retry_policy=RETRY_FAST)
+        resolver = ConcurrentBulkResolver(
+            network,
+            store=store,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+        )
+        resolver.load_beliefs(objects)
+        report = resolver.run()
+        assert serialized_relation(store) == expected
+        assert report.retries == report.faults_injected
+        assert report.regions_compiled == resolver.compiled.region_count * 2
+        store.close()
+
+
+class TestCrashAndResumeAtRegionBoundaries:
+    def test_crash_mid_run_resumes_skipping_committed_regions(
+        self, serialized_relation, tmp_path
+    ):
+        """Sweep the crash point across a checkpointed compiled run on a
+        file-backed store: whatever region the crash interrupts, the resume
+        re-executes exactly the uncommitted suffix and lands byte-identical
+        to the fault-free twin."""
+        network = figure19_network()
+        objects = generate_objects(6, seed=33)
+        expected = _twin_relation(network, objects, serialized_relation)
+
+        saw_skip = False
+        saw_crash = False
+        for crash_at in range(2, 24):
+            backend = FaultInjectingBackend(
+                SqliteFileBackend(str(tmp_path / f"crash{crash_at}.db")),
+                FaultPolicy(
+                    schedule=[
+                        ScriptedFault("execute", crash_at, kind="unavailable")
+                    ],
+                    max_faults=1,
+                ),
+            )
+            try:
+                store = PossStore(backend=backend)
+            except BackendUnavailable:
+                continue  # the crash hit schema setup, not the run
+            run_id = f"{RUN}-{crash_at}"
+            crashing = BulkResolver(
+                network,
+                store=store,
+                explicit_users=BELIEF_USERS,
+                scheduler="compiled",
+                checkpoint=run_id,
+            )
+            try:
+                crashing.load_beliefs(objects)
+                crashing.run()
+            except BackendUnavailable:
+                saw_crash = True
+                committed = store.journal_completed(run_id)
+                markers = set(crashing.compiled.journal_markers())
+                # Only region boundaries (and the belief load) ever commit.
+                assert committed <= markers | {-1}
+                resumed = BulkResolver(
+                    network,
+                    store=store,
+                    explicit_users=BELIEF_USERS,
+                    scheduler="compiled",
+                    checkpoint=run_id,
+                )
+                resumed.load_beliefs(objects)
+                report = resumed.run()
+                assert report.checkpointed is True
+                saw_skip = saw_skip or report.nodes_skipped > 0
+            backend.policy.schedule = ()  # disarm for verification reads
+            assert serialized_relation(store) == expected, crash_at
+            store.close()
+        assert saw_crash
+        assert saw_skip
+
+    def test_engine_compiled_resume_after_crash(
+        self, serialized_relation, tmp_path
+    ):
+        """materialize(compiled=True, checkpoint=True) crash-resumes through
+        the façade, skipping only committed regions."""
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("c", "b", priority=1)
+        tn.add_trust("d", "c", priority=1)
+        tn.add_trust("p", "d", priority=1)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "p", priority=1)
+        tn.set_explicit_belief("a", "v")
+
+        plain = ResolutionEngine(tn.copy())
+        plain.materialize()
+        expected = serialized_relation(plain.store)
+        plain.close()
+
+        saw_skip = False
+        for crash_at in range(2, 24):
+            backend = FaultInjectingBackend(
+                SqliteFileBackend(str(tmp_path / f"eng{crash_at}.db")),
+                FaultPolicy(
+                    schedule=[
+                        ScriptedFault("execute", crash_at, kind="unavailable")
+                    ],
+                    max_faults=1,
+                ),
+            )
+            try:
+                store = PossStore(backend=backend)
+                engine = ResolutionEngine(tn.copy(), store=store)
+            except BackendUnavailable:
+                continue  # the crash hit schema setup, not the run
+            try:
+                engine.materialize(compiled=True, checkpoint=True)
+            except BackendUnavailable:
+                report = engine.materialize(resume=True, compiled=True)
+                assert report.checkpointed is True
+                assert report.scheduler == "compiled"
+                saw_skip = saw_skip or report.nodes_skipped > 0
+            backend.policy.schedule = ()
+            assert serialized_relation(store) == expected, crash_at
+            engine.close()
+        assert saw_skip
+
+    def test_compiled_and_node_journals_never_mix(self):
+        """The compiled run id is distinct from the node-at-a-time id, so a
+        node-mode journal can never satisfy a whole compiled region (and
+        vice versa)."""
+        tn = TrustNetwork()
+        tn.add_trust("mirror", "source", priority=1)
+        tn.set_explicit_belief("source", "v")
+        engine = ResolutionEngine(tn)
+        engine.materialize(checkpoint=True)
+        engine.materialize(checkpoint=True, compiled=True)
+        runs = engine.store.journal_runs()
+        assert len(runs) == 1  # a fresh materialize clears stale journals
+        (compiled_run,) = runs
+        assert compiled_run.endswith("-compiled")
+        assert compiled_run != engine._run_id()
+        assert compiled_run == engine._run_id() + "-compiled"
+        engine.close()
+
+
+class TestQuarantineUnderCompiledExecution:
+    def test_dead_shard_degrades_while_compiled_runs_on_the_rest(
+        self, kill_shard
+    ):
+        network = figure19_network()
+        objects = generate_objects(6, seed=34)
+        store = ShardedPossStore(2)
+        resolver = ConcurrentBulkResolver(
+            network,
+            store=store,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+            checkpoint=RUN,
+        )
+        resolver.load_beliefs(objects)
+        kill_shard(store, 1)
+        report = resolver.run()  # shard 1 is dead; run completes degraded
+        assert report.checkpointed is True
+        assert report.scheduler == "compiled"
+        assert store.degraded_shards == (1,)
+        # The healthy shard ran compiled, not statement-at-a-time.
+        assert report.regions_compiled == resolver.compiled.region_count
+        assert store.shards[0].keys()
+        for key in store.shards[0].keys():
+            assert store.possible_values("x6", key)
+        store.close()
+
+    def test_degraded_compiled_slice_matches_healthy_twin(
+        self, kill_shard, serialized_relation
+    ):
+        """The healthy shard's slice under degradation is byte-identical to
+        the same shard's slice in an all-healthy compiled run."""
+        network = figure19_network()
+        objects = generate_objects(8, seed=35)
+
+        healthy = ShardedPossStore(2)
+        twin = ConcurrentBulkResolver(
+            network,
+            store=healthy,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+        )
+        twin.load_beliefs(objects)
+        twin.run()
+        expected_slice = serialized_relation(healthy.shards[0])
+        healthy.close()
+
+        store = ShardedPossStore(2)
+        resolver = ConcurrentBulkResolver(
+            network,
+            store=store,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+            checkpoint=RUN,
+        )
+        resolver.load_beliefs(objects)
+        kill_shard(store, 1)
+        resolver.run()
+        assert serialized_relation(store.shards[0]) == expected_slice
+        store.close()

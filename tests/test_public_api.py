@@ -67,6 +67,8 @@ BULK_API = [
     "BulkResolver",
     "BulkRunReport",
     "COVERING_INDEX",
+    "CompiledPlan",
+    "CompiledRegion",
     "ConcurrentBulkResolver",
     "CopyStep",
     "DagNode",
@@ -86,13 +88,18 @@ BULK_API = [
     "ShardedPossStore",
     "SkepticBulkResolver",
     "SqlBackend",
+    "SqlDialect",
     "SqliteFileBackend",
     "SqliteMemoryBackend",
+    "compile_plan",
     "patch_plan",
     "plan_dag",
     "plan_resolution",
     "plan_skeptic_resolution",
     "replay_dag",
+    "resolve_dialect",
+    "splice_compiled",
+    "sqlite_dialect",
 ]
 
 
@@ -174,6 +181,35 @@ def test_sharded_engine_round_trip():
     assert store.possible_values("mirror", "k0") == frozenset({"v"})
     assert store.possible_values("mirror", "k1") == frozenset({"w"})
     store.close()
+
+
+def test_compiled_engine_round_trip():
+    """compile_plan -> scheduler="compiled" -> EngineReport through the
+    public surface: the compiled run is byte-identical and cheaper."""
+    from repro import ResolutionEngine
+    from repro.bulk import CompiledPlan, CompiledRegion, compile_plan, plan_resolution
+
+    tn = TrustNetwork()
+    tn.add_trust("b", "a", priority=1)
+    tn.add_trust("c", "b", priority=1)
+    tn.add_trust("d", "c", priority=1)
+    tn.set_explicit_belief("a", "v")
+
+    compiled = compile_plan(plan_resolution(tn))
+    assert isinstance(compiled, CompiledPlan)
+    assert all(isinstance(region, CompiledRegion) for region in compiled.regions)
+    assert compiled.statement_count() < compiled.replay_statement_count()
+
+    with ResolutionEngine.open(tn.copy()) as plain:
+        plain.materialize()
+        reference = sorted(plain.store.possible_table())
+    with ResolutionEngine.open(tn) as engine:
+        report = engine.materialize(compiled=True)
+        assert report.scheduler == "compiled"
+        assert report.regions_compiled >= 1
+        assert report.statements_saved > 0
+        assert report.statements < report.statements_saved + report.statements
+        assert sorted(engine.store.possible_table()) == reference
 
 
 #: The locked surface of repro.engine (same contract as BULK_API).
