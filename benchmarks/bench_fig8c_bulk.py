@@ -292,6 +292,140 @@ def test_fig8c_compiled_sweep(bench_json_records, bench_report_lines):
         )
 
 
+def test_fig8c_skeptic_compiled_sweep(bench_json_records, bench_report_lines):
+    """The Skeptic compiled-execution experiment: blocked floods pushed down
+    as one anti-joined window statement each (plus the ⊥ branch) against the
+    two-statement-per-constrained-group replay.  Structural invariants are
+    hard gates; the wall-clock win is recorded under
+    fig8c_bulk/compiled/skeptic/... with the usual >0.8 sanity bound (see
+    test_fig8c_compiled_sweep for why the bound is not >1.0)."""
+    sweep = fig8c_bulk.run_skeptic_compiled_sweep(
+        depth=400, n_objects=50, shard_counts=(1, 2, 4)
+    )
+    summary = fig8c_bulk.summarize_skeptic_compiled_sweep(sweep)
+    assert summary["blocked_floods_compiled"], summary
+    assert summary["statements_always_saved"], summary
+    assert summary["mean_speedup_vs_pipelined"] > 0.8, summary
+    bench_report_lines.append(
+        "Figure 8c — Skeptic compiled sweep (blocked floods vs. replay)"
+    )
+    bench_report_lines.append(
+        format_table(
+            sweep,
+            columns=[
+                "shards",
+                "depth",
+                "compiled_seconds",
+                "pipelined_seconds",
+                "speedup_vs_pipelined",
+                "statements_saved",
+                "regions_compiled",
+            ],
+        )
+    )
+    bench_report_lines.append(f"summary: {summary}")
+    for row in sweep:
+        record_scenario(
+            bench_json_records,
+            f"fig8c_bulk/compiled/skeptic/shards={row['shards']}",
+            seconds=row["compiled_seconds"],
+            pipelined_seconds=round(row["pipelined_seconds"], 6),
+            speedup_vs_pipelined=round(row["speedup_vs_pipelined"], 3),
+            statements=row["statements"],
+            replay_statements=row["replay_statements"],
+            statements_saved=row["statements_saved"],
+            regions_compiled=row["regions_compiled"],
+            blocked_users=row["blocked_users"],
+            depth=row["depth"],
+            objects=row["objects"],
+        )
+
+
+def test_fig8c_region_worker_sweep(bench_json_records, bench_report_lines):
+    """The concurrent-region-scheduler experiment: independent compiled
+    regions dispatched over a worker pool on one store.  The hard gates are
+    the honesty invariants (reported workers match the requested pool, all
+    regions compile, the region DAG really is one independent stage); the
+    wall clock is recorded without a speedup gate because a single sqlite
+    connection serializes the statements — engine-side parallel SQL is the
+    PostgreSQL sweep's subject."""
+    sweep = fig8c_bulk.run_region_worker_sweep(worker_counts=(1, 2, 4))
+    summary = fig8c_bulk.summarize_region_worker_sweep(sweep)
+    assert summary["workers_reported_honestly"], summary
+    assert summary["all_regions_compiled"], summary
+    assert summary["independent_region_stages"] == [1], summary
+    bench_report_lines.append(
+        "Figure 8c — region-worker sweep (independent regions, one store)"
+    )
+    bench_report_lines.append(
+        format_table(
+            sweep,
+            columns=[
+                "workers",
+                "chains",
+                "regions",
+                "region_stages",
+                "seconds",
+                "workers_reported",
+            ],
+        )
+    )
+    bench_report_lines.append(f"summary: {summary}")
+    for row in sweep:
+        record_scenario(
+            bench_json_records,
+            f"fig8c_bulk/compiled/region_workers={row['workers']}",
+            seconds=row["seconds"],
+            workers_reported=row["workers_reported"],
+            regions=row["regions"],
+            region_stages=row["region_stages"],
+            regions_compiled=row["regions_compiled"],
+            statements_saved=row["statements_saved"],
+            chains=row["chains"],
+            depth=row["depth"],
+            objects=row["objects"],
+        )
+
+
+def test_fig8c_pg_parallel_sweep(bench_json_records, bench_report_lines):
+    """The PostgreSQL parallel-query experiment: the deep-chain compiled run
+    under SET max_parallel_workers_per_gather = {0, 2, 4}.  Gated on
+    REPRO_PG_DSN (plus psycopg) like the rest of the postgres suite; the CI
+    service-container job runs it, local runs without a server skip."""
+    sweep = fig8c_bulk.run_pg_parallel_sweep()
+    if sweep is None:
+        pytest.skip("set REPRO_PG_DSN (and install psycopg) for the pg sweep")
+    summary = fig8c_bulk.summarize_pg_parallel_sweep(sweep)
+    assert summary["all_regions_compiled"], summary
+    bench_report_lines.append(
+        "Figure 8c — PostgreSQL parallel sweep (max_parallel_workers_per_gather)"
+    )
+    bench_report_lines.append(
+        format_table(
+            sweep,
+            columns=[
+                "parallel_workers",
+                "depth",
+                "seconds",
+                "statements",
+                "statements_saved",
+            ],
+        )
+    )
+    bench_report_lines.append(f"summary: {summary}")
+    for row in sweep:
+        record_scenario(
+            bench_json_records,
+            f"fig8c_bulk/compiled/pg/parallel_workers={row['parallel_workers']}",
+            seconds=row["seconds"],
+            statements=row["statements"],
+            regions_compiled=row["regions_compiled"],
+            statements_saved=row["statements_saved"],
+            depth=row["depth"],
+            objects=row["objects"],
+        )
+
+
 def test_fig8c_bulk_time_independent_of_conflicts(benchmark):
     """The paper: bulk resolution time does not depend on how many objects conflict."""
     n_objects = OBJECT_COUNTS[1]

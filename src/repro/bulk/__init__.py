@@ -32,6 +32,7 @@ The package splits the bulk path into four layers:
 from repro.bulk.backends import (
     BASELINE_INDEXES,
     COVERING_INDEX,
+    DEFAULT_MAX_BIND_PARAMS,
     INDEX_STRATEGIES,
     NO_INDEXES,
     DbApiBackend,
@@ -40,8 +41,17 @@ from repro.bulk.backends import (
     SqlBackend,
     SqliteFileBackend,
     SqliteMemoryBackend,
+    probe_max_bind_params,
+    sqlite_max_bind_params,
 )
-from repro.bulk.compile import CompiledPlan, CompiledRegion, compile_plan
+from repro.bulk.compile import (
+    CompiledPlan,
+    CompiledRegion,
+    RegionLimits,
+    RegionSchedule,
+    compile_plan,
+    region_schedule,
+)
 from repro.bulk.executor import (
     SCHEDULERS,
     BulkResolver,
@@ -75,6 +85,7 @@ __all__ = [
     "CompiledRegion",
     "ConcurrentBulkResolver",
     "CopyStep",
+    "DEFAULT_MAX_BIND_PARAMS",
     "DagNode",
     "DbApiBackend",
     "FloodStep",
@@ -86,6 +97,8 @@ __all__ = [
     "PlanPatch",
     "PossRow",
     "PossStore",
+    "RegionLimits",
+    "RegionSchedule",
     "ResolutionPlan",
     "SCHEDULERS",
     "ShardSpec",
@@ -100,7 +113,10 @@ __all__ = [
     "plan_dag",
     "plan_resolution",
     "plan_skeptic_resolution",
+    "probe_max_bind_params",
+    "region_schedule",
     "replay_dag",
+    "sqlite_max_bind_params",
     "resolve_dialect",
     "splice_compiled",
     "sqlite_dialect",

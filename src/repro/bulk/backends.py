@@ -28,8 +28,10 @@ from __future__ import annotations
 import bisect
 import sqlite3
 import zlib
+from contextlib import closing
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from functools import lru_cache
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from repro.core.errors import (
     BackendError,
@@ -250,6 +252,72 @@ def classify_sqlite_error(error: BaseException) -> "type | None":
 
 
 # --------------------------------------------------------------------------- #
+# bind-parameter capacity                                                      #
+# --------------------------------------------------------------------------- #
+
+#: The floor every backend is assumed to support: sqlite's historic
+#: ``SQLITE_MAX_VARIABLE_NUMBER`` default of 999 (raised to 32766 in
+#: sqlite 3.32).  Backends that cannot probe report this conservative
+#: value, and probes never report less.
+DEFAULT_MAX_BIND_PARAMS = 999
+
+#: The compiled-in default since sqlite 3.32, used when the library is
+#: modern but exposes neither ``getlimit`` nor the compile option.
+SQLITE_MODERN_MAX_BIND_PARAMS = 32766
+
+#: First sqlite release whose compiled-in variable limit defaults to 32766.
+_SQLITE_MODERN_LIMIT_VERSION = (3, 32, 0)
+
+
+def probe_max_bind_params(connection: Any, version_info=None) -> int:
+    """The bound-parameter limit of one sqlite connection, probed live.
+
+    Three probes, most authoritative first, with the historic 999 default
+    as the floor:
+
+    1. ``Connection.getlimit(SQLITE_LIMIT_VARIABLE_NUMBER)`` — the actual
+       runtime limit (Python 3.11+);
+    2. ``PRAGMA compile_options`` — the ``MAX_VARIABLE_NUMBER=N`` entry
+       sqlite reports when the limit was raised at compile time;
+    3. the library version — 3.32 raised the compiled-in default to 32766.
+
+    A probe failure of any kind degrades to the next probe, never raises:
+    the worst outcome is the conservative historic region sizing.
+    """
+    try:
+        limit = connection.getlimit(sqlite3.SQLITE_LIMIT_VARIABLE_NUMBER)
+        if limit and limit > 0:
+            return max(int(limit), DEFAULT_MAX_BIND_PARAMS)
+    except Exception:
+        pass
+    try:
+        for (option,) in connection.execute("PRAGMA compile_options"):
+            if str(option).startswith("MAX_VARIABLE_NUMBER="):
+                value = int(str(option).split("=", 1)[1])
+                return max(value, DEFAULT_MAX_BIND_PARAMS)
+    except Exception:
+        pass
+    version = (
+        version_info if version_info is not None else sqlite3.sqlite_version_info
+    )
+    if tuple(version) >= _SQLITE_MODERN_LIMIT_VERSION:
+        return SQLITE_MODERN_MAX_BIND_PARAMS
+    return DEFAULT_MAX_BIND_PARAMS
+
+
+@lru_cache(maxsize=1)
+def sqlite_max_bind_params() -> int:
+    """The linked sqlite library's bind limit (probed once per process).
+
+    The limit is a property of the library build, not of any particular
+    database, so one throwaway in-memory connection answers for every
+    sqlite backend in the process.
+    """
+    with closing(sqlite3.connect(":memory:")) as connection:
+        return probe_max_bind_params(connection)
+
+
+# --------------------------------------------------------------------------- #
 # connection backends                                                          #
 # --------------------------------------------------------------------------- #
 
@@ -306,6 +374,19 @@ class SqlBackend:
             and dialect.supports_flood_stages
         )
 
+    @property
+    def max_bind_params(self) -> int:
+        """Bound parameters one statement may carry on this engine.
+
+        The region compiler sizes copy/flood regions from this number
+        (:meth:`repro.bulk.compile.RegionLimits.for_bind_params`), so an
+        engine reporting its real capacity compiles deep chains into
+        fewer, larger statements.  The default is the conservative
+        historic sqlite limit; sqlite backends probe the linked library
+        and :class:`DbApiBackend` exposes a constructor hook.
+        """
+        return DEFAULT_MAX_BIND_PARAMS
+
     def connect(self) -> Any:
         """Open and return a DB-API 2.0 connection."""
         raise NotImplementedError
@@ -337,6 +418,10 @@ class SqliteMemoryBackend(SqlBackend):
     @property
     def compiled_dialect(self) -> "SqlDialect | None":
         return sqlite_dialect()
+
+    @property
+    def max_bind_params(self) -> int:
+        return sqlite_max_bind_params()
 
     def connect(self) -> sqlite3.Connection:
         """Open a fresh private in-memory database."""
@@ -377,6 +462,10 @@ class SqliteFileBackend(SqlBackend):
     @property
     def compiled_dialect(self) -> "SqlDialect | None":
         return sqlite_dialect()
+
+    @property
+    def max_bind_params(self) -> int:
+        return sqlite_max_bind_params()
 
     def connect(self) -> sqlite3.Connection:
         """Open (creating if necessary) the database file at ``path``."""
@@ -442,6 +531,12 @@ class DbApiBackend(SqlBackend):
         back to statement-at-a-time replay on this backend).  The compiled
         statements are rendered through :meth:`render` like every other
         statement, so any supported paramstyle works.
+    max_bind_params:
+        The engine's bound-parameter limit per statement, used to size
+        compiled regions.  ``None`` (the default) keeps the conservative
+        999 floor; pass the real limit for engines that allow more (e.g.
+        65535 for PostgreSQL's wire protocol, or
+        :func:`sqlite_max_bind_params` for a sqlite driver).
     """
 
     _SUPPORTED = ("qmark", "format", "numeric")
@@ -455,6 +550,7 @@ class DbApiBackend(SqlBackend):
         supports_concurrent_statements: bool = False,
         error_classifier: "Callable[[BaseException], type | None] | None" = None,
         dialect: "SqlDialect | str | None" = None,
+        max_bind_params: Optional[int] = None,
     ) -> None:
         if paramstyle not in self._SUPPORTED:
             raise BulkProcessingError(
@@ -468,10 +564,19 @@ class DbApiBackend(SqlBackend):
         self.supports_concurrent_statements = supports_concurrent_statements
         self.error_classifier = error_classifier
         self._dialect = resolve_dialect(dialect)
+        if max_bind_params is not None and max_bind_params < 1:
+            raise BulkProcessingError("max_bind_params must be >= 1")
+        self._max_bind_params = max_bind_params
 
     @property
     def compiled_dialect(self) -> "SqlDialect | None":
         return self._dialect
+
+    @property
+    def max_bind_params(self) -> int:
+        if self._max_bind_params is not None:
+            return max(self._max_bind_params, 1)
+        return DEFAULT_MAX_BIND_PARAMS
 
     def connect(self) -> Any:
         """Open a connection through the caller-supplied factory."""

@@ -25,10 +25,20 @@ module partitions the step sequence of a :class:`~repro.bulk.planner
     members at once.  A flood that reads an earlier flood's members starts
     a new region — preserving the replay's stage-by-stage semantics.
 
+``blocked_flood`` regions
+    A maximal run of consecutive *blocked* (Skeptic) flood steps under the
+    same independence rule as unblocked floods.  The members' candidate
+    rows are anti-joined against a per-member ``VALUES`` blocklist feeding
+    the same ``ROW_NUMBER()`` de-dupe, plus a ``⊥`` branch for the rejected
+    values (:meth:`~repro.bulk.sql.SqlDialect.blocked_flood_statement`), so
+    `SkepticBulkResolver` compiles instead of falling back to replay.  The
+    blocklist's bound parameters count against the same bind budget as the
+    ``(member, parent)`` pairs.
+
 ``replay`` regions
-    Steps the compiler cannot express as one statement: blocked (Skeptic)
-    floods, and single steps whose parameter count alone exceeds the bind
-    limit.  They execute exactly as the sequential replay would.
+    Steps the compiler cannot express as one statement: single steps whose
+    parameter count alone exceeds the bind limit.  They execute exactly as
+    the sequential replay would.
 
 Regions partition the plan's step sequence contiguously and in order, so
 any contiguous tail of steps can be recompiled independently — that is what
@@ -36,12 +46,18 @@ any contiguous tail of steps can be recompiled independently — that is what
 regions of a patched plan compiled.  Each region also maps to one
 checkpoint journal marker (the plan index of its last step), which keeps
 the region the unit of retry and resume under fault injection.
+
+Region sizes come from :class:`RegionLimits`: the defaults assume the
+historic 999-parameter sqlite bind limit, while
+:meth:`RegionLimits.for_bind_params` sizes regions from the backend's
+*probed* capacity (``store.max_bind_params``) so a modern engine compiles
+deep chains into far fewer, larger regions.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Set, Tuple
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import BulkProcessingError
 from repro.bulk.planner import (
@@ -49,10 +65,11 @@ from repro.bulk.planner import (
     FloodStep,
     GroupedCopyStep,
     ResolutionPlan,
+    step_io,
 )
 
 #: Compiled region kinds, in the order the compiler may emit them.
-REGION_KINDS = ("copy", "flood", "replay")
+REGION_KINDS = ("copy", "flood", "blocked_flood", "replay")
 
 #: Edge cap per copy region: two bound parameters per edge stays far below
 #: the historic sqlite limit of 999 bound parameters per statement.
@@ -63,25 +80,56 @@ MAX_FLOOD_PAIRS = 480
 
 
 @dataclass(frozen=True)
+class RegionLimits:
+    """Bind-parameter budget the compiler sizes regions against.
+
+    The defaults reproduce the historic conservative caps (two parameters
+    per edge/pair under sqlite's old 999-parameter limit).
+    :meth:`for_bind_params` derives caps from a backend's *probed* limit
+    (:attr:`repro.bulk.backends.SqlBackend.max_bind_params`) instead, so a
+    modern sqlite (32766+) or server engine compiles a deep chain into one
+    region rather than dozens.  ``max_flood_pairs`` budgets blocked floods
+    too: each blocklist ``(member, value)`` entry costs the same two bound
+    parameters as a ``(member, parent)`` pair, so the compiler charges both
+    against the one cap (one parameter is reserved for the ``⊥`` scalar).
+    """
+
+    max_copy_edges: int = MAX_COPY_EDGES
+    max_flood_pairs: int = MAX_FLOOD_PAIRS
+
+    @classmethod
+    def for_bind_params(cls, max_bind_params: int) -> "RegionLimits":
+        """Size region caps from a backend's bound-parameter limit."""
+        # One parameter stays reserved for the blocked-flood ⊥ scalar; two
+        # parameters per edge / pair / blocklist entry consume the rest.
+        usable = max(int(max_bind_params) - 1, 2)
+        cap = max(usable // 2, 1)
+        return cls(max_copy_edges=cap, max_flood_pairs=cap)
+
+
+@dataclass(frozen=True)
 class CompiledRegion:
     """One contiguous run of plan steps executed as (at most) one statement.
 
     ``kind`` is one of :data:`REGION_KINDS`.  ``copy`` regions carry the
     flattened ``(child, parent)`` edges, ``flood`` regions the flattened
-    ``(member, parent)`` pairs; ``replay`` regions carry neither and fall
-    back to statement-at-a-time execution of ``steps``.
+    ``(member, parent)`` pairs, ``blocked_flood`` regions the pairs plus
+    the flattened ``(member, blocked value)`` blocklist; ``replay`` regions
+    carry none of these and fall back to statement-at-a-time execution of
+    ``steps``.
     """
 
     kind: str
     steps: Tuple[object, ...]
     edges: Tuple[Tuple[str, str], ...] = ()
     pairs: Tuple[Tuple[str, str], ...] = ()
+    blocked: Tuple[Tuple[str, str], ...] = ()
 
     def statement_count(self) -> int:
         """Statements this region issues when executed compiled."""
         if self.kind == "copy":
             return 1 if self.edges else 0
-        if self.kind == "flood":
+        if self.kind in ("flood", "blocked_flood"):
             return 1 if self.pairs else 0
         return self.replay_statement_count()
 
@@ -128,19 +176,28 @@ class CompiledPlan:
         return tuple(markers)
 
 
-def compile_steps(steps: Iterable[object]) -> List[CompiledRegion]:
+def compile_steps(
+    steps: Iterable[object], limits: Optional[RegionLimits] = None
+) -> List[CompiledRegion]:
     """Partition a step sequence into compiled regions, preserving order.
 
     Any contiguous segment of a plan's causal step order is a valid input —
     the compiler never looks beyond the segment — which is what allows
-    patched plans to recompile only their changed suffix.
+    patched plans to recompile only their changed suffix.  ``limits``
+    bounds each region's bound-parameter footprint; the default is the
+    conservative historic budget (see :class:`RegionLimits`).
     """
+    limits = limits if limits is not None else RegionLimits()
     regions: List[CompiledRegion] = []
     copy_steps: List[object] = []
     copy_edges: List[Tuple[str, str]] = []
     flood_steps: List[object] = []
     flood_pairs: List[Tuple[str, str]] = []
     flood_members: Set[str] = set()
+    blocked_steps: List[object] = []
+    blocked_pairs: List[Tuple[str, str]] = []
+    blocked_values: List[Tuple[str, str]] = []
+    blocked_members: Set[str] = set()
 
     def flush_copy() -> None:
         nonlocal copy_steps, copy_edges
@@ -158,31 +215,77 @@ def compile_steps(steps: Iterable[object]) -> List[CompiledRegion]:
             )
             flood_steps, flood_pairs, flood_members = [], [], set()
 
+    def flush_blocked() -> None:
+        nonlocal blocked_steps, blocked_pairs, blocked_values, blocked_members
+        if blocked_steps:
+            regions.append(
+                CompiledRegion(
+                    "blocked_flood",
+                    tuple(blocked_steps),
+                    pairs=tuple(blocked_pairs),
+                    blocked=tuple(blocked_values),
+                )
+            )
+            blocked_steps, blocked_pairs = [], []
+            blocked_values, blocked_members = [], set()
+
     for step in steps:
         if isinstance(step, (CopyStep, GroupedCopyStep)):
             flush_flood()
+            flush_blocked()
             children = (
                 (step.child,) if isinstance(step, CopyStep) else tuple(step.children)
             )
             edges = [(str(child), str(step.parent)) for child in children]
-            if len(edges) > MAX_COPY_EDGES:
+            if len(edges) > limits.max_copy_edges:
                 # A single step too wide for the bind limit: replay is
                 # already one statement for it, so compiling buys nothing.
                 flush_copy()
                 regions.append(CompiledRegion("replay", (step,)))
                 continue
-            if copy_edges and len(copy_edges) + len(edges) > MAX_COPY_EDGES:
+            if copy_edges and len(copy_edges) + len(edges) > limits.max_copy_edges:
                 flush_copy()
             copy_steps.append(step)
             copy_edges.extend(edges)
         elif isinstance(step, FloodStep):
             flush_copy()
             if step.blocked:
-                # Skeptic floods filter per-member blocked values; keep the
-                # replay statement, which already encodes the block list.
                 flush_flood()
-                regions.append(CompiledRegion("replay", (step,)))
+                members = tuple(str(member) for member in step.members)
+                parents = tuple(str(parent) for parent in step.parents)
+                blocklist = [
+                    (str(member), str(value))
+                    for member, values in step.blocked
+                    for value in values
+                ]
+                if not members or not parents:
+                    # Inserts nothing under replay; closing the members
+                    # still fences later floods reading them.
+                    blocked_steps.append(step)
+                    blocked_members.update(members)
+                    continue
+                pairs = [
+                    (member, parent) for member in members for parent in parents
+                ]
+                # Blocklist entries bind two parameters each, exactly like
+                # pairs, so both charge the one flood budget.
+                weight = len(pairs) + len(blocklist)
+                if weight > limits.max_flood_pairs:
+                    flush_blocked()
+                    regions.append(CompiledRegion("replay", (step,)))
+                    continue
+                independent = blocked_members.isdisjoint(parents)
+                filled = len(blocked_pairs) + len(blocked_values)
+                if blocked_steps and (
+                    not independent or filled + weight > limits.max_flood_pairs
+                ):
+                    flush_blocked()
+                blocked_steps.append(step)
+                blocked_pairs.extend(pairs)
+                blocked_values.extend(blocklist)
+                blocked_members.update(members)
                 continue
+            flush_blocked()
             members = tuple(str(member) for member in step.members)
             parents = tuple(str(parent) for parent in step.parents)
             if not members or not parents:
@@ -192,13 +295,14 @@ def compile_steps(steps: Iterable[object]) -> List[CompiledRegion]:
                 flood_members.update(members)
                 continue
             pairs = [(member, parent) for member in members for parent in parents]
-            if len(pairs) > MAX_FLOOD_PAIRS:
+            if len(pairs) > limits.max_flood_pairs:
                 flush_flood()
                 regions.append(CompiledRegion("replay", (step,)))
                 continue
             independent = flood_members.isdisjoint(parents)
             if flood_steps and (
-                not independent or len(flood_pairs) + len(pairs) > MAX_FLOOD_PAIRS
+                not independent
+                or len(flood_pairs) + len(pairs) > limits.max_flood_pairs
             ):
                 flush_flood()
             flood_steps.append(step)
@@ -208,9 +312,72 @@ def compile_steps(steps: Iterable[object]) -> List[CompiledRegion]:
             raise BulkProcessingError(f"cannot compile unknown plan step {step!r}")
     flush_copy()
     flush_flood()
+    flush_blocked()
     return regions
 
 
-def compile_plan(plan: ResolutionPlan) -> CompiledPlan:
+def compile_plan(
+    plan: ResolutionPlan, limits: Optional[RegionLimits] = None
+) -> CompiledPlan:
     """Compile a resolution plan into its region partition."""
-    return CompiledPlan(plan=plan, regions=tuple(compile_steps(plan.steps)))
+    return CompiledPlan(plan=plan, regions=tuple(compile_steps(plan.steps, limits)))
+
+
+@dataclass(frozen=True)
+class RegionSchedule:
+    """Region-level dependency DAG of a compiled plan.
+
+    ``depends_on[i]`` lists the earlier regions that close a user region
+    *i* reads (its source users); region *i* may start once all of them
+    have finished, so any dependency-respecting order — including a fully
+    concurrent one — produces the byte-identical relation, by the same
+    causality argument as the step-level :class:`~repro.bulk.planner
+    .PlanDag`.  ``stages`` is the longest-path layering of the regions
+    (stage 0 regions have no dependencies), the unit the executor's
+    overlap instrumentation counts against.
+    """
+
+    depends_on: Tuple[Tuple[int, ...], ...]
+    stages: Tuple[Tuple[int, ...], ...]
+
+    @property
+    def region_count(self) -> int:
+        return len(self.depends_on)
+
+    @property
+    def stage_count(self) -> int:
+        return len(self.stages)
+
+
+def region_schedule(compiled: CompiledPlan) -> RegionSchedule:
+    """Derive the region dependency DAG from a compiled plan.
+
+    A region reads the users its steps read (:func:`~repro.bulk.planner
+    .step_io`) and closes the users its steps close; it depends on the
+    *latest* earlier region closing each user it reads.  Users a region
+    reads and closes itself (a chain inside one copy region) resolve
+    within the region's own statement and induce no edge; users closed by
+    no region (the explicit frontier) were loaded before the run.
+    """
+    closer: dict = {}
+    deps: List[Tuple[int, ...]] = []
+    levels: List[int] = []
+    for index, region in enumerate(compiled.regions):
+        reads: Set[str] = set()
+        closes: Set[str] = set()
+        for step in region.steps:
+            step_reads, step_closes = step_io(step)
+            reads.update(str(user) for user in step_reads)
+            closes.update(str(user) for user in step_closes)
+        dep = tuple(sorted({closer[user] for user in reads if user in closer}))
+        deps.append(dep)
+        levels.append(1 + max((levels[d] for d in dep), default=-1))
+        for user in closes:
+            closer[user] = index
+    stages: List[List[int]] = [[] for _ in range((max(levels) + 1) if levels else 0)]
+    for index, level in enumerate(levels):
+        stages[level].append(index)
+    return RegionSchedule(
+        depends_on=tuple(deps),
+        stages=tuple(tuple(stage) for stage in stages),
+    )

@@ -65,7 +65,14 @@ from repro.core.binarize import binarize
 from repro.core.errors import BackendUnavailable, BulkProcessingError
 from repro.core.network import TrustNetwork, User
 from repro.bulk.backends import ShardSpec
-from repro.bulk.compile import CompiledPlan, CompiledRegion, compile_plan
+from repro.bulk.compile import (
+    CompiledPlan,
+    CompiledRegion,
+    RegionLimits,
+    RegionSchedule,
+    compile_plan,
+    region_schedule,
+)
 from repro.faults.retry import RetryPolicy
 from repro.bulk.planner import (
     CopyStep,
@@ -196,6 +203,10 @@ def _region_supported(store, region: CompiledRegion) -> bool:
         return bool(region.edges) and dialect.supports_copy_regions
     if region.kind == "flood":
         return bool(region.pairs) and dialect.supports_flood_stages
+    if region.kind == "blocked_flood":
+        return bool(region.pairs) and getattr(
+            dialect, "supports_blocked_floods", False
+        )
     return False
 
 
@@ -206,16 +217,25 @@ def _execute_region(
 
     Capability dispatch happens here, per region and per store: a region
     the store's dialect can evaluate runs as one pushed-down statement;
-    anything else — ``replay`` regions, dialect gaps, empty regions —
-    replays the region's steps statement-at-a-time through the shared
+    anything else — ``replay`` regions, dialect gaps — replays the
+    region's steps statement-at-a-time through the shared
     :func:`_replay_step` dispatcher.  Either way the region's effect on the
     relation is identical, which is what the differential suite locks.
+    Fence-only flood regions (members closed without any closed parent —
+    no pairs to flood) insert nothing under replay too, so they complete
+    in zero statements regardless of dialect, matching their
+    ``statement_count()`` of 0.
     """
+    if region.kind in ("flood", "blocked_flood") and not region.pairs:
+        return 0, True
     if _region_supported(store, region):
         started = time.perf_counter()
         if region.kind == "copy":
             rows = store.copy_region(region.edges)
             phase = "copy"
+        elif region.kind == "blocked_flood":
+            rows = store.blocked_flood(region.pairs, region.blocked)
+            phase = "flood"
         else:
             rows = store.flood_stage(region.pairs)
             phase = "flood"
@@ -233,17 +253,19 @@ def _execute_region(
 class _OverlapTracker:
     """Counts statements that ran ahead of a stage barrier.
 
-    ``lanes`` is the number of independent replays of the same DAG sharing
-    the tracker (shards, or 1 for a single store): a node of stage *s*
-    counts as overlapped when it starts while any node of a strictly
-    earlier stage — in any lane — has not finished.  Under a stage-barrier
-    schedule the count is 0 by construction, so the counter directly
-    measures how much barrier-free scheduling reordered the replay.
+    ``stages`` is any longest-path layering — the plan DAG's step stages,
+    or a compiled plan's region stages.  ``lanes`` is the number of
+    independent replays of the same DAG sharing the tracker (shards, or 1
+    for a single store): a node of stage *s* counts as overlapped when it
+    starts while any node of a strictly earlier stage — in any lane — has
+    not finished.  Under a stage-barrier schedule the count is 0 by
+    construction, so the counter directly measures how much barrier-free
+    scheduling reordered the replay.
     """
 
-    def __init__(self, dag: PlanDag, lanes: int) -> None:
+    def __init__(self, stages: Sequence[Sequence[int]], lanes: int) -> None:
         self._lock = threading.Lock()
-        self._open = [len(stage) * lanes for stage in dag.stages]
+        self._open = [len(stage) * lanes for stage in stages]
         self.overlapped = 0
 
     def started(self, stage: int) -> None:
@@ -259,25 +281,27 @@ class _OverlapTracker:
 class _WorkQueue:
     """Dependency-satisfied scheduling of DAG nodes (min-index order).
 
-    A node becomes ready when every node it depends on has been marked
-    :meth:`done`; :meth:`get` blocks until a node is ready, all nodes have
-    drained, or the queue was aborted by a failing worker.  Popping the
-    smallest ready index keeps single-worker replay identical to the
-    sequential plan order (dependencies always point backwards).
+    ``depends_on`` lists each node's dependency indices — plan DAG nodes
+    or compiled regions, the queue does not care.  A node becomes ready
+    when every node it depends on has been marked :meth:`done`;
+    :meth:`get` blocks until a node is ready, all nodes have drained, or
+    the queue was aborted by a failing worker.  Popping the smallest ready
+    index keeps single-worker replay identical to the sequential plan
+    order (dependencies always point backwards).
     """
 
-    def __init__(self, dag: PlanDag) -> None:
+    def __init__(self, depends_on: Sequence[Sequence[int]]) -> None:
         self._cond = threading.Condition()
-        self._pending = [len(node.depends_on) for node in dag.nodes]
-        self._dependents: List[List[int]] = [[] for _ in dag.nodes]
-        for node in dag.nodes:
-            for dep in node.depends_on:
-                self._dependents[dep].append(node.index)
+        self._pending = [len(deps) for deps in depends_on]
+        self._dependents: List[List[int]] = [[] for _ in depends_on]
+        for index, deps in enumerate(depends_on):
+            for dep in deps:
+                self._dependents[dep].append(index)
         self._ready = [
             index for index, count in enumerate(self._pending) if count == 0
         ]
         heapq.heapify(self._ready)
-        self._unfinished = len(dag.nodes)
+        self._unfinished = len(depends_on)
         self._aborted = False
 
     def get(self) -> Optional[int]:
@@ -368,7 +392,7 @@ def replay_dag(
             if errors:
                 raise errors[0]
     else:
-        queue = _WorkQueue(dag)
+        queue = _WorkQueue([node.depends_on for node in dag.nodes])
 
         def pull(slot: int) -> None:
             while True:
@@ -468,6 +492,8 @@ class _PlanExecutor:
         self._checkpoint = checkpoint
         self._dag: Optional[PlanDag] = None
         self._compiled_plan = compiled_plan
+        self._region_plan: Optional[RegionSchedule] = None
+        self._region_plan_for: Optional[CompiledPlan] = None
 
     def _attach_store(self, store) -> None:
         """Bind the store, applying the caller's retry policy if any."""
@@ -490,11 +516,31 @@ class _PlanExecutor:
 
         A caller-maintained :class:`~repro.bulk.compile.CompiledPlan` (the
         engine's incrementally spliced one) takes precedence; otherwise the
-        plan compiles on first use by the ``compiled`` scheduler.
+        plan compiles on first use by the ``compiled`` scheduler, with
+        region sizes derived from the attached store's probed
+        bound-parameter capacity (``store.max_bind_params``) so deep
+        chains compile into fewer, larger regions on modern engines.
         """
         if self._compiled_plan is None or self._compiled_plan.plan is not self.plan:
-            self._compiled_plan = compile_plan(self.plan)
+            self._compiled_plan = compile_plan(self.plan, limits=self.region_limits)
         return self._compiled_plan
+
+    @property
+    def region_limits(self) -> RegionLimits:
+        """Bind-parameter budget of the attached store's backend."""
+        capacity = getattr(self.store, "max_bind_params", None)
+        if capacity is None:
+            return RegionLimits()
+        return RegionLimits.for_bind_params(capacity)
+
+    @property
+    def region_plan(self) -> RegionSchedule:
+        """The compiled plan's region dependency DAG (derived once, cached)."""
+        compiled = self.compiled
+        if self._region_plan is None or self._region_plan_for is not compiled:
+            self._region_plan = region_schedule(compiled)
+            self._region_plan_for = compiled
+        return self._region_plan
 
     def _counters_before(self) -> Dict[str, int]:
         store = self.store
@@ -540,7 +586,7 @@ class _PlanExecutor:
         workers = self._workers
         if workers > 1 and not store.supports_concurrent_replay:
             workers = 1
-        tracker = _OverlapTracker(dag, lanes=1)
+        tracker = _OverlapTracker(dag.stages, lanes=1)
         with store.transaction():
             rows, phase_seconds = replay_dag(
                 store,
@@ -617,17 +663,43 @@ class _PlanExecutor:
             **self._fault_fields(fault_counters),
         )
 
+    def _region_workers(self) -> int:
+        """Worker threads a compiled run may schedule regions on.
+
+        Concurrent region execution on a *single* store is gated on the
+        driver serializing concurrent statements internally
+        (``supports_concurrent_statements``) — the same capability the
+        pipelined scheduler requires for lock-free statement overlap.
+        Sharded stores parallelize by shard lane instead
+        (:class:`ConcurrentBulkResolver`), never by fan-out statement, so
+        they always report one driving worker here.
+        """
+        store = self.store
+        if self._workers <= 1 or isinstance(store, ShardedPossStore):
+            return 1
+        if not (
+            store.supports_concurrent_replay
+            and store.supports_concurrent_statements
+        ):
+            return 1
+        return max(1, min(self._workers, self.compiled.region_count))
+
     def _run_compiled(self) -> BulkRunReport:
         """Region-at-a-time execution: one pushed-down statement per region.
 
-        The plan's region partition (:attr:`compiled`) executes in order
-        inside the usual single run transaction.  Regions the store's
-        dialect cannot evaluate fall back to statement-at-a-time replay
-        individually, so the run always completes with the byte-identical
-        relation; ``statements_saved`` reports the round trips the capable
-        regions actually avoided.  A transient fault inside a region is
-        retried at the store's statement funnel — the region *is* one
-        statement, so statement retry and region retry coincide.
+        The plan's region partition (:attr:`compiled`) executes inside the
+        usual single run transaction — in plan order with one worker, or
+        concurrently over the region dependency DAG (:attr:`region_plan`)
+        with ``workers=N`` on stores whose driver serializes concurrent
+        statements.  Any dependency-respecting order is byte-identical (a
+        region only reads users closed by regions it depends on).  Regions
+        the store's dialect cannot evaluate fall back to
+        statement-at-a-time replay individually, so the run always
+        completes with the byte-identical relation; ``statements_saved``
+        reports the round trips the capable regions actually avoided.  A
+        transient fault inside a region is retried at the store's
+        statement funnel — the region *is* one statement, so statement
+        retry and region retry coincide.
         """
         store = self.store
         started = time.perf_counter()
@@ -635,16 +707,73 @@ class _PlanExecutor:
         transactions_before = store.transactions
         fault_counters = self._counters_before()
         compiled = self.compiled
+        schedule = self.region_plan
+        stage_of = [0] * schedule.region_count
+        for level, stage in enumerate(schedule.stages):
+            for index in stage:
+                stage_of[index] = level
+        workers = self._region_workers()
+        tracker = _OverlapTracker(schedule.stages, lanes=1)
         phase_seconds = {"copy": 0.0, "flood": 0.0}
         rows = 0
         regions_compiled = 0
         with store.transaction():
-            for region in compiled.regions:
-                region_rows, used_compiled = _execute_region(
-                    store, region, phase_seconds
-                )
-                rows += region_rows
-                regions_compiled += int(used_compiled)
+            if workers == 1:
+                for index, region in enumerate(compiled.regions):
+                    tracker.started(stage_of[index])
+                    region_rows, used_compiled = _execute_region(
+                        store, region, phase_seconds
+                    )
+                    tracker.finished(stage_of[index])
+                    rows += region_rows
+                    regions_compiled += int(used_compiled)
+            else:
+                queue = _WorkQueue(schedule.depends_on)
+                totals = [0] * workers
+                compiled_counts = [0] * workers
+                worker_phases = [
+                    {"copy": 0.0, "flood": 0.0} for _ in range(workers)
+                ]
+                errors: List[BaseException] = []
+
+                def pull(slot: int) -> None:
+                    while True:
+                        index = queue.get()
+                        if index is None:
+                            return
+                        tracker.started(stage_of[index])
+                        try:
+                            region_rows, used_compiled = _execute_region(
+                                store,
+                                compiled.regions[index],
+                                worker_phases[slot],
+                            )
+                        except BaseException as error:  # re-raised below
+                            errors.append(error)
+                            queue.abort()
+                            return
+                        tracker.finished(stage_of[index])
+                        totals[slot] += region_rows
+                        compiled_counts[slot] += int(used_compiled)
+                        queue.done(index)
+
+                threads = [
+                    threading.Thread(
+                        target=pull, args=(slot,), name=f"region-worker{slot}"
+                    )
+                    for slot in range(workers)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                if errors:
+                    raise errors[0]
+                rows = sum(totals)
+                regions_compiled = sum(compiled_counts)
+                for phases in worker_phases:
+                    for name, value in phases.items():
+                        phase_seconds[name] += value
         elapsed = time.perf_counter() - started
         statements = store.bulk_statements - statements_before
         lanes = len(store.shards) if isinstance(store, ShardedPossStore) else 1
@@ -661,7 +790,8 @@ class _PlanExecutor:
             grouped_plan=self.plan.grouped,
             dag_stages=self.dag.stage_count,
             scheduler=self._scheduler,
-            workers=1,
+            workers=workers,
+            stages_overlapped=tracker.overlapped,
             regions_compiled=regions_compiled,
             statements_saved=max(
                 0, compiled.replay_statement_count() * lanes - statements
@@ -951,8 +1081,17 @@ class ConcurrentBulkResolver(BulkResolver):
         rows = 0
         regions_compiled = 0
         if self._scheduler == "compiled":
-            for region in self.compiled.regions:
+            schedule = self.region_plan
+            stage_of = [0] * schedule.region_count
+            for level, stage in enumerate(schedule.stages):
+                for region_index in stage:
+                    stage_of[region_index] = level
+            for index, region in enumerate(self.compiled.regions):
+                if tracker is not None:
+                    tracker.started(stage_of[index])
                 region_rows, used_compiled = _execute_region(shard, region, phase)
+                if tracker is not None:
+                    tracker.finished(stage_of[index])
                 rows += region_rows
                 regions_compiled += int(used_compiled)
         elif barrier is None:
@@ -991,7 +1130,14 @@ class ConcurrentBulkResolver(BulkResolver):
         transactions_before = store.transactions
         fault_counters = self._counters_before()
         concurrent = store.supports_concurrent_replay and len(store.shards) > 1
-        tracker = _OverlapTracker(self.dag, lanes=len(store.shards))
+        if self._scheduler == "compiled":
+            # Compiled runs schedule regions, not steps: overlap counts
+            # against the region-level layering.
+            tracker = _OverlapTracker(
+                self.region_plan.stages, lanes=len(store.shards)
+            )
+        else:
+            tracker = _OverlapTracker(self.dag.stages, lanes=len(store.shards))
         barrier: Optional[threading.Barrier] = None
         if self._scheduler == "stage-barrier" and concurrent:
             barrier = threading.Barrier(len(store.shards))
@@ -1070,7 +1216,7 @@ class ConcurrentBulkResolver(BulkResolver):
             per_shard_seconds=per_shard_seconds,
             dag_stages=self.dag.stage_count,
             scheduler=self._scheduler,
-            workers=1,
+            workers=len(store.shards) if concurrent else 1,
             stages_overlapped=tracker.overlapped,
             regions_compiled=regions_compiled,
             statements_saved=statements_saved,
@@ -1080,12 +1226,15 @@ class ConcurrentBulkResolver(BulkResolver):
     def _run_checkpointed(self) -> BulkRunReport:
         """Journaled scatter replay: per-shard checkpoints, quarantine on loss.
 
-        Shards replay sequentially (recovery mode favors simplicity over
-        overlap): each shard is health-checked, its journal consulted, and
-        the unfinished nodes committed one transaction at a time.  A shard
-        whose backend is (or becomes) unavailable is *quarantined* — the
-        run finishes on the healthy shards and the caller reads
-        ``store.degraded_shards`` / re-runs after ``recover_shard``.
+        Each healthy shard is health-checked, its journal consulted, and
+        the unfinished nodes (or compiled regions) committed one
+        transaction at a time.  Shards recover concurrently when the
+        backend supports concurrent replay — every shard owns its journal
+        and its transactions, so the lanes never contend — and
+        sequentially otherwise.  A shard whose backend is (or becomes)
+        unavailable is *quarantined* — the run finishes on the healthy
+        shards and the caller reads ``store.degraded_shards`` / re-runs
+        after ``recover_shard``.
         """
         store: ShardedPossStore = self.store
         run_id = self._checkpoint
@@ -1100,17 +1249,27 @@ class ConcurrentBulkResolver(BulkResolver):
         fault_counters = self._counters_before()
         dag = self.dag
         compiled = self.compiled if self._scheduler == "compiled" else None
-        phase_seconds = {"copy": 0.0, "flood": 0.0}
-        per_shard_seconds: Dict[str, float] = {}
-        rows = 0
-        skipped = 0
-        regions_compiled = 0
-        lanes = 0
-        for index, shard in enumerate(store.shards):
-            if store.is_degraded(index):
-                continue
-            lanes += 1
+        healthy = [
+            (index, shard)
+            for index, shard in enumerate(store.shards)
+            if not store.is_degraded(index)
+        ]
+        lanes = len(healthy)
+        concurrent = store.supports_concurrent_replay and lanes > 1
+        # (rows, skipped, regions_compiled, phases, seconds) per shard; a
+        # quarantined shard leaves None behind and is excluded from the
+        # gathered report.
+        results: List[
+            Optional[Tuple[int, int, int, Dict[str, float], float]]
+        ] = [None] * lanes
+        errors: List[BaseException] = []
+
+        def recover(slot: int, index: int, shard: PossStore) -> None:
             shard_started = time.perf_counter()
+            phase = {"copy": 0.0, "flood": 0.0}
+            shard_rows = 0
+            shard_skipped = 0
+            shard_regions = 0
             try:
                 completed = shard.journal_completed(run_id)
                 if compiled is not None:
@@ -1118,31 +1277,75 @@ class ConcurrentBulkResolver(BulkResolver):
                         compiled.regions, compiled.journal_markers()
                     ):
                         if marker in completed:
-                            skipped += len(region.steps)
+                            shard_skipped += len(region.steps)
                             continue
                         with shard.transaction():
                             region_rows, used_compiled = _execute_region(
-                                shard, region, phase_seconds
+                                shard, region, phase
                             )
-                            rows += region_rows
-                            regions_compiled += int(used_compiled)
+                            shard_rows += region_rows
+                            shard_regions += int(used_compiled)
                             shard.journal_record(run_id, marker)
                 else:
                     for node in dag.nodes:
                         if node.index in completed:
-                            skipped += 1
+                            shard_skipped += 1
                             continue
                         with shard.transaction():
-                            rows += _execute_node(
-                                shard, node, None, phase_seconds, None
+                            shard_rows += _execute_node(
+                                shard, node, None, phase, None
                             )
                             shard.journal_record(run_id, node.index)
             except BackendUnavailable:
                 store.quarantine(index)
-                continue
-            per_shard_seconds[f"shard{index}"] = (
-                time.perf_counter() - shard_started
+                return
+            except BaseException as error:  # gathered and re-raised below
+                errors.append(error)
+                return
+            results[slot] = (
+                shard_rows,
+                shard_skipped,
+                shard_regions,
+                phase,
+                time.perf_counter() - shard_started,
             )
+
+        if concurrent:
+            threads = [
+                threading.Thread(
+                    target=recover,
+                    args=(slot, index, shard),
+                    name=f"recover-shard{index}",
+                )
+                for slot, (index, shard) in enumerate(healthy)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        else:
+            for slot, (index, shard) in enumerate(healthy):
+                recover(slot, index, shard)
+                if errors:
+                    break
+        if errors:
+            raise errors[0]
+        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        per_shard_seconds: Dict[str, float] = {}
+        rows = 0
+        skipped = 0
+        regions_compiled = 0
+        for slot, (index, _shard) in enumerate(healthy):
+            result = results[slot]
+            if result is None:
+                continue
+            shard_rows, shard_skipped, shard_regions, phase, seconds = result
+            rows += shard_rows
+            skipped += shard_skipped
+            regions_compiled += shard_regions
+            for name, value in phase.items():
+                phase_seconds[name] += value
+            per_shard_seconds[f"shard{index}"] = seconds
         elapsed = time.perf_counter() - started
         statements = store.bulk_statements - statements_before
         statements_saved = 0
@@ -1165,7 +1368,7 @@ class ConcurrentBulkResolver(BulkResolver):
             per_shard_seconds=per_shard_seconds,
             dag_stages=dag.stage_count,
             scheduler=self._scheduler,
-            workers=1,
+            workers=lanes if concurrent else 1,
             checkpointed=True,
             nodes_skipped=skipped,
             regions_compiled=regions_compiled,
@@ -1183,7 +1386,9 @@ class SkepticBulkResolver(_PlanExecutor):
     by the ⊥ sentinel, matching Algorithm 2's use of ⊥ during flooding.
     Scheduling is shared with :class:`BulkResolver` — Skeptic plans lower
     to the same dependency DAG and replay through the same pipelined
-    scheduler.
+    scheduler, and the ``compiled`` scheduler pushes constrained flood
+    steps down as blocked-flood regions (anti-joined window pass plus the
+    ⊥ branch in one statement) on dialects that support them.
     """
 
     def __init__(
@@ -1197,12 +1402,14 @@ class SkepticBulkResolver(_PlanExecutor):
         scheduler: str = "pipelined",
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
+        compiled_plan: Optional[CompiledPlan] = None,
     ) -> None:
         super().__init__(
             workers=workers,
             scheduler=scheduler,
             retry_policy=retry_policy,
             checkpoint=checkpoint,
+            compiled_plan=compiled_plan,
         )
         self.network = network
         self._attach_store(store or PossStore())

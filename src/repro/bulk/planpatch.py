@@ -47,7 +47,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 from repro.core.errors import BulkProcessingError
 from repro.core.network import TrustNetwork, User
 from repro.core.sccs import CondensationEngine
-from repro.bulk.compile import CompiledPlan, compile_steps
+from repro.bulk.compile import CompiledPlan, RegionLimits, compile_steps
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
@@ -233,7 +233,11 @@ def patch_plan(
     )
 
 
-def splice_compiled(compiled: CompiledPlan, patch: PlanPatch) -> CompiledPlan:
+def splice_compiled(
+    compiled: CompiledPlan,
+    patch: PlanPatch,
+    limits: Optional[RegionLimits] = None,
+) -> CompiledPlan:
     """Carry a compiled plan across a :func:`patch_plan`, reusing regions.
 
     The kept steps of a patch are an order-preserving prefix-subsequence of
@@ -247,7 +251,9 @@ def splice_compiled(compiled: CompiledPlan, patch: PlanPatch) -> CompiledPlan:
     :func:`~repro.bulk.compile.compile_steps`.  Region boundaries may then
     differ from a from-scratch :func:`~repro.bulk.compile.compile_plan` of
     the same plan, but any contiguous partition executes to the identical
-    relation — the equivalence the patch property suite locks.
+    relation — the equivalence the patch property suite locks.  Pass the
+    backend-derived ``limits`` the original plan compiled under so the
+    recompiled tail sizes its regions against the same bind budget.
     """
     steps = patch.plan.steps
     reused: List = []
@@ -262,7 +268,7 @@ def splice_compiled(compiled: CompiledPlan, patch: PlanPatch) -> CompiledPlan:
             position += size
         else:
             break
-    recompiled = compile_steps(steps[position:])
+    recompiled = compile_steps(steps[position:], limits=limits)
     return CompiledPlan(plan=patch.plan, regions=tuple(reused + recompiled))
 
 

@@ -2,6 +2,7 @@
 
 from repro.bulk.sql.dialect import (
     POSTGRES_DIALECT,
+    SQLITE_BLOCKED_FLOOD_VERSION,
     SQLITE_CTE_VERSION,
     SQLITE_WINDOW_VERSION,
     SqlDialect,
@@ -11,6 +12,7 @@ from repro.bulk.sql.dialect import (
 
 __all__ = [
     "POSTGRES_DIALECT",
+    "SQLITE_BLOCKED_FLOOD_VERSION",
     "SQLITE_CTE_VERSION",
     "SQLITE_WINDOW_VERSION",
     "SqlDialect",

@@ -36,6 +36,13 @@ SQLITE_CTE_VERSION = (3, 8, 3)
 #: First sqlite release evaluating window functions.
 SQLITE_WINDOW_VERSION = (3, 25, 0)
 
+#: First sqlite release the blocked-flood shape targets: window functions
+#: appeared in 3.25, but compound window queries mixing correlated
+#: subqueries (the anti-join against the blocklist CTE) were only fixed
+#: across the 3.25–3.28 window-function bugfix series, so the dialect
+#: gates the shape on 3.28.
+SQLITE_BLOCKED_FLOOD_VERSION = (3, 28, 0)
+
 
 @dataclass(frozen=True)
 class SqlDialect:
@@ -43,14 +50,17 @@ class SqlDialect:
 
     ``supports_copy_regions`` gates the recursive-CTE statement (one per
     acyclic region of copy steps); ``supports_flood_stages`` gates the
-    window-function statement (one per stage of independent floods).  The
-    two render methods emit canonical ``?``-placeholder SQL against the
+    window-function statement (one per stage of independent floods);
+    ``supports_blocked_floods`` gates the Skeptic blocked-flood statement
+    (the flood shape anti-joined against a per-member blocklist).  The
+    render methods emit canonical ``?``-placeholder SQL against the
     ``POSS(X, K, V)`` relation plus the flat parameter tuple.
     """
 
     name: str
     supports_copy_regions: bool = True
     supports_flood_stages: bool = True
+    supports_blocked_floods: bool = True
 
     def copy_region_statement(
         self, edges: Sequence[Tuple[str, str]]
@@ -121,8 +131,79 @@ class SqlDialect:
         )
         return sql, parameters
 
+    def blocked_flood_statement(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        blocked: Sequence[Tuple[str, str]],
+        bottom_value: str,
+    ) -> Tuple[str, Tuple[str, ...]]:
+        """One pass flooding Skeptic members around their blocked values.
 
-#: PostgreSQL evaluates both shapes natively (any supported release).
+        The statement is the flood shape with two additions that replicate
+        :meth:`~repro.bulk.store.PossStore.flood_component_skeptic` exactly:
+
+        * the candidate ``(member, K, V)`` rows are anti-joined (``NOT
+          EXISTS``) against a per-member ``BLOCKLIST(MEMBER, V)`` ``VALUES``
+          relation before the ``ROW_NUMBER()`` de-dupe, so a member never
+          receives a value its forced constraints reject;
+        * a second branch inserts one ``⊥`` row per ``(member, K)`` whose
+          parents held at least one blocked value — the positive record
+          that *something* was rejected, partitioned by ``(member, K)`` so
+          it lands exactly once, matching the replay's ``DISTINCT s.K``.
+
+        Members with no blocklist entry pass the anti-join vacuously and
+        contribute nothing to the ``⊥`` branch, so mixed regions (some
+        members constrained, some not) compile into the same statement.
+        Row multiplicities match the two replay statements branch for
+        branch, which is what keeps the compiled region byte-identical.
+        """
+        if not pairs:
+            raise BulkProcessingError("a blocked flood needs at least one pair")
+        if not blocked:
+            # Degenerate Skeptic step whose constraints all vanished: the
+            # plain flood shape is the same statement minus the blocklist.
+            return self.flood_stage_statement(pairs)
+        pair_values = ",".join("(?, ?)" for _ in pairs)
+        block_values = ",".join("(?, ?)" for _ in blocked)
+        sql = (
+            "INSERT INTO POSS (X, K, V) "
+            f"WITH FLOOD_PAIRS(MEMBER, PARENT) AS (VALUES {pair_values}), "
+            f"BLOCKLIST(MEMBER, V) AS (VALUES {block_values}) "
+            "SELECT X, K, V FROM ("
+            "SELECT mp.MEMBER AS X, s.K AS K, s.V AS V, "
+            "ROW_NUMBER() OVER (PARTITION BY mp.MEMBER, s.K, s.V) AS RN "
+            "FROM FLOOD_PAIRS AS mp "
+            "JOIN POSS AS s ON s.X = mp.PARENT "
+            "WHERE NOT EXISTS (SELECT 1 FROM BLOCKLIST AS bl "
+            "WHERE bl.MEMBER = mp.MEMBER AND bl.V = s.V)) AS ALLOWED "
+            "WHERE RN = 1 "
+            "UNION ALL "
+            "SELECT X, K, V FROM ("
+            "SELECT mp.MEMBER AS X, s.K AS K, ? AS V, "
+            "ROW_NUMBER() OVER (PARTITION BY mp.MEMBER, s.K) AS RN "
+            "FROM FLOOD_PAIRS AS mp "
+            "JOIN POSS AS s ON s.X = mp.PARENT "
+            "JOIN BLOCKLIST AS bl "
+            "ON bl.MEMBER = mp.MEMBER AND bl.V = s.V) AS REJECTED "
+            "WHERE RN = 1"
+        )
+        parameters = (
+            tuple(
+                text
+                for member, parent in pairs
+                for text in (str(member), str(parent))
+            )
+            + tuple(
+                text
+                for member, value in blocked
+                for text in (str(member), str(value))
+            )
+            + (str(bottom_value),)
+        )
+        return sql, parameters
+
+
+#: PostgreSQL evaluates every shape natively (any supported release).
 POSTGRES_DIALECT = SqlDialect(name="postgres")
 
 
@@ -141,6 +222,7 @@ def sqlite_dialect() -> Optional[SqlDialect]:
         name="sqlite",
         supports_copy_regions=True,
         supports_flood_stages=version >= SQLITE_WINDOW_VERSION,
+        supports_blocked_floods=version >= SQLITE_BLOCKED_FLOOD_VERSION,
     )
 
 

@@ -50,6 +50,7 @@ from repro.core.errors import (
 from repro.core.network import User
 from repro.bulk.backends import (
     ALL_INDEX_NAMES,
+    DEFAULT_MAX_BIND_PARAMS,
     IndexStrategy,
     ShardSpec,
     SqlBackend,
@@ -320,6 +321,11 @@ class PossStore:
     def supports_compiled_regions(self) -> bool:
         """Whether the backend evaluates both compiled region shapes natively."""
         return getattr(self._backend, "supports_compiled_regions", False)
+
+    @property
+    def max_bind_params(self) -> int:
+        """The backend's bound-parameter limit (sizes compiled regions)."""
+        return getattr(self._backend, "max_bind_params", DEFAULT_MAX_BIND_PARAMS)
 
     @property
     def transactions(self) -> int:
@@ -780,6 +786,34 @@ class PossStore:
         self._commit()
         return cursor.rowcount
 
+    def blocked_flood(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        blocked: Sequence[Tuple[str, str]],
+    ) -> int:
+        """Compiled Skeptic stage: flood pairs around a per-member blocklist.
+
+        One anti-joined window pass (see
+        :meth:`~repro.bulk.sql.SqlDialect.blocked_flood_statement`) replaces
+        the per-constraint-group replay statements of
+        :meth:`flood_component_skeptic` — filtered values and ``⊥`` rows in
+        a single statement.  Same capability contract as
+        :meth:`copy_region`.
+        """
+        dialect = self.compiled_dialect
+        if dialect is None or not getattr(dialect, "supports_blocked_floods", False):
+            raise BulkProcessingError(
+                f"{self._backend.name} has no blocked-flood dialect; "
+                f"replay the stage statement-at-a-time instead"
+            )
+        sql, parameters = dialect.blocked_flood_statement(
+            pairs, blocked, BOTTOM_VALUE
+        )
+        cursor = self._execute(sql, parameters)
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
     # ------------------------------------------------------------------ #
     # queries                                                              #
     # ------------------------------------------------------------------ #
@@ -1011,6 +1045,11 @@ class ShardedPossStore:
     def supports_compiled_regions(self) -> bool:
         """Whether *every* shard evaluates compiled regions natively."""
         return all(shard.supports_compiled_regions for shard in self.shards)
+
+    @property
+    def max_bind_params(self) -> int:
+        """The *smallest* shard limit: every fan-out statement must fit all."""
+        return min(shard.max_bind_params for shard in self.shards)
 
     @property
     def transactions(self) -> int:
@@ -1262,6 +1301,19 @@ class ShardedPossStore:
         for index, shard in self._healthy():
             with self._shard_errors(index):
                 total += shard.flood_stage(pairs)
+        return total
+
+    def blocked_flood(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        blocked: Sequence[Tuple[str, str]],
+    ) -> int:
+        """Compiled Skeptic stage on every shard."""
+        self._require_all_healthy("blocked_flood()")
+        total = 0
+        for index, shard in self._healthy():
+            with self._shard_errors(index):
+                total += shard.blocked_flood(pairs, blocked)
         return total
 
     # ------------------------------------------------------------------ #

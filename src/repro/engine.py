@@ -57,7 +57,7 @@ from repro.core.errors import BulkProcessingError, NetworkError
 from repro.core.network import TrustNetwork, User
 from repro.core.resolution import ResolutionResult
 from repro.bulk.backends import ShardSpec
-from repro.bulk.compile import CompiledPlan, compile_plan
+from repro.bulk.compile import CompiledPlan, RegionLimits, compile_plan
 from repro.bulk.executor import (
     BulkResolver,
     BulkRunReport,
@@ -313,11 +313,18 @@ class ResolutionEngine:
         self._plan_source = "fresh"
         self.plans_built += 1
 
+    def _region_limits(self) -> RegionLimits:
+        """Region sizing from the store's probed bound-parameter budget."""
+        capacity = getattr(self.store, "max_bind_params", None)
+        if capacity is None:
+            return RegionLimits()
+        return RegionLimits.for_bind_params(capacity)
+
     def _compiled_plan(self) -> CompiledPlan:
         """The cached plan's region compilation (spliced or rebuilt lazily)."""
         self._ensure_plan()
         if self._compiled is None or self._compiled.plan is not self._plan:
-            self._compiled = compile_plan(self._plan)
+            self._compiled = compile_plan(self._plan, limits=self._region_limits())
         return self._compiled
 
     def _maintain_plan(self, report: DeltaApplyReport) -> None:
@@ -348,7 +355,9 @@ class ResolutionEngine:
             return
         if self._compiled is not None:
             try:
-                self._compiled = splice_compiled(self._compiled, patch)
+                self._compiled = splice_compiled(
+                    self._compiled, patch, limits=self._region_limits()
+                )
             except BulkProcessingError:
                 self._compiled = None  # recompiled from scratch on next use
         self._plan = patch.plan

@@ -25,7 +25,13 @@ baseline that keeps every shard in lockstep per stage.
 :func:`run_compiled_sweep` measures the compiled scheduler on the same
 chain workload: the acyclic run is pushed into the engine as a handful of
 recursive-CTE statements per shard, shedding the per-statement round trip
-that replay pays ``depth`` times over.
+that replay pays ``depth`` times over.  Three satellites extend it:
+:func:`run_skeptic_compiled_sweep` (blocked floods pushed down as one
+anti-joined window statement each, against the two-statement Skeptic
+replay), :func:`run_region_worker_sweep` (independent compiled regions
+scheduled over a worker pool on one store), and
+:func:`run_pg_parallel_sweep` (``SET max_parallel_workers_per_gather`` on
+big region statements, gated on ``REPRO_PG_DSN``).
 
 Finally, :func:`run_fault_sweep` and :func:`run_crash_resume_demo` exercise
 the fault-tolerant execution layer on this same workload: seeded transient
@@ -40,7 +46,8 @@ CLI::
                                            [--sweep-indexes]
                                            [--shards N [N ...]]
                                            [--sweep-schedulers]
-                                           [--sweep-compiled]
+                                           [--sweep-compiled] [--skeptic]
+                                           [--region-workers N [N ...]]
                                            [--faults P] [--fault-seed N]
                                            [--seed N] [--json]
 """
@@ -50,16 +57,25 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import random
 import tempfile
 import time
 from typing import Dict, List, Optional, Sequence
 
 from repro.bulk.backends import (
+    DbApiBackend,
     SqliteFileBackend,
     SqliteMemoryBackend,
     resolve_index_strategy,
 )
-from repro.bulk.executor import BulkResolver, BulkRunReport, ConcurrentBulkResolver
+from repro.bulk.compile import RegionLimits, compile_plan, region_schedule
+from repro.bulk.executor import (
+    BulkResolver,
+    BulkRunReport,
+    ConcurrentBulkResolver,
+    SkepticBulkResolver,
+)
+from repro.bulk.planner import plan_resolution
 from repro.bulk.store import PossStore, ShardedPossStore
 from repro.core.errors import BackendUnavailable
 from repro.faults import FaultInjectingBackend, FaultPolicy, RetryPolicy, ScriptedFault
@@ -76,6 +92,8 @@ from repro.workloads.bulkload import (
     chain_network,
     figure19_network,
     generate_objects,
+    multi_chain_network,
+    skeptic_chain_network,
 )
 
 
@@ -473,6 +491,294 @@ def summarize_compiled_sweep(rows: Sequence[Dict[str, object]]) -> Dict[str, obj
     }
 
 
+def run_skeptic_compiled_sweep(
+    depth: int = 400,
+    n_objects: int = 50,
+    shard_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 11,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """The Skeptic compiled-execution experiment: blocked floods pushed down.
+
+    The workload is a constrained chain (:func:`skeptic_chain_network`):
+    grouped copies interleaved with flood components whose members carry
+    blocked values, so under replay every constrained group costs two
+    statements (filtered values plus the ⊥ rows) while the ``compiled``
+    scheduler pushes each run of blocked floods down as one anti-joined
+    window statement.  Rows record both scheduler times plus the compiled
+    run's region and statement accounting — ``regions_compiled > 0`` and
+    ``statements_saved > 0`` are the acceptance invariants.
+    """
+    network, constraints = skeptic_chain_network(depth)
+    rng = random.Random(seed)
+    rows_in = [
+        (user, f"k{index}", rng.choice([f"a{index % depth}", f"b{index}"]))
+        for index in range(n_objects)
+        for user in BELIEF_USERS
+    ]
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-skeptic-") as directory:
+        for shards in shard_counts:
+            cells: Dict[str, BulkRunReport] = {}
+            for scheduler in ("pipelined", "compiled"):
+                best: Optional[BulkRunReport] = None
+                for attempt in range(repeats):
+                    base = os.path.join(directory, f"r{attempt}")
+                    os.makedirs(base, exist_ok=True)
+                    backends = [
+                        SqliteFileBackend(
+                            os.path.join(base, f"{scheduler}-s{shards}-{i}.db")
+                        )
+                        for i in range(shards)
+                    ]
+                    store: "PossStore | ShardedPossStore"
+                    if shards == 1:
+                        store = PossStore(backend=backends[0])
+                    else:
+                        store = ShardedPossStore(shards, backends=backends)
+                    resolver = SkepticBulkResolver(
+                        network,
+                        positive_users=BELIEF_USERS,
+                        negative_constraints=constraints,
+                        store=store,
+                        scheduler=scheduler,
+                    )
+                    resolver.load_beliefs(rows_in)
+                    report = resolver.run()
+                    store.close()
+                    if (
+                        best is None
+                        or report.elapsed_seconds < best.elapsed_seconds
+                    ):
+                        best = report
+                cells[scheduler] = best
+            compiled = cells["compiled"]
+            pipelined = cells["pipelined"]
+            rows.append(
+                {
+                    "shards": shards,
+                    "depth": depth,
+                    "objects": n_objects,
+                    "blocked_users": len(constraints),
+                    "compiled_seconds": compiled.elapsed_seconds,
+                    "pipelined_seconds": pipelined.elapsed_seconds,
+                    "speedup_vs_pipelined": pipelined.elapsed_seconds
+                    / max(compiled.elapsed_seconds, 1e-9),
+                    "statements": compiled.statements,
+                    "replay_statements": pipelined.statements,
+                    "statements_saved": compiled.statements_saved,
+                    "regions_compiled": compiled.regions_compiled,
+                }
+            )
+    return rows
+
+
+def summarize_skeptic_compiled_sweep(
+    rows: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Invariants of the Skeptic sweep: blocked floods compile, statements drop."""
+    return {
+        "blocked_floods_compiled": all(
+            row["regions_compiled"] > 0 for row in rows
+        ),
+        "statements_always_saved": all(
+            row["statements_saved"] > 0 for row in rows
+        ),
+        "mean_speedup_vs_pipelined": (
+            round(
+                sum(row["speedup_vs_pipelined"] for row in rows) / len(rows), 3
+            )
+            if rows
+            else None
+        ),
+    }
+
+
+def run_region_worker_sweep(
+    chains: int = 8,
+    depth: int = 120,
+    n_objects: int = 20,
+    worker_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 11,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """The concurrent-region-scheduler experiment: workers over independent regions.
+
+    ``chains`` disjoint copy chains (:func:`multi_chain_network`) compile —
+    under a per-chain region budget — into one region per chain with no
+    cross-region dependencies, so the region DAG is ``chains`` independent
+    components and a ``workers=N`` run may execute them in any interleaving.
+    The store is a single sqlite file whose driver serializes concurrent
+    statements, so the sweep measures the scheduler's dispatch overlap (and
+    honest ``workers`` reporting), not engine-side parallel SQL — that is
+    the PostgreSQL sweep's job.
+    """
+    network, roots = multi_chain_network(chains, depth)
+    plan = plan_resolution(network, explicit_users=roots)
+    limits = RegionLimits(max_copy_edges=depth, max_flood_pairs=depth)
+    compiled_plan = compile_plan(plan, limits=limits)
+    schedule = region_schedule(compiled_plan)
+    rng = random.Random(seed)
+    rows_in = [
+        (root, f"k{index}", rng.choice(["a", "b", "c"]))
+        for index in range(n_objects)
+        for root in roots
+    ]
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-regionworkers-") as directory:
+        for workers in worker_counts:
+            best: Optional[BulkRunReport] = None
+            for attempt in range(repeats):
+                path = os.path.join(directory, f"w{workers}-r{attempt}.db")
+                store = PossStore(backend=SqliteFileBackend(path))
+                resolver = BulkResolver(
+                    network,
+                    store=store,
+                    explicit_users=roots,
+                    scheduler="compiled",
+                    workers=workers,
+                    plan=plan,
+                    compiled_plan=compiled_plan,
+                )
+                resolver.load_beliefs(rows_in)
+                report = resolver.run()
+                store.close()
+                if best is None or report.elapsed_seconds < best.elapsed_seconds:
+                    best = report
+            rows.append(
+                {
+                    "workers": workers,
+                    "chains": chains,
+                    "depth": depth,
+                    "objects": n_objects,
+                    "regions": compiled_plan.region_count,
+                    "region_stages": schedule.stage_count,
+                    "seconds": best.elapsed_seconds,
+                    "workers_reported": best.workers,
+                    "regions_compiled": best.regions_compiled,
+                    "statements_saved": best.statements_saved,
+                }
+            )
+    return rows
+
+
+def summarize_region_worker_sweep(
+    rows: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Invariants of the region-worker sweep: honest reports, all regions pushed."""
+    return {
+        "workers_reported_honestly": all(
+            row["workers_reported"] == row["workers"] for row in rows
+        ),
+        "all_regions_compiled": all(
+            row["regions_compiled"] == row["regions"] for row in rows
+        ),
+        "independent_region_stages": sorted(
+            {row["region_stages"] for row in rows}
+        ),
+    }
+
+
+def run_pg_parallel_sweep(
+    depth: int = 1600,
+    n_objects: int = 10,
+    worker_counts: Sequence[int] = (0, 2, 4),
+    seed: int = 11,
+    repeats: int = 3,
+) -> Optional[List[Dict[str, object]]]:
+    """The PostgreSQL parallel-query experiment on big region statements.
+
+    Gated on ``REPRO_PG_DSN`` (and an importable psycopg): returns ``None``
+    when either is missing so callers can skip the series gracefully.  Each
+    cell materializes the deep-chain workload through the ``compiled``
+    scheduler on a psycopg backend whose sessions run under ``SET
+    max_parallel_workers_per_gather = N`` — 0 disables parallel plans and
+    is the baseline the other cells compare against.
+    """
+    dsn = os.environ.get("REPRO_PG_DSN", "")
+    if not dsn:
+        return None
+    try:
+        import psycopg  # type: ignore[import-not-found]
+    except ImportError:
+        return None
+    network = chain_network(depth)
+    rows: List[Dict[str, object]] = []
+    for workers in worker_counts:
+
+        def connect(gather_workers: int = workers):
+            connection = psycopg.connect(dsn)
+            with connection.cursor() as cursor:
+                cursor.execute("CREATE SCHEMA IF NOT EXISTS fig8c_parallel")
+                cursor.execute("SET search_path TO fig8c_parallel")
+                cursor.execute(
+                    f"SET max_parallel_workers_per_gather = {int(gather_workers)}"
+                )
+            connection.commit()
+            return connection
+
+        backend = DbApiBackend(
+            connect,
+            paramstyle="format",
+            name=f"pg-parallel-{workers}",
+            dialect="postgres",
+        )
+        best: Optional[BulkRunReport] = None
+        for _attempt in range(repeats):
+            store = PossStore(backend=backend)
+            store.clear()
+            resolver = BulkResolver(
+                network,
+                store=store,
+                explicit_users=BELIEF_USERS,
+                scheduler="compiled",
+            )
+            resolver.load_beliefs(generate_objects(n_objects, seed=seed))
+            report = resolver.run()
+            store.clear()
+            store.close()
+            backend = DbApiBackend(
+                connect,
+                paramstyle="format",
+                name=f"pg-parallel-{workers}",
+                dialect="postgres",
+            )
+            if best is None or report.elapsed_seconds < best.elapsed_seconds:
+                best = report
+        rows.append(
+            {
+                "parallel_workers": workers,
+                "depth": depth,
+                "objects": n_objects,
+                "seconds": best.elapsed_seconds,
+                "statements": best.statements,
+                "regions_compiled": best.regions_compiled,
+                "statements_saved": best.statements_saved,
+            }
+        )
+    return rows
+
+
+def summarize_pg_parallel_sweep(
+    rows: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Invariants of the PostgreSQL sweep: same plan, every cell compiled."""
+    return {
+        "all_regions_compiled": all(row["regions_compiled"] > 0 for row in rows),
+        "statement_counts_observed": sorted(
+            {row["statements"] for row in rows}
+        ),
+        "baseline_seconds": next(
+            (
+                row["seconds"]
+                for row in rows
+                if row["parallel_workers"] == 0
+            ),
+            None,
+        ),
+    }
+
+
 #: Retries without real sleeping, for the fault experiments.
 _FAST_RETRY = RetryPolicy(max_attempts=8, base_delay=0.0, max_delay=0.0)
 
@@ -649,6 +955,21 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         help="also run the compiled (pushed-down regions) vs. replay sweep",
     )
     parser.add_argument(
+        "--skeptic",
+        action="store_true",
+        help="with --sweep-compiled: also run the Skeptic blocked-flood "
+        "compiled sweep",
+    )
+    parser.add_argument(
+        "--region-workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="with --sweep-compiled: also run the concurrent-region-scheduler "
+        "sweep over these worker counts",
+    )
+    parser.add_argument(
         "--faults",
         type=float,
         default=None,
@@ -814,6 +1135,105 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 )
             )
             print("summary:", summarize_compiled_sweep(sweep))
+
+    if args.sweep_compiled and args.skeptic:
+        sweep = run_skeptic_compiled_sweep(
+            depth=100 if args.quick else 400,
+            n_objects=10 if args.quick else 50,
+            seed=args.seed,
+        )
+        document["skeptic_compiled_sweep"] = {
+            "rows": sweep,
+            "summary": summarize_skeptic_compiled_sweep(sweep),
+        }
+        if not args.json:
+            print(
+                "\nFigure 8c — Skeptic compiled sweep (blocked floods pushed "
+                "down vs. two-statement replay)"
+            )
+            print(
+                format_table(
+                    sweep,
+                    columns=[
+                        "shards",
+                        "depth",
+                        "compiled_seconds",
+                        "pipelined_seconds",
+                        "speedup_vs_pipelined",
+                        "statements_saved",
+                        "regions_compiled",
+                    ],
+                )
+            )
+            print("summary:", summarize_skeptic_compiled_sweep(sweep))
+
+    if args.sweep_compiled and args.region_workers:
+        sweep = run_region_worker_sweep(
+            chains=4 if args.quick else 8,
+            depth=40 if args.quick else 120,
+            n_objects=5 if args.quick else 20,
+            worker_counts=tuple(args.region_workers),
+            seed=args.seed,
+        )
+        document["region_worker_sweep"] = {
+            "rows": sweep,
+            "summary": summarize_region_worker_sweep(sweep),
+        }
+        if not args.json:
+            print(
+                "\nFigure 8c — region-worker sweep (independent compiled "
+                "regions scheduled concurrently)"
+            )
+            print(
+                format_table(
+                    sweep,
+                    columns=[
+                        "workers",
+                        "chains",
+                        "regions",
+                        "region_stages",
+                        "seconds",
+                        "workers_reported",
+                    ],
+                )
+            )
+            print("summary:", summarize_region_worker_sweep(sweep))
+
+    if args.sweep_compiled:
+        sweep = run_pg_parallel_sweep(
+            depth=200 if args.quick else 1600,
+            n_objects=5 if args.quick else 10,
+            seed=args.seed,
+        )
+        if sweep is None:
+            if not args.json:
+                print(
+                    "\nFigure 8c — PostgreSQL parallel sweep skipped "
+                    "(set REPRO_PG_DSN and install psycopg to run it)"
+                )
+        else:
+            document["pg_parallel_sweep"] = {
+                "rows": sweep,
+                "summary": summarize_pg_parallel_sweep(sweep),
+            }
+            if not args.json:
+                print(
+                    "\nFigure 8c — PostgreSQL parallel sweep "
+                    "(SET max_parallel_workers_per_gather)"
+                )
+                print(
+                    format_table(
+                        sweep,
+                        columns=[
+                            "parallel_workers",
+                            "depth",
+                            "seconds",
+                            "statements",
+                            "statements_saved",
+                        ],
+                    )
+                )
+                print("summary:", summarize_pg_parallel_sweep(sweep))
 
     if args.faults is not None:
         sweep = run_fault_sweep(

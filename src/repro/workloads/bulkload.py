@@ -80,6 +80,70 @@ def chain_network(depth: int) -> TrustNetwork:
     return network
 
 
+def skeptic_chain_network(
+    depth: int, filter_every: int = 4
+) -> Tuple[TrustNetwork, Dict[str, Tuple[str, ...]]]:
+    """A ``depth``-stage chain with constrained 2-cycles every few links.
+
+    Plain links copy from the predecessor like :func:`chain_network`; every
+    ``filter_every``-th link becomes a two-node cycle ``d<i> ↔ m<i>`` whose
+    mate prefers a negative-only filter user ``f<i>`` (the Skeptic-test
+    shape), so the plan interleaves grouped copies with flood components
+    carrying blocked values — the workload of the Skeptic compiled-execution
+    experiments.  Returns the network and the negative-constraint mapping
+    (``f<i>`` rejects the value ``a<i>``).
+    """
+    if depth < 1:
+        raise WorkloadError("a chain needs at least one derived user")
+    if filter_every < 2:
+        raise WorkloadError("filters need at least one plain link between them")
+    network = TrustNetwork()
+    for user in BELIEF_USERS:
+        network.add_user(user)
+    network.add_trust("d1", BELIEF_USERS[0], priority=2)
+    network.add_trust("d1", BELIEF_USERS[1], priority=1)
+    constraints: Dict[str, Tuple[str, ...]] = {}
+    for index in range(2, depth + 1):
+        previous, user = f"d{index - 1}", f"d{index}"
+        if index % filter_every == 0:
+            mate = f"m{index}"
+            network.add_trust(user, previous, priority=2)
+            network.add_trust(user, mate, priority=1)
+            network.add_trust(mate, f"f{index}", priority=2)
+            network.add_trust(mate, user, priority=1)
+            constraints[f"f{index}"] = (f"a{index}",)
+        else:
+            network.add_trust(user, previous, priority=1)
+    return network, constraints
+
+
+def multi_chain_network(
+    chains: int, depth: int
+) -> Tuple[TrustNetwork, List[str]]:
+    """``chains`` independent copy chains, each under its own explicit root.
+
+    Chain ``c`` hangs ``depth`` single-parent copy users below root ``r<c>``;
+    the chains share no users, so with one compiled region per chain the
+    region dependency DAG is ``chains`` independent components — the
+    workload of the concurrent-region-scheduler experiment.  Returns the
+    network and the explicit root users.
+    """
+    if chains < 1 or depth < 1:
+        raise WorkloadError("need at least one chain of at least one user")
+    network = TrustNetwork()
+    roots: List[str] = []
+    for chain in range(chains):
+        root = f"r{chain}"
+        network.add_user(root)
+        roots.append(root)
+        previous = root
+        for index in range(depth):
+            user = f"c{chain}u{index}"
+            network.add_trust(user, previous, priority=1)
+            previous = user
+    return network, roots
+
+
 def count_summary(network: TrustNetwork) -> Dict[str, int]:
     """Users / mappings / belief users of the bulk network (sanity check)."""
     return {

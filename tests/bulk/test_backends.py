@@ -9,13 +9,16 @@ import pytest
 from repro.bulk.backends import (
     BASELINE_INDEXES,
     COVERING_INDEX,
+    DEFAULT_MAX_BIND_PARAMS,
     INDEX_STRATEGIES,
     NO_INDEXES,
     DbApiBackend,
     SqliteFileBackend,
     SqliteMemoryBackend,
+    probe_max_bind_params,
     resolve_index_strategy,
     sqlite_backend,
+    sqlite_max_bind_params,
 )
 from repro.bulk.store import PossStore
 from repro.core.errors import (
@@ -487,3 +490,99 @@ class TestRunStartHealthCheck:
         finally:
             RecordingDeadConnection.cursor = original_cursor
         assert resolver.store.reconnects <= 1
+
+
+class TestBindParameterProbe:
+    """The adaptive bind-capacity probe behind RegionLimits sizing.
+
+    sqlite raised SQLITE_MAX_VARIABLE_NUMBER from 999 to 32766 in 3.32;
+    modern drivers also expose the live limit via Connection.getlimit.  The
+    probe must believe the engine, not the historic constant — and fall
+    back to the conservative 999 floor when nothing can be learned.
+    """
+
+    class _Fake:
+        """A DB-API-ish connection with configurable limit surfaces."""
+
+        def __init__(self, getlimit=None, compile_options=()):
+            self._getlimit = getlimit
+            self._compile_options = tuple(compile_options)
+
+        def getlimit(self, _category):
+            if self._getlimit is None:
+                raise AttributeError("getlimit unsupported")
+            return self._getlimit
+
+        def execute(self, sql):
+            assert "compile_options" in sql
+            return [(option,) for option in self._compile_options]
+
+    def test_getlimit_wins_when_available(self):
+        fake = self._Fake(getlimit=250_000)
+        assert probe_max_bind_params(fake) == 250_000
+
+    def test_pragma_compile_options_used_when_getlimit_missing(self):
+        fake = self._Fake(compile_options=("MAX_VARIABLE_NUMBER=32766",))
+        assert probe_max_bind_params(fake) == 32_766
+
+    def test_old_engine_keeps_the_999_floor(self):
+        fake = self._Fake(compile_options=("SOME_OTHER_OPTION",))
+        assert (
+            probe_max_bind_params(fake, version_info=(3, 8, 3))
+            == DEFAULT_MAX_BIND_PARAMS
+        )
+
+    def test_modern_version_implies_the_32766_default(self):
+        fake = self._Fake()
+        assert probe_max_bind_params(fake, version_info=(3, 32, 0)) == 32_766
+        assert probe_max_bind_params(fake, version_info=(3, 45, 1)) == 32_766
+
+    def test_probe_never_reports_below_the_floor(self):
+        fake = self._Fake(getlimit=100)
+        assert (
+            probe_max_bind_params(fake, version_info=(3, 8, 3))
+            >= DEFAULT_MAX_BIND_PARAMS
+        )
+
+    def test_sqlite_backends_expose_the_probed_capacity(self, tmp_path):
+        expected = sqlite_max_bind_params()
+        assert expected >= DEFAULT_MAX_BIND_PARAMS
+        assert SqliteMemoryBackend().max_bind_params == expected
+        assert (
+            SqliteFileBackend(str(tmp_path / "probe.db")).max_bind_params
+            == expected
+        )
+
+    def test_dbapi_backend_defaults_to_the_floor(self):
+        backend = DbApiBackend(lambda: sqlite3.connect(":memory:"))
+        assert backend.max_bind_params == DEFAULT_MAX_BIND_PARAMS
+
+    def test_dbapi_backend_accepts_an_explicit_capacity(self):
+        backend = DbApiBackend(
+            lambda: sqlite3.connect(":memory:"), max_bind_params=65_535
+        )
+        assert backend.max_bind_params == 65_535
+
+    def test_dbapi_backend_rejects_a_nonpositive_capacity(self):
+        with pytest.raises(BulkProcessingError):
+            DbApiBackend(lambda: sqlite3.connect(":memory:"), max_bind_params=0)
+
+    def test_store_and_sharded_store_surface_the_backend_capacity(self):
+        from repro.bulk.store import ShardedPossStore
+
+        store = PossStore()
+        assert store.max_bind_params == sqlite_max_bind_params()
+        mixed = ShardedPossStore(
+            2,
+            backends=[
+                SqliteMemoryBackend(),
+                DbApiBackend(
+                    lambda: sqlite3.connect(":memory:"), max_bind_params=1_000
+                ),
+            ],
+        )
+        # The sharded capacity is the weakest shard's: every region
+        # statement must execute on every shard.
+        assert mixed.max_bind_params == 1_000
+        mixed.close()
+        store.close()

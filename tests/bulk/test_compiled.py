@@ -22,10 +22,17 @@ from repro.bulk.compile import (
     MAX_FLOOD_PAIRS,
     CompiledPlan,
     CompiledRegion,
+    RegionLimits,
     compile_plan,
     compile_steps,
+    region_schedule,
 )
-from repro.bulk.executor import BulkResolver, ConcurrentBulkResolver, _replay_step
+from repro.bulk.executor import (
+    BulkResolver,
+    ConcurrentBulkResolver,
+    SkepticBulkResolver,
+    _replay_step,
+)
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
@@ -326,11 +333,49 @@ class TestRegionBoundaries:
         assert serialized_relation(store) == expected
         store.close()
 
-    def test_blocked_flood_is_a_replay_region(self):
+    def test_blocked_flood_compiles_into_a_blocked_flood_region(self):
         blocked = FloodStep(
-            members=("p",), parents=("source",), blocked=(("p", ("v1",)),)
+            members=("p",), parents=("source",), blocked=(("p", ("v1", "v2")),)
         )
         regions = compile_steps([blocked])
+        assert [region.kind for region in regions] == ["blocked_flood"]
+        region = regions[0]
+        assert region.pairs == (("p", "source"),)
+        assert region.blocked == (("p", "v1"), ("p", "v2"))
+        assert region.statement_count() == 1
+        # Replay needs two statements per constrained group (filtered
+        # values plus the ⊥ rows), so compiling saves one round trip.
+        assert region.replay_statement_count() == 2
+
+    def test_blocked_floods_merge_only_when_members_stay_disjoint_from_parents(self):
+        first = FloodStep(
+            members=("p",), parents=("source",), blocked=(("p", ("v1",)),)
+        )
+        independent = FloodStep(
+            members=("r",), parents=("source",), blocked=(("r", ("v2",)),)
+        )
+        dependent = FloodStep(
+            members=("s",), parents=("p",), blocked=(("s", ("v3",)),)
+        )
+        assert [r.kind for r in compile_steps([first, independent])] == [
+            "blocked_flood"
+        ]
+        # A blocked flood reading a member closed by the open run must not
+        # share its statement: the window pass would miss the fresh rows.
+        assert [r.kind for r in compile_steps([first, dependent])] == [
+            "blocked_flood",
+            "blocked_flood",
+        ]
+
+    def test_oversized_blocked_flood_spills_to_replay(self):
+        members = tuple(f"m{i}" for i in range(40))
+        parents = tuple(f"p{i}" for i in range(MAX_FLOOD_PAIRS // 40 + 1))
+        oversized = FloodStep(
+            members=members,
+            parents=parents,
+            blocked=(("m0", ("v1",)),),
+        )
+        regions = compile_steps([oversized])
         assert [region.kind for region in regions] == ["replay"]
 
     def test_journal_markers_are_strictly_increasing(self):
@@ -424,3 +469,434 @@ class TestDialectFallback:
         region = CompiledRegion(kind="copy", steps=(CopyStep("a", "b"),))
         with pytest.raises(AttributeError):
             region.kind = "flood"
+
+
+def _random_skeptic_scenario(rng, max_users: int = 8):
+    """A random network with constrained 2-cycle gadgets hanging off it.
+
+    Returns ``(network, positive_users, constraints)``.  Each gadget is the
+    Skeptic-test shape — a member pair ``g<i>a ↔ g<i>b`` whose second node
+    prefers a negative-only filter — so the plan carries flood steps with
+    blocked values, exercising the blocked-flood compiler on every trial.
+    """
+    network, explicit = _random_network(rng, max_users=max_users)
+    hosts = sorted(str(user) for user in network.users)
+    constraints = {}
+    for index in range(rng.randint(1, 3)):
+        host = rng.choice(hosts)
+        first, second, filt = f"g{index}a", f"g{index}b", f"g{index}f"
+        network.add_trust(first, host, priority=2)
+        network.add_trust(first, second, priority=1)
+        network.add_trust(second, filt, priority=2)
+        network.add_trust(second, first, priority=1)
+        constraints[filt] = tuple(
+            sorted(rng.sample(["v1", "v2", "v3"], rng.randint(1, 2)))
+        )
+    return network, explicit, constraints
+
+
+class TestSkepticCompiledEquivalenceProperty:
+    """Tentpole acceptance: SkepticBulkResolver under scheduler="compiled"
+    pushes blocked floods down (regions_compiled > 0, statements_saved > 0)
+    and stays byte-identical to sequential replay on >= 200 random
+    constrained networks, shard counts {1, 2, 4}, through in-memory sqlite,
+    sqlite-file and DB-API backends."""
+
+    NETWORKS = 200
+    SHARD_COUNTS = (1, 2, 4)
+    BACKEND_KINDS = ("memory", "file", "dbapi")
+
+    def test_skeptic_compiled_is_byte_identical_over_random_networks(
+        self, tmp_path, serialized_relation
+    ):
+        rng = random.Random(20260807)
+        blocked_regions = 0
+        compiled_with_savings = 0
+        for trial in range(self.NETWORKS):
+            network, explicit, constraints = _random_skeptic_scenario(rng)
+            rows = _random_rows(rng, explicit, n_objects=rng.randint(2, 4))
+            shards = self.SHARD_COUNTS[trial % len(self.SHARD_COUNTS)]
+            kind = self.BACKEND_KINDS[(trial // 3) % len(self.BACKEND_KINDS)]
+            if shards == 1:
+                if kind == "file":
+                    store = PossStore(
+                        backend=SqliteFileBackend(str(tmp_path / f"s{trial}.db"))
+                    )
+                elif kind == "dbapi":
+                    store = PossStore(
+                        backend=_dbapi_backends(tmp_path, f"s{trial}", 1)[0]
+                    )
+                else:
+                    store = PossStore()
+            elif kind == "memory":
+                store = ShardedPossStore(shards)
+            elif kind == "file":
+                store = ShardedPossStore(
+                    shards, backends=_file_backends(tmp_path, f"s{trial}", shards)
+                )
+            else:
+                store = ShardedPossStore(
+                    shards, backends=_dbapi_backends(tmp_path, f"s{trial}", shards)
+                )
+            resolver = SkepticBulkResolver(
+                network,
+                positive_users=explicit,
+                negative_constraints=constraints,
+                store=store,
+                scheduler="compiled",
+            )
+            expected = _sequential_reference(
+                resolver.plan, rows, serialized_relation
+            )
+            compiled = resolver.compiled
+            blocked_regions += sum(
+                1
+                for region in compiled.regions
+                if region.kind == "blocked_flood" and region.pairs
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, (
+                f"trial {trial}: Skeptic compiled execution diverged "
+                f"(shards={shards}, backend={kind})"
+            )
+            assert report.scheduler == "compiled"
+            # Every region compiles on this sqlite (>= 3.28): the fan-out
+            # store executes each region once, per-shard inside.
+            assert report.regions_compiled == compiled.region_count
+            assert report.statements == compiled.statement_count() * shards
+            if report.statements_saved:
+                compiled_with_savings += 1
+            store.close()
+        # The generator must actually exercise the blocked-flood path, and
+        # compiling must save round trips on a solid majority of trials.
+        assert blocked_regions > 50
+        assert compiled_with_savings > self.NETWORKS // 2
+
+    def test_skeptic_chain_workload_compiles_blocked_floods(
+        self, serialized_relation
+    ):
+        """The bench workload end to end: regions_compiled > 0 and
+        statements_saved > 0, byte-identical to the pipelined replay."""
+        from repro.workloads.bulkload import skeptic_chain_network
+
+        network, constraints = skeptic_chain_network(60)
+        rows = [
+            (user, f"k{i}", f"a{4 * (i % 9 + 1)}" if i % 2 else f"b{i}")
+            for i in range(4)
+            for user in BELIEF_USERS
+        ]
+        reference = SkepticBulkResolver(
+            network,
+            positive_users=BELIEF_USERS,
+            negative_constraints=constraints,
+        )
+        reference.load_beliefs(rows)
+        reference.run()
+        expected = serialized_relation(reference.store)
+        reference.store.close()
+
+        resolver = SkepticBulkResolver(
+            network,
+            positive_users=BELIEF_USERS,
+            negative_constraints=constraints,
+            scheduler="compiled",
+        )
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        assert serialized_relation(resolver.store) == expected
+        assert report.regions_compiled > 0
+        assert report.statements_saved > 0
+        kinds = {region.kind for region in resolver.compiled.regions}
+        assert "blocked_flood" in kinds
+        resolver.store.close()
+
+
+class TestRegionSchedule:
+    """Units for the region-level dependency DAG (region_schedule)."""
+
+    def test_chain_regions_schedule_linearly(self):
+        network = chain_network(100)
+        plan = plan_resolution(network, explicit_users=BELIEF_USERS)
+        limits = RegionLimits(max_copy_edges=25, max_flood_pairs=25)
+        compiled = compile_plan(plan, limits=limits)
+        assert compiled.region_count == 4
+        schedule = region_schedule(compiled)
+        assert schedule.region_count == 4
+        # Each region reads users the previous one closes: a linear DAG.
+        assert list(schedule.depends_on) == [(), (0,), (1,), (2,)]
+        assert [list(stage) for stage in schedule.stages] == [[0], [1], [2], [3]]
+
+    def test_independent_chains_share_one_stage(self):
+        from repro.workloads.bulkload import multi_chain_network
+
+        network, roots = multi_chain_network(4, 30)
+        plan = plan_resolution(network, explicit_users=roots)
+        limits = RegionLimits(max_copy_edges=30, max_flood_pairs=30)
+        compiled = compile_plan(plan, limits=limits)
+        assert compiled.region_count == 4
+        schedule = region_schedule(compiled)
+        assert all(deps == () for deps in schedule.depends_on)
+        assert schedule.stage_count == 1
+        assert sorted(schedule.stages[0]) == [0, 1, 2, 3]
+
+    def test_flood_region_depends_on_the_copy_region_closing_its_parents(self):
+        tn = TrustNetwork()
+        tn.add_trust("b", "a", priority=1)
+        tn.add_trust("p", "b", priority=1)
+        tn.add_trust("p", "q", priority=1)
+        tn.add_trust("q", "p", priority=1)
+        tn.set_explicit_belief("a", "v")
+        plan = plan_resolution(tn)
+        compiled = compile_plan(plan)
+        kinds = [region.kind for region in compiled.regions]
+        assert "flood" in kinds
+        schedule = region_schedule(compiled)
+        flood_index = kinds.index("flood")
+        assert schedule.depends_on[flood_index], (
+            "the SCC flood reads users closed by the copy region before it"
+        )
+
+    def test_schedule_covers_every_region_exactly_once(self):
+        network = figure19_network()
+        plan = plan_resolution(network, explicit_users=BELIEF_USERS)
+        compiled = compile_plan(plan)
+        schedule = region_schedule(compiled)
+        scheduled = sorted(i for stage in schedule.stages for i in stage)
+        assert scheduled == list(range(compiled.region_count))
+
+
+class TestWorkersReporting:
+    """BulkRunReport.workers must report reality, not a hardcoded 1."""
+
+    def _multi_region_setup(self):
+        from repro.workloads.bulkload import multi_chain_network
+
+        network, roots = multi_chain_network(4, 20)
+        plan = plan_resolution(network, explicit_users=roots)
+        limits = RegionLimits(max_copy_edges=20, max_flood_pairs=20)
+        compiled = compile_plan(plan, limits=limits)
+        rows = [(root, f"k{i}", "v") for root in roots for i in range(2)]
+        return network, roots, plan, compiled, rows
+
+    def test_single_store_compiled_reports_the_worker_pool(
+        self, tmp_path, serialized_relation
+    ):
+        network, roots, plan, compiled, rows = self._multi_region_setup()
+        expected = _sequential_reference(plan, rows, serialized_relation)
+        backend = SqliteFileBackend(str(tmp_path / "workers.db"))
+        assert backend.supports_concurrent_replay
+        store = PossStore(backend=backend)
+        resolver = BulkResolver(
+            network,
+            store=store,
+            explicit_users=roots,
+            scheduler="compiled",
+            workers=3,
+            plan=plan,
+            compiled_plan=compiled,
+        )
+        report = None
+        if store.supports_concurrent_statements:
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert report.workers == 3
+            assert serialized_relation(store) == expected
+        store.close()
+
+    def test_memory_store_clamps_workers_to_one(self):
+        network, roots, plan, compiled, rows = self._multi_region_setup()
+        resolver = BulkResolver(
+            network,
+            explicit_users=roots,
+            scheduler="compiled",
+            workers=4,
+            plan=plan,
+            compiled_plan=compiled,
+        )
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        # The in-memory backend cannot move its connection across threads:
+        # the run degrades to one worker and must say so.
+        assert report.workers == 1
+        resolver.store.close()
+
+    def test_sharded_compiled_run_reports_shard_lanes(self, tmp_path):
+        network = figure19_network()
+        store = ShardedPossStore(
+            2, backends=_file_backends(tmp_path, "lanes", 2)
+        )
+        concurrent = store.supports_concurrent_replay
+        resolver = ConcurrentBulkResolver(
+            network,
+            store=store,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+        )
+        resolver.load_beliefs(generate_objects(6, seed=3))
+        report = resolver.run()
+        assert report.workers == (2 if concurrent else 1)
+        store.close()
+
+    def test_sharded_checkpointed_run_reports_recovery_lanes(self, tmp_path):
+        network = figure19_network()
+        store = ShardedPossStore(
+            2, backends=_file_backends(tmp_path, "ck-lanes", 2)
+        )
+        concurrent = store.supports_concurrent_replay
+        resolver = ConcurrentBulkResolver(
+            network,
+            store=store,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+            checkpoint="workers-report",
+        )
+        resolver.load_beliefs(generate_objects(6, seed=3))
+        report = resolver.run()
+        assert report.checkpointed
+        assert report.workers == (2 if concurrent else 1)
+        store.close()
+
+
+class TestAdaptiveRegionLimits:
+    """RegionLimits sizing from the probed bind capacity."""
+
+    def test_for_bind_params_halves_the_budget(self):
+        assert RegionLimits.for_bind_params(999).max_copy_edges == 499
+        assert RegionLimits.for_bind_params(999).max_flood_pairs == 499
+        assert RegionLimits.for_bind_params(32_766).max_copy_edges == 16_382
+        assert RegionLimits.for_bind_params(250_000).max_copy_edges == 124_999
+
+    def test_for_bind_params_reserves_the_bottom_parameter(self):
+        # One scalar is reserved for the ⊥ literal of blocked floods, so a
+        # 3-parameter budget still fits one (member, parent) pair.
+        limits = RegionLimits.for_bind_params(3)
+        assert limits.max_copy_edges == 1
+        assert limits.max_flood_pairs == 1
+        assert RegionLimits.for_bind_params(1).max_copy_edges == 1
+
+    def test_deep_chain_collapses_to_one_region_under_the_probed_limit(self):
+        from repro.bulk.backends import sqlite_max_bind_params
+
+        network = chain_network(1600)
+        plan = plan_resolution(network, explicit_users=BELIEF_USERS)
+        capacity = sqlite_max_bind_params()
+        compiled = compile_plan(plan, limits=RegionLimits.for_bind_params(capacity))
+        historic = compile_plan(plan)
+        if capacity >= 2 * 1601:
+            assert compiled.region_count == 1
+        assert compiled.region_count <= historic.region_count
+
+    def test_executor_sizes_regions_from_the_store_capacity(self):
+        network = chain_network(1600)
+        resolver = BulkResolver(
+            network, explicit_users=BELIEF_USERS, scheduler="compiled"
+        )
+        assert (
+            resolver.region_limits
+            == RegionLimits.for_bind_params(resolver.store.max_bind_params)
+        )
+        if resolver.store.max_bind_params >= 2 * 1601:
+            assert resolver.compiled.region_count == 1
+        resolver.store.close()
+
+
+class TestSqliteVersionGating:
+    """Monkeypatched sqlite version strings degrade per region, never crash.
+
+    The dialect is derived from sqlite3.sqlite_version_info behind an
+    lru_cache; each scenario clears the cache, patches the version, and
+    checks that the compiled run (a) falls back to replay exactly for the
+    unsupported region kinds and (b) still passes byte-identity.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _fresh_dialect_cache(self):
+        sqlite_dialect.cache_clear()
+        yield
+        sqlite_dialect.cache_clear()
+
+    def _skeptic_run(self, serialized_relation):
+        from repro.workloads.bulkload import skeptic_chain_network
+
+        network, constraints = skeptic_chain_network(24)
+        rows = [
+            (user, f"k{i}", f"a{4 * (i % 5 + 1)}")
+            for i in range(3)
+            for user in BELIEF_USERS
+        ]
+        resolver = SkepticBulkResolver(
+            network,
+            positive_users=BELIEF_USERS,
+            negative_constraints=constraints,
+            scheduler="compiled",
+        )
+        expected = _sequential_reference(resolver.plan, rows, serialized_relation)
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        relation = serialized_relation(resolver.store)
+        kinds = [
+            region.kind
+            for region in resolver.compiled.regions
+            if region.statement_count() or region.kind == "replay"
+        ]
+        # Fence-only flood regions (no pairs) complete in zero statements on
+        # any dialect and always count as compiled.
+        fences = sum(
+            1
+            for region in resolver.compiled.regions
+            if region.kind in ("flood", "blocked_flood") and not region.pairs
+        )
+        resolver.store.close()
+        return report, relation == expected, kinds, fences
+
+    def test_pre_cte_sqlite_replays_everything(
+        self, monkeypatch, serialized_relation
+    ):
+        monkeypatch.setattr(sqlite3, "sqlite_version_info", (3, 7, 17))
+        assert sqlite_dialect() is None
+        report, identical, _kinds, fences = self._skeptic_run(serialized_relation)
+        assert identical
+        assert report.regions_compiled == fences
+        assert report.statements_saved == 0
+
+    def test_pre_window_sqlite_compiles_only_copy_regions(
+        self, monkeypatch, serialized_relation
+    ):
+        monkeypatch.setattr(sqlite3, "sqlite_version_info", (3, 20, 0))
+        dialect = sqlite_dialect()
+        assert dialect.supports_copy_regions
+        assert not dialect.supports_flood_stages
+        assert not dialect.supports_blocked_floods
+        report, identical, kinds, fences = self._skeptic_run(serialized_relation)
+        assert identical
+        copy_regions = sum(1 for kind in kinds if kind == "copy")
+        assert copy_regions > 0
+        assert report.regions_compiled == copy_regions + fences
+
+    def test_pre_blocked_flood_sqlite_replays_only_blocked_regions(
+        self, monkeypatch, serialized_relation
+    ):
+        monkeypatch.setattr(sqlite3, "sqlite_version_info", (3, 26, 0))
+        dialect = sqlite_dialect()
+        assert dialect.supports_flood_stages
+        assert not dialect.supports_blocked_floods
+        report, identical, kinds, fences = self._skeptic_run(serialized_relation)
+        assert identical
+        unblocked = sum(1 for kind in kinds if kind in ("copy", "flood"))
+        blocked = sum(1 for kind in kinds if kind == "blocked_flood")
+        assert blocked > 0
+        assert unblocked > 0
+        assert report.regions_compiled == unblocked + fences
+
+    def test_modern_sqlite_compiles_blocked_floods(
+        self, monkeypatch, serialized_relation
+    ):
+        monkeypatch.setattr(sqlite3, "sqlite_version_info", (3, 28, 0))
+        dialect = sqlite_dialect()
+        assert dialect.supports_blocked_floods
+        report, identical, kinds, fences = self._skeptic_run(serialized_relation)
+        assert identical
+        assert report.regions_compiled == fences + len(
+            [kind for kind in kinds if kind != "replay"]
+        )

@@ -167,6 +167,50 @@ class TestPostgresResolvers:
         assert report.statements < replay_report.statements
         assert report.statements_saved > 0
 
+    def test_skeptic_compiled_blocked_floods_match_replay(
+        self, pg_store, serialized_relation
+    ):
+        """Blocked-flood regions (anti-joined window pass + ⊥ branch) on a
+        real PostgreSQL: Skeptic resolution under the compiled scheduler is
+        byte-identical to the pipelined replay and pushes the constrained
+        floods down as single statements."""
+        from repro.bulk.executor import SkepticBulkResolver
+        from repro.workloads.bulkload import skeptic_chain_network
+
+        network, constraints = skeptic_chain_network(40)
+        rows = [
+            (user, f"k{i}", f"a{4 * (i % 9 + 1)}" if i % 2 else f"b{i}")
+            for i in range(5)
+            for user in BELIEF_USERS
+        ]
+
+        reference = SkepticBulkResolver(
+            network,
+            positive_users=BELIEF_USERS,
+            negative_constraints=constraints,
+        )
+        reference.load_beliefs(rows)
+        replay_report = reference.run()
+        expected = serialized_relation(reference.store)
+        reference.store.close()
+
+        resolver = SkepticBulkResolver(
+            network,
+            positive_users=BELIEF_USERS,
+            negative_constraints=constraints,
+            store=pg_store,
+            scheduler="compiled",
+        )
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        assert serialized_relation(pg_store) == expected
+        assert report.scheduler == "compiled"
+        kinds = {region.kind for region in resolver.compiled.regions}
+        assert "blocked_flood" in kinds
+        assert report.regions_compiled > 0
+        assert report.statements < replay_report.statements
+        assert report.statements_saved > 0
+
 
 class TestPostgresDeltaApply:
     """The incremental delta path (repro.incremental) on a real engine."""

@@ -287,3 +287,276 @@ class TestQuarantineUnderCompiledExecution:
         resolver.run()
         assert serialized_relation(store.shards[0]) == expected_slice
         store.close()
+
+
+class TestSkepticBlockedFloodChaos:
+    """Faults inside blocked-flood region statements retry like any other
+    region; the constrained relation (⊥ included) matches the fault-free
+    twin byte for byte."""
+
+    def _workload(self):
+        from repro.workloads.bulkload import skeptic_chain_network
+
+        network, constraints = skeptic_chain_network(40)
+        rows = [
+            (user, f"k{i}", f"a{4 * (i % 9 + 1)}" if i % 2 else f"b{i}")
+            for i in range(5)
+            for user in BELIEF_USERS
+        ]
+        return network, constraints, rows
+
+    def test_blocked_flood_statements_retry_transparently(
+        self, serialized_relation
+    ):
+        from repro.bulk.executor import SkepticBulkResolver
+
+        network, constraints, rows = self._workload()
+        twin = SkepticBulkResolver(
+            network,
+            positive_users=BELIEF_USERS,
+            negative_constraints=constraints,
+            scheduler="compiled",
+        )
+        twin.load_beliefs(rows)
+        twin.run()
+        expected = serialized_relation(twin.store)
+        kinds = {region.kind for region in twin.compiled.regions}
+        assert "blocked_flood" in kinds
+        twin.store.close()
+
+        saw_faults = False
+        for seed in range(6):
+            backend = FaultInjectingBackend(
+                SqliteMemoryBackend(),
+                FaultPolicy(seed=60 + seed, probability=0.25, sites=("execute",)),
+            )
+            store = PossStore(backend=backend, retry_policy=RETRY_FAST)
+            resolver = SkepticBulkResolver(
+                network,
+                positive_users=BELIEF_USERS,
+                negative_constraints=constraints,
+                store=store,
+                scheduler="compiled",
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, f"seed {seed}"
+            assert report.scheduler == "compiled"
+            assert report.regions_compiled > 0
+            assert report.retries == report.faults_injected
+            saw_faults = saw_faults or report.faults_injected > 0
+            store.close()
+        assert saw_faults
+
+    def test_blocked_flood_crash_resumes_at_region_boundaries(
+        self, serialized_relation, tmp_path
+    ):
+        from repro.bulk.executor import SkepticBulkResolver
+
+        network, constraints, rows = self._workload()
+        twin = SkepticBulkResolver(
+            network,
+            positive_users=BELIEF_USERS,
+            negative_constraints=constraints,
+            scheduler="compiled",
+        )
+        twin.load_beliefs(rows)
+        twin.run()
+        expected = serialized_relation(twin.store)
+        twin.store.close()
+
+        saw_crash = False
+        for crash_at in range(3, 18):
+            backend = FaultInjectingBackend(
+                SqliteFileBackend(str(tmp_path / f"sk{crash_at}.db")),
+                FaultPolicy(
+                    schedule=[
+                        ScriptedFault("execute", crash_at, kind="unavailable")
+                    ],
+                    max_faults=1,
+                ),
+            )
+            try:
+                store = PossStore(backend=backend)
+            except BackendUnavailable:
+                continue
+            run_id = f"skeptic-{crash_at}"
+            crashing = SkepticBulkResolver(
+                network,
+                positive_users=BELIEF_USERS,
+                negative_constraints=constraints,
+                store=store,
+                scheduler="compiled",
+                checkpoint=run_id,
+            )
+            try:
+                crashing.load_beliefs(rows)
+                crashing.run()
+            except BackendUnavailable:
+                saw_crash = True
+                resumed = SkepticBulkResolver(
+                    network,
+                    positive_users=BELIEF_USERS,
+                    negative_constraints=constraints,
+                    store=store,
+                    scheduler="compiled",
+                    checkpoint=run_id,
+                )
+                resumed.load_beliefs(rows)
+                report = resumed.run()
+                assert report.checkpointed is True
+            backend.policy.schedule = ()
+            assert serialized_relation(store) == expected, crash_at
+            store.close()
+        assert saw_crash
+
+
+class TestConcurrentRegionChaos:
+    """Concurrent region workers under injected faults: the relation is
+    byte-identical to the fault-free sequential twin, with per-statement
+    retries absorbing transient errors in any worker thread."""
+
+    def _workload(self):
+        from repro.bulk.compile import RegionLimits, compile_plan
+        from repro.bulk.planner import plan_resolution
+        from repro.workloads.bulkload import multi_chain_network
+
+        network, roots = multi_chain_network(4, 20)
+        plan = plan_resolution(network, explicit_users=roots)
+        limits = RegionLimits(max_copy_edges=20, max_flood_pairs=20)
+        compiled = compile_plan(plan, limits=limits)
+        rows = [(root, f"k{i}", f"v{i}") for root in roots for i in range(3)]
+        return network, roots, plan, compiled, rows
+
+    def test_concurrent_regions_match_sequential_twin_under_faults(
+        self, serialized_relation, tmp_path
+    ):
+        network, roots, plan, compiled, rows = self._workload()
+        twin_store = PossStore()
+        twin = BulkResolver(
+            network, store=twin_store, explicit_users=roots, plan=plan
+        )
+        twin.load_beliefs(rows)
+        twin.run()
+        expected = serialized_relation(twin_store)
+        twin_store.close()
+
+        saw_faults = saw_overlap = False
+        for seed in range(6):
+            backend = FaultInjectingBackend(
+                SqliteFileBackend(str(tmp_path / f"cw{seed}.db")),
+                FaultPolicy(seed=80 + seed, probability=0.15, sites=("execute",)),
+            )
+            if not backend.supports_concurrent_statements:
+                pytest.skip("sqlite build is not serialized-threadsafe")
+            store = PossStore(backend=backend, retry_policy=RETRY_FAST)
+            resolver = BulkResolver(
+                network,
+                store=store,
+                explicit_users=roots,
+                scheduler="compiled",
+                workers=4,
+                plan=plan,
+                compiled_plan=compiled,
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, f"seed {seed}"
+            assert report.workers == 4
+            assert report.retries == report.faults_injected
+            saw_faults = saw_faults or report.faults_injected > 0
+            saw_overlap = saw_overlap or report.stages_overlapped > 0
+            store.close()
+        assert saw_faults
+
+
+class TestConcurrentCheckpointedRecovery:
+    """The threaded sharded recovery path: concurrent per-shard resume
+    lands byte-identical, reports its lanes, and still quarantines."""
+
+    def test_threaded_recovery_matches_fault_free_twin(
+        self, serialized_relation, tmp_path
+    ):
+        network = figure19_network()
+        objects = generate_objects(8, seed=36)
+
+        healthy = ShardedPossStore(
+            2,
+            backends=[
+                SqliteFileBackend(str(tmp_path / f"twin-{i}.db"))
+                for i in range(2)
+            ],
+        )
+        twin = ConcurrentBulkResolver(
+            network,
+            store=healthy,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+        )
+        twin.load_beliefs(objects)
+        twin.run()
+        expected = serialized_relation(healthy)
+        concurrent = healthy.supports_concurrent_replay
+        healthy.close()
+
+        saw_quarantine = False
+        for crash_at in range(3, 16):
+            backends = [
+                FaultInjectingBackend(
+                    SqliteFileBackend(str(tmp_path / f"rec{crash_at}-{i}.db")),
+                    FaultPolicy(
+                        schedule=[
+                            ScriptedFault(
+                                "execute", crash_at, shard=i, kind="unavailable"
+                            )
+                        ]
+                        if i == 1
+                        else [],
+                        max_faults=1,
+                    ),
+                    shard=i,
+                )
+                for i in range(2)
+            ]
+            try:
+                store = ShardedPossStore(2, backends=backends)
+            except BackendUnavailable:
+                continue
+            run_id = f"recover-{crash_at}"
+            crashing = ConcurrentBulkResolver(
+                network,
+                store=store,
+                explicit_users=BELIEF_USERS,
+                scheduler="compiled",
+                checkpoint=run_id,
+            )
+            # A shard fault during the checkpointed run quarantines the
+            # shard (the run completes degraded); one hitting the belief
+            # load raises instead.  Either way the resume path repairs it.
+            try:
+                crashing.load_beliefs(objects)
+                crashing.run()
+            except BackendUnavailable:
+                pass
+            for backend in backends:
+                backend.policy.schedule = ()
+            if store.degraded_shards or serialized_relation(store) != expected:
+                saw_quarantine = saw_quarantine or bool(store.degraded_shards)
+                if store.degraded_shards:
+                    store.heal(1)
+                resumed = ConcurrentBulkResolver(
+                    network,
+                    store=store,
+                    explicit_users=BELIEF_USERS,
+                    scheduler="compiled",
+                    checkpoint=run_id,
+                )
+                resumed.load_beliefs(objects)
+                report = resumed.run()
+                assert report.checkpointed is True
+                assert report.workers == (2 if concurrent else 1)
+            for backend in backends:
+                backend.policy.schedule = ()
+            assert serialized_relation(store) == expected, crash_at
+            store.close()
+        assert saw_quarantine

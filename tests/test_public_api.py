@@ -71,6 +71,7 @@ BULK_API = [
     "CompiledRegion",
     "ConcurrentBulkResolver",
     "CopyStep",
+    "DEFAULT_MAX_BIND_PARAMS",
     "DagNode",
     "DbApiBackend",
     "FloodStep",
@@ -82,6 +83,8 @@ BULK_API = [
     "PlanPatch",
     "PossRow",
     "PossStore",
+    "RegionLimits",
+    "RegionSchedule",
     "ResolutionPlan",
     "SCHEDULERS",
     "ShardSpec",
@@ -96,10 +99,13 @@ BULK_API = [
     "plan_dag",
     "plan_resolution",
     "plan_skeptic_resolution",
+    "probe_max_bind_params",
+    "region_schedule",
     "replay_dag",
     "resolve_dialect",
     "splice_compiled",
     "sqlite_dialect",
+    "sqlite_max_bind_params",
 ]
 
 
