@@ -15,7 +15,13 @@ from benchmarks.conftest import full_sweep, record_scenario
 from repro.bulk.executor import BulkResolver
 from repro.experiments import fig8c_bulk
 from repro.experiments.runner import format_table, log_log_slope
-from repro.workloads.bulkload import BELIEF_USERS, figure19_network, generate_objects
+from repro.obs import NullTracer, Tracer
+from repro.workloads.bulkload import (
+    BELIEF_USERS,
+    chain_network,
+    figure19_network,
+    generate_objects,
+)
 
 OBJECT_COUNTS = (100, 1_000, 10_000) if not full_sweep() else (100, 1_000, 10_000, 100_000)
 
@@ -290,6 +296,59 @@ def test_fig8c_compiled_sweep(bench_json_records, bench_report_lines):
             depth=row["depth"],
             objects=row["objects"],
         )
+
+
+def test_fig8c_observability_overhead(bench_json_records, bench_report_lines):
+    """Tracing must not tax the hot path.  Three timed variants of the
+    depth-1600 compiled chain: the default untraced run, a run with an
+    explicit no-op tracer (the NULL_TRACER code path every call site takes
+    when tracing is off), and a run with a live recording tracer.  Targets:
+    no-op <= 2%, active <= 10%.  As with every timing gate in this file the
+    assert carries a small absolute slack so a cold CI runner's machine
+    weather cannot flake a sub-second measurement; the measured ratios are
+    recorded in BENCH_resolution.json as fig8c_bulk/obs/overhead."""
+    depth, n_objects, repeats = 1600, 10, 3
+
+    def run_once(tracer=None):
+        network = chain_network(depth)
+        resolver = BulkResolver(
+            network,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+            tracer=tracer,
+        )
+        resolver.load_beliefs(generate_objects(n_objects, seed=11))
+        report = resolver.run()
+        resolver.store.close()
+        assert report.scheduler == "compiled", report
+        return report.elapsed_seconds
+
+    untraced = min(run_once() for _ in range(repeats))
+    noop = min(run_once(NullTracer()) for _ in range(repeats))
+    active = min(run_once(Tracer()) for _ in range(repeats))
+
+    slack = 0.010  # absolute seconds: timer noise floor on a busy runner
+    noop_ratio = noop / max(untraced, 1e-9)
+    active_ratio = active / max(untraced, 1e-9)
+    assert noop <= untraced * 1.02 + slack, (untraced, noop, noop_ratio)
+    assert active <= untraced * 1.10 + slack, (untraced, active, active_ratio)
+
+    bench_report_lines.append(
+        "Figure 8c — observability overhead (depth-1600 compiled chain): "
+        f"untraced {untraced:.6f}s, no-op {noop:.6f}s ({noop_ratio:.3f}x), "
+        f"active {active:.6f}s ({active_ratio:.3f}x)"
+    )
+    record_scenario(
+        bench_json_records,
+        "fig8c_bulk/obs/overhead",
+        seconds=active,
+        untraced_seconds=round(untraced, 6),
+        noop_seconds=round(noop, 6),
+        noop_ratio=round(noop_ratio, 3),
+        active_ratio=round(active_ratio, 3),
+        depth=depth,
+        objects=n_objects,
+    )
 
 
 def test_fig8c_skeptic_compiled_sweep(bench_json_records, bench_report_lines):

@@ -30,6 +30,8 @@ Quickstart::
     assert result.certain_value("alice") == "fish"
 """
 
+import logging as _logging
+
 from repro.core import (
     BOTTOM,
     Belief,
@@ -56,6 +58,11 @@ from repro.core import (
     resolve_with_constraints,
 )
 from repro.engine import EngineReport, ResolutionEngine
+
+# Library logging hygiene: the package never configures logging by itself.
+# Applications opt in with their own handlers; the experiment CLIs call
+# repro.obs.install_cli_handler().
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
 
 __version__ = "1.1.0"
 

@@ -74,6 +74,7 @@ from repro.bulk.compile import (
     region_schedule,
 )
 from repro.faults.retry import RetryPolicy
+from repro.obs.trace import NULL_TRACER, interval_union
 from repro.bulk.planner import (
     CopyStep,
     FloodStep,
@@ -160,6 +161,10 @@ class BulkRunReport:
     #: Statements the compiled run avoided versus statement-at-a-time
     #: replay of the same plan, summed across shards (0 for replay runs).
     statements_saved: int = 0
+    #: The :class:`~repro.obs.trace.Tracer` that observed the run, or
+    #: ``None`` for untraced runs.  When present, the scalar fields above
+    #: are asserted consistent with the recorded spans/metrics.
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
 
     def statements_per_shard(self) -> int:
         """Statements one shard's replay issued (the Section 4 invariant).
@@ -194,6 +199,40 @@ def _replay_step(store, step) -> Tuple[int, str]:
     raise BulkProcessingError(f"unknown plan step {step!r}")
 
 
+class _PhaseClock:
+    """Thread-safe per-phase interval collector.
+
+    Every executing lane (worker thread, shard thread, serial loop) records
+    the ``(start, end)`` interval of each copy/flood step it runs;
+    :meth:`seconds` unions the intervals per phase.  The union — not the
+    sum — is the wall-clock attribution: two workers flooding concurrently
+    for 1s each over the same second is 1s of flood time, which is what
+    keeps ``sum(phase_seconds.values()) <= elapsed`` true under every
+    scheduler.  For serial replay intervals never overlap, so the union
+    degenerates to the old per-step sum exactly.
+    """
+
+    __slots__ = ("_lock", "_intervals")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._intervals: Dict[str, List[Tuple[float, float]]] = {
+            "copy": [],
+            "flood": [],
+        }
+
+    def add(self, phase: str, started: float, ended: float) -> None:
+        with self._lock:
+            self._intervals.setdefault(phase, []).append((started, ended))
+
+    def seconds(self) -> Dict[str, float]:
+        with self._lock:
+            return {
+                phase: interval_union(intervals)
+                for phase, intervals in self._intervals.items()
+            }
+
+
 def _region_supported(store, region: CompiledRegion) -> bool:
     """Whether ``store``'s dialect can evaluate this region as one statement."""
     dialect = getattr(store, "compiled_dialect", None)
@@ -211,7 +250,7 @@ def _region_supported(store, region: CompiledRegion) -> bool:
 
 
 def _execute_region(
-    store, region: CompiledRegion, phase_seconds: Dict[str, float]
+    store, region: CompiledRegion, clock: "_PhaseClock"
 ) -> Tuple[int, bool]:
     """Execute one compiled region on one store; returns (rows, compiled?).
 
@@ -226,28 +265,43 @@ def _execute_region(
     in zero statements regardless of dialect, matching their
     ``statement_count()`` of 0.
     """
+    tracer = getattr(store, "tracer", NULL_TRACER)
     if region.kind in ("flood", "blocked_flood") and not region.pairs:
         return 0, True
-    if _region_supported(store, region):
-        started = time.perf_counter()
-        if region.kind == "copy":
-            rows = store.copy_region(region.edges)
-            phase = "copy"
-        elif region.kind == "blocked_flood":
-            rows = store.blocked_flood(region.pairs, region.blocked)
-            phase = "flood"
+    if tracer.enabled:
+        region_span = tracer.start(
+            "region", kind=region.kind, shard=store.trace_shard
+        )
+    try:
+        if _region_supported(store, region):
+            started = time.perf_counter()
+            if region.kind == "copy":
+                rows = store.copy_region(region.edges)
+                phase = "copy"
+            elif region.kind == "blocked_flood":
+                rows = store.blocked_flood(region.pairs, region.blocked)
+                phase = "flood"
+            else:
+                rows = store.flood_stage(region.pairs)
+                phase = "flood"
+            clock.add(phase, started, time.perf_counter())
+            compiled = True
         else:
-            rows = store.flood_stage(region.pairs)
-            phase = "flood"
-        phase_seconds[phase] += time.perf_counter() - started
-        return rows, True
-    rows = 0
-    for step in region.steps:
-        started = time.perf_counter()
-        step_rows, phase = _replay_step(store, step)
-        rows += step_rows
-        phase_seconds[phase] += time.perf_counter() - started
-    return rows, False
+            rows = 0
+            for step in region.steps:
+                started = time.perf_counter()
+                step_rows, phase = _replay_step(store, step)
+                rows += step_rows
+                clock.add(phase, started, time.perf_counter())
+            compiled = False
+    except BaseException:
+        if tracer.enabled:
+            tracer.finish(region_span.tag(outcome="error"))
+        raise
+    if tracer.enabled:
+        tracer.finish(region_span.tag(rows=rows, compiled=compiled))
+        tracer.metrics.counter("bulk.rows", rows)
+    return rows, compiled
 
 
 class _OverlapTracker:
@@ -331,19 +385,32 @@ class _WorkQueue:
             self._cond.notify_all()
 
 
-def _execute_node(store, node, tracker, phase_seconds, lock) -> int:
+def _execute_node(store, node, tracker, clock, lock) -> int:
     """Execute one DAG node with stage/phase instrumentation; returns rows."""
+    tracer = getattr(store, "tracer", NULL_TRACER)
     if tracker is not None:
         tracker.started(node.stage)
+    if tracer.enabled:
+        node_span = tracer.start(
+            "node", stage=node.stage, shard=store.trace_shard
+        )
     step_started = time.perf_counter()
-    if lock is not None:
-        with lock:
+    try:
+        if lock is not None:
+            with lock:
+                rows, phase = _replay_step(store, node.step)
+        else:
             rows, phase = _replay_step(store, node.step)
-    else:
-        rows, phase = _replay_step(store, node.step)
-    phase_seconds[phase] += time.perf_counter() - step_started
+    except BaseException:
+        if tracer.enabled:
+            tracer.finish(node_span.tag(outcome="error"))
+        raise
+    clock.add(phase, step_started, time.perf_counter())
     if tracker is not None:
         tracker.finished(node.stage)
+    if tracer.enabled:
+        tracer.finish(node_span.tag(phase=phase, rows=rows))
+        tracer.metrics.counter("bulk.rows", rows)
     return rows
 
 
@@ -372,22 +439,26 @@ def replay_dag(
         if workers == 1 or store.supports_concurrent_statements
         else threading.Lock()
     )
-    phase_seconds = {"copy": 0.0, "flood": 0.0}
+    clock = _PhaseClock()
     if workers == 1:
         nodes = dag.topological_order() if stage_barrier else dag.nodes
         rows = 0
         for node in nodes:
-            rows += _execute_node(store, node, tracker, phase_seconds, None)
-        return rows, phase_seconds
+            rows += _execute_node(store, node, tracker, clock, None)
+        return rows, clock.seconds()
 
+    tracer = getattr(store, "tracer", NULL_TRACER)
+    # Cross-thread parent edge: worker spans attach to whatever span is
+    # open on the spawning thread (the run span), captured here because
+    # the thread-local nesting cannot see across threads.
+    parent = tracer.current() if tracer.enabled else None
     totals = [0] * workers
-    worker_phases = [{"copy": 0.0, "flood": 0.0} for _ in range(workers)]
     errors: List[BaseException] = []
 
     if stage_barrier:
         for stage in dag.stages:
             _run_stage_on_workers(
-                store, dag, stage, workers, tracker, totals, worker_phases, errors, lock
+                store, dag, stage, workers, tracker, totals, clock, errors, lock, parent
             )
             if errors:
                 raise errors[0]
@@ -395,20 +466,26 @@ def replay_dag(
         queue = _WorkQueue([node.depends_on for node in dag.nodes])
 
         def pull(slot: int) -> None:
-            while True:
-                index = queue.get()
-                if index is None:
-                    return
-                node = dag.nodes[index]
-                try:
-                    totals[slot] += _execute_node(
-                        store, node, tracker, worker_phases[slot], lock
-                    )
-                except BaseException as error:  # re-raised on the caller
-                    errors.append(error)
-                    queue.abort()
-                    return
-                queue.done(index)
+            if tracer.enabled:
+                worker_span = tracer.start("worker", parent=parent, slot=slot)
+            try:
+                while True:
+                    index = queue.get()
+                    if index is None:
+                        return
+                    node = dag.nodes[index]
+                    try:
+                        totals[slot] += _execute_node(
+                            store, node, tracker, clock, lock
+                        )
+                    except BaseException as error:  # re-raised on the caller
+                        errors.append(error)
+                        queue.abort()
+                        return
+                    queue.done(index)
+            finally:
+                if tracer.enabled:
+                    tracer.finish(worker_span)
 
         threads = [
             threading.Thread(target=pull, args=(slot,), name=f"worker{slot}")
@@ -421,34 +498,36 @@ def replay_dag(
         if errors:
             raise errors[0]
 
-    for phases in worker_phases:
-        for name, value in phases.items():
-            phase_seconds[name] += value
-    return sum(totals), phase_seconds
+    return sum(totals), clock.seconds()
 
 
 def _run_stage_on_workers(
-    store, dag, stage, workers, tracker, totals, worker_phases, errors, lock
+    store, dag, stage, workers, tracker, totals, clock, errors, lock, parent=None
 ) -> None:
     """Barrier discipline: execute one stage's nodes, join, move on."""
     position = {"next": 0}
     guard = threading.Lock()
+    tracer = getattr(store, "tracer", NULL_TRACER)
 
     def pull(slot: int) -> None:
-        while True:
-            with guard:
-                if errors or position["next"] >= len(stage):
+        if tracer.enabled:
+            worker_span = tracer.start("worker", parent=parent, slot=slot)
+        try:
+            while True:
+                with guard:
+                    if errors or position["next"] >= len(stage):
+                        return
+                    index = stage[position["next"]]
+                    position["next"] += 1
+                node = dag.nodes[index]
+                try:
+                    totals[slot] += _execute_node(store, node, tracker, clock, lock)
+                except BaseException as error:
+                    errors.append(error)
                     return
-                index = stage[position["next"]]
-                position["next"] += 1
-            node = dag.nodes[index]
-            try:
-                totals[slot] += _execute_node(
-                    store, node, tracker, worker_phases[slot], lock
-                )
-            except BaseException as error:
-                errors.append(error)
-                return
+        finally:
+            if tracer.enabled:
+                tracer.finish(worker_span)
 
     threads = [
         threading.Thread(target=pull, args=(slot,), name=f"stage-worker{slot}")
@@ -478,6 +557,7 @@ class _PlanExecutor:
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
         compiled_plan: Optional[CompiledPlan] = None,
+        tracer=None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise BulkProcessingError(
@@ -494,6 +574,7 @@ class _PlanExecutor:
         self._compiled_plan = compiled_plan
         self._region_plan: Optional[RegionSchedule] = None
         self._region_plan_for: Optional[CompiledPlan] = None
+        self.tracer = NULL_TRACER if tracer is None else tracer
 
     def _attach_store(self, store) -> None:
         """Bind the store, applying the caller's retry policy if any."""
@@ -502,6 +583,82 @@ class _PlanExecutor:
             # The retry loop lives at the store's statement funnel (one
             # retry site, BEGIN included); the executor only configures it.
             store.retry_policy = self._retry_policy
+        if self.tracer.enabled:
+            # One tracer observes every layer: the store's statement funnel
+            # (and its fault-injecting backend, if any) emits into the same
+            # collection the executor's run/region/node spans land in.
+            store.tracer = self.tracer
+
+    def _trace_begin(self, **tags):
+        """Open the run span and snapshot the metrics counters.
+
+        Returns ``(span, counters)`` — both ``None`` when tracing is off.
+        Call at the same point the run snapshots the store's statement
+        counters, so the metric deltas line up with the report fields.
+        """
+        tracer = self.tracer
+        if not tracer.enabled:
+            return None, None
+        store = self.store
+        shards = len(store.shards) if isinstance(store, ShardedPossStore) else 1
+        span = tracer.start(
+            "bulk.run",
+            scheduler=self._scheduler,
+            shards=shards,
+            checkpoint=self._checkpoint,
+            **tags,
+        )
+        return span, tracer.metrics.counters()
+
+    def _trace_finish(
+        self, span, counters_before, report: BulkRunReport, check_rows: bool = True
+    ) -> BulkRunReport:
+        """Close the run span, attach the trace, and verify consistency.
+
+        The tracer's metrics were incremented at the *same sites* the
+        store's report counters were (statement funnel, fault check, row
+        accumulation), so after a successful run the metric deltas must
+        equal the report fields exactly — any mismatch means an
+        instrumentation seam was missed and is raised loudly.
+        ``check_rows=False`` relaxes the row check for runs that may
+        quarantine a shard mid-run (its executed rows are traced but
+        excluded from the gathered report).
+        """
+        tracer = self.tracer
+        if span is None or not tracer.enabled:
+            return report
+        tracer.finish(
+            span.tag(
+                statements=report.statements,
+                rows=report.rows_inserted,
+                workers=report.workers,
+            )
+        )
+        delta = tracer.metrics.delta(counters_before)
+        checks = [
+            ("poss.statements.bulk", report.statements),
+            ("poss.retries", report.retries),
+            ("poss.timeouts", report.timed_out_statements),
+            ("faults.injected", report.faults_injected),
+        ]
+        if check_rows:
+            checks.append(("bulk.rows", report.rows_inserted))
+        for name, expected in checks:
+            observed = delta.get(name, 0)
+            if observed != expected:
+                raise BulkProcessingError(
+                    f"trace/report mismatch: metric {name} recorded "
+                    f"{observed} but the run report says {expected}"
+                )
+        for phase, seconds in report.phase_seconds.items():
+            tracer.metrics.histogram(f"phase.{phase}", seconds)
+        report.trace = tracer
+        return report
+
+    def _trace_abort(self, span) -> None:
+        """Close the run span on a failed run (keeps the stack balanced)."""
+        if span is not None and self.tracer.enabled:
+            self.tracer.finish(span.tag(outcome="error"))
 
     @property
     def dag(self) -> PlanDag:
@@ -582,21 +739,26 @@ class _PlanExecutor:
         statements_before = store.bulk_statements
         transactions_before = store.transactions
         fault_counters = self._counters_before()
+        run_span, metrics_before = self._trace_begin()
         dag = self.dag
         workers = self._workers
         if workers > 1 and not store.supports_concurrent_replay:
             workers = 1
         tracker = _OverlapTracker(dag.stages, lanes=1)
-        with store.transaction():
-            rows, phase_seconds = replay_dag(
-                store,
-                dag,
-                workers=workers,
-                tracker=tracker,
-                stage_barrier=self._scheduler == "stage-barrier",
-            )
+        try:
+            with store.transaction():
+                rows, phase_seconds = replay_dag(
+                    store,
+                    dag,
+                    workers=workers,
+                    tracker=tracker,
+                    stage_barrier=self._scheduler == "stage-barrier",
+                )
+        except BaseException:
+            self._trace_abort(run_span)
+            raise
         elapsed = time.perf_counter() - started
-        return BulkRunReport(
+        report = BulkRunReport(
             objects=len(self._loaded_objects),
             statements=store.bulk_statements - statements_before,
             rows_inserted=rows,
@@ -613,6 +775,7 @@ class _PlanExecutor:
             stages_overlapped=tracker.overlapped,
             **self._fault_fields(fault_counters),
         )
+        return self._trace_finish(run_span, metrics_before, report)
 
     def _run_checkpointed(self) -> BulkRunReport:
         """Journaled replay: one transaction per DAG node, resumable.
@@ -631,26 +794,31 @@ class _PlanExecutor:
         statements_before = store.bulk_statements
         transactions_before = store.transactions
         fault_counters = self._counters_before()
+        run_span, metrics_before = self._trace_begin()
         dag = self.dag
-        completed = store.journal_completed(run_id)
-        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        clock = _PhaseClock()
         rows = 0
         skipped = 0
-        for node in dag.nodes:
-            if node.index in completed:
-                skipped += 1
-                continue
-            with store.transaction():
-                rows += _execute_node(store, node, None, phase_seconds, None)
-                store.journal_record(run_id, node.index)
+        try:
+            completed = store.journal_completed(run_id)
+            for node in dag.nodes:
+                if node.index in completed:
+                    skipped += 1
+                    continue
+                with store.transaction():
+                    rows += _execute_node(store, node, None, clock, None)
+                    store.journal_record(run_id, node.index)
+        except BaseException:
+            self._trace_abort(run_span)
+            raise
         elapsed = time.perf_counter() - started
-        return BulkRunReport(
+        report = BulkRunReport(
             objects=len(self._loaded_objects),
             statements=store.bulk_statements - statements_before,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=store.conflict_count(),
-            phase_seconds=phase_seconds,
+            phase_seconds=clock.seconds(),
             transactions=store.transactions - transactions_before,
             index_strategy=store.index_strategy.name,
             backend=store.backend_name,
@@ -662,6 +830,7 @@ class _PlanExecutor:
             nodes_skipped=skipped,
             **self._fault_fields(fault_counters),
         )
+        return self._trace_finish(run_span, metrics_before, report)
 
     def _region_workers(self) -> int:
         """Worker threads a compiled run may schedule regions on.
@@ -706,6 +875,7 @@ class _PlanExecutor:
         statements_before = store.bulk_statements
         transactions_before = store.transactions
         fault_counters = self._counters_before()
+        run_span, metrics_before = self._trace_begin(compiled=True)
         compiled = self.compiled
         schedule = self.region_plan
         stage_of = [0] * schedule.region_count
@@ -714,76 +884,81 @@ class _PlanExecutor:
                 stage_of[index] = level
         workers = self._region_workers()
         tracker = _OverlapTracker(schedule.stages, lanes=1)
-        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        clock = _PhaseClock()
+        tracer = self.tracer
         rows = 0
         regions_compiled = 0
-        with store.transaction():
-            if workers == 1:
-                for index, region in enumerate(compiled.regions):
-                    tracker.started(stage_of[index])
-                    region_rows, used_compiled = _execute_region(
-                        store, region, phase_seconds
-                    )
-                    tracker.finished(stage_of[index])
-                    rows += region_rows
-                    regions_compiled += int(used_compiled)
-            else:
-                queue = _WorkQueue(schedule.depends_on)
-                totals = [0] * workers
-                compiled_counts = [0] * workers
-                worker_phases = [
-                    {"copy": 0.0, "flood": 0.0} for _ in range(workers)
-                ]
-                errors: List[BaseException] = []
-
-                def pull(slot: int) -> None:
-                    while True:
-                        index = queue.get()
-                        if index is None:
-                            return
+        try:
+            with store.transaction():
+                if workers == 1:
+                    for index, region in enumerate(compiled.regions):
                         tracker.started(stage_of[index])
-                        try:
-                            region_rows, used_compiled = _execute_region(
-                                store,
-                                compiled.regions[index],
-                                worker_phases[slot],
-                            )
-                        except BaseException as error:  # re-raised below
-                            errors.append(error)
-                            queue.abort()
-                            return
+                        region_rows, used_compiled = _execute_region(
+                            store, region, clock
+                        )
                         tracker.finished(stage_of[index])
-                        totals[slot] += region_rows
-                        compiled_counts[slot] += int(used_compiled)
-                        queue.done(index)
+                        rows += region_rows
+                        regions_compiled += int(used_compiled)
+                else:
+                    queue = _WorkQueue(schedule.depends_on)
+                    totals = [0] * workers
+                    compiled_counts = [0] * workers
+                    errors: List[BaseException] = []
 
-                threads = [
-                    threading.Thread(
-                        target=pull, args=(slot,), name=f"region-worker{slot}"
-                    )
-                    for slot in range(workers)
-                ]
-                for thread in threads:
-                    thread.start()
-                for thread in threads:
-                    thread.join()
-                if errors:
-                    raise errors[0]
-                rows = sum(totals)
-                regions_compiled = sum(compiled_counts)
-                for phases in worker_phases:
-                    for name, value in phases.items():
-                        phase_seconds[name] += value
+                    def pull(slot: int) -> None:
+                        if tracer.enabled:
+                            worker_span = tracer.start(
+                                "region.worker", parent=run_span, slot=slot
+                            )
+                        try:
+                            while True:
+                                index = queue.get()
+                                if index is None:
+                                    return
+                                tracker.started(stage_of[index])
+                                try:
+                                    region_rows, used_compiled = _execute_region(
+                                        store, compiled.regions[index], clock
+                                    )
+                                except BaseException as error:  # re-raised below
+                                    errors.append(error)
+                                    queue.abort()
+                                    return
+                                tracker.finished(stage_of[index])
+                                totals[slot] += region_rows
+                                compiled_counts[slot] += int(used_compiled)
+                                queue.done(index)
+                        finally:
+                            if tracer.enabled:
+                                tracer.finish(worker_span)
+
+                    threads = [
+                        threading.Thread(
+                            target=pull, args=(slot,), name=f"region-worker{slot}"
+                        )
+                        for slot in range(workers)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                    if errors:
+                        raise errors[0]
+                    rows = sum(totals)
+                    regions_compiled = sum(compiled_counts)
+        except BaseException:
+            self._trace_abort(run_span)
+            raise
         elapsed = time.perf_counter() - started
         statements = store.bulk_statements - statements_before
         lanes = len(store.shards) if isinstance(store, ShardedPossStore) else 1
-        return BulkRunReport(
+        report = BulkRunReport(
             objects=len(self._loaded_objects),
             statements=statements,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=store.conflict_count(),
-            phase_seconds=phase_seconds,
+            phase_seconds=clock.seconds(),
             transactions=store.transactions - transactions_before,
             index_strategy=store.index_strategy.name,
             backend=store.backend_name,
@@ -798,6 +973,7 @@ class _PlanExecutor:
             ),
             **self._fault_fields(fault_counters),
         )
+        return self._trace_finish(run_span, metrics_before, report)
 
     def _run_compiled_checkpointed(self) -> BulkRunReport:
         """Journaled region execution: one transaction per region, resumable.
@@ -816,34 +992,41 @@ class _PlanExecutor:
         statements_before = store.bulk_statements
         transactions_before = store.transactions
         fault_counters = self._counters_before()
+        run_span, metrics_before = self._trace_begin(compiled=True)
         compiled = self.compiled
-        completed = store.journal_completed(run_id)
-        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        clock = _PhaseClock()
         rows = 0
         skipped = 0
         regions_compiled = 0
-        for region, marker in zip(compiled.regions, compiled.journal_markers()):
-            if marker in completed:
-                # Region markers are plan step indices, so skipped work is
-                # reported in the same unit as the per-node scheduler.
-                skipped += len(region.steps)
-                continue
-            with store.transaction():
-                region_rows, used_compiled = _execute_region(
-                    store, region, phase_seconds
-                )
-                rows += region_rows
-                regions_compiled += int(used_compiled)
-                store.journal_record(run_id, marker)
+        try:
+            completed = store.journal_completed(run_id)
+            for region, marker in zip(
+                compiled.regions, compiled.journal_markers()
+            ):
+                if marker in completed:
+                    # Region markers are plan step indices, so skipped work
+                    # is reported in the same unit as the per-node scheduler.
+                    skipped += len(region.steps)
+                    continue
+                with store.transaction():
+                    region_rows, used_compiled = _execute_region(
+                        store, region, clock
+                    )
+                    rows += region_rows
+                    regions_compiled += int(used_compiled)
+                    store.journal_record(run_id, marker)
+        except BaseException:
+            self._trace_abort(run_span)
+            raise
         elapsed = time.perf_counter() - started
         statements = store.bulk_statements - statements_before
-        return BulkRunReport(
+        report = BulkRunReport(
             objects=len(self._loaded_objects),
             statements=statements,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=store.conflict_count(),
-            phase_seconds=phase_seconds,
+            phase_seconds=clock.seconds(),
             transactions=store.transactions - transactions_before,
             index_strategy=store.index_strategy.name,
             backend=store.backend_name,
@@ -859,6 +1042,7 @@ class _PlanExecutor:
             ),
             **self._fault_fields(fault_counters),
         )
+        return self._trace_finish(run_span, metrics_before, report)
 
     def possible_values(self, user: User, key: object) -> FrozenSet[str]:
         """Possible values of a user for one object after :meth:`run`."""
@@ -899,6 +1083,7 @@ class BulkResolver(_PlanExecutor):
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
         compiled_plan: Optional[CompiledPlan] = None,
+        tracer=None,
     ) -> None:
         super().__init__(
             workers=workers,
@@ -906,6 +1091,7 @@ class BulkResolver(_PlanExecutor):
             retry_policy=retry_policy,
             checkpoint=checkpoint,
             compiled_plan=compiled_plan,
+            tracer=tracer,
         )
         self.network = network
         self._attach_store(store or PossStore())
@@ -1034,6 +1220,7 @@ class ConcurrentBulkResolver(BulkResolver):
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
         compiled_plan: Optional[CompiledPlan] = None,
+        tracer=None,
     ) -> None:
         if store is None:
             store = ShardedPossStore(2 if shards is None else shards)
@@ -1057,6 +1244,7 @@ class ConcurrentBulkResolver(BulkResolver):
             retry_policy=retry_policy,
             checkpoint=checkpoint,
             compiled_plan=compiled_plan,
+            tracer=tracer,
         )
 
     def _replay_shard(
@@ -1064,9 +1252,11 @@ class ConcurrentBulkResolver(BulkResolver):
         shard: PossStore,
         tracker: Optional[_OverlapTracker] = None,
         barrier: Optional[threading.Barrier] = None,
-    ) -> Tuple[int, Dict[str, float], float, int]:
-        """Replay the plan on one shard; returns (rows, phases, seconds,
-        regions compiled).
+        clock: Optional[_PhaseClock] = None,
+        parent=None,
+    ) -> Tuple[int, float, int]:
+        """Replay the plan on one shard; returns (rows, seconds, regions
+        compiled).  Phase intervals land in the run-shared ``clock``.
 
         Pipelined (no ``barrier``): nodes in dependency order, the shard
         never waits for its siblings.  Stage-barrier: every shard calls
@@ -1077,40 +1267,54 @@ class ConcurrentBulkResolver(BulkResolver):
         heterogeneous placement degrades per shard, not per run).
         """
         shard_started = time.perf_counter()
-        phase = {"copy": 0.0, "flood": 0.0}
+        clock = clock if clock is not None else _PhaseClock()
+        tracer = self.tracer
+        if tracer.enabled:
+            # The shard lane runs on its own thread: attach it to the run
+            # span explicitly; the shard's statement spans then nest under
+            # this lane via the thread-local stack.
+            lane_span = tracer.start(
+                "shard.replay", parent=parent, shard=shard.trace_shard
+            )
         rows = 0
         regions_compiled = 0
-        if self._scheduler == "compiled":
-            schedule = self.region_plan
-            stage_of = [0] * schedule.region_count
-            for level, stage in enumerate(schedule.stages):
-                for region_index in stage:
-                    stage_of[region_index] = level
-            for index, region in enumerate(self.compiled.regions):
-                if tracker is not None:
-                    tracker.started(stage_of[index])
-                region_rows, used_compiled = _execute_region(shard, region, phase)
-                if tracker is not None:
-                    tracker.finished(stage_of[index])
-                rows += region_rows
-                regions_compiled += int(used_compiled)
-        elif barrier is None:
-            for node in self.dag.nodes:
-                rows += _execute_node(shard, node, tracker, phase, None)
-        else:
-            try:
-                for stage in self.dag.stages:
-                    barrier.wait()
-                    for index in stage:
-                        rows += _execute_node(
-                            shard, self.dag.nodes[index], tracker, phase, None
-                        )
-            except BaseException:
-                # Unblock the sibling shards waiting at the next stage
-                # boundary; they observe BrokenBarrierError and unwind.
-                barrier.abort()
-                raise
-        return rows, phase, time.perf_counter() - shard_started, regions_compiled
+        try:
+            if self._scheduler == "compiled":
+                schedule = self.region_plan
+                stage_of = [0] * schedule.region_count
+                for level, stage in enumerate(schedule.stages):
+                    for region_index in stage:
+                        stage_of[region_index] = level
+                for index, region in enumerate(self.compiled.regions):
+                    if tracker is not None:
+                        tracker.started(stage_of[index])
+                    region_rows, used_compiled = _execute_region(
+                        shard, region, clock
+                    )
+                    if tracker is not None:
+                        tracker.finished(stage_of[index])
+                    rows += region_rows
+                    regions_compiled += int(used_compiled)
+            elif barrier is None:
+                for node in self.dag.nodes:
+                    rows += _execute_node(shard, node, tracker, clock, None)
+            else:
+                try:
+                    for stage in self.dag.stages:
+                        barrier.wait()
+                        for index in stage:
+                            rows += _execute_node(
+                                shard, self.dag.nodes[index], tracker, clock, None
+                            )
+                except BaseException:
+                    # Unblock the sibling shards waiting at the next stage
+                    # boundary; they observe BrokenBarrierError and unwind.
+                    barrier.abort()
+                    raise
+        finally:
+            if tracer.enabled:
+                tracer.finish(lane_span.tag(rows=rows))
+        return rows, time.perf_counter() - shard_started, regions_compiled
 
     def run(self) -> BulkRunReport:
         """Scatter the DAG replay over the shards and gather one report.
@@ -1129,6 +1333,9 @@ class ConcurrentBulkResolver(BulkResolver):
         statements_before = store.bulk_statements
         transactions_before = store.transactions
         fault_counters = self._counters_before()
+        run_span, metrics_before = self._trace_begin(
+            compiled=self._scheduler == "compiled"
+        )
         concurrent = store.supports_concurrent_replay and len(store.shards) > 1
         if self._scheduler == "compiled":
             # Compiled runs schedule regions, not steps: overlap counts
@@ -1141,57 +1348,63 @@ class ConcurrentBulkResolver(BulkResolver):
         barrier: Optional[threading.Barrier] = None
         if self._scheduler == "stage-barrier" and concurrent:
             barrier = threading.Barrier(len(store.shards))
-        results: List[Optional[Tuple[int, Dict[str, float], float, int]]] = [
-            None
-        ] * len(store.shards)
+        clock = _PhaseClock()
+        results: List[Optional[Tuple[int, float, int]]] = [None] * len(
+            store.shards
+        )
         errors: List[BaseException] = []
 
         def replay(index: int, shard: PossStore) -> None:
             try:
-                results[index] = self._replay_shard(shard, tracker, barrier)
+                results[index] = self._replay_shard(
+                    shard, tracker, barrier, clock, parent=run_span
+                )
             except BaseException as error:  # gathered and re-raised below
                 errors.append(error)
 
-        with store.transaction():
-            if concurrent:
-                threads = [
-                    threading.Thread(
-                        target=replay, args=(index, shard), name=f"shard{index}"
-                    )
-                    for index, shard in enumerate(store.shards)
-                ]
-                for thread in threads:
-                    thread.start()
-                for thread in threads:
-                    thread.join()
-            else:
-                for index, shard in enumerate(store.shards):
-                    replay(index, shard)
-                    if errors:
-                        # The whole run rolls back anyway; replaying the
-                        # remaining shards would be pure wasted work.
-                        break
-            if errors:
-                # A shard aborting the stage barrier breaks its siblings
-                # out with BrokenBarrierError; report the root cause.
-                primary = [
-                    error
-                    for error in errors
-                    if not isinstance(error, threading.BrokenBarrierError)
-                ]
-                raise (primary or errors)[0]
+        try:
+            with store.transaction():
+                if concurrent:
+                    threads = [
+                        threading.Thread(
+                            target=replay,
+                            args=(index, shard),
+                            name=f"shard{index}",
+                        )
+                        for index, shard in enumerate(store.shards)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                else:
+                    for index, shard in enumerate(store.shards):
+                        replay(index, shard)
+                        if errors:
+                            # The whole run rolls back anyway; replaying the
+                            # remaining shards would be pure wasted work.
+                            break
+                if errors:
+                    # A shard aborting the stage barrier breaks its siblings
+                    # out with BrokenBarrierError; report the root cause.
+                    primary = [
+                        error
+                        for error in errors
+                        if not isinstance(error, threading.BrokenBarrierError)
+                    ]
+                    raise (primary or errors)[0]
+        except BaseException:
+            self._trace_abort(run_span)
+            raise
 
         elapsed = time.perf_counter() - started
-        phase_seconds = {"copy": 0.0, "flood": 0.0}
         per_shard_seconds: Dict[str, float] = {}
         rows = 0
         regions_compiled = 0
         for index, result in enumerate(results):
-            shard_rows, phase, seconds, shard_regions = result
+            shard_rows, seconds, shard_regions = result
             rows += shard_rows
             regions_compiled += shard_regions
-            for name, value in phase.items():
-                phase_seconds[name] += value
             per_shard_seconds[f"shard{index}"] = seconds
         statements = store.bulk_statements - statements_before
         statements_saved = 0
@@ -1201,13 +1414,13 @@ class ConcurrentBulkResolver(BulkResolver):
                 self.compiled.replay_statement_count() * len(store.shards)
                 - statements,
             )
-        return BulkRunReport(
+        report = BulkRunReport(
             objects=len(self._loaded_objects),
             statements=statements,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=store.conflict_count(),
-            phase_seconds=phase_seconds,
+            phase_seconds=clock.seconds(),
             transactions=store.transactions - transactions_before,
             index_strategy=store.index_strategy.name,
             backend=store.backend_name,
@@ -1222,6 +1435,7 @@ class ConcurrentBulkResolver(BulkResolver):
             statements_saved=statements_saved,
             **self._fault_fields(fault_counters),
         )
+        return self._trace_finish(run_span, metrics_before, report)
 
     def _run_checkpointed(self) -> BulkRunReport:
         """Journaled scatter replay: per-shard checkpoints, quarantine on loss.
@@ -1247,6 +1461,10 @@ class ConcurrentBulkResolver(BulkResolver):
         statements_before = store.bulk_statements
         transactions_before = store.transactions
         fault_counters = self._counters_before()
+        run_span, metrics_before = self._trace_begin(
+            compiled=self._scheduler == "compiled", recovery=True
+        )
+        tracer = self.tracer
         dag = self.dag
         compiled = self.compiled if self._scheduler == "compiled" else None
         healthy = [
@@ -1256,20 +1474,22 @@ class ConcurrentBulkResolver(BulkResolver):
         ]
         lanes = len(healthy)
         concurrent = store.supports_concurrent_replay and lanes > 1
-        # (rows, skipped, regions_compiled, phases, seconds) per shard; a
+        clock = _PhaseClock()
+        # (rows, skipped, regions_compiled, seconds) per shard; a
         # quarantined shard leaves None behind and is excluded from the
         # gathered report.
-        results: List[
-            Optional[Tuple[int, int, int, Dict[str, float], float]]
-        ] = [None] * lanes
+        results: List[Optional[Tuple[int, int, int, float]]] = [None] * lanes
         errors: List[BaseException] = []
 
         def recover(slot: int, index: int, shard: PossStore) -> None:
             shard_started = time.perf_counter()
-            phase = {"copy": 0.0, "flood": 0.0}
             shard_rows = 0
             shard_skipped = 0
             shard_regions = 0
+            if tracer.enabled:
+                lane_span = tracer.start(
+                    "shard.recover", parent=run_span, shard=index
+                )
             try:
                 completed = shard.journal_completed(run_id)
                 if compiled is not None:
@@ -1281,7 +1501,7 @@ class ConcurrentBulkResolver(BulkResolver):
                             continue
                         with shard.transaction():
                             region_rows, used_compiled = _execute_region(
-                                shard, region, phase
+                                shard, region, clock
                             )
                             shard_rows += region_rows
                             shard_regions += int(used_compiled)
@@ -1293,7 +1513,7 @@ class ConcurrentBulkResolver(BulkResolver):
                             continue
                         with shard.transaction():
                             shard_rows += _execute_node(
-                                shard, node, None, phase, None
+                                shard, node, None, clock, None
                             )
                             shard.journal_record(run_id, node.index)
             except BackendUnavailable:
@@ -1302,49 +1522,54 @@ class ConcurrentBulkResolver(BulkResolver):
             except BaseException as error:  # gathered and re-raised below
                 errors.append(error)
                 return
+            finally:
+                if tracer.enabled:
+                    tracer.finish(lane_span.tag(rows=shard_rows))
             results[slot] = (
                 shard_rows,
                 shard_skipped,
                 shard_regions,
-                phase,
                 time.perf_counter() - shard_started,
             )
 
-        if concurrent:
-            threads = [
-                threading.Thread(
-                    target=recover,
-                    args=(slot, index, shard),
-                    name=f"recover-shard{index}",
-                )
-                for slot, (index, shard) in enumerate(healthy)
-            ]
-            for thread in threads:
-                thread.start()
-            for thread in threads:
-                thread.join()
-        else:
-            for slot, (index, shard) in enumerate(healthy):
-                recover(slot, index, shard)
-                if errors:
-                    break
-        if errors:
-            raise errors[0]
-        phase_seconds = {"copy": 0.0, "flood": 0.0}
+        try:
+            if concurrent:
+                threads = [
+                    threading.Thread(
+                        target=recover,
+                        args=(slot, index, shard),
+                        name=f"recover-shard{index}",
+                    )
+                    for slot, (index, shard) in enumerate(healthy)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            else:
+                for slot, (index, shard) in enumerate(healthy):
+                    recover(slot, index, shard)
+                    if errors:
+                        break
+            if errors:
+                raise errors[0]
+        except BaseException:
+            self._trace_abort(run_span)
+            raise
         per_shard_seconds: Dict[str, float] = {}
         rows = 0
         skipped = 0
         regions_compiled = 0
+        quarantined = False
         for slot, (index, _shard) in enumerate(healthy):
             result = results[slot]
             if result is None:
+                quarantined = True
                 continue
-            shard_rows, shard_skipped, shard_regions, phase, seconds = result
+            shard_rows, shard_skipped, shard_regions, seconds = result
             rows += shard_rows
             skipped += shard_skipped
             regions_compiled += shard_regions
-            for name, value in phase.items():
-                phase_seconds[name] += value
             per_shard_seconds[f"shard{index}"] = seconds
         elapsed = time.perf_counter() - started
         statements = store.bulk_statements - statements_before
@@ -1353,13 +1578,13 @@ class ConcurrentBulkResolver(BulkResolver):
             statements_saved = max(
                 0, compiled.replay_statement_count() * lanes - statements
             )
-        return BulkRunReport(
+        report = BulkRunReport(
             objects=len(self._loaded_objects),
             statements=statements,
             rows_inserted=rows,
             elapsed_seconds=elapsed,
             conflicts=store.conflict_count(),
-            phase_seconds=phase_seconds,
+            phase_seconds=clock.seconds(),
             transactions=store.transactions - transactions_before,
             index_strategy=store.index_strategy.name,
             backend=store.backend_name,
@@ -1374,6 +1599,11 @@ class ConcurrentBulkResolver(BulkResolver):
             regions_compiled=regions_compiled,
             statements_saved=statements_saved,
             **self._fault_fields(fault_counters),
+        )
+        # A quarantined shard's executed rows are traced but excluded from
+        # the gathered report, so the row equality cannot hold for it.
+        return self._trace_finish(
+            run_span, metrics_before, report, check_rows=not quarantined
         )
 
 
@@ -1403,6 +1633,7 @@ class SkepticBulkResolver(_PlanExecutor):
         retry_policy: Optional[RetryPolicy] = None,
         checkpoint: Optional[str] = None,
         compiled_plan: Optional[CompiledPlan] = None,
+        tracer=None,
     ) -> None:
         super().__init__(
             workers=workers,
@@ -1410,6 +1641,7 @@ class SkepticBulkResolver(_PlanExecutor):
             retry_policy=retry_policy,
             checkpoint=checkpoint,
             compiled_plan=compiled_plan,
+            tracer=tracer,
         )
         self.network = network
         self._attach_store(store or PossStore())

@@ -63,6 +63,7 @@ from repro.bulk.backends import (
 # FaultInjectingBackend in lazily for the env-gated chaos wrap.
 from repro.faults.policy import FaultPolicy
 from repro.faults.retry import RetryPolicy
+from repro.obs.trace import NULL_TRACER
 
 #: Reserved value representing ⊥ in the Skeptic bulk variant.
 BOTTOM_VALUE = "__BOTTOM__"
@@ -135,8 +136,24 @@ class PossStore:
         # backend's driver serializes internally), so the counters take a
         # lock of their own.
         self._counter_lock = threading.Lock()
+        self._tracer = NULL_TRACER
+        #: Shard index tagged onto statement spans (set by ShardedPossStore).
+        self.trace_shard: Optional[int] = None
         self._connection = self._connect()
         self._ensure_schema()
+
+    @property
+    def tracer(self):
+        """The tracer observing this store's statement funnel."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = NULL_TRACER if tracer is None else tracer
+        # A fault-injecting wrapper emits fault events through the same
+        # tracer (duck-typed: any backend exposing a ``tracer`` slot).
+        if hasattr(self._backend, "tracer"):
+            self._backend.tracer = self._tracer
 
     def _connect(self):
         """Open the backend connection, classifying connect-time failures."""
@@ -190,7 +207,7 @@ class PossStore:
         failure.__cause__ = error
         return failure
 
-    def _run_statement(self, runner):
+    def _run_statement(self, runner, sql: str = "", params: int = 0):
         """The retry funnel every statement passes through.
 
         ``runner`` is a re-executable thunk (fresh cursor per call).
@@ -202,21 +219,48 @@ class PossStore:
         statements is safe here: an ``INSERT`` that failed rolled back
         atomically, and duplicate ``POSS`` rows are logically invisible
         anyway (every read path is ``SELECT DISTINCT``).
+
+        When a tracer is installed the funnel emits a ``statement`` span
+        (tagged with the SQL op, bind-param count and shard) wrapping one
+        ``attempt`` span per try, and mirrors the retry/timeout counters
+        into the tracer's metrics at the exact sites the report counters
+        increment — that shared site is what makes trace/report
+        consistency checkable.
         """
         policy = self.retry_policy
         deadline = policy.deadline
         started = time.monotonic() if deadline is not None else 0.0
         attempt = 1
+        tracer = self._tracer
+        traced = tracer.enabled
+        if traced:
+            op = sql.split(None, 1)[0].upper() if sql else "?"
+            statement_span = tracer.start(
+                "statement", op=op, params=params, shard=self.trace_shard
+            )
+            tracer.metrics.counter("poss.bind_params", params)
         while True:
+            if traced:
+                attempt_span = tracer.start("attempt", attempt=attempt)
             try:
-                return runner()
+                result = runner()
             except Exception as error:
                 failure = self._classify(error)
                 if not isinstance(failure, BackendError):
+                    if traced:
+                        tracer.finish(attempt_span.tag(outcome="error"))
+                        tracer.finish(statement_span.tag(outcome="error"))
                     raise  # not a backend failure (e.g. bad SQL arity)
                 if not isinstance(failure, TransientBackendError):
+                    if traced:
+                        tracer.finish(attempt_span.tag(outcome="fatal"))
+                        tracer.finish(statement_span.tag(outcome="fatal"))
                     raise failure from error
+                if traced:
+                    tracer.finish(attempt_span.tag(outcome="transient"))
                 if attempt >= policy.max_attempts:
+                    if traced:
+                        tracer.finish(statement_span.tag(outcome="exhausted"))
                     raise failure from error
                 delay = policy.delay(attempt)
                 if deadline is not None and (
@@ -224,6 +268,9 @@ class PossStore:
                 ):
                     with self._counter_lock:
                         self._timed_out += 1
+                    if traced:
+                        tracer.metrics.counter("poss.timeouts")
+                        tracer.finish(statement_span.tag(outcome="timeout"))
                     timeout = StatementTimeout(
                         f"statement exceeded its {deadline}s deadline "
                         f"after {attempt} attempt(s)"
@@ -231,8 +278,17 @@ class PossStore:
                     raise timeout from error
                 with self._counter_lock:
                     self._retries += 1
+                if traced:
+                    tracer.metrics.counter("poss.retries")
                 time.sleep(delay)
                 attempt += 1
+            else:
+                if traced:
+                    tracer.finish(attempt_span.tag(outcome="ok"))
+                    tracer.finish(
+                        statement_span.tag(outcome="ok", attempts=attempt)
+                    )
+                return result
 
     def _execute(self, sql: str, parameters: Sequence[object] = ()):
         """Run one statement via a DB-API cursor, rendered for the backend."""
@@ -244,7 +300,7 @@ class PossStore:
             cursor.execute(rendered, bound)
             return cursor
 
-        return self._run_statement(runner)
+        return self._run_statement(runner, sql=sql, params=len(bound))
 
     def _executemany(self, sql: str, rows: Sequence[Sequence[object]]):
         """Run one batched statement (``executemany``) through the funnel."""
@@ -255,7 +311,8 @@ class PossStore:
             cursor.executemany(rendered, rows)
             return cursor
 
-        return self._run_statement(runner)
+        params = len(rows) * len(rows[0]) if rows else 0
+        return self._run_statement(runner, sql=sql, params=params)
 
     def _commit_connection(self) -> None:
         """Commit the connection, classifying commit-time failures (no retry:
@@ -278,10 +335,14 @@ class PossStore:
     def _count_bulk(self, statements: int = 1) -> None:
         with self._counter_lock:
             self._bulk_statements += statements
+        if self._tracer.enabled:
+            self._tracer.metrics.counter("poss.statements.bulk", statements)
 
     def _count_delta(self, statements: int = 1) -> None:
         with self._counter_lock:
             self._delta_statements += statements
+        if self._tracer.enabled:
+            self._tracer.metrics.counter("poss.statements.delta", statements)
 
     # ------------------------------------------------------------------ #
     # lifecycle                                                            #
@@ -1095,6 +1156,17 @@ class ShardedPossStore:
     def retry_policy(self, policy: RetryPolicy) -> None:
         for shard in self.shards:
             shard.retry_policy = policy
+
+    @property
+    def tracer(self):
+        """The (shared) tracer observing every shard's statement funnel."""
+        return self.shards[0].tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        for index, shard in enumerate(self.shards):
+            shard.tracer = tracer
+            shard.trace_shard = index
 
     def ensure_available(self) -> None:
         """Health-check every serving shard, quarantining the dead ones.

@@ -69,6 +69,7 @@ from repro.bulk.store import PossStore, ShardedPossStore
 from repro.faults.retry import RetryPolicy
 from repro.incremental.deltas import Delta, RemoveUser
 from repro.incremental.session import DeltaApplyReport, IncrementalSession
+from repro.obs.trace import NULL_TRACER, Tracer
 
 #: Where :meth:`ResolutionEngine.query` reads from.
 MODES = ("auto", "memory", "store")
@@ -150,6 +151,9 @@ class EngineReport:
     #: The underlying single-path reports, where applicable.
     bulk: Optional[BulkRunReport] = field(default=None, repr=False)
     delta: Optional[DeltaApplyReport] = field(default=None, repr=False)
+    #: The :class:`~repro.obs.trace.Tracer` that recorded this verb, when
+    #: tracing was on (``trace=True`` / ``tracer=``); ``None`` otherwise.
+    trace: Optional[object] = field(default=None, repr=False, compare=False)
 
 
 class ResolutionEngine:
@@ -190,6 +194,12 @@ class ResolutionEngine:
         under (transient backend errors retry with exponential backoff;
         default: :meth:`RetryPolicy.default`).  Installed on the store, so
         both materialization and delta maintenance honor it.
+    tracer:
+        An :class:`~repro.obs.trace.Tracer` to record every verb into
+        (default: the no-op :data:`~repro.obs.trace.NULL_TRACER`).  A
+        single verb can also be traced ad hoc with ``trace=True`` /
+        ``tracer=`` on :meth:`materialize` / :meth:`apply`; the report's
+        ``trace`` field then carries the recording.
     """
 
     def __init__(
@@ -203,6 +213,7 @@ class ResolutionEngine:
         workers: int = 1,
         scheduler: str = "pipelined",
         retry_policy: Optional[RetryPolicy] = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         if mode not in MODES:
             raise BulkProcessingError(f"unknown mode {mode!r}; known: {MODES}")
@@ -233,6 +244,9 @@ class ResolutionEngine:
             beliefs_by_key=beliefs_by_key,
             autoload=False,
         )
+        self._tracer = NULL_TRACER if tracer is None else tracer
+        if self._tracer.enabled:
+            self._session.tracer = self._tracer
         self._materialized = False
         self._plan: Optional[ResolutionPlan] = None
         self._compiled: Optional[CompiledPlan] = None
@@ -401,11 +415,33 @@ class ResolutionEngine:
         digest = zlib.crc32(repr(self._plan.steps).encode("utf-8"))
         return f"plan-{digest:08x}-{len(self._plan.steps)}"
 
+    def _resolve_tracer(self, trace: bool, tracer: "Tracer | None"):
+        """The tracer one verb runs under, installed engine-wide when real.
+
+        Precedence: an explicit ``tracer=`` wins, ``trace=True`` builds a
+        fresh :class:`Tracer`, otherwise the engine's standing tracer (the
+        no-op :data:`NULL_TRACER` unless one was passed at construction).
+        A real tracer is installed on the session and store so statement
+        and retry spans land in the same recording.
+        """
+        if tracer is not None:
+            resolved = tracer
+        elif trace:
+            resolved = Tracer()
+        else:
+            return self._tracer
+        self._tracer = resolved
+        if resolved.enabled:
+            self._session.tracer = resolved
+        return resolved
+
     def materialize(
         self,
         resume: bool = False,
         checkpoint: bool = False,
         compiled: bool = False,
+        trace: bool = False,
+        tracer: "Tracer | None" = None,
     ) -> EngineReport:
         """Execute the cached plan against the store (the Section 4 path).
 
@@ -436,60 +472,95 @@ class ResolutionEngine:
         Checkpoints journal one marker per *region* and use a run id
         distinct from the node-at-a-time journal, so a resume never mixes
         the two granularities.
+
+        With ``trace=True`` (or an explicit ``tracer=``) the run is
+        recorded as a span tree — ``engine.materialize`` over plan/compile/
+        load-beliefs child spans and the executor's ``bulk.run`` subtree —
+        carried on the report's ``trace`` field (see :mod:`repro.obs`).
         """
         started = time.perf_counter()
-        self._ensure_plan()
-        checkpoint = checkpoint or resume
-        compiled_plan = self._compiled_plan() if compiled else None
-        scheduler = "compiled" if compiled else self._scheduler
-        plan_users = {str(user) for user in self._plan.explicit_users}
-        rows: List[Tuple[str, str, str]] = []
-        for key in self._session.keys:
-            beliefs = self._session.resolver(key).beliefs
-            users = {str(user) for user in beliefs}
-            if users != plan_users:
-                raise BulkProcessingError(
-                    f"key {key!r} violates bulk assumption (ii): its belief "
-                    f"users {sorted(users)} differ from the planned explicit "
-                    f"set {sorted(plan_users)}"
+        tracer = self._resolve_tracer(trace, tracer)
+        run_span = None
+        if tracer.enabled:
+            run_span = tracer.start(
+                "engine.materialize",
+                compiled=compiled,
+                resume=resume,
+                checkpoint=checkpoint or resume,
+            )
+        try:
+            with tracer.span("engine.plan") as plan_span:
+                self._ensure_plan()
+                plan_span.tag(
+                    source=self._plan_source, steps=len(self._plan.steps)
                 )
-            rows.extend(
-                (str(user), key, str(value)) for user, value in beliefs.items()
-            )
-        if not resume:
-            self.store.clear()
-            self.store.journal_clear()
-        run_id = self._run_id() if checkpoint else None
-        if run_id is not None and compiled:
-            # Region markers and node markers share the journal's id space;
-            # a distinct run id keeps a node-at-a-time checkpoint from
-            # falsely satisfying a whole compiled region (and vice versa).
-            run_id += "-compiled"
-        if isinstance(self.store, ShardedPossStore):
-            executor = ConcurrentBulkResolver(
-                self.network,
-                store=self.store,
-                scheduler=scheduler,
-                plan=self._plan,
-                compiled_plan=compiled_plan,
-                retry_policy=self._retry_policy,
-                checkpoint=run_id,
-            )
-        else:
-            executor = BulkResolver(
-                self.network,
-                store=self.store,
-                workers=self._workers,
-                scheduler=scheduler,
-                plan=self._plan,
-                compiled_plan=compiled_plan,
-                retry_policy=self._retry_policy,
-                checkpoint=run_id,
-            )
-        executor.load_beliefs(rows)
-        bulk = executor.run()
+            checkpoint = checkpoint or resume
+            if compiled:
+                with tracer.span("engine.compile") as compile_span:
+                    compiled_plan = self._compiled_plan()
+                    compile_span.tag(regions=len(compiled_plan.regions))
+            else:
+                compiled_plan = None
+            scheduler = "compiled" if compiled else self._scheduler
+            plan_users = {str(user) for user in self._plan.explicit_users}
+            with tracer.span("engine.load_beliefs") as load_span:
+                rows: List[Tuple[str, str, str]] = []
+                for key in self._session.keys:
+                    beliefs = self._session.resolver(key).beliefs
+                    users = {str(user) for user in beliefs}
+                    if users != plan_users:
+                        raise BulkProcessingError(
+                            f"key {key!r} violates bulk assumption (ii): its "
+                            f"belief users {sorted(users)} differ from the "
+                            f"planned explicit set {sorted(plan_users)}"
+                        )
+                    rows.extend(
+                        (str(user), key, str(value))
+                        for user, value in beliefs.items()
+                    )
+                load_span.tag(rows=len(rows))
+            if not resume:
+                self.store.clear()
+                self.store.journal_clear()
+            run_id = self._run_id() if checkpoint else None
+            if run_id is not None and compiled:
+                # Region markers and node markers share the journal's id
+                # space; a distinct run id keeps a node-at-a-time checkpoint
+                # from falsely satisfying a whole compiled region (and vice
+                # versa).
+                run_id += "-compiled"
+            if isinstance(self.store, ShardedPossStore):
+                executor = ConcurrentBulkResolver(
+                    self.network,
+                    store=self.store,
+                    scheduler=scheduler,
+                    plan=self._plan,
+                    compiled_plan=compiled_plan,
+                    retry_policy=self._retry_policy,
+                    checkpoint=run_id,
+                    tracer=tracer if tracer.enabled else None,
+                )
+            else:
+                executor = BulkResolver(
+                    self.network,
+                    store=self.store,
+                    workers=self._workers,
+                    scheduler=scheduler,
+                    plan=self._plan,
+                    compiled_plan=compiled_plan,
+                    retry_policy=self._retry_policy,
+                    checkpoint=run_id,
+                    tracer=tracer if tracer.enabled else None,
+                )
+            executor.load_beliefs(rows)
+            bulk = executor.run()
+        except BaseException:
+            if run_span is not None:
+                run_span.tag(outcome="error")
+                tracer.finish(run_span)
+            raise
         self._materialized = True
-        return EngineReport(
+        report = EngineReport(
             operation="materialize",
             seconds=time.perf_counter() - started,
             backend=bulk.backend,
@@ -513,8 +584,24 @@ class ResolutionEngine:
             plan_steps=len(self._plan.steps),
             bulk=bulk,
         )
+        if run_span is not None:
+            run_span.tag(
+                statements=report.statements,
+                rows=report.rows_inserted,
+                shards=report.shards,
+                scheduler=report.scheduler,
+            )
+            tracer.finish(run_span)
+            report.trace = tracer
+        return report
 
-    def apply(self, *deltas: Delta, coalesce: bool = True) -> EngineReport:
+    def apply(
+        self,
+        *deltas: Delta,
+        coalesce: bool = True,
+        trace: bool = False,
+        tracer: "Tracer | None" = None,
+    ) -> EngineReport:
         """Absorb a batch of updates through the incremental path.
 
         The batch is coalesced, recomputed once per key over the merged
@@ -524,14 +611,32 @@ class ResolutionEngine:
         .patch_plan`) instead of re-planned, so the next
         :meth:`materialize` pays plan-maintenance proportional to the
         update, not to the network.
+
+        ``trace=True`` / ``tracer=`` record the verb as an ``engine.apply``
+        span over the session's coalesce/recompute/flush subtree; the
+        recorded delta-statement count is checked against the report.
         """
         started = time.perf_counter()
+        tracer = self._resolve_tracer(trace, tracer)
+        run_span = None
+        metrics_before = None
+        if tracer.enabled:
+            run_span = tracer.start(
+                "engine.apply", deltas=len(deltas), coalesce=coalesce
+            )
+            metrics_before = tracer.metrics.counters()
         retries_before = self.store.retries
         timeouts_before = self.store.timed_out_statements
         faults_before = self.store.faults_injected
-        delta_report = self._session.apply_batch(*deltas, coalesce=coalesce)
-        self._maintain_plan(delta_report)
-        return EngineReport(
+        try:
+            delta_report = self._session.apply_batch(*deltas, coalesce=coalesce)
+            self._maintain_plan(delta_report)
+        except BaseException:
+            if run_span is not None:
+                run_span.tag(outcome="error")
+                tracer.finish(run_span)
+            raise
+        report = EngineReport(
             operation="apply",
             seconds=time.perf_counter() - started,
             backend=delta_report.backend,
@@ -556,6 +661,24 @@ class ResolutionEngine:
             plan_steps=len(self._plan.steps) if self._plan is not None else 0,
             delta=delta_report,
         )
+        if run_span is not None:
+            run_span.tag(
+                statements=report.statements,
+                rows_inserted=report.rows_inserted,
+                rows_deleted=report.rows_deleted,
+            )
+            tracer.finish(run_span)
+            observed = tracer.metrics.delta(metrics_before).get(
+                "poss.statements.delta", 0
+            )
+            if observed != report.statements:
+                raise BulkProcessingError(
+                    f"trace/report mismatch: metric poss.statements.delta "
+                    f"recorded {observed} but the apply report says "
+                    f"{report.statements}"
+                )
+            report.trace = tracer
+        return report
 
     def recover_shard(self, index: int) -> EngineReport:
         """Heal a quarantined shard and restore its slice of the relation.

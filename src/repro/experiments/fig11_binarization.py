@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.core.binarize import binarize, clique_binarization_row
-from repro.experiments.runner import format_table
+from repro.experiments.runner import format_table, report
+from repro.obs.logs import install_cli_handler
 from repro.workloads.cliques import clique_network
 
 
@@ -52,10 +53,11 @@ def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    install_cli_handler()
     rows = run()
-    print("Figure 11 — binarization of n-clique trust networks")
-    print(format_table(rows))
-    print("summary:", summarize(rows))
+    report("Figure 11 — binarization of n-clique trust networks")
+    report(format_table(rows))
+    report(f"summary: {summarize(rows)}")
 
 
 if __name__ == "__main__":  # pragma: no cover

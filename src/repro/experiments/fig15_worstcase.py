@@ -16,7 +16,13 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.core.resolution import resolve
-from repro.experiments.runner import average_time, format_table, log_log_slope
+from repro.experiments.runner import (
+    average_time,
+    format_table,
+    log_log_slope,
+    report,
+)
+from repro.obs.logs import install_cli_handler
 from repro.workloads.worstcase import expected_sizes, worstcase_network
 
 
@@ -74,10 +80,11 @@ def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    install_cli_handler()
     rows = run()
-    print("Figure 15 — worst-case (nested SCC) scaling of the Resolution Algorithm")
-    print(format_table(rows, columns=["k", "size", "expected_size", "ra_seconds"]))
-    print("summary:", summarize(rows))
+    report("Figure 15 — worst-case (nested SCC) scaling of the Resolution Algorithm")
+    report(format_table(rows, columns=["k", "size", "expected_size", "ra_seconds"]))
+    report(f"summary: {summarize(rows)}")
 
 
 if __name__ == "__main__":  # pragma: no cover

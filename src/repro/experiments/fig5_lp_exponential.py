@@ -13,8 +13,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import average_time, doubling_ratios, format_table
+from repro.experiments.runner import (
+    average_time,
+    doubling_ratios,
+    format_table,
+    report,
+)
 from repro.logicprog.solver import solve_network
+from repro.obs.logs import install_cli_handler
 from repro.workloads.oscillators import CLUSTER_SIZE, oscillator_network
 
 
@@ -59,10 +65,11 @@ def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    install_cli_handler()
     rows = run()
-    print("Figure 5 — LP solver on oscillator networks (one object)")
-    print(format_table(rows, columns=["clusters", "size", "lp_seconds"]))
-    print("summary:", summarize(rows))
+    report("Figure 5 — LP solver on oscillator networks (one object)")
+    report(format_table(rows, columns=["clusters", "size", "lp_seconds"]))
+    report(f"summary: {summarize(rows)}")
 
 
 if __name__ == "__main__":  # pragma: no cover

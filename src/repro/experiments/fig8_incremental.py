@@ -29,6 +29,12 @@ CLI::
     python -m repro.experiments.fig8_incremental [--quick]
         [--sizes N [N ...]] [--workload fig8a fig8b]
         [--sweep-batches] [--seed N] [--json]
+        [--trace PATH] [--metrics]
+
+``--trace PATH`` records one traced engine run (materialize plus a batched
+apply) and exports it as Chrome ``trace_event`` JSON for Perfetto;
+``--metrics`` prints the traced run's aggregated counters and latency
+histograms (see :mod:`repro.obs` and ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -43,11 +49,12 @@ from repro.bulk.store import PossStore
 from repro.core.network import TrustNetwork, User
 from repro.core.resolution import resolve
 from repro.engine import ResolutionEngine
-from repro.experiments.runner import format_table
+from repro.experiments.runner import format_table, report
 from repro.incremental.deltas import SetBelief
 from repro.incremental.region import dirty_region
 from repro.incremental.resolver import DeltaResolver
 from repro.incremental.session import IncrementalSession
+from repro.obs import Tracer, export_chrome_trace, install_cli_handler
 from repro.workloads.oscillators import clusters_for_size, oscillator_network
 from repro.workloads.powerlaw import WebWorkloadConfig, web_trust_network
 
@@ -253,6 +260,26 @@ def summarize_batch_sweep(rows: Sequence[Dict[str, object]]) -> Dict[str, object
     }
 
 
+def traced_demo(seed: int = 7) -> Tracer:
+    """One traced engine run — materialize plus a batched apply.
+
+    Small enough for smoke runs; returns the :class:`~repro.obs.Tracer`
+    holding the recorded span tree (the ``--trace`` / ``--metrics`` flags
+    export or summarize it).
+    """
+    network = _build_network("fig8a", QUICK_SIZES[0], seed)
+    tracer = Tracer()
+    engine = ResolutionEngine.open(network, tracer=tracer)
+    engine.materialize()
+    target = _pick_update_target(network, "fig8a", seed)
+    engine.apply(
+        SetBelief(target, f"updated-{target}-1"),
+        SetBelief(target, f"updated-{target}-2"),
+    )
+    engine.close()
+    return tracer
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point (exercised by the docs job)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -289,7 +316,21 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         action="store_true",
         help="emit one machine-readable JSON document instead of tables",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a traced demo run (materialize + batched apply) and "
+        "export Chrome trace_event JSON to PATH (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also run the traced demo and print its aggregated metrics",
+    )
     args = parser.parse_args(argv)
+    if not args.json:
+        install_cli_handler()
     if args.sizes is not None:
         sizes: Sequence[int] = tuple(args.sizes)
     elif args.quick:
@@ -301,11 +342,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         rows = run(sizes=sizes, workload=workload, seed=args.seed)
         entry: Dict[str, object] = {"rows": rows, "summary": summarize(rows)}
         if not args.json:
-            print(
+            report(
                 f"Figure 8 ({workload}) — single-belief update: "
                 "incremental vs. full re-resolution + reload"
             )
-            print(
+            report(
                 format_table(
                     rows,
                     columns=[
@@ -320,7 +361,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     ],
                 )
             )
-            print("summary:", summarize(rows))
+            report(f"summary: {summarize(rows)}")
         if args.sweep_batches:
             batch_rows = run_batch_sweep(
                 sizes=sizes[: max(1, len(sizes) - 1)],
@@ -333,11 +374,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 "summary": summarize_batch_sweep(batch_rows),
             }
             if not args.json:
-                print(
+                report(
                     f"\nFigure 8 ({workload}) — engine batch apply "
                     "(coalesced, one recompute) vs. op-at-a-time"
                 )
-                print(
+                report(
                     format_table(
                         batch_rows,
                         columns=[
@@ -352,8 +393,15 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                         ],
                     )
                 )
-                print("summary:", summarize_batch_sweep(batch_rows))
+                report(f"summary: {summarize_batch_sweep(batch_rows)}")
         document["workloads"][workload] = entry
+    if args.trace or args.metrics:
+        tracer = traced_demo(args.seed)
+        if args.trace:
+            events = export_chrome_trace(tracer, args.trace)
+            report(f"trace: wrote {events} trace_event records to {args.trace}")
+        if args.metrics:
+            report(tracer.metrics.format())
     if args.json:
         print(json.dumps(document, indent=2, sort_keys=True, default=str))
 

@@ -11,8 +11,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.resolution import resolve
-from repro.experiments.runner import average_time, format_table, log_log_slope, per_unit
+from repro.experiments.runner import (
+    average_time,
+    format_table,
+    log_log_slope,
+    per_unit,
+    report,
+)
 from repro.logicprog.solver import solve_network
+from repro.obs.logs import install_cli_handler
 from repro.workloads.oscillators import clusters_for_size, oscillator_network, size_sweep
 
 
@@ -82,15 +89,16 @@ def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    install_cli_handler()
     rows = run()
-    print("Figure 8a — many-cycle network, one object (RA vs. LP baseline)")
-    print(
+    report("Figure 8a — many-cycle network, one object (RA vs. LP baseline)")
+    report(
         format_table(
             rows,
             columns=["size", "clusters", "ra_seconds", "ra_seconds_per_unit", "lp_seconds"],
         )
     )
-    print("summary:", summarize(rows))
+    report(f"summary: {summarize(rows)}")
 
 
 if __name__ == "__main__":  # pragma: no cover

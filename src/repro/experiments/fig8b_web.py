@@ -15,8 +15,15 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.resolution import resolve
-from repro.experiments.runner import average_time, format_table, log_log_slope, per_unit
+from repro.experiments.runner import (
+    average_time,
+    format_table,
+    log_log_slope,
+    per_unit,
+    report,
+)
 from repro.logicprog.solver import solve_network
+from repro.obs.logs import install_cli_handler
 from repro.workloads.powerlaw import WebWorkloadConfig, web_trust_network
 
 
@@ -62,9 +69,10 @@ def summarize(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
 
 
 def main() -> None:  # pragma: no cover - CLI convenience
+    install_cli_handler()
     rows = run()
-    print("Figure 8b — sampled scale-free trust network, one object")
-    print(
+    report("Figure 8b — sampled scale-free trust network, one object")
+    report(
         format_table(
             rows,
             columns=[
@@ -78,7 +86,7 @@ def main() -> None:  # pragma: no cover - CLI convenience
             ],
         )
     )
-    print("summary:", summarize(rows))
+    report(f"summary: {summarize(rows)}")
 
 
 if __name__ == "__main__":  # pragma: no cover

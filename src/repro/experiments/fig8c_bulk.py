@@ -50,6 +50,13 @@ CLI::
                                            [--region-workers N [N ...]]
                                            [--faults P] [--fault-seed N]
                                            [--seed N] [--json]
+                                           [--trace PATH] [--metrics]
+
+``--trace PATH`` additionally records one traced sharded compiled run
+(the acceptance scenario of the observability layer) and exports it as
+Chrome ``trace_event`` JSON — load PATH in Perfetto to see the per-shard
+replay lanes overlap; ``--metrics`` prints the traced run's aggregated
+counters and latency histograms (see ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -85,8 +92,10 @@ from repro.experiments.runner import (
     format_table,
     gather_balance,
     log_log_slope,
+    report,
 )
 from repro.logicprog.solver import solve_network
+from repro.obs import Tracer, export_chrome_trace, install_cli_handler
 from repro.workloads.bulkload import (
     BELIEF_USERS,
     chain_network,
@@ -916,6 +925,36 @@ def run_crash_resume_demo(
     }
 
 
+def traced_run(
+    n_objects: int = 200, seed: int = 11, shards: int = 2
+) -> Tracer:
+    """One traced sharded compiled run — the observability demo/acceptance.
+
+    File-backed shards (in-memory sqlite shards serialize their replay), so
+    the exported trace's ``shard{i}`` lanes genuinely overlap in Perfetto.
+    Returns the :class:`~repro.obs.Tracer` holding the recorded span tree.
+    """
+    network = figure19_network()
+    tracer = Tracer()
+    with tempfile.TemporaryDirectory(prefix="fig8c-trace-") as directory:
+        backends = [
+            SqliteFileBackend(os.path.join(directory, f"trace-shard{i}.db"))
+            for i in range(shards)
+        ]
+        store = ShardedPossStore(shards, backends=backends)
+        resolver = ConcurrentBulkResolver(
+            network,
+            store=store,
+            explicit_users=BELIEF_USERS,
+            scheduler="compiled",
+            tracer=tracer,
+        )
+        resolver.load_beliefs(generate_objects(n_objects, seed=seed))
+        resolver.run()
+        store.close()
+    return tracer
+
+
 def main(argv: Optional[Sequence[str]] = None) -> None:
     """CLI entry point (exercised by the docs job)."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -995,7 +1034,21 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         action="store_true",
         help="emit one machine-readable JSON document instead of tables",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a traced sharded compiled run and export Chrome "
+        "trace_event JSON to PATH (open in Perfetto)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="also run the traced demo and print its aggregated metrics",
+    )
     args = parser.parse_args(argv)
+    if not args.json:
+        install_cli_handler()
     if args.objects is not None:
         counts: Sequence[int] = tuple(args.objects)
     elif args.quick:
@@ -1014,8 +1067,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
     )
     document["fig8c"] = {"rows": rows, "summary": summarize(rows)}
     if not args.json:
-        print("Figure 8c — bulk inserts over the fixed 7-user / 12-mapping network")
-        print(
+        report("Figure 8c — bulk inserts over the fixed 7-user / 12-mapping network")
+        report(
             format_table(
                 rows,
                 columns=[
@@ -1026,7 +1079,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 ],
             )
         )
-        print("summary:", summarize(rows))
+        report(f"summary: {summarize(rows)}")
 
     if args.sweep_indexes:
         sweep = run_index_sweep(object_counts=counts, seed=args.seed)
@@ -1035,8 +1088,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             "summary": summarize_index_sweep(sweep),
         }
         if not args.json:
-            print("\nFigure 8c — index-strategy sweep (grouped copies, 1 txn/run)")
-            print(
+            report("\nFigure 8c — index-strategy sweep (grouped copies, 1 txn/run)")
+            report(
                 format_table(
                     sweep,
                     columns=[
@@ -1048,7 +1101,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     ],
                 )
             )
-            print("summary:", summarize_index_sweep(sweep))
+            report(f"summary: {summarize_index_sweep(sweep)}")
 
     if args.shards:
         sweep = run_shard_sweep(
@@ -1059,8 +1112,8 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             "summary": summarize_shard_sweep(sweep),
         }
         if not args.json:
-            print("\nFigure 8c — shard sweep (same plan DAG replayed per shard)")
-            print(
+            report("\nFigure 8c — shard sweep (same plan DAG replayed per shard)")
+            report(
                 format_table(
                     sweep,
                     columns=[
@@ -1073,7 +1126,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     ],
                 )
             )
-            print("summary:", summarize_shard_sweep(sweep))
+            report(f"summary: {summarize_shard_sweep(sweep)}")
 
     if args.sweep_schedulers:
         sweep = run_scheduler_sweep(
@@ -1086,11 +1139,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             "summary": summarize_scheduler_sweep(sweep),
         }
         if not args.json:
-            print(
+            report(
                 "\nFigure 8c — scheduler sweep (pipelined work-queue vs. "
                 "stage-barrier lockstep)"
             )
-            print(
+            report(
                 format_table(
                     sweep,
                     columns=[
@@ -1103,7 +1156,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     ],
                 )
             )
-            print("summary:", summarize_scheduler_sweep(sweep))
+            report(f"summary: {summarize_scheduler_sweep(sweep)}")
 
     if args.sweep_compiled:
         sweep = run_compiled_sweep(
@@ -1116,11 +1169,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             "summary": summarize_compiled_sweep(sweep),
         }
         if not args.json:
-            print(
+            report(
                 "\nFigure 8c — compiled sweep (pushed-down SQL regions vs. "
                 "statement-at-a-time replay)"
             )
-            print(
+            report(
                 format_table(
                     sweep,
                     columns=[
@@ -1134,7 +1187,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     ],
                 )
             )
-            print("summary:", summarize_compiled_sweep(sweep))
+            report(f"summary: {summarize_compiled_sweep(sweep)}")
 
     if args.sweep_compiled and args.skeptic:
         sweep = run_skeptic_compiled_sweep(
@@ -1147,11 +1200,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             "summary": summarize_skeptic_compiled_sweep(sweep),
         }
         if not args.json:
-            print(
+            report(
                 "\nFigure 8c — Skeptic compiled sweep (blocked floods pushed "
                 "down vs. two-statement replay)"
             )
-            print(
+            report(
                 format_table(
                     sweep,
                     columns=[
@@ -1165,7 +1218,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     ],
                 )
             )
-            print("summary:", summarize_skeptic_compiled_sweep(sweep))
+            report(f"summary: {summarize_skeptic_compiled_sweep(sweep)}")
 
     if args.sweep_compiled and args.region_workers:
         sweep = run_region_worker_sweep(
@@ -1180,11 +1233,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             "summary": summarize_region_worker_sweep(sweep),
         }
         if not args.json:
-            print(
+            report(
                 "\nFigure 8c — region-worker sweep (independent compiled "
                 "regions scheduled concurrently)"
             )
-            print(
+            report(
                 format_table(
                     sweep,
                     columns=[
@@ -1197,7 +1250,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     ],
                 )
             )
-            print("summary:", summarize_region_worker_sweep(sweep))
+            report(f"summary: {summarize_region_worker_sweep(sweep)}")
 
     if args.sweep_compiled:
         sweep = run_pg_parallel_sweep(
@@ -1207,7 +1260,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         )
         if sweep is None:
             if not args.json:
-                print(
+                report(
                     "\nFigure 8c — PostgreSQL parallel sweep skipped "
                     "(set REPRO_PG_DSN and install psycopg to run it)"
                 )
@@ -1217,11 +1270,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 "summary": summarize_pg_parallel_sweep(sweep),
             }
             if not args.json:
-                print(
+                report(
                     "\nFigure 8c — PostgreSQL parallel sweep "
                     "(SET max_parallel_workers_per_gather)"
                 )
-                print(
+                report(
                     format_table(
                         sweep,
                         columns=[
@@ -1233,7 +1286,7 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                         ],
                     )
                 )
-                print("summary:", summarize_pg_parallel_sweep(sweep))
+                report(f"summary: {summarize_pg_parallel_sweep(sweep)}")
 
     if args.faults is not None:
         sweep = run_fault_sweep(
@@ -1251,11 +1304,11 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
             "crash_resume": demo,
         }
         if not args.json:
-            print(
+            report(
                 "\nFigure 8c — fault-injection sweep "
                 f"(p={args.faults}, fault seed {args.fault_seed})"
             )
-            print(
+            report(
                 format_table(
                     sweep,
                     columns=[
@@ -1268,8 +1321,16 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                     ],
                 )
             )
-            print("summary:", summarize_fault_sweep(sweep))
-            print("crash/resume demo:", demo)
+            report(f"summary: {summarize_fault_sweep(sweep)}")
+            report(f"crash/resume demo: {demo}")
+
+    if args.trace or args.metrics:
+        tracer = traced_run(n_objects=min(counts), seed=args.seed)
+        if args.trace:
+            events = export_chrome_trace(tracer, args.trace)
+            report(f"trace: wrote {events} trace_event records to {args.trace}")
+        if args.metrics:
+            report(tracer.metrics.format())
 
     if args.json:
         print(json.dumps(document, indent=2, sort_keys=True, default=str))

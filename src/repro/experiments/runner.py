@@ -4,15 +4,37 @@ The paper reports wall-clock times averaged over repeated trials.  The
 helpers here do the same: :func:`timed` measures one call, :func:`average_time`
 repeats it, and :func:`format_table` renders the result rows the way the
 figures report them (one row per sweep point).
+
+Experiment output goes through :func:`report`, which logs on the
+``repro.experiments`` logger instead of printing: the library stays silent
+by default (``repro`` installs a ``NullHandler``), and the CLI entry points
+install a stdout handler via :func:`repro.obs.install_cli_handler`.
+Machine-readable output (``--json``) still prints — it is the program's
+result, not a progress report.
 """
 
 from __future__ import annotations
 
+import logging
 import math
 import statistics
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+LOGGER = logging.getLogger(__name__)
+
+
+def report(message: str = "") -> None:
+    """Emit one line of human-readable experiment output.
+
+    Routed through the ``repro.experiments.runner`` logger so that library
+    users never see driver chatter unless a handler is installed; the
+    drivers' ``main()`` functions install one
+    (:func:`repro.obs.install_cli_handler`) so command-line behaviour is
+    unchanged.
+    """
+    LOGGER.info("%s", message)
 
 
 @dataclass

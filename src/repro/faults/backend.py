@@ -7,6 +7,12 @@ Faults fire *before* the delegated call — an injected failure never
 half-applies a statement, which keeps the chaos suite's byte-identity
 oracle honest (the real store state is exactly what the successful calls
 produced).
+
+When the owning store has a tracer installed (``PossStore`` propagates it
+onto the wrapper's ``tracer`` attribute), every injected fault is recorded
+as an instant ``fault`` event tagged with its site/shard/kind and counted
+in the tracer's metrics — reading the live attribute means a tracer
+attached after construction still observes the proxies already handed out.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from typing import Optional
 
 from repro.bulk.backends import SqlBackend
 from repro.faults.policy import FaultPolicy
+from repro.obs.trace import NULL_TRACER
 
 __all__ = ["FaultInjectingBackend"]
 
@@ -22,17 +29,16 @@ __all__ = ["FaultInjectingBackend"]
 class _FaultCursor:
     """Cursor proxy that consults the policy before execute/executemany."""
 
-    def __init__(self, cursor, policy: FaultPolicy, shard: Optional[int]) -> None:
+    def __init__(self, cursor, backend: "FaultInjectingBackend") -> None:
         self._cursor = cursor
-        self._policy = policy
-        self._shard = shard
+        self._backend = backend
 
     def execute(self, sql, parameters=()):
-        self._policy.check("execute", self._shard)
+        self._backend._check("execute")
         return self._cursor.execute(sql, parameters)
 
     def executemany(self, sql, rows):
-        self._policy.check("executemany", self._shard)
+        self._backend._check("executemany")
         return self._cursor.executemany(sql, rows)
 
     def __getattr__(self, name):
@@ -42,16 +48,15 @@ class _FaultCursor:
 class _FaultConnection:
     """Connection proxy: fault-checks commit, hands out fault cursors."""
 
-    def __init__(self, connection, policy: FaultPolicy, shard: Optional[int]) -> None:
+    def __init__(self, connection, backend: "FaultInjectingBackend") -> None:
         self._connection = connection
-        self._policy = policy
-        self._shard = shard
+        self._backend = backend
 
     def cursor(self) -> _FaultCursor:
-        return _FaultCursor(self._connection.cursor(), self._policy, self._shard)
+        return _FaultCursor(self._connection.cursor(), self._backend)
 
     def commit(self) -> None:
-        self._policy.check("commit", self._shard)
+        self._backend._check("commit")
         self._connection.commit()
 
     def __getattr__(self, name):
@@ -75,6 +80,23 @@ class FaultInjectingBackend(SqlBackend):
         self.inner = inner
         self.policy = policy
         self.shard = shard
+        self.tracer = NULL_TRACER
+
+    def _check(self, site: str) -> None:
+        """Consult the policy; trace the fault when one is injected."""
+        try:
+            self.policy.check(site, self.shard)
+        except Exception as error:
+            tracer = self.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "fault",
+                    site=site,
+                    shard=self.shard,
+                    kind=type(error).__name__,
+                )
+                tracer.metrics.counter("faults.injected")
+            raise
 
     @property
     def name(self) -> str:
@@ -101,8 +123,8 @@ class FaultInjectingBackend(SqlBackend):
         return self.policy.faults_injected
 
     def connect(self):
-        self.policy.check("connect", self.shard)
-        return _FaultConnection(self.inner.connect(), self.policy, self.shard)
+        self._check("connect")
+        return _FaultConnection(self.inner.connect(), self)
 
     def render(self, sql: str) -> str:
         return self.inner.render(sql)

@@ -42,6 +42,7 @@ from repro.core.errors import (
 from repro.core.gcpause import paused_gc
 from repro.core.network import TrustNetwork, User
 from repro.bulk.store import PossStore, ShardedPossStore
+from repro.obs.trace import NULL_TRACER
 from repro.incremental.coalesce import coalesce as coalesce_deltas
 from repro.incremental.deltas import (
     Delta,
@@ -174,8 +175,21 @@ class IncrementalSession:
         #: *before* the store is touched, so a crash mid-apply leaves a
         #: durable-in-memory record of what the relation must converge to.
         self._pending_batch: Tuple[Delta, ...] = ()
+        self._tracer = NULL_TRACER
         if autoload:
             self.load()
+
+    @property
+    def tracer(self):
+        """The session's tracer (:data:`~repro.obs.trace.NULL_TRACER` off)."""
+        return self._tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._tracer = NULL_TRACER if tracer is None else tracer
+        # The store funnel records the statement/retry spans; installing
+        # here keeps session spans and statement spans in one trace.
+        self.store.tracer = self._tracer
 
     # ------------------------------------------------------------------ #
     # views                                                               #
@@ -340,9 +354,44 @@ class IncrementalSession:
             raise BulkProcessingError("apply_batch() needs at least one delta")
         started = time.perf_counter()
         original_count = len(deltas)
-        ops: List[Delta] = (
-            coalesce_deltas(deltas) if coalesce else list(deltas)
+        tracer = self._tracer
+        batch_span = (
+            tracer.start(
+                "session.apply_batch", deltas=original_count, coalesce=coalesce
+            )
+            if tracer.enabled
+            else None
         )
+        try:
+            report = self._apply_batch_inner(deltas, coalesce, started)
+        except BaseException:
+            if batch_span is not None:
+                batch_span.tag(outcome="error")
+                tracer.finish(batch_span)
+            raise
+        if batch_span is not None:
+            batch_span.tag(
+                ops=report.deltas,
+                statements=report.statements,
+                rows_deleted=report.rows_deleted,
+                rows_inserted=report.rows_inserted,
+                recomputes=report.recomputes,
+            )
+            tracer.finish(batch_span)
+        return report
+
+    def _apply_batch_inner(
+        self, deltas: Tuple[Delta, ...], coalesce: bool, started: float
+    ) -> DeltaApplyReport:
+        """The body of :meth:`apply_batch` (split out for span wrapping)."""
+        original_count = len(deltas)
+        tracer = self._tracer
+        if tracer.enabled and coalesce:
+            with tracer.span("session.coalesce", deltas=original_count) as span:
+                ops: List[Delta] = coalesce_deltas(deltas)
+                span.tag(ops=len(ops))
+        else:
+            ops = coalesce_deltas(deltas) if coalesce else list(deltas)
         # Unknown object keys fail before anything mutates.
         for delta in ops:
             if not is_structural(delta):
@@ -377,26 +426,44 @@ class IncrementalSession:
                     if not assigned:
                         continue
                     batch = [delta for _pos, delta in assigned]
-                    if first:
-                        recorded: List[Tuple[User, ...]] = []
-                        log = resolver.apply_batch(
-                            batch, mutate_network=True, record_touched=recorded
-                        )
-                        for (position, delta), touched in zip(assigned, recorded):
-                            if is_structural(delta):
-                                structural_touched[position] = touched
-                        first = False
-                    else:
-                        overrides = [
-                            structural_touched.get(position)
-                            for position, _delta in assigned
-                        ]
-                        log = resolver.apply_batch(
-                            batch,
-                            mutate_network=False,
-                            touched_overrides=overrides,
-                        )
+                    key_span = (
+                        tracer.start("session.recompute", key=key, ops=len(batch))
+                        if tracer.enabled
+                        else None
+                    )
+                    try:
+                        if first:
+                            recorded: List[Tuple[User, ...]] = []
+                            log = resolver.apply_batch(
+                                batch, mutate_network=True, record_touched=recorded
+                            )
+                            for (position, delta), touched in zip(
+                                assigned, recorded
+                            ):
+                                if is_structural(delta):
+                                    structural_touched[position] = touched
+                            first = False
+                        else:
+                            overrides = [
+                                structural_touched.get(position)
+                                for position, _delta in assigned
+                            ]
+                            log = resolver.apply_batch(
+                                batch,
+                                mutate_network=False,
+                                touched_overrides=overrides,
+                            )
+                    except BaseException:
+                        if key_span is not None:
+                            key_span.tag(outcome="error")
+                            tracer.finish(key_span)
+                        raise
                     logs.append((key, log))
+                    if key_span is not None:
+                        key_span.tag(
+                            dirty=log.dirty_region, recomputed=log.recomputed
+                        )
+                        tracer.finish(key_span)
                 # New users introduced by the batch gain their (empty)
                 # entries in every key's map, as in apply().
                 for delta in ops:
@@ -419,6 +486,16 @@ class IncrementalSession:
             self._pending_batch = ()
             raise
 
+        if tracer.enabled:
+            with tracer.span("session.flush") as flush_span:
+                flushed = self._flush(logs)
+                flush_span.tag(
+                    rows_deleted=flushed[1],
+                    rows_inserted=flushed[2],
+                    statements=flushed[3],
+                )
+        else:
+            flushed = self._flush(logs)
         (
             users_changed,
             rows_deleted,
@@ -426,7 +503,7 @@ class IncrementalSession:
             statements,
             transactions,
             recovered,
-        ) = self._flush(logs)
+        ) = flushed
         self._pending_batch = ()
         return DeltaApplyReport(
             deltas=len(ops),

@@ -1,0 +1,124 @@
+"""Diff two recorded runs: per-span-name (and per-phase) deltas.
+
+``compare_runs`` accepts tracers, span lists, or paths to JSON-lines
+exports (:func:`repro.obs.export.export_jsonl`), aggregates each side by
+span name, and reports count/seconds deltas — the tool that turns two
+``BENCH_resolution.json``-style runs into an attributable story ("the
+3.55x came out of the flood stages, not the copies").
+
+Also a CLI::
+
+    python -m repro.obs.compare baseline.jsonl candidate.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.export import TraceLike, as_spans, load_spans
+from repro.obs.trace import Span, interval_union
+
+__all__ = ["compare_runs", "format_comparison"]
+
+RunLike = Union[str, TraceLike]
+
+
+def _resolve(run: RunLike) -> List[Span]:
+    if isinstance(run, str):
+        return load_spans(run)
+    return as_spans(run)
+
+
+def _aggregate(spans: Sequence[Span]) -> Dict[str, Dict[str, float]]:
+    rows: Dict[str, Dict[str, float]] = {}
+    intervals: Dict[str, List[Any]] = {}
+    for span in spans:
+        if span.instant:
+            continue
+        row = rows.setdefault(span.name, {"count": 0, "seconds": 0.0})
+        row["count"] += 1
+        intervals.setdefault(span.name, []).append(span.interval())
+    for name, row in rows.items():
+        row["seconds"] = interval_union(intervals[name])
+    return rows
+
+
+def compare_runs(
+    baseline: RunLike, candidate: RunLike, *, min_seconds: float = 0.0
+) -> List[Dict[str, Any]]:
+    """Per-span-name comparison of two runs.
+
+    Seconds are interval *unions* per name (overlapped workers counted
+    once), so the numbers line up with wall-clock phase attribution.
+    Returns one row per span name, sorted by the absolute seconds delta,
+    largest first.  ``ratio`` is candidate/baseline seconds (``None`` when
+    the baseline had no such spans).
+    """
+    rows_a = _aggregate(_resolve(baseline))
+    rows_b = _aggregate(_resolve(candidate))
+    names = sorted(set(rows_a) | set(rows_b))
+    comparison: List[Dict[str, Any]] = []
+    for name in names:
+        a = rows_a.get(name, {"count": 0, "seconds": 0.0})
+        b = rows_b.get(name, {"count": 0, "seconds": 0.0})
+        if max(a["seconds"], b["seconds"]) < min_seconds:
+            continue
+        ratio: Optional[float] = None
+        if a["seconds"] > 0.0:
+            ratio = b["seconds"] / a["seconds"]
+        comparison.append(
+            {
+                "span": name,
+                "count_a": int(a["count"]),
+                "count_b": int(b["count"]),
+                "seconds_a": a["seconds"],
+                "seconds_b": b["seconds"],
+                "delta_seconds": b["seconds"] - a["seconds"],
+                "ratio": ratio,
+            }
+        )
+    comparison.sort(key=lambda row: -abs(row["delta_seconds"]))
+    return comparison
+
+
+def format_comparison(rows: Sequence[Dict[str, Any]]) -> str:
+    """Fixed-width table rendering of :func:`compare_runs` output."""
+    header = (
+        f"{'span':<28} {'count':>11} {'baseline':>10} {'candidate':>10} "
+        f"{'delta':>10} {'ratio':>7}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        ratio = "-" if row["ratio"] is None else f"{row['ratio']:.2f}x"
+        counts = f"{row['count_a']}->{row['count_b']}"
+        lines.append(
+            f"{row['span']:<28} {counts:>11} {row['seconds_a']:>9.4f}s "
+            f"{row['seconds_b']:>9.4f}s {row['delta_seconds']:>+9.4f}s {ratio:>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.compare",
+        description="Diff two recorded traces (JSON-lines span exports).",
+    )
+    parser.add_argument("baseline", help="span .jsonl written by export_jsonl")
+    parser.add_argument("candidate", help="span .jsonl to compare against it")
+    parser.add_argument(
+        "--min-seconds",
+        type=float,
+        default=0.0,
+        metavar="S",
+        help="hide span names below this many seconds on both sides",
+    )
+    args = parser.parse_args(argv)
+    rows = compare_runs(args.baseline, args.candidate, min_seconds=args.min_seconds)
+    sys.stdout.write(format_comparison(rows) + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,168 @@
+"""Exporters for recorded traces.
+
+Three formats, all zero-dependency:
+
+* :func:`export_jsonl` — one JSON object per span per line; the archival
+  format :func:`load_spans` and ``repro.obs.compare`` read back.
+* :func:`chrome_trace` / :func:`export_chrome_trace` — the Chrome
+  ``trace_event`` JSON format.  Load the file in ``chrome://tracing`` or
+  https://ui.perfetto.dev to *see* region/shard overlap: each recorded
+  thread (``region-worker0``, ``shard1``, ...) becomes its own track.
+* :func:`format_span_tree` — plain-text nested rendering for terminals
+  and test failure messages.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "export_chrome_trace",
+    "export_jsonl",
+    "format_span_tree",
+    "load_spans",
+]
+
+TraceLike = Union[Tracer, Sequence[Span], Iterable[Span]]
+
+
+def as_spans(trace: TraceLike) -> List[Span]:
+    """Normalise a tracer / span sequence into a plain span list."""
+    if isinstance(trace, Tracer):
+        return trace.spans
+    spans = getattr(trace, "spans", None)
+    if spans is not None and not isinstance(trace, (list, tuple)):
+        return list(spans)
+    return list(trace)  # type: ignore[arg-type]
+
+
+# -- JSON lines ------------------------------------------------------------
+
+
+def export_jsonl(trace: TraceLike, path: str) -> int:
+    """Write one JSON object per span; returns the number of spans written."""
+    spans = as_spans(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        for span in spans:
+            handle.write(json.dumps(span.to_dict(), sort_keys=True, default=str))
+            handle.write("\n")
+    return len(spans)
+
+
+def load_spans(path: str) -> List[Span]:
+    """Read a :func:`export_jsonl` file back into :class:`Span` objects."""
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# -- Chrome trace_event ----------------------------------------------------
+
+
+def chrome_trace(trace: TraceLike) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from a recorded trace.
+
+    Complete spans become ``"X"`` (duration) events and instants become
+    ``"i"`` events; every distinct recording thread gets a ``tid`` plus a
+    ``thread_name`` metadata event so Perfetto labels the tracks.
+    Timestamps are microseconds relative to the earliest span.
+    """
+    spans = sorted(as_spans(trace), key=lambda span: (span.started, span.span_id))
+    events: List[Dict[str, Any]] = []
+    tids: Dict[str, int] = {}
+    origin = spans[0].started if spans else 0.0
+    for span in spans:
+        tid = tids.get(span.thread)
+        if tid is None:
+            tid = tids[span.thread] = len(tids) + 1
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": tid,
+                    "args": {"name": span.thread},
+                }
+            )
+        args = {
+            key: value
+            for key, value in span.tags.items()
+            if key != "instant" and value is not None
+        }
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        event: Dict[str, Any] = {
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "pid": 1,
+            "tid": tid,
+            "ts": (span.started - origin) * 1e6,
+            "args": args,
+        }
+        if span.instant:
+            event["ph"] = "i"
+            event["s"] = "t"
+        else:
+            event["ph"] = "X"
+            event["dur"] = span.duration * 1e6
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(trace: TraceLike, path: str) -> int:
+    """Write :func:`chrome_trace` output to ``path``; returns event count."""
+    document = chrome_trace(trace)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, default=str)
+        handle.write("\n")
+    return len(document["traceEvents"])
+
+
+# -- plain text ------------------------------------------------------------
+
+
+def format_span_tree(trace: TraceLike, *, unit: str = "ms") -> str:
+    """Indented plain-text rendering of the span forest.
+
+    Children are ordered by start time under their parent; orphaned spans
+    (parent missing from the collection, e.g. a partial export) are
+    promoted to roots rather than dropped.
+    """
+    spans = as_spans(trace)
+    scale = 1e3 if unit == "ms" else 1.0
+    by_id = {span.span_id: span for span in spans}
+    children: Dict[Optional[int], List[Span]] = {}
+    for span in spans:
+        parent = span.parent_id if span.parent_id in by_id else None
+        children.setdefault(parent, []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: (span.started, span.span_id))
+
+    lines: List[str] = []
+
+    def render(span: Span, depth: int) -> None:
+        indent = "  " * depth
+        tags = {k: v for k, v in span.tags.items() if k != "instant"}
+        suffix = f"  {tags}" if tags else ""
+        if span.instant:
+            lines.append(f"{indent}! {span.name} [{span.thread}]{suffix}")
+        else:
+            lines.append(
+                f"{indent}- {span.name} {span.duration * scale:.3f}{unit} "
+                f"[{span.thread}]{suffix}"
+            )
+        for child in children.get(span.span_id, ()):
+            render(child, depth + 1)
+
+    for root in children.get(None, ()):
+        render(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,45 @@
+"""Library logging hygiene.
+
+The library itself never configures logging: ``repro/__init__`` attaches a
+``NullHandler`` to the root ``repro`` logger, and every module logs through
+``logging.getLogger(__name__)``.  Command-line entry points (the
+``repro.experiments`` drivers) call :func:`install_cli_handler` once to
+route experiment output to stdout.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+__all__ = ["install_cli_handler"]
+
+#: Marker attribute identifying the handler we installed (idempotence).
+_CLI_MARKER = "_repro_cli_handler"
+
+
+def install_cli_handler(
+    level: int = logging.INFO, stream: Optional[TextIO] = None
+) -> logging.Handler:
+    """Attach a plain ``%(message)s`` stdout handler to the ``repro`` logger.
+
+    Idempotent: calling it again returns the already-installed handler
+    (updating its stream/level), so drivers can call it unconditionally.
+    """
+    logger = logging.getLogger("repro")
+    for handler in logger.handlers:
+        if getattr(handler, _CLI_MARKER, False):
+            if stream is not None and isinstance(handler, logging.StreamHandler):
+                handler.setStream(stream)
+            handler.setLevel(level)
+            if logger.level == logging.NOTSET or logger.level > level:
+                logger.setLevel(level)
+            return handler
+    handler = logging.StreamHandler(stream or sys.stdout)
+    handler.setFormatter(logging.Formatter("%(message)s"))
+    handler.setLevel(level)
+    setattr(handler, _CLI_MARKER, True)
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    return handler

@@ -1,0 +1,146 @@
+"""Thread-safe counters and histograms aggregated alongside spans.
+
+The :class:`MetricsRegistry` is deliberately tiny: named monotonically
+increasing counters (statements, retries, faults, rows written, bind
+params) and named value series summarised as histograms (per-phase
+latencies).  Instrumented code increments at the exact sites the execution
+reports already count, which is what lets the engine assert that a trace
+and its :class:`~repro.bulk.executor.BulkRunReport` agree.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional
+
+__all__ = ["MetricsRegistry"]
+
+
+def _summary(values: List[float]) -> Dict[str, float]:
+    ordered = sorted(values)
+    count = len(ordered)
+    total = sum(ordered)
+    return {
+        "count": count,
+        "total": total,
+        "min": ordered[0],
+        "max": ordered[-1],
+        "mean": total / count,
+        "p50": ordered[(count - 1) // 2],
+        "p95": ordered[min(count - 1, (count * 95) // 100)],
+    }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, safe to update from many threads."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    # -- updates -----------------------------------------------------------
+
+    def counter(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to the counter ``name``."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def histogram(self, name: str, value: float) -> None:
+        """Record one observation in the value series ``name``."""
+        with self._lock:
+            self._histograms.setdefault(name, []).append(float(value))
+
+    # -- reads -------------------------------------------------------------
+
+    def get(self, name: str, default: float = 0) -> float:
+        with self._lock:
+            return self._counters.get(name, default)
+
+    def counters(self) -> Dict[str, float]:
+        with self._lock:
+            return dict(self._counters)
+
+    def values(self, name: str) -> List[float]:
+        with self._lock:
+            return list(self._histograms.get(name, ()))
+
+    def snapshot(self) -> Dict[str, Any]:
+        """One JSON-friendly document: counters plus histogram summaries."""
+        with self._lock:
+            counters = dict(self._counters)
+            histograms = {
+                name: _summary(values)
+                for name, values in self._histograms.items()
+                if values
+            }
+        return {"counters": counters, "histograms": histograms}
+
+    def delta(self, baseline: Dict[str, float]) -> Dict[str, float]:
+        """Counter increases since a :meth:`counters` snapshot was taken."""
+        current = self.counters()
+        names = set(current) | set(baseline)
+        return {
+            name: current.get(name, 0) - baseline.get(name, 0)
+            for name in sorted(names)
+            if current.get(name, 0) != baseline.get(name, 0)
+        }
+
+    def format(self) -> str:
+        """Plain-text rendering of :meth:`snapshot` for CLI output."""
+        snap = self.snapshot()
+        lines = []
+        for name in sorted(snap["counters"]):
+            lines.append(f"{name} = {snap['counters'][name]:g}")
+        for name in sorted(snap["histograms"]):
+            stats = snap["histograms"][name]
+            lines.append(
+                f"{name}: count={stats['count']} total={stats['total']:.6f}s "
+                f"mean={stats['mean']:.6f}s p95={stats['p95']:.6f}s"
+            )
+        return "\n".join(lines)
+
+    @classmethod
+    def from_spans(cls, spans: Iterable[Any]) -> "MetricsRegistry":
+        """Aggregate a span list: per-name counts and duration histograms."""
+        registry = cls()
+        for span in spans:
+            if getattr(span, "instant", False):
+                registry.counter(f"events.{span.name}")
+            else:
+                registry.counter(f"spans.{span.name}")
+                registry.histogram(f"span_seconds.{span.name}", span.duration)
+        return registry
+
+
+class _NullMetrics:
+    """Inert registry attached to the null tracer."""
+
+    __slots__ = ()
+
+    def counter(self, name: str, value: float = 1) -> None:
+        return None
+
+    def histogram(self, name: str, value: float) -> None:
+        return None
+
+    def get(self, name: str, default: float = 0) -> float:
+        return default
+
+    def counters(self) -> Dict[str, float]:
+        return {}
+
+    def values(self, name: str) -> List[float]:
+        return []
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"counters": {}, "histograms": {}}
+
+    def delta(self, baseline: Dict[str, float]) -> Dict[str, float]:
+        return {}
+
+    def format(self) -> str:
+        return ""
+
+
+NULL_METRICS = _NullMetrics()

@@ -1,0 +1,350 @@
+"""Zero-dependency tracing: nested spans with monotonic timings.
+
+A :class:`Tracer` records one :class:`Span` per timed operation.  Spans nest
+through a thread-local stack — a span started while another is open on the
+same thread becomes its child automatically — and cross-thread edges (the
+region-worker pool, per-shard replay lanes) are expressed by passing
+``parent=`` explicitly at the thread-spawn point.  Timings come from
+``time.perf_counter()`` (monotonic, system-wide on Linux), so spans recorded
+on different threads share one timeline and can be compared or unioned.
+
+The default tracer everywhere is :data:`NULL_TRACER`, whose ``enabled``
+attribute is ``False``: hot paths guard span creation with a single
+attribute check and pay nothing when tracing is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import NULL_METRICS, MetricsRegistry
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "interval_union",
+]
+
+
+def interval_union(intervals: Iterable[Tuple[float, float]]) -> float:
+    """Total time covered by ``(start, end)`` intervals, overlaps counted once.
+
+    This is the wall-clock attribution primitive: summing per-worker phase
+    timings over-counts whenever two workers overlap, while the union of
+    their intervals is exactly the stretch of wall time during which *some*
+    worker was in that phase.
+    """
+    total = 0.0
+    cursor: Optional[float] = None
+    for start, end in sorted(intervals):
+        if end <= start:
+            continue
+        if cursor is None or start >= cursor:
+            total += end - start
+            cursor = end
+        elif end > cursor:
+            total += end - cursor
+            cursor = end
+    return total
+
+
+class Span:
+    """One timed operation: a name, a parent edge, tags, and two timestamps.
+
+    ``started``/``ended`` are ``time.perf_counter()`` readings; ``duration``
+    is their difference.  ``parent_id`` is ``None`` for root spans.  Tags are
+    free-form key/value annotations (shard index, region kind, SQL op,
+    retry outcome, ...).
+    """
+
+    __slots__ = ("name", "span_id", "parent_id", "thread", "started", "ended", "tags")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        thread: str,
+        started: float,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.thread = thread
+        self.started = started
+        self.ended: Optional[float] = None
+        self.tags: Dict[str, Any] = tags or {}
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and finish (0.0 while still open)."""
+        if self.ended is None:
+            return 0.0
+        return max(0.0, self.ended - self.started)
+
+    @property
+    def instant(self) -> bool:
+        """True for point-in-time events recorded via :meth:`Tracer.event`."""
+        return bool(self.tags.get("instant"))
+
+    def tag(self, **tags: Any) -> "Span":
+        """Attach extra tags to an open (or finished) span."""
+        self.tags.update(tags)
+        return self
+
+    def interval(self) -> Tuple[float, float]:
+        ended = self.started if self.ended is None else self.ended
+        return (self.started, ended)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "thread": self.thread,
+            "started": self.started,
+            "ended": self.ended,
+            "tags": self.tags,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(
+            name=data["name"],
+            span_id=data["span_id"],
+            parent_id=data.get("parent_id"),
+            thread=data.get("thread", "?"),
+            started=data["started"],
+            tags=dict(data.get("tags") or {}),
+        )
+        span.ended = data.get("ended")
+        return span
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id}, "
+            f"thread={self.thread!r}, duration={self.duration:.6f})"
+        )
+
+
+class Tracer:
+    """Collects spans from any number of threads.
+
+    Finished spans accumulate under a lock; open spans live on a per-thread
+    stack so nesting within a thread needs no bookkeeping at the call site.
+    One tracer may observe several runs back to back — exporters and the
+    consistency checks snapshot/delta around a run instead of assuming a
+    fresh tracer.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self.metrics = MetricsRegistry()
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def start(self, name: str, parent: Optional[Span] = None, **tags: Any) -> Span:
+        """Open a span.  ``parent=`` overrides the thread-local nesting."""
+        if parent is None:
+            parent = self.current()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=None if parent is None else parent.span_id,
+            thread=threading.current_thread().name,
+            started=time.perf_counter(),
+            tags=tags or None,
+        )
+        self._stack().append(span)
+        return span
+
+    def finish(self, span: Span) -> Span:
+        """Close a span and move it to the finished collection."""
+        if span.ended is None:
+            span.ended = time.perf_counter()
+        stack = self._stack()
+        if span in stack:
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    @contextmanager
+    def span(
+        self, name: str, parent: Optional[Span] = None, **tags: Any
+    ) -> Iterator[Span]:
+        """Context manager around :meth:`start`/:meth:`finish`."""
+        span = self.start(name, parent=parent, **tags)
+        try:
+            yield span
+        finally:
+            self.finish(span)
+
+    def event(self, name: str, parent: Optional[Span] = None, **tags: Any) -> Span:
+        """Record an instantaneous event (a zero-duration span)."""
+        if parent is None:
+            parent = self.current()
+        now = time.perf_counter()
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=None if parent is None else parent.span_id,
+            thread=threading.current_thread().name,
+            started=now,
+            tags=dict(tags, instant=True),
+        )
+        span.ended = now
+        with self._lock:
+            self._spans.append(span)
+        return span
+
+    # -- inspection --------------------------------------------------------
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def spans(self) -> List[Span]:
+        """Snapshot of the finished spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def spans_named(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def since(self, mark: int) -> List[Span]:
+        """Finished spans recorded after :meth:`mark` was taken."""
+        with self._lock:
+            return list(self._spans[mark:])
+
+    def mark(self) -> int:
+        """Bookmark the finished-span count (pair with :meth:`since`)."""
+        with self._lock:
+            return len(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+
+    def coverage(self, spans: Optional[Sequence[Span]] = None) -> float:
+        """Fraction of the trace's wall window covered by span intervals."""
+        spans = self.spans if spans is None else list(spans)
+        timed = [span for span in spans if not span.instant]
+        if not timed:
+            return 0.0
+        start = min(span.started for span in timed)
+        end = max(span.interval()[1] for span in timed)
+        window = end - start
+        if window <= 0.0:
+            return 1.0
+        return interval_union(span.interval() for span in timed) / window
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+
+class _NullSpan:
+    """Shared inert span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+    thread = ""
+    started = 0.0
+    ended = 0.0
+    duration = 0.0
+    instant = False
+    tags: Dict[str, Any] = {}
+
+    def tag(self, **tags: Any) -> "_NullSpan":
+        return self
+
+    def interval(self) -> Tuple[float, float]:
+        return (0.0, 0.0)
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """Do-nothing tracer: the default on every hot path.
+
+    ``enabled`` is ``False`` so instrumented code can skip span construction
+    entirely with one attribute check; every method is still safe to call.
+    """
+
+    enabled = False
+    metrics = NULL_METRICS
+
+    @property
+    def spans(self) -> List[Span]:
+        return []
+
+    def start(self, name: str, parent: Optional[Span] = None, **tags: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def finish(self, span: Any) -> Any:
+        return span
+
+    def span(self, name: str, parent: Optional[Span] = None, **tags: Any) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def event(self, name: str, parent: Optional[Span] = None, **tags: Any) -> _NullSpan:
+        return NULL_SPAN
+
+    def current(self) -> None:
+        return None
+
+    def spans_named(self, name: str) -> List[Span]:
+        return []
+
+    def mark(self) -> int:
+        return 0
+
+    def since(self, mark: int) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        return None
+
+    def coverage(self, spans: Optional[Sequence[Span]] = None) -> float:
+        return 0.0
+
+
+#: Shared no-op tracer used as the default everywhere tracing is optional.
+NULL_TRACER = NullTracer()

@@ -11,10 +11,8 @@ import random
 
 import pytest
 
-from collections import defaultdict
-
 from repro.bulk.compile import CompiledPlan, compile_plan
-from repro.bulk.executor import _execute_region, _replay_step
+from repro.bulk.executor import _execute_region, _PhaseClock, _replay_step
 from repro.bulk.planner import (
     FloodStep,
     plan_dag,
@@ -185,7 +183,7 @@ def _run_compiled(compiled, rows, serialized_relation):
     store.insert_explicit_beliefs(rows)
     with store.transaction():
         for region in compiled.regions:
-            _execute_region(store, region, defaultdict(float))
+            _execute_region(store, region, _PhaseClock())
     relation = serialized_relation(store)
     store.close()
     return relation

@@ -1,0 +1,89 @@
+"""Run comparison: per-span-name aggregation, deltas, and the CLI."""
+
+from __future__ import annotations
+
+from repro.obs import Span, compare_runs, export_jsonl, format_comparison
+from repro.obs.compare import main
+
+
+def _span(name, span_id, started, ended, thread="t", instant=False):
+    span = Span(
+        name,
+        span_id=span_id,
+        parent_id=None,
+        thread=thread,
+        started=started,
+        tags={"instant": True} if instant else None,
+    )
+    span.ended = ended
+    return span
+
+
+def _baseline():
+    return [
+        _span("copy", 1, 0.0, 1.0),
+        _span("flood", 2, 1.0, 3.0),
+        _span("fault", 3, 1.5, 1.5, instant=True),
+    ]
+
+
+def _candidate():
+    return [
+        _span("copy", 1, 0.0, 0.5),
+        # Two overlapped flood workers: unioned to 1.0s, not summed to 1.6s.
+        _span("flood", 2, 1.0, 1.8, thread="w0"),
+        _span("flood", 3, 1.2, 2.0, thread="w1"),
+        _span("retry", 4, 2.0, 2.1),
+    ]
+
+
+class TestCompareRuns:
+    def test_rows_sorted_by_absolute_delta(self):
+        rows = compare_runs(_baseline(), _candidate())
+        assert [row["span"] for row in rows] == ["flood", "copy", "retry"]
+
+    def test_overlap_unioned_and_ratios(self):
+        rows = {row["span"]: row for row in compare_runs(_baseline(), _candidate())}
+        flood = rows["flood"]
+        assert flood["count_a"] == 1 and flood["count_b"] == 2
+        assert abs(flood["seconds_b"] - 1.0) < 1e-9  # union, overlap once
+        assert abs(flood["ratio"] - 0.5) < 1e-9
+        assert abs(rows["copy"]["delta_seconds"] + 0.5) < 1e-9
+        # A span name absent from the baseline has no ratio.
+        assert rows["retry"]["ratio"] is None
+        assert rows["retry"]["count_a"] == 0
+        # Instants never make a row.
+        assert "fault" not in rows
+
+    def test_min_seconds_filter(self):
+        rows = compare_runs(_baseline(), _candidate(), min_seconds=0.4)
+        assert [row["span"] for row in rows] == ["flood", "copy"]
+
+    def test_format_comparison(self):
+        text = format_comparison(compare_runs(_baseline(), _candidate()))
+        lines = text.splitlines()
+        assert lines[0].split() == [
+            "span", "count", "baseline", "candidate", "delta", "ratio",
+        ]
+        assert any("flood" in line and "1->2" in line for line in lines)
+        assert any(line.rstrip().endswith("-") for line in lines[2:])  # no-ratio row
+
+
+class TestCli:
+    def test_main_diffs_two_jsonl_files(self, tmp_path, capsys):
+        base = str(tmp_path / "base.jsonl")
+        cand = str(tmp_path / "cand.jsonl")
+        export_jsonl(_baseline(), base)
+        export_jsonl(_candidate(), cand)
+        assert main([base, cand]) == 0
+        out = capsys.readouterr().out
+        assert "flood" in out and "copy" in out and "retry" in out
+
+    def test_main_min_seconds(self, tmp_path, capsys):
+        base = str(tmp_path / "base.jsonl")
+        cand = str(tmp_path / "cand.jsonl")
+        export_jsonl(_baseline(), base)
+        export_jsonl(_candidate(), cand)
+        assert main([base, cand, "--min-seconds", "0.4"]) == 0
+        out = capsys.readouterr().out
+        assert "retry" not in out

@@ -1,0 +1,89 @@
+"""MetricsRegistry: counters, histograms, snapshots and span aggregation."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import MetricsRegistry, Tracer
+
+
+class TestCounters:
+    def test_counter_accumulates(self):
+        metrics = MetricsRegistry()
+        metrics.counter("poss.statements.bulk")
+        metrics.counter("poss.statements.bulk", 4)
+        assert metrics.get("poss.statements.bulk") == 5
+        assert metrics.get("missing") == 0
+        assert metrics.get("missing", default=7) == 7
+
+    def test_delta_since_snapshot(self):
+        metrics = MetricsRegistry()
+        metrics.counter("a", 2)
+        baseline = metrics.counters()
+        metrics.counter("a", 3)
+        metrics.counter("b")
+        assert metrics.delta(baseline) == {"a": 3, "b": 1}
+        # Unchanged counters are omitted from the delta entirely.
+        assert metrics.delta(metrics.counters()) == {}
+
+    def test_concurrent_increments_lose_nothing(self):
+        metrics = MetricsRegistry()
+        n_threads, per_thread = 8, 1000
+
+        def bump():
+            for _ in range(per_thread):
+                metrics.counter("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert metrics.get("hits") == n_threads * per_thread
+
+
+class TestHistograms:
+    def test_values_and_summary(self):
+        metrics = MetricsRegistry()
+        for value in (0.3, 0.1, 0.2):
+            metrics.histogram("phase.copy", value)
+        assert metrics.values("phase.copy") == [0.3, 0.1, 0.2]
+        stats = metrics.snapshot()["histograms"]["phase.copy"]
+        assert stats["count"] == 3
+        assert abs(stats["total"] - 0.6) < 1e-9
+        assert stats["min"] == 0.1
+        assert stats["max"] == 0.3
+        assert abs(stats["mean"] - 0.2) < 1e-9
+        assert stats["p50"] == 0.2
+        assert stats["p95"] == 0.3
+
+    def test_snapshot_shape(self):
+        metrics = MetricsRegistry()
+        metrics.counter("c", 2)
+        snap = metrics.snapshot()
+        assert snap == {"counters": {"c": 2}, "histograms": {}}
+
+    def test_format_lists_counters_and_histograms(self):
+        metrics = MetricsRegistry()
+        metrics.counter("poss.retries", 3)
+        metrics.histogram("phase.flood", 0.5)
+        text = metrics.format()
+        assert "poss.retries = 3" in text
+        assert "phase.flood: count=1" in text
+
+
+class TestFromSpans:
+    def test_aggregates_counts_and_durations(self):
+        tracer = Tracer()
+        with tracer.span("bulk.run"):
+            with tracer.span("statement"):
+                pass
+            with tracer.span("statement"):
+                pass
+            tracer.event("fault")
+        derived = MetricsRegistry.from_spans(tracer.spans)
+        assert derived.get("spans.statement") == 2
+        assert derived.get("spans.bulk.run") == 1
+        assert derived.get("events.fault") == 1
+        assert derived.get("spans.fault") == 0
+        assert len(derived.values("span_seconds.statement")) == 2

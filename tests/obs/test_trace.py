@@ -1,0 +1,232 @@
+"""Span-tree invariants for the tracing core (repro.obs.trace).
+
+The properties every consumer relies on: spans nest properly (thread-local
+within a thread, explicit ``parent=`` across threads), no finished span is
+orphaned, timestamps are monotonic, and concurrent recording from many
+threads loses nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs import NullTracer, Span, Tracer, interval_union
+from repro.obs.trace import NULL_SPAN, NULL_TRACER
+
+
+class TestIntervalUnion:
+    def test_empty(self):
+        assert interval_union([]) == 0.0
+
+    def test_disjoint_intervals_sum(self):
+        assert interval_union([(0.0, 1.0), (2.0, 3.0)]) == 2.0
+
+    def test_overlap_counted_once(self):
+        assert interval_union([(0.0, 2.0), (1.0, 3.0)]) == 3.0
+
+    def test_contained_interval_adds_nothing(self):
+        assert interval_union([(0.0, 4.0), (1.0, 2.0)]) == 4.0
+
+    def test_empty_and_inverted_intervals_skipped(self):
+        assert interval_union([(1.0, 1.0), (3.0, 2.0), (0.0, 1.0)]) == 1.0
+
+    def test_order_independent(self):
+        intervals = [(4.0, 6.0), (0.0, 2.0), (1.0, 5.0)]
+        assert interval_union(intervals) == interval_union(reversed(intervals))
+        assert interval_union(intervals) == 6.0
+
+    def test_union_bounded_by_sum_and_extent(self):
+        intervals = [(0.0, 1.5), (1.0, 2.0), (5.0, 5.5)]
+        union = interval_union(intervals)
+        assert union <= sum(end - start for start, end in intervals)
+        assert union <= max(e for _, e in intervals) - min(s for s, _ in intervals)
+
+
+class TestSpanTree:
+    def test_thread_local_nesting(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert tracer.current() is inner
+            assert tracer.current() is outer
+        assert tracer.current() is None
+        names = [span.name for span in tracer.spans]
+        assert names == ["inner", "outer"]  # completion order
+
+    def test_explicit_parent_overrides_stack(self):
+        tracer = Tracer()
+        root = tracer.start("root")
+        with tracer.span("sibling"):
+            child = tracer.start("child", parent=root)
+            assert child.parent_id == root.span_id
+            tracer.finish(child)
+        tracer.finish(root)
+
+    def test_no_orphans(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                tracer.event("e")
+            with tracer.span("c"):
+                pass
+        ids = {span.span_id for span in tracer.spans}
+        for span in tracer.spans:
+            assert span.parent_id is None or span.parent_id in ids, span
+
+    def test_timestamps_monotonic_and_nested(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                pass
+        assert outer.started <= inner.started
+        assert inner.ended <= outer.ended
+        for span in tracer.spans:
+            assert span.ended is not None and span.ended >= span.started
+            assert span.duration >= 0.0
+
+    def test_finish_out_of_order_keeps_stack_balanced(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("inner")
+        # Finishing the outer span defensively pops the forgotten inner one.
+        tracer.finish(outer)
+        assert tracer.current() is None
+
+    def test_double_finish_keeps_first_end(self):
+        tracer = Tracer()
+        span = tracer.finish(tracer.start("s"))
+        first_end = span.ended
+        tracer.finish(span)
+        assert span.ended == first_end
+
+    def test_event_is_instant(self):
+        tracer = Tracer()
+        with tracer.span("run") as run:
+            event = tracer.event("fault", site="execute")
+        assert event.instant
+        assert event.ended == event.started
+        assert event.parent_id == run.span_id
+        assert event.tags["site"] == "execute"
+        assert not run.instant
+
+    def test_tags_and_tag_chaining(self):
+        tracer = Tracer()
+        span = tracer.start("s", shard=1)
+        assert span.tag(outcome="ok") is span
+        tracer.finish(span)
+        assert span.tags == {"shard": 1, "outcome": "ok"}
+
+    def test_mark_since_and_clear(self):
+        tracer = Tracer()
+        tracer.finish(tracer.start("first"))
+        mark = tracer.mark()
+        tracer.finish(tracer.start("second"))
+        assert [s.name for s in tracer.since(mark)] == ["second"]
+        assert [s.name for s in tracer.spans_named("first")] == ["first"]
+        tracer.clear()
+        assert tracer.spans == []
+
+    def test_round_trip_dict(self):
+        tracer = Tracer()
+        with tracer.span("run", shard=0):
+            tracer.event("fault")
+        for span in tracer.spans:
+            clone = Span.from_dict(span.to_dict())
+            assert clone.to_dict() == span.to_dict()
+
+
+class TestThreadSafety:
+    def test_concurrent_spans_all_collected(self):
+        tracer = Tracer()
+        root = tracer.start("root")
+        n_threads, per_thread = 8, 50
+
+        def lane(index: int) -> None:
+            lane_span = tracer.start("lane", parent=root, lane=index)
+            for step in range(per_thread):
+                with tracer.span("step", step=step):
+                    pass
+            tracer.finish(lane_span)
+
+        threads = [
+            threading.Thread(target=lane, args=(i,), name=f"lane{i}")
+            for i in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        tracer.finish(root)
+
+        spans = tracer.spans
+        assert len(spans) == 1 + n_threads * (1 + per_thread)
+        ids = [span.span_id for span in spans]
+        assert len(ids) == len(set(ids))  # no id was handed out twice
+        lanes = tracer.spans_named("lane")
+        assert {span.tags["lane"] for span in lanes} == set(range(n_threads))
+        assert all(span.parent_id == root.span_id for span in lanes)
+        lane_ids = {span.span_id for span in lanes}
+        for step in tracer.spans_named("step"):
+            assert step.parent_id in lane_ids  # nested via its own thread's stack
+
+
+class TestCoverage:
+    def _span(self, span_id, started, ended, parent=None, instant=False):
+        span = Span(
+            "s",
+            span_id=span_id,
+            parent_id=parent,
+            thread="t",
+            started=started,
+            tags={"instant": True} if instant else None,
+        )
+        span.ended = ended
+        return span
+
+    def test_full_window(self):
+        tracer = Tracer()
+        spans = [self._span(1, 0.0, 10.0), self._span(2, 2.0, 4.0, parent=1)]
+        assert tracer.coverage(spans) == 1.0
+
+    def test_gap_reduces_coverage(self):
+        tracer = Tracer()
+        spans = [self._span(1, 0.0, 4.0), self._span(2, 6.0, 10.0)]
+        assert abs(tracer.coverage(spans) - 0.8) < 1e-9
+
+    def test_instants_ignored(self):
+        tracer = Tracer()
+        spans = [self._span(1, 0.0, 1.0), self._span(2, 9.0, 9.0, instant=True)]
+        assert tracer.coverage(spans) == 1.0
+
+    def test_no_spans(self):
+        assert Tracer().coverage() == 0.0
+
+
+class TestNullTracer:
+    def test_disabled_and_inert(self):
+        tracer = NullTracer()
+        assert tracer.enabled is False
+        assert tracer.start("x") is NULL_SPAN
+        assert tracer.event("x") is NULL_SPAN
+        with tracer.span("x") as span:
+            assert span is NULL_SPAN
+            assert span.tag(anything=1) is NULL_SPAN
+        assert tracer.spans == []
+        assert tracer.current() is None
+        assert tracer.coverage() == 0.0
+        assert tracer.since(tracer.mark()) == []
+
+    def test_null_metrics_inert(self):
+        metrics = NULL_TRACER.metrics
+        metrics.counter("c")
+        metrics.histogram("h", 1.0)
+        assert metrics.get("c") == 0
+        assert metrics.counters() == {}
+        assert metrics.snapshot() == {"counters": {}, "histograms": {}}
+        assert metrics.delta({}) == {}
+        assert metrics.format() == ""
+
+    def test_shared_instance_exported(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)

@@ -277,6 +277,51 @@ def test_faults_surface_is_locked():
         assert hasattr(repro.faults, name), name
 
 
+#: The locked surface of repro.obs (same contract as BULK_API).
+OBS_API = [
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "compare_runs",
+    "export_chrome_trace",
+    "export_jsonl",
+    "format_comparison",
+    "format_span_tree",
+    "install_cli_handler",
+    "interval_union",
+    "load_spans",
+]
+
+
+def test_obs_surface_is_locked():
+    import repro.obs
+
+    assert sorted(repro.obs.__all__) == OBS_API
+    for name in repro.obs.__all__:
+        assert hasattr(repro.obs, name), name
+
+
+def test_traced_round_trip():
+    """materialize(trace=True) records spans behind the public surface."""
+    from repro import ResolutionEngine
+    from repro.obs import Tracer, chrome_trace
+
+    tn = TrustNetwork()
+    tn.add_trust("mirror", "source", priority=1)
+    tn.set_explicit_belief("source", "v")
+    with ResolutionEngine.open(tn) as engine:
+        report = engine.materialize(trace=True)
+        tracer = report.trace
+        assert isinstance(tracer, Tracer)
+        assert tracer.spans_named("engine.materialize")
+        assert tracer.spans_named("bulk.run")
+        assert tracer.metrics.get("poss.statements.bulk") > 0
+        assert chrome_trace(tracer)["traceEvents"]
+
+
 def test_fault_tolerant_round_trip():
     """Injected transient faults are absorbed behind the public surface."""
     from repro import ResolutionEngine
