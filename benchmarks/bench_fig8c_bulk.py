@@ -446,6 +446,107 @@ def test_fig8c_region_worker_sweep(bench_json_records, bench_report_lines):
         )
 
 
+def test_fig8c_pool_worker_sweep(bench_json_records, bench_report_lines):
+    """The connection-pool experiment: per-worker WAL connections committing
+    one transaction per compiled region, with the region SELECT staged into a
+    temp table outside the single-writer token.
+
+    Structural gates hold on any machine: the relation is byte-identical to
+    the sequential (unpooled) replay for every pool size, each lane checks
+    out exactly one connection, and every region runs as its own
+    transaction.  The 4-vs-1 speedup gate is machine weather: the staged
+    SELECTs only overlap when there is a spare core for them to land on, so
+    it is asserted only when ``os.cpu_count() >= 2`` — a single-CPU runner
+    records the timings without the ratio gate."""
+    import os as _os
+    import tempfile as _tempfile
+
+    from repro.bulk.backends import SqliteFileBackend
+    from repro.bulk.store import PossStore
+    from repro.workloads.bulkload import multi_chain_network
+
+    sweep = fig8c_bulk.run_pool_worker_sweep(pool_worker_counts=(1, 2, 4))
+    summary = fig8c_bulk.summarize_pool_worker_sweep(sweep)
+    assert summary["pool_workers_reported_honestly"], summary
+    assert summary["one_checkout_per_lane"], summary
+    assert summary["per_region_transactions"], summary
+    assert summary["all_regions_compiled"], summary
+
+    # Byte-identity: the pooled runs produce exactly the sequential relation.
+    def serialize(store) -> bytes:
+        rows = sorted(store.possible_table())
+        return "\n".join(
+            f"{row.user}|{row.key}|{row.value}" for row in rows
+        ).encode()
+
+    network, roots = multi_chain_network(4, 40)
+    rows_in = [(root, f"k{i}", "v") for root in roots for i in range(5)]
+    relations = {}
+    with _tempfile.TemporaryDirectory(prefix="repro-poolident-") as directory:
+        for pool_workers in (0, 1, 2, 4):
+            store = PossStore(
+                backend=SqliteFileBackend(
+                    _os.path.join(directory, f"ident-{pool_workers}.db")
+                )
+            )
+            resolver = BulkResolver(
+                network,
+                store=store,
+                explicit_users=roots,
+                scheduler="compiled",
+                pool_workers=pool_workers,
+            )
+            resolver.load_beliefs(rows_in)
+            resolver.run()
+            relations[pool_workers] = serialize(store)
+            store.close()
+    assert relations[1] == relations[0]
+    assert relations[2] == relations[0]
+    assert relations[4] == relations[0]
+
+    seconds = {row["pool_workers"]: row["seconds"] for row in sweep}
+    if (_os.cpu_count() or 1) >= 2:
+        assert seconds[4] * 1.5 <= seconds[1], (
+            f"pool_workers=4 ({seconds[4]:.4f}s) is not >=1.5x faster than "
+            f"pool_workers=1 ({seconds[1]:.4f}s)"
+        )
+
+    bench_report_lines.append(
+        "Figure 8c — pool-worker sweep (connection-per-worker WAL execution)"
+    )
+    bench_report_lines.append(
+        format_table(
+            sweep,
+            columns=[
+                "pool_workers",
+                "chains",
+                "regions",
+                "seconds",
+                "pool_checkouts",
+                "pool_in_use_peak",
+                "transactions",
+            ],
+        )
+    )
+    bench_report_lines.append(f"summary: {summary}")
+    for row in sweep:
+        record_scenario(
+            bench_json_records,
+            f"fig8c_bulk/compiled/pool_workers={row['pool_workers']}",
+            seconds=row["seconds"],
+            pool_workers_reported=row["pool_workers_reported"],
+            pool_checkouts=row["pool_checkouts"],
+            pool_in_use_peak=row["pool_in_use_peak"],
+            pool_wait_seconds=row["pool_wait_seconds"],
+            transactions=row["transactions"],
+            regions=row["regions"],
+            regions_compiled=row["regions_compiled"],
+            chains=row["chains"],
+            depth=row["depth"],
+            objects=row["objects"],
+        )
+
+
 def test_fig8c_pg_parallel_sweep(bench_json_records, bench_report_lines):
     """The PostgreSQL parallel-query experiment: the deep-chain compiled run
     under SET max_parallel_workers_per_gather = {0, 2, 4}.  Gated on

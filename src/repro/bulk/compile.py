@@ -56,8 +56,9 @@ deep chains into far fewer, larger regions.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import BulkProcessingError
 from repro.bulk.planner import (
@@ -136,6 +137,38 @@ class CompiledRegion:
     def replay_statement_count(self) -> int:
         """Statements the same steps cost under sequential replay."""
         return sum(step.statement_count() for step in self.steps)
+
+    @property
+    def fingerprint(self) -> "str | None":
+        """Content hash keying the per-store compiled-statement cache.
+
+        Two regions with equal kind/edges/pairs/blocked render identical
+        SQL and parameters, so the rendered statement of one can serve the
+        other — that is what lets repeated runs and incremental re-applies
+        skip re-rendering the compiled CTEs.  ``replay`` regions return
+        ``None``: they carry opaque step objects, not statement inputs,
+        and are never cached.  SHA-1 (not a 32-bit checksum) because a
+        collision here would execute the *wrong cached SQL*.
+        """
+        if self.kind == "replay":
+            return None
+        payload = repr((self.kind, self.edges, self.pairs, self.blocked))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()
+
+    def closed_users(self) -> FrozenSet[str]:
+        """Every user this region closes (derives the rows of).
+
+        The compensation path of a failed pooled run deletes exactly these
+        users' rows for each region whose per-region transaction already
+        committed — sound because a closed user's rows are *all* derived
+        by its closing region (Algorithm 1 closes each user once, and the
+        resolver loads explicit beliefs only for non-derived users).
+        """
+        closed: Set[str] = set()
+        for step in self.steps:
+            _reads, step_closes = step_io(step)
+            closed.update(str(user) for user in step_closes)
+        return frozenset(closed)
 
 
 @dataclass(frozen=True)

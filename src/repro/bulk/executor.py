@@ -54,15 +54,22 @@ suite locks on hundreds of randomized networks.
 
 from __future__ import annotations
 
+import contextlib
 import heapq
+import os
 import threading
 import time
+import uuid
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.beliefs import Value
 from repro.core.binarize import binarize
-from repro.core.errors import BackendUnavailable, BulkProcessingError
+from repro.core.errors import (
+    BackendUnavailable,
+    BulkProcessingError,
+    TransientBackendError,
+)
 from repro.core.network import TrustNetwork, User
 from repro.bulk.backends import ShardSpec
 from repro.bulk.compile import (
@@ -161,6 +168,15 @@ class BulkRunReport:
     #: Statements the compiled run avoided versus statement-at-a-time
     #: replay of the same plan, summed across shards (0 for replay runs).
     statements_saved: int = 0
+    #: Per-worker pooled connections the run executed over (0 = the run
+    #: used the store's single primary connection).
+    pool_workers: int = 0
+    #: Pooled-connection checkouts the run performed.
+    pool_checkouts: int = 0
+    #: Most pooled connections simultaneously checked out during the run.
+    pool_in_use_peak: int = 0
+    #: Total seconds checkouts waited on an exhausted pool during the run.
+    pool_wait_seconds: float = 0.0
     #: The :class:`~repro.obs.trace.Tracer` that observed the run, or
     #: ``None`` for untraced runs.  When present, the scalar fields above
     #: are asserted consistent with the recorded spans/metrics.
@@ -276,13 +292,19 @@ def _execute_region(
         if _region_supported(store, region):
             started = time.perf_counter()
             if region.kind == "copy":
-                rows = store.copy_region(region.edges)
+                rows = store.copy_region(
+                    region.edges, fingerprint=region.fingerprint
+                )
                 phase = "copy"
             elif region.kind == "blocked_flood":
-                rows = store.blocked_flood(region.pairs, region.blocked)
+                rows = store.blocked_flood(
+                    region.pairs, region.blocked, fingerprint=region.fingerprint
+                )
                 phase = "flood"
             else:
-                rows = store.flood_stage(region.pairs)
+                rows = store.flood_stage(
+                    region.pairs, fingerprint=region.fingerprint
+                )
                 phase = "flood"
             clock.add(phase, started, time.perf_counter())
             compiled = True
@@ -558,6 +580,7 @@ class _PlanExecutor:
         checkpoint: Optional[str] = None,
         compiled_plan: Optional[CompiledPlan] = None,
         tracer=None,
+        pool_workers: Optional[int] = None,
     ) -> None:
         if scheduler not in SCHEDULERS:
             raise BulkProcessingError(
@@ -565,11 +588,20 @@ class _PlanExecutor:
             )
         if workers < 1:
             raise BulkProcessingError("workers must be >= 1")
+        if pool_workers is None:
+            # The chaos/CI switch: REPRO_POOL_WORKERS=N routes every
+            # compiled run on a poolable single store through the pooled
+            # per-region-transaction path without any call site opting in.
+            env = os.environ.get("REPRO_POOL_WORKERS", "").strip()
+            pool_workers = int(env) if env else 0
+        if pool_workers < 0:
+            raise BulkProcessingError("pool_workers must be >= 0")
         self._loaded_objects: set = set()
         self._workers = workers
         self._scheduler = scheduler
         self._retry_policy = retry_policy
         self._checkpoint = checkpoint
+        self._pool_workers = pool_workers
         self._dag: Optional[PlanDag] = None
         self._compiled_plan = compiled_plan
         self._region_plan: Optional[RegionSchedule] = None
@@ -640,6 +672,8 @@ class _PlanExecutor:
             ("poss.retries", report.retries),
             ("poss.timeouts", report.timed_out_statements),
             ("faults.injected", report.faults_injected),
+            # Unpooled runs: 0 expected, and the metric never moved.
+            ("pool.checkouts", report.pool_checkouts),
         ]
         if check_rows:
             checks.append(("bulk.rows", report.rows_inserted))
@@ -853,6 +887,298 @@ class _PlanExecutor:
             return 1
         return max(1, min(self._workers, self.compiled.region_count))
 
+    # ------------------------------------------------------------------ #
+    # pooled (connection-per-worker) compiled execution                    #
+    # ------------------------------------------------------------------ #
+
+    def _pooled_active(self) -> bool:
+        """Whether this run executes on per-worker pooled connections.
+
+        Requires the ``compiled`` scheduler (per-region transactions only
+        make sense at region granularity), a *single* store (sharded
+        stores already parallelize one lane per shard) and a backend whose
+        pooled connections share the database
+        (``store.supports_pooling`` — notably False for the in-memory
+        sqlite backend, whose every connection is a private database).
+        ``pool_workers=1`` still counts: it exercises the same pooled
+        per-region-transaction model, which is what the benchmark's
+        1-vs-4 comparison isolates.
+        """
+        if self._pool_workers < 1 or self._scheduler != "compiled":
+            return False
+        store = self.store
+        if isinstance(store, ShardedPossStore):
+            return False
+        return bool(getattr(store, "supports_pooling", False))
+
+    def _rollback_pooled_run(self, run_id: str) -> None:
+        """Compensate a failed non-resumable pooled run: undo whole regions.
+
+        Committed regions of the failed run are exactly the journaled
+        ones, and a region only ever inserts rows for the users it
+        *closes* — derived users with no pre-run rows (explicit beliefs
+        are loaded for plan sources, never for closed users).  Deleting
+        those users' rows and the journal therefore restores the pre-run
+        relation.  A failure *inside* the compensation is swallowed: the
+        original run error is the one that matters, and the surviving
+        journal entries remain as evidence that rollback is incomplete.
+        """
+        store = self.store
+        try:
+            completed = store.journal_completed(run_id)
+            if completed:
+                users: set = set()
+                for region, marker in zip(
+                    self.compiled.regions, self.compiled.journal_markers()
+                ):
+                    if marker in completed:
+                        users.update(region.closed_users())
+                if users:
+                    store.discard_user_rows(sorted(users))
+            store.journal_clear(run_id)
+        except Exception:
+            pass
+
+    def _pooled_region_once(
+        self, session, region, marker: int, run_id: str, token, clock
+    ) -> Tuple[int, bool]:
+        """One attempt at one region on one pooled session.
+
+        Single-writer backends (``token`` is a lock) run dialect-supported
+        regions *staged*: the region SELECT evaluates into a private temp
+        table outside the token (concurrent with other workers' reads and
+        the current writer), and only the short ``INSERT … SELECT FROM
+        stage`` plus the journal marker run inside token + transaction.
+        Everything else — MVCC backends, replay regions, dialect gaps,
+        fence-only floods — runs whole inside its per-region transaction
+        (under the token when one exists).  Either way the journal write
+        commits atomically with the region's rows.
+        """
+        guard = token if token is not None else contextlib.nullcontext()
+        tracer = self.tracer
+        if (
+            token is not None
+            and region.kind != "replay"
+            and region.fingerprint is not None
+            and _region_supported(session, region)
+        ):
+            stage = session.stage_region(region)
+            if stage is not None:
+                phase = "copy" if region.kind == "copy" else "flood"
+                span = None
+                if tracer.enabled:
+                    span = tracer.start(
+                        "region",
+                        kind=region.kind,
+                        shard=session.trace_shard,
+                        staged=True,
+                    )
+                try:
+                    started = time.perf_counter()
+                    try:
+                        with guard:
+                            with session.transaction():
+                                rows = session.apply_stage(stage)
+                                session.journal_record(run_id, marker)
+                    finally:
+                        clock.add(phase, started, time.perf_counter())
+                        session.drop_stage(stage)
+                except BaseException:
+                    if span is not None:
+                        tracer.finish(span.tag(outcome="error"))
+                    raise
+                if span is not None:
+                    tracer.finish(span.tag(rows=rows, compiled=True))
+                if tracer.enabled:
+                    tracer.metrics.counter("bulk.rows", rows)
+                return rows, True
+        with guard:
+            with session.transaction():
+                rows, used_compiled = _execute_region(session, region, clock)
+                session.journal_record(run_id, marker)
+        return rows, used_compiled
+
+    def _execute_pooled_region(
+        self, session, region, marker: int, run_id: str, token, clock
+    ) -> Tuple[int, bool]:
+        """One region with region-level retry around its transaction.
+
+        The statement funnel already retries transient faults per
+        statement; this outer loop additionally retries the *whole region
+        transaction* when a transient failure escapes it (exhausted
+        statement retries, a failed ``BEGIN``, an ambiguous commit).  Safe
+        to re-run: a rolled-back region applied nothing, and even a
+        commit that succeeded before its acknowledgment was lost only
+        makes the re-run insert duplicate rows — logically invisible
+        (every read is ``SELECT DISTINCT``) — and a duplicate journal
+        marker, which :meth:`PossStore.journal_completed` deduplicates.
+        """
+        policy = self.store.retry_policy
+        attempt = 1
+        while True:
+            try:
+                return self._pooled_region_once(
+                    session, region, marker, run_id, token, clock
+                )
+            except TransientBackendError:
+                if attempt >= policy.max_attempts:
+                    raise
+                time.sleep(policy.delay(attempt))
+                attempt += 1
+
+    def _run_compiled_pooled(self) -> BulkRunReport:
+        """Connection-per-worker compiled execution, per-region transactions.
+
+        Every worker thread checks a connection out of the store's pool
+        (:meth:`PossStore.pooled_session`) and pulls ready regions off the
+        shared dependency queue; each region commits its own short
+        transaction with its ``POSS_JOURNAL`` marker inside it.  The
+        single writer of sqlite is respected through a write token, with
+        the region SELECTs staged outside it (see
+        :meth:`_pooled_region_once`) — that staging is where the
+        wall-clock overlap comes from.
+
+        All-or-nothing semantics survive the loss of the single run
+        transaction: a failed run either rolls its committed regions back
+        by run id (:meth:`_rollback_pooled_run`) or — when the caller
+        named a checkpoint — leaves the journal in place and resumes,
+        skipping the journaled regions exactly like the serial
+        checkpointed scheduler.
+        """
+        store = self.store
+        resumable = self._checkpoint is not None
+        run_id = (
+            self._checkpoint
+            if resumable
+            else f"__pool__{uuid.uuid4().hex}"
+        )
+        started = time.perf_counter()
+        statements_before = store.bulk_statements
+        transactions_before = store.transactions
+        fault_counters = self._counters_before()
+        pool_counters = (store.pool_checkouts, store.pool_wait_seconds)
+        run_span, metrics_before = self._trace_begin(compiled=True, pooled=True)
+        compiled = self.compiled
+        schedule = self.region_plan
+        markers = compiled.journal_markers()
+        stage_of = [0] * schedule.region_count
+        for level, stage in enumerate(schedule.stages):
+            for index in stage:
+                stage_of[index] = level
+        pool_workers = max(
+            1, min(self._pool_workers, max(schedule.region_count, 1))
+        )
+        tracker = _OverlapTracker(schedule.stages, lanes=1)
+        clock = _PhaseClock()
+        tracer = self.tracer
+        token = (
+            None
+            if getattr(store, "supports_concurrent_writes", False)
+            else threading.Lock()
+        )
+        try:
+            completed = store.journal_completed(run_id) if resumable else frozenset()
+            skipped = sum(
+                len(region.steps)
+                for region, marker in zip(compiled.regions, markers)
+                if marker in completed
+            )
+            totals = [0] * pool_workers
+            compiled_counts = [0] * pool_workers
+            errors: List[BaseException] = []
+            queue = _WorkQueue(schedule.depends_on)
+
+            def pull(slot: int) -> None:
+                try:
+                    with store.pooled_session(
+                        slot=slot, size=pool_workers, parent_span=run_span
+                    ) as session:
+                        while True:
+                            index = queue.get()
+                            if index is None:
+                                return
+                            if markers[index] in completed:
+                                queue.done(index)
+                                continue
+                            tracker.started(stage_of[index])
+                            try:
+                                region_rows, used_compiled = (
+                                    self._execute_pooled_region(
+                                        session,
+                                        compiled.regions[index],
+                                        markers[index],
+                                        run_id,
+                                        token,
+                                        clock,
+                                    )
+                                )
+                            except BaseException as error:  # re-raised below
+                                errors.append(error)
+                                queue.abort()
+                                return
+                            tracker.finished(stage_of[index])
+                            totals[slot] += region_rows
+                            compiled_counts[slot] += int(used_compiled)
+                            queue.done(index)
+                except BaseException as error:  # checkout/checkin failure
+                    errors.append(error)
+                    queue.abort()
+
+            threads = [
+                threading.Thread(
+                    target=pull, args=(slot,), name=f"pool-worker{slot}"
+                )
+                for slot in range(pool_workers)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            if errors:
+                raise errors[0]
+            if not resumable:
+                # A successful one-shot pooled run leaves no journal behind
+                # (its run id is private, so nothing could ever resume it).
+                store.journal_clear(run_id)
+        except BaseException:
+            self._trace_abort(run_span)
+            if not resumable:
+                # Mid-run worker death must not leave a partially visible
+                # run: undo the committed regions by run id.  Checkpointed
+                # runs instead keep the journal and resume.
+                self._rollback_pooled_run(run_id)
+            raise
+        elapsed = time.perf_counter() - started
+        statements = store.bulk_statements - statements_before
+        report = BulkRunReport(
+            objects=len(self._loaded_objects),
+            statements=statements,
+            rows_inserted=sum(totals),
+            elapsed_seconds=elapsed,
+            conflicts=store.conflict_count(),
+            phase_seconds=clock.seconds(),
+            transactions=store.transactions - transactions_before,
+            index_strategy=store.index_strategy.name,
+            backend=store.backend_name,
+            grouped_plan=self.plan.grouped,
+            dag_stages=self.dag.stage_count,
+            scheduler=self._scheduler,
+            workers=pool_workers,
+            stages_overlapped=tracker.overlapped,
+            checkpointed=resumable,
+            nodes_skipped=skipped,
+            regions_compiled=sum(compiled_counts),
+            statements_saved=max(
+                0, compiled.replay_statement_count() - statements
+            ),
+            pool_workers=pool_workers,
+            pool_checkouts=store.pool_checkouts - pool_counters[0],
+            pool_in_use_peak=store.pool_in_use_peak,
+            pool_wait_seconds=store.pool_wait_seconds - pool_counters[1],
+            **self._fault_fields(fault_counters),
+        )
+        return self._trace_finish(run_span, metrics_before, report)
+
     def _run_compiled(self) -> BulkRunReport:
         """Region-at-a-time execution: one pushed-down statement per region.
 
@@ -870,6 +1196,8 @@ class _PlanExecutor:
         statement funnel — the region *is* one statement, so statement
         retry and region retry coincide.
         """
+        if self._pooled_active():
+            return self._run_compiled_pooled()
         store = self.store
         started = time.perf_counter()
         statements_before = store.bulk_statements
@@ -986,6 +1314,8 @@ class _PlanExecutor:
         per-node journals key on different markers, and the engine keeps
         their run ids distinct for this reason.
         """
+        if self._pooled_active():
+            return self._run_compiled_pooled()
         store = self.store
         run_id = self._checkpoint
         started = time.perf_counter()
@@ -1084,6 +1414,7 @@ class BulkResolver(_PlanExecutor):
         checkpoint: Optional[str] = None,
         compiled_plan: Optional[CompiledPlan] = None,
         tracer=None,
+        pool_workers: Optional[int] = None,
     ) -> None:
         super().__init__(
             workers=workers,
@@ -1092,6 +1423,7 @@ class BulkResolver(_PlanExecutor):
             checkpoint=checkpoint,
             compiled_plan=compiled_plan,
             tracer=tracer,
+            pool_workers=pool_workers,
         )
         self.network = network
         self._attach_store(store or PossStore())
@@ -1634,6 +1966,7 @@ class SkepticBulkResolver(_PlanExecutor):
         checkpoint: Optional[str] = None,
         compiled_plan: Optional[CompiledPlan] = None,
         tracer=None,
+        pool_workers: Optional[int] = None,
     ) -> None:
         super().__init__(
             workers=workers,
@@ -1642,6 +1975,7 @@ class SkepticBulkResolver(_PlanExecutor):
             checkpoint=checkpoint,
             compiled_plan=compiled_plan,
             tracer=tracer,
+            pool_workers=pool_workers,
         )
         self.network = network
         self._attach_store(store or PossStore())

@@ -17,6 +17,16 @@ rolls the relation back to its pre-run state.  Outside a run transaction
 (direct store use, loading explicit beliefs) every method commits its own
 work, keeping on-disk databases durable across :meth:`PossStore.close`.
 
+*Pooled* execution relaxes the single transaction without giving up its
+semantics.  One transaction cannot span connections, so when the compiled
+executor runs regions on per-worker pooled connections
+(:meth:`PossStore.pooled_session`), each region commits its own short
+transaction with a ``POSS_JOURNAL`` marker inside it — journal-before-
+commit at region boundaries.  A worker failure then leaves only whole,
+journaled regions visible, which the executor either rolls back by run id
+(:meth:`PossStore.discard_user_rows` over the journaled regions' closed
+users) or resumes from, restoring the all-or-nothing outcome.
+
 Fault tolerance lives at two seams of this class.  Every statement passes
 through the single :meth:`PossStore._run_statement` funnel, where raw
 driver exceptions are classified through the backend
@@ -51,6 +61,7 @@ from repro.core.network import User
 from repro.bulk.backends import (
     ALL_INDEX_NAMES,
     DEFAULT_MAX_BIND_PARAMS,
+    ConnectionPool,
     IndexStrategy,
     ShardSpec,
     SqlBackend,
@@ -68,6 +79,13 @@ from repro.obs.trace import NULL_TRACER
 #: Reserved value representing ⊥ in the Skeptic bulk variant.
 BOTTOM_VALUE = "__BOTTOM__"
 
+#: The literal prefix every compiled region statement starts with (all three
+#: dialect shapes emit it verbatim).  Pooled staged execution splits the
+#: SELECT off at this boundary: the SELECT runs into a per-connection temp
+#: table outside the write token, and only the short ``INSERT … SELECT FROM
+#: <stage>`` holds it.
+REGION_INSERT_PREFIX = "INSERT INTO POSS (X, K, V) "
+
 
 @dataclass(frozen=True, order=True)
 class PossRow:
@@ -78,7 +96,272 @@ class PossRow:
     value: str
 
 
-class PossStore:
+class _PossStatements:
+    """The bulk/compiled statement vocabulary over an execution seam.
+
+    Shared by :class:`PossStore` (statements on the store's primary
+    connection) and :class:`PooledRegionSession` (the same statements on a
+    per-worker pooled connection): both provide ``_execute`` /
+    ``_count_bulk`` / ``_commit`` / ``compiled_dialect`` /
+    ``_statement_for`` / ``backend_name``, and everything the executor
+    calls per region — replay statements, compiled region statements and
+    the journal write — is defined once here against that seam.
+    """
+
+    # ------------------------------------------------------------------ #
+    # the checkpoint journal                                               #
+    # ------------------------------------------------------------------ #
+
+    def journal_record(self, run_id: str, node: int) -> None:
+        """Record that checkpointed run ``run_id`` committed DAG node ``node``.
+
+        The checkpointing executor calls this *inside* the per-node (or,
+        pooled, per-region) transaction, so the node's rows and its journal
+        entry commit atomically — a crash can never journal work that did
+        not commit, nor commit work that is not journaled.
+        """
+        self._execute(
+            "INSERT INTO POSS_JOURNAL (RUN, NODE) VALUES (?, ?)",
+            (str(run_id), int(node)),
+        )
+        self._commit()
+
+    # ------------------------------------------------------------------ #
+    # the bulk statements of Section 4                                     #
+    # ------------------------------------------------------------------ #
+
+    def copy_from_parent(self, child: User, parent: User) -> int:
+        """Step-1 bulk insert: copy every (key, value) of ``parent`` to ``child``.
+
+        Mirrors the single-child statement of Section 4::
+
+            insert into POSS
+            select 'x' AS X, t.K, t.V from POSS t where t.X = 'z'
+        """
+        cursor = self._execute(
+            "INSERT INTO POSS (X, K, V) SELECT ?, t.K, t.V FROM POSS t WHERE t.X = ?",
+            (str(child), str(parent)),
+        )
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+    def copy_to_children(self, parent: User, children: Sequence[User]) -> int:
+        """Grouped Step-1 insert: copy ``parent``'s rows to *all* ``children``.
+
+        One multi-child statement replaces ``len(children)`` single-child
+        copies (the grouped-copy batching of
+        :func:`repro.bulk.planner.plan_resolution`): the child names form an
+        inline ``VALUES`` relation cross-joined with the parent's rows::
+
+            insert into POSS
+            select c.column1 AS X, t.K, t.V
+            from (values ('x1'), …, ('xn')) c,
+                 (select t.K, t.V from POSS t where t.X = 'z') t
+        """
+        if not children:
+            return 0
+        if len(children) == 1:
+            return self.copy_from_parent(children[0], parent)
+        child_rows = ",".join("(?)" for _ in children)
+        cursor = self._execute(
+            f"INSERT INTO POSS (X, K, V) "
+            f"SELECT c.column1, t.K, t.V FROM (VALUES {child_rows}) AS c, "
+            f"(SELECT s.K, s.V FROM POSS s WHERE s.X = ?) AS t",
+            (*[str(child) for child in children], str(parent)),
+        )
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+    def flood_component(self, members: Sequence[User], parents: Sequence[User]) -> int:
+        """Step-2 bulk insert: flood a component with all parents' values.
+
+        One statement floods the *whole* component — the member names form an
+        inline ``VALUES`` relation cross-joined with the distinct parent
+        values, so the statement count per flood step is 1 instead of
+        ``|members|``::
+
+            insert into POSS
+            select m.column1 AS X, t.K, t.V
+            from (values ('x1'), …, ('xn')) m,
+                 (select distinct t.K, t.V from POSS t
+                  where t.X in ('z1', …, 'zk')) t
+        """
+        if not parents or not members:
+            return 0
+        member_rows = ",".join("(?)" for _ in members)
+        parent_placeholders = ",".join("?" for _ in parents)
+        cursor = self._execute(
+            f"INSERT INTO POSS (X, K, V) "
+            f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
+            f"(SELECT DISTINCT s.K, s.V FROM POSS s "
+            f"WHERE s.X IN ({parent_placeholders})) AS t",
+            (
+                *[str(member) for member in members],
+                *[str(parent) for parent in parents],
+            ),
+        )
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+    def flood_component_skeptic(
+        self,
+        members: Sequence[User],
+        parents: Sequence[User],
+        blocked: Dict[str, Sequence[str]],
+    ) -> int:
+        """Skeptic variant of the step-2 insert (Appendix B.10, last remark).
+
+        ``blocked`` maps a member to the values it is forced to reject
+        (its ``prefNeg`` set); for keys whose incoming value is blocked, the
+        ⊥ sentinel is inserted instead of the value.  Members sharing the
+        same rejected-value set are flooded together, so the statement count
+        is one (plus one ⊥ statement for constrained groups) per *distinct
+        constraint group*, not per member.
+        """
+        if not parents or not members:
+            return 0
+        groups: Dict[Tuple[str, ...], List[str]] = {}
+        for member in members:
+            member_key = str(member)
+            rejected = tuple(str(value) for value in blocked.get(member_key, ()))
+            groups.setdefault(rejected, []).append(member_key)
+        parent_placeholders = ",".join("?" for _ in parents)
+        parent_args = [str(parent) for parent in parents]
+        total = 0
+        for rejected, group_members in groups.items():
+            member_rows = ",".join("(?)" for _ in group_members)
+            if rejected:
+                value_placeholders = ",".join("?" for _ in rejected)
+                cursor = self._execute(
+                    f"INSERT INTO POSS (X, K, V) "
+                    f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
+                    f"(SELECT DISTINCT s.K, s.V FROM POSS s "
+                    f"WHERE s.X IN ({parent_placeholders}) "
+                    f"AND s.V NOT IN ({value_placeholders})) AS t",
+                    (*group_members, *parent_args, *rejected),
+                )
+                total += cursor.rowcount
+                # Parameter order follows textual appearance: the ⊥ scalar
+                # precedes the VALUES member list in the bottom statement.
+                cursor = self._execute(
+                    f"INSERT INTO POSS (X, K, V) "
+                    f"SELECT m.column1, t.K, ? FROM (VALUES {member_rows}) AS m, "
+                    f"(SELECT DISTINCT s.K FROM POSS s "
+                    f"WHERE s.X IN ({parent_placeholders}) "
+                    f"AND s.V IN ({value_placeholders})) AS t",
+                    (BOTTOM_VALUE, *group_members, *parent_args, *rejected),
+                )
+                total += cursor.rowcount
+                self._count_bulk(2)
+            else:
+                cursor = self._execute(
+                    f"INSERT INTO POSS (X, K, V) "
+                    f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
+                    f"(SELECT DISTINCT s.K, s.V FROM POSS s "
+                    f"WHERE s.X IN ({parent_placeholders})) AS t",
+                    (*group_members, *parent_args),
+                )
+                total += cursor.rowcount
+                self._count_bulk()
+        self._commit()
+        return total
+
+    # ------------------------------------------------------------------ #
+    # the compiled region statements                                       #
+    # ------------------------------------------------------------------ #
+
+    def copy_region(
+        self,
+        edges: Sequence[Tuple[str, str]],
+        fingerprint: Optional[str] = None,
+    ) -> int:
+        """Compiled Step-1 region: close all ``(child, parent)`` copy edges.
+
+        One recursive CTE (see
+        :meth:`~repro.bulk.sql.SqlDialect.copy_region_statement`) replaces
+        one replay statement per copy step of the region.  Raises
+        :class:`~repro.core.errors.BulkProcessingError` when the backend's
+        dialect cannot evaluate recursive CTEs — callers (the compiled
+        scheduler) check :attr:`compiled_dialect` and fall back to replay
+        instead of calling this blind.  ``fingerprint`` (the region's
+        content hash) keys the statement cache so repeated runs skip
+        re-building and re-rendering the CTE text.
+        """
+        dialect = self.compiled_dialect
+        if dialect is None or not dialect.supports_copy_regions:
+            raise BulkProcessingError(
+                f"{self.backend_name} has no recursive-CTE dialect; "
+                f"replay the region statement-at-a-time instead"
+            )
+        sql, rendered, parameters = self._statement_for(
+            fingerprint, lambda: dialect.copy_region_statement(edges)
+        )
+        cursor = self._execute(sql, parameters, rendered=rendered)
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+    def flood_stage(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        fingerprint: Optional[str] = None,
+    ) -> int:
+        """Compiled Step-2 stage: flood all ``(member, parent)`` pairs.
+
+        One window-function pass (see
+        :meth:`~repro.bulk.sql.SqlDialect.flood_stage_statement`) replaces
+        one replay statement per flood step of the stage.  Same capability
+        and caching contract as :meth:`copy_region`.
+        """
+        dialect = self.compiled_dialect
+        if dialect is None or not dialect.supports_flood_stages:
+            raise BulkProcessingError(
+                f"{self.backend_name} has no window-function dialect; "
+                f"replay the stage statement-at-a-time instead"
+            )
+        sql, rendered, parameters = self._statement_for(
+            fingerprint, lambda: dialect.flood_stage_statement(pairs)
+        )
+        cursor = self._execute(sql, parameters, rendered=rendered)
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+    def blocked_flood(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        blocked: Sequence[Tuple[str, str]],
+        fingerprint: Optional[str] = None,
+    ) -> int:
+        """Compiled Skeptic stage: flood pairs around a per-member blocklist.
+
+        One anti-joined window pass (see
+        :meth:`~repro.bulk.sql.SqlDialect.blocked_flood_statement`) replaces
+        the per-constraint-group replay statements of
+        :meth:`flood_component_skeptic` — filtered values and ``⊥`` rows in
+        a single statement.  Same capability and caching contract as
+        :meth:`copy_region`.
+        """
+        dialect = self.compiled_dialect
+        if dialect is None or not getattr(dialect, "supports_blocked_floods", False):
+            raise BulkProcessingError(
+                f"{self.backend_name} has no blocked-flood dialect; "
+                f"replay the stage statement-at-a-time instead"
+            )
+        sql, rendered, parameters = self._statement_for(
+            fingerprint,
+            lambda: dialect.blocked_flood_statement(pairs, blocked, BOTTOM_VALUE),
+        )
+        cursor = self._execute(sql, parameters, rendered=rendered)
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+
+class PossStore(_PossStatements):
     """The ``POSS(X, K, V)`` relation behind a pluggable SQL backend.
 
     Parameters
@@ -139,6 +422,21 @@ class PossStore:
         self._tracer = NULL_TRACER
         #: Shard index tagged onto statement spans (set by ShardedPossStore).
         self.trace_shard: Optional[int] = None
+        # The compiled-statement cache, keyed by region fingerprint:
+        # (canonical sql, rendered sql, bound parameters).  Shared by the
+        # primary connection and every pooled session — the cache saves
+        # building/rendering the SQL text; each sqlite connection then keeps
+        # its own prepared form of the (byte-identical) text.
+        self._statement_cache: Dict[str, Tuple[str, str, Tuple[object, ...]]] = {}
+        self._statement_cache_hits = 0
+        self._statement_cache_misses = 0
+        # The per-worker connection pool (created lazily by pooled_session)
+        # and its lifetime gauges.
+        self._pool: Optional[ConnectionPool] = None
+        self._pool_checkouts = 0
+        self._pool_in_use_peak = 0
+        self._pool_wait_seconds = 0.0
+        self._stage_serial = 0
         self._connection = self._connect()
         self._ensure_schema()
 
@@ -290,9 +588,19 @@ class PossStore:
                     )
                 return result
 
-    def _execute(self, sql: str, parameters: Sequence[object] = ()):
-        """Run one statement via a DB-API cursor, rendered for the backend."""
-        rendered = self._backend.render(sql)
+    def _execute(
+        self,
+        sql: str,
+        parameters: Sequence[object] = (),
+        rendered: Optional[str] = None,
+    ):
+        """Run one statement via a DB-API cursor, rendered for the backend.
+
+        ``rendered`` short-circuits :meth:`SqlBackend.render` when the
+        caller already holds the rendered text (the statement cache).
+        """
+        if rendered is None:
+            rendered = self._backend.render(sql)
         bound = tuple(parameters)
 
         def runner():
@@ -301,6 +609,33 @@ class PossStore:
             return cursor
 
         return self._run_statement(runner, sql=sql, params=len(bound))
+
+    def _statement_for(self, fingerprint, builder):
+        """Resolve a compiled statement through the fingerprint-keyed cache.
+
+        ``builder`` returns the canonical ``(sql, parameters)`` pair; the
+        cache stores it with the backend-rendered text so a repeated run
+        (same region fingerprint) skips both the SQL construction and the
+        render.  ``fingerprint=None`` (replay regions, direct calls)
+        bypasses the cache entirely.
+        """
+        if fingerprint is not None:
+            entry = self._statement_cache.get(fingerprint)
+            if entry is not None:
+                with self._counter_lock:
+                    self._statement_cache_hits += 1
+                if self._tracer.enabled:
+                    self._tracer.metrics.counter("poss.statement_cache.hits")
+                return entry
+        sql, parameters = builder()
+        entry = (sql, self._backend.render(sql), tuple(parameters))
+        if fingerprint is not None:
+            with self._counter_lock:
+                self._statement_cache[fingerprint] = entry
+                self._statement_cache_misses += 1
+            if self._tracer.enabled:
+                self._tracer.metrics.counter("poss.statement_cache.misses")
+        return entry
 
     def _executemany(self, sql: str, rows: Sequence[Sequence[object]]):
         """Run one batched statement (``executemany``) through the funnel."""
@@ -389,6 +724,154 @@ class PossStore:
         return getattr(self._backend, "max_bind_params", DEFAULT_MAX_BIND_PARAMS)
 
     @property
+    def supports_pooling(self) -> bool:
+        """Whether per-worker pooled connections see this store's database."""
+        return getattr(self._backend, "supports_pooling", False)
+
+    @property
+    def supports_concurrent_writes(self) -> bool:
+        """Whether pooled connections may hold write transactions at once."""
+        return getattr(self._backend, "supports_concurrent_writes", False)
+
+    @property
+    def statement_cache_hits(self) -> int:
+        """Compiled statements served from the fingerprint cache."""
+        return self._statement_cache_hits
+
+    @property
+    def statement_cache_misses(self) -> int:
+        """Compiled statements built and rendered (then cached)."""
+        return self._statement_cache_misses
+
+    @property
+    def statement_cache_size(self) -> int:
+        """Distinct region fingerprints currently cached."""
+        return len(self._statement_cache)
+
+    @property
+    def pool_checkouts(self) -> int:
+        """Pooled-connection checkouts performed so far."""
+        return self._pool_checkouts
+
+    @property
+    def pool_in_use_peak(self) -> int:
+        """Most pooled connections simultaneously checked out so far."""
+        return self._pool_in_use_peak
+
+    @property
+    def pool_wait_seconds(self) -> float:
+        """Total time checkouts spent waiting on an exhausted pool."""
+        return self._pool_wait_seconds
+
+    def connection_pool(self, size: Optional[int] = None) -> ConnectionPool:
+        """The store's per-worker :class:`ConnectionPool` (created lazily).
+
+        The first caller fixes the size (default
+        :data:`~repro.bulk.backends.DEFAULT_POOL_SIZE` via the backend);
+        a later request for a *different* size rebuilds the pool, which is
+        only legal while no connection is checked out.
+        """
+        with self._counter_lock:
+            pool = self._pool
+            if pool is not None and size is not None and pool.size != size:
+                if pool.in_use:
+                    raise BulkProcessingError(
+                        f"cannot resize connection pool from {pool.size} to "
+                        f"{size}: {pool.in_use} connection(s) are checked out"
+                    )
+                pool.close()
+                pool = self._pool = None
+            if pool is None:
+                pool = self._backend.create_pool(
+                    **({} if size is None else {"size": size})
+                )
+                self._pool = pool
+            return pool
+
+    @contextlib.contextmanager
+    def pooled_session(
+        self,
+        slot: int = 0,
+        size: Optional[int] = None,
+        parent_span=None,
+    ) -> Iterator["PooledRegionSession"]:
+        """Check out a per-worker connection as a :class:`PooledRegionSession`.
+
+        The session speaks the full statement vocabulary
+        (:class:`_PossStatements`) on its own connection, with per-region
+        transactions (:meth:`PooledRegionSession.transaction`) instead of
+        the store's run-scoped one.  The checkout — including any wait on
+        an exhausted pool — is recorded as a ``conn.checkout`` span (one
+        lane per worker ``slot``) and mirrored into the pool gauges.
+        Transient faults while *opening* a pooled connection (a flaky
+        worker connect) retry under the store's retry policy, exactly as
+        statements do.
+        """
+        pool = self.connection_pool(size)
+        tracer = self._tracer
+        span = None
+        waited_before = pool.wait_seconds
+        if tracer.enabled:
+            span = tracer.start("conn.checkout", parent=parent_span, slot=slot)
+        try:
+            policy = self.retry_policy
+            attempt = 1
+            while True:
+                try:
+                    connection = pool.checkout()
+                    break
+                except TransientBackendError:
+                    if attempt >= policy.max_attempts:
+                        raise
+                    with self._counter_lock:
+                        self._retries += 1
+                    if tracer.enabled:
+                        tracer.metrics.counter("poss.retries")
+                    time.sleep(policy.delay(attempt))
+                    attempt += 1
+        except BaseException:
+            if span is not None:
+                tracer.finish(span.tag(outcome="error"))
+            raise
+        waited = pool.wait_seconds - waited_before
+        with self._counter_lock:
+            self._pool_checkouts += 1
+            self._pool_wait_seconds += waited
+            self._pool_in_use_peak = max(self._pool_in_use_peak, pool.in_use)
+        if tracer.enabled:
+            tracer.metrics.counter("pool.checkouts")
+            tracer.metrics.histogram("pool.wait_seconds", waited)
+            tracer.metrics.histogram("pool.in_use", pool.in_use)
+        try:
+            yield PooledRegionSession(self, connection, slot)
+        finally:
+            pool.checkin(connection)
+            if span is not None:
+                tracer.finish(span)
+
+    def discard_user_rows(self, users: Sequence[str]) -> int:
+        """Compensation delete: silently drop the rows of derived ``users``.
+
+        The rollback-by-run-id path of a failed pooled run: committed
+        regions only ever insert rows for users they *close* (derived
+        users, which hold no rows before the run), so deleting exactly
+        those users' rows restores the pre-run relation.  Unlike
+        :meth:`delete_user_rows` this does not count as delta statements —
+        it undoes a run rather than performing one.
+        """
+        names = [str(user) for user in users]
+        deleted = 0
+        for start in range(0, len(names), 500):
+            chunk = names[start : start + 500]
+            placeholders = ",".join("?" for _ in chunk)
+            cursor = self._execute(
+                f"DELETE FROM POSS WHERE X IN ({placeholders})", chunk
+            )
+            deleted += cursor.rowcount
+        self._commit()
+        return deleted
+
+    @property
     def transactions(self) -> int:
         """Number of transactions committed so far on this connection."""
         return self._transactions
@@ -475,6 +958,16 @@ class PossStore:
         except Exception:
             pass
         self._in_transaction = False
+        # Pooled connections may be as dead as the primary one; drop the
+        # pool quietly (leaked checkouts are the crashed workers' — this is
+        # the recovery path, not the leak detector).
+        with self._counter_lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.close()
+            except Exception:
+                pass
         self._connection = self._connect()
         with self._counter_lock:
             self._reconnects += 1
@@ -523,20 +1016,6 @@ class PossStore:
     # the checkpoint journal                                               #
     # ------------------------------------------------------------------ #
 
-    def journal_record(self, run_id: str, node: int) -> None:
-        """Record that checkpointed run ``run_id`` committed DAG node ``node``.
-
-        The checkpointing executor calls this *inside* the per-node
-        transaction, so the node's rows and its journal entry commit
-        atomically — a crash can never journal work that did not commit,
-        nor commit work that is not journaled.
-        """
-        self._execute(
-            "INSERT INTO POSS_JOURNAL (RUN, NODE) VALUES (?, ?)",
-            (str(run_id), int(node)),
-        )
-        self._commit()
-
     def journal_completed(self, run_id: str) -> FrozenSet[int]:
         """The DAG node ids run ``run_id`` has already committed."""
         cursor = self._execute(
@@ -561,7 +1040,19 @@ class PossStore:
         self._commit()
 
     def close(self) -> None:
-        """Close the underlying connection."""
+        """Close the underlying connection (and drain the pool, if any).
+
+        The pool's leak detection applies: a connection still checked out
+        at close time raises
+        :class:`~repro.core.errors.BulkProcessingError` before the primary
+        connection is touched.
+        """
+        with self._counter_lock:
+            pool = self._pool
+        if pool is not None:
+            pool.close()
+            with self._counter_lock:
+                self._pool = None
         self._connection.close()
 
     def __enter__(self) -> "PossStore":
@@ -661,220 +1152,6 @@ class PossStore:
         """Running count of bulk ``INSERT … SELECT`` statements issued."""
         return self._bulk_statements
 
-    def copy_from_parent(self, child: User, parent: User) -> int:
-        """Step-1 bulk insert: copy every (key, value) of ``parent`` to ``child``.
-
-        Mirrors the single-child statement of Section 4::
-
-            insert into POSS
-            select 'x' AS X, t.K, t.V from POSS t where t.X = 'z'
-        """
-        cursor = self._execute(
-            "INSERT INTO POSS (X, K, V) SELECT ?, t.K, t.V FROM POSS t WHERE t.X = ?",
-            (str(child), str(parent)),
-        )
-        self._count_bulk()
-        self._commit()
-        return cursor.rowcount
-
-    def copy_to_children(self, parent: User, children: Sequence[User]) -> int:
-        """Grouped Step-1 insert: copy ``parent``'s rows to *all* ``children``.
-
-        One multi-child statement replaces ``len(children)`` single-child
-        copies (the grouped-copy batching of
-        :func:`repro.bulk.planner.plan_resolution`): the child names form an
-        inline ``VALUES`` relation cross-joined with the parent's rows::
-
-            insert into POSS
-            select c.column1 AS X, t.K, t.V
-            from (values ('x1'), …, ('xn')) c,
-                 (select t.K, t.V from POSS t where t.X = 'z') t
-        """
-        if not children:
-            return 0
-        if len(children) == 1:
-            return self.copy_from_parent(children[0], parent)
-        child_rows = ",".join("(?)" for _ in children)
-        cursor = self._execute(
-            f"INSERT INTO POSS (X, K, V) "
-            f"SELECT c.column1, t.K, t.V FROM (VALUES {child_rows}) AS c, "
-            f"(SELECT s.K, s.V FROM POSS s WHERE s.X = ?) AS t",
-            (*[str(child) for child in children], str(parent)),
-        )
-        self._count_bulk()
-        self._commit()
-        return cursor.rowcount
-
-    def flood_component(self, members: Sequence[User], parents: Sequence[User]) -> int:
-        """Step-2 bulk insert: flood a component with all parents' values.
-
-        One statement floods the *whole* component — the member names form an
-        inline ``VALUES`` relation cross-joined with the distinct parent
-        values, so the statement count per flood step is 1 instead of
-        ``|members|``::
-
-            insert into POSS
-            select m.column1 AS X, t.K, t.V
-            from (values ('x1'), …, ('xn')) m,
-                 (select distinct t.K, t.V from POSS t
-                  where t.X in ('z1', …, 'zk')) t
-        """
-        if not parents or not members:
-            return 0
-        member_rows = ",".join("(?)" for _ in members)
-        parent_placeholders = ",".join("?" for _ in parents)
-        cursor = self._execute(
-            f"INSERT INTO POSS (X, K, V) "
-            f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
-            f"(SELECT DISTINCT s.K, s.V FROM POSS s "
-            f"WHERE s.X IN ({parent_placeholders})) AS t",
-            (
-                *[str(member) for member in members],
-                *[str(parent) for parent in parents],
-            ),
-        )
-        self._count_bulk()
-        self._commit()
-        return cursor.rowcount
-
-    def flood_component_skeptic(
-        self,
-        members: Sequence[User],
-        parents: Sequence[User],
-        blocked: Dict[str, Sequence[str]],
-    ) -> int:
-        """Skeptic variant of the step-2 insert (Appendix B.10, last remark).
-
-        ``blocked`` maps a member to the values it is forced to reject
-        (its ``prefNeg`` set); for keys whose incoming value is blocked, the
-        ⊥ sentinel is inserted instead of the value.  Members sharing the
-        same rejected-value set are flooded together, so the statement count
-        is one (plus one ⊥ statement for constrained groups) per *distinct
-        constraint group*, not per member.
-        """
-        if not parents or not members:
-            return 0
-        groups: Dict[Tuple[str, ...], List[str]] = {}
-        for member in members:
-            member_key = str(member)
-            rejected = tuple(str(value) for value in blocked.get(member_key, ()))
-            groups.setdefault(rejected, []).append(member_key)
-        parent_placeholders = ",".join("?" for _ in parents)
-        parent_args = [str(parent) for parent in parents]
-        total = 0
-        for rejected, group_members in groups.items():
-            member_rows = ",".join("(?)" for _ in group_members)
-            if rejected:
-                value_placeholders = ",".join("?" for _ in rejected)
-                cursor = self._execute(
-                    f"INSERT INTO POSS (X, K, V) "
-                    f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
-                    f"(SELECT DISTINCT s.K, s.V FROM POSS s "
-                    f"WHERE s.X IN ({parent_placeholders}) "
-                    f"AND s.V NOT IN ({value_placeholders})) AS t",
-                    (*group_members, *parent_args, *rejected),
-                )
-                total += cursor.rowcount
-                # Parameter order follows textual appearance: the ⊥ scalar
-                # precedes the VALUES member list in the bottom statement.
-                cursor = self._execute(
-                    f"INSERT INTO POSS (X, K, V) "
-                    f"SELECT m.column1, t.K, ? FROM (VALUES {member_rows}) AS m, "
-                    f"(SELECT DISTINCT s.K FROM POSS s "
-                    f"WHERE s.X IN ({parent_placeholders}) "
-                    f"AND s.V IN ({value_placeholders})) AS t",
-                    (BOTTOM_VALUE, *group_members, *parent_args, *rejected),
-                )
-                total += cursor.rowcount
-                self._count_bulk(2)
-            else:
-                cursor = self._execute(
-                    f"INSERT INTO POSS (X, K, V) "
-                    f"SELECT m.column1, t.K, t.V FROM (VALUES {member_rows}) AS m, "
-                    f"(SELECT DISTINCT s.K, s.V FROM POSS s "
-                    f"WHERE s.X IN ({parent_placeholders})) AS t",
-                    (*group_members, *parent_args),
-                )
-                total += cursor.rowcount
-                self._count_bulk()
-        self._commit()
-        return total
-
-    # ------------------------------------------------------------------ #
-    # the compiled region statements                                       #
-    # ------------------------------------------------------------------ #
-
-    def copy_region(self, edges: Sequence[Tuple[str, str]]) -> int:
-        """Compiled Step-1 region: close all ``(child, parent)`` copy edges.
-
-        One recursive CTE (see
-        :meth:`~repro.bulk.sql.SqlDialect.copy_region_statement`) replaces
-        one replay statement per copy step of the region.  Raises
-        :class:`~repro.core.errors.BulkProcessingError` when the backend's
-        dialect cannot evaluate recursive CTEs — callers (the compiled
-        scheduler) check :attr:`compiled_dialect` and fall back to replay
-        instead of calling this blind.
-        """
-        dialect = self.compiled_dialect
-        if dialect is None or not dialect.supports_copy_regions:
-            raise BulkProcessingError(
-                f"{self._backend.name} has no recursive-CTE dialect; "
-                f"replay the region statement-at-a-time instead"
-            )
-        sql, parameters = dialect.copy_region_statement(edges)
-        cursor = self._execute(sql, parameters)
-        self._count_bulk()
-        self._commit()
-        return cursor.rowcount
-
-    def flood_stage(self, pairs: Sequence[Tuple[str, str]]) -> int:
-        """Compiled Step-2 stage: flood all ``(member, parent)`` pairs.
-
-        One window-function pass (see
-        :meth:`~repro.bulk.sql.SqlDialect.flood_stage_statement`) replaces
-        one replay statement per flood step of the stage.  Same capability
-        contract as :meth:`copy_region`.
-        """
-        dialect = self.compiled_dialect
-        if dialect is None or not dialect.supports_flood_stages:
-            raise BulkProcessingError(
-                f"{self._backend.name} has no window-function dialect; "
-                f"replay the stage statement-at-a-time instead"
-            )
-        sql, parameters = dialect.flood_stage_statement(pairs)
-        cursor = self._execute(sql, parameters)
-        self._count_bulk()
-        self._commit()
-        return cursor.rowcount
-
-    def blocked_flood(
-        self,
-        pairs: Sequence[Tuple[str, str]],
-        blocked: Sequence[Tuple[str, str]],
-    ) -> int:
-        """Compiled Skeptic stage: flood pairs around a per-member blocklist.
-
-        One anti-joined window pass (see
-        :meth:`~repro.bulk.sql.SqlDialect.blocked_flood_statement`) replaces
-        the per-constraint-group replay statements of
-        :meth:`flood_component_skeptic` — filtered values and ``⊥`` rows in
-        a single statement.  Same capability contract as
-        :meth:`copy_region`.
-        """
-        dialect = self.compiled_dialect
-        if dialect is None or not getattr(dialect, "supports_blocked_floods", False):
-            raise BulkProcessingError(
-                f"{self._backend.name} has no blocked-flood dialect; "
-                f"replay the stage statement-at-a-time instead"
-            )
-        sql, parameters = dialect.blocked_flood_statement(
-            pairs, blocked, BOTTOM_VALUE
-        )
-        cursor = self._execute(sql, parameters)
-        self._count_bulk()
-        self._commit()
-        return cursor.rowcount
-
     # ------------------------------------------------------------------ #
     # queries                                                              #
     # ------------------------------------------------------------------ #
@@ -926,6 +1203,199 @@ class PossStore:
         """Object keys mentioned in the relation."""
         cursor = self._execute("SELECT DISTINCT K FROM POSS")
         return frozenset(row[0] for row in cursor.fetchall())
+
+
+class PooledRegionSession(_PossStatements):
+    """One worker's view of a :class:`PossStore` over a pooled connection.
+
+    Handed out by :meth:`PossStore.pooled_session`, the session speaks the
+    full statement vocabulary (:class:`_PossStatements`) on its *own*
+    connection while funnelling every statement through the owning store's
+    retry/trace/counter machinery — reports and traces aggregate exactly
+    as if the store had executed the statements itself.
+
+    Two things differ from the store.  First, :meth:`transaction` opens a
+    short **per-region** transaction (``pool_begin_sql``, e.g. sqlite's
+    ``BEGIN IMMEDIATE``) instead of the run-scoped one — and, unlike the
+    store's run transaction, a failed ``BEGIN`` propagates: the pooled
+    recovery protocol rests on each region's rows committing atomically
+    with its journal marker, which a silently missing transaction would
+    break.  Second, :meth:`stage_region` / :meth:`apply_stage` split a
+    compiled region statement at :data:`REGION_INSERT_PREFIX` so the
+    expensive SELECT evaluates into a private temp table *outside* the
+    single-writer token, leaving only a short ``INSERT … SELECT FROM
+    <stage>`` inside it — how sqlite WAL gets real overlap from one
+    writer-at-a-time.
+    """
+
+    def __init__(self, store: "PossStore", connection, slot: int = 0) -> None:
+        self._store = store
+        self._connection = connection
+        self.slot = slot
+        self._in_transaction = False
+
+    # -- the execution seam _PossStatements runs against ---------------- #
+
+    @property
+    def backend_name(self) -> str:
+        return self._store.backend_name
+
+    @property
+    def compiled_dialect(self):
+        return self._store.compiled_dialect
+
+    @property
+    def supports_compiled_regions(self) -> bool:
+        return self._store.supports_compiled_regions
+
+    @property
+    def tracer(self):
+        return self._store.tracer
+
+    @property
+    def trace_shard(self) -> Optional[int]:
+        return self._store.trace_shard
+
+    @property
+    def in_transaction(self) -> bool:
+        """Whether a per-region :meth:`transaction` is currently open."""
+        return self._in_transaction
+
+    def _statement_for(self, fingerprint, builder):
+        return self._store._statement_for(fingerprint, builder)
+
+    def _count_bulk(self, statements: int = 1) -> None:
+        self._store._count_bulk(statements)
+
+    def _count_delta(self, statements: int = 1) -> None:
+        self._store._count_delta(statements)
+
+    def _execute(
+        self,
+        sql: str,
+        parameters: Sequence[object] = (),
+        rendered: Optional[str] = None,
+    ):
+        """One statement on the pooled connection, through the store funnel."""
+        if rendered is None:
+            rendered = self._store._backend.render(sql)
+        bound = tuple(parameters)
+
+        def runner():
+            cursor = self._connection.cursor()
+            cursor.execute(rendered, bound)
+            return cursor
+
+        return self._store._run_statement(runner, sql=sql, params=len(bound))
+
+    def _commit_connection(self) -> None:
+        try:
+            self._connection.commit()
+        except Exception as error:
+            failure = self._store._classify(error)
+            if failure is error:
+                raise
+            raise failure from error
+
+    def _commit(self) -> None:
+        """Commit now unless a per-region transaction is open."""
+        if self._in_transaction:
+            return
+        self._commit_connection()
+        with self._store._counter_lock:
+            self._store._transactions += 1
+
+    # -- per-region transactions ----------------------------------------- #
+
+    @contextlib.contextmanager
+    def transaction(self) -> Iterator["PooledRegionSession"]:
+        """Per-region transaction: commit on success, roll back on error.
+
+        Opens with the backend's ``pool_begin_sql`` (``BEGIN IMMEDIATE``
+        on sqlite, taking the write lock up front) through the retry
+        funnel; a ``BEGIN`` that ultimately fails *raises* — see the class
+        docstring for why it must.
+        """
+        if self._in_transaction:
+            raise BulkProcessingError(
+                "region transaction already in progress on this session"
+            )
+        begin = getattr(self._store._backend, "pool_begin_sql", "BEGIN")
+        self._execute(begin)
+        self._in_transaction = True
+        try:
+            yield self
+        except BaseException:
+            try:
+                self._connection.rollback()
+            except Exception:
+                pass
+            raise
+        else:
+            self._commit_connection()
+            with self._store._counter_lock:
+                self._store._transactions += 1
+        finally:
+            self._in_transaction = False
+
+    # -- staged region execution ----------------------------------------- #
+
+    def _region_statement(self, region):
+        """The region's (sql, rendered, parameters) via the statement cache."""
+        dialect = self.compiled_dialect
+        kind = region.kind
+        if kind == "copy":
+            builder = lambda: dialect.copy_region_statement(region.edges)
+        elif kind == "blocked_flood":
+            builder = lambda: dialect.blocked_flood_statement(
+                region.pairs, region.blocked, BOTTOM_VALUE
+            )
+        else:
+            builder = lambda: dialect.flood_stage_statement(region.pairs)
+        return self._statement_for(region.fingerprint, builder)
+
+    def stage_region(self, region) -> Optional[str]:
+        """Evaluate a compiled region's SELECT into a private temp table.
+
+        Returns the stage-table name, or ``None`` when the rendered
+        statement does not start with :data:`REGION_INSERT_PREFIX` (the
+        caller then runs the region unstaged).  Runs *outside* the write
+        token — WAL readers never block on the writer — with the temp
+        table in the connection's private (memory) temp store.
+        """
+        sql, rendered, parameters = self._region_statement(region)
+        if not rendered.startswith(REGION_INSERT_PREFIX):
+            return None
+        select = rendered[len(REGION_INSERT_PREFIX):]
+        with self._store._counter_lock:
+            self._store._stage_serial += 1
+            serial = self._store._stage_serial
+        stage = f"POSS_STAGE_{self.slot}_{serial}"
+        staged = f"CREATE TEMP TABLE {stage} AS {select}"
+        self._execute(staged, parameters, rendered=staged)
+        self._count_bulk()
+        return stage
+
+    def apply_stage(self, stage: str) -> int:
+        """Land a staged region: the short write inside the token/transaction.
+
+        The dialect statements alias their output columns in ``X, K, V``
+        order (that is what ``INSERT INTO POSS (X, K, V)`` relies on), so
+        ``SELECT *`` off the stage preserves the exact rows.
+        """
+        cursor = self._execute(
+            f"INSERT INTO POSS (X, K, V) SELECT * FROM {stage}"
+        )
+        self._count_bulk()
+        self._commit()
+        return cursor.rowcount
+
+    def drop_stage(self, stage: str) -> None:
+        """Drop a stage table (quietly: it dies with the connection anyway)."""
+        try:
+            self._execute(f"DROP TABLE IF EXISTS {stage}")
+        except Exception:
+            pass
 
 
 class ShardedPossStore:
@@ -1148,6 +1618,21 @@ class ShardedPossStore:
         return sum(shard.reconnects for shard in self.shards)
 
     @property
+    def supports_pooling(self) -> bool:
+        """Sharded stores already parallelize per shard; never pooled."""
+        return False
+
+    @property
+    def statement_cache_hits(self) -> int:
+        """Statement-cache hits across all shards."""
+        return sum(shard.statement_cache_hits for shard in self.shards)
+
+    @property
+    def statement_cache_misses(self) -> int:
+        """Statement-cache misses across all shards."""
+        return sum(shard.statement_cache_misses for shard in self.shards)
+
+    @property
     def retry_policy(self) -> RetryPolicy:
         """The (shared) retry policy of the shards."""
         return self.shards[0].retry_policy
@@ -1357,35 +1842,44 @@ class ShardedPossStore:
                 total += shard.flood_component_skeptic(members, parents, blocked)
         return total
 
-    def copy_region(self, edges: Sequence[Tuple[str, str]]) -> int:
+    def copy_region(
+        self,
+        edges: Sequence[Tuple[str, str]],
+        fingerprint: Optional[str] = None,
+    ) -> int:
         """Compiled Step-1 region on every shard."""
         self._require_all_healthy("copy_region()")
         total = 0
         for index, shard in self._healthy():
             with self._shard_errors(index):
-                total += shard.copy_region(edges)
+                total += shard.copy_region(edges, fingerprint=fingerprint)
         return total
 
-    def flood_stage(self, pairs: Sequence[Tuple[str, str]]) -> int:
+    def flood_stage(
+        self,
+        pairs: Sequence[Tuple[str, str]],
+        fingerprint: Optional[str] = None,
+    ) -> int:
         """Compiled Step-2 stage on every shard."""
         self._require_all_healthy("flood_stage()")
         total = 0
         for index, shard in self._healthy():
             with self._shard_errors(index):
-                total += shard.flood_stage(pairs)
+                total += shard.flood_stage(pairs, fingerprint=fingerprint)
         return total
 
     def blocked_flood(
         self,
         pairs: Sequence[Tuple[str, str]],
         blocked: Sequence[Tuple[str, str]],
+        fingerprint: Optional[str] = None,
     ) -> int:
         """Compiled Skeptic stage on every shard."""
         self._require_all_healthy("blocked_flood()")
         total = 0
         for index, shard in self._healthy():
             with self._shard_errors(index):
-                total += shard.blocked_flood(pairs, blocked)
+                total += shard.blocked_flood(pairs, blocked, fingerprint=fingerprint)
         return total
 
     # ------------------------------------------------------------------ #

@@ -110,6 +110,14 @@ class EngineReport:
     regions_compiled: int = 0
     #: Statements the compiled run avoided versus step-at-a-time replay.
     statements_saved: int = 0
+    #: Connection-pool lanes of a pooled compiled run (0 = unpooled).
+    pool_workers: int = 0
+    #: Connections checked out of the store's pool during the verb.
+    pool_checkouts: int = 0
+    #: Most pool connections simultaneously checked out.
+    pool_in_use_peak: int = 0
+    #: Total seconds workers waited on pool checkouts.
+    pool_wait_seconds: float = 0.0
 
     # -- delta block (apply) ------------------------------------------- #
     deltas: int = 0
@@ -189,6 +197,12 @@ class ResolutionEngine:
         statement-worker count for **single-store** materialization only —
         sharded stores already parallelize with one replay thread per
         shard, and per-shard statement workers are not layered on top.
+    pool_workers:
+        Connection-pool lanes for **single-store compiled** materialization
+        on a poolable backend (file-backed sqlite, DB-API): each worker
+        checks out its own connection and commits one transaction per
+        compiled region.  ``None`` (default) falls back to the
+        ``REPRO_POOL_WORKERS`` environment variable; 0 disables pooling.
     retry_policy:
         The :class:`~repro.faults.retry.RetryPolicy` every statement runs
         under (transient backend errors retry with exponential backoff;
@@ -214,6 +228,7 @@ class ResolutionEngine:
         scheduler: str = "pipelined",
         retry_policy: Optional[RetryPolicy] = None,
         tracer: "Tracer | None" = None,
+        pool_workers: Optional[int] = None,
     ) -> None:
         if mode not in MODES:
             raise BulkProcessingError(f"unknown mode {mode!r}; known: {MODES}")
@@ -234,6 +249,7 @@ class ResolutionEngine:
         self.mode = mode
         self._workers = workers
         self._scheduler = scheduler
+        self._pool_workers = pool_workers
         self._retry_policy = retry_policy
         if retry_policy is not None:
             self.store.retry_policy = retry_policy
@@ -551,6 +567,7 @@ class ResolutionEngine:
                     retry_policy=self._retry_policy,
                     checkpoint=run_id,
                     tracer=tracer if tracer.enabled else None,
+                    pool_workers=self._pool_workers,
                 )
             executor.load_beliefs(rows)
             bulk = executor.run()
@@ -574,6 +591,10 @@ class ResolutionEngine:
             stages_overlapped=bulk.stages_overlapped,
             regions_compiled=bulk.regions_compiled,
             statements_saved=bulk.statements_saved,
+            pool_workers=bulk.pool_workers,
+            pool_checkouts=bulk.pool_checkouts,
+            pool_in_use_peak=bulk.pool_in_use_peak,
+            pool_wait_seconds=bulk.pool_wait_seconds,
             retries=bulk.retries,
             timed_out_statements=bulk.timed_out_statements,
             faults_injected=bulk.faults_injected,

@@ -29,7 +29,10 @@ that replay pays ``depth`` times over.  Three satellites extend it:
 :func:`run_skeptic_compiled_sweep` (blocked floods pushed down as one
 anti-joined window statement each, against the two-statement Skeptic
 replay), :func:`run_region_worker_sweep` (independent compiled regions
-scheduled over a worker pool on one store), and
+scheduled over a worker pool on one store),
+:func:`run_pool_worker_sweep` (connection-per-worker execution: each lane
+checks its own WAL-mode connection out of the store's pool and commits one
+transaction per region), and
 :func:`run_pg_parallel_sweep` (``SET max_parallel_workers_per_gather`` on
 big region statements, gated on ``REPRO_PG_DSN``).
 
@@ -48,6 +51,7 @@ CLI::
                                            [--sweep-schedulers]
                                            [--sweep-compiled] [--skeptic]
                                            [--region-workers N [N ...]]
+                                           [--pool-workers N [N ...]]
                                            [--faults P] [--fault-seed N]
                                            [--seed N] [--json]
                                            [--trace PATH] [--metrics]
@@ -688,6 +692,99 @@ def summarize_region_worker_sweep(
     }
 
 
+def run_pool_worker_sweep(
+    chains: int = 8,
+    depth: int = 120,
+    n_objects: int = 20,
+    pool_worker_counts: Sequence[int] = (1, 2, 4),
+    seed: int = 11,
+    repeats: int = 3,
+) -> List[Dict[str, object]]:
+    """The connection-pool experiment: per-worker WAL connections, per-region
+    transactions.
+
+    The same disjoint-chain workload as :func:`run_region_worker_sweep`, but
+    executed through ``pool_workers=N``: every worker checks its own WAL-mode
+    connection out of the store's pool and commits one transaction per
+    compiled region, with the region SELECT staged into a temp table outside
+    the single-writer token.  ``pool_workers=1`` runs the identical pooled
+    per-region-transaction model, so the N-vs-1 ratio isolates the
+    parallelism (on a single-CPU host expect ≈1x — the stage overlap has no
+    spare core to land on).
+    """
+    network, roots = multi_chain_network(chains, depth)
+    plan = plan_resolution(network, explicit_users=roots)
+    limits = RegionLimits(max_copy_edges=depth, max_flood_pairs=depth)
+    compiled_plan = compile_plan(plan, limits=limits)
+    schedule = region_schedule(compiled_plan)
+    rng = random.Random(seed)
+    rows_in = [
+        (root, f"k{index}", rng.choice(["a", "b", "c"]))
+        for index in range(n_objects)
+        for root in roots
+    ]
+    rows: List[Dict[str, object]] = []
+    with tempfile.TemporaryDirectory(prefix="repro-poolworkers-") as directory:
+        for pool_workers in pool_worker_counts:
+            best: Optional[BulkRunReport] = None
+            for attempt in range(repeats):
+                path = os.path.join(directory, f"p{pool_workers}-r{attempt}.db")
+                store = PossStore(backend=SqliteFileBackend(path))
+                resolver = BulkResolver(
+                    network,
+                    store=store,
+                    explicit_users=roots,
+                    scheduler="compiled",
+                    plan=plan,
+                    compiled_plan=compiled_plan,
+                    pool_workers=pool_workers,
+                )
+                resolver.load_beliefs(rows_in)
+                report = resolver.run()
+                store.close()
+                if best is None or report.elapsed_seconds < best.elapsed_seconds:
+                    best = report
+            rows.append(
+                {
+                    "pool_workers": pool_workers,
+                    "chains": chains,
+                    "depth": depth,
+                    "objects": n_objects,
+                    "regions": compiled_plan.region_count,
+                    "region_stages": schedule.stage_count,
+                    "seconds": best.elapsed_seconds,
+                    "pool_workers_reported": best.pool_workers,
+                    "pool_checkouts": best.pool_checkouts,
+                    "pool_in_use_peak": best.pool_in_use_peak,
+                    "pool_wait_seconds": best.pool_wait_seconds,
+                    "transactions": best.transactions,
+                    "regions_compiled": best.regions_compiled,
+                }
+            )
+    return rows
+
+
+def summarize_pool_worker_sweep(
+    rows: Sequence[Dict[str, object]],
+) -> Dict[str, object]:
+    """Invariants of the pool sweep: honest reports, one checkout per lane,
+    per-region transactions."""
+    return {
+        "pool_workers_reported_honestly": all(
+            row["pool_workers_reported"] == row["pool_workers"] for row in rows
+        ),
+        "one_checkout_per_lane": all(
+            row["pool_checkouts"] == row["pool_workers"] for row in rows
+        ),
+        "per_region_transactions": all(
+            row["transactions"] >= row["regions"] for row in rows
+        ),
+        "all_regions_compiled": all(
+            row["regions_compiled"] == row["regions"] for row in rows
+        ),
+    }
+
+
 def run_pg_parallel_sweep(
     depth: int = 1600,
     n_objects: int = 10,
@@ -1009,6 +1106,16 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
         "sweep over these worker counts",
     )
     parser.add_argument(
+        "--pool-workers",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="N",
+        help="with --sweep-compiled: also run the connection-pool sweep "
+        "(per-worker WAL connections, per-region transactions) over these "
+        "pool sizes",
+    )
+    parser.add_argument(
         "--faults",
         type=float,
         default=None,
@@ -1251,6 +1358,39 @@ def main(argv: Optional[Sequence[str]] = None) -> None:
                 )
             )
             report(f"summary: {summarize_region_worker_sweep(sweep)}")
+
+    if args.sweep_compiled and args.pool_workers:
+        sweep = run_pool_worker_sweep(
+            chains=4 if args.quick else 8,
+            depth=40 if args.quick else 120,
+            n_objects=5 if args.quick else 20,
+            pool_worker_counts=tuple(args.pool_workers),
+            seed=args.seed,
+        )
+        document["pool_worker_sweep"] = {
+            "rows": sweep,
+            "summary": summarize_pool_worker_sweep(sweep),
+        }
+        if not args.json:
+            report(
+                "\nFigure 8c — pool-worker sweep (connection-per-worker WAL "
+                "execution, per-region transactions)"
+            )
+            report(
+                format_table(
+                    sweep,
+                    columns=[
+                        "pool_workers",
+                        "chains",
+                        "regions",
+                        "seconds",
+                        "pool_checkouts",
+                        "pool_in_use_peak",
+                        "transactions",
+                    ],
+                )
+            )
+            report(f"summary: {summarize_pool_worker_sweep(sweep)}")
 
     if args.sweep_compiled:
         sweep = run_pg_parallel_sweep(

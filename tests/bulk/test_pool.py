@@ -1,0 +1,499 @@
+"""Connection pools and connection-per-worker compiled execution.
+
+Three layers under test:
+
+* :class:`~repro.bulk.backends.ConnectionPool` itself — bounded checkout,
+  blocking exhaustion, loud leak detection, drain-on-close;
+* the per-backend capability surface — WAL pragmas on pooled sqlite-file
+  connections, ``max_bind_params`` probe memoization, the poolability
+  flags;
+* the pooled executor path — ``pool_workers=N`` compiled runs commit one
+  transaction per region on per-worker connections and stay byte-identical
+  to the sequential single-connection replay, all-or-nothing included.
+"""
+
+from __future__ import annotations
+
+import random
+import sqlite3
+import threading
+import time
+
+import pytest
+
+from repro.bulk.backends import (
+    DbApiBackend,
+    SqliteFileBackend,
+    SqliteMemoryBackend,
+)
+from repro.bulk.compile import RegionLimits, compile_plan
+from repro.bulk.executor import BulkResolver
+from repro.bulk.planner import plan_resolution
+from repro.bulk.store import PossStore, ShardedPossStore
+from repro.core.errors import BackendUnavailable, BulkProcessingError
+from repro.workloads.bulkload import multi_chain_network
+
+from tests.bulk.test_compiled import _random_network, _random_rows
+
+
+def _file_store(tmp_path, name="pool.db") -> PossStore:
+    return PossStore(backend=SqliteFileBackend(str(tmp_path / name)))
+
+
+class TestConnectionPool:
+    """The pool protocol: bounded, blocking, leak-detected."""
+
+    def test_checkout_checkin_roundtrip(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "p.db"))
+        pool = backend.create_pool(size=2)
+        first = pool.checkout()
+        assert pool.in_use == 1
+        pool.checkin(first)
+        assert pool.in_use == 0
+        # The idle connection is reused, not reopened.
+        assert pool.checkout() is first
+        pool.checkin(first)
+        pool.close()
+
+    def test_exhaustion_blocks_instead_of_over_allocating(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "p.db"))
+        pool = backend.create_pool(size=1, timeout=5.0)
+        held = pool.checkout()
+        results = []
+
+        def blocked_waiter():
+            with pool.connection() as connection:
+                results.append(connection)
+
+        thread = threading.Thread(target=blocked_waiter)
+        thread.start()
+        time.sleep(0.05)
+        # The second checkout must wait on the bound, never open a second
+        # connection past the pool size.
+        assert not results
+        assert pool.in_use == 1
+        pool.checkin(held)
+        thread.join(timeout=5.0)
+        assert results == [held]
+        pool.close()
+
+    def test_exhaustion_times_out_with_a_diagnosis(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "p.db"))
+        pool = backend.create_pool(size=1, timeout=0.05)
+        held = pool.checkout()
+        with pytest.raises(BackendUnavailable, match="pool exhausted"):
+            pool.checkout()
+        pool.checkin(held)
+        pool.close()
+
+    def test_context_manager_checks_in_on_exception(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "p.db"))
+        pool = backend.create_pool(size=1)
+        with pytest.raises(RuntimeError):
+            with pool.connection():
+                raise RuntimeError("worker died")
+        assert pool.in_use == 0
+        # The connection came back: an immediate re-checkout succeeds.
+        with pool.connection():
+            pass
+        pool.close()
+
+    def test_close_with_leaked_checkout_fails_loudly(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "p.db"))
+        pool = backend.create_pool(size=2)
+        leaked = pool.checkout()
+        with pytest.raises(BulkProcessingError, match="still checked out"):
+            pool.close()
+        pool.checkin(leaked)
+        pool.close()
+
+    def test_close_drains_idle_connections(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "p.db"))
+        pool = backend.create_pool(size=2)
+        connection = pool.checkout()
+        pool.checkin(connection)
+        pool.close()
+        # Drained: the sqlite handle is really closed.
+        with pytest.raises(sqlite3.ProgrammingError):
+            connection.execute("SELECT 1")
+        # And a closed pool refuses further checkouts.
+        with pytest.raises(BulkProcessingError, match="closed"):
+            pool.checkout()
+
+    def test_checkin_of_a_stranger_connection_is_rejected(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "p.db"))
+        pool = backend.create_pool(size=1)
+        stranger = backend.connect()
+        with pytest.raises(BulkProcessingError, match="never handed out"):
+            pool.checkin(stranger)
+        stranger.close()
+        pool.close()
+
+    def test_pool_size_must_be_positive(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "p.db"))
+        with pytest.raises(BulkProcessingError):
+            backend.create_pool(size=0)
+
+    def test_memory_backend_is_not_poolable(self):
+        backend = SqliteMemoryBackend()
+        assert not backend.supports_pooling
+        with pytest.raises(BulkProcessingError):
+            backend.create_pool()
+
+    def test_sharded_store_is_never_pooled(self):
+        store = ShardedPossStore(2)
+        assert not store.supports_pooling
+        store.close()
+
+
+class TestPooledConnectionSetup:
+    """Per-worker sqlite-file connections arrive WAL-tuned."""
+
+    def test_pool_connect_enables_wal_and_autocommit(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "wal.db"))
+        connection = backend.pool_connect()
+        assert connection.isolation_level is None
+        mode = connection.execute("PRAGMA journal_mode").fetchone()[0]
+        assert mode.lower() == "wal"
+        sync = connection.execute("PRAGMA synchronous").fetchone()[0]
+        assert int(sync) == 1  # NORMAL
+        assert int(
+            connection.execute("PRAGMA busy_timeout").fetchone()[0]
+        ) >= 10000
+        connection.close()
+
+    def test_bind_param_probe_is_memoized(self, tmp_path):
+        backend = SqliteFileBackend(str(tmp_path / "probe.db"))
+        probes = []
+        original = backend._probe_max_bind_params
+
+        def counting_probe():
+            probes.append(1)
+            return original()
+
+        backend._probe_max_bind_params = counting_probe
+        first = backend.max_bind_params
+        second = backend.max_bind_params
+        assert first == second
+        assert len(probes) == 1, "the probe must run once per backend instance"
+        # A fresh instance probes again: memoization is per instance, not
+        # a class-level cache that could leak across different servers.
+        other = SqliteFileBackend(str(tmp_path / "probe2.db"))
+        assert other._probed_bind_params is None
+        assert other.max_bind_params == first
+
+    def test_dbapi_backend_pools_through_its_factory(self, tmp_path):
+        path = str(tmp_path / "dbapi.db")
+        opened = []
+
+        def factory():
+            connection = sqlite3.connect(path, check_same_thread=False)
+            opened.append(connection)
+            return connection
+
+        backend = DbApiBackend(factory, name="dbapi-sqlite", dialect="sqlite")
+        assert backend.supports_pooling
+        pool = backend.create_pool(size=2)
+        a = pool.checkout()
+        b = pool.checkout()
+        assert a is not b, "each worker gets its own session"
+        assert len(opened) >= 2
+        pool.checkin(a)
+        pool.checkin(b)
+        pool.close()
+
+
+def _pooled_report(tmp_path, name, pool_workers, chains=4, depth=12, **kwargs):
+    network, roots = multi_chain_network(chains, depth)
+    plan = plan_resolution(network, explicit_users=roots)
+    limits = RegionLimits(max_copy_edges=depth, max_flood_pairs=depth)
+    compiled_plan = compile_plan(plan, limits=limits)
+    store = _file_store(tmp_path, name)
+    resolver = BulkResolver(
+        network,
+        store=store,
+        scheduler="compiled",
+        plan=plan,
+        compiled_plan=compiled_plan,
+        pool_workers=pool_workers,
+        **kwargs,
+    )
+    resolver.load_beliefs([(root, "k0", "v") for root in roots])
+    report = resolver.run()
+    return store, report, compiled_plan
+
+
+class TestPooledExecutor:
+    """pool_workers=N compiled runs: reporting, gating, env activation."""
+
+    def test_report_carries_the_pool_gauges(self, tmp_path):
+        store, report, compiled_plan = _pooled_report(tmp_path, "gauges.db", 3)
+        assert report.pool_workers == 3
+        assert report.workers == 3
+        assert report.pool_checkouts == 3
+        assert report.pool_in_use_peak == 3
+        assert report.pool_wait_seconds >= 0.0
+        # One transaction per region plus the belief load.
+        assert report.transactions == compiled_plan.region_count + 1
+        assert report.regions_compiled == compiled_plan.region_count
+        store.close()
+
+    def test_pool_lanes_never_exceed_the_region_count(self, tmp_path):
+        store, report, compiled_plan = _pooled_report(
+            tmp_path, "clamp.db", 16, chains=2
+        )
+        assert report.pool_workers == compiled_plan.region_count
+        store.close()
+
+    def test_unpooled_run_reports_zero_gauges(self, tmp_path):
+        store, report, _ = _pooled_report(tmp_path, "off.db", 0)
+        assert report.pool_workers == 0
+        assert report.pool_checkouts == 0
+        assert report.transactions == 1  # the single run-scoped transaction
+        store.close()
+
+    def test_env_variable_activates_pooling(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_WORKERS", "2")
+        store, report, _ = _pooled_report(tmp_path, "env.db", None)
+        assert report.pool_workers == 2
+        store.close()
+
+    def test_env_variable_loses_to_an_explicit_argument(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_POOL_WORKERS", "4")
+        store, report, _ = _pooled_report(tmp_path, "explicit.db", 0)
+        assert report.pool_workers == 0
+        store.close()
+
+    def test_negative_pool_workers_is_rejected(self):
+        network, roots = multi_chain_network(2, 3)
+        with pytest.raises(BulkProcessingError):
+            BulkResolver(network, explicit_users=roots, pool_workers=-1)
+
+    def test_memory_store_never_pools(self):
+        network, roots = multi_chain_network(2, 6)
+        resolver = BulkResolver(
+            network,
+            explicit_users=roots,
+            scheduler="compiled",
+            pool_workers=4,
+        )
+        resolver.load_beliefs([(root, "k0", "v") for root in roots])
+        report = resolver.run()
+        # Every in-memory connection is a private database, so the run
+        # must fall back to the single shared connection.
+        assert report.pool_workers == 0
+        assert report.pool_checkouts == 0
+        resolver.store.close()
+
+    def test_traced_pooled_run_mirrors_the_report(self, tmp_path):
+        """The trace/report equality seam extends to the pool gauges: the
+        ``pool.checkouts`` metric delta must equal the report field (the
+        run raises loudly otherwise), and every worker slot gets its own
+        ``conn.checkout`` lane under the run span."""
+        from repro.obs import Tracer
+
+        network, roots = multi_chain_network(4, 10)
+        plan = plan_resolution(network, explicit_users=roots)
+        limits = RegionLimits(max_copy_edges=10, max_flood_pairs=10)
+        compiled_plan = compile_plan(plan, limits=limits)
+        store = _file_store(tmp_path, "traced.db")
+        tracer = Tracer()
+        resolver = BulkResolver(
+            network,
+            store=store,
+            scheduler="compiled",
+            plan=plan,
+            compiled_plan=compiled_plan,
+            pool_workers=3,
+            tracer=tracer,
+        )
+        resolver.load_beliefs([(root, "k0", "v") for root in roots])
+        report = resolver.run()  # _trace_finish cross-checks the gauges
+        assert report.pool_checkouts == 3
+        checkouts = tracer.spans_named("conn.checkout")
+        assert len(checkouts) == 3
+        run_span = tracer.spans_named("bulk.run")[0]
+        assert {span.parent_id for span in checkouts} == {run_span.span_id}
+        assert sorted(span.tags["slot"] for span in checkouts) == [0, 1, 2]
+        assert tracer.metrics.counters().get("pool.checkouts") == 3
+        store.close()
+
+    def test_statement_cache_hits_across_repeated_regions(self, tmp_path):
+        network, roots = multi_chain_network(4, 10)
+        plan = plan_resolution(network, explicit_users=roots)
+        limits = RegionLimits(max_copy_edges=10, max_flood_pairs=10)
+        compiled_plan = compile_plan(plan, limits=limits)
+        store = _file_store(tmp_path, "cache.db")
+        rows = [(root, "k0", "v") for root in roots]
+        for attempt in range(2):
+            resolver = BulkResolver(
+                network,
+                store=store,
+                scheduler="compiled",
+                plan=plan,
+                compiled_plan=compiled_plan,
+                pool_workers=2,
+            )
+            if attempt:
+                store.clear()
+            resolver.load_beliefs(rows)
+            resolver.run()
+        # Second run re-renders nothing: every region fingerprint hits.
+        assert store.statement_cache_size == compiled_plan.region_count
+        assert store.statement_cache_hits >= compiled_plan.region_count
+        assert store.statement_cache_misses == compiled_plan.region_count
+        store.close()
+
+
+class TestPooledAtomicity:
+    """All-or-nothing without the single run transaction."""
+
+    def test_worker_failure_rolls_back_committed_regions(self, tmp_path):
+        network, roots = multi_chain_network(3, 8)
+        plan = plan_resolution(network, explicit_users=roots)
+        limits = RegionLimits(max_copy_edges=8, max_flood_pairs=8)
+        compiled_plan = compile_plan(plan, limits=limits)
+        store = _file_store(tmp_path, "rollback.db")
+        resolver = BulkResolver(
+            network,
+            store=store,
+            scheduler="compiled",
+            plan=plan,
+            compiled_plan=compiled_plan,
+            pool_workers=1,
+        )
+        rows = [(root, "k0", "v") for root in roots]
+        resolver.load_beliefs(rows)
+        before = sorted(store.possible_table())
+
+        # Fail the *last* region's execution: earlier regions have already
+        # committed their own transactions by then.
+        failures = {"armed": compiled_plan.region_count - 1}
+        original_once = type(resolver)._pooled_region_once
+
+        def sabotaged(self, session, region, marker, run_id, token, clock):
+            if failures["armed"] == 0:
+                raise BulkProcessingError("injected region failure")
+            failures["armed"] -= 1
+            return original_once(
+                self, session, region, marker, run_id, token, clock
+            )
+
+        resolver._pooled_region_once = sabotaged.__get__(resolver)
+        with pytest.raises(BulkProcessingError, match="injected region"):
+            resolver.run()
+        # No partially visible run: the relation is exactly the loaded
+        # beliefs again, and no private journal residue survives.
+        assert sorted(store.possible_table()) == before
+        cursor = store._execute("SELECT COUNT(*) FROM POSS_JOURNAL")
+        assert cursor.fetchone()[0] == 0
+        store.close()
+
+    def test_checkpointed_pooled_run_resumes_not_rolls_back(self, tmp_path):
+        network, roots = multi_chain_network(3, 8)
+        plan = plan_resolution(network, explicit_users=roots)
+        limits = RegionLimits(max_copy_edges=8, max_flood_pairs=8)
+        compiled_plan = compile_plan(plan, limits=limits)
+        rows = [(root, "k0", "v") for root in roots]
+
+        def build(store):
+            return BulkResolver(
+                network,
+                store=store,
+                scheduler="compiled",
+                plan=plan,
+                compiled_plan=compiled_plan,
+                pool_workers=2,
+                checkpoint="pool-resume",
+            )
+
+        store = _file_store(tmp_path, "resume.db")
+        resolver = build(store)
+        resolver.load_beliefs(rows)
+
+        failures = {"armed": 1}
+        original_once = type(resolver)._pooled_region_once
+
+        def sabotaged(self, session, region, marker, run_id, token, clock):
+            if failures["armed"] == 0:
+                raise BulkProcessingError("injected crash")
+            failures["armed"] -= 1
+            return original_once(
+                self, session, region, marker, run_id, token, clock
+            )
+
+        resolver._pooled_region_once = sabotaged.__get__(resolver)
+        with pytest.raises(BulkProcessingError, match="injected crash"):
+            resolver.run()
+        # The journal survived the crash: at least the one completed
+        # region is recorded for the resume.
+        assert store.journal_completed("pool-resume")
+
+        resumed = build(store)
+        resumed.load_beliefs(rows)
+        report = resumed.run()
+        assert report.checkpointed
+        assert report.nodes_skipped > 0
+
+        # Byte-identical to a clean sequential run of the same plan.
+        reference_store = _file_store(tmp_path, "resume-ref.db")
+        reference = BulkResolver(
+            network,
+            store=reference_store,
+            scheduler="compiled",
+            plan=plan,
+            compiled_plan=compiled_plan,
+        )
+        reference.load_beliefs(rows)
+        reference.run()
+        assert sorted(store.possible_table()) == sorted(
+            reference_store.possible_table()
+        )
+        store.close()
+        reference_store.close()
+
+
+class TestPooledEquivalenceProperty:
+    """100 random networks: pooled == single-connection, byte for byte."""
+
+    NETWORKS = 100
+
+    def test_pooled_matches_single_connection(
+        self, tmp_path, serialized_relation
+    ):
+        rng = random.Random(52110)
+        pool_cycle = (1, 2, 4)
+        for trial in range(self.NETWORKS):
+            network, explicit = _random_network(rng)
+            rows = _random_rows(rng, explicit, n_objects=2)
+            reference_store = _file_store(tmp_path, f"ref{trial}.db")
+            reference = BulkResolver(
+                network,
+                store=reference_store,
+                explicit_users=explicit,
+                scheduler="compiled",
+            )
+            reference.load_beliefs(rows)
+            reference.run()
+            expected = serialized_relation(reference_store)
+            reference_store.close()
+
+            pool_workers = pool_cycle[trial % len(pool_cycle)]
+            store = _file_store(tmp_path, f"pool{trial}.db")
+            resolver = BulkResolver(
+                network,
+                store=store,
+                explicit_users=explicit,
+                scheduler="compiled",
+                pool_workers=pool_workers,
+            )
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert report.pool_workers >= 1
+            assert serialized_relation(store) == expected, (
+                f"trial {trial}: pooled ({pool_workers} workers) diverged "
+                "from the single-connection replay"
+            )
+            store.close()

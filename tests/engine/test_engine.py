@@ -316,6 +316,25 @@ class TestEngineReportSubsumption:
             assert report.dag_stages == bulk.dag_stages
             assert report.stages_overlapped == bulk.stages_overlapped
 
+    def test_pooled_materialize_mirrors_the_pool_gauges(self, tmp_path):
+        store = PossStore(backend=SqliteFileBackend(str(tmp_path / "pool.db")))
+        with ResolutionEngine.open(
+            _chain_network(), store=store, pool_workers=2
+        ) as engine:
+            report = engine.materialize(compiled=True)
+            bulk = report.bulk
+            assert report.pool_workers == bulk.pool_workers >= 1
+            assert report.pool_checkouts == bulk.pool_checkouts >= 1
+            assert report.pool_in_use_peak == bulk.pool_in_use_peak >= 1
+            assert report.pool_wait_seconds == bulk.pool_wait_seconds >= 0.0
+            assert engine.query("c") == frozenset({"v"})
+
+    def test_unpooled_materialize_reports_zero_pool_gauges(self):
+        with ResolutionEngine.open(_chain_network()) as engine:
+            report = engine.materialize(compiled=True)
+            assert report.pool_workers == 0
+            assert report.pool_checkouts == 0
+
     def test_apply_report_subsumes_delta_apply_report(self):
         with ResolutionEngine.open(_chain_network()) as engine:
             engine.materialize()

@@ -1,0 +1,199 @@
+"""Chaos tests for connection-per-worker execution: faults through the pool.
+
+The pooled compiled path replaces the one run transaction with one
+transaction per region on per-worker WAL connections, so the fault
+machinery has new seams: the pooled ``connect`` itself can fault, faults
+can land inside a staged region SELECT or its short ``INSERT … SELECT``
+apply, and a worker dying mid-run must not leave the committed prefix of
+regions visible.  Every scenario runs a genuinely multi-region workload
+(disjoint chains, split by an explicit region budget, so several lanes are
+really active) and is locked against a fault-free twin through the
+byte-identity oracle.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import BackendUnavailable
+from repro.faults import FaultInjectingBackend, FaultPolicy, RetryPolicy, ScriptedFault
+from repro.bulk.backends import SqliteFileBackend
+from repro.bulk.compile import RegionLimits, compile_plan
+from repro.bulk.executor import BulkResolver
+from repro.bulk.planner import plan_resolution
+from repro.bulk.store import PossStore
+from repro.workloads.bulkload import multi_chain_network
+
+RETRY_FAST = RetryPolicy(max_attempts=8, base_delay=0.0, max_delay=0.0)
+
+CHAINS, DEPTH = 3, 10
+
+
+def _workload():
+    network, roots = multi_chain_network(CHAINS, DEPTH)
+    plan = plan_resolution(network, explicit_users=roots)
+    limits = RegionLimits(max_copy_edges=DEPTH, max_flood_pairs=DEPTH)
+    compiled_plan = compile_plan(plan, limits=limits)
+    rows = [(root, f"k{i}", f"v{i}") for root in roots for i in range(2)]
+    return network, plan, compiled_plan, rows
+
+
+def _twin_relation(serialized_relation):
+    """The fault-free single-connection reference run."""
+    network, plan, compiled_plan, rows = _workload()
+    resolver = BulkResolver(
+        network, plan=plan, compiled_plan=compiled_plan, scheduler="compiled"
+    )
+    resolver.load_beliefs(rows)
+    resolver.run()
+    expected = serialized_relation(resolver.store)
+    resolver.store.close()
+    return expected
+
+
+def _pooled_resolver(store):
+    network, plan, compiled_plan, rows = _workload()
+    resolver = BulkResolver(
+        network,
+        store=store,
+        plan=plan,
+        compiled_plan=compiled_plan,
+        scheduler="compiled",
+        pool_workers=2,
+    )
+    return resolver, rows
+
+
+class TestConnectFaultsThroughThePool:
+    def test_transient_pooled_connect_retries(
+        self, serialized_relation, tmp_path
+    ):
+        """The first pooled checkout faults at the ``connect`` site; the
+        checkout retries under the store's retry policy and the run lands
+        byte-identical to the fault-free twin."""
+        expected = _twin_relation(serialized_relation)
+
+        # connect #0 is the store's primary connection; #1 is the first
+        # worker connection the pool opens.
+        backend = FaultInjectingBackend(
+            SqliteFileBackend(str(tmp_path / "connect.db")),
+            FaultPolicy(
+                schedule=[ScriptedFault(site="connect", index=1)],
+                sites=(),
+            ),
+        )
+        store = PossStore(backend=backend, retry_policy=RETRY_FAST)
+        resolver, rows = _pooled_resolver(store)
+        resolver.load_beliefs(rows)
+        report = resolver.run()
+        assert report.pool_workers == 2
+        assert report.faults_injected == 1
+        assert report.retries >= 1
+        assert serialized_relation(store) == expected
+        store.close()
+
+    def test_hard_pooled_connect_failure_aborts_cleanly(self, tmp_path):
+        """A non-transient connect fault on a worker connection fails the
+        run; rollback-by-run-id leaves exactly the loaded beliefs."""
+        backend = FaultInjectingBackend(
+            SqliteFileBackend(str(tmp_path / "hard-connect.db")),
+            FaultPolicy(
+                schedule=[
+                    ScriptedFault(site="connect", index=1, kind="unavailable")
+                ],
+                sites=(),
+            ),
+        )
+        store = PossStore(backend=backend, retry_policy=RETRY_FAST)
+        resolver, rows = _pooled_resolver(store)
+        resolver.load_beliefs(rows)
+        before = sorted(store.possible_table())
+        with pytest.raises(BackendUnavailable):
+            resolver.run()
+        assert sorted(store.possible_table()) == before
+        cursor = store._execute("SELECT COUNT(*) FROM POSS_JOURNAL")
+        assert cursor.fetchone()[0] == 0
+        store.close()
+
+
+class TestTransientFaultsInsidePooledRegions:
+    def test_pooled_regions_retry_transparently(
+        self, serialized_relation, tmp_path
+    ):
+        """Probabilistic transient execute faults land inside staged region
+        SELECTs, stage applies and journal writes across every worker
+        connection; the per-statement and per-region retry loops absorb all
+        of them."""
+        expected = _twin_relation(serialized_relation)
+
+        saw_faults = False
+        for seed in range(6):
+            backend = FaultInjectingBackend(
+                SqliteFileBackend(str(tmp_path / f"p{seed}.db")),
+                FaultPolicy(seed=seed, probability=0.2, sites=("execute",)),
+            )
+            store = PossStore(backend=backend, retry_policy=RETRY_FAST)
+            resolver, rows = _pooled_resolver(store)
+            resolver.load_beliefs(rows)
+            report = resolver.run()
+            assert serialized_relation(store) == expected, f"seed {seed}"
+            assert report.pool_workers == 2
+            saw_faults = saw_faults or report.faults_injected > 0
+            store.close()
+        assert saw_faults  # the sweep actually injected something
+
+
+class TestWorkerDeathMidRun:
+    def test_no_partially_visible_run_wherever_the_worker_dies(
+        self, serialized_relation, tmp_path
+    ):
+        """Sweep a hard (non-retryable) fault across the execute stream of a
+        pooled run: whichever region's statement it kills, the failed run
+        rolls its committed regions back — the relation afterwards is
+        exactly the loaded beliefs, never a prefix of the run."""
+        expected = _twin_relation(serialized_relation)
+
+        saw_death = False
+        saw_completion = False
+        for crash_at in range(0, 40, 2):
+            policy = FaultPolicy(
+                schedule=[
+                    ScriptedFault(
+                        site="execute", index=crash_at, kind="unavailable"
+                    )
+                ],
+                sites=(),
+            )
+            try:
+                backend = FaultInjectingBackend(
+                    SqliteFileBackend(str(tmp_path / f"death{crash_at}.db")),
+                    policy,
+                )
+                store = PossStore(backend=backend, retry_policy=RETRY_FAST)
+                resolver, rows = _pooled_resolver(store)
+                resolver.load_beliefs(rows)
+            except BackendUnavailable:
+                # The fault fired while creating the schema or loading the
+                # beliefs — nothing pooled ran; not this scenario's subject.
+                continue
+            before = sorted(store.possible_table())
+            try:
+                report = resolver.run()
+            except BackendUnavailable:
+                saw_death = True
+                assert sorted(store.possible_table()) == before, (
+                    f"crash at execute #{crash_at} left a partial run visible"
+                )
+                cursor = store._execute("SELECT COUNT(*) FROM POSS_JOURNAL")
+                assert cursor.fetchone()[0] == 0
+            else:
+                saw_completion = True
+                assert report.pool_workers == 2
+                # The crash index may fall beyond the run's statement
+                # stream; disarm it so it cannot fire inside this
+                # verification read.
+                policy.schedule = ()
+                assert serialized_relation(store) == expected
+            store.close()
+        assert saw_death  # the sweep really killed workers mid-run
+        assert saw_completion  # and also ran off the end of the stream
